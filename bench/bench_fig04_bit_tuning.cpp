@@ -1,0 +1,113 @@
+/// @file
+/// Figure 4: bit tuning on BlackScholesBody with a 32768-entry (15-bit)
+/// lookup table.  Reproduces the steepest-ascent hill climb over bit
+/// assignments to the three variable inputs (S, X, T); R and V are
+/// constant during profiling and receive no bits.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_support.h"
+#include "memo/bit_tuning.h"
+#include "parser/parser.h"
+#include "support/rng.h"
+
+namespace paraprox::bench {
+namespace {
+
+constexpr const char* kBlackScholesBody = R"(
+float cnd(float d) {
+    float k = 1.0f / (1.0f + 0.2316419f * fabsf(d));
+    float poly = k * (0.31938153f + k * (-0.356563782f
+               + k * (1.781477937f + k * (-1.821255978f
+               + k * 1.330274429f))));
+    float c = 1.0f - 0.39894228f * expf(-0.5f * d * d) * poly;
+    if (d < 0.0f) { c = 1.0f - c; }
+    return c;
+}
+float black_scholes_body(float s, float x, float t, float r, float v) {
+    float sq = sqrtf(t);
+    float d1 = (logf(s / x) + (r + 0.5f * v * v) * t) / (v * sq);
+    float d2 = d1 - v * sq;
+    return s * cnd(d1) - x * expf(-(r * t)) * cnd(d2);
+}
+)";
+
+std::string
+bits_to_string(const std::vector<int>& bits)
+{
+    std::string out = "(";
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (i)
+            out += ",";
+        out += std::to_string(bits[i]);
+    }
+    return out + ")";
+}
+
+void
+run_figure()
+{
+    auto module = parser::parse_module(kBlackScholesBody);
+    memo::ScalarEvaluator evaluator(module, "black_scholes_body");
+
+    Rng rng(0xf19ull);
+    std::vector<std::vector<float>> training(512);
+    for (auto& sample : training) {
+        sample = {rng.uniform(5.0f, 30.0f), rng.uniform(1.0f, 100.0f),
+                  rng.uniform(0.25f, 10.0f), 0.02f, 0.30f};
+    }
+
+    auto result = memo::bit_tune(evaluator, training, 15);
+
+    print_header("Figure 4: bit tuning for BlackScholesBody, 32768-entry "
+                 "table (15 address bits)");
+    std::printf("Paper: root (5,5,5)=95.2%% -> best child (5,6,4)=96.5%%; "
+                "children of the winner do not improve.\n\n");
+    print_row({"node (bits S,X,T)", "output quality"}, 22);
+    for (const auto& node : result.explored)
+        print_row({bits_to_string(node.bits), fmt(node.quality) + "%"}, 22);
+
+    std::vector<int> final_bits;
+    for (const auto& input : result.config.inputs) {
+        if (!input.is_constant)
+            final_bits.push_back(input.bits);
+    }
+    std::printf("\nSelected assignment: %s with quality %.2f%%\n",
+                bits_to_string(final_bits).c_str(), result.quality);
+    std::printf("Constant inputs excluded from the address (paper's R, V "
+                "observation):");
+    for (const auto& input : result.config.inputs) {
+        if (input.is_constant)
+            std::printf(" %s=%.3g", input.name.c_str(),
+                        input.constant_value);
+    }
+    std::printf("\nNodes explored: %zu\n", result.explored.size());
+}
+
+void
+BM_BitTuning15(benchmark::State& state)
+{
+    auto module = parser::parse_module(kBlackScholesBody);
+    memo::ScalarEvaluator evaluator(module, "black_scholes_body");
+    Rng rng(0xf19ull);
+    std::vector<std::vector<float>> training(128);
+    for (auto& sample : training) {
+        sample = {rng.uniform(5.0f, 30.0f), rng.uniform(1.0f, 100.0f),
+                  rng.uniform(0.25f, 10.0f), 0.02f, 0.30f};
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(memo::bit_tune(evaluator, training, 12));
+}
+BENCHMARK(BM_BitTuning15)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace paraprox::bench
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    paraprox::bench::run_figure();
+    return 0;
+}

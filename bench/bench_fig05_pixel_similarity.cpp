@@ -1,0 +1,100 @@
+/// @file
+/// Figure 5: the average percent difference between each pixel and its
+/// eight neighbours across ten images — the empirical basis for the
+/// stencil/partition approximation (§3.2.1).  The paper finds more than
+/// 70% of pixels differ from their neighbours by less than 10%.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "apps/common.h"
+#include "bench/bench_support.h"
+#include "support/stats.h"
+
+namespace paraprox::bench {
+namespace {
+
+/// Average percent difference of pixel (x, y) to its 8 neighbours.
+double
+neighbour_difference(const std::vector<float>& image, int width, int x,
+                     int y)
+{
+    const float center = image[static_cast<std::size_t>(y) * width + x];
+    double acc = 0.0;
+    for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0)
+                continue;
+            const float neighbour =
+                image[static_cast<std::size_t>(y + dy) * width + (x + dx)];
+            const double denom = std::max(1.0f, std::fabs(center));
+            acc += std::fabs(center - neighbour) / denom;
+        }
+    }
+    return 100.0 * acc / 8.0;
+}
+
+void
+run_figure()
+{
+    constexpr int kWidth = 256;
+    constexpr int kHeight = 256;
+    constexpr int kImages = 10;
+
+    std::vector<double> diffs;
+    for (int img = 0; img < kImages; ++img) {
+        auto image = apps::make_correlated_image(kWidth, kHeight,
+                                                 1000 + img);
+        for (int y = 1; y < kHeight - 1; ++y)
+            for (int x = 1; x < kWidth - 1; ++x)
+                diffs.push_back(neighbour_difference(image, kWidth, x, y));
+    }
+
+    print_header("Figure 5: average percent difference between adjacent "
+                 "pixels (10 images)");
+    std::printf("Paper: >70%% of pixels are <10%% different from their "
+                "neighbours.\n\n");
+    print_row({"difference range", "% of pixels"}, 20);
+    const double buckets[] = {5, 10, 15, 20, 30, 50, 100};
+    double prev_edge = 0.0;
+    double prev_frac = 0.0;
+    for (double edge : buckets) {
+        const double frac = stats::fraction_below(diffs, edge) * 100.0;
+        print_row({fmt(prev_edge, 0) + "-" + fmt(edge, 0) + "%",
+                   fmt(frac - prev_frac, 1)},
+                  20);
+        prev_edge = edge;
+        prev_frac = frac;
+    }
+    const double below10 = stats::fraction_below(diffs, 10.0) * 100.0;
+    std::printf("\nPixels <10%% different from neighbours: %.1f%% "
+                "(paper: >70%%)\n",
+                below10);
+}
+
+void
+BM_NeighbourSimilarity(benchmark::State& state)
+{
+    auto image = apps::make_correlated_image(256, 256, 42);
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (int y = 1; y < 255; ++y)
+            for (int x = 1; x < 255; ++x)
+                acc += neighbour_difference(image, 256, x, y);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_NeighbourSimilarity)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace paraprox::bench
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    paraprox::bench::run_figure();
+    return 0;
+}

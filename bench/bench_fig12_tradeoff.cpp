@@ -1,0 +1,73 @@
+/// @file
+/// Figure 12: the performance-accuracy tradeoff — speedup vs. output
+/// quality as each optimization's tuning parameters sweep, for the six
+/// benchmarks the paper plots (BlackScholes, Quasirandom Generator,
+/// Matrix Multiplication, Kernel Density, Gaussian Filter, Convolution
+/// Separable), under the GPU model.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/bench_support.h"
+
+namespace paraprox::bench {
+namespace {
+
+void
+run_figure()
+{
+    print_header("Figure 12: speedup vs. output quality (GPU model)");
+    std::printf("Paper trends: map apps gain speed as tables shrink "
+                "(saturating once the table is cache-resident);\n"
+                "reduction apps trade quality for speed as the skipping "
+                "rate doubles;\nstencil apps rise as reaching distance "
+                "grows.\n");
+
+    auto apps = apps::make_all_applications();
+    const char* wanted[] = {
+        "BlackScholes", "Quasirandom Generator", "Matrix Multiply",
+        "Kernel Density Estimation", "Gaussian Filter",
+        "Convolution Separable",
+    };
+    const auto gpu = device::DeviceModel::gtx560();
+
+    for (const auto& app : apps) {
+        const std::string name = app->info().name;
+        if (std::find_if(std::begin(wanted), std::end(wanted),
+                         [&](const char* w) { return name == w; }) ==
+            std::end(wanted)) {
+            continue;
+        }
+        app->set_scale(0.5);
+        auto measurement = measure_app(*app, gpu, 0.0, {31, 32});
+
+        std::printf("\n%s\n", name.c_str());
+        print_row({"variant", "quality %", "speedup"}, 40);
+        // Sort by quality descending, like the figure's x axis.
+        auto profiles = measurement.profiles;
+        std::sort(profiles.begin(), profiles.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.quality > b.quality;
+                  });
+        for (const auto& profile : profiles) {
+            if (profile.trapped)
+                continue;
+            print_row({profile.label, fmt(profile.quality),
+                       fmt(profile.speedup)},
+                      40);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace paraprox::bench
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    paraprox::bench::run_figure();
+    return 0;
+}

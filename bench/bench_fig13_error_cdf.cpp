@@ -1,0 +1,79 @@
+/// @file
+/// Figure 13: the cumulative distribution of per-output-element error at
+/// TOQ = 90% for the nine applications the paper plots.  The paper finds
+/// that 70-100% of output elements carry less than 10% error.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/bench_support.h"
+#include "runtime/quality.h"
+#include "support/stats.h"
+
+namespace paraprox::bench {
+namespace {
+
+void
+run_figure()
+{
+    print_header("Figure 13: CDF of per-element output error, TOQ=90% "
+                 "(GPU model)");
+    std::printf("Paper: the majority (70-100%%) of each application's "
+                "output elements have <10%% error.\n\n");
+
+    const char* wanted[] = {
+        "Cumulative Frequency Histogram",
+        "Gamma Correction",
+        "Matrix Multiply",
+        "Image Denoising",
+        "Naive Bayes",
+        "Kernel Density Estimation",
+        "HotSpot",
+        "Gaussian Filter",
+        "Mean Filter",
+    };
+    const double edges[] = {0.05, 0.10, 0.20, 0.30, 0.50, 1.00};
+
+    std::vector<std::string> header = {"Application"};
+    for (double edge : edges)
+        header.push_back("<=" + fmt(edge * 100, 0) + "%");
+    print_row(header, 13);
+
+    const auto gpu = device::DeviceModel::gtx560();
+    auto apps = apps::make_all_applications();
+    for (const auto& app : apps) {
+        const std::string name = app->info().name;
+        if (std::find_if(std::begin(wanted), std::end(wanted),
+                         [&](const char* w) { return name == w; }) ==
+            std::end(wanted)) {
+            continue;
+        }
+        app->set_scale(0.5);
+        auto measurement = measure_app(*app, gpu, 90.0, {41});
+        auto errors = runtime::element_errors(measurement.exact_output,
+                                              measurement.chosen_output);
+
+        std::vector<std::string> row = {name.substr(0, 12)};
+        for (double edge : edges) {
+            row.push_back(
+                fmt(100.0 * stats::fraction_below(errors, edge + 1e-12),
+                    1));
+        }
+        print_row(row, 13);
+    }
+    std::printf("\n(Each cell: %% of output elements with error at or "
+                "below the column bound.)\n");
+}
+
+}  // namespace
+}  // namespace paraprox::bench
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    paraprox::bench::run_figure();
+    return 0;
+}

@@ -1,0 +1,75 @@
+/// @file
+/// Figure 15: approximate memoization on the four §4.4.2 analytic
+/// functions (credit card balance, shifted Gompertz, log-gamma, Bass
+/// diffusion), comparing the nearest and linear schemes for inputs that
+/// fall between quantization levels, on the GPU model.
+///
+/// Paper findings: nearest is faster at equal table size but less
+/// accurate; linear reaches ~99% quality; Gompertz gains least (cheap SFU
+/// exponentials), Bass and Credit gain most (float division is a slow GPU
+/// subroutine).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_support.h"
+
+namespace paraprox::bench {
+namespace {
+
+using transforms::LookupMode;
+using transforms::TableLocation;
+
+void
+run_figure()
+{
+    print_header("Figure 15: nearest vs. linear memoization, four analytic "
+                 "functions (GPU model)");
+    print_row({"function", "mode", "table", "quality %", "speedup"}, 13);
+
+    const auto gpu = device::DeviceModel::gtx560();
+    for (const auto& function : case_study_functions()) {
+        for (int bits : {4, 6, 8, 10, 12}) {
+            for (LookupMode mode :
+                 {LookupMode::Nearest, LookupMode::Linear}) {
+                auto result = run_case_study(function, bits,
+                                             TableLocation::Global, mode,
+                                             gpu);
+                print_row({function.name, to_string(mode),
+                           std::to_string(1 << bits),
+                           fmt(result.quality), fmt(result.speedup)},
+                          13);
+            }
+        }
+    }
+    std::printf("\nExpect: linear quality >= nearest quality at equal "
+                "size; nearest speedup >= linear speedup;\nGompertz the "
+                "flattest curve, Bass/Credit the steepest (division-"
+                "heavy).\n");
+}
+
+void
+BM_MemoizedBassGpu(benchmark::State& state)
+{
+    const auto gpu = device::DeviceModel::gtx560();
+    const auto functions = case_study_functions();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            run_case_study(functions[3], static_cast<int>(state.range(0)),
+                           TableLocation::Global, LookupMode::Nearest, gpu,
+                           1 << 12));
+    }
+}
+BENCHMARK(BM_MemoizedBassGpu)->Arg(6)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace paraprox::bench
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    paraprox::bench::run_figure();
+    return 0;
+}

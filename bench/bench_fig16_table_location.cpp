@@ -1,0 +1,59 @@
+/// @file
+/// Figure 16: lookup-table placement — constant vs. shared vs. global
+/// memory — for the Bass function as the table size sweeps 8..8192
+/// entries, on the GPU model.
+///
+/// Paper findings: constant memory is never optimal (divergent lookups
+/// serialize on the broadcast hardware); for small tables shared and
+/// global are similar; mid-size tables favour shared (cold L1); large
+/// tables favour global (per-group staging of the shared copy costs more
+/// than the cache misses it avoids).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_support.h"
+
+namespace paraprox::bench {
+namespace {
+
+using transforms::LookupMode;
+using transforms::TableLocation;
+
+void
+run_figure()
+{
+    print_header("Figure 16: table placement vs. size, Bass function "
+                 "(GPU model)");
+    print_row({"entries", "constant", "shared", "global"}, 12);
+
+    const auto gpu = device::DeviceModel::gtx560();
+    const auto functions = case_study_functions();
+    const CaseStudyFunction& bass = functions[3];
+
+    for (int bits = 3; bits <= 13; ++bits) {
+        std::vector<std::string> row = {std::to_string(1 << bits)};
+        for (TableLocation location :
+             {TableLocation::Constant, TableLocation::Shared,
+              TableLocation::Global}) {
+            auto result = run_case_study(bass, bits, location,
+                                         LookupMode::Nearest, gpu);
+            row.push_back(fmt(result.speedup));
+        }
+        print_row(row, 12);
+    }
+    std::printf("\nExpect: the constant column never the best; shared "
+                "competitive until the staging\nloop (table copied per "
+                "work-group) outweighs global's cache misses.\n");
+}
+
+}  // namespace
+}  // namespace paraprox::bench
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    paraprox::bench::run_figure();
+    return 0;
+}

@@ -1,0 +1,55 @@
+/// @file
+/// Figure 17: the impact of lookup-table size on uncoalesced-access
+/// serialization and speedup (Bass function, global tables, GPU model).
+///
+/// Paper finding: as the table grows, a warp's 32 lookups spread over
+/// more cache lines, so the fraction of serialized (extra) transactions
+/// rises and the speedup falls.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_support.h"
+
+namespace paraprox::bench {
+namespace {
+
+using transforms::LookupMode;
+using transforms::TableLocation;
+
+void
+run_figure()
+{
+    print_header("Figure 17: serialization overhead vs. table size, Bass "
+                 "function (GPU model, global table)");
+    print_row({"entries", "serialization %", "speedup"}, 18);
+
+    const auto gpu = device::DeviceModel::gtx560();
+    const auto functions = case_study_functions();
+    const CaseStudyFunction& bass = functions[3];
+
+    double prev_serialization = -1.0;
+    for (int bits = 3; bits <= 15; ++bits) {
+        auto result = run_case_study(bass, bits, TableLocation::Global,
+                                     LookupMode::Nearest, gpu);
+        print_row({std::to_string(1 << bits), fmt(result.serialization, 1),
+                   fmt(result.speedup)},
+                  18);
+        prev_serialization = result.serialization;
+    }
+    (void)prev_serialization;
+    std::printf("\nExpect: serialization %% grows with table size while "
+                "speedup falls — the paper's\ninstruction-serialization / "
+                "uncoalesced-access effect.\n");
+}
+
+}  // namespace
+}  // namespace paraprox::bench
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    paraprox::bench::run_figure();
+    return 0;
+}

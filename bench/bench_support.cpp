@@ -1,0 +1,214 @@
+#include "bench/bench_support.h"
+
+#include <cstdarg>
+
+#include "exec/launch.h"
+#include "memo/table.h"
+#include "parser/parser.h"
+#include "runtime/quality.h"
+#include "support/rng.h"
+#include "vm/compiler.h"
+
+namespace paraprox::bench {
+
+AppMeasurement
+measure_app(apps::Application& app, const device::DeviceModel& device,
+            double toq, const std::vector<std::uint64_t>& seeds)
+{
+    AppMeasurement out;
+    out.app = app.info().name;
+    out.device = device.name;
+
+    auto variants = app.variants(device);
+    runtime::Tuner tuner(variants, app.info().metric, toq);
+    out.profiles = tuner.calibrate(seeds);
+
+    const int selected = tuner.selected_index();
+    out.chosen = out.profiles[selected].label;
+    out.speedup = out.profiles[selected].speedup;
+    out.wall_speedup = out.profiles[selected].wall_speedup;
+    out.quality = out.profiles[selected].quality;
+
+    // One paired run on a fresh input for per-element error analysis
+    // (Fig. 13).
+    const std::uint64_t fresh_seed = seeds.back() + 7919;
+    out.exact_output = variants[0].run(fresh_seed).output;
+    out.chosen_output = variants[selected].run(fresh_seed).output;
+    return out;
+}
+
+const char*
+credit_card_source()
+{
+    // N(i) = -1/30 * ln(1 + b0/p (1 - (1+i)^30)) / ln(1 + i)
+    return R"(
+float f(float i) {
+    float b0 = 5000.0f;
+    float p = 200.0f;
+    float growth = powf(1.0f + i, 30.0f);
+    return -0.033333333f * logf(1.0f + b0 / p * (1.0f - growth))
+         / logf(1.0f + i);
+}
+__kernel void apply(__global float* in, __global float* out) {
+    int t = get_global_id(0);
+    out[t] = f(in[t]);
+}
+)";
+}
+
+const char*
+gompertz_source()
+{
+    // F(x) = (1 - e^{-b x}) e^{-eta e^{-b x}}
+    return R"(
+float f(float x) {
+    float b = 2.5f;
+    float eta = 0.7f;
+    float decay = expf(-(b * x));
+    return (1.0f - decay) * expf(-(eta * decay));
+}
+__kernel void apply(__global float* in, __global float* out) {
+    int t = get_global_id(0);
+    out[t] = f(in[t]);
+}
+)";
+}
+
+const char*
+lgamma_source()
+{
+    return R"(
+float f(float z) {
+    return lgammaf(z);
+}
+__kernel void apply(__global float* in, __global float* out) {
+    int t = get_global_id(0);
+    out[t] = f(in[t]);
+}
+)";
+}
+
+const char*
+bass_source()
+{
+    // S(t) = m (p+q)^2/p * e^{-(p+q)t} / (1 + q/p e^{-(p+q)t})^2
+    return R"(
+float f(float t) {
+    float m = 1000.0f;
+    float p = 0.03f;
+    float q = 0.38f;
+    float pq = p + q;
+    float decay = expf(-(pq * t));
+    float denom = 1.0f + q / p * decay;
+    return m * pq * pq / p * decay / (denom * denom);
+}
+__kernel void apply(__global float* in, __global float* out) {
+    int t = get_global_id(0);
+    out[t] = f(in[t]);
+}
+)";
+}
+
+std::vector<CaseStudyFunction>
+case_study_functions()
+{
+    return {
+        // Daily interest rates (APR/365 for ~2%-25% APR): the balance
+        // equation's logarithm is only defined while payments outpace
+        // interest.
+        {"Credit", credit_card_source(), 0.00005f, 0.0008f},
+        {"Gompertz", gompertz_source(), 0.0f, 4.0f},
+        {"lgamma", lgamma_source(), 0.1f, 10.0f},
+        {"Bass", bass_source(), 0.0f, 20.0f},
+    };
+}
+
+CaseStudyResult
+run_case_study(const CaseStudyFunction& function, int bits,
+               transforms::TableLocation location,
+               transforms::LookupMode mode,
+               const device::DeviceModel& device, int n)
+{
+    auto module = parser::parse_module(function.source);
+
+    // Table: profile + tune on the declared input domain.
+    memo::ScalarEvaluator evaluator(module, "f");
+    Rng rng(0xca5eull);
+    std::vector<std::vector<float>> training(256);
+    for (auto& sample : training)
+        sample = {rng.uniform(function.lo, function.hi)};
+    auto tuning = memo::bit_tune(evaluator, training, bits);
+    auto table = memo::build_table(evaluator, tuning.config);
+
+    auto memoized = transforms::memoize_kernel(module, "apply", "f", table,
+                                               location, mode);
+    auto exact_prog = vm::compile_kernel(module, "apply");
+    auto approx_prog = vm::compile_kernel(memoized.module,
+                                          memoized.kernel_name);
+
+    Rng inputs_rng(0x1deaull);
+    exec::Buffer in = exec::Buffer::from_floats(
+        inputs_rng.uniform_vector(n, function.lo, function.hi));
+    exec::Buffer exact_out = exec::Buffer::zeros_f32(n);
+    exec::Buffer approx_out = exec::Buffer::zeros_f32(n);
+    exec::Buffer table_buf =
+        exec::Buffer::from_floats(memoized.table.values);
+    // 128-item groups amortize the shared-table staging loop, like real
+    // CUDA blocks do.
+    const auto config = exec::LaunchConfig::linear(n, 128);
+
+    exec::ArgPack exact_args;
+    exact_args.buffer("in", in).buffer("out", exact_out);
+    auto exact = device::run_modeled(exact_prog, exact_args, config,
+                                     device);
+
+    exec::ArgPack approx_args;
+    approx_args.buffer("in", in).buffer("out", approx_out);
+    approx_args.buffer(memoized.table_buffer_param, table_buf);
+    if (!memoized.shared_table_param.empty()) {
+        approx_args.shared(memoized.shared_table_param,
+                           static_cast<std::int64_t>(
+                               memoized.table.values.size()));
+    }
+    auto approx = device::run_modeled(approx_prog, approx_args, config,
+                                      device);
+
+    CaseStudyResult result;
+    result.quality = runtime::quality_percent(
+        runtime::Metric::L1Norm, exact_out.to_floats(),
+        approx_out.to_floats());
+    result.speedup = approx.cycles > 0.0 ? exact.cycles / approx.cycles
+                                         : 1.0;
+    result.serialization =
+        approx.cost.transactions > 0
+            ? 100.0 * static_cast<double>(approx.cost.extra_transactions) /
+                  static_cast<double>(approx.cost.transactions)
+            : 0.0;
+    return result;
+}
+
+void
+print_header(const std::string& title)
+{
+    std::printf("\n================================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================================================\n");
+}
+
+void
+print_row(const std::vector<std::string>& cells, int width)
+{
+    for (const auto& cell : cells)
+        std::printf("%-*s", width, cell.c_str());
+    std::printf("\n");
+}
+
+std::string
+fmt(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+}  // namespace paraprox::bench

@@ -1,0 +1,102 @@
+/// @file
+/// The complete adoption path on a user kernel, in four calls:
+///
+///     parse_module -> core::compile_kernel -> core::make_variants
+///                  -> runtime::Tuner
+///
+/// Paraprox detects the patterns, generates every applicable approximate
+/// kernel, and the tuner picks the fastest one meeting the TOQ — no
+/// hand-written approximation anywhere.
+///
+///   $ ./examples/custom_kernel_tuning
+
+#include <cstdio>
+
+#include "core/variants.h"
+#include "parser/parser.h"
+#include "runtime/tuner.h"
+#include "support/rng.h"
+
+using namespace paraprox;
+
+static const char* kSource = R"(
+// Softmax-style attention score: a pure, transcendental-heavy map.
+float attention(float q, float k) {
+    float logit = q * k * 0.125f;
+    return expf(logit) / (1.0f + expf(logit));
+}
+
+__kernel void score(__global float* queries, __global float* keys,
+                    __global float* out) {
+    int i = get_global_id(0);
+    out[i] = attention(queries[i], keys[i]);
+}
+)";
+
+int
+main()
+{
+    constexpr int kN = 1 << 15;
+    auto module = parser::parse_module(kSource);
+
+    // 1. Compile: detect patterns, run table search + bit tuning, emit
+    //    every applicable approximate kernel.
+    core::CompileOptions options;
+    options.toq = 90.0;
+    options.device = device::DeviceModel::gtx560();
+    options.training = core::uniform_training(-4.0f, 4.0f);
+    auto compiled = core::compile_kernel(module, "score", options);
+
+    std::printf("compiler notes:\n");
+    for (const auto& note : compiled.notes)
+        std::printf("  %s\n", note.c_str());
+
+    // 2. Describe how the kernel launches (inputs, geometry, output).
+    core::LaunchPlan plan;
+    plan.config = exec::LaunchConfig::linear(kN, 64);
+    plan.output_buffer = "out";
+    plan.bind_inputs = [](std::uint64_t seed, exec::ArgPack& args,
+                          std::vector<std::unique_ptr<exec::Buffer>>&
+                              storage) {
+        Rng rng(seed);
+        storage.push_back(std::make_unique<exec::Buffer>(
+            exec::Buffer::from_floats(
+                rng.uniform_vector(kN, -4.0f, 4.0f))));
+        args.buffer("queries", *storage.back());
+        storage.push_back(std::make_unique<exec::Buffer>(
+            exec::Buffer::from_floats(
+                rng.uniform_vector(kN, -4.0f, 4.0f))));
+        args.buffer("keys", *storage.back());
+        storage.push_back(std::make_unique<exec::Buffer>(
+            exec::Buffer::zeros_f32(kN)));
+        args.buffer("out", *storage.back());
+    };
+
+    // 3. Variants + tuner.
+    auto variants = core::make_variants(module, "score",
+                                        compiled.generated, plan,
+                                        options.device);
+    runtime::Tuner tuner(std::move(variants),
+                         runtime::Metric::MeanRelativeError, options.toq);
+    const auto& profiles = tuner.calibrate({1, 2});
+
+    std::printf("\n%-42s %-10s %-9s %s\n", "variant", "quality%",
+                "speedup", "TOQ");
+    for (const auto& profile : profiles) {
+        std::printf("%-42s %-10.2f %-9.2f %s\n", profile.label.c_str(),
+                    profile.quality, profile.speedup,
+                    profile.meets_toq ? "yes" : "no");
+    }
+    std::printf("\nselected: %s\n", tuner.selected_label().c_str());
+
+    // 4. Steady state.
+    for (int i = 0; i < 20; ++i)
+        tuner.invoke(100 + i);
+    std::printf("after 20 invocations (%llu audits, %llu violations): "
+                "still %s\n",
+                static_cast<unsigned long long>(
+                    tuner.stats().quality_checks),
+                static_cast<unsigned long long>(tuner.stats().violations),
+                tuner.selected_label().c_str());
+    return 0;
+}

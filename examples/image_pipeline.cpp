@@ -1,0 +1,53 @@
+/// @file
+/// Image-processing scenario: a Gaussian-blur stage tuned by the TOQ
+/// runtime.  Shows the stencil schemes (center/row/column, Fig. 6), the
+/// reaching-distance knob, and the tuner picking the fastest variant that
+/// holds 90% quality — then continuing to audit quality in steady state.
+///
+///   $ ./examples/image_pipeline
+
+#include <cstdio>
+
+#include "apps/app.h"
+#include "device/device_model.h"
+#include "runtime/tuner.h"
+
+using namespace paraprox;
+
+int
+main()
+{
+    auto app = apps::make_gaussian_filter();
+    app->set_scale(0.5);
+
+    const auto device = device::DeviceModel::gtx560();
+    std::printf("Tuning `%s` for %s at TOQ=90%%...\n\n",
+                app->info().name.c_str(), device.name.c_str());
+
+    runtime::Tuner tuner(app->variants(device), app->info().metric, 90.0,
+                         /*check_interval=*/10);
+    const auto& profiles = tuner.calibrate({1, 2, 3});
+
+    std::printf("%-28s %-10s %-10s %s\n", "variant", "quality%", "speedup",
+                "meets TOQ");
+    for (const auto& profile : profiles) {
+        std::printf("%-28s %-10.2f %-10.2f %s\n", profile.label.c_str(),
+                    profile.quality, profile.speedup,
+                    profile.meets_toq ? "yes" : "no");
+    }
+    std::printf("\nselected: %s\n", tuner.selected_label().c_str());
+
+    // Steady state: process a stream of frames; every 10th frame is
+    // audited against the exact kernel (SAGE-style periodic checks).
+    for (std::uint64_t frame = 0; frame < 40; ++frame)
+        tuner.invoke(1000 + frame);
+    const auto& stats = tuner.stats();
+    std::printf("\nprocessed %llu frames: %llu quality checks, "
+                "%llu violations, %llu backoffs\n",
+                static_cast<unsigned long long>(stats.invocations),
+                static_cast<unsigned long long>(stats.quality_checks),
+                static_cast<unsigned long long>(stats.violations),
+                static_cast<unsigned long long>(stats.backoffs));
+    std::printf("still running: %s\n", tuner.selected_label().c_str());
+    return 0;
+}

@@ -1,0 +1,227 @@
+#include "analysis/latency.h"
+
+#include <optional>
+
+#include "support/error.h"
+
+namespace paraprox::analysis {
+
+using namespace ir;
+
+namespace {
+
+class Estimator {
+  public:
+    Estimator(const ir::Module& module, const device::DeviceModel& device)
+        : module_(module), device_(device) {}
+
+    double
+    function_cycles(const Function& function)
+    {
+        PARAPROX_CHECK(depth_ < 32, "call graph too deep (recursion?)");
+        ++depth_;
+        const double cycles = block_cycles(*function.body);
+        --depth_;
+        return cycles;
+    }
+
+  private:
+    double
+    block_cycles(const Block& block)
+    {
+        double cycles = 0.0;
+        for (const auto& stmt : block.stmts)
+            cycles += stmt_cycles(*stmt);
+        return cycles;
+    }
+
+    /// Constant trip count of a canonical counted loop, if derivable.
+    std::optional<double>
+    trip_count(const For& loop)
+    {
+        // for (i = lo; i < hi; i = i + step) with integer literals.
+        int lo = 0, hi = 0, step = 1;
+        bool le = false;
+
+        const Decl* init_decl =
+            loop.init ? stmt_as<Decl>(*loop.init) : nullptr;
+        const Assign* init_assign =
+            loop.init ? stmt_as<Assign>(*loop.init) : nullptr;
+        const Expr* init_expr = nullptr;
+        std::string var;
+        if (init_decl && init_decl->init) {
+            init_expr = init_decl->init.get();
+            var = init_decl->name;
+        } else if (init_assign) {
+            init_expr = init_assign->value.get();
+            var = init_assign->name;
+        }
+        if (!init_expr || !const_int_value(*init_expr, lo))
+            return std::nullopt;
+
+        const auto* cond = expr_as<Binary>(*loop.cond);
+        if (!cond || (cond->op != BinaryOp::Lt && cond->op != BinaryOp::Le))
+            return std::nullopt;
+        le = cond->op == BinaryOp::Le;
+        const auto* cond_var = expr_as<VarRef>(*cond->lhs);
+        if (!cond_var || cond_var->name != var ||
+            !const_int_value(*cond->rhs, hi)) {
+            return std::nullopt;
+        }
+
+        const Assign* step_assign =
+            loop.step ? stmt_as<Assign>(*loop.step) : nullptr;
+        if (!step_assign || step_assign->name != var)
+            return std::nullopt;
+        const auto* step_add = expr_as<Binary>(*step_assign->value);
+        if (!step_add || step_add->op != BinaryOp::Add)
+            return std::nullopt;
+        if (!const_int_value(*step_add->rhs, step) || step <= 0)
+            return std::nullopt;
+
+        const int span = (le ? hi + 1 : hi) - lo;
+        if (span <= 0)
+            return 0.0;
+        return static_cast<double>((span + step - 1) / step);
+    }
+
+    double
+    stmt_cycles(const Stmt& stmt)
+    {
+        switch (stmt.kind()) {
+          case StmtKind::Block:
+            return block_cycles(static_cast<const Block&>(stmt));
+          case StmtKind::Decl: {
+            const auto& decl = static_cast<const Decl&>(stmt);
+            return decl.init ? expr_cycles(*decl.init) : 0.0;
+          }
+          case StmtKind::Assign:
+            return expr_cycles(*static_cast<const Assign&>(stmt).value);
+          case StmtKind::Store: {
+            const auto& store = static_cast<const Store&>(stmt);
+            return expr_cycles(*store.index) + expr_cycles(*store.value) +
+                   device_.memory.l1_read_latency;
+          }
+          case StmtKind::If: {
+            const auto& branch = static_cast<const If&>(stmt);
+            // Charge the max of both arms (worst-case path).
+            const double then_cycles = block_cycles(*branch.then_body);
+            const double else_cycles =
+                branch.else_body ? block_cycles(*branch.else_body) : 0.0;
+            return expr_cycles(*branch.cond) +
+                   std::max(then_cycles, else_cycles);
+          }
+          case StmtKind::For: {
+            const auto& loop = static_cast<const For&>(stmt);
+            const double body =
+                block_cycles(*loop.body) + expr_cycles(*loop.cond) +
+                (loop.step ? stmt_cycles(*loop.step) : 0.0);
+            const double init = loop.init ? stmt_cycles(*loop.init) : 0.0;
+            const auto trips = trip_count(loop);
+            // Unknown trip counts are charged a nominal 8 iterations.
+            return init + body * (trips ? *trips : 8.0);
+          }
+          case StmtKind::Return: {
+            const auto& ret = static_cast<const Return&>(stmt);
+            return ret.value ? expr_cycles(*ret.value) : 0.0;
+          }
+          case StmtKind::ExprStmt:
+            return expr_cycles(*static_cast<const ExprStmt&>(stmt).expr);
+          case StmtKind::Barrier:
+            return device_.latency.control;
+        }
+        return 0.0;
+    }
+
+    double
+    expr_cycles(const Expr& expr)
+    {
+        const device::LatencyTable& lat = device_.latency;
+        switch (expr.kind()) {
+          case ExprKind::IntLit:
+          case ExprKind::FloatLit:
+          case ExprKind::BoolLit:
+          case ExprKind::VarRef:
+            return 0.0;
+          case ExprKind::Unary: {
+            const auto& unary = static_cast<const Unary&>(expr);
+            return expr_cycles(*unary.operand) + lat.int_arith;
+          }
+          case ExprKind::Binary: {
+            const auto& binary = static_cast<const Binary&>(expr);
+            const double operands =
+                expr_cycles(*binary.lhs) + expr_cycles(*binary.rhs);
+            const bool is_float = binary.lhs->type().is_float();
+            switch (binary.op) {
+              case BinaryOp::Div:
+              case BinaryOp::Mod:
+                return operands + lat.div;
+              default:
+                return operands + (is_float ? lat.float_arith
+                                            : lat.int_arith);
+            }
+          }
+          case ExprKind::Call: {
+            const auto& call = static_cast<const Call&>(expr);
+            double operands = 0.0;
+            for (const auto& arg : call.args)
+                operands += expr_cycles(*arg);
+            if (call.builtin == Builtin::None) {
+                const Function* callee = module_.find_function(call.callee);
+                PARAPROX_CHECK(callee, "call to unknown function `" +
+                                           call.callee + "`");
+                return operands + function_cycles(*callee);
+            }
+            if (is_atomic_builtin(call.builtin))
+                return operands + lat.atomic;
+            if (is_thread_id_builtin(call.builtin))
+                return operands + lat.trivial;
+            if (call.builtin == Builtin::Lgamma ||
+                call.builtin == Builtin::Erf) {
+                return operands + lat.heavy_transcendental;
+            }
+            if (is_transcendental_builtin(call.builtin))
+                return operands + lat.transcendental;
+            return operands + lat.simple_math;
+          }
+          case ExprKind::Load: {
+            const auto& load = static_cast<const Load&>(expr);
+            return expr_cycles(*load.index) +
+                   device_.memory.l1_read_latency;
+          }
+          case ExprKind::Cast:
+            return expr_cycles(*static_cast<const Cast&>(expr).operand) +
+                   lat.float_arith;
+          case ExprKind::Select: {
+            const auto& select = static_cast<const Select&>(expr);
+            return expr_cycles(*select.cond) +
+                   expr_cycles(*select.if_true) +
+                   expr_cycles(*select.if_false) + lat.trivial;
+          }
+        }
+        return 0.0;
+    }
+
+    const ir::Module& module_;
+    const device::DeviceModel& device_;
+    int depth_ = 0;
+};
+
+}  // namespace
+
+double
+estimate_cycles(const ir::Module& module, const Function& function,
+                const device::DeviceModel& device)
+{
+    return Estimator(module, device).function_cycles(function);
+}
+
+bool
+memoization_profitable(const ir::Module& module, const Function& function,
+                       const device::DeviceModel& device)
+{
+    return estimate_cycles(module, function, device) >=
+           10.0 * device.memory.l1_read_latency;
+}
+
+}  // namespace paraprox::analysis

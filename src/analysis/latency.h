@@ -1,0 +1,30 @@
+/// @file
+/// Static latency estimation — Eq. 1 of the paper:
+///
+///     cycles_needed = sum over instructions of latency(inst)
+///
+/// Each IR operation is charged its device latency; bodies of loops with
+/// compile-time-constant trip counts are multiplied by the trip count.
+/// Paraprox applies approximate memoization only to functions whose
+/// cycles_needed is at least one order of magnitude above the device's L1
+/// read latency (§3.1.2).
+
+#pragma once
+
+#include "device/device_model.h"
+#include "ir/function.h"
+
+namespace paraprox::analysis {
+
+/// Estimated cycles for one evaluation of @p function on @p device.
+double estimate_cycles(const ir::Module& module,
+                       const ir::Function& function,
+                       const device::DeviceModel& device);
+
+/// The memoization profitability test from §3.1.2: estimated cycles at
+/// least 10x the L1 read latency.
+bool memoization_profitable(const ir::Module& module,
+                            const ir::Function& function,
+                            const device::DeviceModel& device);
+
+}  // namespace paraprox::analysis

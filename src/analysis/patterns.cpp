@@ -1,0 +1,285 @@
+#include "analysis/patterns.h"
+
+#include <functional>
+#include <set>
+
+#include "analysis/latency.h"
+#include "analysis/purity.h"
+#include "analysis/scan_match.h"
+#include "ir/visitor.h"
+
+namespace paraprox::analysis {
+
+using namespace ir;
+
+namespace {
+
+/// Does the kernel read or write device memory through an index that
+/// depends (directly, or through intermediate variables) on loaded data?
+/// That is the scatter/gather signature: "memory accesses are random"
+/// (§2).  A simple flow-insensitive taint analysis: variables assigned
+/// from expressions containing loads (or other tainted variables) are
+/// tainted; any Load/Store/atomic index reading a taint is data
+/// dependent.
+bool
+has_data_dependent_access(const Function& kernel)
+{
+    std::set<std::string> tainted;
+
+    std::function<bool(const Expr&)> is_tainted = [&](const Expr& e) {
+        if (e.kind() == ExprKind::Load)
+            return true;
+        if (const auto* ref = expr_as<VarRef>(e))
+            return tainted.count(ref->name) > 0;
+        bool inner = false;
+        switch (e.kind()) {
+          case ExprKind::Unary:
+            inner = is_tainted(*static_cast<const Unary&>(e).operand);
+            break;
+          case ExprKind::Binary: {
+            const auto& binary = static_cast<const Binary&>(e);
+            inner = is_tainted(*binary.lhs) || is_tainted(*binary.rhs);
+            break;
+          }
+          case ExprKind::Call:
+            for (const auto& arg : static_cast<const Call&>(e).args)
+                inner = inner || is_tainted(*arg);
+            break;
+          case ExprKind::Cast:
+            inner = is_tainted(*static_cast<const Cast&>(e).operand);
+            break;
+          case ExprKind::Select: {
+            const auto& sel = static_cast<const Select&>(e);
+            inner = is_tainted(*sel.cond) || is_tainted(*sel.if_true) ||
+                    is_tainted(*sel.if_false);
+            break;
+          }
+          default:
+            break;
+        }
+        return inner;
+    };
+
+    // Propagate to a fixpoint (loop-carried taint needs repeat passes).
+    for (int pass = 0; pass < 4; ++pass) {
+        const std::size_t before = tainted.size();
+        for_each_stmt(kernel, [&](const Stmt& stmt) {
+            if (const auto* decl = stmt_as<Decl>(stmt)) {
+                if (decl->init && is_tainted(*decl->init))
+                    tainted.insert(decl->name);
+            } else if (const auto* assign = stmt_as<Assign>(stmt)) {
+                if (is_tainted(*assign->value))
+                    tainted.insert(assign->name);
+            }
+        });
+        if (tainted.size() == before)
+            break;
+    }
+
+    bool found = false;
+    for_each_expr(kernel, [&](const Expr& expr) {
+        if (found)
+            return;
+        if (const auto* load = expr_as<Load>(expr)) {
+            if (is_tainted(*load->index))
+                found = true;
+        } else if (const auto* call = expr_as<Call>(expr)) {
+            if (is_atomic_builtin(call->builtin) &&
+                is_tainted(*call->args[1])) {
+                found = true;
+            }
+        }
+    });
+    for_each_stmt(kernel, [&](const Stmt& stmt) {
+        if (found)
+            return;
+        if (const auto* store = stmt_as<Store>(stmt)) {
+            if (is_tainted(*store->index))
+                found = true;
+        }
+    });
+    return found;
+}
+
+}  // namespace
+
+std::string
+to_string(PatternKind kind)
+{
+    switch (kind) {
+      case PatternKind::Map: return "Map";
+      case PatternKind::ScatterGather: return "Scatter/Gather";
+      case PatternKind::Reduction: return "Reduction";
+      case PatternKind::Scan: return "Scan";
+      case PatternKind::Stencil: return "Stencil";
+      case PatternKind::Partition: return "Partition";
+    }
+    return "<bad-pattern>";
+}
+
+std::vector<PatternKind>
+KernelPatterns::kinds() const
+{
+    std::vector<PatternKind> out;
+    bool map = false, gather = false;
+    for (const auto& candidate : memo_candidates) {
+        if (!candidate.profitable)
+            continue;
+        (candidate.gather ? gather : map) = true;
+    }
+    if (map)
+        out.push_back(PatternKind::Map);
+    if (gather)
+        out.push_back(PatternKind::ScatterGather);
+    bool stencil = false, partition = false;
+    for (const auto& group : stencils) {
+        // Tiles addressed through group/local structure are partitions;
+        // neighbourhoods around the work-item are stencils.
+        const bool by_block =
+            group.block_addressed ||
+            group.base_key.find("get_group_id") != std::string::npos ||
+            group.base_key.find("get_local_id") != std::string::npos;
+        (by_block ? partition : stencil) = true;
+    }
+    if (stencil)
+        out.push_back(PatternKind::Stencil);
+    if (partition)
+        out.push_back(PatternKind::Partition);
+    if (!reductions.empty())
+        out.push_back(PatternKind::Reduction);
+    if (is_scan)
+        out.push_back(PatternKind::Scan);
+    return out;
+}
+
+KernelPatterns
+detect_kernel_patterns(const ir::Module& module, const Function& kernel,
+                       const device::DeviceModel& device)
+{
+    KernelPatterns result;
+    result.kernel = kernel.name;
+
+    // Map / scatter-gather: pure, profitable function calls (§3.1.2).
+    const bool kernel_gathers = has_data_dependent_access(kernel);
+    std::set<const Call*> seen;
+    for_each_expr(kernel, [&](const Expr& expr) {
+        const auto* call = expr_as<Call>(expr);
+        if (!call || call->builtin != Builtin::None || seen.count(call))
+            return;
+        seen.insert(call);
+        const Function* callee = module.find_function(call->callee);
+        if (!callee || !is_pure(module, *callee))
+            return;
+        MemoCandidate candidate;
+        candidate.call = call;
+        candidate.callee = call->callee;
+        candidate.cycles_needed = estimate_cycles(module, *callee, device);
+        candidate.profitable =
+            memoization_profitable(module, *callee, device);
+        candidate.gather = kernel_gathers;
+        result.memo_candidates.push_back(candidate);
+    });
+
+    result.stencils = detect_stencils(kernel);
+
+    // Provenance of tile index variables: block-derived (group/local id)
+    // vs. globally indexed, for the Partition/Stencil split.
+    {
+        std::set<std::string> block_vars;
+        std::set<std::string> global_vars;
+        std::function<void(const Expr&, bool&, bool&)> scan =
+            [&](const Expr& e, bool& block, bool& global) {
+            if (const auto* call = expr_as<Call>(e)) {
+                if (call->builtin == Builtin::GroupId ||
+                    call->builtin == Builtin::LocalId) {
+                    block = true;
+                } else if (call->builtin == Builtin::GlobalId) {
+                    global = true;
+                }
+                for (const auto& arg : call->args)
+                    scan(*arg, block, global);
+                return;
+            }
+            if (const auto* ref = expr_as<VarRef>(e)) {
+                if (block_vars.count(ref->name))
+                    block = true;
+                if (global_vars.count(ref->name))
+                    global = true;
+                return;
+            }
+            switch (e.kind()) {
+              case ExprKind::Unary:
+                scan(*static_cast<const Unary&>(e).operand, block, global);
+                break;
+              case ExprKind::Binary: {
+                const auto& bin = static_cast<const Binary&>(e);
+                scan(*bin.lhs, block, global);
+                scan(*bin.rhs, block, global);
+                break;
+              }
+              case ExprKind::Load:
+                scan(*static_cast<const Load&>(e).index, block, global);
+                break;
+              case ExprKind::Cast:
+                scan(*static_cast<const Cast&>(e).operand, block, global);
+                break;
+              case ExprKind::Select: {
+                const auto& sel = static_cast<const Select&>(e);
+                scan(*sel.cond, block, global);
+                scan(*sel.if_true, block, global);
+                scan(*sel.if_false, block, global);
+                break;
+              }
+              default:
+                break;
+            }
+        };
+        for (int pass = 0; pass < 4; ++pass) {
+            const auto before = block_vars.size() + global_vars.size();
+            for_each_stmt(kernel, [&](const Stmt& stmt) {
+                const Expr* value = nullptr;
+                std::string name;
+                if (const auto* decl = stmt_as<Decl>(stmt)) {
+                    value = decl->init.get();
+                    name = decl->name;
+                } else if (const auto* assign = stmt_as<Assign>(stmt)) {
+                    value = assign->value.get();
+                    name = assign->name;
+                }
+                if (!value)
+                    return;
+                bool block = false, global = false;
+                scan(*value, block, global);
+                if (block)
+                    block_vars.insert(name);
+                if (global)
+                    global_vars.insert(name);
+            });
+            if (block_vars.size() + global_vars.size() == before)
+                break;
+        }
+        for (auto& group : result.stencils) {
+            bool block = false, global = false;
+            for (const auto& var : group.base_vars) {
+                block = block || block_vars.count(var) > 0;
+                global = global || global_vars.count(var) > 0;
+            }
+            group.block_addressed = block && !global;
+        }
+    }
+
+    result.reductions = detect_reductions(kernel);
+    result.is_scan = is_scan_kernel(kernel);
+    return result;
+}
+
+std::vector<KernelPatterns>
+detect_patterns(const ir::Module& module, const device::DeviceModel& device)
+{
+    std::vector<KernelPatterns> out;
+    for (const Function* kernel : module.kernels())
+        out.push_back(detect_kernel_patterns(module, *kernel, device));
+    return out;
+}
+
+}  // namespace paraprox::analysis

@@ -1,0 +1,62 @@
+/// @file
+/// The pattern-detection driver (paper §2, Fig. 10's "Pattern Detection"
+/// stage): runs every detector over every kernel of a module and reports
+/// which of the six data-parallel patterns each kernel exhibits.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/reduction.h"
+#include "analysis/stencil.h"
+#include "device/device_model.h"
+#include "ir/function.h"
+
+namespace paraprox::analysis {
+
+/// The six patterns of Fig. 1.
+enum class PatternKind {
+    Map,
+    ScatterGather,
+    Reduction,
+    Scan,
+    Stencil,
+    Partition,
+};
+
+std::string to_string(PatternKind kind);
+
+/// A pure, compute-heavy function call eligible for approximate
+/// memoization (§3.1).
+struct MemoCandidate {
+    const ir::Call* call = nullptr;  ///< Call site inside the kernel.
+    std::string callee;
+    double cycles_needed = 0.0;      ///< Eq. 1 estimate.
+    bool profitable = false;         ///< cycles >= 10x L1 latency.
+    bool gather = false;             ///< Fed by data-dependent loads.
+};
+
+/// Everything detected in one kernel.
+struct KernelPatterns {
+    std::string kernel;
+    std::vector<MemoCandidate> memo_candidates;
+    std::vector<StencilGroup> stencils;
+    std::vector<ReductionLoop> reductions;
+    bool is_scan = false;
+
+    /// The pattern labels this kernel earns (Table 1 style).
+    std::vector<PatternKind> kinds() const;
+};
+
+/// Run all detectors over every kernel in @p module.  @p device supplies
+/// the latency table for Eq. 1 profitability.
+std::vector<KernelPatterns> detect_patterns(
+    const ir::Module& module, const device::DeviceModel& device);
+
+/// Detect patterns in a single kernel.
+KernelPatterns detect_kernel_patterns(const ir::Module& module,
+                                      const ir::Function& kernel,
+                                      const device::DeviceModel& device);
+
+}  // namespace paraprox::analysis

@@ -1,0 +1,93 @@
+#include "analysis/purity.h"
+
+#include "ir/visitor.h"
+
+namespace paraprox::analysis {
+
+using namespace ir;
+
+PurityReport
+check_purity(const ir::Module& module, const Function& function)
+{
+    PurityReport report;
+
+    // Pointer parameters mean the function touches device memory.
+    for (const auto& param : function.params) {
+        if (param.type.is_pointer) {
+            report.pure = false;
+            report.reason = "takes pointer parameter `" + param.name + "`";
+            return report;
+        }
+    }
+
+    for_each_stmt(function, [&](const Stmt& stmt) {
+        if (!report.pure)
+            return;
+        if (stmt.kind() == StmtKind::Store) {
+            report.pure = false;
+            report.reason = "writes device memory";
+        } else if (stmt.kind() == StmtKind::Barrier) {
+            report.pure = false;
+            report.reason = "synchronizes with other work-items";
+        }
+    });
+    if (!report.pure)
+        return report;
+
+    for_each_expr(function, [&](const Expr& expr) {
+        if (!report.pure)
+            return;
+        switch (expr.kind()) {
+          case ExprKind::Load:
+            report.pure = false;
+            report.reason = "reads device memory";
+            break;
+          case ExprKind::Call: {
+            const auto& call = static_cast<const Call&>(expr);
+            if (call.builtin == Builtin::None) {
+                const Function* callee = module.find_function(call.callee);
+                if (!callee) {
+                    report.pure = false;
+                    report.reason = "calls unknown function `" +
+                                    call.callee + "`";
+                } else {
+                    PurityReport callee_report =
+                        check_purity(module, *callee);
+                    if (!callee_report.pure) {
+                        report.pure = false;
+                        report.reason = "calls impure function `" +
+                                        call.callee + "` (" +
+                                        callee_report.reason + ")";
+                    }
+                }
+            } else {
+                const BuiltinInfo& info = builtin_info(call.builtin);
+                if (info.is_atomic) {
+                    report.pure = false;
+                    report.reason = std::string("uses atomic `") +
+                                    info.name + "`";
+                } else if (info.thread_dependent) {
+                    report.pure = false;
+                    report.reason = std::string("depends on work-item id (`") +
+                                    info.name + "`)";
+                } else if (call.builtin == Builtin::Barrier) {
+                    report.pure = false;
+                    report.reason = "synchronizes with other work-items";
+                }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    });
+    return report;
+}
+
+bool
+is_pure(const ir::Module& module, const Function& function)
+{
+    return check_purity(module, function).pure;
+}
+
+}  // namespace paraprox::analysis

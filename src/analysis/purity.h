@@ -1,0 +1,35 @@
+/// @file
+/// Purity analysis (paper §3.1.2).
+///
+/// A function is a memoization candidate when it is pure AND does not
+/// touch global memory or depend on the work-item identity:
+///   - no reads/writes of __global/__shared/__constant buffers,
+///   - no atomic operations,
+///   - no thread/block-id builtins,
+///   - no calls to impure functions,
+///   - (ParaCL has no I/O or mutable globals, so those rules hold by
+///     construction).
+
+#pragma once
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace paraprox::analysis {
+
+/// Why a function failed the purity check (empty when pure).
+struct PurityReport {
+    bool pure = true;
+    std::string reason;
+};
+
+/// Analyze one function; callees are analyzed recursively through
+/// @p module.
+PurityReport check_purity(const ir::Module& module,
+                          const ir::Function& function);
+
+/// Convenience: true when check_purity(...).pure.
+bool is_pure(const ir::Module& module, const ir::Function& function);
+
+}  // namespace paraprox::analysis

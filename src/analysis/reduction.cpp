@@ -1,0 +1,266 @@
+#include "analysis/reduction.h"
+
+#include <functional>
+#include <optional>
+
+#include "ir/visitor.h"
+
+namespace paraprox::analysis {
+
+using namespace ir;
+
+namespace {
+
+/// Does @p expr read variable @p name anywhere?
+bool
+reads_var(const Expr& expr, const std::string& name)
+{
+    bool found = false;
+    std::function<void(const Expr&)> visit = [&](const Expr& e) {
+        if (found)
+            return;
+        if (const auto* ref = expr_as<VarRef>(e)) {
+            found = ref->name == name;
+            return;
+        }
+        switch (e.kind()) {
+          case ExprKind::Unary:
+            visit(*static_cast<const Unary&>(e).operand);
+            break;
+          case ExprKind::Binary:
+            visit(*static_cast<const Binary&>(e).lhs);
+            visit(*static_cast<const Binary&>(e).rhs);
+            break;
+          case ExprKind::Call:
+            for (const auto& arg : static_cast<const Call&>(e).args)
+                visit(*arg);
+            break;
+          case ExprKind::Load:
+            visit(*static_cast<const Load&>(e).index);
+            break;
+          case ExprKind::Cast:
+            visit(*static_cast<const Cast&>(e).operand);
+            break;
+          case ExprKind::Select: {
+            const auto& sel = static_cast<const Select&>(e);
+            visit(*sel.cond);
+            visit(*sel.if_true);
+            visit(*sel.if_false);
+            break;
+          }
+          default:
+            break;
+        }
+    };
+    visit(expr);
+    return found;
+}
+
+/// If @p assign is accumulative (`a = a op b` with a not in b), return the
+/// operation.
+std::optional<ReductionOp>
+accumulative_op(const Assign& assign)
+{
+    const std::string& var = assign.name;
+    if (const auto* binary = expr_as<Binary>(*assign.value)) {
+        ReductionOp op;
+        switch (binary->op) {
+          case BinaryOp::Add: op = ReductionOp::Add; break;
+          case BinaryOp::Mul: op = ReductionOp::Mul; break;
+          default: return std::nullopt;
+        }
+        const auto* lhs_ref = expr_as<VarRef>(*binary->lhs);
+        const auto* rhs_ref = expr_as<VarRef>(*binary->rhs);
+        if (lhs_ref && lhs_ref->name == var &&
+            !reads_var(*binary->rhs, var)) {
+            return op;
+        }
+        if (rhs_ref && rhs_ref->name == var &&
+            !reads_var(*binary->lhs, var)) {
+            return op;
+        }
+        return std::nullopt;
+    }
+    if (const auto* call = expr_as<Call>(*assign.value)) {
+        ReductionOp op;
+        if (call->builtin == Builtin::Fmin || call->builtin == Builtin::IMin)
+            op = ReductionOp::Min;
+        else if (call->builtin == Builtin::Fmax ||
+                 call->builtin == Builtin::IMax)
+            op = ReductionOp::Max;
+        else
+            return std::nullopt;
+        const auto* a0 = expr_as<VarRef>(*call->args[0]);
+        const auto* a1 = expr_as<VarRef>(*call->args[1]);
+        if (a0 && a0->name == var && !reads_var(*call->args[1], var))
+            return op;
+        if (a1 && a1->name == var && !reads_var(*call->args[0], var))
+            return op;
+    }
+    return std::nullopt;
+}
+
+/// Count reads/writes of @p var in a statement subtree, excluding a given
+/// accumulative assignment.
+void
+count_other_uses(const Stmt& stmt, const std::string& var,
+                 const Assign* skip, int& uses)
+{
+    if (const auto* assign = stmt_as<Assign>(stmt)) {
+        if (assign == skip)
+            return;
+        if (assign->name == var) {
+            ++uses;
+            return;
+        }
+        if (reads_var(*assign->value, var))
+            ++uses;
+        return;
+    }
+    switch (stmt.kind()) {
+      case StmtKind::Block:
+        for (const auto& child : static_cast<const Block&>(stmt).stmts)
+            count_other_uses(*child, var, skip, uses);
+        break;
+      case StmtKind::Decl: {
+        const auto& decl = static_cast<const Decl&>(stmt);
+        if (decl.init && reads_var(*decl.init, var))
+            ++uses;
+        break;
+      }
+      case StmtKind::Store: {
+        const auto& store = static_cast<const Store&>(stmt);
+        if (reads_var(*store.index, var) || reads_var(*store.value, var))
+            ++uses;
+        break;
+      }
+      case StmtKind::If: {
+        const auto& branch = static_cast<const If&>(stmt);
+        if (reads_var(*branch.cond, var))
+            ++uses;
+        count_other_uses(*branch.then_body, var, skip, uses);
+        if (branch.else_body)
+            count_other_uses(*branch.else_body, var, skip, uses);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& loop = static_cast<const For&>(stmt);
+        if (loop.init)
+            count_other_uses(*loop.init, var, skip, uses);
+        if (reads_var(*loop.cond, var))
+            ++uses;
+        if (loop.step)
+            count_other_uses(*loop.step, var, skip, uses);
+        count_other_uses(*loop.body, var, skip, uses);
+        break;
+      }
+      case StmtKind::Return: {
+        const auto& ret = static_cast<const Return&>(stmt);
+        if (ret.value && reads_var(*ret.value, var))
+            ++uses;
+        break;
+      }
+      case StmtKind::ExprStmt:
+        if (reads_var(*static_cast<const ExprStmt&>(stmt).expr, var))
+            ++uses;
+        break;
+      case StmtKind::Barrier:
+        break;
+    }
+}
+
+/// Does the loop body contain a reduction-capable atomic?
+bool
+contains_reduction_atomic(const Block& body)
+{
+    bool found = false;
+    for_each_expr(body, [&](const Expr& expr) {
+        if (const auto* call = expr_as<Call>(expr)) {
+            if (is_atomic_builtin(call->builtin))
+                found = true;
+        }
+    });
+    return found;
+}
+
+void
+scan_loops(const Stmt& stmt, std::vector<ReductionLoop>& out)
+{
+    switch (stmt.kind()) {
+      case StmtKind::Block:
+        for (const auto& child : static_cast<const Block&>(stmt).stmts)
+            scan_loops(*child, out);
+        break;
+      case StmtKind::If: {
+        const auto& branch = static_cast<const If&>(stmt);
+        scan_loops(*branch.then_body, out);
+        if (branch.else_body)
+            scan_loops(*branch.else_body, out);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& loop = static_cast<const For&>(stmt);
+
+        // Accumulative assignments directly in the loop body.
+        for (const auto& child : loop.body->stmts) {
+            const auto* assign = stmt_as<Assign>(*child);
+            if (!assign)
+                continue;
+            auto op = accumulative_op(*assign);
+            if (!op)
+                continue;
+            int other_uses = 0;
+            count_other_uses(*loop.body, assign->name, assign, other_uses);
+            // Also the loop condition/step must not touch it.
+            if (reads_var(*loop.cond, assign->name))
+                ++other_uses;
+            if (other_uses == 0) {
+                ReductionLoop found;
+                found.loop = &loop;
+                found.variable = assign->name;
+                found.op = *op;
+                found.adjustable = *op == ReductionOp::Add;
+                out.push_back(found);
+            }
+        }
+
+        if (contains_reduction_atomic(*loop.body)) {
+            ReductionLoop found;
+            found.loop = &loop;
+            found.op = ReductionOp::Atomic;
+            found.adjustable = false;
+            out.push_back(found);
+        }
+
+        scan_loops(*loop.body, out);
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+}  // namespace
+
+std::string
+to_string(ReductionOp op)
+{
+    switch (op) {
+      case ReductionOp::Add: return "add";
+      case ReductionOp::Mul: return "mul";
+      case ReductionOp::Min: return "min";
+      case ReductionOp::Max: return "max";
+      case ReductionOp::Atomic: return "atomic";
+    }
+    return "<bad-op>";
+}
+
+std::vector<ReductionLoop>
+detect_reductions(const Function& kernel)
+{
+    std::vector<ReductionLoop> out;
+    scan_loops(*kernel.body, out);
+    return out;
+}
+
+}  // namespace paraprox::analysis

@@ -1,0 +1,43 @@
+/// @file
+/// Reduction-loop detection (paper §3.3.2).
+///
+/// A reduction loop (a) contains an accumulative statement
+/// `a = a op b` — op in {+, *, min, max} — and (b) never otherwise reads
+/// or writes the reduction variable inside the loop.  Loops containing
+/// reduction-capable atomics (atomic_add/min/max/inc/and/or/xor) are also
+/// marked as reduction loops.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace paraprox::analysis {
+
+/// The combining operation of a detected reduction.
+enum class ReductionOp {
+    Add,
+    Mul,
+    Min,
+    Max,
+    Atomic,  ///< Loop reduced through atomic builtins.
+};
+
+std::string to_string(ReductionOp op);
+
+/// One detected reduction loop.
+struct ReductionLoop {
+    const ir::For* loop = nullptr;
+    std::string variable;       ///< Reduction variable (empty for Atomic).
+    ReductionOp op = ReductionOp::Add;
+    /// True when the sampling transform can re-scale the result
+    /// (op == Add, including atomic adds; paper §3.3.3).
+    bool adjustable = false;
+};
+
+/// Find every reduction loop in @p kernel.
+std::vector<ReductionLoop> detect_reductions(const ir::Function& kernel);
+
+}  // namespace paraprox::analysis

@@ -1,0 +1,176 @@
+#include "analysis/scan_match.h"
+
+#include <mutex>
+
+#include "parser/parser.h"
+
+namespace paraprox::analysis {
+
+using namespace ir;
+
+namespace {
+
+void signature_stmt(const Stmt& stmt, std::vector<int>& out);
+
+void
+signature_expr(const Expr& expr, std::vector<int>& out)
+{
+    switch (expr.kind()) {
+      case ExprKind::Unary: {
+        const auto& unary = static_cast<const Unary&>(expr);
+        signature_expr(*unary.operand, out);
+        out.push_back(150 + static_cast<int>(unary.op));
+        return;
+      }
+      case ExprKind::Binary: {
+        const auto& binary = static_cast<const Binary&>(expr);
+        signature_expr(*binary.lhs, out);
+        signature_expr(*binary.rhs, out);
+        out.push_back(200 + static_cast<int>(binary.op));
+        return;
+      }
+      case ExprKind::Call: {
+        const auto& call = static_cast<const Call&>(expr);
+        for (const auto& arg : call.args)
+            signature_expr(*arg, out);
+        out.push_back(call.builtin == Builtin::None
+                          ? 399
+                          : 300 + static_cast<int>(call.builtin));
+        return;
+      }
+      case ExprKind::Load:
+        signature_expr(*static_cast<const Load&>(expr).index, out);
+        out.push_back(50);
+        return;
+      case ExprKind::Cast:
+        signature_expr(*static_cast<const Cast&>(expr).operand, out);
+        out.push_back(51);
+        return;
+      case ExprKind::Select: {
+        const auto& select = static_cast<const Select&>(expr);
+        signature_expr(*select.cond, out);
+        signature_expr(*select.if_true, out);
+        signature_expr(*select.if_false, out);
+        out.push_back(52);
+        return;
+      }
+      default:
+        // Literals and variable references collapse to one leaf code:
+        // template matching must ignore names and constants.
+        out.push_back(static_cast<int>(expr.kind()));
+        return;
+    }
+}
+
+void
+signature_stmt(const Stmt& stmt, std::vector<int>& out)
+{
+    switch (stmt.kind()) {
+      case StmtKind::Block:
+        for (const auto& child : static_cast<const Block&>(stmt).stmts)
+            signature_stmt(*child, out);
+        break;
+      case StmtKind::Decl: {
+        const auto& decl = static_cast<const Decl&>(stmt);
+        if (decl.init)
+            signature_expr(*decl.init, out);
+        break;
+      }
+      case StmtKind::Assign:
+        signature_expr(*static_cast<const Assign&>(stmt).value, out);
+        break;
+      case StmtKind::Store: {
+        const auto& store = static_cast<const Store&>(stmt);
+        signature_expr(*store.index, out);
+        signature_expr(*store.value, out);
+        break;
+      }
+      case StmtKind::If: {
+        const auto& branch = static_cast<const If&>(stmt);
+        signature_expr(*branch.cond, out);
+        signature_stmt(*branch.then_body, out);
+        if (branch.else_body)
+            signature_stmt(*branch.else_body, out);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& loop = static_cast<const For&>(stmt);
+        if (loop.init)
+            signature_stmt(*loop.init, out);
+        signature_expr(*loop.cond, out);
+        if (loop.step)
+            signature_stmt(*loop.step, out);
+        signature_stmt(*loop.body, out);
+        break;
+      }
+      case StmtKind::Return: {
+        const auto& ret = static_cast<const Return&>(stmt);
+        if (ret.value)
+            signature_expr(*ret.value, out);
+        break;
+      }
+      case StmtKind::ExprStmt:
+        signature_expr(*static_cast<const ExprStmt&>(stmt).expr, out);
+        break;
+      case StmtKind::Barrier:
+        break;
+    }
+    out.push_back(100 + static_cast<int>(stmt.kind()));
+}
+
+}  // namespace
+
+std::vector<int>
+ast_signature(const Function& function)
+{
+    std::vector<int> out;
+    signature_stmt(*function.body, out);
+    return out;
+}
+
+const std::string&
+scan_template_source()
+{
+    // The canonical three-phase data-parallel scan's phase I: each
+    // work-group Hillis-Steele-scans one subarray in __shared memory and
+    // exports the subarray total (Fig. 9 of the paper).
+    static const std::string source = R"(
+__kernel void scan_phase1_template(__global float* in, __global float* out,
+                                   __global float* sums,
+                                   __shared float* tile) {
+    int l = get_local_id(0);
+    int g = get_global_id(0);
+    int n = get_local_size(0);
+    tile[l] = in[g];
+    barrier();
+    for (int off = 1; off < n; off = off * 2) {
+        float v = 0.0f;
+        if (l >= off) { v = tile[l - off]; }
+        barrier();
+        tile[l] = tile[l] + v;
+        barrier();
+    }
+    out[g] = tile[l];
+    if (l == n - 1) { sums[get_group_id(0)] = tile[l]; }
+}
+)";
+    return source;
+}
+
+bool
+is_scan_kernel(const Function& kernel)
+{
+    if (kernel.pragmas.count("scan"))
+        return true;
+
+    static std::vector<int> template_signature;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        auto module = parser::parse_module(scan_template_source());
+        template_signature =
+            ast_signature(*module.find_function("scan_phase1_template"));
+    });
+    return ast_signature(kernel) == template_signature;
+}
+
+}  // namespace paraprox::analysis

@@ -1,0 +1,34 @@
+/// @file
+/// Scan-pattern detection (paper §3.4.2).
+///
+/// Detecting a scan from arbitrary code is hard; the paper offers two
+/// routes and we implement both:
+///   1. the programmer marks the kernel with `#pragma paraprox scan`;
+///   2. template matching — a recursive post-order traversal of the
+///      kernel's AST is compared against the canonical data-parallel scan
+///      phase-I template (Hillis-Steele over a __shared tile with
+///      barriers).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace paraprox::analysis {
+
+/// Structural signature: post-order sequence of node kind codes.  Names
+/// and literal values are ignored; builtins and operators are
+/// distinguished.
+std::vector<int> ast_signature(const ir::Function& function);
+
+/// ParaCL source of the canonical scan phase-I kernel used as the match
+/// template.
+const std::string& scan_template_source();
+
+/// True when @p kernel is a scan: pragma-marked, or structurally equal to
+/// the template.
+bool is_scan_kernel(const ir::Function& kernel);
+
+}  // namespace paraprox::analysis

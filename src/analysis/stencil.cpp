@@ -1,0 +1,509 @@
+#include <functional>
+#include "analysis/stencil.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "ir/printer.h"
+#include "ir/visitor.h"
+
+namespace paraprox::analysis {
+
+using namespace ir;
+
+std::vector<int>
+LoopRange::values() const
+{
+    std::vector<int> out;
+    for (int v = lo; v < hi_exclusive; v += step)
+        out.push_back(v);
+    return out;
+}
+
+std::optional<LoopRange>
+constant_loop_range(const For& loop)
+{
+    const Decl* init = loop.init ? stmt_as<Decl>(*loop.init) : nullptr;
+    if (!init || !init->init)
+        return std::nullopt;
+    int lo = 0;
+    if (!const_int_value(*init->init, lo))
+        return std::nullopt;
+    const auto* cond = expr_as<Binary>(*loop.cond);
+    if (!cond || (cond->op != BinaryOp::Lt && cond->op != BinaryOp::Le))
+        return std::nullopt;
+    const auto* cond_var = expr_as<VarRef>(*cond->lhs);
+    int hi = 0;
+    if (!cond_var || cond_var->name != init->name ||
+        !const_int_value(*cond->rhs, hi)) {
+        return std::nullopt;
+    }
+    const Assign* step = loop.step ? stmt_as<Assign>(*loop.step) : nullptr;
+    if (!step || step->name != init->name)
+        return std::nullopt;
+    const auto* add = expr_as<Binary>(*step->value);
+    if (!add || add->op != BinaryOp::Add)
+        return std::nullopt;
+    const auto* step_var = expr_as<VarRef>(*add->lhs);
+    int step_value = 0;
+    if (!step_var || step_var->name != init->name ||
+        !const_int_value(*add->rhs, step_value) || step_value <= 0) {
+        return std::nullopt;
+    }
+    const int hi_excl = cond->op == BinaryOp::Le ? hi + 1 : hi;
+    if (hi_excl <= lo)
+        return std::nullopt;
+    return LoopRange{init->name, lo, hi_excl, step_value};
+}
+
+namespace {
+
+/// One additive term with sign.
+struct Term {
+    const Expr* expr;
+    int sign;
+};
+
+void
+flatten(const Expr& expr, int sign, std::vector<Term>& terms)
+{
+    if (const auto* binary = expr_as<Binary>(expr)) {
+        if (binary->op == BinaryOp::Add) {
+            flatten(*binary->lhs, sign, terms);
+            flatten(*binary->rhs, sign, terms);
+            return;
+        }
+        if (binary->op == BinaryOp::Sub) {
+            flatten(*binary->lhs, sign, terms);
+            flatten(*binary->rhs, -sign, terms);
+            return;
+        }
+    }
+    if (const auto* unary = expr_as<Unary>(expr)) {
+        if (unary->op == UnaryOp::Neg) {
+            flatten(*unary->operand, -sign, terms);
+            return;
+        }
+    }
+    if (const auto* cast = expr_as<Cast>(expr)) {
+        if (cast->type().is_int() && cast->operand->type().is_int()) {
+            flatten(*cast->operand, sign, terms);
+            return;
+        }
+    }
+    terms.push_back({&expr, sign});
+}
+
+/// The decomposition of one index expression.
+struct AccessForm {
+    std::string key;
+    bool two_dimensional = false;
+    int dy = 0;
+    int dx = 0;
+    std::shared_ptr<const Expr> width;  ///< Row-stride factor (2D only).
+};
+
+/// Split a Mul term into (row base key, row constant offset, width key);
+/// returns false if neither factor is additive-with-constant material.
+bool
+split_mul(const Binary& mul, std::string& ybase_key, int& dy,
+          std::string& width_key, std::shared_ptr<const Expr>& width_expr)
+{
+    auto try_factor = [&](const Expr& row, const Expr& width) {
+        width_expr = std::shared_ptr<const Expr>(width.clone().release());
+        std::vector<Term> row_terms;
+        flatten(row, 1, row_terms);
+        int offset = 0;
+        std::vector<std::string> base;
+        for (const Term& term : row_terms) {
+            int lit_value = 0;
+            if (const_int_value(*term.expr, lit_value)) {
+                offset += term.sign * lit_value;
+            } else {
+                base.push_back((term.sign < 0 ? "-" : "+") +
+                               to_source(*term.expr));
+            }
+        }
+        std::sort(base.begin(), base.end());
+        ybase_key.clear();
+        for (const auto& piece : base)
+            ybase_key += piece;
+        dy = offset;
+        width_key = to_source(width);
+        return true;
+    };
+    // Prefer the factor that actually carries a constant offset; fall back
+    // to the left factor.
+    std::vector<Term> left_terms, right_terms;
+    flatten(*mul.lhs, 1, left_terms);
+    flatten(*mul.rhs, 1, right_terms);
+    const auto has_const = [](const std::vector<Term>& terms) {
+        int ignored = 0;
+        for (const Term& term : terms)
+            if (const_int_value(*term.expr, ignored))
+                return true;
+        return false;
+    };
+    if (!has_const(left_terms) && has_const(right_terms))
+        return try_factor(*mul.rhs, *mul.lhs);
+    return try_factor(*mul.lhs, *mul.rhs);
+}
+
+AccessForm
+analyze_index(const Expr& index)
+{
+    AccessForm form;
+    std::vector<Term> terms;
+    flatten(index, 1, terms);
+
+    const Binary* row_term = nullptr;
+    int row_sign = 1;
+    std::vector<std::string> base;
+    for (const Term& term : terms) {
+        int lit_value = 0;
+        if (const_int_value(*term.expr, lit_value)) {
+            form.dx += term.sign * lit_value;
+            continue;
+        }
+        const auto* binary = expr_as<Binary>(*term.expr);
+        if (binary && binary->op == BinaryOp::Mul && !row_term &&
+            term.sign > 0) {
+            row_term = binary;
+            row_sign = term.sign;
+            continue;
+        }
+        base.push_back((term.sign < 0 ? "-" : "+") + to_source(*term.expr));
+    }
+
+    if (row_term) {
+        std::string ybase_key, width_key;
+        if (split_mul(*row_term, ybase_key, form.dy, width_key,
+                      form.width)) {
+            form.dy *= row_sign;
+            form.two_dimensional = true;
+            std::sort(base.begin(), base.end());
+            form.key = "(" + ybase_key + ")*(" + width_key + ")";
+            for (const auto& piece : base)
+                form.key += piece;
+            return form;
+        }
+    }
+
+    std::sort(base.begin(), base.end());
+    for (const auto& piece : base)
+        form.key += piece;
+    return form;
+}
+
+/// Recursively collect loads with their enclosing constant loops.
+class LoadCollector {
+  public:
+    struct Site {
+        const Load* load;
+        std::vector<LoopRange> loops;  ///< Constant loops in scope.
+    };
+
+    std::vector<Site> sites;
+
+    void
+    collect(const Stmt& stmt)
+    {
+        switch (stmt.kind()) {
+          case StmtKind::Block:
+            for (const auto& child : static_cast<const Block&>(stmt).stmts)
+                collect(*child);
+            break;
+          case StmtKind::Decl: {
+            const auto& decl = static_cast<const Decl&>(stmt);
+            if (decl.init)
+                collect_expr(*decl.init);
+            break;
+          }
+          case StmtKind::Assign:
+            collect_expr(*static_cast<const Assign&>(stmt).value);
+            break;
+          case StmtKind::Store: {
+            const auto& store = static_cast<const Store&>(stmt);
+            collect_expr(*store.index);
+            collect_expr(*store.value);
+            break;
+          }
+          case StmtKind::If: {
+            const auto& branch = static_cast<const If&>(stmt);
+            collect_expr(*branch.cond);
+            collect(*branch.then_body);
+            if (branch.else_body)
+                collect(*branch.else_body);
+            break;
+          }
+          case StmtKind::For: {
+            const auto& loop = static_cast<const For&>(stmt);
+            auto range = constant_loop_range(loop);
+            if (range && range->values().size() <= 64)
+                loop_stack_.push_back(*range);
+            collect(*loop.body);
+            if (range && range->values().size() <= 64)
+                loop_stack_.pop_back();
+            break;
+          }
+          case StmtKind::Return: {
+            const auto& ret = static_cast<const Return&>(stmt);
+            if (ret.value)
+                collect_expr(*ret.value);
+            break;
+          }
+          case StmtKind::ExprStmt:
+            collect_expr(*static_cast<const ExprStmt&>(stmt).expr);
+            break;
+          case StmtKind::Barrier:
+            break;
+        }
+    }
+
+  private:
+    void
+    collect_expr(const Expr& expr)
+    {
+        for_each_in_expr(expr);
+    }
+
+    void
+    for_each_in_expr(const Expr& expr)
+    {
+        if (const auto* load = expr_as<Load>(expr)) {
+            sites.push_back({load, loop_stack_});
+            for_each_in_expr(*load->index);
+            return;
+        }
+        switch (expr.kind()) {
+          case ExprKind::Unary:
+            for_each_in_expr(*static_cast<const Unary&>(expr).operand);
+            break;
+          case ExprKind::Binary: {
+            const auto& binary = static_cast<const Binary&>(expr);
+            for_each_in_expr(*binary.lhs);
+            for_each_in_expr(*binary.rhs);
+            break;
+          }
+          case ExprKind::Call:
+            for (const auto& arg :
+                 static_cast<const Call&>(expr).args)
+                for_each_in_expr(*arg);
+            break;
+          case ExprKind::Cast:
+            for_each_in_expr(*static_cast<const Cast&>(expr).operand);
+            break;
+          case ExprKind::Select: {
+            const auto& select = static_cast<const Select&>(expr);
+            for_each_in_expr(*select.cond);
+            for_each_in_expr(*select.if_true);
+            for_each_in_expr(*select.if_false);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    std::vector<LoopRange> loop_stack_;
+};
+
+/// Which of the in-scope loop vars actually appear in @p expr?
+std::vector<const LoopRange*>
+referenced_loops(const Expr& expr, const std::vector<LoopRange>& loops)
+{
+    std::vector<const LoopRange*> used;
+    for (const auto& loop : loops) {
+        bool found = false;
+        // Cheap textual check is wrong; walk the expression.
+        std::function<void(const Expr&)> visit = [&](const Expr& e) {
+            if (found)
+                return;
+            if (const auto* ref = expr_as<VarRef>(e)) {
+                if (ref->name == loop.var)
+                    found = true;
+                return;
+            }
+            switch (e.kind()) {
+              case ExprKind::Unary:
+                visit(*static_cast<const Unary&>(e).operand);
+                break;
+              case ExprKind::Binary:
+                visit(*static_cast<const Binary&>(e).lhs);
+                visit(*static_cast<const Binary&>(e).rhs);
+                break;
+              case ExprKind::Call:
+                for (const auto& arg : static_cast<const Call&>(e).args)
+                    visit(*arg);
+                break;
+              case ExprKind::Load:
+                visit(*static_cast<const Load&>(e).index);
+                break;
+              case ExprKind::Cast:
+                visit(*static_cast<const Cast&>(e).operand);
+                break;
+              case ExprKind::Select: {
+                const auto& sel = static_cast<const Select&>(e);
+                visit(*sel.cond);
+                visit(*sel.if_true);
+                visit(*sel.if_false);
+                break;
+              }
+              default:
+                break;
+            }
+        };
+        visit(expr);
+        if (found)
+            used.push_back(&loop);
+    }
+    return used;
+}
+
+/// Substitute loop variables with literals in a cloned expression.
+ExprPtr
+substitute(const Expr& expr, const std::map<std::string, int>& values)
+{
+    ExprPtr copy = expr.clone();
+    // In-place rewrite on a temporary block is overkill; do a recursive
+    // functional rewrite instead.
+    std::function<ExprPtr(const Expr&)> rewrite =
+        [&](const Expr& e) -> ExprPtr {
+        if (const auto* ref = expr_as<VarRef>(e)) {
+            auto it = values.find(ref->name);
+            if (it != values.end())
+                return std::make_unique<IntLit>(it->second);
+            return e.clone();
+        }
+        switch (e.kind()) {
+          case ExprKind::Unary: {
+            const auto& unary = static_cast<const Unary&>(e);
+            return std::make_unique<Unary>(unary.op,
+                                           rewrite(*unary.operand),
+                                           unary.type());
+          }
+          case ExprKind::Binary: {
+            const auto& binary = static_cast<const Binary&>(e);
+            return std::make_unique<Binary>(binary.op,
+                                            rewrite(*binary.lhs),
+                                            rewrite(*binary.rhs),
+                                            binary.type());
+          }
+          case ExprKind::Cast: {
+            const auto& cast = static_cast<const Cast&>(e);
+            return std::make_unique<Cast>(cast.type(),
+                                          rewrite(*cast.operand));
+          }
+          default:
+            return e.clone();
+        }
+    };
+    return rewrite(*copy);
+}
+
+}  // namespace
+
+std::vector<StencilGroup>
+detect_stencils(const Function& kernel)
+{
+    LoadCollector collector;
+    collector.collect(*kernel.body);
+
+    // Group accesses by (array, base key).
+    std::map<std::pair<std::string, std::string>, StencilGroup> groups;
+
+    for (const auto& site : collector.sites) {
+        const auto used = referenced_loops(*site.load->index, site.loops);
+        if (used.size() > 2)
+            continue;  // more than 2D: not a tile shape we model
+
+        // Enumerate induction values (singleton {} when no loops used).
+        std::vector<std::map<std::string, int>> combos{{}};
+        for (const LoopRange* loop : used) {
+            std::vector<std::map<std::string, int>> next;
+            for (const auto& combo : combos) {
+                for (int v : loop->values()) {
+                    auto extended = combo;
+                    extended[loop->var] = v;
+                    next.push_back(std::move(extended));
+                }
+            }
+            combos = std::move(next);
+            if (combos.size() > 128)
+                break;
+        }
+        if (combos.size() > 128)
+            continue;
+
+        for (const auto& combo : combos) {
+            ExprPtr concrete = substitute(*site.load->index, combo);
+            AccessForm form = analyze_index(*concrete);
+            auto key = std::make_pair(site.load->array, form.key);
+            StencilGroup& group = groups[key];
+            if (group.accesses.empty()) {
+                group.array = site.load->array;
+                group.base_key = form.key;
+                group.two_dimensional = form.two_dimensional;
+                group.width = form.width;
+                // Record the index's variable reads for provenance.
+                std::function<void(const Expr&)> vars =
+                    [&](const Expr& e) {
+                    if (const auto* ref = expr_as<VarRef>(e)) {
+                        group.base_vars.insert(ref->name);
+                        return;
+                    }
+                    switch (e.kind()) {
+                      case ExprKind::Unary:
+                        vars(*static_cast<const Unary&>(e).operand);
+                        break;
+                      case ExprKind::Binary: {
+                        const auto& bin = static_cast<const Binary&>(e);
+                        vars(*bin.lhs);
+                        vars(*bin.rhs);
+                        break;
+                      }
+                      case ExprKind::Call:
+                        for (const auto& arg :
+                             static_cast<const Call&>(e).args)
+                            vars(*arg);
+                        break;
+                      case ExprKind::Load:
+                        vars(*static_cast<const Load&>(e).index);
+                        break;
+                      case ExprKind::Cast:
+                        vars(*static_cast<const Cast&>(e).operand);
+                        break;
+                      case ExprKind::Select: {
+                        const auto& sel = static_cast<const Select&>(e);
+                        vars(*sel.cond);
+                        vars(*sel.if_true);
+                        vars(*sel.if_false);
+                        break;
+                      }
+                      default:
+                        break;
+                    }
+                };
+                vars(*site.load->index);
+                group.min_dy = group.max_dy = form.dy;
+                group.min_dx = group.max_dx = form.dx;
+            }
+            group.min_dy = std::min(group.min_dy, form.dy);
+            group.max_dy = std::max(group.max_dy, form.dy);
+            group.min_dx = std::min(group.min_dx, form.dx);
+            group.max_dx = std::max(group.max_dx, form.dx);
+            group.accesses.push_back({site.load, form.dy, form.dx});
+        }
+    }
+
+    std::vector<StencilGroup> result;
+    for (auto& [key, group] : groups) {
+        // A tile needs at least two distinct offsets.
+        if (group.tile_size() >= 2 && group.accesses.size() >= 2)
+            result.push_back(std::move(group));
+    }
+    return result;
+}
+
+}  // namespace paraprox::analysis

@@ -1,0 +1,82 @@
+/// @file
+/// Stencil / partition detection (paper §3.2.2).
+///
+/// Paraprox looks for a constant number of affine loads of the same array
+/// whose indices have the form (f + i) * w + (g + j): f, g, w loop
+/// invariant, i and j hand-coded constants or induction variables of
+/// constant-trip loops.  The dynamic range of i and j gives the tile
+/// shape.
+///
+/// We implement this by flattening each load index into additive terms,
+/// extracting the constant column offset (j), and — when a single
+/// multiplicative term (row * width) is present — the constant row offset
+/// (i) inside it.  Loads indexed through constant-range induction
+/// variables are enumerated at each induction value, so both manually
+/// unrolled stencils (Mean Filter) and loop-shaped stencils (Gaussian)
+/// are detected.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace paraprox::analysis {
+
+/// A loop with compile-time-constant bounds: var iterates
+/// lo, lo+step, ... < hi_exclusive.
+struct LoopRange {
+    std::string var;
+    int lo = 0;
+    int hi_exclusive = 0;
+    int step = 1;
+
+    std::vector<int> values() const;
+    int trips() const { return static_cast<int>(values().size()); }
+};
+
+/// Recognize a canonical constant-trip counted loop
+/// (`for (int v = c0; v < c1; v = v + c2)`, Le also accepted);
+/// nullopt when any bound is not a literal.
+std::optional<LoopRange> constant_loop_range(const ir::For& loop);
+
+/// One affine access within a detected tile.
+struct StencilAccess {
+    const ir::Load* load;  ///< The (possibly loop-enumerated) load site.
+    int dy = 0;            ///< Row offset i.
+    int dx = 0;            ///< Column offset j.
+};
+
+/// A group of affine accesses to one array sharing a base expression —
+/// i.e. a tile.
+struct StencilGroup {
+    std::string array;
+    std::string base_key;     ///< Canonical base-index expression.
+    bool two_dimensional = false;
+    std::vector<StencilAccess> accesses;
+    /// Clone of the row-stride (width) factor for 2D tiles; null for 1D.
+    std::shared_ptr<const ir::Expr> width;
+    /// Variables the tile's index expressions read (for provenance
+    /// classification: partition vs. stencil).
+    std::set<std::string> base_vars;
+    /// Set by the pattern driver when base_vars derive from work-group
+    /// structure (get_group_id/get_local_id) rather than global ids:
+    /// the tile is a Partition (Fig. 1f).
+    bool block_addressed = false;
+    int min_dy = 0, max_dy = 0;
+    int min_dx = 0, max_dx = 0;
+
+    int tile_height() const { return max_dy - min_dy + 1; }
+    int tile_width() const { return max_dx - min_dx + 1; }
+    int tile_size() const { return tile_height() * tile_width(); }
+};
+
+/// Detect every tile read by @p kernel.  Only groups with at least two
+/// distinct offsets qualify (a single access is not a tile).
+std::vector<StencilGroup> detect_stencils(const ir::Function& kernel);
+
+}  // namespace paraprox::analysis

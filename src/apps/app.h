@@ -1,0 +1,68 @@
+/// @file
+/// The benchmark application framework: each of the paper's 13
+/// applications (Table 1) provides its ParaCL source, a seeded workload
+/// generator, its quality metric, and a list of runtime variants — the
+/// exact kernel plus the Paraprox-approximated configurations with their
+/// tuning knobs swept.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/device_model.h"
+#include "ir/function.h"
+#include "runtime/tuner.h"
+
+namespace paraprox::apps {
+
+/// Table 1 row data.
+struct AppInfo {
+    std::string name;
+    std::string domain;
+    std::string input_description;
+    std::string patterns;  ///< e.g. "Map", "Stencil-Reduction".
+    runtime::Metric metric = runtime::Metric::MeanRelativeError;
+};
+
+/// One benchmark application.
+class Application {
+  public:
+    virtual ~Application() = default;
+
+    virtual AppInfo info() const = 0;
+
+    /// The application's ParaCL module (exact kernels + helpers).
+    virtual const ir::Module& module() const = 0;
+
+    /// Variant list for @p device: variants[0] is the exact kernel;
+    /// approximate variants follow in increasing aggressiveness.
+    /// Construction may be expensive (lookup-table search, bit tuning).
+    virtual std::vector<runtime::Variant>
+    variants(const device::DeviceModel& device) const = 0;
+
+    /// Workload scale multiplier (1 = benchmark default).  Tests use
+    /// smaller scales.  Affects inputs generated after the call.
+    virtual void set_scale(double scale) = 0;
+};
+
+// Factories, one per Table 1 row.
+std::unique_ptr<Application> make_blackscholes();
+std::unique_ptr<Application> make_quasirandom();
+std::unique_ptr<Application> make_gamma_correction();
+std::unique_ptr<Application> make_boxmuller();
+std::unique_ptr<Application> make_hotspot();
+std::unique_ptr<Application> make_convolution_separable();
+std::unique_ptr<Application> make_gaussian_filter();
+std::unique_ptr<Application> make_mean_filter();
+std::unique_ptr<Application> make_matrix_multiply();
+std::unique_ptr<Application> make_image_denoising();
+std::unique_ptr<Application> make_naive_bayes();
+std::unique_ptr<Application> make_kernel_density();
+std::unique_ptr<Application> make_cumulative_histogram();
+
+/// All 13, in Table 1 order.
+std::vector<std::unique_ptr<Application>> make_all_applications();
+
+}  // namespace paraprox::apps

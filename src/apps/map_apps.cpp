@@ -1,0 +1,416 @@
+/// @file
+/// The Map and Scatter/Gather applications of Table 1: BlackScholes,
+/// Quasirandom Generator (Moro inverse-CND stage), Gamma Correction, and
+/// BoxMuller.  All four are approximated with lookup-table memoization
+/// (§3.1).
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "apps/app.h"
+#include "apps/common.h"
+#include "parser/parser.h"
+#include "support/error.h"
+
+namespace paraprox::apps {
+
+namespace {
+
+using exec::ArgPack;
+using exec::Buffer;
+using exec::LaunchConfig;
+
+/// Everything a memoization-based app needs to specialize.
+struct MapAppSpec {
+    AppInfo info;
+    std::string source;
+    std::string kernel;
+    std::vector<std::string> callees;
+    int default_n = 1 << 16;
+    int local_size = 64;
+    std::string output_name = "out";
+    /// Create and bind every non-table argument (including the zeroed
+    /// output buffer).
+    std::function<void(std::uint64_t seed, int n, ArgPack&,
+                       std::vector<std::unique_ptr<Buffer>>&)>
+        bind_inputs;
+    /// Training tuples per callee for bit tuning / table search.
+    std::function<std::vector<std::vector<float>>(const std::string&)>
+        training_for;
+};
+
+class MapApp final : public Application {
+  public:
+    explicit MapApp(MapAppSpec spec)
+        : spec_(std::move(spec)),
+          module_(parser::parse_module(spec_.source)) {}
+
+    AppInfo info() const override { return spec_.info; }
+    const ir::Module& module() const override { return module_; }
+    void set_scale(double scale) override { scale_ = scale; }
+
+    std::vector<runtime::Variant>
+    variants(const device::DeviceModel& device) const override
+    {
+        auto members = std::make_shared<std::vector<MemoMember>>(
+            make_memo_members(module_, spec_.kernel, spec_.callees,
+                              spec_.training_for, 90.0));
+        auto exact_program = std::make_shared<vm::Program>(
+            vm::compile_kernel(module_, spec_.kernel));
+        auto dev = std::make_shared<device::DeviceModel>(device);
+
+        const int n = element_count();
+        const auto spec = std::make_shared<MapAppSpec>(spec_);
+
+        std::vector<runtime::Variant> variants;
+        variants.push_back(
+            {"exact", 0, [spec, exact_program, dev, n](std::uint64_t seed) {
+                 ArgPack args;
+                 std::vector<std::unique_ptr<Buffer>> holder;
+                 spec->bind_inputs(seed, n, args, holder);
+                 auto run = run_priced(
+                     *exact_program, args,
+                     LaunchConfig::linear(n, spec->local_size), *dev);
+                 attach_output(run,
+                               *args.find_buffer(spec->output_name));
+                 return run;
+             }});
+
+        for (std::size_t m = 0; m < members->size(); ++m) {
+            const auto& member = (*members)[m];
+            variants.push_back(
+                {member.label, member.aggressiveness,
+                 [spec, members, m, dev, n](std::uint64_t seed) {
+                     const MemoMember& chosen = (*members)[m];
+                     ArgPack args;
+                     std::vector<std::unique_ptr<Buffer>> holder;
+                     spec->bind_inputs(seed, n, args, holder);
+                     bind_tables(chosen, args, holder);
+                     auto run = run_priced(
+                         chosen.program, args,
+                         LaunchConfig::linear(n, spec->local_size), *dev);
+                     attach_output(run,
+                                   *args.find_buffer(spec->output_name));
+                     return run;
+                 }});
+        }
+        return variants;
+    }
+
+  private:
+    int
+    element_count() const
+    {
+        const int raw = static_cast<int>(spec_.default_n * scale_);
+        const int rounded = std::max(spec_.local_size,
+                                     raw - raw % spec_.local_size);
+        return rounded;
+    }
+
+    MapAppSpec spec_;
+    ir::Module module_;
+    double scale_ = 1.0;
+};
+
+// ---- BlackScholes ----------------------------------------------------------
+
+constexpr const char* kBlackScholesSource = R"(
+float cnd(float d) {
+    float k = 1.0f / (1.0f + 0.2316419f * fabsf(d));
+    float poly = k * (0.31938153f + k * (-0.356563782f
+               + k * (1.781477937f + k * (-1.821255978f
+               + k * 1.330274429f))));
+    float c = 1.0f - 0.39894228f * expf(-0.5f * d * d) * poly;
+    if (d < 0.0f) { c = 1.0f - c; }
+    return c;
+}
+
+float black_scholes_body(float s, float x, float t, float r, float v) {
+    float sq = sqrtf(t);
+    float d1 = (logf(s / x) + (r + 0.5f * v * v) * t) / (v * sq);
+    float d2 = d1 - v * sq;
+    return s * cnd(d1) - x * expf(-(r * t)) * cnd(d2);
+}
+
+__kernel void blackscholes(__global float* sp, __global float* xp,
+                           __global float* tp, float r, float v,
+                           __global float* out) {
+    int i = get_global_id(0);
+    out[i] = black_scholes_body(sp[i], xp[i], tp[i], r, v);
+}
+)";
+
+constexpr float kRiskFree = 0.02f;
+constexpr float kVolatility = 0.30f;
+
+void
+bind_blackscholes(std::uint64_t seed, int n, ArgPack& args,
+                  std::vector<std::unique_ptr<Buffer>>& holder)
+{
+    Rng rng(seed ^ 0xb5c0ull);
+    holder.push_back(std::make_unique<Buffer>(
+        Buffer::from_floats(rng.uniform_vector(n, 5.0f, 30.0f))));
+    args.buffer("sp", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(
+        Buffer::from_floats(rng.uniform_vector(n, 1.0f, 100.0f))));
+    args.buffer("xp", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(
+        Buffer::from_floats(rng.uniform_vector(n, 0.25f, 10.0f))));
+    args.buffer("tp", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(Buffer::zeros_f32(n)));
+    args.buffer("out", *holder.back());
+    args.scalar("r", kRiskFree).scalar("v", kVolatility);
+}
+
+std::vector<std::vector<float>>
+blackscholes_training(const std::string&)
+{
+    Rng rng(0xb5c0ull);
+    std::vector<std::vector<float>> samples(256);
+    for (auto& sample : samples) {
+        sample = {rng.uniform(5.0f, 30.0f), rng.uniform(1.0f, 100.0f),
+                  rng.uniform(0.25f, 10.0f), kRiskFree, kVolatility};
+    }
+    return samples;
+}
+
+// ---- Quasirandom Generator (Moro inverse CND stage) -------------------------
+
+constexpr const char* kQuasirandomSource = R"(
+float moro_inv_cnd(float p) {
+    float a1 = 2.50662823884f;
+    float a2 = -18.61500062529f;
+    float a3 = 41.39119773534f;
+    float a4 = -25.44106049637f;
+    float b1 = -8.4735109309f;
+    float b2 = 23.08336743743f;
+    float b3 = -21.06224101826f;
+    float b4 = 3.13082909833f;
+    float c1 = 0.337475482272615f;
+    float c2 = 0.976169019091719f;
+    float c3 = 0.160797971491821f;
+    float c4 = 0.0276438810333863f;
+    float c5 = 0.0038405729373609f;
+    float c6 = 0.0003951896511919f;
+    float c7 = 0.0000321767881768f;
+    float c8 = 0.0000002888167364f;
+    float c9 = 0.0000003960315187f;
+    float y = p - 0.5f;
+    float z;
+    if (fabsf(y) < 0.42f) {
+        z = y * y;
+        z = y * (((a4 * z + a3) * z + a2) * z + a1)
+          / ((((b4 * z + b3) * z + b2) * z + b1) * z + 1.0f);
+    } else {
+        if (y > 0.0f) { z = logf(-logf(1.0f - p)); }
+        else { z = logf(-logf(p)); }
+        float poly = c1 + z * (c2 + z * (c3 + z * (c4 + z * (c5
+                   + z * (c6 + z * (c7 + z * (c8 + z * c9)))))));
+        if (y < 0.0f) { z = -poly; } else { z = poly; }
+    }
+    return z;
+}
+
+__kernel void quasirandom(__global float* u, __global float* out) {
+    int i = get_global_id(0);
+    out[i] = moro_inv_cnd(u[i]);
+}
+)";
+
+void
+bind_quasirandom(std::uint64_t seed, int n, ArgPack& args,
+                 std::vector<std::unique_ptr<Buffer>>& holder)
+{
+    Rng rng(seed ^ 0x9a51ull);
+    holder.push_back(std::make_unique<Buffer>(
+        Buffer::from_floats(rng.uniform_vector(n, 0.001f, 0.999f))));
+    args.buffer("u", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(Buffer::zeros_f32(n)));
+    args.buffer("out", *holder.back());
+}
+
+std::vector<std::vector<float>>
+quasirandom_training(const std::string&)
+{
+    Rng rng(0x9a51ull);
+    std::vector<std::vector<float>> samples(512);
+    for (auto& sample : samples)
+        sample = {rng.uniform(0.001f, 0.999f)};
+    return samples;
+}
+
+// ---- Gamma Correction ----------------------------------------------------------
+
+constexpr const char* kGammaSource = R"(
+float gamma_correct(float x, float g) {
+    float xn = x * 0.0039215686f;
+    float lin;
+    if (xn > 0.04045f) { lin = powf((xn + 0.055f) / 1.055f, 2.4f); }
+    else { lin = xn / 12.92f; }
+    float y = powf(lin, g);
+    float srgb;
+    if (y > 0.0031308f) { srgb = 1.055f * powf(y, 0.4166667f) - 0.055f; }
+    else { srgb = 12.92f * y; }
+    return 255.0f * srgb;
+}
+
+__kernel void gamma_correction(__global float* image, float g,
+                               __global float* out) {
+    int i = get_global_id(0);
+    out[i] = gamma_correct(image[i], g);
+}
+)";
+
+constexpr float kGamma = 2.2f;
+
+void
+bind_gamma(std::uint64_t seed, int n, ArgPack& args,
+           std::vector<std::unique_ptr<Buffer>>& holder)
+{
+    // Square-ish image flattened to n pixels.
+    const int width = 256;
+    const int height = std::max(1, n / width);
+    auto image = make_correlated_image(width, height, seed ^ 0x6a77ull);
+    image.resize(n, 128.0f);
+    holder.push_back(
+        std::make_unique<Buffer>(Buffer::from_floats(image)));
+    args.buffer("image", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(Buffer::zeros_f32(n)));
+    args.buffer("out", *holder.back());
+    args.scalar("g", kGamma);
+}
+
+std::vector<std::vector<float>>
+gamma_training(const std::string&)
+{
+    Rng rng(0x6a77ull);
+    std::vector<std::vector<float>> samples(256);
+    for (auto& sample : samples)
+        sample = {rng.uniform(0.0f, 255.0f), kGamma};
+    return samples;
+}
+
+// ---- BoxMuller --------------------------------------------------------------------
+
+constexpr const char* kBoxMullerSource = R"(
+float bm_normal0(float u1, float u2) {
+    return sqrtf(-2.0f * logf(u1)) * cosf(6.28318530718f * u2);
+}
+
+float bm_normal1(float u1, float u2) {
+    return sqrtf(-2.0f * logf(u1)) * sinf(6.28318530718f * u2);
+}
+
+__kernel void boxmuller(__global int* idx, __global float* u,
+                        __global float* out) {
+    int i = get_global_id(0);
+    int j = idx[i];
+    float u1 = u[2 * j];
+    float u2 = u[2 * j + 1];
+    out[2 * i] = bm_normal0(u1, u2);
+    out[2 * i + 1] = bm_normal1(u1, u2);
+}
+)";
+
+void
+bind_boxmuller(std::uint64_t seed, int n, ArgPack& args,
+               std::vector<std::unique_ptr<Buffer>>& holder)
+{
+    Rng rng(seed ^ 0xb0c4ull);
+    // Gather pattern: each work-item reads a data-dependent pair.  The
+    // permutation is shuffled within 32-element windows, like the
+    // locality-preserving gathers GPU statistics codes use, so the kernel
+    // stays compute-bound on both platforms.
+    std::vector<std::int32_t> indices(n);
+    std::iota(indices.begin(), indices.end(), 0);
+    constexpr int kWindow = 32;
+    for (int base = 0; base + kWindow <= n; base += kWindow) {
+        for (int i = kWindow - 1; i > 0; --i) {
+            const int j = static_cast<int>(rng.next_below(i + 1));
+            std::swap(indices[base + i], indices[base + j]);
+        }
+    }
+    holder.push_back(
+        std::make_unique<Buffer>(Buffer::from_ints(indices)));
+    args.buffer("idx", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(Buffer::from_floats(
+        rng.uniform_vector(2 * n, 0.02f, 0.998f))));
+    args.buffer("u", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(Buffer::zeros_f32(2 * n)));
+    args.buffer("out", *holder.back());
+}
+
+std::vector<std::vector<float>>
+boxmuller_training(const std::string&)
+{
+    Rng rng(0xb0c4ull);
+    std::vector<std::vector<float>> samples(512);
+    for (auto& sample : samples)
+        sample = {rng.uniform(0.02f, 0.998f), rng.uniform(0.02f, 0.998f)};
+    return samples;
+}
+
+}  // namespace
+
+std::unique_ptr<Application>
+make_blackscholes()
+{
+    MapAppSpec spec;
+    spec.info = {"BlackScholes", "Financial", "128K options", "Map",
+                 runtime::Metric::L1Norm};
+    spec.source = kBlackScholesSource;
+    spec.kernel = "blackscholes";
+    spec.callees = {"black_scholes_body"};
+    spec.default_n = 1 << 17;
+    spec.bind_inputs = bind_blackscholes;
+    spec.training_for = blackscholes_training;
+    return std::make_unique<MapApp>(std::move(spec));
+}
+
+std::unique_ptr<Application>
+make_quasirandom()
+{
+    MapAppSpec spec;
+    spec.info = {"Quasirandom Generator", "Statistics", "128K elements",
+                 "Map", runtime::Metric::L1Norm};
+    spec.source = kQuasirandomSource;
+    spec.kernel = "quasirandom";
+    spec.callees = {"moro_inv_cnd"};
+    spec.default_n = 1 << 17;
+    spec.bind_inputs = bind_quasirandom;
+    spec.training_for = quasirandom_training;
+    return std::make_unique<MapApp>(std::move(spec));
+}
+
+std::unique_ptr<Application>
+make_gamma_correction()
+{
+    MapAppSpec spec;
+    spec.info = {"Gamma Correction", "Image Processing", "256x256 image",
+                 "Map", runtime::Metric::MeanRelativeError};
+    spec.source = kGammaSource;
+    spec.kernel = "gamma_correction";
+    spec.callees = {"gamma_correct"};
+    spec.default_n = 256 * 256;
+    spec.bind_inputs = bind_gamma;
+    spec.training_for = gamma_training;
+    return std::make_unique<MapApp>(std::move(spec));
+}
+
+std::unique_ptr<Application>
+make_boxmuller()
+{
+    MapAppSpec spec;
+    spec.info = {"BoxMuller", "Statistics", "64K pairs", "Scatter/Gather",
+                 runtime::Metric::L1Norm};
+    spec.source = kBoxMullerSource;
+    spec.kernel = "boxmuller";
+    spec.callees = {"bm_normal0", "bm_normal1"};
+    spec.default_n = 1 << 16;
+    spec.bind_inputs = bind_boxmuller;
+    spec.training_for = boxmuller_training;
+    return std::make_unique<MapApp>(std::move(spec));
+}
+
+}  // namespace paraprox::apps

@@ -1,0 +1,353 @@
+/// @file
+/// The Reduction applications of Table 1: Matrix Multiply
+/// (Reduction-Partition), Image Denoising (KNN-style weighted average),
+/// Naive Bayes (atomic histogram training), and Kernel Density
+/// Estimation.  All are approximated with §3.3 sampling + adjustment.
+
+#include <cmath>
+#include <memory>
+
+#include "apps/app.h"
+#include "apps/common.h"
+#include "parser/parser.h"
+#include "support/error.h"
+
+namespace paraprox::apps {
+
+namespace {
+
+using exec::ArgPack;
+using exec::Buffer;
+using exec::LaunchConfig;
+
+/// A reduction app with a single kernel: subclasses supply binding and
+/// launch config; variants sweep the skipping rate.
+struct ReductionAppSpec {
+    AppInfo info;
+    std::string source;
+    std::string kernel;
+    int reduction_index = 0;
+    bool adjust = true;
+    std::vector<std::pair<int, int>> skips = {{2, 1}, {4, 2}, {8, 3}};
+    /// Bind inputs for the given scale; returns the launch config.  The
+    /// output buffer must be bound as "out".
+    std::function<LaunchConfig(std::uint64_t seed, double scale, ArgPack&,
+                               std::vector<std::unique_ptr<Buffer>>&)>
+        bind_inputs;
+};
+
+class ReductionApp final : public Application {
+  public:
+    explicit ReductionApp(ReductionAppSpec spec)
+        : spec_(std::move(spec)),
+          module_(parser::parse_module(spec_.source)) {}
+
+    AppInfo info() const override { return spec_.info; }
+    const ir::Module& module() const override { return module_; }
+    void set_scale(double scale) override { scale_ = scale; }
+
+    std::vector<runtime::Variant>
+    variants(const device::DeviceModel& device) const override
+    {
+        auto dev = std::make_shared<device::DeviceModel>(device);
+        auto spec = std::make_shared<ReductionAppSpec>(spec_);
+        const double scale = scale_;
+
+        struct Compiled {
+            vm::Program program;
+            std::string label;
+            int aggressiveness;
+        };
+        auto compiled = std::make_shared<std::vector<Compiled>>();
+        compiled->push_back(
+            {vm::compile_kernel(module_, spec_.kernel), "exact", 0});
+        for (const auto& [skip, agg] : spec_.skips) {
+            auto variant = transforms::reduction_approx(
+                module_, spec_.kernel, spec_.reduction_index, skip,
+                spec_.adjust);
+            compiled->push_back(
+                {vm::compile_kernel(variant.module, variant.kernel_name),
+                 "reduction skip=" + std::to_string(skip), agg});
+        }
+
+        std::vector<runtime::Variant> variants;
+        for (std::size_t c = 0; c < compiled->size(); ++c) {
+            variants.push_back(
+                {(*compiled)[c].label, (*compiled)[c].aggressiveness,
+                 [spec, compiled, c, dev, scale](std::uint64_t seed) {
+                     ArgPack args;
+                     std::vector<std::unique_ptr<Buffer>> holder;
+                     const LaunchConfig config =
+                         spec->bind_inputs(seed, scale, args, holder);
+                     auto run = run_priced((*compiled)[c].program, args,
+                                           config, *dev);
+                     const Buffer* out = args.find_buffer("out");
+                     if (out->elem_type() == ir::Scalar::F32) {
+                         attach_output(run, *out);
+                     } else {
+                         // Integer outputs (Naive Bayes counts) are scored
+                         // as floats.
+                         run.output.clear();
+                         for (std::int32_t v : out->to_ints())
+                             run.output.push_back(
+                                 static_cast<float>(v));
+                     }
+                     return run;
+                 }});
+        }
+        return variants;
+    }
+
+  private:
+    ReductionAppSpec spec_;
+    ir::Module module_;
+    double scale_ = 1.0;
+};
+
+int
+snap_to(int value, int granule, int minimum)
+{
+    return std::max(minimum, value - value % granule);
+}
+
+// ---- Matrix Multiply -----------------------------------------------------------
+
+constexpr const char* kMatMulSource = R"(
+__kernel void matmul(__global float* a, __global float* b,
+                     __global float* out, int n) {
+    int col = get_global_id(0);
+    int row = get_global_id(1);
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++) {
+        acc += a[row * n + k] * b[k * n + col];
+    }
+    out[row * n + col] = acc;
+}
+)";
+
+LaunchConfig
+bind_matmul(std::uint64_t seed, double scale, ArgPack& args,
+            std::vector<std::unique_ptr<Buffer>>& holder)
+{
+    const int n = snap_to(static_cast<int>(96 * scale), 16, 16);
+    Rng rng(seed ^ 0x3a73ull);
+    // Values in [0.5, 1.0]: dot products concentrate, so sampling error
+    // stays well under the TOQ even for small matrices.
+    holder.push_back(std::make_unique<Buffer>(Buffer::from_floats(
+        rng.uniform_vector(static_cast<std::size_t>(n) * n, 0.5f, 1.0f))));
+    args.buffer("a", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(Buffer::from_floats(
+        rng.uniform_vector(static_cast<std::size_t>(n) * n, 0.5f, 1.0f))));
+    args.buffer("b", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(
+        Buffer::zeros_f32(static_cast<std::size_t>(n) * n)));
+    args.buffer("out", *holder.back());
+    args.scalar("n", n);
+    return LaunchConfig::grid2d(n, n, 16, 4);
+}
+
+// ---- Image Denoising (KNN-style) -------------------------------------------------
+
+constexpr const char* kDenoiseSource = R"(
+__kernel void denoise(__global float* in, __global float* out, int w,
+                      float inv_h2) {
+    int x = get_global_id(0) + 3;
+    int y = get_global_id(1) + 3;
+    float center = in[y * w + x];
+    float acc = 0.0f;
+    float wsum = 0.0f;
+    for (int dy = -3; dy < 4; dy++) {
+        for (int dx = -3; dx < 4; dx++) {
+            float pix = in[(y + dy) * w + x + dx];
+            float d = pix - center;
+            float wgt = expf(-(d * d * inv_h2));
+            acc += wgt * pix;
+            wsum += wgt;
+        }
+    }
+    out[y * w + x] = acc / wsum;
+}
+)";
+
+LaunchConfig
+bind_denoise(std::uint64_t seed, double scale, ArgPack& args,
+             std::vector<std::unique_ptr<Buffer>>& holder)
+{
+    const int interior = snap_to(static_cast<int>(112 * scale), 16, 16);
+    const int w = interior + 6;
+    const int h = interior + 6;
+    auto image = make_correlated_image(w, h, seed ^ 0xde41ull, 12.0f);
+    holder.push_back(std::make_unique<Buffer>(Buffer::from_floats(image)));
+    args.buffer("in", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(
+        Buffer::zeros_f32(static_cast<std::size_t>(w) * h)));
+    args.buffer("out", *holder.back());
+    args.scalar("w", w).scalar("inv_h2", 1.0f / (2.0f * 20.0f * 20.0f));
+    return LaunchConfig::grid2d(interior, interior, 16, 4);
+}
+
+// ---- Naive Bayes (atomic histogram training) -----------------------------------------
+
+constexpr const char* kNaiveBayesSource = R"(
+__kernel void nb_train(__global float* x, __global int* labels,
+                       __global int* out, __global int* class_counts,
+                       int samples_per_thread, int features, int bins) {
+    int t = get_global_id(0);
+    for (int s = 0; s < samples_per_thread; s++) {
+        int idx = t * samples_per_thread + s;
+        int cls = labels[idx];
+        atomic_inc(class_counts, cls);
+        for (int f = 0; f < features; f++) {
+            int bin = (int)(x[idx * features + f] * (float)(bins));
+            bin = min(bin, bins - 1);
+            atomic_inc(out, (cls * features + f) * bins + bin);
+        }
+    }
+}
+)";
+
+LaunchConfig
+bind_naive_bayes(std::uint64_t seed, double scale, ArgPack& args,
+                 std::vector<std::unique_ptr<Buffer>>& holder)
+{
+    const int threads = snap_to(static_cast<int>(256 * scale), 32, 64);
+    const int samples_per_thread = 128;
+    const int features = 8;
+    const int bins = 8;
+    const int total = threads * samples_per_thread;
+
+    Rng rng(seed ^ 0xbaede5ull);
+    std::vector<std::int32_t> labels(total);
+    std::vector<float> x(static_cast<std::size_t>(total) * features);
+    for (int i = 0; i < total; ++i) {
+        labels[i] = static_cast<std::int32_t>(rng.next_below(2));
+        for (int f = 0; f < features; ++f) {
+            // Mixture of class-conditional normals and a uniform floor:
+            // the histograms carry classification signal but no bin is so
+            // empty that sampling error dominates its relative count.
+            const float mean = labels[i] == 0 ? 0.35f : 0.65f;
+            float v = rng.next_float() < 0.5f
+                          ? rng.normal(mean, 0.18f)
+                          : rng.next_float();
+            x[static_cast<std::size_t>(i) * features + f] =
+                std::fmin(0.999f, std::fmax(0.0f, v));
+        }
+    }
+    holder.push_back(std::make_unique<Buffer>(Buffer::from_floats(x)));
+    args.buffer("x", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(Buffer::from_ints(labels)));
+    args.buffer("labels", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(
+        Buffer::zeros_i32(2 * features * bins)));
+    args.buffer("out", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(Buffer::zeros_i32(2)));
+    args.buffer("class_counts", *holder.back());
+    args.scalar("samples_per_thread", samples_per_thread)
+        .scalar("features", features)
+        .scalar("bins", bins);
+    return LaunchConfig::linear(threads, 32);
+}
+
+// ---- Kernel Density Estimation ---------------------------------------------------------
+
+constexpr const char* kKdeSource = R"(
+__kernel void kde(__global float* queries, __global float* data,
+                  __global float* out, int n, float inv_h, float norm) {
+    int q = get_global_id(0);
+    float xq = queries[q];
+    float acc = 0.0f;
+    for (int i = 0; i < n; i++) {
+        float d = (xq - data[i]) * inv_h;
+        acc += expf(-0.5f * d * d);
+    }
+    out[q] = acc * norm;
+}
+)";
+
+LaunchConfig
+bind_kde(std::uint64_t seed, double scale, ArgPack& args,
+         std::vector<std::unique_ptr<Buffer>>& holder)
+{
+    const int queries = snap_to(static_cast<int>(2048 * scale), 64, 64);
+    const int n = 512;
+    const float bandwidth = 0.1f;
+
+    Rng gen(seed ^ 0x4de5ull);
+    std::vector<float> data(n);
+    for (auto& v : data)
+        v = gen.next_float() < 0.5f ? gen.normal(0.3f, 0.08f)
+                                    : gen.normal(0.7f, 0.12f);
+    holder.push_back(std::make_unique<Buffer>(Buffer::from_floats(
+        gen.uniform_vector(queries, 0.0f, 1.0f))));
+    args.buffer("queries", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(Buffer::from_floats(data)));
+    args.buffer("data", *holder.back());
+    holder.push_back(
+        std::make_unique<Buffer>(Buffer::zeros_f32(queries)));
+    args.buffer("out", *holder.back());
+    args.scalar("n", n)
+        .scalar("inv_h", 1.0f / bandwidth)
+        .scalar("norm", 1.0f / (static_cast<float>(n) * bandwidth *
+                                2.5066282f));
+    return LaunchConfig::linear(queries, 64);
+}
+
+}  // namespace
+
+std::unique_ptr<Application>
+make_matrix_multiply()
+{
+    ReductionAppSpec spec;
+    spec.info = {"Matrix Multiply", "Signal Processing", "96x96 matrices",
+                 "Reduction-Partition", runtime::Metric::MeanRelativeError};
+    spec.source = kMatMulSource;
+    spec.kernel = "matmul";
+    spec.bind_inputs = bind_matmul;
+    return std::make_unique<ReductionApp>(std::move(spec));
+}
+
+std::unique_ptr<Application>
+make_image_denoising()
+{
+    ReductionAppSpec spec;
+    spec.info = {"Image Denoising", "Image Processing", "118x118 image",
+                 "Reduction", runtime::Metric::MeanRelativeError};
+    spec.source = kDenoiseSource;
+    spec.kernel = "denoise";
+    // acc/wsum form a self-normalizing ratio: sampling alone is correct,
+    // scaling either variable would have to scale both (it cancels).
+    spec.adjust = false;
+    spec.skips = {{2, 1}, {3, 2}};
+    spec.bind_inputs = bind_denoise;
+    return std::make_unique<ReductionApp>(std::move(spec));
+}
+
+std::unique_ptr<Application>
+make_naive_bayes()
+{
+    ReductionAppSpec spec;
+    spec.info = {"Naive Bayes", "Machine Learning",
+                 "threads x 128 samples, 8 features", "Reduction",
+                 runtime::Metric::MeanRelativeError};
+    spec.source = kNaiveBayesSource;
+    spec.kernel = "nb_train";
+    spec.reduction_index = 0;  // the outer per-sample loop
+    spec.skips = {{2, 1}, {4, 2}};
+    spec.bind_inputs = bind_naive_bayes;
+    return std::make_unique<ReductionApp>(std::move(spec));
+}
+
+std::unique_ptr<Application>
+make_kernel_density()
+{
+    ReductionAppSpec spec;
+    spec.info = {"Kernel Density Estimation", "Machine Learning",
+                 "2K queries over 512 points", "Reduction",
+                 runtime::Metric::MeanRelativeError};
+    spec.source = kKdeSource;
+    spec.kernel = "kde";
+    spec.bind_inputs = bind_kde;
+    return std::make_unique<ReductionApp>(std::move(spec));
+}
+
+}  // namespace paraprox::apps

@@ -1,0 +1,428 @@
+/// @file
+/// The Stencil / Partition applications of Table 1: HotSpot (physics,
+/// 5-point), Convolution Separable (1x17 row stencil + 17-tap column
+/// reduction loop), Gaussian Filter (weighted 3x3), and Mean Filter
+/// (manually-unrolled 3x3).  Approximated with the §3.2 tile schemes
+/// (and, for Convolution Separable, §3.3 reduction sampling as well).
+
+#include <cmath>
+#include <memory>
+
+#include "apps/app.h"
+#include "apps/common.h"
+#include "parser/parser.h"
+#include "support/error.h"
+
+namespace paraprox::apps {
+
+namespace {
+
+using exec::ArgPack;
+using exec::Buffer;
+using exec::LaunchConfig;
+using transforms::StencilScheme;
+
+/// Shared shape for single-kernel image-stencil apps.
+struct StencilAppSpec {
+    AppInfo info;
+    std::string source;
+    std::string kernel;
+    int width = 130;   ///< Includes a 1-pixel border.
+    int height = 130;
+    /// Bind inputs; returns nothing, output buffer bound as "out".
+    std::function<void(std::uint64_t seed, int w, int h, ArgPack&,
+                       std::vector<std::unique_ptr<Buffer>>&)>
+        bind_inputs;
+    /// Variant knobs to sweep: (scheme, reaching distance, aggressiveness).
+    std::vector<std::tuple<StencilScheme, int, int>> knobs = {
+        {StencilScheme::Row, 1, 1},
+        {StencilScheme::Column, 1, 1},
+        {StencilScheme::Center, 1, 2},
+    };
+};
+
+class StencilApp final : public Application {
+  public:
+    explicit StencilApp(StencilAppSpec spec)
+        : spec_(std::move(spec)),
+          module_(parser::parse_module(spec_.source)) {}
+
+    AppInfo info() const override { return spec_.info; }
+    const ir::Module& module() const override { return module_; }
+    void set_scale(double scale) override { scale_ = scale; }
+
+    std::vector<runtime::Variant>
+    variants(const device::DeviceModel& device) const override
+    {
+        const int w = dim(spec_.width);
+        const int h = dim(spec_.height);
+        auto dev = std::make_shared<device::DeviceModel>(device);
+        auto spec = std::make_shared<StencilAppSpec>(spec_);
+
+        auto groups = analysis::detect_stencils(
+            *module_.find_function(spec_.kernel));
+        PARAPROX_CHECK(!groups.empty(),
+                       spec_.info.name + ": stencil not detected");
+
+        struct Compiled {
+            vm::Program program;
+            std::string label;
+            int aggressiveness;
+        };
+        auto compiled = std::make_shared<std::vector<Compiled>>();
+        compiled->push_back(
+            {vm::compile_kernel(module_, spec_.kernel), "exact", 0});
+        for (const auto& [scheme, rd, agg] : spec_.knobs) {
+            auto variant = transforms::stencil_approx(
+                module_, spec_.kernel, groups[0], scheme, rd);
+            compiled->push_back(
+                {vm::compile_kernel(variant.module, variant.kernel_name),
+                 "stencil " + transforms::to_string(scheme) + " rd=" +
+                     std::to_string(rd),
+                 agg});
+        }
+
+        std::vector<runtime::Variant> variants;
+        for (std::size_t c = 0; c < compiled->size(); ++c) {
+            variants.push_back(
+                {(*compiled)[c].label, (*compiled)[c].aggressiveness,
+                 [spec, compiled, c, dev, w, h](std::uint64_t seed) {
+                     ArgPack args;
+                     std::vector<std::unique_ptr<Buffer>> holder;
+                     spec->bind_inputs(seed, w, h, args, holder);
+                     auto run = run_priced(
+                         (*compiled)[c].program, args,
+                         LaunchConfig::grid2d(w - 2, h - 2, 16, 4), *dev);
+                     attach_output(run, *args.find_buffer("out"));
+                     return run;
+                 }});
+        }
+        return variants;
+    }
+
+  private:
+    int
+    dim(int base) const
+    {
+        const int interior = static_cast<int>((base - 2) * scale_);
+        // Interior must stay divisible by the 16x4 work-group shape.
+        const int snapped = std::max(16, interior - interior % 16);
+        return snapped + 2;
+    }
+
+    StencilAppSpec spec_;
+    ir::Module module_;
+    double scale_ = 1.0;
+};
+
+void
+bind_image_input(std::uint64_t seed, int w, int h, ArgPack& args,
+                 std::vector<std::unique_ptr<Buffer>>& holder)
+{
+    holder.push_back(std::make_unique<Buffer>(
+        Buffer::from_floats(make_correlated_image(w, h, seed))));
+    args.buffer("in", *holder.back());
+    holder.push_back(std::make_unique<Buffer>(
+        Buffer::zeros_f32(static_cast<std::size_t>(w) * h)));
+    args.buffer("out", *holder.back());
+    args.scalar("w", w);
+}
+
+// ---- Gaussian Filter (weighted 3x3) -------------------------------------------
+
+constexpr const char* kGaussianSource = R"(
+__kernel void gaussian(__global float* in, __global float* out, int w) {
+    int x = get_global_id(0) + 1;
+    int y = get_global_id(1) + 1;
+    float acc = 0.0625f * in[(y - 1) * w + x - 1]
+              + 0.125f  * in[(y - 1) * w + x]
+              + 0.0625f * in[(y - 1) * w + x + 1]
+              + 0.125f  * in[y * w + x - 1]
+              + 0.25f   * in[y * w + x]
+              + 0.125f  * in[y * w + x + 1]
+              + 0.0625f * in[(y + 1) * w + x - 1]
+              + 0.125f  * in[(y + 1) * w + x]
+              + 0.0625f * in[(y + 1) * w + x + 1];
+    out[y * w + x] = acc;
+}
+)";
+
+// ---- Mean Filter (manually unrolled 3x3) ----------------------------------------
+
+constexpr const char* kMeanSource = R"(
+float mean9(float a, float b, float c, float d, float e, float f,
+            float g, float h, float i) {
+    return (a + b + c + d + e + f + g + h + i) * 0.111111111f;
+}
+
+__kernel void mean_filter(__global float* in, __global float* out, int w) {
+    int x = get_global_id(0) + 1;
+    int y = get_global_id(1) + 1;
+    out[y * w + x] = mean9(in[(y - 1) * w + x - 1], in[(y - 1) * w + x],
+                           in[(y - 1) * w + x + 1], in[y * w + x - 1],
+                           in[y * w + x], in[y * w + x + 1],
+                           in[(y + 1) * w + x - 1], in[(y + 1) * w + x],
+                           in[(y + 1) * w + x + 1]);
+}
+)";
+
+// ---- HotSpot (5-point thermal step) -----------------------------------------------
+
+constexpr const char* kHotSpotSource = R"(
+__kernel void hotspot(__global float* in, __global float* power,
+                      __global float* out, int w, float cap,
+                      float ambient) {
+    int x = get_global_id(0) + 1;
+    int y = get_global_id(1) + 1;
+    float center = in[y * w + x];
+    float delta = in[(y - 1) * w + x] + in[(y + 1) * w + x]
+                + in[y * w + x - 1] + in[y * w + x + 1]
+                - 4.0f * center;
+    out[y * w + x] = center + cap * (power[y * w + x]
+                   + 0.25f * delta + 0.05f * (ambient - center));
+}
+)";
+
+void
+bind_hotspot(std::uint64_t seed, int w, int h, ArgPack& args,
+             std::vector<std::unique_ptr<Buffer>>& holder)
+{
+    // Temperature field: smooth, around 320K; power: sparse hot cells.
+    auto temp = make_correlated_image(w, h, seed ^ 0x407ull, 1.0f);
+    for (auto& t : temp)
+        t = 300.0f + t * 0.2f;
+    holder.push_back(std::make_unique<Buffer>(Buffer::from_floats(temp)));
+    args.buffer("in", *holder.back());
+
+    Rng rng(seed ^ 0x50Ae7ull);
+    std::vector<float> power(static_cast<std::size_t>(w) * h, 0.01f);
+    for (int i = 0; i < w * h / 64; ++i)
+        power[rng.next_below(power.size())] = rng.uniform(0.5f, 2.0f);
+    holder.push_back(std::make_unique<Buffer>(Buffer::from_floats(power)));
+    args.buffer("power", *holder.back());
+
+    holder.push_back(std::make_unique<Buffer>(
+        Buffer::zeros_f32(static_cast<std::size_t>(w) * h)));
+    args.buffer("out", *holder.back());
+    args.scalar("w", w).scalar("cap", 0.5f).scalar("ambient", 300.0f);
+}
+
+// ---- Convolution Separable ----------------------------------------------------------
+
+/// Row pass: manually unrolled 17-tap stencil.  Column pass: a 17-trip
+/// reduction loop (acc += in[...] * weight), giving the app its
+/// Stencil-Reduction label.
+constexpr const char* kConvSource = R"(
+__kernel void conv_row(__global float* in, __global float* tmp, int w) {
+    int x = get_global_id(0) + 8;
+    int y = get_global_id(1);
+    float acc = 0.000872f * in[y * w + x - 8]
+              + 0.003383f * in[y * w + x - 7]
+              + 0.010558f * in[y * w + x - 6]
+              + 0.026521f * in[y * w + x - 5]
+              + 0.053610f * in[y * w + x - 4]
+              + 0.087208f * in[y * w + x - 3]
+              + 0.114169f * in[y * w + x - 2]
+              + 0.120295f * in[y * w + x - 1]
+              + 0.166757f * in[y * w + x]
+              + 0.120295f * in[y * w + x + 1]
+              + 0.114169f * in[y * w + x + 2]
+              + 0.087208f * in[y * w + x + 3]
+              + 0.053610f * in[y * w + x + 4]
+              + 0.026521f * in[y * w + x + 5]
+              + 0.010558f * in[y * w + x + 6]
+              + 0.003383f * in[y * w + x + 7]
+              + 0.000872f * in[y * w + x + 8];
+    tmp[y * w + x] = acc;
+}
+
+__kernel void conv_col(__global float* tmp, __global float* weights,
+                       __global float* out, int w) {
+    int x = get_global_id(0) + 8;
+    int y = get_global_id(1) + 8;
+    float acc = 0.0f;
+    for (int k = 0; k < 17; k++) {
+        acc += tmp[(y + k - 8) * w + x] * weights[k];
+    }
+    out[y * w + x] = acc;
+}
+)";
+
+class ConvolutionApp final : public Application {
+  public:
+    ConvolutionApp() : module_(parser::parse_module(kConvSource)) {}
+
+    AppInfo
+    info() const override
+    {
+        return {"Convolution Separable", "Image Processing",
+                "176x176 image, 17-tap separable kernel",
+                "Stencil-Reduction", runtime::Metric::L2Norm};
+    }
+
+    const ir::Module& module() const override { return module_; }
+    void set_scale(double scale) override { scale_ = scale; }
+
+    std::vector<runtime::Variant>
+    variants(const device::DeviceModel& device) const override
+    {
+        const int w = dim();
+        const int h = w;
+        auto dev = std::make_shared<device::DeviceModel>(device);
+
+        struct Pipeline {
+            vm::Program row;
+            vm::Program col;
+            std::string label;
+            int aggressiveness;
+        };
+        auto pipelines = std::make_shared<std::vector<Pipeline>>();
+
+        vm::Program exact_row = vm::compile_kernel(module_, "conv_row");
+        vm::Program exact_col = vm::compile_kernel(module_, "conv_col");
+        pipelines->push_back({exact_row, exact_col, "exact", 0});
+
+        auto groups = analysis::detect_stencils(
+            *module_.find_function("conv_row"));
+        PARAPROX_CHECK(!groups.empty(), "conv_row stencil not detected");
+
+        // Stencil-only variants (the GPU winners per §4.3).
+        for (const auto& [rd, agg] :
+             std::vector<std::pair<int, int>>{{1, 1}, {2, 2}}) {
+            // The 1x17 row-pass tile merges along x: column scheme.
+            auto stencil = transforms::stencil_approx(
+                module_, "conv_row", groups[0], StencilScheme::Column, rd);
+            pipelines->push_back(
+                {vm::compile_kernel(stencil.module, stencil.kernel_name),
+                 exact_col, "stencil rd=" + std::to_string(rd), agg});
+        }
+
+        // Reduction-only variants (the CPU winners per §4.3).
+        for (const auto& [skip, agg] :
+             std::vector<std::pair<int, int>>{{2, 1}, {4, 2}}) {
+            auto reduced = transforms::reduction_approx(module_, "conv_col",
+                                                        0, skip);
+            pipelines->push_back(
+                {exact_row,
+                 vm::compile_kernel(reduced.module, reduced.kernel_name),
+                 "reduction skip=" + std::to_string(skip), agg});
+        }
+
+        // Combined.
+        {
+            auto stencil = transforms::stencil_approx(
+                module_, "conv_row", groups[0], StencilScheme::Column, 1);
+            auto reduced = transforms::reduction_approx(module_, "conv_col",
+                                                        0, 2);
+            pipelines->push_back(
+                {vm::compile_kernel(stencil.module, stencil.kernel_name),
+                 vm::compile_kernel(reduced.module, reduced.kernel_name),
+                 "stencil rd=1 + reduction skip=2", 3});
+        }
+
+        std::vector<runtime::Variant> variants;
+        for (std::size_t p = 0; p < pipelines->size(); ++p) {
+            variants.push_back(
+                {(*pipelines)[p].label, (*pipelines)[p].aggressiveness,
+                 [pipelines, p, dev, w, h](std::uint64_t seed) {
+                     const Pipeline& pipe = (*pipelines)[p];
+                     Buffer in = Buffer::from_floats(
+                         make_correlated_image(w, h, seed ^ 0xc09ull));
+                     Buffer tmp = Buffer::zeros_f32(
+                         static_cast<std::size_t>(w) * h);
+                     Buffer out = Buffer::zeros_f32(
+                         static_cast<std::size_t>(w) * h);
+                     Buffer weights = Buffer::from_floats(kWeights);
+
+                     ArgPack row_args;
+                     row_args.buffer("in", in).buffer("tmp", tmp)
+                         .scalar("w", w);
+                     auto row_run = run_priced(
+                         pipe.row, row_args,
+                         LaunchConfig::grid2d(w - 16, h, 16, 4), *dev);
+
+                     ArgPack col_args;
+                     col_args.buffer("tmp", tmp).buffer("weights", weights)
+                         .buffer("out", out).scalar("w", w);
+                     auto col_run = run_priced(
+                         pipe.col, col_args,
+                         LaunchConfig::grid2d(w - 16, h - 16, 16, 4),
+                         *dev);
+
+                     runtime::VariantRun run;
+                     run.trapped = row_run.trapped || col_run.trapped;
+                     run.modeled_cycles =
+                         row_run.modeled_cycles + col_run.modeled_cycles;
+                     run.wall_seconds =
+                         row_run.wall_seconds + col_run.wall_seconds;
+                     attach_output(run, out);
+                     return run;
+                 }});
+        }
+        return variants;
+    }
+
+  private:
+    int
+    dim() const
+    {
+        const int interior = static_cast<int>(160 * scale_);
+        return std::max(32, interior - interior % 16) + 16;
+    }
+
+    static const std::vector<float> kWeights;
+
+    ir::Module module_;
+    double scale_ = 1.0;
+};
+
+const std::vector<float> ConvolutionApp::kWeights = {
+    0.000872f, 0.003383f, 0.010558f, 0.026521f, 0.053610f, 0.087208f,
+    0.114169f, 0.120295f, 0.166757f, 0.120295f, 0.114169f, 0.087208f,
+    0.053610f, 0.026521f, 0.010558f, 0.003383f, 0.000872f};
+
+}  // namespace
+
+std::unique_ptr<Application>
+make_gaussian_filter()
+{
+    StencilAppSpec spec;
+    spec.info = {"Gaussian Filter", "Image Processing", "130x130 image",
+                 "Stencil", runtime::Metric::MeanRelativeError};
+    spec.source = kGaussianSource;
+    spec.kernel = "gaussian";
+    spec.bind_inputs = bind_image_input;
+    return std::make_unique<StencilApp>(std::move(spec));
+}
+
+std::unique_ptr<Application>
+make_mean_filter()
+{
+    StencilAppSpec spec;
+    spec.info = {"Mean Filter", "Image Processing", "130x130 image",
+                 "Stencil", runtime::Metric::MeanRelativeError};
+    spec.source = kMeanSource;
+    spec.kernel = "mean_filter";
+    spec.bind_inputs = bind_image_input;
+    return std::make_unique<StencilApp>(std::move(spec));
+}
+
+std::unique_ptr<Application>
+make_hotspot()
+{
+    StencilAppSpec spec;
+    spec.info = {"HotSpot", "Physics", "130x130 grid",
+                 "Stencil-Partition", runtime::Metric::MeanRelativeError};
+    spec.source = kHotSpotSource;
+    spec.kernel = "hotspot";
+    spec.bind_inputs = bind_hotspot;
+    return std::make_unique<StencilApp>(std::move(spec));
+}
+
+std::unique_ptr<Application>
+make_convolution_separable()
+{
+    return std::make_unique<ConvolutionApp>();
+}
+
+}  // namespace paraprox::apps

@@ -1,0 +1,308 @@
+#include "core/paraprox.h"
+
+#include <algorithm>
+#include <map>
+
+#include "memo/bit_tuning.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "transforms/safety.h"
+#include "transforms/unroll.h"
+
+namespace paraprox::core {
+
+using analysis::PatternKind;
+
+TrainingProvider
+uniform_training(float lo, float hi, int samples, std::uint64_t seed)
+{
+    return [lo, hi, samples, seed](const std::string& function)
+               -> std::optional<std::vector<std::vector<float>>> {
+        // Arity is resolved by the caller; here we cannot know it, so the
+        // provider is re-wrapped inside compile_kernel with the actual
+        // parameter count.  This base form returns one-wide samples; the
+        // driver widens them.
+        (void)function;
+        Rng rng(seed);
+        std::vector<std::vector<float>> out(samples);
+        for (auto& sample : out)
+            sample = {rng.uniform(lo, hi)};
+        return out;
+    };
+}
+
+namespace {
+
+/// Widen or regenerate training tuples to the callee's arity: a provider
+/// may return tuples of any width; the driver resamples each column
+/// cyclically so every parameter gets a value.
+std::vector<std::vector<float>>
+fit_training_to_arity(const std::vector<std::vector<float>>& raw,
+                      std::size_t arity)
+{
+    std::vector<std::vector<float>> out;
+    out.reserve(raw.size());
+    for (const auto& sample : raw) {
+        PARAPROX_CHECK(!sample.empty(), "training sample is empty");
+        std::vector<float> widened(arity);
+        for (std::size_t i = 0; i < arity; ++i)
+            widened[i] = sample[i % sample.size()];
+        out.push_back(std::move(widened));
+    }
+    return out;
+}
+
+void
+generate_memo_variants(const ir::Module& module, const std::string& kernel,
+                       const analysis::MemoCandidate& candidate,
+                       const CompileOptions& options,
+                       KernelCompileResult& result)
+{
+    using transforms::LookupMode;
+    using transforms::TableLocation;
+
+    if (!candidate.profitable) {
+        result.notes.push_back(
+            "skip memoizing `" + candidate.callee +
+            "`: estimated " + std::to_string(
+                static_cast<int>(candidate.cycles_needed)) +
+            " cycles is under 10x the L1 read latency (Eq. 1)");
+        return;
+    }
+    auto raw_training = options.training(candidate.callee);
+    if (!raw_training) {
+        result.notes.push_back("skip memoizing `" + candidate.callee +
+                               "`: no training data provided");
+        return;
+    }
+
+    const ir::Function* callee = module.find_function(candidate.callee);
+    PARAPROX_ASSERT(callee, "memo candidate callee vanished");
+    const auto training =
+        fit_training_to_arity(*raw_training, callee->params.size());
+
+    memo::ScalarEvaluator evaluator(module, candidate.callee);
+    auto search = memo::find_table_for_toq(evaluator, training,
+                                           options.toq, 3,
+                                           options.max_table_bits);
+    result.notes.push_back(
+        "memoize `" + candidate.callee + "`: table size search -> " +
+        std::to_string(search.table.values.size()) +
+        " entries at tuned quality " +
+        std::to_string(search.table.tuned_quality).substr(0, 5) + "%");
+
+    const PatternKind pattern = candidate.gather
+                                    ? PatternKind::ScatterGather
+                                    : PatternKind::Map;
+
+    auto emit = [&](const memo::LookupTable& table, TableLocation location,
+                    LookupMode mode, int aggressiveness) {
+        auto memoized = transforms::memoize_kernel(module, kernel,
+                                                   candidate.callee, table,
+                                                   location, mode);
+        GeneratedKernel generated;
+        generated.label = "memo " + transforms::to_string(location) + "/" +
+                          transforms::to_string(mode) + " " +
+                          std::to_string(table.values.size()) + " entries";
+        generated.pattern = pattern;
+        generated.aggressiveness = aggressiveness;
+        generated.kernel_name = memoized.kernel_name;
+        generated.tables.push_back({memoized.table_buffer_param,
+                                    memoized.shared_table_param, table});
+        generated.module = std::move(memoized.module);
+        if (options.guard_divisions) {
+            int guards = 0;
+            generated.module = transforms::guard_divisions(
+                generated.module, generated.kernel_name, &guards);
+            if (guards > 0) {
+                result.notes.push_back(generated.label + ": guarded " +
+                                       std::to_string(guards) +
+                                       " division(s)");
+            }
+        }
+        result.generated.push_back(std::move(generated));
+    };
+
+    emit(search.table, TableLocation::Global, LookupMode::Nearest, 1);
+    if (options.linear_mode)
+        emit(search.table, TableLocation::Global, LookupMode::Linear, 1);
+    if (options.table_placements) {
+        emit(search.table, TableLocation::Constant, LookupMode::Nearest,
+             1);
+        emit(search.table, TableLocation::Shared, LookupMode::Nearest, 1);
+    }
+
+    // Two more aggressive (smaller) sizes, re-bit-tuned.
+    int aggressiveness = 2;
+    for (int shrink = 1; shrink <= 2; ++shrink) {
+        const int bits = search.table.config.address_bits() - shrink;
+        if (bits < 3)
+            break;
+        auto tuning = memo::bit_tune(evaluator, training, bits);
+        auto table = memo::build_table(evaluator, tuning.config);
+        table.tuned_quality = tuning.quality;
+        emit(table, TableLocation::Global, LookupMode::Nearest,
+             aggressiveness++);
+    }
+}
+
+void
+generate_stencil_variants(const ir::Module& module,
+                          const std::string& kernel,
+                          const analysis::StencilGroup& group,
+                          const CompileOptions& options,
+                          KernelCompileResult& result,
+                          const std::string& origin_note = "")
+{
+    using transforms::StencilScheme;
+
+    result.notes.push_back(
+        "stencil on `" + group.array + "`: " +
+        std::to_string(group.tile_height()) + "x" +
+        std::to_string(group.tile_width()) + " tile, " +
+        std::to_string(group.accesses.size()) + " accesses" +
+        origin_note);
+
+    // Schemes that can merge anything for this tile shape.
+    std::vector<StencilScheme> schemes;
+    if (group.two_dimensional && group.tile_height() > 1 &&
+        group.tile_width() > 1) {
+        schemes = {StencilScheme::Row, StencilScheme::Column,
+                   StencilScheme::Center};
+    } else if (group.tile_height() > 1) {
+        schemes = {StencilScheme::Row};
+    } else {
+        schemes = {StencilScheme::Column};
+    }
+
+    for (int rd : options.reaching_distances) {
+        for (auto scheme : schemes) {
+            auto variant = transforms::stencil_approx(module, kernel,
+                                                      group, scheme, rd);
+            if (variant.loads_after >= variant.loads_before)
+                continue;  // nothing merged; skip the useless variant
+            GeneratedKernel generated;
+            generated.label = "stencil " + transforms::to_string(scheme) +
+                              " rd=" + std::to_string(rd);
+            generated.pattern = PatternKind::Stencil;
+            generated.aggressiveness =
+                rd + (scheme == StencilScheme::Center ? 1 : 0);
+            generated.kernel_name = variant.kernel_name;
+            generated.module = std::move(variant.module);
+            result.generated.push_back(std::move(generated));
+        }
+    }
+}
+
+void
+generate_reduction_variants(const ir::Module& module,
+                            const std::string& kernel, int reduction_index,
+                            const analysis::ReductionLoop& loop,
+                            const CompileOptions& options,
+                            KernelCompileResult& result)
+{
+    result.notes.push_back(
+        "reduction loop #" + std::to_string(reduction_index) + " (" +
+        analysis::to_string(loop.op) +
+        (loop.variable.empty() ? "" : (" on `" + loop.variable + "`")) +
+        ")");
+    int aggressiveness = 1;
+    for (int skip : options.skip_rates) {
+        auto variant = transforms::reduction_approx(module, kernel,
+                                                    reduction_index, skip);
+        GeneratedKernel generated;
+        generated.label = "reduction #" +
+                          std::to_string(reduction_index) + " skip=" +
+                          std::to_string(skip);
+        generated.pattern = PatternKind::Reduction;
+        generated.aggressiveness = aggressiveness++;
+        generated.kernel_name = variant.kernel_name;
+        generated.module = std::move(variant.module);
+        result.generated.push_back(std::move(generated));
+    }
+}
+
+}  // namespace
+
+KernelCompileResult
+compile_kernel(const ir::Module& module, const std::string& kernel,
+               const CompileOptions& options)
+{
+    const ir::Function* target = module.find_function(kernel);
+    PARAPROX_CHECK(target && target->is_kernel,
+                   "compile_kernel: no kernel `" + kernel + "`");
+
+    KernelCompileResult result;
+    result.kernel = kernel;
+    result.detection =
+        analysis::detect_kernel_patterns(module, *target, options.device);
+
+    for (const auto& candidate : result.detection.memo_candidates)
+        generate_memo_variants(module, kernel, candidate, options, result);
+
+    // Stencils: loop-shaped tiles are unrolled first so the tile
+    // transform can merge their (then constant-offset) accesses.
+    std::optional<ir::Module> unrolled;
+    std::vector<analysis::StencilGroup> unrolled_groups;
+    for (const auto& group : result.detection.stencils) {
+        std::map<const ir::Load*, int> occurrences;
+        for (const auto& access : group.accesses)
+            ++occurrences[access.load];
+        const bool loop_shaped =
+            std::any_of(occurrences.begin(), occurrences.end(),
+                        [](const auto& entry) { return entry.second > 1; });
+        if (!loop_shaped) {
+            generate_stencil_variants(module, kernel, group, options,
+                                      result);
+            continue;
+        }
+        if (!unrolled) {
+            unrolled = transforms::unroll_constant_loops(module, kernel);
+            unrolled_groups = analysis::detect_stencils(
+                *unrolled->find_function(kernel));
+        }
+        const analysis::StencilGroup* match = nullptr;
+        for (const auto& candidate : unrolled_groups) {
+            if (candidate.array == group.array &&
+                candidate.base_key == group.base_key) {
+                match = &candidate;
+                break;
+            }
+        }
+        if (!match) {
+            result.notes.push_back("stencil on `" + group.array +
+                                   "`: loop-shaped tile did not survive "
+                                   "unrolling; left exact");
+            continue;
+        }
+        generate_stencil_variants(*unrolled, kernel, *match, options,
+                                  result, " (after loop unrolling)");
+    }
+
+    for (std::size_t r = 0; r < result.detection.reductions.size(); ++r) {
+        generate_reduction_variants(module, kernel, static_cast<int>(r),
+                                    result.detection.reductions[r],
+                                    options, result);
+    }
+
+    if (result.detection.is_scan) {
+        result.notes.push_back(
+            "scan pattern detected: approximate at the pipeline level "
+            "with transforms::scan_approx (needs the host's subarray "
+            "geometry)");
+    }
+    if (result.generated.empty() && result.notes.empty())
+        result.notes.push_back("no applicable pattern detected");
+    return result;
+}
+
+std::vector<KernelCompileResult>
+compile_module(const ir::Module& module, const CompileOptions& options)
+{
+    std::vector<KernelCompileResult> out;
+    for (const ir::Function* kernel : module.kernels())
+        out.push_back(compile_kernel(module, kernel->name, options));
+    return out;
+}
+
+}  // namespace paraprox::core

@@ -1,0 +1,99 @@
+/// @file
+/// The Paraprox compiler driver — the paper's primary artifact (Fig. 2 /
+/// Fig. 10).  Given a ParaCL module, a target device, and a TOQ, it runs
+/// pattern detection over every kernel and generates the full family of
+/// parameterized approximate kernels:
+///
+///   - Map / Scatter-Gather  -> memoized variants (table-size search, bit
+///     tuning, nearest/linear, global/constant/shared placement);
+///   - Stencil / Partition   -> center/row/column schemes over a reaching-
+///     distance sweep;
+///   - Reduction             -> sampling + adjustment over a skip-rate
+///     sweep;
+///   - Scan                  -> flagged for pipeline-level approximation
+///     (transforms::scan_approx needs the host's launch geometry).
+///
+/// Generated kernels can be compiled with vm::compile_kernel and handed to
+/// runtime::Tuner, or pretty-printed back to ParaCL source — the original
+/// system's source-to-source behaviour (see tools/paraproxc).
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/patterns.h"
+#include "device/device_model.h"
+#include "ir/function.h"
+#include "memo/table.h"
+#include "transforms/memoize.h"
+#include "transforms/reduction_tx.h"
+#include "transforms/stencil_tx.h"
+
+namespace paraprox::core {
+
+/// Supplies training input tuples for a memoization candidate, keyed by
+/// function name (the paper's offline profiling data).  Return nullopt to
+/// skip memoizing that function.
+using TrainingProvider =
+    std::function<std::optional<std::vector<std::vector<float>>>(
+        const std::string& function)>;
+
+/// A TrainingProvider drawing each argument uniformly from [lo, hi) —
+/// convenient when representative inputs share a domain.
+TrainingProvider uniform_training(float lo, float hi, int samples = 256,
+                                  std::uint64_t seed = 0x7a1ull);
+
+/// Knobs of the generation process.
+struct CompileOptions {
+    double toq = 90.0;
+    device::DeviceModel device = device::DeviceModel::gtx560();
+    TrainingProvider training = uniform_training(0.0f, 1.0f);
+
+    std::vector<int> skip_rates = {2, 4, 8};
+    std::vector<int> reaching_distances = {1, 2};
+    bool table_placements = true;   ///< Emit constant/shared variants too.
+    bool linear_mode = true;        ///< Emit linear-interpolation variants.
+    bool guard_divisions = true;    ///< §5 safety guards on approx kernels.
+    int max_table_bits = 18;
+};
+
+/// How one generated kernel's lookup tables must be bound at launch.
+struct TableBinding {
+    std::string buffer_param;   ///< Bind the table Buffer here.
+    std::string shared_param;   ///< Non-empty: bind its size (= entries).
+    memo::LookupTable table;
+};
+
+/// One generated approximate kernel.
+struct GeneratedKernel {
+    std::string label;           ///< e.g. "memo global/nearest 2^11".
+    analysis::PatternKind pattern;
+    int aggressiveness = 1;      ///< Backoff ordering hint.
+    ir::Module module;           ///< Holds the rewritten kernel.
+    std::string kernel_name;
+    std::vector<TableBinding> tables;  ///< Empty unless memoized.
+};
+
+/// Everything Paraprox produced for one kernel.
+struct KernelCompileResult {
+    std::string kernel;
+    analysis::KernelPatterns detection;
+    std::vector<GeneratedKernel> generated;
+    /// Human-readable log of what was generated or skipped and why.
+    std::vector<std::string> notes;
+};
+
+/// Run the full Paraprox flow on one kernel.
+KernelCompileResult compile_kernel(const ir::Module& module,
+                                   const std::string& kernel,
+                                   const CompileOptions& options);
+
+/// Run the full Paraprox flow on every kernel of a module.
+std::vector<KernelCompileResult> compile_module(
+    const ir::Module& module, const CompileOptions& options);
+
+}  // namespace paraprox::core

@@ -1,0 +1,96 @@
+#include "core/variants.h"
+
+#include "device/memory_model.h"
+#include "support/error.h"
+#include "vm/compiler.h"
+
+namespace paraprox::core {
+
+namespace {
+
+/// Shared immutable state captured by every variant closure.
+struct VariantContext {
+    device::DeviceModel device;
+    LaunchPlan plan;
+};
+
+runtime::VariantRun
+run_one(const vm::Program& program,
+        const std::vector<TableBinding>& tables,
+        const VariantContext& context, std::uint64_t seed)
+{
+    exec::ArgPack args;
+    std::vector<std::unique_ptr<exec::Buffer>> storage;
+    context.plan.bind_inputs(seed, args, storage);
+    for (const auto& binding : tables) {
+        storage.push_back(std::make_unique<exec::Buffer>(
+            exec::Buffer::from_floats(binding.table.values)));
+        args.buffer(binding.buffer_param, *storage.back());
+        if (!binding.shared_param.empty()) {
+            args.shared(binding.shared_param,
+                        static_cast<std::int64_t>(
+                            binding.table.values.size()));
+        }
+    }
+
+    auto modeled = device::run_modeled(program, args, context.plan.config,
+                                       context.device);
+    runtime::VariantRun run;
+    run.modeled_cycles = modeled.cycles;
+    run.wall_seconds = modeled.launch.wall_seconds;
+    run.trapped = modeled.launch.trapped;
+    const exec::Buffer* output =
+        args.find_buffer(context.plan.output_buffer);
+    PARAPROX_CHECK(output, "LaunchPlan output buffer `" +
+                               context.plan.output_buffer +
+                               "` was not bound");
+    run.output = output->to_floats();
+    return run;
+}
+
+}  // namespace
+
+std::vector<runtime::Variant>
+make_variants(const ir::Module& module, const std::string& kernel,
+              const std::vector<GeneratedKernel>& generated,
+              const LaunchPlan& plan, const device::DeviceModel& device)
+{
+    PARAPROX_CHECK(plan.bind_inputs != nullptr,
+                   "LaunchPlan needs a bind_inputs callback");
+    auto context = std::make_shared<VariantContext>();
+    context->device = device;
+    context->plan = plan;
+
+    std::vector<runtime::Variant> variants;
+    auto exact_program = std::make_shared<vm::Program>(
+        vm::compile_kernel(module, kernel));
+    variants.push_back({"exact", 0,
+                        [exact_program, context](std::uint64_t seed) {
+                            return run_one(*exact_program, {}, *context,
+                                           seed);
+                        }});
+
+    for (const auto& kernel_variant : generated) {
+        auto program = std::make_shared<vm::Program>(vm::compile_kernel(
+            kernel_variant.module, kernel_variant.kernel_name));
+        auto tables = std::make_shared<std::vector<TableBinding>>(
+            kernel_variant.tables);
+        variants.push_back(
+            {kernel_variant.label, kernel_variant.aggressiveness,
+             [program, tables, context](std::uint64_t seed) {
+                 return run_one(*program, *tables, *context, seed);
+             }});
+    }
+    return variants;
+}
+
+std::vector<runtime::Variant>
+make_variants(const ir::Module& module, const std::string& kernel,
+              const CompileOptions& options, const LaunchPlan& plan)
+{
+    auto compiled = compile_kernel(module, kernel, options);
+    return make_variants(module, kernel, compiled.generated, plan,
+                         options.device);
+}
+
+}  // namespace paraprox::core

@@ -1,0 +1,60 @@
+#include "device/cache.h"
+
+#include "support/error.h"
+
+namespace paraprox::device {
+
+CacheSim::CacheSim(std::int64_t size_bytes, int line_bytes,
+                   int associativity)
+    : line_bytes_(line_bytes), associativity_(associativity)
+{
+    PARAPROX_CHECK(line_bytes > 0 && associativity > 0 && size_bytes > 0,
+                   "cache parameters must be positive");
+    PARAPROX_CHECK(size_bytes % (static_cast<std::int64_t>(line_bytes) *
+                                 associativity) == 0,
+                   "cache size must be divisible by line*assoc");
+    num_sets_ = size_bytes / (static_cast<std::int64_t>(line_bytes) *
+                              associativity);
+    ways_.resize(num_sets_ * associativity);
+}
+
+bool
+CacheSim::access(std::int64_t addr)
+{
+    const std::int64_t line = addr / line_bytes_;
+    const std::int64_t set = line % num_sets_;
+    Way* set_ways = &ways_[set * associativity_];
+    ++tick_;
+
+    // Hit?
+    for (int w = 0; w < associativity_; ++w) {
+        if (set_ways[w].tag == line) {
+            set_ways[w].last_used = tick_;
+            ++hits_;
+            return true;
+        }
+    }
+
+    // Miss: evict LRU.
+    int victim = 0;
+    for (int w = 1; w < associativity_; ++w) {
+        if (set_ways[w].last_used < set_ways[victim].last_used)
+            victim = w;
+    }
+    set_ways[victim].tag = line;
+    set_ways[victim].last_used = tick_;
+    ++misses_;
+    return false;
+}
+
+void
+CacheSim::reset()
+{
+    for (auto& way : ways_) {
+        way.tag = -1;
+        way.last_used = 0;
+    }
+    tick_ = hits_ = misses_ = 0;
+}
+
+}  // namespace paraprox::device

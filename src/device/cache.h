@@ -1,0 +1,49 @@
+/// @file
+/// A small set-associative LRU cache simulator.
+///
+/// Used by the device memory models to price global-memory and
+/// constant-memory traffic: the paper's lookup-table placement study
+/// (Fig. 16) and table-size study (Fig. 17) hinge on when a table stops
+/// fitting in cache.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace paraprox::device {
+
+/// Byte-addressed set-associative cache with LRU replacement.
+class CacheSim {
+  public:
+    /// @param size_bytes total capacity; @param line_bytes line size;
+    /// @param associativity ways per set.  size must be divisible by
+    /// line*assoc.
+    CacheSim(std::int64_t size_bytes, int line_bytes, int associativity);
+
+    /// Access one address; returns true on hit.  Misses allocate.
+    bool access(std::int64_t addr);
+
+    /// Forget everything.
+    void reset();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    int line_bytes() const { return line_bytes_; }
+
+  private:
+    struct Way {
+        std::int64_t tag = -1;
+        std::uint64_t last_used = 0;
+    };
+
+    int line_bytes_;
+    int associativity_;
+    std::int64_t num_sets_;
+    std::vector<Way> ways_;  ///< num_sets_ x associativity_.
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace paraprox::device

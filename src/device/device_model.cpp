@@ -1,0 +1,164 @@
+#include "device/device_model.h"
+
+namespace paraprox::device {
+
+double
+LatencyTable::cycles(vm::LatencyClass cls) const
+{
+    switch (cls) {
+      case vm::LatencyClass::Trivial: return trivial;
+      case vm::LatencyClass::IntArith: return int_arith;
+      case vm::LatencyClass::FloatArith: return float_arith;
+      case vm::LatencyClass::Div: return div;
+      case vm::LatencyClass::Transcendental: return transcendental;
+      case vm::LatencyClass::HeavyTranscendental:
+        return heavy_transcendental;
+      case vm::LatencyClass::SimpleMath: return simple_math;
+      case vm::LatencyClass::Memory: return 0.0;
+      case vm::LatencyClass::Atomic: return atomic;
+      case vm::LatencyClass::Control: return control;
+    }
+    return 0.0;
+}
+
+double
+LatencyTable::cycles(vm::Opcode op) const
+{
+    return cycles(vm::latency_class(op));
+}
+
+DeviceModel
+DeviceModel::gtx560()
+{
+    DeviceModel model;
+    model.name = "GTX560";
+    // Dynamic costs are per warp-instruction; a warp is 32 lanes wide and
+    // 7 SMs run warps concurrently, so compute_lanes spreads per-item
+    // counts over 32 x 7.
+    model.compute_lanes = 224.0;
+    model.memory_lanes = 7.0;      // one L1 port per SM
+    model.atomic_serialization = 1.0;
+
+    // Wong et al. microbenchmark-flavoured *latencies* (Eq. 1):
+    // ~18-cycle ALU pipes, SFU-served transcendentals, float division as
+    // an expensive software subroutine, serializing atomics.
+    model.latency.trivial = 4.0;
+    model.latency.int_arith = 18.0;
+    model.latency.float_arith = 18.0;
+    model.latency.div = 280.0;
+    model.latency.transcendental = 45.0;
+    model.latency.heavy_transcendental = 160.0;
+    model.latency.simple_math = 30.0;
+    model.latency.atomic = 180.0;
+    model.latency.control = 4.0;
+
+    // Throughput: FMA-class ops retire once per warp-cycle; the 4 SFUs
+    // serve a warp's transcendentals in ~8 cycles; division is a long
+    // software subroutine; atomics mostly serialize at the L2.
+    model.throughput.trivial = 1.0;
+    model.throughput.int_arith = 1.0;
+    model.throughput.float_arith = 1.0;
+    model.throughput.div = 48.0;
+    model.throughput.transcendental = 16.0;
+    model.throughput.heavy_transcendental = 110.0;  // polynomial + log
+    model.throughput.simple_math = 12.0;
+    model.throughput.atomic = 40.0;
+    model.throughput.control = 1.0;
+
+    model.memory.line_bytes = 128;
+    model.memory.l1_size_bytes = 32 * 1024;  // per-SM L1 (configurable)
+    model.memory.l1_assoc = 8;
+    model.memory.l1_hit_cycles = 2.0;
+    model.memory.l1_miss_cycles = 24.0;
+    model.memory.l1_read_latency = 18.0;
+    model.memory.shared_cycles = 0.0625;  // 2 cycles/warp over 32 lanes
+    model.memory.constant_cache_bytes = 8 * 1024;
+    model.memory.constant_hit_cycles = 2.0;
+    model.memory.constant_miss_cycles = 24.0;
+    model.memory.warp_size = 32;
+    model.memory.uncoalesced_penalty_cycles = 1.0;
+    return model;
+}
+
+DeviceModel
+DeviceModel::core_i7()
+{
+    DeviceModel model;
+    model.name = "Core i7";
+    model.compute_lanes = 16.0;    // 4 cores x 4-wide SSE
+    model.memory_lanes = 4.0;      // one load port per core
+    model.atomic_serialization = 0.2;
+
+    model.latency.trivial = 1.0;
+    model.latency.int_arith = 1.0;
+    model.latency.float_arith = 3.0;
+    model.latency.div = 22.0;
+    model.latency.transcendental = 80.0;  // libm software paths
+    model.latency.heavy_transcendental = 250.0;
+    model.latency.simple_math = 15.0;
+    model.latency.atomic = 20.0;
+    model.latency.control = 1.0;
+
+    // Throughput: superscalar ALUs are cheap; libm transcendentals cost
+    // tens of cycles even pipelined; atomics are an L1-local lock.
+    model.throughput.trivial = 0.25;
+    model.throughput.int_arith = 0.5;
+    model.throughput.float_arith = 1.0;
+    model.throughput.div = 7.0;
+    model.throughput.transcendental = 40.0;
+    model.throughput.heavy_transcendental = 160.0;
+    model.throughput.simple_math = 7.0;
+    model.throughput.atomic = 15.0;
+    model.throughput.control = 0.25;
+
+    model.memory.line_bytes = 64;
+    model.memory.l1_size_bytes = 32 * 1024;
+    model.memory.l1_assoc = 8;
+    model.memory.l1_hit_cycles = 1.0;
+    model.memory.l1_miss_cycles = 10.0;   // L2/L3 behind soften misses
+    model.memory.l1_read_latency = 4.0;
+    model.memory.shared_cycles = 1.0;     // scratch == L1 on a CPU
+    model.memory.constant_cache_bytes = 32 * 1024;
+    model.memory.constant_hit_cycles = 1.0;
+    model.memory.constant_miss_cycles = 10.0;
+    model.memory.warp_size = 1;           // no coalescing effects
+    model.memory.uncoalesced_penalty_cycles = 0.0;
+    return model;
+}
+
+CostBreakdown
+compute_cost(const DeviceModel& device, const vm::ExecStats& stats)
+{
+    CostBreakdown cost;
+    for (int op = 0; op < vm::kNumOpcodes; ++op) {
+        const auto count = stats.opcode_counts[op];
+        if (count == 0)
+            continue;
+        const auto opcode = static_cast<vm::Opcode>(op);
+        const auto cls = vm::latency_class(opcode);
+        if (cls == vm::LatencyClass::Atomic) {
+            cost.atomic_cycles += static_cast<double>(count) *
+                                  device.throughput.atomic;
+        } else {
+            cost.compute_cycles += static_cast<double>(count) *
+                                   device.throughput.cycles(cls);
+        }
+    }
+    return cost;
+}
+
+double
+modeled_cycles(const DeviceModel& device, const CostBreakdown& cost)
+{
+    const double compute = cost.compute_cycles / device.compute_lanes;
+    const double memory = cost.memory_cycles / device.memory_lanes;
+    // Atomics: the serialized fraction is charged in full, the rest rides
+    // on the compute lanes.
+    const double atomics =
+        cost.atomic_cycles * device.atomic_serialization +
+        cost.atomic_cycles * (1.0 - device.atomic_serialization) /
+            device.compute_lanes;
+    return compute + memory + atomics;
+}
+
+}  // namespace paraprox::device

@@ -1,0 +1,137 @@
+/// @file
+/// Device cost models: a GTX 560-like GPU and a Core i7-like CPU.
+///
+/// The paper evaluates Paraprox on real hardware; we substitute analytic
+/// cost models fed by the VM's dynamic opcode counts and memory-access
+/// stream.  The models capture the asymmetries the paper's evaluation
+/// leans on:
+///   - atomics are expensive and serializing on the GPU, cheap on the CPU
+///     (Naive Bayes, §4.3);
+///   - transcendentals run on GPU special-function units but are costly on
+///     the CPU (Kernel Density Estimation, §4.3);
+///   - float division is a slow subroutine on the GPU (Fig. 15 discussion);
+///   - global memory is priced through an L1 cache simulation plus a warp
+///     coalescing model (Figs. 16, 17);
+///   - constant memory broadcasts but serializes divergent accesses
+///     (Fig. 16);
+///   - shared memory is fast but must be staged by the kernel.
+
+#pragma once
+
+#include <string>
+
+#include "vm/bytecode.h"
+#include "vm/vm.h"
+
+namespace paraprox::device {
+
+/// Per-opcode-class cycle costs.
+///
+/// Two instances live in every DeviceModel with different semantics:
+///   - `latency`: per-instruction latencies, the paper's Eq. 1 table used
+///     by the static cycles_needed estimate (values like an 18-cycle ALU
+///     pipe, Wong et al.);
+///   - `throughput`: per-warp-instruction issue costs used by the dynamic
+///     cost model (a warp's FMA retires every cycle, its transcendentals
+///     serialize over 4 SFUs, division is a long subroutine).
+struct LatencyTable {
+    double trivial = 1.0;
+    double int_arith = 1.0;
+    double float_arith = 1.0;
+    double div = 8.0;
+    double transcendental = 8.0;
+    double heavy_transcendental = 48.0;
+    double simple_math = 2.0;
+    double atomic = 16.0;
+    double control = 1.0;
+
+    /// Latency of one opcode (memory ops return 0; they are priced by the
+    /// memory model).
+    double cycles(vm::Opcode op) const;
+
+    /// Latency by class (memory returns 0).
+    double cycles(vm::LatencyClass cls) const;
+};
+
+/// Memory-hierarchy parameters.
+struct MemoryParams {
+    int line_bytes = 128;
+    std::int64_t l1_size_bytes = 32 * 1024;
+    int l1_assoc = 8;
+    /// Throughput cost per memory transaction (distinct line per warp).
+    double l1_hit_cycles = 2.0;
+    double l1_miss_cycles = 24.0;
+    /// L1 read *latency* — the paper's Eq. 1 memoization-profitability
+    /// reference ("one order of magnitude greater than the L1 read
+    /// latency").
+    double l1_read_latency = 18.0;
+
+    /// Throughput cost per scratchpad access.
+    double shared_cycles = 0.0625;
+
+    std::int64_t constant_cache_bytes = 8 * 1024;
+    /// Throughput cost per distinct address in a warp (broadcast hardware
+    /// serializes divergent reads).
+    double constant_hit_cycles = 2.0;
+    double constant_miss_cycles = 24.0;
+
+    /// Work-items per coalescing unit (GPU warp = 32; CPU = 1, i.e. no
+    /// coalescing effects).
+    int warp_size = 32;
+    /// Extra cycles charged per additional memory transaction caused by an
+    /// uncoalesced warp access.
+    double uncoalesced_penalty_cycles = 24.0;
+};
+
+/// A modeled execution target.
+struct DeviceModel {
+    std::string name;
+
+    /// Effective parallel lanes for compute (arithmetic cycles are divided
+    /// by this).
+    double compute_lanes = 1.0;
+    /// Effective parallelism for memory traffic.
+    double memory_lanes = 1.0;
+    /// Fraction of atomic cost that serializes (1 = fully serial).
+    double atomic_serialization = 1.0;
+
+    LatencyTable latency;      ///< Eq. 1 per-instruction latencies.
+    LatencyTable throughput;   ///< Dynamic cost per warp-instruction.
+    MemoryParams memory;
+
+    /// GTX 560-like GPU: wide, SFU transcendentals, costly atomics and
+    /// divisions, small per-SM L1, warp coalescing.
+    static DeviceModel gtx560();
+
+    /// Core i7 965-like CPU: few wide cores, cheap atomics, costly
+    /// transcendentals, larger effective cache, no coalescing.
+    static DeviceModel core_i7();
+};
+
+/// Cycle totals attributed to one launch.
+struct CostBreakdown {
+    double compute_cycles = 0.0;   ///< Arithmetic work (pre lane division).
+    double atomic_cycles = 0.0;    ///< Atomic RMW cost (pre serialization).
+    double memory_cycles = 0.0;    ///< Cache/coalescing-priced traffic.
+    std::uint64_t transactions = 0;        ///< Memory transactions issued.
+    std::uint64_t extra_transactions = 0;  ///< Above the coalesced minimum.
+
+    void
+    merge(const CostBreakdown& other)
+    {
+        compute_cycles += other.compute_cycles;
+        atomic_cycles += other.atomic_cycles;
+        memory_cycles += other.memory_cycles;
+        transactions += other.transactions;
+        extra_transactions += other.extra_transactions;
+    }
+};
+
+/// Convert a breakdown + device into total modeled cycles.
+double modeled_cycles(const DeviceModel& device, const CostBreakdown& cost);
+
+/// Compute-side cost of a launch from dynamic opcode counts.
+CostBreakdown compute_cost(const DeviceModel& device,
+                           const vm::ExecStats& stats);
+
+}  // namespace paraprox::device

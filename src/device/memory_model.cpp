@@ -1,0 +1,167 @@
+#include "device/memory_model.h"
+
+#include <algorithm>
+
+namespace paraprox::device {
+
+namespace {
+
+/// Distinct simulated byte address per (buffer slot, element).
+std::int64_t
+element_address(int buffer_slot, std::int64_t element)
+{
+    // Give each buffer its own 1 GiB window so different buffers never
+    // alias in the cache simulators.
+    return (static_cast<std::int64_t>(buffer_slot) + 1) * (1ll << 30) +
+           element * 4;
+}
+
+}  // namespace
+
+CacheDomain::CacheDomain(const DeviceModel& device)
+    : l1_(device.memory.l1_size_bytes, device.memory.line_bytes,
+          device.memory.l1_assoc),
+      constant_(device.memory.constant_cache_bytes,
+                device.memory.line_bytes, device.memory.l1_assoc)
+{
+}
+
+bool
+CacheDomain::access_l1(std::int64_t addr)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return l1_.access(addr);
+}
+
+bool
+CacheDomain::access_constant(std::int64_t addr)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return constant_.access(addr);
+}
+
+GroupMemoryListener::GroupMemoryListener(const DeviceModel& device,
+                                         CacheDomain* domain)
+    : device_(device), domain_(domain)
+{
+}
+
+void
+GroupMemoryListener::on_access(int instr_index, int buffer_slot,
+                               ir::AddrSpace space, std::int64_t element,
+                               bool is_store, std::int64_t global_linear_id)
+{
+    (void)is_store;
+    if (space == ir::AddrSpace::Shared) {
+        // Scratchpad: flat latency, no coalescing rules.
+        cost_.memory_cycles += device_.memory.shared_cycles;
+        ++cost_.transactions;
+        return;
+    }
+
+    const std::int64_t addr = element_address(buffer_slot, element);
+    const std::int64_t warp = global_linear_id / device_.memory.warp_size;
+
+    PendingWarp& pending = pending_[instr_index];
+    if (pending.warp != warp) {
+        if (pending.warp >= 0)
+            issue(pending);
+        pending.warp = warp;
+        pending.space = space;
+        pending.lines.clear();
+        pending.addrs.clear();
+        pending.accesses = 0;
+    }
+    pending.lines.insert(addr / device_.memory.line_bytes);
+    pending.addrs.insert(addr);
+    ++pending.accesses;
+}
+
+void
+GroupMemoryListener::issue(PendingWarp& pending)
+{
+    const MemoryParams& mem = device_.memory;
+    if (pending.space == ir::AddrSpace::Constant) {
+        // Broadcast hardware: one probe per distinct address in the warp —
+        // divergent table lookups serialize.
+        for (std::int64_t addr : pending.addrs) {
+            const bool hit = domain_->access_constant(addr);
+            cost_.memory_cycles += hit ? mem.constant_hit_cycles
+                                       : mem.constant_miss_cycles;
+            ++cost_.transactions;
+        }
+        return;
+    }
+
+    // Global memory: distinct lines become transactions through the L1.
+    const auto accessed_lines =
+        static_cast<std::uint64_t>(pending.lines.size());
+    for (std::int64_t line : pending.lines) {
+        const bool hit = domain_->access_l1(line * mem.line_bytes);
+        cost_.memory_cycles += hit ? mem.l1_hit_cycles : mem.l1_miss_cycles;
+    }
+    cost_.transactions += accessed_lines;
+
+    // Coalescing: a warp of N 4-byte accesses needs at least
+    // ceil(4N / line) transactions when dense.
+    const std::uint64_t ideal =
+        (static_cast<std::uint64_t>(pending.accesses) * 4 + mem.line_bytes -
+         1) / mem.line_bytes;
+    if (accessed_lines > ideal) {
+        const std::uint64_t extra = accessed_lines - ideal;
+        cost_.extra_transactions += extra;
+        cost_.memory_cycles += static_cast<double>(extra) *
+                               mem.uncoalesced_penalty_cycles;
+    }
+}
+
+void
+GroupMemoryListener::flush()
+{
+    for (auto& [instr, pending] : pending_) {
+        if (pending.warp >= 0)
+            issue(pending);
+        pending.warp = -1;
+    }
+}
+
+MemoryCostObserver::MemoryCostObserver(const DeviceModel& device)
+    : device_(device)
+{
+    const int num_domains =
+        std::max(1, static_cast<int>(device.memory_lanes));
+    domains_.reserve(num_domains);
+    for (int d = 0; d < num_domains; ++d)
+        domains_.push_back(std::make_unique<CacheDomain>(device));
+}
+
+std::unique_ptr<vm::MemoryListener>
+MemoryCostObserver::make_group_listener(std::int64_t group_linear)
+{
+    CacheDomain* domain =
+        domains_[group_linear % domains_.size()].get();
+    return std::make_unique<GroupMemoryListener>(device_, domain);
+}
+
+void
+MemoryCostObserver::on_group_complete(vm::MemoryListener& listener)
+{
+    auto& group = static_cast<GroupMemoryListener&>(listener);
+    group.flush();
+    total_.merge(group.cost());
+}
+
+ModeledResult
+run_modeled(const vm::Program& program, const exec::ArgPack& args,
+            const exec::LaunchConfig& config, const DeviceModel& device)
+{
+    MemoryCostObserver observer(device);
+    ModeledResult result;
+    result.launch = exec::launch(program, args, config, &observer);
+    result.cost = compute_cost(device, result.launch.stats);
+    result.cost.merge(observer.memory_cost());
+    result.cycles = modeled_cycles(device, result.cost);
+    return result;
+}
+
+}  // namespace paraprox::device

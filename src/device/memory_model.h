@@ -1,0 +1,112 @@
+/// @file
+/// Memory-traffic pricing: per-work-group listeners batch warp accesses
+/// into transactions; persistent per-SM cache domains (shared by all the
+/// groups scheduled onto that SM, exactly like a real L1) price each
+/// transaction.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "device/cache.h"
+#include "device/device_model.h"
+#include "exec/launch.h"
+
+namespace paraprox::device {
+
+/// One modeled SM's caches (L1 + constant), shared by every work-group
+/// assigned to that SM and persisting across groups within one launch.
+class CacheDomain {
+  public:
+    explicit CacheDomain(const DeviceModel& device);
+
+    /// Probe the L1 for @p addr; returns true on hit.  Thread-safe.
+    bool access_l1(std::int64_t addr);
+
+    /// Probe the constant cache.  Thread-safe.
+    bool access_constant(std::int64_t addr);
+
+  private:
+    std::mutex mutex_;
+    CacheSim l1_;
+    CacheSim constant_;
+};
+
+/// Prices the memory accesses of one work-group.
+///
+/// Work-items of a group execute sequentially, so accesses belonging to the
+/// same warp arrive contiguously; the listener batches the addresses each
+/// static instruction touches within one warp and, when the warp changes,
+/// "issues" them: distinct cache lines become transactions (probing the
+/// SM's cache domain), and transactions beyond the coalesced minimum are
+/// charged the uncoalesced penalty.  Constant-space accesses serialize per
+/// distinct address within the warp (broadcast hardware); shared-space
+/// accesses are flat-cost scratchpad traffic.
+class GroupMemoryListener : public vm::MemoryListener {
+  public:
+    GroupMemoryListener(const DeviceModel& device, CacheDomain* domain);
+
+    void on_access(int instr_index, int buffer_slot, ir::AddrSpace space,
+                   std::int64_t element, bool is_store,
+                   std::int64_t global_linear_id) override;
+
+    /// Issue all pending warp batches; called before reading cost().
+    void flush();
+
+    const CostBreakdown& cost() const { return cost_; }
+
+  private:
+    struct PendingWarp {
+        std::int64_t warp = -1;
+        ir::AddrSpace space = ir::AddrSpace::Global;
+        std::set<std::int64_t> lines;
+        std::set<std::int64_t> addrs;
+        int accesses = 0;
+    };
+
+    void issue(PendingWarp& pending);
+
+    const DeviceModel& device_;
+    CacheDomain* domain_;
+    std::map<int, PendingWarp> pending_;  ///< Keyed by static instruction.
+    CostBreakdown cost_;
+};
+
+/// Aggregates group listeners into one launch-level cost; plug into
+/// exec::launch as the observer.  Groups are distributed round-robin over
+/// memory_lanes cache domains (the modeled SMs / cores).
+class MemoryCostObserver : public exec::LaunchObserver {
+  public:
+    explicit MemoryCostObserver(const DeviceModel& device);
+
+    std::unique_ptr<vm::MemoryListener>
+    make_group_listener(std::int64_t group_linear) override;
+
+    void on_group_complete(vm::MemoryListener& listener) override;
+
+    const CostBreakdown& memory_cost() const { return total_; }
+
+  private:
+    const DeviceModel& device_;
+    std::vector<std::unique_ptr<CacheDomain>> domains_;
+    CostBreakdown total_;
+};
+
+/// A launch priced by a device model.
+struct ModeledResult {
+    exec::LaunchResult launch;
+    CostBreakdown cost;       ///< Compute + atomic + memory combined.
+    double cycles = 0.0;      ///< modeled_cycles(device, cost).
+};
+
+/// Run @p program under @p device's cost model.
+ModeledResult run_modeled(const vm::Program& program,
+                          const exec::ArgPack& args,
+                          const exec::LaunchConfig& config,
+                          const DeviceModel& device);
+
+}  // namespace paraprox::device

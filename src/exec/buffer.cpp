@@ -1,0 +1,100 @@
+#include "exec/buffer.h"
+
+#include <bit>
+
+#include "support/error.h"
+
+namespace paraprox::exec {
+
+Buffer::Buffer(ir::Scalar elem, std::size_t count)
+    : elem_(elem), words_(count, 0)
+{
+    PARAPROX_CHECK(elem == ir::Scalar::F32 || elem == ir::Scalar::I32,
+                   "buffers hold float or int elements");
+}
+
+Buffer
+Buffer::from_floats(const std::vector<float>& values)
+{
+    Buffer buffer(ir::Scalar::F32, values.size());
+    buffer.fill_floats(values);
+    return buffer;
+}
+
+Buffer
+Buffer::from_ints(const std::vector<std::int32_t>& values)
+{
+    Buffer buffer(ir::Scalar::I32, values.size());
+    buffer.fill_ints(values);
+    return buffer;
+}
+
+Buffer
+Buffer::zeros_f32(std::size_t count)
+{
+    return Buffer(ir::Scalar::F32, count);
+}
+
+Buffer
+Buffer::zeros_i32(std::size_t count)
+{
+    return Buffer(ir::Scalar::I32, count);
+}
+
+float
+Buffer::get_float(std::size_t index) const
+{
+    return std::bit_cast<float>(words_[index]);
+}
+
+void
+Buffer::set_float(std::size_t index, float value)
+{
+    words_[index] = std::bit_cast<std::int32_t>(value);
+}
+
+std::int32_t
+Buffer::get_int(std::size_t index) const
+{
+    return words_[index];
+}
+
+void
+Buffer::set_int(std::size_t index, std::int32_t value)
+{
+    words_[index] = value;
+}
+
+std::vector<float>
+Buffer::to_floats() const
+{
+    std::vector<float> out(words_.size());
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        out[i] = std::bit_cast<float>(words_[i]);
+    return out;
+}
+
+std::vector<std::int32_t>
+Buffer::to_ints() const
+{
+    return words_;
+}
+
+void
+Buffer::fill_floats(const std::vector<float>& values)
+{
+    PARAPROX_CHECK(values.size() == words_.size(),
+                   "fill_floats size mismatch");
+    for (std::size_t i = 0; i < values.size(); ++i)
+        words_[i] = std::bit_cast<std::int32_t>(values[i]);
+}
+
+void
+Buffer::fill_ints(const std::vector<std::int32_t>& values)
+{
+    PARAPROX_CHECK(values.size() == words_.size(),
+                   "fill_ints size mismatch");
+    words_ = values;
+}
+
+}  // namespace paraprox::exec

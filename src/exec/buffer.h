@@ -1,0 +1,57 @@
+/// @file
+/// Device buffers: typed 4-byte-element arrays bound to kernel pointer
+/// parameters at launch.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/type.h"
+#include "vm/vm.h"
+
+namespace paraprox::exec {
+
+/// A linear array of int32/float32 elements living in "device memory".
+///
+/// Storage is raw 4-byte words so the VM can apply atomics uniformly;
+/// float values are bit-cast in and out.
+class Buffer {
+  public:
+    Buffer(ir::Scalar elem, std::size_t count);
+
+    static Buffer from_floats(const std::vector<float>& values);
+    static Buffer from_ints(const std::vector<std::int32_t>& values);
+
+    /// Zero-filled buffer of @p count floats.
+    static Buffer zeros_f32(std::size_t count);
+    /// Zero-filled buffer of @p count ints.
+    static Buffer zeros_i32(std::size_t count);
+
+    std::size_t size() const { return words_.size(); }
+    ir::Scalar elem_type() const { return elem_; }
+
+    float get_float(std::size_t index) const;
+    void set_float(std::size_t index, float value);
+    std::int32_t get_int(std::size_t index) const;
+    void set_int(std::size_t index, std::int32_t value);
+
+    std::vector<float> to_floats() const;
+    std::vector<std::int32_t> to_ints() const;
+
+    /// Overwrite contents (size must match element count).
+    void fill_floats(const std::vector<float>& values);
+    void fill_ints(const std::vector<std::int32_t>& values);
+
+    vm::BufferView
+    view()
+    {
+        return {words_.data(), static_cast<std::int64_t>(words_.size())};
+    }
+
+  private:
+    ir::Scalar elem_;
+    std::vector<std::int32_t> words_;
+};
+
+}  // namespace paraprox::exec

@@ -1,0 +1,156 @@
+#include "exec/launch.h"
+
+#include <chrono>
+#include <mutex>
+
+#include "support/parallel.h"
+
+namespace paraprox::exec {
+
+ArgPack&
+ArgPack::buffer(const std::string& name, Buffer& buf)
+{
+    buffers_[name] = &buf;
+    return *this;
+}
+
+ArgPack&
+ArgPack::scalar(const std::string& name, int value)
+{
+    scalars_[name] = vm::make_int(value);
+    return *this;
+}
+
+ArgPack&
+ArgPack::scalar(const std::string& name, float value)
+{
+    scalars_[name] = vm::make_float(value);
+    return *this;
+}
+
+ArgPack&
+ArgPack::shared(const std::string& name, std::int64_t elements)
+{
+    shared_sizes_[name] = elements;
+    return *this;
+}
+
+Buffer*
+ArgPack::find_buffer(const std::string& name) const
+{
+    auto it = buffers_.find(name);
+    return it == buffers_.end() ? nullptr : it->second;
+}
+
+const vm::Value*
+ArgPack::find_scalar(const std::string& name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? nullptr : &it->second;
+}
+
+std::int64_t
+ArgPack::find_shared(const std::string& name) const
+{
+    auto it = shared_sizes_.find(name);
+    return it == shared_sizes_.end() ? 0 : it->second;
+}
+
+LaunchResult
+launch(const vm::Program& program, const ArgPack& args,
+       const LaunchConfig& config, LaunchObserver* observer)
+{
+    // Resolve buffer and scalar arguments against the program signature.
+    std::vector<vm::BufferView> buffer_views(program.buffers.size());
+    std::vector<std::int64_t> shared_sizes(program.buffers.size(), 0);
+    for (std::size_t slot = 0; slot < program.buffers.size(); ++slot) {
+        const auto& info = program.buffers[slot];
+        if (info.space == ir::AddrSpace::Shared) {
+            shared_sizes[slot] = args.find_shared(info.name);
+            PARAPROX_CHECK(shared_sizes[slot] > 0,
+                           "missing __shared size for `" + info.name + "`");
+        } else {
+            Buffer* buffer = args.find_buffer(info.name);
+            PARAPROX_CHECK(buffer, "missing buffer argument `" + info.name +
+                                       "`");
+            PARAPROX_CHECK(buffer->elem_type() == info.elem,
+                           "element type mismatch for `" + info.name + "`");
+            buffer_views[slot] = buffer->view();
+        }
+    }
+
+    std::vector<vm::Value> scalar_args(program.scalars.size());
+    for (std::size_t i = 0; i < program.scalars.size(); ++i) {
+        const vm::Value* value = args.find_scalar(program.scalars[i].name);
+        PARAPROX_CHECK(value, "missing scalar argument `" +
+                                  program.scalars[i].name + "`");
+        scalar_args[i] = *value;
+    }
+
+    std::array<int, 3> num_groups;
+    for (int dim = 0; dim < 3; ++dim) {
+        PARAPROX_CHECK(config.local_size[dim] > 0 &&
+                           config.global_size[dim] > 0,
+                       "launch sizes must be positive");
+        PARAPROX_CHECK(config.global_size[dim] % config.local_size[dim] == 0,
+                       "global size must be divisible by local size");
+        num_groups[dim] = config.global_size[dim] / config.local_size[dim];
+    }
+    const std::int64_t total_groups =
+        static_cast<std::int64_t>(num_groups[0]) * num_groups[1] *
+        num_groups[2];
+
+    LaunchResult result;
+    std::mutex merge_mutex;
+    bool trapped = false;
+    std::string trap_message;
+
+    const auto start = std::chrono::steady_clock::now();
+
+    parallel_for(static_cast<std::size_t>(total_groups),
+                 [&](std::size_t group_linear) {
+        vm::GroupGeometry geometry;
+        geometry.local_size = config.local_size;
+        geometry.num_groups = num_groups;
+        geometry.group_id[0] = static_cast<int>(group_linear % num_groups[0]);
+        geometry.group_id[1] =
+            static_cast<int>((group_linear / num_groups[0]) % num_groups[1]);
+        geometry.group_id[2] =
+            static_cast<int>(group_linear / (static_cast<std::int64_t>(
+                                                num_groups[0]) *
+                                            num_groups[1]));
+
+        std::unique_ptr<vm::MemoryListener> listener;
+        if (observer)
+            listener = observer->make_group_listener(group_linear);
+
+        vm::ExecStats group_stats;
+        vm::GroupRunner runner(program, buffer_views, scalar_args,
+                               shared_sizes, geometry, &group_stats,
+                               listener.get());
+        try {
+            runner.run();
+        } catch (const vm::TrapError& trap) {
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            if (!trapped) {
+                trapped = true;
+                trap_message = trap.what();
+            }
+            return;
+        }
+
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        result.stats.merge(group_stats);
+        if (observer && listener)
+            observer->on_group_complete(*listener);
+    });
+
+    const auto end = std::chrono::steady_clock::now();
+    result.wall_seconds =
+        std::chrono::duration<double>(end - start).count();
+    result.trapped = trapped;
+    result.trap_message = trap_message;
+    return result;
+}
+
+}  // namespace paraprox::exec

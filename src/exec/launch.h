@@ -1,0 +1,89 @@
+/// @file
+/// Kernel launches: bind arguments by parameter name, split the NDRange
+/// into work-groups, and execute groups in parallel on the host thread
+/// pool.
+
+#pragma once
+
+#include <array>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "exec/buffer.h"
+#include "vm/bytecode.h"
+#include "vm/vm.h"
+
+namespace paraprox::exec {
+
+/// NDRange shape of a launch.  global_size must be divisible by local_size
+/// in every dimension.
+struct LaunchConfig {
+    std::array<int, 3> global_size{1, 1, 1};
+    std::array<int, 3> local_size{1, 1, 1};
+
+    static LaunchConfig
+    linear(int global, int local)
+    {
+        return {{global, 1, 1}, {local, 1, 1}};
+    }
+
+    static LaunchConfig
+    grid2d(int gx, int gy, int lx, int ly)
+    {
+        return {{gx, gy, 1}, {lx, ly, 1}};
+    }
+};
+
+/// Named kernel arguments.  Buffers are bound by reference and must outlive
+/// the launch; __shared parameters are bound to an element count.
+class ArgPack {
+  public:
+    ArgPack& buffer(const std::string& name, Buffer& buf);
+    ArgPack& scalar(const std::string& name, int value);
+    ArgPack& scalar(const std::string& name, float value);
+    ArgPack& shared(const std::string& name, std::int64_t elements);
+
+    Buffer* find_buffer(const std::string& name) const;
+    const vm::Value* find_scalar(const std::string& name) const;
+    std::int64_t find_shared(const std::string& name) const;  ///< 0 if absent
+
+  private:
+    std::map<std::string, Buffer*> buffers_;
+    std::map<std::string, vm::Value> scalars_;
+    std::map<std::string, std::int64_t> shared_sizes_;
+};
+
+/// Per-launch observer supplying per-group memory listeners; implemented by
+/// device models to price memory traffic.
+class LaunchObserver {
+  public:
+    virtual ~LaunchObserver() = default;
+
+    /// Create the listener for one work-group (called concurrently).
+    virtual std::unique_ptr<vm::MemoryListener>
+    make_group_listener(std::int64_t group_linear) = 0;
+
+    /// Absorb a finished group's listener (serialized by the launcher).
+    virtual void on_group_complete(vm::MemoryListener& listener) = 0;
+};
+
+/// Outcome of a launch.
+struct LaunchResult {
+    vm::ExecStats stats;
+    double wall_seconds = 0.0;
+    bool trapped = false;
+    std::string trap_message;
+};
+
+/// Execute @p program over @p config with @p args.
+///
+/// Safety: vm::TrapError raised by any work-group aborts the launch and is
+/// reported via LaunchResult::trapped (output buffers may be partially
+/// written); other exceptions propagate.
+LaunchResult launch(const vm::Program& program, const ArgPack& args,
+                    const LaunchConfig& config,
+                    LaunchObserver* observer = nullptr);
+
+}  // namespace paraprox::exec

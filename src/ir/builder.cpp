@@ -1,0 +1,216 @@
+#include "ir/builder.h"
+
+#include "support/error.h"
+
+namespace paraprox::ir::build {
+
+namespace {
+
+ExprPtr
+binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+{
+    Type result = is_comparison(op) ? Type::boolean() : lhs->type();
+    if (op == BinaryOp::LogicalAnd || op == BinaryOp::LogicalOr)
+        result = Type::boolean();
+    return std::make_unique<Binary>(op, std::move(lhs), std::move(rhs),
+                                    result);
+}
+
+ExprPtr
+geometry(Builtin builtin, int dim)
+{
+    std::vector<ExprPtr> args;
+    args.push_back(int_lit(dim));
+    return call(builtin, std::move(args));
+}
+
+}  // namespace
+
+ExprPtr
+int_lit(int value)
+{
+    return std::make_unique<IntLit>(value);
+}
+
+ExprPtr
+float_lit(float value)
+{
+    return std::make_unique<FloatLit>(value);
+}
+
+ExprPtr
+bool_lit(bool value)
+{
+    return std::make_unique<BoolLit>(value);
+}
+
+ExprPtr
+var(const std::string& name, Type type)
+{
+    return std::make_unique<VarRef>(name, type);
+}
+
+ExprPtr
+ivar(const std::string& name)
+{
+    return std::make_unique<VarRef>(name, Type::i32());
+}
+
+ExprPtr
+neg(ExprPtr operand)
+{
+    Type type = operand->type();
+    return std::make_unique<Unary>(UnaryOp::Neg, std::move(operand), type);
+}
+
+ExprPtr
+logical_not(ExprPtr operand)
+{
+    return std::make_unique<Unary>(UnaryOp::Not, std::move(operand),
+                                   Type::boolean());
+}
+
+ExprPtr add(ExprPtr l, ExprPtr r) { return binary(BinaryOp::Add, std::move(l), std::move(r)); }
+ExprPtr sub(ExprPtr l, ExprPtr r) { return binary(BinaryOp::Sub, std::move(l), std::move(r)); }
+ExprPtr mul(ExprPtr l, ExprPtr r) { return binary(BinaryOp::Mul, std::move(l), std::move(r)); }
+ExprPtr div(ExprPtr l, ExprPtr r) { return binary(BinaryOp::Div, std::move(l), std::move(r)); }
+ExprPtr mod(ExprPtr l, ExprPtr r) { return binary(BinaryOp::Mod, std::move(l), std::move(r)); }
+ExprPtr lt(ExprPtr l, ExprPtr r) { return binary(BinaryOp::Lt, std::move(l), std::move(r)); }
+ExprPtr le(ExprPtr l, ExprPtr r) { return binary(BinaryOp::Le, std::move(l), std::move(r)); }
+ExprPtr gt(ExprPtr l, ExprPtr r) { return binary(BinaryOp::Gt, std::move(l), std::move(r)); }
+ExprPtr ge(ExprPtr l, ExprPtr r) { return binary(BinaryOp::Ge, std::move(l), std::move(r)); }
+ExprPtr eq(ExprPtr l, ExprPtr r) { return binary(BinaryOp::Eq, std::move(l), std::move(r)); }
+ExprPtr ne(ExprPtr l, ExprPtr r) { return binary(BinaryOp::Ne, std::move(l), std::move(r)); }
+ExprPtr logical_and(ExprPtr l, ExprPtr r) { return binary(BinaryOp::LogicalAnd, std::move(l), std::move(r)); }
+ExprPtr logical_or(ExprPtr l, ExprPtr r) { return binary(BinaryOp::LogicalOr, std::move(l), std::move(r)); }
+ExprPtr bit_and(ExprPtr l, ExprPtr r) { return binary(BinaryOp::BitAnd, std::move(l), std::move(r)); }
+ExprPtr bit_or(ExprPtr l, ExprPtr r) { return binary(BinaryOp::BitOr, std::move(l), std::move(r)); }
+ExprPtr shl(ExprPtr l, ExprPtr r) { return binary(BinaryOp::Shl, std::move(l), std::move(r)); }
+ExprPtr shr(ExprPtr l, ExprPtr r) { return binary(BinaryOp::Shr, std::move(l), std::move(r)); }
+
+ExprPtr
+call(Builtin builtin, std::vector<ExprPtr> args)
+{
+    const BuiltinInfo& info = builtin_info(builtin);
+    PARAPROX_CHECK(static_cast<int>(args.size()) == info.arity,
+                   std::string("builtin `") + info.name +
+                       "` called with wrong arity");
+    Type result{info.result, false, AddrSpace::Private};
+    // Atomic result type follows the target buffer's element type.
+    if (info.is_atomic && !args.empty())
+        result = args[0]->type().is_pointer ? args[0]->type().pointee()
+                                            : args[0]->type();
+    return std::make_unique<Call>(info.name, builtin, std::move(args),
+                                  result);
+}
+
+ExprPtr
+call(const std::string& callee, Type result, std::vector<ExprPtr> args)
+{
+    return std::make_unique<Call>(callee, Builtin::None, std::move(args),
+                                  result);
+}
+
+ExprPtr global_id(int dim) { return geometry(Builtin::GlobalId, dim); }
+ExprPtr local_id(int dim) { return geometry(Builtin::LocalId, dim); }
+ExprPtr group_id(int dim) { return geometry(Builtin::GroupId, dim); }
+ExprPtr local_size(int dim) { return geometry(Builtin::LocalSize, dim); }
+ExprPtr num_groups(int dim) { return geometry(Builtin::NumGroups, dim); }
+
+ExprPtr
+load(const std::string& array, Type array_type, ExprPtr index)
+{
+    PARAPROX_CHECK(array_type.is_pointer, "load target must be a pointer");
+    return std::make_unique<Load>(array, array_type, std::move(index));
+}
+
+ExprPtr
+to_int(ExprPtr operand)
+{
+    return std::make_unique<Cast>(Type::i32(), std::move(operand));
+}
+
+ExprPtr
+to_float(ExprPtr operand)
+{
+    return std::make_unique<Cast>(Type::f32(), std::move(operand));
+}
+
+ExprPtr
+select(ExprPtr cond, ExprPtr if_true, ExprPtr if_false)
+{
+    Type type = if_true->type();
+    return std::make_unique<Select>(std::move(cond), std::move(if_true),
+                                    std::move(if_false), type);
+}
+
+BlockPtr
+block(std::vector<StmtPtr> stmts)
+{
+    return std::make_unique<Block>(std::move(stmts));
+}
+
+StmtPtr
+decl(const std::string& name, Type type, ExprPtr init)
+{
+    return std::make_unique<Decl>(name, type, std::move(init));
+}
+
+StmtPtr
+assign(const std::string& name, ExprPtr value)
+{
+    return std::make_unique<Assign>(name, std::move(value));
+}
+
+StmtPtr
+store(const std::string& array, Type array_type, ExprPtr index,
+      ExprPtr value)
+{
+    return std::make_unique<Store>(array, array_type, std::move(index),
+                                   std::move(value));
+}
+
+StmtPtr
+if_stmt(ExprPtr cond, BlockPtr then_body, BlockPtr else_body)
+{
+    return std::make_unique<If>(std::move(cond), std::move(then_body),
+                                std::move(else_body));
+}
+
+StmtPtr
+for_stmt(StmtPtr init, ExprPtr cond, StmtPtr step, BlockPtr body)
+{
+    return std::make_unique<For>(std::move(init), std::move(cond),
+                                 std::move(step), std::move(body));
+}
+
+StmtPtr
+counted_for(const std::string& name, ExprPtr lo, ExprPtr hi, ExprPtr step,
+            BlockPtr body)
+{
+    auto init = decl(name, Type::i32(), std::move(lo));
+    auto cond = lt(ivar(name), std::move(hi));
+    auto inc = assign(name, add(ivar(name), std::move(step)));
+    return for_stmt(std::move(init), std::move(cond), std::move(inc),
+                    std::move(body));
+}
+
+StmtPtr
+ret(ExprPtr value)
+{
+    return std::make_unique<Return>(std::move(value));
+}
+
+StmtPtr
+expr_stmt(ExprPtr expr)
+{
+    return std::make_unique<ExprStmt>(std::move(expr));
+}
+
+StmtPtr
+barrier()
+{
+    return std::make_unique<BarrierStmt>();
+}
+
+}  // namespace paraprox::ir::build

@@ -1,0 +1,91 @@
+/// @file
+/// Convenience constructors for IR nodes.
+///
+/// The approximation transforms synthesize a lot of IR (quantization
+/// arithmetic, adjustment code, tail-replication kernels); these helpers
+/// keep that code readable.  All functions return freshly allocated nodes.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace paraprox::ir::build {
+
+// ---- Expressions -----------------------------------------------------
+
+ExprPtr int_lit(int value);
+ExprPtr float_lit(float value);
+ExprPtr bool_lit(bool value);
+
+/// Reference a scalar variable of the given type.
+ExprPtr var(const std::string& name, Type type = Type::f32());
+ExprPtr ivar(const std::string& name);
+
+ExprPtr neg(ExprPtr operand);
+ExprPtr logical_not(ExprPtr operand);
+
+/// Arithmetic ops infer the result type from the lhs.
+ExprPtr add(ExprPtr lhs, ExprPtr rhs);
+ExprPtr sub(ExprPtr lhs, ExprPtr rhs);
+ExprPtr mul(ExprPtr lhs, ExprPtr rhs);
+ExprPtr div(ExprPtr lhs, ExprPtr rhs);
+ExprPtr mod(ExprPtr lhs, ExprPtr rhs);
+
+ExprPtr lt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr le(ExprPtr lhs, ExprPtr rhs);
+ExprPtr gt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr ge(ExprPtr lhs, ExprPtr rhs);
+ExprPtr eq(ExprPtr lhs, ExprPtr rhs);
+ExprPtr ne(ExprPtr lhs, ExprPtr rhs);
+ExprPtr logical_and(ExprPtr lhs, ExprPtr rhs);
+ExprPtr logical_or(ExprPtr lhs, ExprPtr rhs);
+ExprPtr bit_and(ExprPtr lhs, ExprPtr rhs);
+ExprPtr bit_or(ExprPtr lhs, ExprPtr rhs);
+ExprPtr shl(ExprPtr lhs, ExprPtr rhs);
+ExprPtr shr(ExprPtr lhs, ExprPtr rhs);
+
+/// Call a builtin by enum.
+ExprPtr call(Builtin builtin, std::vector<ExprPtr> args);
+
+/// Call a user function.
+ExprPtr call(const std::string& callee, Type result,
+             std::vector<ExprPtr> args);
+
+/// get_global_id(dim) etc.
+ExprPtr global_id(int dim = 0);
+ExprPtr local_id(int dim = 0);
+ExprPtr group_id(int dim = 0);
+ExprPtr local_size(int dim = 0);
+ExprPtr num_groups(int dim = 0);
+
+ExprPtr load(const std::string& array, Type array_type, ExprPtr index);
+
+ExprPtr to_int(ExprPtr operand);
+ExprPtr to_float(ExprPtr operand);
+
+ExprPtr select(ExprPtr cond, ExprPtr if_true, ExprPtr if_false);
+
+// ---- Statements ------------------------------------------------------
+
+BlockPtr block(std::vector<StmtPtr> stmts = {});
+StmtPtr decl(const std::string& name, Type type, ExprPtr init);
+StmtPtr assign(const std::string& name, ExprPtr value);
+StmtPtr store(const std::string& array, Type array_type, ExprPtr index,
+              ExprPtr value);
+StmtPtr if_stmt(ExprPtr cond, BlockPtr then_body,
+                BlockPtr else_body = nullptr);
+StmtPtr for_stmt(StmtPtr init, ExprPtr cond, StmtPtr step, BlockPtr body);
+
+/// Canonical counted loop: for (name = lo; name < hi; name = name + step).
+StmtPtr counted_for(const std::string& name, ExprPtr lo, ExprPtr hi,
+                    ExprPtr step, BlockPtr body);
+
+StmtPtr ret(ExprPtr value = nullptr);
+StmtPtr expr_stmt(ExprPtr expr);
+StmtPtr barrier();
+
+}  // namespace paraprox::ir::build

@@ -1,0 +1,101 @@
+#include "ir/builtins.h"
+
+#include <array>
+
+#include "support/error.h"
+
+namespace paraprox::ir {
+
+namespace {
+
+constexpr std::array<BuiltinInfo, 28> kBuiltins = {{
+    // builtin, name, arity, result, pure, thread_dep, atomic
+    {Builtin::Sqrt, "sqrtf", 1, Scalar::F32, true, false, false},
+    {Builtin::Exp, "expf", 1, Scalar::F32, true, false, false},
+    {Builtin::Log, "logf", 1, Scalar::F32, true, false, false},
+    {Builtin::Sin, "sinf", 1, Scalar::F32, true, false, false},
+    {Builtin::Cos, "cosf", 1, Scalar::F32, true, false, false},
+    {Builtin::Pow, "powf", 2, Scalar::F32, true, false, false},
+    {Builtin::Fabs, "fabsf", 1, Scalar::F32, true, false, false},
+    {Builtin::Fmin, "fminf", 2, Scalar::F32, true, false, false},
+    {Builtin::Fmax, "fmaxf", 2, Scalar::F32, true, false, false},
+    {Builtin::Floor, "floorf", 1, Scalar::F32, true, false, false},
+    {Builtin::Lgamma, "lgammaf", 1, Scalar::F32, true, false, false},
+    {Builtin::Erf, "erff", 1, Scalar::F32, true, false, false},
+    {Builtin::IMin, "min", 2, Scalar::I32, true, false, false},
+    {Builtin::IMax, "max", 2, Scalar::I32, true, false, false},
+
+    {Builtin::GlobalId, "get_global_id", 1, Scalar::I32, true, true, false},
+    {Builtin::LocalId, "get_local_id", 1, Scalar::I32, true, true, false},
+    {Builtin::GroupId, "get_group_id", 1, Scalar::I32, true, true, false},
+    {Builtin::LocalSize, "get_local_size", 1, Scalar::I32, true, true, false},
+    {Builtin::NumGroups, "get_num_groups", 1, Scalar::I32, true, true, false},
+    {Builtin::GlobalSize, "get_global_size", 1, Scalar::I32, true, true,
+     false},
+
+    {Builtin::AtomicAdd, "atomic_add", 3, Scalar::F32, false, false, true},
+    {Builtin::AtomicMin, "atomic_min", 3, Scalar::F32, false, false, true},
+    {Builtin::AtomicMax, "atomic_max", 3, Scalar::F32, false, false, true},
+    {Builtin::AtomicInc, "atomic_inc", 2, Scalar::I32, false, false, true},
+    {Builtin::AtomicAnd, "atomic_and", 3, Scalar::I32, false, false, true},
+    {Builtin::AtomicOr, "atomic_or", 3, Scalar::I32, false, false, true},
+    {Builtin::AtomicXor, "atomic_xor", 3, Scalar::I32, false, false, true},
+
+    {Builtin::Barrier, "barrier", 0, Scalar::Void, false, false, false},
+}};
+
+}  // namespace
+
+const BuiltinInfo&
+builtin_info(Builtin builtin)
+{
+    PARAPROX_ASSERT(builtin != Builtin::None,
+                    "builtin_info called on Builtin::None");
+    for (const auto& info : kBuiltins) {
+        if (info.builtin == builtin)
+            return info;
+    }
+    throw InternalError("builtin_info: unregistered builtin");
+}
+
+std::optional<Builtin>
+builtin_by_name(const std::string& name)
+{
+    for (const auto& info : kBuiltins) {
+        if (name == info.name)
+            return info.builtin;
+    }
+    return std::nullopt;
+}
+
+bool
+is_atomic_builtin(Builtin builtin)
+{
+    return builtin != Builtin::None && builtin_info(builtin).is_atomic;
+}
+
+bool
+is_thread_id_builtin(Builtin builtin)
+{
+    return builtin != Builtin::None &&
+           builtin_info(builtin).thread_dependent;
+}
+
+bool
+is_transcendental_builtin(Builtin builtin)
+{
+    switch (builtin) {
+      case Builtin::Exp:
+      case Builtin::Log:
+      case Builtin::Sin:
+      case Builtin::Cos:
+      case Builtin::Pow:
+      case Builtin::Lgamma:
+      case Builtin::Erf:
+        return true;
+      default:
+        return false;
+    }
+}
+
+}  // namespace paraprox::ir

@@ -1,0 +1,88 @@
+/// @file
+/// The ParaCL builtin function set: math intrinsics, work-item geometry
+/// queries, atomics, and the work-group barrier.
+///
+/// Purity and latency classification of builtins drives pattern detection:
+/// a map candidate may call Sqrt but not GlobalId or AtomicAdd (§3.1.2 of
+/// the paper), and Eq. 1's cycles_needed estimate charges each builtin its
+/// device-specific latency.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ir/type.h"
+
+namespace paraprox::ir {
+
+/// Every builtin callable from ParaCL.
+enum class Builtin {
+    None,  ///< Not a builtin (user-defined function).
+
+    // Math intrinsics (pure).
+    Sqrt,
+    Exp,
+    Log,
+    Sin,
+    Cos,
+    Pow,
+    Fabs,
+    Fmin,
+    Fmax,
+    Floor,
+    Lgamma,
+    Erf,
+    IMin,
+    IMax,
+
+    // Work-item geometry (pure w.r.t. memory but thread-dependent).
+    GlobalId,
+    LocalId,
+    GroupId,
+    LocalSize,
+    NumGroups,
+    GlobalSize,
+
+    // Atomics (impure): atomic_*(buffer, index, value) except AtomicInc
+    // which takes (buffer, index).  All return the old value.
+    AtomicAdd,
+    AtomicMin,
+    AtomicMax,
+    AtomicInc,
+    AtomicAnd,
+    AtomicOr,
+    AtomicXor,
+
+    // Work-group synchronization (impure).
+    Barrier,
+};
+
+/// Static facts about a builtin.
+struct BuiltinInfo {
+    Builtin builtin;
+    const char* name;      ///< ParaCL spelling, e.g. "sqrtf".
+    int arity;             ///< Number of arguments; -1 for AtomicInc special.
+    Scalar result;         ///< Result scalar type.
+    bool pure;             ///< No side effects and input-only dependence.
+    bool thread_dependent; ///< Result depends on work-item identity.
+    bool is_atomic;        ///< Read-modify-write on memory.
+};
+
+/// Lookup by enum; aborts on Builtin::None.
+const BuiltinInfo& builtin_info(Builtin builtin);
+
+/// Lookup by ParaCL spelling; nullopt when @p name is not a builtin.
+std::optional<Builtin> builtin_by_name(const std::string& name);
+
+/// True for the atomic read-modify-write builtins.
+bool is_atomic_builtin(Builtin builtin);
+
+/// True for the work-item geometry builtins.
+bool is_thread_id_builtin(Builtin builtin);
+
+/// True for math builtins whose hardware implementation is a transcendental
+/// special-function candidate (exp/log/sin/cos/pow/lgamma/erf).
+bool is_transcendental_builtin(Builtin builtin);
+
+}  // namespace paraprox::ir

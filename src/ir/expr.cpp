@@ -1,0 +1,84 @@
+#include "ir/expr.h"
+
+namespace paraprox::ir {
+
+bool
+is_comparison(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+to_string(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Add: return "+";
+      case BinaryOp::Sub: return "-";
+      case BinaryOp::Mul: return "*";
+      case BinaryOp::Div: return "/";
+      case BinaryOp::Mod: return "%";
+      case BinaryOp::Lt: return "<";
+      case BinaryOp::Le: return "<=";
+      case BinaryOp::Gt: return ">";
+      case BinaryOp::Ge: return ">=";
+      case BinaryOp::Eq: return "==";
+      case BinaryOp::Ne: return "!=";
+      case BinaryOp::LogicalAnd: return "&&";
+      case BinaryOp::LogicalOr: return "||";
+      case BinaryOp::BitAnd: return "&";
+      case BinaryOp::BitOr: return "|";
+      case BinaryOp::BitXor: return "^";
+      case BinaryOp::Shl: return "<<";
+      case BinaryOp::Shr: return ">>";
+    }
+    return "<bad-op>";
+}
+
+bool
+const_int_value(const Expr& expr, int& value)
+{
+    switch (expr.kind()) {
+      case ExprKind::IntLit:
+        value = static_cast<const IntLit&>(expr).value;
+        return true;
+      case ExprKind::Unary: {
+        const auto& unary = static_cast<const Unary&>(expr);
+        if (unary.op != UnaryOp::Neg)
+            return false;
+        if (!const_int_value(*unary.operand, value))
+            return false;
+        value = -value;
+        return true;
+      }
+      case ExprKind::Cast: {
+        const auto& cast = static_cast<const Cast&>(expr);
+        if (!cast.type().is_int())
+            return false;
+        return const_int_value(*cast.operand, value);
+      }
+      default:
+        return false;
+    }
+}
+
+std::string
+to_string(UnaryOp op)
+{
+    switch (op) {
+      case UnaryOp::Neg: return "-";
+      case UnaryOp::Not: return "!";
+    }
+    return "<bad-op>";
+}
+
+}  // namespace paraprox::ir

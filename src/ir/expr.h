@@ -1,0 +1,256 @@
+/// @file
+/// Expression nodes of the ParaCL IR.
+///
+/// The IR is a typed abstract syntax tree: Paraprox's pattern detectors walk
+/// it (like the paper's Clang AST visitor) and its transforms clone and
+/// rewrite it before bytecode compilation.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/builtins.h"
+#include "ir/type.h"
+
+namespace paraprox::ir {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node kinds.
+enum class ExprKind {
+    IntLit,
+    FloatLit,
+    BoolLit,
+    VarRef,
+    Unary,
+    Binary,
+    Call,
+    Load,
+    Cast,
+    Select,
+};
+
+/// Unary operators.
+enum class UnaryOp {
+    Neg,  ///< Arithmetic negation.
+    Not,  ///< Logical not.
+};
+
+/// Binary operators.
+enum class BinaryOp {
+    Add, Sub, Mul, Div, Mod,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    LogicalAnd, LogicalOr,
+    BitAnd, BitOr, BitXor, Shl, Shr,
+};
+
+/// True for comparison operators (result type Bool).
+bool is_comparison(BinaryOp op);
+
+/// ParaCL spelling of an operator, e.g. "<<".
+std::string to_string(BinaryOp op);
+std::string to_string(UnaryOp op);
+
+/// Base class of all expression nodes.
+class Expr {
+  public:
+    virtual ~Expr() = default;
+
+    ExprKind kind() const { return kind_; }
+    const Type& type() const { return type_; }
+    void set_type(const Type& type) { type_ = type; }
+
+    /// Deep copy.
+    virtual ExprPtr clone() const = 0;
+
+  protected:
+    Expr(ExprKind kind, Type type) : kind_(kind), type_(type) {}
+
+  private:
+    ExprKind kind_;
+    Type type_;
+};
+
+/// 32-bit integer literal.
+class IntLit : public Expr {
+  public:
+    explicit IntLit(int value) : Expr(ExprKind::IntLit, Type::i32()),
+                                 value(value) {}
+    ExprPtr clone() const override { return std::make_unique<IntLit>(value); }
+
+    int value;
+};
+
+/// 32-bit float literal.
+class FloatLit : public Expr {
+  public:
+    explicit FloatLit(float value) : Expr(ExprKind::FloatLit, Type::f32()),
+                                     value(value) {}
+    ExprPtr
+    clone() const override
+    {
+        return std::make_unique<FloatLit>(value);
+    }
+
+    float value;
+};
+
+/// Boolean literal.
+class BoolLit : public Expr {
+  public:
+    explicit BoolLit(bool value) : Expr(ExprKind::BoolLit, Type::boolean()),
+                                   value(value) {}
+    ExprPtr
+    clone() const override
+    {
+        return std::make_unique<BoolLit>(value);
+    }
+
+    bool value;
+};
+
+/// Reference to a named variable or parameter.
+class VarRef : public Expr {
+  public:
+    VarRef(std::string name, Type type)
+        : Expr(ExprKind::VarRef, type), name(std::move(name)) {}
+    ExprPtr
+    clone() const override
+    {
+        return std::make_unique<VarRef>(name, type());
+    }
+
+    std::string name;
+};
+
+/// Unary operation.
+class Unary : public Expr {
+  public:
+    Unary(UnaryOp op, ExprPtr operand, Type type)
+        : Expr(ExprKind::Unary, type), op(op), operand(std::move(operand)) {}
+    ExprPtr
+    clone() const override
+    {
+        return std::make_unique<Unary>(op, operand->clone(), type());
+    }
+
+    UnaryOp op;
+    ExprPtr operand;
+};
+
+/// Binary operation.
+class Binary : public Expr {
+  public:
+    Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, Type type)
+        : Expr(ExprKind::Binary, type), op(op), lhs(std::move(lhs)),
+          rhs(std::move(rhs)) {}
+    ExprPtr
+    clone() const override
+    {
+        return std::make_unique<Binary>(op, lhs->clone(), rhs->clone(),
+                                        type());
+    }
+
+    BinaryOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+/// Call to a builtin or a user function.
+class Call : public Expr {
+  public:
+    Call(std::string callee, Builtin builtin, std::vector<ExprPtr> args,
+         Type type)
+        : Expr(ExprKind::Call, type), callee(std::move(callee)),
+          builtin(builtin), args(std::move(args)) {}
+
+    ExprPtr
+    clone() const override
+    {
+        std::vector<ExprPtr> cloned;
+        cloned.reserve(args.size());
+        for (const auto& arg : args)
+            cloned.push_back(arg->clone());
+        return std::make_unique<Call>(callee, builtin, std::move(cloned),
+                                      type());
+    }
+
+    std::string callee;       ///< Name as written; set for user functions.
+    Builtin builtin;          ///< Builtin::None for user functions.
+    std::vector<ExprPtr> args;
+};
+
+/// Array element load: base[index], where base is a pointer-typed variable.
+class Load : public Expr {
+  public:
+    Load(std::string array, Type array_type, ExprPtr index)
+        : Expr(ExprKind::Load, array_type.pointee()),
+          array(std::move(array)), array_type(array_type),
+          index(std::move(index)) {}
+    ExprPtr
+    clone() const override
+    {
+        return std::make_unique<Load>(array, array_type, index->clone());
+    }
+
+    std::string array;
+    Type array_type;
+    ExprPtr index;
+};
+
+/// Scalar conversion, e.g. (float)i.
+class Cast : public Expr {
+  public:
+    Cast(Type to, ExprPtr operand)
+        : Expr(ExprKind::Cast, to), operand(std::move(operand)) {}
+    ExprPtr
+    clone() const override
+    {
+        return std::make_unique<Cast>(type(), operand->clone());
+    }
+
+    ExprPtr operand;
+};
+
+/// Ternary select: cond ? if_true : if_false.
+class Select : public Expr {
+  public:
+    Select(ExprPtr cond, ExprPtr if_true, ExprPtr if_false, Type type)
+        : Expr(ExprKind::Select, type), cond(std::move(cond)),
+          if_true(std::move(if_true)), if_false(std::move(if_false)) {}
+    ExprPtr
+    clone() const override
+    {
+        return std::make_unique<Select>(cond->clone(), if_true->clone(),
+                                        if_false->clone(), type());
+    }
+
+    ExprPtr cond;
+    ExprPtr if_true;
+    ExprPtr if_false;
+};
+
+/// Compile-time integer value of an expression, if it is a literal,
+/// possibly wrapped in unary negation or int-to-int casts (e.g. `-1`
+/// parses as Neg(IntLit 1)).  Returns false when not constant.
+bool const_int_value(const Expr& expr, int& value);
+
+/// Downcast helper: expr_as<Binary>(e) returns nullptr when kinds mismatch.
+template <typename NodeT>
+const NodeT*
+expr_as(const Expr& expr)
+{
+    return dynamic_cast<const NodeT*>(&expr);
+}
+
+template <typename NodeT>
+NodeT*
+expr_as(Expr& expr)
+{
+    return dynamic_cast<NodeT*>(&expr);
+}
+
+}  // namespace paraprox::ir

@@ -1,0 +1,89 @@
+#include "ir/function.h"
+
+#include "support/error.h"
+
+namespace paraprox::ir {
+
+FunctionPtr
+Function::clone(const std::string& new_name) const
+{
+    auto body_copy = BlockPtr(static_cast<Block*>(body->clone().release()));
+    auto copy = std::make_unique<Function>(
+        new_name.empty() ? name : new_name, return_type, params,
+        std::move(body_copy), is_kernel);
+    copy->pragmas = pragmas;
+    return copy;
+}
+
+const Param*
+Function::find_param(const std::string& param_name) const
+{
+    for (const auto& param : params) {
+        if (param.name == param_name)
+            return &param;
+    }
+    return nullptr;
+}
+
+Module
+Module::clone() const
+{
+    Module copy;
+    for (const auto& function : functions_)
+        copy.add_function(function->clone());
+    return copy;
+}
+
+Function&
+Module::add_function(FunctionPtr function)
+{
+    PARAPROX_CHECK(function != nullptr, "add_function: null function");
+    PARAPROX_CHECK(find_function(function->name) == nullptr,
+                   "duplicate function name `" + function->name + "`");
+    functions_.push_back(std::move(function));
+    return *functions_.back();
+}
+
+Function*
+Module::find_function(const std::string& name)
+{
+    for (auto& function : functions_) {
+        if (function->name == name)
+            return function.get();
+    }
+    return nullptr;
+}
+
+const Function*
+Module::find_function(const std::string& name) const
+{
+    for (const auto& function : functions_) {
+        if (function->name == name)
+            return function.get();
+    }
+    return nullptr;
+}
+
+std::vector<Function*>
+Module::kernels()
+{
+    std::vector<Function*> result;
+    for (auto& function : functions_) {
+        if (function->is_kernel)
+            result.push_back(function.get());
+    }
+    return result;
+}
+
+std::vector<const Function*>
+Module::kernels() const
+{
+    std::vector<const Function*> result;
+    for (const auto& function : functions_) {
+        if (function->is_kernel)
+            result.push_back(function.get());
+    }
+    return result;
+}
+
+}  // namespace paraprox::ir

@@ -1,0 +1,82 @@
+/// @file
+/// Functions, kernels, and modules of the ParaCL IR.
+
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace paraprox::ir {
+
+/// A formal parameter.
+struct Param {
+    std::string name;
+    Type type;
+};
+
+/// A ParaCL function: either a device helper function or (when is_kernel) a
+/// kernel entry point.
+class Function {
+  public:
+    Function(std::string name, Type return_type, std::vector<Param> params,
+             BlockPtr body, bool is_kernel)
+        : name(std::move(name)), return_type(return_type),
+          params(std::move(params)), body(std::move(body)),
+          is_kernel(is_kernel) {}
+
+    /// Deep copy, optionally renamed.
+    std::unique_ptr<Function> clone(const std::string& new_name = "") const;
+
+    /// Find a parameter by name; nullptr when absent.
+    const Param* find_param(const std::string& name) const;
+
+    std::string name;
+    Type return_type;
+    std::vector<Param> params;
+    BlockPtr body;
+    bool is_kernel;
+
+    /// Annotations attached via `#pragma paraprox <word>` in source
+    /// (e.g. "scan" marks a scan-pattern kernel, per §3.4.2's programmer
+    /// hint escape hatch).
+    std::set<std::string> pragmas;
+};
+
+using FunctionPtr = std::unique_ptr<Function>;
+
+/// A translation unit: an ordered list of functions.
+class Module {
+  public:
+    Module() = default;
+
+    Module(const Module&) = delete;
+    Module& operator=(const Module&) = delete;
+    Module(Module&&) = default;
+    Module& operator=(Module&&) = default;
+
+    /// Deep copy of every function.
+    Module clone() const;
+
+    /// Append a function; its name must be unique in the module.
+    Function& add_function(FunctionPtr function);
+
+    /// Find by name; nullptr when absent.
+    Function* find_function(const std::string& name);
+    const Function* find_function(const std::string& name) const;
+
+    /// All kernel entry points, in declaration order.
+    std::vector<Function*> kernels();
+    std::vector<const Function*> kernels() const;
+
+    const std::vector<FunctionPtr>& functions() const { return functions_; }
+    std::vector<FunctionPtr>& functions() { return functions_; }
+
+  private:
+    std::vector<FunctionPtr> functions_;
+};
+
+}  // namespace paraprox::ir

@@ -1,0 +1,315 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace paraprox::ir {
+
+namespace {
+
+/// Operator precedence for minimal-parenthesis printing.  Higher binds
+/// tighter.
+int
+precedence(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Mul:
+      case BinaryOp::Div:
+      case BinaryOp::Mod:
+        return 10;
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+        return 9;
+      case BinaryOp::Shl:
+      case BinaryOp::Shr:
+        return 8;
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+        return 7;
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+        return 6;
+      case BinaryOp::BitAnd:
+        return 5;
+      case BinaryOp::BitXor:
+        return 4;
+      case BinaryOp::BitOr:
+        return 3;
+      case BinaryOp::LogicalAnd:
+        return 2;
+      case BinaryOp::LogicalOr:
+        return 1;
+    }
+    return 0;
+}
+
+std::string
+float_literal(float value)
+{
+    std::ostringstream os;
+    os.precision(9);
+    os << value;
+    std::string text = os.str();
+    // Ensure the token re-lexes as a float, not an int.
+    if (text.find('.') == std::string::npos &&
+        text.find('e') == std::string::npos &&
+        text.find("inf") == std::string::npos &&
+        text.find("nan") == std::string::npos) {
+        text += ".0";
+    }
+    text += "f";
+    return text;
+}
+
+void print_expr(std::ostream& os, const Expr& expr, int parent_prec);
+
+void
+print_args(std::ostream& os, const std::vector<ExprPtr>& args)
+{
+    os << "(";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        print_expr(os, *args[i], 0);
+    }
+    os << ")";
+}
+
+void
+print_expr(std::ostream& os, const Expr& expr, int parent_prec)
+{
+    switch (expr.kind()) {
+      case ExprKind::IntLit:
+        os << static_cast<const IntLit&>(expr).value;
+        break;
+      case ExprKind::FloatLit:
+        os << float_literal(static_cast<const FloatLit&>(expr).value);
+        break;
+      case ExprKind::BoolLit:
+        os << (static_cast<const BoolLit&>(expr).value ? "true" : "false");
+        break;
+      case ExprKind::VarRef:
+        os << static_cast<const VarRef&>(expr).name;
+        break;
+      case ExprKind::Unary: {
+        const auto& unary = static_cast<const Unary&>(expr);
+        os << to_string(unary.op) << "(";
+        print_expr(os, *unary.operand, 0);
+        os << ")";
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto& binary = static_cast<const Binary&>(expr);
+        const int prec = precedence(binary.op);
+        const bool parens = prec < parent_prec;
+        if (parens)
+            os << "(";
+        print_expr(os, *binary.lhs, prec);
+        os << " " << to_string(binary.op) << " ";
+        // Right operand gets prec+1 so non-associative re-parse matches.
+        print_expr(os, *binary.rhs, prec + 1);
+        if (parens)
+            os << ")";
+        break;
+      }
+      case ExprKind::Call: {
+        const auto& call = static_cast<const Call&>(expr);
+        os << call.callee;
+        print_args(os, call.args);
+        break;
+      }
+      case ExprKind::Load: {
+        const auto& load = static_cast<const Load&>(expr);
+        os << load.array << "[";
+        print_expr(os, *load.index, 0);
+        os << "]";
+        break;
+      }
+      case ExprKind::Cast: {
+        const auto& cast = static_cast<const Cast&>(expr);
+        os << "(" << cast.type().to_string() << ")(";
+        print_expr(os, *cast.operand, 0);
+        os << ")";
+        break;
+      }
+      case ExprKind::Select: {
+        const auto& select = static_cast<const Select&>(expr);
+        if (parent_prec > 0)
+            os << "(";
+        print_expr(os, *select.cond, 1);
+        os << " ? ";
+        print_expr(os, *select.if_true, 1);
+        os << " : ";
+        print_expr(os, *select.if_false, 0);
+        if (parent_prec > 0)
+            os << ")";
+        break;
+      }
+    }
+}
+
+void
+print_indent(std::ostream& os, int indent)
+{
+    for (int i = 0; i < indent; ++i)
+        os << "    ";
+}
+
+void print_stmt(std::ostream& os, const Stmt& stmt, int indent);
+
+void
+print_block_body(std::ostream& os, const Block& block, int indent)
+{
+    os << "{\n";
+    for (const auto& stmt : block.stmts)
+        print_stmt(os, *stmt, indent + 1);
+    print_indent(os, indent);
+    os << "}";
+}
+
+/// Print a Decl or Assign without trailing semicolon/newline (for loop
+/// headers).
+void
+print_inline_stmt(std::ostream& os, const Stmt& stmt)
+{
+    if (const auto* decl = stmt_as<Decl>(stmt)) {
+        os << decl->type.to_string() << " " << decl->name;
+        if (decl->init) {
+            os << " = ";
+            print_expr(os, *decl->init, 0);
+        }
+    } else if (const auto* assign = stmt_as<Assign>(stmt)) {
+        os << assign->name << " = ";
+        print_expr(os, *assign->value, 0);
+    } else {
+        throw InternalError("loop header statement must be Decl or Assign");
+    }
+}
+
+void
+print_stmt(std::ostream& os, const Stmt& stmt, int indent)
+{
+    print_indent(os, indent);
+    switch (stmt.kind()) {
+      case StmtKind::Block:
+        print_block_body(os, static_cast<const Block&>(stmt), indent);
+        os << "\n";
+        break;
+      case StmtKind::Decl:
+      case StmtKind::Assign:
+        print_inline_stmt(os, stmt);
+        os << ";\n";
+        break;
+      case StmtKind::Store: {
+        const auto& store = static_cast<const Store&>(stmt);
+        os << store.array << "[";
+        print_expr(os, *store.index, 0);
+        os << "] = ";
+        print_expr(os, *store.value, 0);
+        os << ";\n";
+        break;
+      }
+      case StmtKind::If: {
+        const auto& branch = static_cast<const If&>(stmt);
+        os << "if (";
+        print_expr(os, *branch.cond, 0);
+        os << ") ";
+        print_block_body(os, *branch.then_body, indent);
+        if (branch.else_body) {
+            os << " else ";
+            print_block_body(os, *branch.else_body, indent);
+        }
+        os << "\n";
+        break;
+      }
+      case StmtKind::For: {
+        const auto& loop = static_cast<const For&>(stmt);
+        os << "for (";
+        if (loop.init)
+            print_inline_stmt(os, *loop.init);
+        os << "; ";
+        print_expr(os, *loop.cond, 0);
+        os << "; ";
+        if (loop.step)
+            print_inline_stmt(os, *loop.step);
+        os << ") ";
+        print_block_body(os, *loop.body, indent);
+        os << "\n";
+        break;
+      }
+      case StmtKind::Return: {
+        const auto& ret = static_cast<const Return&>(stmt);
+        os << "return";
+        if (ret.value) {
+            os << " ";
+            print_expr(os, *ret.value, 0);
+        }
+        os << ";\n";
+        break;
+      }
+      case StmtKind::ExprStmt: {
+        const auto& expr_stmt = static_cast<const ExprStmt&>(stmt);
+        print_expr(os, *expr_stmt.expr, 0);
+        os << ";\n";
+        break;
+      }
+      case StmtKind::Barrier:
+        os << "barrier();\n";
+        break;
+    }
+}
+
+}  // namespace
+
+std::string
+to_source(const Expr& expr)
+{
+    std::ostringstream os;
+    print_expr(os, expr, 0);
+    return os.str();
+}
+
+std::string
+to_source(const Stmt& stmt, int indent)
+{
+    std::ostringstream os;
+    print_stmt(os, stmt, indent);
+    return os.str();
+}
+
+std::string
+to_source(const Function& function)
+{
+    std::ostringstream os;
+    for (const auto& pragma : function.pragmas)
+        os << "#pragma paraprox " << pragma << "\n";
+    if (function.is_kernel)
+        os << "__kernel ";
+    os << function.return_type.to_string() << " " << function.name << "(";
+    for (std::size_t i = 0; i < function.params.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << function.params[i].type.to_string() << " "
+           << function.params[i].name;
+    }
+    os << ") ";
+    print_block_body(os, *function.body, 0);
+    os << "\n";
+    return os.str();
+}
+
+std::string
+to_source(const Module& module)
+{
+    std::string out;
+    for (const auto& function : module.functions()) {
+        out += to_source(*function);
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace paraprox::ir

@@ -1,0 +1,22 @@
+/// @file
+/// Pretty-printing of IR back to ParaCL source.
+///
+/// Output is valid ParaCL: the parser round-trips it, which the test suite
+/// uses as a structural-equality oracle, and it doubles as the
+/// human-readable dump of generated approximate kernels (the analogue of
+/// the paper's rewritten CUDA output).
+
+#pragma once
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace paraprox::ir {
+
+std::string to_source(const Expr& expr);
+std::string to_source(const Stmt& stmt, int indent = 0);
+std::string to_source(const Function& function);
+std::string to_source(const Module& module);
+
+}  // namespace paraprox::ir

@@ -1,0 +1,234 @@
+/// @file
+/// Statement nodes of the ParaCL IR.
+///
+/// Statements are structured (no goto, no unstructured break): loops carry
+/// explicit init/cond/step slots, which is what makes the paper's reduction
+/// detection ("multiply the loop step by N") a local rewrite.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace paraprox::ir {
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node kinds.
+enum class StmtKind {
+    Block,
+    Decl,
+    Assign,
+    Store,
+    If,
+    For,
+    Return,
+    ExprStmt,
+    Barrier,
+};
+
+/// Base class of all statement nodes.
+class Stmt {
+  public:
+    virtual ~Stmt() = default;
+    StmtKind kind() const { return kind_; }
+
+    /// Deep copy.
+    virtual StmtPtr clone() const = 0;
+
+  protected:
+    explicit Stmt(StmtKind kind) : kind_(kind) {}
+
+  private:
+    StmtKind kind_;
+};
+
+/// Braced statement sequence.
+class Block : public Stmt {
+  public:
+    Block() : Stmt(StmtKind::Block) {}
+    explicit Block(std::vector<StmtPtr> stmts)
+        : Stmt(StmtKind::Block), stmts(std::move(stmts)) {}
+
+    StmtPtr
+    clone() const override
+    {
+        auto copy = std::make_unique<Block>();
+        copy->stmts.reserve(stmts.size());
+        for (const auto& stmt : stmts)
+            copy->stmts.push_back(stmt->clone());
+        return copy;
+    }
+
+    std::vector<StmtPtr> stmts;
+};
+
+using BlockPtr = std::unique_ptr<Block>;
+
+/// Local variable declaration with mandatory initializer.
+class Decl : public Stmt {
+  public:
+    Decl(std::string name, Type type, ExprPtr init)
+        : Stmt(StmtKind::Decl), name(std::move(name)), type(type),
+          init(std::move(init)) {}
+
+    StmtPtr
+    clone() const override
+    {
+        return std::make_unique<Decl>(name, type,
+                                      init ? init->clone() : nullptr);
+    }
+
+    std::string name;
+    Type type;
+    ExprPtr init;  ///< May be null (default-initialized to zero).
+};
+
+/// Scalar variable assignment: name = value.
+class Assign : public Stmt {
+  public:
+    Assign(std::string name, ExprPtr value)
+        : Stmt(StmtKind::Assign), name(std::move(name)),
+          value(std::move(value)) {}
+
+    StmtPtr
+    clone() const override
+    {
+        return std::make_unique<Assign>(name, value->clone());
+    }
+
+    std::string name;
+    ExprPtr value;
+};
+
+/// Array element store: array[index] = value.
+class Store : public Stmt {
+  public:
+    Store(std::string array, Type array_type, ExprPtr index, ExprPtr value)
+        : Stmt(StmtKind::Store), array(std::move(array)),
+          array_type(array_type), index(std::move(index)),
+          value(std::move(value)) {}
+
+    StmtPtr
+    clone() const override
+    {
+        return std::make_unique<Store>(array, array_type, index->clone(),
+                                       value->clone());
+    }
+
+    std::string array;
+    Type array_type;
+    ExprPtr index;
+    ExprPtr value;
+};
+
+/// Two-armed conditional; else_body may be empty.
+class If : public Stmt {
+  public:
+    If(ExprPtr cond, BlockPtr then_body, BlockPtr else_body)
+        : Stmt(StmtKind::If), cond(std::move(cond)),
+          then_body(std::move(then_body)), else_body(std::move(else_body)) {}
+
+    StmtPtr
+    clone() const override
+    {
+        auto then_copy = BlockPtr(static_cast<Block*>(
+            then_body->clone().release()));
+        BlockPtr else_copy;
+        if (else_body) {
+            else_copy = BlockPtr(static_cast<Block*>(
+                else_body->clone().release()));
+        }
+        return std::make_unique<If>(cond->clone(), std::move(then_copy),
+                                    std::move(else_copy));
+    }
+
+    ExprPtr cond;
+    BlockPtr then_body;
+    BlockPtr else_body;  ///< May be null.
+};
+
+/// Structured counted loop: for (init; cond; step) body.
+///
+/// @p init is a Decl or Assign; @p step is an Assign.  The reduction
+/// transform rewrites @p step to skip iterations (§3.3.3).
+class For : public Stmt {
+  public:
+    For(StmtPtr init, ExprPtr cond, StmtPtr step, BlockPtr body)
+        : Stmt(StmtKind::For), init(std::move(init)), cond(std::move(cond)),
+          step(std::move(step)), body(std::move(body)) {}
+
+    StmtPtr
+    clone() const override
+    {
+        auto body_copy = BlockPtr(static_cast<Block*>(
+            body->clone().release()));
+        return std::make_unique<For>(init ? init->clone() : nullptr,
+                                     cond->clone(),
+                                     step ? step->clone() : nullptr,
+                                     std::move(body_copy));
+    }
+
+    StmtPtr init;  ///< Decl or Assign; may be null.
+    ExprPtr cond;
+    StmtPtr step;  ///< Assign; may be null.
+    BlockPtr body;
+};
+
+/// Function return; value is null for void functions.
+class Return : public Stmt {
+  public:
+    explicit Return(ExprPtr value)
+        : Stmt(StmtKind::Return), value(std::move(value)) {}
+
+    StmtPtr
+    clone() const override
+    {
+        return std::make_unique<Return>(value ? value->clone() : nullptr);
+    }
+
+    ExprPtr value;  ///< May be null.
+};
+
+/// Expression evaluated for its side effects (atomics, void calls).
+class ExprStmt : public Stmt {
+  public:
+    explicit ExprStmt(ExprPtr expr)
+        : Stmt(StmtKind::ExprStmt), expr(std::move(expr)) {}
+
+    StmtPtr
+    clone() const override
+    {
+        return std::make_unique<ExprStmt>(expr->clone());
+    }
+
+    ExprPtr expr;
+};
+
+/// Work-group barrier.
+class BarrierStmt : public Stmt {
+  public:
+    BarrierStmt() : Stmt(StmtKind::Barrier) {}
+    StmtPtr clone() const override { return std::make_unique<BarrierStmt>(); }
+};
+
+/// Downcast helper mirroring expr_as.
+template <typename NodeT>
+const NodeT*
+stmt_as(const Stmt& stmt)
+{
+    return dynamic_cast<const NodeT*>(&stmt);
+}
+
+template <typename NodeT>
+NodeT*
+stmt_as(Stmt& stmt)
+{
+    return dynamic_cast<NodeT*>(&stmt);
+}
+
+}  // namespace paraprox::ir

@@ -1,0 +1,37 @@
+#include "ir/type.h"
+
+namespace paraprox::ir {
+
+std::string
+to_string(Scalar scalar)
+{
+    switch (scalar) {
+      case Scalar::Void: return "void";
+      case Scalar::Bool: return "bool";
+      case Scalar::I32: return "int";
+      case Scalar::F32: return "float";
+    }
+    return "<bad-scalar>";
+}
+
+std::string
+to_string(AddrSpace space)
+{
+    switch (space) {
+      case AddrSpace::Private: return "__private";
+      case AddrSpace::Global: return "__global";
+      case AddrSpace::Shared: return "__shared";
+      case AddrSpace::Constant: return "__constant";
+    }
+    return "<bad-space>";
+}
+
+std::string
+Type::to_string() const
+{
+    if (!is_pointer)
+        return ir::to_string(scalar);
+    return ir::to_string(space) + " " + ir::to_string(scalar) + "*";
+}
+
+}  // namespace paraprox::ir

@@ -1,0 +1,73 @@
+/// @file
+/// The ParaCL type system: scalar values and pointers into address spaces.
+///
+/// ParaCL mirrors the slice of OpenCL C that the Paraprox paper's detectors
+/// care about: 32-bit ints, 32-bit floats, booleans, and pointers qualified
+/// with an address space (__global, __local/__shared, __constant).
+
+#pragma once
+
+#include <string>
+
+namespace paraprox::ir {
+
+/// Scalar value categories.
+enum class Scalar {
+    Void,
+    Bool,
+    I32,
+    F32,
+};
+
+/// Memory address spaces, matching OpenCL qualifiers.
+enum class AddrSpace {
+    Private,   ///< Registers / locals (default for scalars).
+    Global,    ///< __global: device memory.
+    Shared,    ///< __local / __shared: per-work-group scratchpad.
+    Constant,  ///< __constant: read-only, cached, broadcast-friendly.
+};
+
+/// A ParaCL type: a scalar, or a pointer to an array of scalars living in a
+/// particular address space.
+struct Type {
+    Scalar scalar = Scalar::Void;
+    bool is_pointer = false;
+    AddrSpace space = AddrSpace::Private;
+
+    static Type void_type() { return {Scalar::Void, false, AddrSpace::Private}; }
+    static Type boolean() { return {Scalar::Bool, false, AddrSpace::Private}; }
+    static Type i32() { return {Scalar::I32, false, AddrSpace::Private}; }
+    static Type f32() { return {Scalar::F32, false, AddrSpace::Private}; }
+
+    static Type
+    pointer(Scalar element, AddrSpace where)
+    {
+        return {element, true, where};
+    }
+
+    bool operator==(const Type& other) const = default;
+
+    bool is_scalar() const { return !is_pointer && scalar != Scalar::Void; }
+    bool is_float() const { return !is_pointer && scalar == Scalar::F32; }
+    bool is_int() const { return !is_pointer && scalar == Scalar::I32; }
+    bool is_bool() const { return !is_pointer && scalar == Scalar::Bool; }
+    bool is_void() const { return !is_pointer && scalar == Scalar::Void; }
+
+    /// Element type of a pointer.
+    Type
+    pointee() const
+    {
+        return {scalar, false, AddrSpace::Private};
+    }
+
+    /// Render as ParaCL source, e.g. "__global float*".
+    std::string to_string() const;
+};
+
+/// Render a scalar kind, e.g. "float".
+std::string to_string(Scalar scalar);
+
+/// Render an address-space qualifier, e.g. "__global".
+std::string to_string(AddrSpace space);
+
+}  // namespace paraprox::ir

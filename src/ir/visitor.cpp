@@ -1,0 +1,284 @@
+#include "ir/visitor.h"
+
+#include "support/error.h"
+
+namespace paraprox::ir {
+
+void
+Walker::walk(const Function& function)
+{
+    walk(*function.body);
+}
+
+void
+Walker::walk(const Stmt& stmt)
+{
+    if (!on_stmt(stmt))
+        return;
+    switch (stmt.kind()) {
+      case StmtKind::Block: {
+        const auto& block = static_cast<const Block&>(stmt);
+        for (const auto& child : block.stmts)
+            walk(*child);
+        break;
+      }
+      case StmtKind::Decl: {
+        const auto& decl = static_cast<const Decl&>(stmt);
+        if (decl.init)
+            walk(*decl.init);
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& assign = static_cast<const Assign&>(stmt);
+        walk(*assign.value);
+        break;
+      }
+      case StmtKind::Store: {
+        const auto& store = static_cast<const Store&>(stmt);
+        walk(*store.index);
+        walk(*store.value);
+        break;
+      }
+      case StmtKind::If: {
+        const auto& branch = static_cast<const If&>(stmt);
+        walk(*branch.cond);
+        walk(*branch.then_body);
+        if (branch.else_body)
+            walk(*branch.else_body);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& loop = static_cast<const For&>(stmt);
+        if (loop.init)
+            walk(*loop.init);
+        walk(*loop.cond);
+        if (loop.step)
+            walk(*loop.step);
+        walk(*loop.body);
+        break;
+      }
+      case StmtKind::Return: {
+        const auto& ret = static_cast<const Return&>(stmt);
+        if (ret.value)
+            walk(*ret.value);
+        break;
+      }
+      case StmtKind::ExprStmt: {
+        const auto& expr_stmt = static_cast<const ExprStmt&>(stmt);
+        walk(*expr_stmt.expr);
+        break;
+      }
+      case StmtKind::Barrier:
+        break;
+    }
+}
+
+void
+Walker::walk(const Expr& expr)
+{
+    if (!on_expr(expr))
+        return;
+    switch (expr.kind()) {
+      case ExprKind::IntLit:
+      case ExprKind::FloatLit:
+      case ExprKind::BoolLit:
+      case ExprKind::VarRef:
+        break;
+      case ExprKind::Unary:
+        walk(*static_cast<const Unary&>(expr).operand);
+        break;
+      case ExprKind::Binary: {
+        const auto& binary = static_cast<const Binary&>(expr);
+        walk(*binary.lhs);
+        walk(*binary.rhs);
+        break;
+      }
+      case ExprKind::Call: {
+        const auto& call = static_cast<const Call&>(expr);
+        for (const auto& arg : call.args)
+            walk(*arg);
+        break;
+      }
+      case ExprKind::Load:
+        walk(*static_cast<const Load&>(expr).index);
+        break;
+      case ExprKind::Cast:
+        walk(*static_cast<const Cast&>(expr).operand);
+        break;
+      case ExprKind::Select: {
+        const auto& select = static_cast<const Select&>(expr);
+        walk(*select.cond);
+        walk(*select.if_true);
+        walk(*select.if_false);
+        break;
+      }
+    }
+}
+
+namespace {
+
+class LambdaWalker : public Walker {
+  public:
+    std::function<void(const Expr&)> expr_fn;
+    std::function<void(const Stmt&)> stmt_fn;
+
+  protected:
+    bool
+    on_expr(const Expr& expr) override
+    {
+        if (expr_fn)
+            expr_fn(expr);
+        return true;
+    }
+
+    bool
+    on_stmt(const Stmt& stmt) override
+    {
+        if (stmt_fn)
+            stmt_fn(stmt);
+        return true;
+    }
+};
+
+}  // namespace
+
+void
+for_each_expr(const Function& function,
+              const std::function<void(const Expr&)>& callback)
+{
+    LambdaWalker walker;
+    walker.expr_fn = callback;
+    walker.walk(function);
+}
+
+void
+for_each_stmt(const Function& function,
+              const std::function<void(const Stmt&)>& callback)
+{
+    LambdaWalker walker;
+    walker.stmt_fn = callback;
+    walker.walk(function);
+}
+
+void
+for_each_expr(const Stmt& stmt,
+              const std::function<void(const Expr&)>& callback)
+{
+    LambdaWalker walker;
+    walker.expr_fn = callback;
+    walker.walk(stmt);
+}
+
+namespace {
+
+/// Bottom-up rewrite of one owned expression slot.
+void
+rewrite_slot(ExprPtr& slot, const ExprRewriteFn& rewrite)
+{
+    if (!slot)
+        return;
+    switch (slot->kind()) {
+      case ExprKind::IntLit:
+      case ExprKind::FloatLit:
+      case ExprKind::BoolLit:
+      case ExprKind::VarRef:
+        break;
+      case ExprKind::Unary:
+        rewrite_slot(static_cast<Unary&>(*slot).operand, rewrite);
+        break;
+      case ExprKind::Binary: {
+        auto& binary = static_cast<Binary&>(*slot);
+        rewrite_slot(binary.lhs, rewrite);
+        rewrite_slot(binary.rhs, rewrite);
+        break;
+      }
+      case ExprKind::Call: {
+        auto& call = static_cast<Call&>(*slot);
+        for (auto& arg : call.args)
+            rewrite_slot(arg, rewrite);
+        break;
+      }
+      case ExprKind::Load:
+        rewrite_slot(static_cast<Load&>(*slot).index, rewrite);
+        break;
+      case ExprKind::Cast:
+        rewrite_slot(static_cast<Cast&>(*slot).operand, rewrite);
+        break;
+      case ExprKind::Select: {
+        auto& select = static_cast<Select&>(*slot);
+        rewrite_slot(select.cond, rewrite);
+        rewrite_slot(select.if_true, rewrite);
+        rewrite_slot(select.if_false, rewrite);
+        break;
+      }
+    }
+    if (ExprPtr replacement = rewrite(*slot))
+        slot = std::move(replacement);
+}
+
+void
+rewrite_stmt(Stmt& stmt, const ExprRewriteFn& rewrite)
+{
+    switch (stmt.kind()) {
+      case StmtKind::Block: {
+        auto& block = static_cast<Block&>(stmt);
+        for (auto& child : block.stmts)
+            rewrite_stmt(*child, rewrite);
+        break;
+      }
+      case StmtKind::Decl:
+        rewrite_slot(static_cast<Decl&>(stmt).init, rewrite);
+        break;
+      case StmtKind::Assign:
+        rewrite_slot(static_cast<Assign&>(stmt).value, rewrite);
+        break;
+      case StmtKind::Store: {
+        auto& store = static_cast<Store&>(stmt);
+        rewrite_slot(store.index, rewrite);
+        rewrite_slot(store.value, rewrite);
+        break;
+      }
+      case StmtKind::If: {
+        auto& branch = static_cast<If&>(stmt);
+        rewrite_slot(branch.cond, rewrite);
+        rewrite_stmt(*branch.then_body, rewrite);
+        if (branch.else_body)
+            rewrite_stmt(*branch.else_body, rewrite);
+        break;
+      }
+      case StmtKind::For: {
+        auto& loop = static_cast<For&>(stmt);
+        if (loop.init)
+            rewrite_stmt(*loop.init, rewrite);
+        rewrite_slot(loop.cond, rewrite);
+        if (loop.step)
+            rewrite_stmt(*loop.step, rewrite);
+        rewrite_stmt(*loop.body, rewrite);
+        break;
+      }
+      case StmtKind::Return:
+        rewrite_slot(static_cast<Return&>(stmt).value, rewrite);
+        break;
+      case StmtKind::ExprStmt:
+        rewrite_slot(static_cast<ExprStmt&>(stmt).expr, rewrite);
+        break;
+      case StmtKind::Barrier:
+        break;
+    }
+}
+
+}  // namespace
+
+void
+rewrite_exprs(Block& block, const ExprRewriteFn& rewrite)
+{
+    rewrite_stmt(block, rewrite);
+}
+
+void
+rewrite_exprs(Function& function, const ExprRewriteFn& rewrite)
+{
+    rewrite_exprs(*function.body, rewrite);
+}
+
+}  // namespace paraprox::ir

@@ -1,0 +1,59 @@
+/// @file
+/// Generic IR traversal.
+///
+/// Walker recursively visits every node of a function body, invoking
+/// overridable hooks.  The pattern detectors are all built on top of it,
+/// mirroring the paper's Clang ASTVisitor stage (Fig. 10).
+
+#pragma once
+
+#include <functional>
+
+#include "ir/function.h"
+
+namespace paraprox::ir {
+
+/// Pre-order recursive walker over expressions and statements.
+///
+/// Override the hooks you need; each hook fires before the node's children
+/// are visited.  Returning false from an expression/statement hook prunes
+/// traversal into that node's children.
+class Walker {
+  public:
+    virtual ~Walker() = default;
+
+    void walk(const Function& function);
+    void walk(const Stmt& stmt);
+    void walk(const Expr& expr);
+
+  protected:
+    /// Called for every statement; return false to skip its children.
+    virtual bool on_stmt(const Stmt& stmt) { (void)stmt; return true; }
+    /// Called for every expression; return false to skip its children.
+    virtual bool on_expr(const Expr& expr) { (void)expr; return true; }
+};
+
+/// Visit every expression in @p function (including nested ones).
+void for_each_expr(const Function& function,
+                   const std::function<void(const Expr&)>& callback);
+
+/// Visit every statement in @p function (including nested ones).
+void for_each_stmt(const Function& function,
+                   const std::function<void(const Stmt&)>& callback);
+
+/// Visit every expression underneath @p stmt.
+void for_each_expr(const Stmt& stmt,
+                   const std::function<void(const Expr&)>& callback);
+
+/// Mutable in-place expression rewriting.
+///
+/// Applies @p rewrite bottom-up to every expression reachable from
+/// @p block; when @p rewrite returns non-null, the expression is replaced.
+/// The callback receives ownership candidacy via the raw node reference and
+/// must build its replacement from clones.
+using ExprRewriteFn = std::function<ExprPtr(const Expr&)>;
+
+void rewrite_exprs(Block& block, const ExprRewriteFn& rewrite);
+void rewrite_exprs(Function& function, const ExprRewriteFn& rewrite);
+
+}  // namespace paraprox::ir

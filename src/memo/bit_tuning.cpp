@@ -1,0 +1,126 @@
+#include "memo/bit_tuning.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace paraprox::memo {
+
+double
+tuning_quality(const std::vector<float>& exact,
+               const std::vector<float>& approx)
+{
+    PARAPROX_CHECK(exact.size() == approx.size(),
+                   "tuning_quality: size mismatch");
+    double err_sum = 0.0;
+    double mag_sum = 0.0;
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+        if (!std::isfinite(exact[i]) || !std::isfinite(approx[i]))
+            continue;
+        err_sum += std::fabs(static_cast<double>(exact[i]) - approx[i]);
+        mag_sum += std::fabs(static_cast<double>(exact[i]));
+    }
+    if (mag_sum == 0.0)
+        return err_sum == 0.0 ? 100.0 : 0.0;
+    return std::max(0.0, 100.0 * (1.0 - err_sum / mag_sum));
+}
+
+namespace {
+
+/// Score one bit assignment: quantize every training tuple, evaluate the
+/// function on the quantized inputs, and compare against the exact
+/// outputs.
+double
+score(const ScalarEvaluator& evaluator,
+      const std::vector<std::vector<float>>& training,
+      const std::vector<float>& exact_outputs, TableConfig& config,
+      const std::vector<int>& variable, const std::vector<int>& bits)
+{
+    for (std::size_t v = 0; v < variable.size(); ++v)
+        config.inputs[variable[v]].bits = bits[v];
+
+    std::vector<float> approx(training.size());
+    std::vector<float> quantized;
+    for (std::size_t s = 0; s < training.size(); ++s) {
+        quantized = training[s];
+        for (int index : variable) {
+            const InputQuant& input = config.inputs[index];
+            quantized[index] =
+                input.level_value(input.quantize(training[s][index]));
+        }
+        approx[s] = evaluator.eval(quantized);
+    }
+    return tuning_quality(exact_outputs, approx);
+}
+
+}  // namespace
+
+BitTuningResult
+bit_tune(const ScalarEvaluator& evaluator,
+         const std::vector<std::vector<float>>& training, int total_bits)
+{
+    PARAPROX_CHECK(total_bits >= 1 && total_bits <= 24,
+                   "total_bits must be in [1, 24]");
+    PARAPROX_CHECK(!training.empty(), "bit_tune needs training samples");
+
+    BitTuningResult result;
+    result.config.inputs =
+        profile_inputs(evaluator.param_names(), training);
+    const std::vector<int> variable = result.config.variable_inputs();
+    PARAPROX_CHECK(!variable.empty(),
+                   "all inputs are constant; nothing to memoize");
+
+    std::vector<float> exact_outputs(training.size());
+    for (std::size_t s = 0; s < training.size(); ++s)
+        exact_outputs[s] = evaluator.eval(training[s]);
+
+    const int n = static_cast<int>(variable.size());
+
+    // Root: divide bits as evenly as possible (the paper's equal split).
+    std::vector<int> bits(n, total_bits / n);
+    for (int r = 0; r < total_bits % n; ++r)
+        ++bits[r];
+
+    double best_quality = score(evaluator, training, exact_outputs,
+                                result.config, variable, bits);
+    result.explored.push_back({bits, best_quality});
+
+    // Steepest-ascent hill climbing: each child moves one bit between
+    // adjacent inputs (Fig. 4).
+    bool improved = n > 1;
+    while (improved) {
+        improved = false;
+        std::vector<int> best_child;
+        double best_child_quality = best_quality;
+        for (int i = 0; i < n; ++i) {
+            for (int j : {i - 1, i + 1}) {
+                if (j < 0 || j >= n || bits[i] == 0)
+                    continue;
+                std::vector<int> child = bits;
+                --child[i];
+                ++child[j];
+                const double quality = score(evaluator, training,
+                                             exact_outputs, result.config,
+                                             variable, child);
+                result.explored.push_back({child, quality});
+                if (quality > best_child_quality) {
+                    best_child_quality = quality;
+                    best_child = child;
+                }
+            }
+        }
+        if (!best_child.empty()) {
+            bits = best_child;
+            best_quality = best_child_quality;
+            improved = true;
+        }
+    }
+
+    // Leave the winning assignment in the config.
+    for (std::size_t v = 0; v < variable.size(); ++v)
+        result.config.inputs[variable[v]].bits = bits[v];
+    result.quality = best_quality;
+    return result;
+}
+
+}  // namespace paraprox::memo

@@ -1,0 +1,46 @@
+/// @file
+/// Bit tuning (paper §3.1.3, Fig. 4): distribute a fixed address-bit
+/// budget across a memoized function's variable inputs to maximize output
+/// quality, using steepest-ascent hill climbing over the tree of
+/// one-bit-reassignment moves.
+
+#pragma once
+
+#include <vector>
+
+#include "memo/evaluator.h"
+#include "memo/quant.h"
+
+namespace paraprox::memo {
+
+/// One explored node, for inspection/diagnostics (Fig. 4 reproduction).
+struct BitTuningNode {
+    std::vector<int> bits;  ///< Per variable input.
+    double quality = 0.0;   ///< Percent (100 = exact).
+};
+
+/// Outcome of a bit-tuning run.
+struct BitTuningResult {
+    TableConfig config;      ///< Final per-input quantization.
+    double quality = 0.0;    ///< Quality of the selected node.
+    std::vector<BitTuningNode> explored;  ///< In visit order; [0] is root.
+};
+
+/// Quality metric for tuning: 100 * (1 - sum|err| / sum|exact|), floored
+/// at 0 (an L1-norm-style score, matching the paper's output-quality
+/// percentages).
+double tuning_quality(const std::vector<float>& exact,
+                      const std::vector<float>& approx);
+
+/// Run bit tuning for @p evaluator.
+///
+/// @param training  input tuples used for profiling and scoring.
+/// @param total_bits  the table's address width (log2 of its size).
+///
+/// Per the paper, no lookup table is materialized: each candidate is
+/// scored by evaluating the function on quantized inputs directly.
+BitTuningResult bit_tune(const ScalarEvaluator& evaluator,
+                         const std::vector<std::vector<float>>& training,
+                         int total_bits);
+
+}  // namespace paraprox::memo

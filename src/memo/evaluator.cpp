@@ -1,0 +1,40 @@
+#include "memo/evaluator.h"
+
+#include "support/error.h"
+#include "vm/vm.h"
+
+namespace paraprox::memo {
+
+ScalarEvaluator::ScalarEvaluator(const ir::Module& module,
+                                 const std::string& function_name)
+    : program_(vm::compile_scalar_function(module, function_name))
+{
+}
+
+float
+ScalarEvaluator::eval(const std::vector<float>& args) const
+{
+    PARAPROX_CHECK(args.size() == program_.scalars.size(),
+                   "ScalarEvaluator: argument count mismatch");
+    std::vector<vm::Value> values(args.size());
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (program_.scalars[i].scalar == ir::Scalar::F32) {
+            values[i] = vm::make_float(args[i]);
+        } else {
+            values[i] = vm::make_int(static_cast<int>(args[i]));
+        }
+    }
+    return vm::run_scalar_program(program_, values).f;
+}
+
+std::vector<std::string>
+ScalarEvaluator::param_names() const
+{
+    std::vector<std::string> names;
+    names.reserve(program_.scalars.size());
+    for (const auto& scalar : program_.scalars)
+        names.push_back(scalar.name);
+    return names;
+}
+
+}  // namespace paraprox::memo

@@ -1,0 +1,34 @@
+/// @file
+/// Host-side evaluation of pure scalar ParaCL functions, used to populate
+/// lookup tables and to score bit-tuning candidates offline.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "vm/compiler.h"
+
+namespace paraprox::memo {
+
+/// Compiles a pure scalar function once and evaluates it repeatedly.
+class ScalarEvaluator {
+  public:
+    ScalarEvaluator(const ir::Module& module,
+                    const std::string& function_name);
+
+    /// Evaluate with float arguments (ints are converted per the
+    /// signature).
+    float eval(const std::vector<float>& args) const;
+
+    std::size_t arity() const { return program_.scalars.size(); }
+
+    /// Parameter names in declaration order.
+    std::vector<std::string> param_names() const;
+
+  private:
+    vm::Program program_;
+};
+
+}  // namespace paraprox::memo

@@ -1,0 +1,118 @@
+#include "memo/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace paraprox::memo {
+
+int
+InputQuant::quantize(float value) const
+{
+    if (is_constant || bits == 0)
+        return 0;
+    const float span = hi - lo;
+    if (span <= 0.0f)
+        return 0;
+    const int level = static_cast<int>((value - lo) / span *
+                                       static_cast<float>(levels()));
+    return std::clamp(level, 0, levels() - 1);
+}
+
+float
+InputQuant::level_value(int index) const
+{
+    if (is_constant)
+        return constant_value;
+    return lo + (static_cast<float>(index) + 0.5f) * step();
+}
+
+int
+TableConfig::address_bits() const
+{
+    int bits = 0;
+    for (const auto& input : inputs)
+        bits += input.bits;
+    return bits;
+}
+
+std::int64_t
+TableConfig::table_size() const
+{
+    return std::int64_t{1} << address_bits();
+}
+
+std::int64_t
+TableConfig::address(const std::vector<float>& args) const
+{
+    PARAPROX_CHECK(args.size() == inputs.size(),
+                   "address: argument count mismatch");
+    std::int64_t addr = 0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (inputs[i].bits == 0)
+            continue;
+        addr = (addr << inputs[i].bits) | inputs[i].quantize(args[i]);
+    }
+    return addr;
+}
+
+std::vector<float>
+TableConfig::inputs_at(std::int64_t address) const
+{
+    std::vector<float> args(inputs.size());
+    // Walk inputs from the least significant field upward.
+    for (std::size_t r = inputs.size(); r-- > 0;) {
+        const InputQuant& input = inputs[r];
+        if (input.is_constant || input.bits == 0) {
+            args[r] = input.constant_value;
+            continue;
+        }
+        const std::int64_t mask = input.levels() - 1;
+        args[r] = input.level_value(static_cast<int>(address & mask));
+        address >>= input.bits;
+    }
+    return args;
+}
+
+std::vector<int>
+TableConfig::variable_inputs() const
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (!inputs[i].is_constant)
+            out.push_back(static_cast<int>(i));
+    }
+    return out;
+}
+
+std::vector<InputQuant>
+profile_inputs(const std::vector<std::string>& names,
+               const std::vector<std::vector<float>>& training)
+{
+    PARAPROX_CHECK(!training.empty(), "profiling needs training samples");
+    std::vector<InputQuant> out(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        InputQuant& input = out[i];
+        input.name = names[i];
+        input.lo = input.hi = training[0].at(i);
+        for (const auto& sample : training) {
+            input.lo = std::min(input.lo, sample.at(i));
+            input.hi = std::max(input.hi, sample.at(i));
+        }
+        if (input.lo == input.hi) {
+            input.is_constant = true;
+            input.constant_value = input.lo;
+            input.bits = 0;
+        } else {
+            // Leave a little headroom so runtime values slightly outside
+            // the training range still land in the edge levels.
+            const float margin = (input.hi - input.lo) * 0.01f;
+            input.lo -= margin;
+            input.hi += margin;
+        }
+    }
+    return out;
+}
+
+}  // namespace paraprox::memo

@@ -1,0 +1,71 @@
+/// @file
+/// Quantization machinery for approximate memoization (paper §3.1.3).
+///
+/// A memoized function's inputs are quantized: input i gets q_i bits
+/// (2^q_i levels spanning its profiled range); the concatenated level
+/// indices form the lookup-table address, so the table holds
+/// 2^(sum q_i) entries.  Inputs observed constant during profiling get 0
+/// bits (the paper's R/V observation for BlackScholesBody).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paraprox::memo {
+
+/// Quantization of one function input.
+struct InputQuant {
+    std::string name;      ///< Parameter name in the source function.
+    float lo = 0.0f;       ///< Profiled minimum.
+    float hi = 1.0f;       ///< Profiled maximum.
+    int bits = 0;          ///< Quantization bits (0 for constant inputs).
+    bool is_constant = false;
+    float constant_value = 0.0f;
+
+    int levels() const { return 1 << bits; }
+
+    /// Width of one quantization level.
+    float
+    step() const
+    {
+        return (hi - lo) / static_cast<float>(levels());
+    }
+
+    /// Level index of @p value, clamped into range.
+    int quantize(float value) const;
+
+    /// Representative (center) value of level @p index.
+    float level_value(int index) const;
+};
+
+/// Full quantization plan for a function.
+struct TableConfig {
+    std::vector<InputQuant> inputs;
+
+    /// Total address bits (sum of per-input bits).
+    int address_bits() const;
+
+    /// Table entry count, 2^address_bits.
+    std::int64_t table_size() const;
+
+    /// Address of a concrete input tuple (inputs in declaration order,
+    /// constants included but contributing no bits).  Input 0 occupies the
+    /// most significant bits.
+    std::int64_t address(const std::vector<float>& args) const;
+
+    /// Reconstruct the representative input tuple of a table entry.
+    std::vector<float> inputs_at(std::int64_t address) const;
+
+    /// Indices of the non-constant inputs.
+    std::vector<int> variable_inputs() const;
+};
+
+/// Profile per-input ranges and constancy from training tuples
+/// (outer index: sample; inner: input).
+std::vector<InputQuant> profile_inputs(
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<float>>& training);
+
+}  // namespace paraprox::memo

@@ -1,0 +1,73 @@
+#include "memo/table.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.h"
+
+namespace paraprox::memo {
+
+LookupTable
+build_table(const ScalarEvaluator& evaluator, const TableConfig& config)
+{
+    LookupTable table;
+    table.config = config;
+    const std::int64_t size = config.table_size();
+    PARAPROX_CHECK(size <= (std::int64_t{1} << 24),
+                   "lookup table too large");
+    table.values.resize(size);
+    for (std::int64_t addr = 0; addr < size; ++addr)
+        table.values[addr] = evaluator.eval(config.inputs_at(addr));
+    return table;
+}
+
+SizeSearchResult
+find_table_for_toq(const ScalarEvaluator& evaluator,
+                   const std::vector<std::vector<float>>& training,
+                   double toq_percent, int min_bits, int max_bits,
+                   int start_bits)
+{
+    PARAPROX_CHECK(min_bits >= 1 && max_bits <= 24 && min_bits <= max_bits,
+                   "bad table-size bounds");
+    SizeSearchResult result;
+
+    std::set<int> tried;
+    int bits = std::clamp(start_bits, min_bits, max_bits);
+    int smallest_passing = -1;
+    BitTuningResult best_tuning;
+    BitTuningResult largest_tuning;
+    int largest_bits = -1;
+
+    while (!tried.count(bits)) {
+        tried.insert(bits);
+        BitTuningResult tuning = bit_tune(evaluator, training, bits);
+        result.attempts.push_back(tuning);
+        if (bits > largest_bits) {
+            largest_bits = bits;
+            largest_tuning = tuning;
+        }
+        if (tuning.quality >= toq_percent) {
+            if (smallest_passing < 0 || bits < smallest_passing) {
+                smallest_passing = bits;
+                best_tuning = tuning;
+            }
+            if (bits == min_bits)
+                break;
+            --bits;  // can we do better (smaller) still?
+            bits = std::max(bits, min_bits);
+        } else {
+            if (bits == max_bits)
+                break;
+            ++bits;  // grow for accuracy
+            bits = std::min(bits, max_bits);
+        }
+    }
+
+    const BitTuningResult& chosen =
+        smallest_passing >= 0 ? best_tuning : largest_tuning;
+    result.table = build_table(evaluator, chosen.config);
+    result.table.tuned_quality = chosen.quality;
+    return result;
+}
+
+}  // namespace paraprox::memo

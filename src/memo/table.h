@@ -1,0 +1,39 @@
+/// @file
+/// Lookup-table construction and the TOQ-driven table-size search
+/// (paper §3.1.3).
+
+#pragma once
+
+#include "memo/bit_tuning.h"
+
+namespace paraprox::memo {
+
+/// A populated lookup table for one memoized function.
+struct LookupTable {
+    TableConfig config;
+    std::vector<float> values;  ///< 2^address_bits precomputed outputs.
+    double tuned_quality = 0.0; ///< Bit-tuning score at this size.
+};
+
+/// Populate a table: one function evaluation per entry, at the
+/// representative (level-center) inputs.
+LookupTable build_table(const ScalarEvaluator& evaluator,
+                        const TableConfig& config);
+
+/// The paper's size search: start at 2048 entries; while quality beats the
+/// TOQ shrink (performance), while it misses the TOQ grow (accuracy);
+/// return the smallest table meeting @p toq_percent.  Each size is
+/// bit-tuned before scoring.  Sizes are clamped to [2^min_bits,
+/// 2^max_bits]; if even the largest table misses the TOQ it is returned
+/// anyway (the runtime will fall back to the exact kernel if needed).
+struct SizeSearchResult {
+    LookupTable table;
+    std::vector<BitTuningResult> attempts;  ///< One per size tried.
+};
+
+SizeSearchResult find_table_for_toq(
+    const ScalarEvaluator& evaluator,
+    const std::vector<std::vector<float>>& training, double toq_percent,
+    int min_bits = 3, int max_bits = 18, int start_bits = 11);
+
+}  // namespace paraprox::memo

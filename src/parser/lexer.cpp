@@ -1,0 +1,245 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace paraprox::parser {
+
+namespace {
+
+const std::set<std::string> kKeywords = {
+    "void", "bool", "int", "float", "if", "else", "for", "return",
+    "true", "false", "__kernel", "__global", "__shared", "__local",
+    "__constant", "__private",
+};
+
+// Multi-character punctuators, longest-match-first.
+const char* kPuncts[] = {
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+    "(", ")", "[", "]", "{", "}", ",", ";", "?", ":",
+};
+
+[[noreturn]] void
+lex_error(int line, int column, const std::string& message)
+{
+    std::ostringstream os;
+    os << "ParaCL lex error at " << line << ":" << column << ": " << message;
+    throw UserError(os.str());
+}
+
+class Lexer {
+  public:
+    explicit Lexer(const std::string& source) : src_(source) {}
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> tokens;
+        for (;;) {
+            skip_whitespace_and_comments();
+            if (at_end()) {
+                tokens.push_back(make(TokKind::End, ""));
+                return tokens;
+            }
+            const char c = peek();
+            if (c == '#') {
+                tokens.push_back(lex_pragma());
+            } else if (std::isalpha(c) || c == '_') {
+                tokens.push_back(lex_word());
+            } else if (std::isdigit(c) ||
+                       (c == '.' && std::isdigit(peek(1)))) {
+                tokens.push_back(lex_number());
+            } else {
+                tokens.push_back(lex_punct());
+            }
+        }
+    }
+
+  private:
+    bool at_end(std::size_t ahead = 0) const { return pos_ + ahead >= src_.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        return at_end(ahead) ? '\0' : src_[pos_ + ahead];
+    }
+
+    char
+    advance()
+    {
+        const char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    Token
+    make(TokKind kind, std::string text)
+    {
+        Token token;
+        token.kind = kind;
+        token.text = std::move(text);
+        token.line = tok_line_;
+        token.column = tok_column_;
+        return token;
+    }
+
+    void
+    mark()
+    {
+        tok_line_ = line_;
+        tok_column_ = column_;
+    }
+
+    void
+    skip_whitespace_and_comments()
+    {
+        for (;;) {
+            while (!at_end() && std::isspace(peek()))
+                advance();
+            if (peek() == '/' && peek(1) == '/') {
+                while (!at_end() && peek() != '\n')
+                    advance();
+                continue;
+            }
+            if (peek() == '/' && peek(1) == '*') {
+                const int start_line = line_;
+                advance();
+                advance();
+                while (!(peek() == '*' && peek(1) == '/')) {
+                    if (at_end())
+                        lex_error(start_line, 1, "unterminated /* comment");
+                    advance();
+                }
+                advance();
+                advance();
+                continue;
+            }
+            return;
+        }
+    }
+
+    Token
+    lex_pragma()
+    {
+        mark();
+        std::string directive;
+        while (!at_end() && peek() != '\n')
+            directive += advance();
+        std::istringstream is(directive);
+        std::vector<std::string> words;
+        std::string piece;
+        while (is >> piece)
+            words.push_back(piece);
+        // Accept both "#pragma paraprox X" and "# pragma paraprox X".
+        if (!words.empty() && words[0] == "#")
+            words.erase(words.begin());
+        else if (!words.empty() && words[0] == "#pragma")
+            words[0] = "pragma";
+        if (words.size() != 3 || words[0] != "pragma" ||
+            words[1] != "paraprox" || words[2].empty()) {
+            lex_error(tok_line_, tok_column_,
+                      "expected `#pragma paraprox <word>`");
+        }
+        return make(TokKind::Pragma, words[2]);
+    }
+
+    Token
+    lex_word()
+    {
+        mark();
+        std::string text;
+        while (!at_end() && (std::isalnum(peek()) || peek() == '_'))
+            text += advance();
+        if (kKeywords.count(text))
+            return make(TokKind::Keyword, text);
+        return make(TokKind::Identifier, text);
+    }
+
+    Token
+    lex_number()
+    {
+        mark();
+        std::string text;
+        bool is_float = false;
+        bool is_hex = false;
+        if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+            is_hex = true;
+            text += advance();
+            text += advance();
+            while (!at_end() && std::isxdigit(peek()))
+                text += advance();
+        } else {
+            while (!at_end() && std::isdigit(peek()))
+                text += advance();
+            if (peek() == '.') {
+                is_float = true;
+                text += advance();
+                while (!at_end() && std::isdigit(peek()))
+                    text += advance();
+            }
+            if (peek() == 'e' || peek() == 'E') {
+                is_float = true;
+                text += advance();
+                if (peek() == '+' || peek() == '-')
+                    text += advance();
+                while (!at_end() && std::isdigit(peek()))
+                    text += advance();
+            }
+        }
+        if (peek() == 'f' || peek() == 'F') {
+            is_float = true;
+            advance();  // suffix is not part of the value
+        }
+        Token token = make(is_float ? TokKind::FloatLit : TokKind::IntLit,
+                           text);
+        if (is_float) {
+            token.float_value = std::strtof(text.c_str(), nullptr);
+        } else {
+            token.int_value = static_cast<int>(
+                std::strtol(text.c_str(), nullptr, is_hex ? 16 : 10));
+        }
+        return token;
+    }
+
+    Token
+    lex_punct()
+    {
+        mark();
+        for (const char* punct : kPuncts) {
+            const std::size_t len = std::string(punct).size();
+            if (src_.compare(pos_, len, punct) == 0) {
+                for (std::size_t i = 0; i < len; ++i)
+                    advance();
+                return make(TokKind::Punct, punct);
+            }
+        }
+        lex_error(line_, column_,
+                  std::string("unexpected character `") + peek() + "`");
+    }
+
+    const std::string& src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+    int tok_line_ = 1;
+    int tok_column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token>
+tokenize(const std::string& source)
+{
+    return Lexer(source).run();
+}
+
+}  // namespace paraprox::parser

@@ -1,0 +1,49 @@
+/// @file
+/// Tokenizer for ParaCL, the OpenCL-C dialect Paraprox kernels are written
+/// in.  Supports //- and /*-comments and `#pragma paraprox <word>` lines.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace paraprox::parser {
+
+/// Token categories.
+enum class TokKind {
+    End,
+    Identifier,
+    Keyword,
+    IntLit,
+    FloatLit,
+    Punct,
+    Pragma,  ///< text holds the pragma word following "#pragma paraprox".
+};
+
+/// One lexed token with source position (1-based line/column).
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;
+    int int_value = 0;
+    float float_value = 0.0f;
+    int line = 0;
+    int column = 0;
+
+    bool is(TokKind k) const { return kind == k; }
+    bool
+    is_punct(const std::string& p) const
+    {
+        return kind == TokKind::Punct && text == p;
+    }
+    bool
+    is_keyword(const std::string& k) const
+    {
+        return kind == TokKind::Keyword && text == k;
+    }
+};
+
+/// Tokenize @p source completely; throws UserError with line/column info on
+/// malformed input.  The result always ends with a TokKind::End token.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace paraprox::parser

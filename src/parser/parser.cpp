@@ -1,0 +1,820 @@
+#include "parser/parser.h"
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "ir/builder.h"
+#include "parser/lexer.h"
+#include "support/error.h"
+
+namespace paraprox::parser {
+
+using namespace ir;
+namespace b = ir::build;
+
+namespace {
+
+/// Lexical scope chain mapping names to declared types.
+class Scope {
+  public:
+    explicit Scope(Scope* parent = nullptr) : parent_(parent) {}
+
+    void
+    declare(const std::string& name, Type type)
+    {
+        vars_[name] = type;
+    }
+
+    const Type*
+    lookup(const std::string& name) const
+    {
+        auto it = vars_.find(name);
+        if (it != vars_.end())
+            return &it->second;
+        return parent_ ? parent_->lookup(name) : nullptr;
+    }
+
+    bool
+    declared_locally(const std::string& name) const
+    {
+        return vars_.count(name) > 0;
+    }
+
+  private:
+    Scope* parent_;
+    std::map<std::string, Type> vars_;
+};
+
+class Parser {
+  public:
+    explicit Parser(const std::string& source)
+        : tokens_(tokenize(source)) {}
+
+    Module
+    run()
+    {
+        Module module;
+        std::set<std::string> pending_pragmas;
+        while (!peek().is(TokKind::End)) {
+            if (peek().is(TokKind::Pragma)) {
+                pending_pragmas.insert(advance().text);
+                continue;
+            }
+            auto function = parse_function(module);
+            function->pragmas = pending_pragmas;
+            pending_pragmas.clear();
+            module.add_function(std::move(function));
+        }
+        return module;
+    }
+
+  private:
+    // ---- Token helpers -------------------------------------------------
+
+    const Token& peek(std::size_t ahead = 0) const
+    {
+        const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+        return tokens_[i];
+    }
+
+    const Token& advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+    [[noreturn]] void
+    error(const std::string& message) const
+    {
+        const Token& token = peek();
+        std::ostringstream os;
+        os << "ParaCL parse error at " << token.line << ":" << token.column
+           << ": " << message;
+        if (!token.text.empty())
+            os << " (near `" << token.text << "`)";
+        throw UserError(os.str());
+    }
+
+    void
+    expect_punct(const std::string& punct)
+    {
+        if (!peek().is_punct(punct))
+            error("expected `" + punct + "`");
+        advance();
+    }
+
+    bool
+    accept_punct(const std::string& punct)
+    {
+        if (peek().is_punct(punct)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    accept_keyword(const std::string& keyword)
+    {
+        if (peek().is_keyword(keyword)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    expect_identifier(const std::string& what)
+    {
+        if (!peek().is(TokKind::Identifier))
+            error("expected " + what);
+        return advance().text;
+    }
+
+    // ---- Types ---------------------------------------------------------
+
+    bool
+    at_type_start() const
+    {
+        const Token& token = peek();
+        if (!token.is(TokKind::Keyword))
+            return false;
+        return token.text == "void" || token.text == "bool" ||
+               token.text == "int" || token.text == "float" ||
+               token.text == "__global" || token.text == "__shared" ||
+               token.text == "__local" || token.text == "__constant" ||
+               token.text == "__private";
+    }
+
+    Type
+    parse_type()
+    {
+        AddrSpace space = AddrSpace::Private;
+        bool qualified = false;
+        if (accept_keyword("__global")) {
+            space = AddrSpace::Global;
+            qualified = true;
+        } else if (accept_keyword("__shared") || accept_keyword("__local")) {
+            space = AddrSpace::Shared;
+            qualified = true;
+        } else if (accept_keyword("__constant")) {
+            space = AddrSpace::Constant;
+            qualified = true;
+        } else if (accept_keyword("__private")) {
+            qualified = false;
+        }
+
+        Scalar scalar;
+        if (accept_keyword("void")) {
+            scalar = Scalar::Void;
+        } else if (accept_keyword("bool")) {
+            scalar = Scalar::Bool;
+        } else if (accept_keyword("int")) {
+            scalar = Scalar::I32;
+        } else if (accept_keyword("float")) {
+            scalar = Scalar::F32;
+        } else {
+            error("expected a type");
+        }
+
+        if (accept_punct("*")) {
+            // Unqualified pointers default to __global, matching how CUDA
+            // kernel parameters behave.
+            return Type::pointer(scalar,
+                                 qualified ? space : AddrSpace::Global);
+        }
+        if (qualified && space != AddrSpace::Private)
+            error("address-space qualifier requires a pointer type");
+        return Type{scalar, false, AddrSpace::Private};
+    }
+
+    // ---- Functions -----------------------------------------------------
+
+    FunctionPtr
+    parse_function(const Module& module)
+    {
+        const bool is_kernel = accept_keyword("__kernel");
+        const Type return_type = parse_type();
+        if (return_type.is_pointer)
+            error("functions cannot return pointers");
+        if (is_kernel && !return_type.is_void())
+            error("kernels must return void");
+        const std::string name = expect_identifier("function name");
+        if (module.find_function(name) || builtin_by_name(name))
+            error("redefinition of `" + name + "`");
+
+        expect_punct("(");
+        std::vector<Param> params;
+        Scope scope;
+        if (!peek().is_punct(")")) {
+            do {
+                const Type type = parse_type();
+                const std::string param_name =
+                    expect_identifier("parameter name");
+                if (scope.declared_locally(param_name))
+                    error("duplicate parameter `" + param_name + "`");
+                scope.declare(param_name, type);
+                params.push_back({param_name, type});
+            } while (accept_punct(","));
+        }
+        expect_punct(")");
+
+        // Register the signature before parsing the body (no recursion in
+        // ParaCL, so self-reference stays an error via lookup order).
+        function_types_[name] = return_type;
+        function_params_[name] = params;
+        current_return_type_ = return_type;
+        module_ = &module;
+
+        BlockPtr body = parse_block(scope);
+        return std::make_unique<Function>(name, return_type,
+                                          std::move(params), std::move(body),
+                                          is_kernel);
+    }
+
+    // ---- Statements ----------------------------------------------------
+
+    BlockPtr
+    parse_block(Scope& enclosing)
+    {
+        expect_punct("{");
+        Scope scope(&enclosing);
+        auto block = std::make_unique<Block>();
+        while (!accept_punct("}")) {
+            if (peek().is(TokKind::End))
+                error("unterminated block");
+            block->stmts.push_back(parse_statement(scope));
+        }
+        return block;
+    }
+
+    /// A block, or a single statement wrapped in a block (for `if (c) s;`).
+    BlockPtr
+    parse_block_or_statement(Scope& enclosing)
+    {
+        if (peek().is_punct("{"))
+            return parse_block(enclosing);
+        Scope scope(&enclosing);
+        auto block = std::make_unique<Block>();
+        block->stmts.push_back(parse_statement(scope));
+        return block;
+    }
+
+    StmtPtr
+    parse_statement(Scope& scope)
+    {
+        if (peek().is_punct("{"))
+            return parse_block(scope);
+        if (peek().is_keyword("if"))
+            return parse_if(scope);
+        if (peek().is_keyword("for"))
+            return parse_for(scope);
+        if (accept_keyword("return")) {
+            ExprPtr value;
+            if (!peek().is_punct(";")) {
+                value = parse_expression(scope);
+                value = coerce(std::move(value), current_return_type_,
+                               "return value");
+            } else if (!current_return_type_.is_void()) {
+                error("non-void function must return a value");
+            }
+            expect_punct(";");
+            return b::ret(std::move(value));
+        }
+        if (at_type_start()) {
+            StmtPtr decl = parse_declaration(scope);
+            expect_punct(";");
+            return decl;
+        }
+        StmtPtr stmt = parse_simple_statement(scope);
+        expect_punct(";");
+        return stmt;
+    }
+
+    StmtPtr
+    parse_declaration(Scope& scope)
+    {
+        const Type type = parse_type();
+        if (type.is_void())
+            error("cannot declare a void variable");
+        if (type.is_pointer)
+            error("local pointer variables are not supported");
+        const std::string name = expect_identifier("variable name");
+        if (scope.declared_locally(name))
+            error("redeclaration of `" + name + "`");
+        ExprPtr init;
+        if (accept_punct("=")) {
+            init = parse_expression(scope);
+            init = coerce(std::move(init), type, "initializer");
+        }
+        scope.declare(name, type);
+        return b::decl(name, type, std::move(init));
+    }
+
+    StmtPtr
+    parse_if(Scope& scope)
+    {
+        advance();  // 'if'
+        expect_punct("(");
+        ExprPtr cond = parse_expression(scope);
+        cond = coerce_condition(std::move(cond));
+        expect_punct(")");
+        BlockPtr then_body = parse_block_or_statement(scope);
+        BlockPtr else_body;
+        if (accept_keyword("else")) {
+            if (peek().is_keyword("if")) {
+                // else-if chain: wrap the nested if in a block.
+                Scope nested(&scope);
+                auto wrapper = std::make_unique<Block>();
+                wrapper->stmts.push_back(parse_if(nested));
+                else_body = std::move(wrapper);
+            } else {
+                else_body = parse_block_or_statement(scope);
+            }
+        }
+        return b::if_stmt(std::move(cond), std::move(then_body),
+                          std::move(else_body));
+    }
+
+    StmtPtr
+    parse_for(Scope& enclosing)
+    {
+        advance();  // 'for'
+        expect_punct("(");
+        Scope scope(&enclosing);
+        StmtPtr init;
+        if (!peek().is_punct(";")) {
+            init = at_type_start() ? parse_declaration(scope)
+                                   : parse_simple_statement(scope);
+        }
+        expect_punct(";");
+        ExprPtr cond;
+        if (!peek().is_punct(";")) {
+            cond = parse_expression(scope);
+            cond = coerce_condition(std::move(cond));
+        } else {
+            cond = b::bool_lit(true);
+        }
+        expect_punct(";");
+        StmtPtr step;
+        if (!peek().is_punct(")"))
+            step = parse_simple_statement(scope);
+        expect_punct(")");
+        BlockPtr body = parse_block_or_statement(scope);
+        return b::for_stmt(std::move(init), std::move(cond), std::move(step),
+                           std::move(body));
+    }
+
+    /// Assignment (plain, compound, ++/--), array store, or a bare call.
+    StmtPtr
+    parse_simple_statement(Scope& scope)
+    {
+        // Prefix increment/decrement.
+        if (peek().is_punct("++") || peek().is_punct("--")) {
+            const bool inc = advance().text == "++";
+            const std::string name = expect_identifier("variable");
+            return make_step(scope, name, inc);
+        }
+
+        if (peek().is(TokKind::Identifier)) {
+            const std::string name = peek().text;
+
+            // Postfix increment/decrement.
+            if (peek(1).is_punct("++") || peek(1).is_punct("--")) {
+                advance();
+                const bool inc = advance().text == "++";
+                return make_step(scope, name, inc);
+            }
+
+            // Array store: name [ index ] op= value.
+            if (peek(1).is_punct("[")) {
+                const Type* type = scope.lookup(name);
+                if (type && type->is_pointer) {
+                    advance();
+                    advance();
+                    ExprPtr index = parse_expression(scope);
+                    index = coerce(std::move(index), Type::i32(), "index");
+                    expect_punct("]");
+                    return parse_store_rhs(scope, name, *type,
+                                           std::move(index));
+                }
+            }
+
+            // Scalar assignment: name op= value.
+            if (peek(1).is_punct("=") || peek(1).is_punct("+=") ||
+                peek(1).is_punct("-=") || peek(1).is_punct("*=") ||
+                peek(1).is_punct("/=") || peek(1).is_punct("%=")) {
+                advance();
+                const std::string op = advance().text;
+                const Type* type = scope.lookup(name);
+                if (!type)
+                    error("assignment to undeclared variable `" + name + "`");
+                if (type->is_pointer)
+                    error("cannot assign to pointer `" + name + "`");
+                ExprPtr rhs = parse_expression(scope);
+                if (op != "=") {
+                    // Desugar `x op= v` to `x = x op v`.
+                    BinaryOp binop = op == "+=" ? BinaryOp::Add
+                                   : op == "-=" ? BinaryOp::Sub
+                                   : op == "*=" ? BinaryOp::Mul
+                                   : op == "/=" ? BinaryOp::Div
+                                                : BinaryOp::Mod;
+                    ExprPtr lhs_ref = b::var(name, *type);
+                    rhs = make_binary(binop, std::move(lhs_ref),
+                                      std::move(rhs));
+                }
+                rhs = coerce(std::move(rhs), *type, "assignment");
+                return b::assign(name, std::move(rhs));
+            }
+        }
+
+        // Fall back to an expression statement (calls, atomics).
+        ExprPtr expr = parse_expression(scope);
+        if (const auto* call = expr_as<Call>(*expr)) {
+            if (call->builtin == Builtin::Barrier)
+                return b::barrier();
+        }
+        return b::expr_stmt(std::move(expr));
+    }
+
+    StmtPtr
+    parse_store_rhs(Scope& scope, const std::string& array, Type array_type,
+                    ExprPtr index)
+    {
+        std::string op;
+        if (peek().is_punct("=") || peek().is_punct("+=") ||
+            peek().is_punct("-=") || peek().is_punct("*=") ||
+            peek().is_punct("/=")) {
+            op = advance().text;
+        } else {
+            error("expected assignment to array element");
+        }
+        ExprPtr value = parse_expression(scope);
+        if (op != "=") {
+            BinaryOp binop = op == "+=" ? BinaryOp::Add
+                           : op == "-=" ? BinaryOp::Sub
+                           : op == "*=" ? BinaryOp::Mul
+                                        : BinaryOp::Div;
+            ExprPtr old = b::load(array, array_type, index->clone());
+            value = make_binary(binop, std::move(old), std::move(value));
+        }
+        value = coerce(std::move(value), array_type.pointee(), "store");
+        return b::store(array, array_type, std::move(index),
+                        std::move(value));
+    }
+
+    StmtPtr
+    make_step(Scope& scope, const std::string& name, bool increment)
+    {
+        const Type* type = scope.lookup(name);
+        if (!type)
+            error("use of undeclared variable `" + name + "`");
+        ExprPtr one = type->is_float() ? b::float_lit(1.0f) : b::int_lit(1);
+        ExprPtr ref = b::var(name, *type);
+        ExprPtr value = increment ? b::add(std::move(ref), std::move(one))
+                                  : b::sub(std::move(ref), std::move(one));
+        return b::assign(name, std::move(value));
+    }
+
+    // ---- Expressions (precedence climbing) ------------------------------
+
+    ExprPtr
+    parse_expression(Scope& scope)
+    {
+        return parse_ternary(scope);
+    }
+
+    ExprPtr
+    parse_ternary(Scope& scope)
+    {
+        ExprPtr cond = parse_binary(scope, 1);
+        if (!accept_punct("?"))
+            return cond;
+        cond = coerce_condition(std::move(cond));
+        ExprPtr if_true = parse_ternary(scope);
+        expect_punct(":");
+        ExprPtr if_false = parse_ternary(scope);
+        unify(if_true, if_false);
+        return b::select(std::move(cond), std::move(if_true),
+                         std::move(if_false));
+    }
+
+    struct OpInfo {
+        BinaryOp op;
+        int prec;
+    };
+
+    bool
+    binary_op_at(OpInfo& info) const
+    {
+        static const std::map<std::string, OpInfo> kOps = {
+            {"*", {BinaryOp::Mul, 10}}, {"/", {BinaryOp::Div, 10}},
+            {"%", {BinaryOp::Mod, 10}}, {"+", {BinaryOp::Add, 9}},
+            {"-", {BinaryOp::Sub, 9}},  {"<<", {BinaryOp::Shl, 8}},
+            {">>", {BinaryOp::Shr, 8}}, {"<", {BinaryOp::Lt, 7}},
+            {"<=", {BinaryOp::Le, 7}},  {">", {BinaryOp::Gt, 7}},
+            {">=", {BinaryOp::Ge, 7}},  {"==", {BinaryOp::Eq, 6}},
+            {"!=", {BinaryOp::Ne, 6}},  {"&", {BinaryOp::BitAnd, 5}},
+            {"^", {BinaryOp::BitXor, 4}}, {"|", {BinaryOp::BitOr, 3}},
+            {"&&", {BinaryOp::LogicalAnd, 2}},
+            {"||", {BinaryOp::LogicalOr, 1}},
+        };
+        if (!peek().is(TokKind::Punct))
+            return false;
+        auto it = kOps.find(peek().text);
+        if (it == kOps.end())
+            return false;
+        info = it->second;
+        return true;
+    }
+
+    ExprPtr
+    parse_binary(Scope& scope, int min_prec)
+    {
+        ExprPtr lhs = parse_unary(scope);
+        for (;;) {
+            OpInfo info;
+            if (!binary_op_at(info) || info.prec < min_prec)
+                return lhs;
+            advance();
+            ExprPtr rhs = parse_binary(scope, info.prec + 1);
+            lhs = make_binary(info.op, std::move(lhs), std::move(rhs));
+        }
+    }
+
+    ExprPtr
+    parse_unary(Scope& scope)
+    {
+        if (accept_punct("-")) {
+            ExprPtr operand = parse_unary(scope);
+            if (!operand->type().is_scalar())
+                error("cannot negate a non-scalar");
+            return b::neg(std::move(operand));
+        }
+        if (accept_punct("!")) {
+            ExprPtr operand = parse_unary(scope);
+            return b::logical_not(coerce_condition(std::move(operand)));
+        }
+        if (accept_punct("+"))
+            return parse_unary(scope);
+        // C-style cast: ( type ) unary.
+        if (peek().is_punct("(") && peek(1).is(TokKind::Keyword)) {
+            const std::string& kw = peek(1).text;
+            if (kw == "int" || kw == "float" || kw == "bool") {
+                advance();
+                const Type to = parse_type();
+                expect_punct(")");
+                ExprPtr operand = parse_unary(scope);
+                return std::make_unique<Cast>(to, std::move(operand));
+            }
+        }
+        return parse_postfix(scope);
+    }
+
+    ExprPtr
+    parse_postfix(Scope& scope)
+    {
+        ExprPtr expr = parse_primary(scope);
+        while (peek().is_punct("[")) {
+            // Indexing is only valid directly on pointer variables, which
+            // parse_primary already turned into Load placeholders.
+            error("unexpected `[`");
+        }
+        return expr;
+    }
+
+    ExprPtr
+    parse_primary(Scope& scope)
+    {
+        const Token& token = peek();
+        if (token.is(TokKind::IntLit)) {
+            advance();
+            return b::int_lit(token.int_value);
+        }
+        if (token.is(TokKind::FloatLit)) {
+            advance();
+            return b::float_lit(token.float_value);
+        }
+        if (token.is_keyword("true")) {
+            advance();
+            return b::bool_lit(true);
+        }
+        if (token.is_keyword("false")) {
+            advance();
+            return b::bool_lit(false);
+        }
+        if (accept_punct("(")) {
+            ExprPtr inner = parse_expression(scope);
+            expect_punct(")");
+            return inner;
+        }
+        if (token.is(TokKind::Identifier)) {
+            const std::string name = advance().text;
+            if (peek().is_punct("("))
+                return parse_call(scope, name);
+            if (peek().is_punct("[")) {
+                const Type* type = scope.lookup(name);
+                if (!type)
+                    error("use of undeclared array `" + name + "`");
+                if (!type->is_pointer)
+                    error("`" + name + "` is not an array");
+                advance();
+                ExprPtr index = parse_expression(scope);
+                index = coerce(std::move(index), Type::i32(), "index");
+                expect_punct("]");
+                return b::load(name, *type, std::move(index));
+            }
+            const Type* type = scope.lookup(name);
+            if (!type)
+                error("use of undeclared variable `" + name + "`");
+            return b::var(name, *type);
+        }
+        error("expected an expression");
+    }
+
+    ExprPtr
+    parse_call(Scope& scope, const std::string& name)
+    {
+        expect_punct("(");
+        std::vector<ExprPtr> args;
+        if (!peek().is_punct(")")) {
+            do {
+                args.push_back(parse_expression(scope));
+            } while (accept_punct(","));
+        }
+        expect_punct(")");
+
+        if (auto builtin = builtin_by_name(name))
+            return make_builtin_call(scope, *builtin, std::move(args));
+
+        auto it = function_types_.find(name);
+        if (it == function_types_.end())
+            error("call to undeclared function `" + name + "`");
+        const auto& params = function_params_.at(name);
+        if (params.size() != args.size()) {
+            error("`" + name + "` expects " +
+                  std::to_string(params.size()) + " arguments, got " +
+                  std::to_string(args.size()));
+        }
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            if (params[i].type.is_pointer) {
+                if (!(args[i]->kind() == ExprKind::VarRef &&
+                      args[i]->type() == params[i].type)) {
+                    error("argument " + std::to_string(i + 1) + " of `" +
+                          name + "` must be a matching pointer variable");
+                }
+            } else {
+                args[i] = coerce(std::move(args[i]), params[i].type,
+                                 "argument");
+            }
+        }
+        return b::call(name, it->second, std::move(args));
+    }
+
+    ExprPtr
+    make_builtin_call(Scope& scope, Builtin builtin,
+                      std::vector<ExprPtr> args)
+    {
+        (void)scope;
+        const BuiltinInfo& info = builtin_info(builtin);
+        if (static_cast<int>(args.size()) != info.arity) {
+            error(std::string("`") + info.name + "` expects " +
+                  std::to_string(info.arity) + " arguments");
+        }
+        if (info.is_atomic) {
+            // atomic_op(buffer, index, value): first arg must be a pointer
+            // variable reference, or a load whose array we reuse.
+            ExprPtr& target = args[0];
+            if (target->kind() != ExprKind::VarRef ||
+                !target->type().is_pointer) {
+                error(std::string("first argument of `") + info.name +
+                      "` must be a buffer");
+            }
+            args[1] = coerce(std::move(args[1]), Type::i32(), "index");
+            if (args.size() == 3) {
+                args[2] = coerce(std::move(args[2]),
+                                 target->type().pointee(), "atomic operand");
+            }
+            return b::call(builtin, std::move(args));
+        }
+        // Coerce scalar args to the builtin's natural domain.
+        const Type domain = info.result == Scalar::F32 ? Type::f32()
+                                                       : Type::i32();
+        for (auto& arg : args) {
+            if (is_thread_id_builtin(builtin)) {
+                arg = coerce(std::move(arg), Type::i32(), "dimension");
+            } else {
+                arg = coerce(std::move(arg), domain, "argument");
+            }
+        }
+        return b::call(builtin, std::move(args));
+    }
+
+    // ---- Type coercion ---------------------------------------------------
+
+    ExprPtr
+    coerce(ExprPtr expr, const Type& to, const std::string& what)
+    {
+        const Type from = expr->type();
+        if (from == to)
+            return expr;
+        if (from.is_pointer || to.is_pointer)
+            error("cannot convert pointer in " + what);
+        if (to.is_void())
+            error("cannot convert to void in " + what);
+        // bool <-> int <-> float are all representable; materialize a Cast.
+        return std::make_unique<Cast>(to, std::move(expr));
+    }
+
+    ExprPtr
+    coerce_condition(ExprPtr expr)
+    {
+        if (expr->type().is_bool())
+            return expr;
+        if (expr->type().is_int() || expr->type().is_float())
+            return std::make_unique<Cast>(Type::boolean(), std::move(expr));
+        error("condition must be scalar");
+    }
+
+    ExprPtr
+    make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+    {
+        if (lhs->type().is_pointer || rhs->type().is_pointer)
+            error("pointer arithmetic is not supported");
+        Type result;
+        switch (op) {
+          case BinaryOp::LogicalAnd:
+          case BinaryOp::LogicalOr:
+            lhs = coerce_condition(std::move(lhs));
+            rhs = coerce_condition(std::move(rhs));
+            result = Type::boolean();
+            break;
+          case BinaryOp::Mod:
+          case BinaryOp::BitAnd:
+          case BinaryOp::BitOr:
+          case BinaryOp::BitXor:
+          case BinaryOp::Shl:
+          case BinaryOp::Shr:
+            lhs = coerce(std::move(lhs), Type::i32(), "operand");
+            rhs = coerce(std::move(rhs), Type::i32(), "operand");
+            result = Type::i32();
+            break;
+          default:
+            unify(lhs, rhs);
+            result = is_comparison(op) ? Type::boolean() : lhs->type();
+            break;
+        }
+        return std::make_unique<Binary>(op, std::move(lhs), std::move(rhs),
+                                        result);
+    }
+
+    /// Usual arithmetic conversions: if either side is float, both become
+    /// float; bools participate as ints.
+    void
+    unify(ExprPtr& lhs, ExprPtr& rhs)
+    {
+        Type lt = lhs->type();
+        Type rt = rhs->type();
+        if (lt.is_bool()) {
+            lhs = std::make_unique<Cast>(Type::i32(), std::move(lhs));
+            lt = Type::i32();
+        }
+        if (rt.is_bool()) {
+            rhs = std::make_unique<Cast>(Type::i32(), std::move(rhs));
+            rt = Type::i32();
+        }
+        if (lt.is_float() && rt.is_int()) {
+            rhs = std::make_unique<Cast>(Type::f32(), std::move(rhs));
+            rt = Type::f32();
+        } else if (lt.is_int() && rt.is_float()) {
+            lhs = std::make_unique<Cast>(Type::f32(), std::move(lhs));
+            lt = Type::f32();
+        }
+        lhs_type_ = lt;
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+    std::map<std::string, Type> function_types_;
+    std::map<std::string, std::vector<Param>> function_params_;
+    Type current_return_type_ = Type::void_type();
+    Type lhs_type_ = Type::f32();
+    const Module* module_ = nullptr;
+};
+
+}  // namespace
+
+Module
+parse_module(const std::string& source)
+{
+    return Parser(source).run();
+}
+
+Module
+parse_kernels(const std::string& source)
+{
+    Module module = parse_module(source);
+    PARAPROX_CHECK(!module.kernels().empty(),
+                   "source contains no __kernel function");
+    return module;
+}
+
+}  // namespace paraprox::parser

@@ -1,0 +1,33 @@
+/// @file
+/// Recursive-descent parser for ParaCL.
+///
+/// ParaCL is the input language of Paraprox — a compact OpenCL-C dialect
+/// covering everything the paper's 13 benchmarks need: `__kernel`
+/// functions, address-space-qualified pointer parameters, 32-bit int/float
+/// scalars, structured control flow, the builtin set in ir/builtins.h, and
+/// `#pragma paraprox <word>` kernel annotations.
+///
+/// Semantics enforced while parsing:
+///  - declaration before use, for both variables and functions;
+///  - implicit int<->float conversions following C's usual arithmetic
+///    conversions (Cast nodes are materialized so later passes see them);
+///  - compound assignment (`+=` etc.) and `++`/`--` desugar to plain
+///    assignments, giving the reduction detector a canonical form.
+
+#pragma once
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace paraprox::parser {
+
+/// Parse a full translation unit.  Throws UserError with line:column
+/// positions on syntax or type errors.
+ir::Module parse_module(const std::string& source);
+
+/// Parse a module expected to contain at least one kernel; returns the
+/// module (convenience used throughout tests and apps).
+ir::Module parse_kernels(const std::string& source);
+
+}  // namespace paraprox::parser

@@ -1,0 +1,99 @@
+#include "runtime/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace paraprox::runtime {
+
+std::string
+to_string(Metric metric)
+{
+    switch (metric) {
+      case Metric::L1Norm: return "L1-norm";
+      case Metric::L2Norm: return "L2-norm";
+      case Metric::MeanRelativeError: return "Mean relative error";
+    }
+    return "<bad-metric>";
+}
+
+double
+quality_percent(Metric metric, const std::vector<float>& exact,
+                const std::vector<float>& approx)
+{
+    PARAPROX_CHECK(exact.size() == approx.size(),
+                   "quality_percent: size mismatch");
+    if (exact.empty())
+        return 100.0;
+
+    double err = 0.0;
+    double ref = 0.0;
+    std::size_t counted = 0;
+    switch (metric) {
+      case Metric::L1Norm:
+        for (std::size_t i = 0; i < exact.size(); ++i) {
+            if (!std::isfinite(exact[i]) || !std::isfinite(approx[i]))
+                continue;
+            err += std::fabs(static_cast<double>(exact[i]) - approx[i]);
+            ref += std::fabs(static_cast<double>(exact[i]));
+            ++counted;
+        }
+        if (ref == 0.0)
+            return err == 0.0 ? 100.0 : 0.0;
+        return std::max(0.0, 100.0 * (1.0 - err / ref));
+
+      case Metric::L2Norm:
+        for (std::size_t i = 0; i < exact.size(); ++i) {
+            if (!std::isfinite(exact[i]) || !std::isfinite(approx[i]))
+                continue;
+            const double d = static_cast<double>(exact[i]) - approx[i];
+            err += d * d;
+            ref += static_cast<double>(exact[i]) * exact[i];
+            ++counted;
+        }
+        if (ref == 0.0)
+            return err == 0.0 ? 100.0 : 0.0;
+        return std::max(0.0, 100.0 * (1.0 - std::sqrt(err / ref)));
+
+      case Metric::MeanRelativeError: {
+        for (std::size_t i = 0; i < exact.size(); ++i) {
+            if (!std::isfinite(exact[i]) || !std::isfinite(approx[i]))
+                continue;
+            const double denom = std::max(
+                1e-6, std::fabs(static_cast<double>(exact[i])));
+            err += std::fabs(static_cast<double>(exact[i]) - approx[i]) /
+                   denom;
+            ++counted;
+        }
+        if (counted == 0)
+            return 100.0;
+        return std::max(0.0,
+                        100.0 * (1.0 - err / static_cast<double>(counted)));
+      }
+    }
+    return 0.0;
+}
+
+std::vector<double>
+element_errors(const std::vector<float>& exact,
+               const std::vector<float>& approx)
+{
+    PARAPROX_CHECK(exact.size() == approx.size(),
+                   "element_errors: size mismatch");
+    std::vector<double> errors;
+    errors.reserve(exact.size());
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+        if (!std::isfinite(exact[i]) || !std::isfinite(approx[i])) {
+            errors.push_back(1.0);
+            continue;
+        }
+        const double denom =
+            std::max(1e-6, std::fabs(static_cast<double>(exact[i])));
+        errors.push_back(
+            std::fabs(static_cast<double>(exact[i]) - approx[i]) / denom);
+    }
+    return errors;
+}
+
+}  // namespace paraprox::runtime

@@ -1,0 +1,33 @@
+/// @file
+/// Output-quality metrics (Table 1 of the paper): L1-norm, L2-norm, and
+/// mean relative error, all expressed as a percentage where 100 means
+/// bit-exact.  The paper's experiments use TOQ = 90%.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace paraprox::runtime {
+
+/// Application-specific evaluation metric.
+enum class Metric {
+    L1Norm,
+    L2Norm,
+    MeanRelativeError,
+};
+
+std::string to_string(Metric metric);
+
+/// Quality percentage of @p approx against @p exact under @p metric.
+/// Non-finite elements are skipped (matching how GPU benchmarks treat
+/// stray NaNs in reference outputs).
+double quality_percent(Metric metric, const std::vector<float>& exact,
+                       const std::vector<float>& approx);
+
+/// Per-element relative errors |e - a| / max(|e|, eps), for the error-CDF
+/// analysis of Fig. 13.
+std::vector<double> element_errors(const std::vector<float>& exact,
+                                   const std::vector<float>& approx);
+
+}  // namespace paraprox::runtime

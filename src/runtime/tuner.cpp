@@ -1,0 +1,136 @@
+#include "runtime/tuner.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace paraprox::runtime {
+
+Tuner::Tuner(std::vector<Variant> variants, Metric metric,
+             double toq_percent, int check_interval)
+    : variants_(std::move(variants)), metric_(metric), toq_(toq_percent),
+      check_interval_(check_interval)
+{
+    PARAPROX_CHECK(!variants_.empty(), "Tuner needs at least one variant");
+    PARAPROX_CHECK(variants_[0].aggressiveness == 0,
+                   "variants[0] must be the exact kernel");
+    PARAPROX_CHECK(check_interval_ > 0, "check interval must be positive");
+}
+
+const std::vector<VariantProfile>&
+Tuner::calibrate(const std::vector<std::uint64_t>& training_seeds)
+{
+    PARAPROX_CHECK(!training_seeds.empty(),
+                   "calibration needs at least one training input");
+    profiles_.assign(variants_.size(), {});
+
+    // Exact baselines per seed.
+    std::vector<VariantRun> exact_runs;
+    exact_runs.reserve(training_seeds.size());
+    double exact_cycles = 0.0;
+    double exact_wall = 0.0;
+    for (std::uint64_t seed : training_seeds) {
+        exact_runs.push_back(variants_[0].run(seed));
+        PARAPROX_CHECK(!exact_runs.back().trapped,
+                       "exact kernel trapped during calibration");
+        exact_cycles += exact_runs.back().modeled_cycles;
+        exact_wall += exact_runs.back().wall_seconds;
+    }
+    profiles_[0] = {variants_[0].label, 1.0, 1.0, 100.0, true, false};
+
+    for (std::size_t v = 1; v < variants_.size(); ++v) {
+        VariantProfile& profile = profiles_[v];
+        profile.label = variants_[v].label;
+        double cycles = 0.0;
+        double wall = 0.0;
+        double quality_acc = 0.0;
+        bool trapped = false;
+        for (std::size_t s = 0; s < training_seeds.size(); ++s) {
+            VariantRun run = variants_[v].run(training_seeds[s]);
+            if (run.trapped) {
+                trapped = true;
+                break;
+            }
+            cycles += run.modeled_cycles;
+            wall += run.wall_seconds;
+            quality_acc += quality_percent(metric_, exact_runs[s].output,
+                                           run.output);
+        }
+        if (trapped) {
+            profile.trapped = true;
+            profile.meets_toq = false;
+            continue;
+        }
+        profile.quality =
+            quality_acc / static_cast<double>(training_seeds.size());
+        profile.speedup = cycles > 0.0 ? exact_cycles / cycles : 1.0;
+        profile.wall_speedup = wall > 0.0 ? exact_wall / wall : 1.0;
+        profile.meets_toq = profile.quality >= toq_;
+    }
+
+    // Candidates: TOQ-passing variants sorted fastest-first; the exact
+    // kernel terminates the fallback chain.
+    fallback_order_.clear();
+    for (std::size_t v = 1; v < variants_.size(); ++v) {
+        if (profiles_[v].meets_toq)
+            fallback_order_.push_back(static_cast<int>(v));
+    }
+    std::sort(fallback_order_.begin(), fallback_order_.end(),
+              [&](int a, int b) {
+                  return profiles_[a].speedup > profiles_[b].speedup;
+              });
+    fallback_order_.push_back(0);
+
+    selected_ = fallback_order_.front();
+    calibrated_ = true;
+    return profiles_;
+}
+
+VariantRun
+Tuner::invoke(std::uint64_t input_seed)
+{
+    PARAPROX_CHECK(calibrated_, "call calibrate() before invoke()");
+    ++stats_.invocations;
+
+    VariantRun run = variants_[selected_].run(input_seed);
+    if (run.trapped && selected_ != 0) {
+        // Unsafe execution: fall back to exact for this input and demote
+        // the variant permanently (§5, safety).
+        ++stats_.backoffs;
+        drop_selected_and_advance();
+        return variants_[0].run(input_seed);
+    }
+
+    const bool audit = selected_ != 0 &&
+                       stats_.invocations % check_interval_ == 0;
+    if (audit) {
+        ++stats_.quality_checks;
+        VariantRun exact = variants_[0].run(input_seed);
+        const double quality =
+            quality_percent(metric_, exact.output, run.output);
+        if (quality < toq_) {
+            ++stats_.violations;
+            ++stats_.backoffs;
+            drop_selected_and_advance();
+        }
+    }
+    return run;
+}
+
+void
+Tuner::drop_selected_and_advance()
+{
+    auto it = std::find(fallback_order_.begin(), fallback_order_.end(),
+                        selected_);
+    if (it != fallback_order_.end() && *it != 0)
+        fallback_order_.erase(it);
+    selected_ = fallback_order_.front();
+}
+
+const std::string&
+Tuner::selected_label() const
+{
+    return variants_[selected_].label;
+}
+
+}  // namespace paraprox::runtime

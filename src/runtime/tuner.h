@@ -1,0 +1,105 @@
+/// @file
+/// The TOQ-driven runtime tuner.
+///
+/// Paraprox proper emits parameterized approximate kernels and delegates
+/// selection to a Green/SAGE-style runtime (paper §2, Fig. 2 and §5); the
+/// evaluation nonetheless needs that runtime, so we implement it: profile
+/// every variant against the exact kernel on training inputs, pick the
+/// fastest one meeting the target output quality, and recheck quality
+/// every N invocations at steady state, backing off to a less aggressive
+/// variant when the TOQ is violated.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/quality.h"
+
+namespace paraprox::runtime {
+
+/// What one execution of a kernel variant produced.
+struct VariantRun {
+    std::vector<float> output;   ///< Values the quality metric scores.
+    double modeled_cycles = 0.0; ///< Device-model cost.
+    double wall_seconds = 0.0;
+    bool trapped = false;        ///< Unsafe execution; variant unusable.
+};
+
+/// One launchable configuration (the exact kernel is also expressed as a
+/// variant; it must be first and is assumed safe).
+struct Variant {
+    std::string label;
+    /// Monotone knob-aggressiveness rank used for backoff ordering; the
+    /// exact kernel is 0.
+    int aggressiveness = 0;
+    /// Execute on the input identified by @p input_seed.
+    std::function<VariantRun(std::uint64_t input_seed)> run;
+};
+
+/// Profile data gathered for one variant during calibration.
+struct VariantProfile {
+    std::string label;
+    double speedup = 1.0;     ///< Exact modeled cycles / variant's.
+    double wall_speedup = 1.0;
+    double quality = 100.0;   ///< Against the exact output.
+    bool meets_toq = false;
+    bool trapped = false;
+};
+
+/// Runtime statistics the tuner keeps.
+struct TunerStats {
+    std::uint64_t invocations = 0;
+    std::uint64_t quality_checks = 0;
+    std::uint64_t violations = 0;  ///< TOQ misses observed at runtime.
+    std::uint64_t backoffs = 0;    ///< Variant downgrades performed.
+};
+
+/// Calibrate-then-monitor tuner over a fixed variant list.
+class Tuner {
+  public:
+    /// @param variants  variants[0] must be the exact kernel.
+    /// @param metric    the application's quality metric (Table 1).
+    /// @param toq_percent  target output quality, e.g. 90.
+    /// @param check_interval  recheck quality every this many invocations
+    ///        (SAGE found 40-50 keeps overhead under ~5%, §5).
+    Tuner(std::vector<Variant> variants, Metric metric, double toq_percent,
+          int check_interval = 50);
+
+    /// Profile every variant on @p training_seeds and select the fastest
+    /// one meeting the TOQ (modeled cycles decide; falls back to exact if
+    /// none qualify).  Returns the profiles for inspection.
+    const std::vector<VariantProfile>&
+    calibrate(const std::vector<std::uint64_t>& training_seeds);
+
+    /// Execute the current selection on @p input_seed.  Periodically also
+    /// runs the exact kernel on the same input to audit quality; on a TOQ
+    /// violation, steps down to the next less aggressive variant.
+    VariantRun invoke(std::uint64_t input_seed);
+
+    int selected_index() const { return selected_; }
+    const std::string& selected_label() const;
+    const TunerStats& stats() const { return stats_; }
+    const std::vector<VariantProfile>& profiles() const { return profiles_; }
+
+  private:
+    /// Demote the current selection: remove it from the fallback chain and
+    /// move to the next (less aggressive / slower) candidate.
+    void drop_selected_and_advance();
+
+    std::vector<Variant> variants_;
+    Metric metric_;
+    double toq_;
+    int check_interval_;
+    int selected_ = 0;
+    std::vector<VariantProfile> profiles_;
+    /// Variant indices ordered by profiled speed among TOQ-passing ones
+    /// (for backoff).
+    std::vector<int> fallback_order_;
+    TunerStats stats_;
+    bool calibrated_ = false;
+};
+
+}  // namespace paraprox::runtime

@@ -1,0 +1,25 @@
+#include "support/error.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace paraprox::detail {
+
+void
+throw_check_failure(const char* kind, const char* cond, const char* file,
+                    int line, const std::string& message)
+{
+    // Strip the build-tree prefix so messages stay readable.
+    const char* basename = std::strrchr(file, '/');
+    basename = basename ? basename + 1 : file;
+
+    std::ostringstream os;
+    os << message << " [" << kind << " `" << cond << "` failed at "
+       << basename << ":" << line << "]";
+    if (std::strcmp(kind, "assert") == 0) {
+        throw InternalError(os.str());
+    }
+    throw UserError(os.str());
+}
+
+}  // namespace paraprox::detail

@@ -1,0 +1,65 @@
+/// @file
+/// Error-handling primitives shared by every Paraprox module.
+///
+/// Paraprox distinguishes, in the spirit of gem5's fatal()/panic() split,
+/// between errors caused by the user of the library (bad kernel source,
+/// invalid tuning parameters) and internal invariant violations.  The former
+/// raise UserError, the latter InternalError; both derive from Error so
+/// callers can catch everything Paraprox throws with one handler.
+
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace paraprox {
+
+/// Base class for every exception thrown by Paraprox.
+class Error : public std::runtime_error {
+  public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The caller did something wrong: malformed ParaCL source, a kernel launch
+/// with missing arguments, an out-of-range tuning knob, and so on.
+class UserError : public Error {
+  public:
+    explicit UserError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated; this is a Paraprox bug.
+class InternalError : public Error {
+  public:
+    explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_check_failure(const char* kind, const char* cond,
+                                      const char* file, int line,
+                                      const std::string& message);
+
+}  // namespace detail
+
+/// Validate a user-facing precondition; throws UserError on failure.
+#define PARAPROX_CHECK(cond, message)                                        \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::paraprox::detail::throw_check_failure("check", #cond,         \
+                                                    __FILE__, __LINE__,     \
+                                                    (message));             \
+        }                                                                    \
+    } while (0)
+
+/// Validate an internal invariant; throws InternalError on failure.
+#define PARAPROX_ASSERT(cond, message)                                      \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::paraprox::detail::throw_check_failure("assert", #cond,        \
+                                                    __FILE__, __LINE__,     \
+                                                    (message));             \
+        }                                                                    \
+    } while (0)
+
+}  // namespace paraprox

@@ -1,0 +1,139 @@
+#include "support/parallel.h"
+
+#include <atomic>
+#include <exception>
+
+#include "support/error.h"
+
+namespace paraprox {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 4;
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::worker_loop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            if (stopping_ && tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallel_for(std::size_t count,
+                         const std::function<void(std::size_t)>& body)
+{
+    if (count == 0)
+        return;
+    if (count == 1) {
+        body(0);
+        return;
+    }
+
+    struct Shared {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
+        std::mutex error_mutex;
+        std::mutex done_mutex;
+        std::condition_variable done_cv;
+    };
+    auto shared = std::make_shared<Shared>();
+
+    // Chunked dynamic scheduling: each task drains indices until exhausted.
+    const std::size_t num_tasks = std::min(count, workers_.size());
+    auto run_chunk = [shared, count, &body] {
+        std::size_t completed = 0;
+        for (;;) {
+            const std::size_t i =
+                shared->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                break;
+            if (!shared->failed.load(std::memory_order_relaxed)) {
+                try {
+                    body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(shared->error_mutex);
+                    if (!shared->failed.exchange(true))
+                        shared->error = std::current_exception();
+                }
+            }
+            ++completed;
+        }
+        return completed;
+    };
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t t = 0; t + 1 < num_tasks; ++t) {
+            tasks_.push([shared, run_chunk, count] {
+                const std::size_t completed = run_chunk();
+                const std::size_t done = shared->done.fetch_add(
+                                             completed,
+                                             std::memory_order_acq_rel) +
+                                         completed;
+                if (done >= count) {
+                    std::lock_guard<std::mutex> done_lock(shared->done_mutex);
+                    shared->done_cv.notify_all();
+                }
+            });
+        }
+    }
+    wake_.notify_all();
+
+    // The calling thread participates instead of idling.
+    const std::size_t completed = run_chunk();
+    shared->done.fetch_add(completed, std::memory_order_acq_rel);
+
+    std::unique_lock<std::mutex> lock(shared->done_mutex);
+    shared->done_cv.wait(lock, [&] {
+        return shared->done.load(std::memory_order_acquire) >= count;
+    });
+
+    if (shared->failed.load())
+        std::rethrow_exception(shared->error);
+}
+
+ThreadPool&
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+parallel_for(std::size_t count, const std::function<void(std::size_t)>& body)
+{
+    ThreadPool::global().parallel_for(count, body);
+}
+
+}  // namespace paraprox

@@ -1,0 +1,56 @@
+/// @file
+/// Host-side parallelism: a persistent thread pool and a blocking
+/// parallel_for over index ranges.
+///
+/// The execution engine maps one simulated work-group to one pool task; the
+/// pool is what makes "exact vs. approximate wall-clock" comparisons honest,
+/// since both run on the same number of host threads.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace paraprox {
+
+/// Fixed-size worker pool with a blocking run-to-completion helper.
+class ThreadPool {
+  public:
+    /// @param num_threads worker count; 0 means hardware_concurrency().
+    explicit ThreadPool(std::size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const { return workers_.size(); }
+
+    /// Run @p body(i) for every i in [0, count), blocking until all
+    /// iterations finish.  Exceptions thrown by @p body are rethrown on the
+    /// calling thread (the first one wins).
+    void parallel_for(std::size_t count,
+                      const std::function<void(std::size_t)>& body);
+
+    /// The process-wide default pool.
+    static ThreadPool& global();
+
+  private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallel_for.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace paraprox

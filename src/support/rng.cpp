@@ -1,0 +1,135 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace paraprox {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Expand the seed through splitmix64 as the xoshiro authors recommend;
+    // this also guards against the all-zero state.
+    std::uint64_t s = seed;
+    for (auto& word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::next_below(std::uint64_t bound)
+{
+    PARAPROX_CHECK(bound != 0, "Rng::next_below bound must be nonzero");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next_u64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+float
+Rng::next_float()
+{
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+}
+
+double
+Rng::next_double()
+{
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::uniform(float lo, float hi)
+{
+    return lo + (hi - lo) * next_float();
+}
+
+int
+Rng::uniform_int(int lo, int hi)
+{
+    PARAPROX_CHECK(lo <= hi, "Rng::uniform_int requires lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) - lo) + 1;
+    return lo + static_cast<int>(next_below(span));
+}
+
+float
+Rng::normal()
+{
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box-Muller: two uniforms to two independent normals.
+    float u1 = next_float();
+    while (u1 <= 1e-12f)
+        u1 = next_float();
+    const float u2 = next_float();
+    const float radius = std::sqrt(-2.0f * std::log(u1));
+    const float angle = 2.0f * 3.14159265358979323846f * u2;
+    cached_normal_ = radius * std::sin(angle);
+    has_cached_normal_ = true;
+    return radius * std::cos(angle);
+}
+
+float
+Rng::normal(float mean, float stddev)
+{
+    return mean + stddev * normal();
+}
+
+std::vector<float>
+Rng::uniform_vector(std::size_t n, float lo, float hi)
+{
+    std::vector<float> out(n);
+    for (auto& v : out)
+        v = uniform(lo, hi);
+    return out;
+}
+
+std::vector<float>
+Rng::normal_vector(std::size_t n)
+{
+    std::vector<float> out(n);
+    for (auto& v : out)
+        v = normal();
+    return out;
+}
+
+}  // namespace paraprox

@@ -1,0 +1,60 @@
+/// @file
+/// Deterministic pseudo-random number generation.
+///
+/// All workload generators in the benchmark suite draw from this generator so
+/// that experiments are reproducible run-to-run: the paper's evaluation
+/// averages over repeated executions with different input sets, and we want
+/// "different input sets" to mean "different but fixed seeds".
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace paraprox {
+
+/// A small, fast, seedable PRNG (xoshiro256** by Blackman & Vigna).
+///
+/// Not cryptographically secure — it only feeds synthetic workloads and
+/// sampling decisions.
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /// Next raw 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform in [0, bound).  @p bound must be nonzero.
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /// Uniform float in [0, 1).
+    float next_float();
+
+    /// Uniform double in [0, 1).
+    double next_double();
+
+    /// Uniform float in [lo, hi).
+    float uniform(float lo, float hi);
+
+    /// Uniform int in [lo, hi] inclusive.
+    int uniform_int(int lo, int hi);
+
+    /// Standard normal via Box-Muller (caches the second variate).
+    float normal();
+
+    /// Normal with the given mean and standard deviation.
+    float normal(float mean, float stddev);
+
+    /// A vector of @p n floats uniform in [lo, hi).
+    std::vector<float> uniform_vector(std::size_t n, float lo, float hi);
+
+    /// A vector of @p n standard-normal floats.
+    std::vector<float> normal_vector(std::size_t n);
+
+  private:
+    std::uint64_t state_[4];
+    bool has_cached_normal_ = false;
+    float cached_normal_ = 0.0f;
+};
+
+}  // namespace paraprox

@@ -1,0 +1,96 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace paraprox::stats {
+
+double
+mean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double>& xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+geomean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        PARAPROX_CHECK(x > 0.0, "geomean requires positive samples");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+percentile(std::vector<double> xs, double q)
+{
+    PARAPROX_CHECK(!xs.empty(), "percentile of empty sample");
+    PARAPROX_CHECK(q >= 0.0 && q <= 1.0, "percentile q must be in [0, 1]");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs.front();
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+std::vector<CdfPoint>
+cdf(const std::vector<double>& xs, double lo, double hi,
+    std::size_t num_buckets)
+{
+    PARAPROX_CHECK(num_buckets > 0, "cdf needs at least one bucket");
+    PARAPROX_CHECK(hi > lo, "cdf range must be nonempty");
+    std::vector<CdfPoint> points(num_buckets);
+    const double step = (hi - lo) / static_cast<double>(num_buckets);
+    for (std::size_t b = 0; b < num_buckets; ++b) {
+        const double edge = lo + step * static_cast<double>(b + 1);
+        std::size_t count = 0;
+        for (double x : xs) {
+            if (x <= edge)
+                ++count;
+        }
+        const double denom = xs.empty() ? 1.0
+                                        : static_cast<double>(xs.size());
+        points[b] = {edge, static_cast<double>(count) / denom};
+    }
+    return points;
+}
+
+double
+fraction_below(const std::vector<double>& xs, double threshold)
+{
+    if (xs.empty())
+        return 0.0;
+    std::size_t count = 0;
+    for (double x : xs) {
+        if (x < threshold)
+            ++count;
+    }
+    return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+}  // namespace paraprox::stats

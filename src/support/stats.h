@@ -1,0 +1,39 @@
+/// @file
+/// Small statistics helpers used by quality metrics and the benchmark
+/// harnesses (means, percentiles, CDFs, geometric means).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace paraprox::stats {
+
+/// Arithmetic mean; returns 0 for an empty input.
+double mean(const std::vector<double>& xs);
+
+/// Population standard deviation; returns 0 for fewer than two samples.
+double stddev(const std::vector<double>& xs);
+
+/// Geometric mean; all inputs must be positive.  Returns 0 for empty input.
+double geomean(const std::vector<double>& xs);
+
+/// The @p q quantile (0 <= q <= 1) using linear interpolation between order
+/// statistics.  The input need not be sorted.
+double percentile(std::vector<double> xs, double q);
+
+/// One bucket of an empirical CDF.
+struct CdfPoint {
+    double upper_bound;  ///< Inclusive upper edge of the bucket.
+    double fraction;     ///< Fraction of samples <= upper_bound.
+};
+
+/// Empirical CDF of @p xs evaluated at @p num_buckets evenly spaced points
+/// spanning [lo, hi].
+std::vector<CdfPoint> cdf(const std::vector<double>& xs, double lo, double hi,
+                          std::size_t num_buckets);
+
+/// Fraction of samples strictly below @p threshold.
+double fraction_below(const std::vector<double>& xs, double threshold);
+
+}  // namespace paraprox::stats

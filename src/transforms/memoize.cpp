@@ -1,0 +1,328 @@
+#include "transforms/memoize.h"
+
+#include <functional>
+
+#include "ir/builder.h"
+#include "ir/visitor.h"
+#include "support/error.h"
+#include "transforms/surgery.h"
+
+namespace paraprox::transforms {
+
+using namespace ir;
+namespace b = ir::build;
+
+std::string
+to_string(TableLocation location)
+{
+    switch (location) {
+      case TableLocation::Global: return "global";
+      case TableLocation::Constant: return "constant";
+      case TableLocation::Shared: return "shared";
+    }
+    return "<bad-location>";
+}
+
+std::string
+to_string(LookupMode mode)
+{
+    return mode == LookupMode::Nearest ? "nearest" : "linear";
+}
+
+namespace {
+
+/// Builds the quantize/concat/lookup replacement for one call site.
+class LookupBuilder {
+  public:
+    LookupBuilder(const memo::TableConfig& config,
+                  const std::string& table_param, Type table_type,
+                  LookupMode mode)
+        : config_(config), table_param_(table_param),
+          table_type_(table_type), mode_(mode) {}
+
+    /// Generate temps (appended to @p decls) and return the value
+    /// expression replacing the call.
+    ExprPtr
+    build(const Call& call, std::vector<StmtPtr>& decls)
+    {
+        const std::string prefix = fresh_name("__memo");
+        const auto& inputs = config_.inputs;
+        PARAPROX_CHECK(call.args.size() == inputs.size(),
+                       "memoize: call arity mismatch");
+
+        const std::vector<int> variable = config_.variable_inputs();
+        PARAPROX_CHECK(!variable.empty(), "memoize: no variable inputs");
+        const int last = variable.back();
+
+        // One temp per variable input: the raw argument value, then its
+        // quantization level.
+        std::vector<std::string> level_vars(inputs.size());
+        std::vector<std::string> value_vars(inputs.size());
+        for (int index : variable) {
+            const memo::InputQuant& input = inputs[index];
+            PARAPROX_CHECK(call.args[index]->type().is_float(),
+                           "memoize: variable input `" + input.name +
+                               "` must be float");
+            const std::string xname =
+                prefix + "_x" + std::to_string(index);
+            decls.push_back(b::decl(xname, Type::f32(),
+                                    call.args[index]->clone()));
+            value_vars[index] = xname;
+
+            if (mode_ == LookupMode::Linear && index == last)
+                continue;  // the last input is quantized differently
+
+            const float scale =
+                static_cast<float>(input.levels()) / (input.hi - input.lo);
+            // q = min(max((int)((x - lo) * scale), 0), levels - 1)
+            ExprPtr raw = b::to_int(
+                b::mul(b::sub(b::var(xname), b::float_lit(input.lo)),
+                       b::float_lit(scale)));
+            ExprPtr clamped = b::call(
+                Builtin::IMin,
+                make_args(b::call(Builtin::IMax,
+                                  make_args(std::move(raw), b::int_lit(0))),
+                          b::int_lit(input.levels() - 1)));
+            const std::string qname =
+                prefix + "_q" + std::to_string(index);
+            decls.push_back(b::decl(qname, Type::i32(),
+                                    std::move(clamped)));
+            level_vars[index] = qname;
+        }
+
+        if (mode_ == LookupMode::Nearest) {
+            ExprPtr addr = concat_address(variable, level_vars, -1, "");
+            const std::string addr_name = prefix + "_addr";
+            decls.push_back(b::decl(addr_name, Type::i32(),
+                                    std::move(addr)));
+            return b::load(table_param_, table_type_, b::ivar(addr_name));
+        }
+
+        // Linear interpolation along the last variable input (Fig. 15):
+        // pos is the fractional level position relative to level centers.
+        const memo::InputQuant& input = inputs[last];
+        PARAPROX_CHECK(input.levels() >= 2,
+                       "linear mode needs >= 1 bit on the last input");
+        const float inv_step = 1.0f / input.step();
+        const std::string pos = prefix + "_pos";
+        decls.push_back(b::decl(
+            pos, Type::f32(),
+            b::sub(b::mul(b::sub(b::var(value_vars[last]),
+                                 b::float_lit(input.lo)),
+                          b::float_lit(inv_step)),
+                   b::float_lit(0.5f))));
+        const std::string i0 = prefix + "_i0";
+        decls.push_back(b::decl(
+            i0, Type::i32(),
+            b::call(Builtin::IMin,
+                    make_args(
+                        b::call(Builtin::IMax,
+                                make_args(b::to_int(b::call(
+                                              Builtin::Floor,
+                                              make_args(b::var(pos)))),
+                                          b::int_lit(0))),
+                        b::int_lit(input.levels() - 2)))));
+        const std::string t = prefix + "_t";
+        decls.push_back(b::decl(
+            t, Type::f32(),
+            b::call(Builtin::Fmin,
+                    make_args(b::call(Builtin::Fmax,
+                                      make_args(b::sub(b::var(pos),
+                                                       b::to_float(
+                                                           b::ivar(i0))),
+                                                b::float_lit(0.0f))),
+                              b::float_lit(1.0f)))));
+
+        ExprPtr addr = concat_address(variable, level_vars, last, i0);
+        const std::string addr_name = prefix + "_addr";
+        decls.push_back(b::decl(addr_name, Type::i32(), std::move(addr)));
+
+        // table[addr] * (1 - t) + table[addr + 1] * t
+        ExprPtr lo_load =
+            b::load(table_param_, table_type_, b::ivar(addr_name));
+        ExprPtr hi_load =
+            b::load(table_param_, table_type_,
+                    b::add(b::ivar(addr_name), b::int_lit(1)));
+        return b::add(b::mul(std::move(lo_load),
+                             b::sub(b::float_lit(1.0f), b::var(t))),
+                      b::mul(std::move(hi_load), b::var(t)));
+    }
+
+  private:
+    static std::vector<ExprPtr>
+    make_args(ExprPtr a, ExprPtr c)
+    {
+        std::vector<ExprPtr> args;
+        args.push_back(std::move(a));
+        args.push_back(std::move(c));
+        return args;
+    }
+    static std::vector<ExprPtr>
+    make_args(ExprPtr a)
+    {
+        std::vector<ExprPtr> args;
+        args.push_back(std::move(a));
+        return args;
+    }
+
+    /// addr = (((q_v0 << b_v1) | q_v1) << b_v2) | ...  Input
+    /// @p override_index uses @p override_var instead of its q variable.
+    ExprPtr
+    concat_address(const std::vector<int>& variable,
+                   const std::vector<std::string>& level_vars,
+                   int override_index, const std::string& override_var)
+    {
+        ExprPtr addr;
+        for (int index : variable) {
+            const std::string& q = index == override_index
+                                       ? override_var
+                                       : level_vars[index];
+            ExprPtr field = b::ivar(q);
+            if (!addr) {
+                addr = std::move(field);
+            } else {
+                addr = b::bit_or(
+                    b::shl(std::move(addr),
+                           b::int_lit(config_.inputs[index].bits)),
+                    std::move(field));
+            }
+        }
+        return addr;
+    }
+
+    const memo::TableConfig& config_;
+    std::string table_param_;
+    Type table_type_;
+    LookupMode mode_;
+};
+
+}  // namespace
+
+MemoizedKernel
+memoize_kernel(const ir::Module& module, const std::string& kernel,
+               const std::string& callee, const memo::LookupTable& table,
+               TableLocation location, LookupMode mode)
+{
+    const Function* source_kernel = module.find_function(kernel);
+    PARAPROX_CHECK(source_kernel && source_kernel->is_kernel,
+                   "memoize: no kernel `" + kernel + "`");
+    PARAPROX_CHECK(module.find_function(callee),
+                   "memoize: no function `" + callee + "`");
+
+    MemoizedKernel result;
+    result.module = module.clone();
+    result.table = table;
+    result.location = location;
+    result.mode = mode;
+    result.kernel_name = fresh_name(kernel + "__memo_" +
+                                    to_string(location) + "_" +
+                                    to_string(mode) + "_");
+
+    Function* approx = result.module.find_function(kernel);
+    // Rename in place (the module also keeps the exact kernel's helpers).
+    approx->name = result.kernel_name;
+
+    // Table parameters (fresh names so memoization can be applied to the
+    // same kernel more than once, e.g. BoxMuller's two outputs).
+    const std::string base = fresh_name("__memo_table");
+    Type table_type;
+    if (location == TableLocation::Shared) {
+        result.shared_table_param = base;
+        result.table_buffer_param = base + "_src";
+        table_type = Type::pointer(Scalar::F32, AddrSpace::Shared);
+        approx->params.push_back({result.shared_table_param, table_type});
+        approx->params.push_back(
+            {result.table_buffer_param,
+             Type::pointer(Scalar::F32, AddrSpace::Global)});
+    } else {
+        result.table_buffer_param = base;
+        table_type = Type::pointer(
+            Scalar::F32, location == TableLocation::Constant
+                             ? AddrSpace::Constant
+                             : AddrSpace::Global);
+        approx->params.push_back({result.table_buffer_param, table_type});
+    }
+
+    LookupBuilder builder(result.table.config,
+                          location == TableLocation::Shared
+                              ? result.shared_table_param
+                              : result.table_buffer_param,
+                          table_type, mode);
+
+    // Rewrite statements containing calls to the callee: hoist temps, then
+    // substitute the lookup expression.
+    rewrite_stmt_lists(
+        *approx->body,
+        [&](StmtPtr& stmt) -> std::optional<std::vector<StmtPtr>> {
+            // Count calls to the callee in this statement.
+            bool contains = false;
+            for_each_expr(*stmt, [&](const Expr& expr) {
+                const auto* call = expr_as<Call>(expr);
+                if (call && call->builtin == Builtin::None &&
+                    call->callee == callee) {
+                    contains = true;
+                }
+            });
+            if (!contains)
+                return std::nullopt;
+
+            std::vector<StmtPtr> decls;
+            // Repeatedly replace the first remaining call (bottom-up), so
+            // nested calls resolve innermost-first.
+            for (;;) {
+                bool replaced = false;
+                Block holder;
+                holder.stmts.push_back(std::move(stmt));
+                rewrite_exprs(holder,
+                              [&](const Expr& expr) -> ExprPtr {
+                                  if (replaced)
+                                      return nullptr;
+                                  const auto* call = expr_as<Call>(expr);
+                                  if (!call ||
+                                      call->builtin != Builtin::None ||
+                                      call->callee != callee) {
+                                      return nullptr;
+                                  }
+                                  replaced = true;
+                                  return builder.build(*call, decls);
+                              });
+                stmt = std::move(holder.stmts[0]);
+                if (!replaced)
+                    break;
+            }
+            std::vector<StmtPtr> out;
+            for (auto& decl : decls)
+                out.push_back(std::move(decl));
+            out.push_back(std::move(stmt));
+            return out;
+        });
+
+    // Shared placement: stage the table from global memory at kernel entry
+    // (this copy + barrier is the real cost shared placement pays).
+    if (location == TableLocation::Shared) {
+        const std::string it = fresh_name("__memo_stage");
+        auto copy = b::store(
+            result.shared_table_param, table_type, b::ivar(it),
+            b::load(result.table_buffer_param,
+                    Type::pointer(Scalar::F32, AddrSpace::Global),
+                    b::ivar(it)));
+        std::vector<StmtPtr> body;
+        body.push_back(std::move(copy));
+        auto loop = b::for_stmt(
+            b::decl(it, Type::i32(), b::local_id(0)),
+            b::lt(b::ivar(it),
+                  b::int_lit(static_cast<int>(table.values.size()))),
+            b::assign(it, b::add(b::ivar(it), b::local_size(0))),
+            b::block(std::move(body)));
+        std::vector<StmtPtr> preamble;
+        preamble.push_back(std::move(loop));
+        preamble.push_back(b::barrier());
+        for (auto& old_stmt : approx->body->stmts)
+            preamble.push_back(std::move(old_stmt));
+        approx->body->stmts = std::move(preamble);
+    }
+
+    return result;
+}
+
+}  // namespace paraprox::transforms

@@ -1,0 +1,57 @@
+/// @file
+/// Approximate memoization (paper §3.1): replace calls to a pure,
+/// compute-heavy function with a quantize/concatenate/lookup sequence
+/// (Fig. 3b).  Variants differ in where the table lives (global /
+/// constant / shared memory — Fig. 16) and how unrepresented inputs are
+/// handled (nearest vs. linear interpolation — Fig. 15).
+
+#pragma once
+
+#include <string>
+
+#include "ir/function.h"
+#include "memo/table.h"
+
+namespace paraprox::transforms {
+
+/// Which memory the lookup table is placed in (§4.4.2).
+enum class TableLocation { Global, Constant, Shared };
+
+/// How inputs that fall between quantization levels are resolved (§4.4.2).
+enum class LookupMode { Nearest, Linear };
+
+std::string to_string(TableLocation location);
+std::string to_string(LookupMode mode);
+
+/// A memoized kernel variant, ready to compile and launch.
+struct MemoizedKernel {
+    ir::Module module;          ///< Clone holding the rewritten kernel.
+    std::string kernel_name;    ///< Name of the approximate kernel.
+    /// Bind the populated table Buffer to this parameter (it is the
+    /// __global source parameter for Shared placement).
+    std::string table_buffer_param;
+    /// Non-empty for Shared placement: the __shared parameter; bind its
+    /// element count (= table size) at launch.
+    std::string shared_table_param;
+    memo::LookupTable table;    ///< Values to upload before launching.
+    TableLocation location = TableLocation::Global;
+    LookupMode mode = LookupMode::Nearest;
+};
+
+/// Rewrite every call to @p callee inside @p kernel of @p module.
+///
+/// The generated kernel takes one extra buffer parameter (two for Shared
+/// placement: the __shared table plus its __global source, staged by a
+/// copy loop + barrier at kernel entry, which is exactly the cost the
+/// shared variant pays on real hardware).
+///
+/// Linear mode interpolates along the least-significant (last variable)
+/// input, reading two adjacent table entries — more accurate, one more
+/// memory access (Fig. 15).
+MemoizedKernel memoize_kernel(const ir::Module& module,
+                              const std::string& kernel,
+                              const std::string& callee,
+                              const memo::LookupTable& table,
+                              TableLocation location, LookupMode mode);
+
+}  // namespace paraprox::transforms

@@ -1,0 +1,199 @@
+#include "transforms/reduction_tx.h"
+
+#include "ir/builder.h"
+#include "ir/visitor.h"
+#include "support/error.h"
+#include "transforms/surgery.h"
+
+namespace paraprox::transforms {
+
+using namespace ir;
+namespace b = ir::build;
+using analysis::ReductionLoop;
+using analysis::ReductionOp;
+
+namespace {
+
+/// Multiply the loop's step increment by @p factor:
+/// `i = i + s`  ->  `i = i + s * factor`.
+void
+scale_loop_step(For& loop, int factor)
+{
+    auto* step = loop.step ? stmt_as<Assign>(*loop.step) : nullptr;
+    PARAPROX_CHECK(step, "reduction loop lacks a step assignment");
+    auto* add = expr_as<Binary>(*step->value);
+    PARAPROX_CHECK(add && (add->op == BinaryOp::Add ||
+                           add->op == BinaryOp::Sub),
+                   "reduction loop step must be additive");
+    const bool step_is_float = add->rhs->type().is_float();
+    ExprPtr factor_lit = step_is_float
+                             ? b::float_lit(static_cast<float>(factor))
+                             : b::int_lit(factor);
+    add->rhs = b::mul(std::move(add->rhs), std::move(factor_lit));
+}
+
+/// Rename reads/writes of @p var to @p replacement inside a block.
+void
+rename_var(Block& block, const std::string& var,
+           const std::string& replacement)
+{
+    // Reads.
+    rewrite_exprs(block, [&](const Expr& expr) -> ExprPtr {
+        if (const auto* ref = expr_as<VarRef>(expr)) {
+            if (ref->name == var)
+                return b::var(replacement, ref->type());
+        }
+        return nullptr;
+    });
+    // Writes.
+    std::function<void(Block&)> rename_writes = [&](Block& inner) {
+        for (auto& stmt : inner.stmts) {
+            if (auto* assign = stmt_as<Assign>(*stmt)) {
+                if (assign->name == var)
+                    assign->name = replacement;
+            } else if (auto* branch = stmt_as<If>(*stmt)) {
+                rename_writes(*branch->then_body);
+                if (branch->else_body)
+                    rename_writes(*branch->else_body);
+            } else if (auto* loop = stmt_as<For>(*stmt)) {
+                if (loop->init) {
+                    if (auto* init = stmt_as<Assign>(*loop->init)) {
+                        if (init->name == var)
+                            init->name = replacement;
+                    }
+                }
+                if (loop->step) {
+                    if (auto* step = stmt_as<Assign>(*loop->step)) {
+                        if (step->name == var)
+                            step->name = replacement;
+                    }
+                }
+                rename_writes(*loop->body);
+            } else if (auto* nested = stmt_as<Block>(*stmt)) {
+                rename_writes(*nested);
+            }
+        }
+    };
+    rename_writes(block);
+}
+
+/// Scale atomic operands inside the loop body by the skip rate.
+void
+scale_atomics(Block& body, int skip_rate)
+{
+    rewrite_exprs(body, [&](const Expr& expr) -> ExprPtr {
+        const auto* call = expr_as<Call>(expr);
+        if (!call || !is_atomic_builtin(call->builtin))
+            return nullptr;
+        if (call->builtin == Builtin::AtomicAdd) {
+            auto copy = call->clone();
+            auto* copied = static_cast<Call*>(copy.get());
+            ExprPtr& operand = copied->args[2];
+            ExprPtr factor =
+                operand->type().is_float()
+                    ? b::float_lit(static_cast<float>(skip_rate))
+                    : static_cast<ExprPtr>(b::int_lit(skip_rate));
+            operand = b::mul(std::move(operand), std::move(factor));
+            return copy;
+        }
+        if (call->builtin == Builtin::AtomicInc) {
+            // atomic_inc(buf, idx) -> atomic_add(buf, idx, skip_rate).
+            std::vector<ExprPtr> args;
+            args.push_back(call->args[0]->clone());
+            args.push_back(call->args[1]->clone());
+            args.push_back(b::int_lit(skip_rate));
+            return b::call(Builtin::AtomicAdd, std::move(args));
+        }
+        // min/max/and/or/xor atomics sample without adjustment.
+        return nullptr;
+    });
+}
+
+}  // namespace
+
+ReductionApproxKernel
+reduction_approx(const ir::Module& module, const std::string& kernel,
+                 int reduction_index, int skip_rate, bool adjust)
+{
+    PARAPROX_CHECK(skip_rate >= 2, "skip rate must be >= 2");
+    const Function* source = module.find_function(kernel);
+    PARAPROX_CHECK(source && source->is_kernel,
+                   "reduction_approx: no kernel `" + kernel + "`");
+
+    ReductionApproxKernel result;
+    result.module = module.clone();
+    result.skip_rate = skip_rate;
+    result.kernel_name = fresh_name(kernel + "__red_x" +
+                                    std::to_string(skip_rate) + "_");
+    Function* approx = result.module.find_function(kernel);
+    approx->name = result.kernel_name;
+
+    auto reductions = analysis::detect_reductions(*approx);
+    PARAPROX_CHECK(reduction_index >= 0 &&
+                       reduction_index <
+                           static_cast<int>(reductions.size()),
+                   "reduction_approx: no such reduction loop");
+    const ReductionLoop& target = reductions[reduction_index];
+
+    // The detected loop pointer aims into the clone; find its owning
+    // statement list so adjustment code can be inserted after it.
+    bool rewritten = false;
+    rewrite_stmt_lists(
+        *approx->body,
+        [&](StmtPtr& stmt) -> std::optional<std::vector<StmtPtr>> {
+            if (stmt.get() != static_cast<const Stmt*>(target.loop))
+                return std::nullopt;
+            auto* loop = stmt_as<For>(*stmt);
+            PARAPROX_ASSERT(loop, "reduction target is not a loop");
+
+            scale_loop_step(*loop, skip_rate);
+
+            std::vector<StmtPtr> out;
+            if (target.op == ReductionOp::Atomic) {
+                if (adjust)
+                    scale_atomics(*loop->body, skip_rate);
+                out.push_back(std::move(stmt));
+            } else if (target.op == ReductionOp::Add && adjust) {
+                // Replace the reduction variable with a zero-initialized
+                // temporary, then add the scaled temporary back
+                // (§3.3.3's initial-value fix).
+                const std::string& var = target.variable;
+                const std::string tmp = fresh_name("__red_tmp");
+                // The variable's type: probe the loop body's accumulative
+                // assignment.
+                Type var_type = Type::f32();
+                for (const auto& body_stmt : loop->body->stmts) {
+                    if (const auto* assign = stmt_as<Assign>(*body_stmt)) {
+                        if (assign->name == var)
+                            var_type = assign->value->type();
+                    }
+                }
+                rename_var(*loop->body, var, tmp);
+                ExprPtr zero = var_type.is_float()
+                                   ? b::float_lit(0.0f)
+                                   : static_cast<ExprPtr>(b::int_lit(0));
+                out.push_back(b::decl(tmp, var_type, std::move(zero)));
+                out.push_back(std::move(stmt));
+                ExprPtr rate =
+                    var_type.is_float()
+                        ? b::float_lit(static_cast<float>(skip_rate))
+                        : static_cast<ExprPtr>(b::int_lit(skip_rate));
+                out.push_back(b::assign(
+                    var, b::add(b::var(var, var_type),
+                                b::mul(b::var(tmp, var_type),
+                                       std::move(rate)))));
+                result.adjusted = true;
+            } else {
+                // Min/max/mul or adjustment disabled: sampling only.
+                out.push_back(std::move(stmt));
+            }
+            rewritten = true;
+            return out;
+        });
+    PARAPROX_ASSERT(rewritten, "reduction loop not found during rewrite");
+    if (target.op == ReductionOp::Atomic && adjust)
+        result.adjusted = true;
+    return result;
+}
+
+}  // namespace paraprox::transforms

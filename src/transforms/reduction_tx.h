@@ -1,0 +1,36 @@
+/// @file
+/// Reduction sampling + adjustment (paper §3.3): multiply the reduction
+/// loop's step by a skipping rate N, then — for additive reductions —
+/// scale the sampled partial sum by N through a zero-initialized temporary
+/// so the adjustment does not multiply the variable's initial value.
+/// Atomic reduction loops are sampled the same way, with atomic_add
+/// operands scaled by N (atomic_inc becomes atomic_add of N).
+
+#pragma once
+
+#include <string>
+
+#include "analysis/reduction.h"
+#include "ir/function.h"
+
+namespace paraprox::transforms {
+
+/// A reduction-approximated kernel variant.
+struct ReductionApproxKernel {
+    ir::Module module;
+    std::string kernel_name;
+    int skip_rate = 2;
+    bool adjusted = false;  ///< Whether adjustment code was inserted.
+};
+
+/// Approximate the @p reduction_index'th detected reduction loop of
+/// @p kernel with the given skipping rate.
+///
+/// @param adjust  insert the §3.3.3 adjustment for additive reductions
+///        (exposed so the ablation bench can measure its contribution).
+ReductionApproxKernel reduction_approx(const ir::Module& module,
+                                       const std::string& kernel,
+                                       int reduction_index, int skip_rate,
+                                       bool adjust = true);
+
+}  // namespace paraprox::transforms

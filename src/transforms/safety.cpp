@@ -1,0 +1,129 @@
+#include <functional>
+
+#include "transforms/safety.h"
+
+#include "ir/builder.h"
+#include "ir/visitor.h"
+#include "support/error.h"
+
+namespace paraprox::transforms {
+
+using namespace ir;
+namespace b = ir::build;
+
+namespace {
+
+/// Literal divisors that are provably non-zero need no guard.
+bool
+provably_nonzero(const Expr& expr)
+{
+    int value = 0;
+    if (const_int_value(expr, value))
+        return value != 0;
+    if (const auto* lit = expr_as<FloatLit>(expr))
+        return lit->value != 0.0f;
+    return false;
+}
+
+/// Atomics inside the divisor would be re-evaluated by the guard; leave
+/// such (pathological) divisions alone.
+bool
+contains_atomic(const Expr& expr)
+{
+    bool found = false;
+    Block probe;
+    (void)probe;
+    std::function<void(const Expr&)> visit = [&](const Expr& e) {
+        if (found)
+            return;
+        if (const auto* call = expr_as<Call>(e)) {
+            if (is_atomic_builtin(call->builtin)) {
+                found = true;
+                return;
+            }
+            for (const auto& arg : call->args)
+                visit(*arg);
+            return;
+        }
+        switch (e.kind()) {
+          case ExprKind::Unary:
+            visit(*static_cast<const Unary&>(e).operand);
+            break;
+          case ExprKind::Binary:
+            visit(*static_cast<const Binary&>(e).lhs);
+            visit(*static_cast<const Binary&>(e).rhs);
+            break;
+          case ExprKind::Load:
+            visit(*static_cast<const Load&>(e).index);
+            break;
+          case ExprKind::Cast:
+            visit(*static_cast<const Cast&>(e).operand);
+            break;
+          case ExprKind::Select: {
+            const auto& sel = static_cast<const Select&>(e);
+            visit(*sel.cond);
+            visit(*sel.if_true);
+            visit(*sel.if_false);
+            break;
+          }
+          default:
+            break;
+        }
+    };
+    visit(expr);
+    return found;
+}
+
+}  // namespace
+
+ir::Module
+guard_divisions(const ir::Module& module, const std::string& kernel,
+                int* guarded)
+{
+    const Function* source = module.find_function(kernel);
+    PARAPROX_CHECK(source, "guard_divisions: no function `" + kernel + "`");
+
+    ir::Module clone = module.clone();
+    Function* target = clone.find_function(kernel);
+    int count = 0;
+
+    rewrite_exprs(*target, [&](const Expr& expr) -> ExprPtr {
+        const auto* binary = expr_as<Binary>(expr);
+        if (!binary ||
+            (binary->op != BinaryOp::Div && binary->op != BinaryOp::Mod)) {
+            return nullptr;
+        }
+        if (provably_nonzero(*binary->rhs) ||
+            contains_atomic(*binary->rhs)) {
+            return nullptr;
+        }
+        ++count;
+
+        const bool is_float = binary->rhs->type().is_float();
+        auto zero = [&]() -> ExprPtr {
+            return is_float ? b::float_lit(0.0f)
+                            : static_cast<ExprPtr>(b::int_lit(0));
+        };
+        auto one = [&]() -> ExprPtr {
+            return is_float ? b::float_lit(1.0f)
+                            : static_cast<ExprPtr>(b::int_lit(1));
+        };
+
+        // (b == 0) ? 0 : a / ((b == 0) ? 1 : b)
+        ExprPtr is_zero_outer = b::eq(binary->rhs->clone(), zero());
+        ExprPtr is_zero_inner = b::eq(binary->rhs->clone(), zero());
+        ExprPtr safe_divisor = b::select(std::move(is_zero_inner), one(),
+                                         binary->rhs->clone());
+        ExprPtr division = std::make_unique<Binary>(
+            binary->op, binary->lhs->clone(), std::move(safe_divisor),
+            binary->type());
+        return b::select(std::move(is_zero_outer), zero(),
+                         std::move(division));
+    });
+
+    if (guarded)
+        *guarded = count;
+    return clone;
+}
+
+}  // namespace paraprox::transforms

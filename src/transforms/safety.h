@@ -1,0 +1,26 @@
+/// @file
+/// Division-safety guarding (paper §5, "Safety of Optimizations").
+///
+/// Approximated values can reach divisors; the paper sketches
+/// instrumenting such divisions to skip the calculation when the divisor
+/// is zero.  guard_divisions() rewrites every division whose divisor is
+/// not a non-zero literal into
+///
+///     (b == 0) ? 0 : a / ((b == 0) ? 1 : b)
+///
+/// so neither arm can trap (integer division by zero is a VM trap;
+/// float division by zero would propagate inf/NaN into the output).
+
+#pragma once
+
+#include "ir/function.h"
+
+namespace paraprox::transforms {
+
+/// Guard every division/modulo in @p kernel of a cloned @p module.
+/// Returns the number of divisions guarded via @p guarded (optional).
+ir::Module guard_divisions(const ir::Module& module,
+                           const std::string& kernel,
+                           int* guarded = nullptr);
+
+}  // namespace paraprox::transforms

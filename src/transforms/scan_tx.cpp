@@ -1,0 +1,41 @@
+#include "transforms/scan_tx.h"
+
+#include "parser/parser.h"
+#include "support/error.h"
+#include "transforms/surgery.h"
+
+namespace paraprox::transforms {
+
+ScanApproxPlan
+scan_approx(int total_subarrays, int skipped, int subarray_size)
+{
+    PARAPROX_CHECK(total_subarrays > 0 && subarray_size > 0,
+                   "scan_approx: bad geometry");
+    PARAPROX_CHECK(skipped >= 0 && skipped < total_subarrays,
+                   "scan_approx: must compute at least one subarray");
+    const int computed = total_subarrays - skipped;
+
+    ScanApproxPlan plan;
+    plan.total_subarrays = total_subarrays;
+    plan.computed_subarrays = computed;
+    plan.skipped_subarrays = skipped;
+    plan.subarray_size = subarray_size;
+    plan.tail_kernel = fresh_name("scan_tail_");
+
+    // Tail synthesis: replay the head, shifted by the computed total per
+    // wrap (Fig. 8).  `sums_scan[last]` is the computed region's total.
+    const std::string source =
+        "__kernel void " + plan.tail_kernel +
+        "(__global float* out, __global float* sums_scan, int computed,\n"
+        " int last_sum) {\n"
+        "    int i = get_global_id(0);\n"
+        "    int wraps = i / computed + 1;\n"
+        "    int src = i % computed;\n"
+        "    out[computed + i] = out[src] +\n"
+        "        sums_scan[last_sum] * (float)(wraps);\n"
+        "}\n";
+    plan.module = parser::parse_module(source);
+    return plan;
+}
+
+}  // namespace paraprox::transforms

@@ -1,0 +1,51 @@
+/// @file
+/// Scan approximation (paper §3.4): compute the prefix scan of only the
+/// first subarrays and synthesize the tail by replaying the head's results
+/// shifted by the computed region's total — avoiding the cascading error
+/// of §4.4.3 (Fig. 18).
+///
+/// The transform operates on the canonical three-phase scan pipeline
+/// (Fig. 9): Phase I launches fewer work-groups, Phase II scans fewer
+/// subarray sums, Phase III is unchanged over the computed region, and a
+/// generated tail kernel fills the skipped region:
+///
+///     out[C*S + i] = out[i mod C*S] + total * (1 + i div C*S)
+///
+/// where C = computed subarrays, S = subarray size, and total is the
+/// computed region's sum (the last element of Phase II's result).
+
+#pragma once
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace paraprox::transforms {
+
+/// Plan for an approximated scan.
+struct ScanApproxPlan {
+    ir::Module module;        ///< Holds the generated tail kernel.
+    std::string tail_kernel;  ///< Name of the tail-synthesis kernel.
+    int total_subarrays = 0;
+    int computed_subarrays = 0;
+    int skipped_subarrays = 0;
+    int subarray_size = 0;
+
+    int computed_elements() const { return computed_subarrays * subarray_size; }
+    int skipped_elements() const { return skipped_subarrays * subarray_size; }
+};
+
+/// Build the approximation plan: skip the last @p skipped of
+/// @p total_subarrays (each @p subarray_size elements).
+///
+/// The caller's pipeline should then:
+///   1. run Phase I over computed_subarrays groups,
+///   2. run Phase II over computed_subarrays sums,
+///   3. run Phase III over computed_elements(),
+///   4. launch @p tail_kernel over skipped_elements() work-items with
+///      buffers `out` (the scan output) and `sums_scan` (Phase II result)
+///      and scalar `computed` = computed_elements().
+ScanApproxPlan scan_approx(int total_subarrays, int skipped,
+                           int subarray_size);
+
+}  // namespace paraprox::transforms

@@ -1,0 +1,333 @@
+#include "transforms/stencil_tx.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "ir/builder.h"
+#include "ir/visitor.h"
+#include "support/error.h"
+#include "transforms/surgery.h"
+
+namespace paraprox::transforms {
+
+using namespace ir;
+namespace b = ir::build;
+
+std::string
+to_string(StencilScheme scheme)
+{
+    switch (scheme) {
+      case StencilScheme::Center: return "center";
+      case StencilScheme::Row: return "row";
+      case StencilScheme::Column: return "column";
+    }
+    return "<bad-scheme>";
+}
+
+namespace {
+
+struct Offset {
+    int dy;
+    int dx;
+    bool operator<(const Offset& other) const
+    {
+        return dy != other.dy ? dy < other.dy : dx < other.dx;
+    }
+    bool operator==(const Offset& other) const = default;
+};
+
+/// Snap an offset onto the representative lattice of its axis: accessed
+/// elements are grouped into bands of width 2*rd+1 and each band is
+/// served by its central element (Fig. 6's "reaching distance").
+int
+snap(int value, int lo, int hi, int rd)
+{
+    if (rd <= 0)
+        return value;
+    const int band = (value - lo) / (2 * rd + 1);
+    return std::min(hi, lo + band * (2 * rd + 1) + rd);
+}
+
+/// Representative element an access is merged into.
+Offset
+representative(const Offset& offset, const analysis::StencilGroup& group,
+               StencilScheme scheme, int rd)
+{
+    Offset rep = offset;
+    if (!group.two_dimensional) {
+        // 1D tiles merge along their single axis for every scheme.
+        rep.dx = snap(offset.dx, group.min_dx, group.max_dx, rd);
+        return rep;
+    }
+    switch (scheme) {
+      case StencilScheme::Center:
+        rep.dy = snap(offset.dy, group.min_dy, group.max_dy, rd);
+        rep.dx = snap(offset.dx, group.min_dx, group.max_dx, rd);
+        break;
+      case StencilScheme::Row:
+        rep.dy = snap(offset.dy, group.min_dy, group.max_dy, rd);
+        break;
+      case StencilScheme::Column:
+        rep.dx = snap(offset.dx, group.min_dx, group.max_dx, rd);
+        break;
+    }
+    return rep;
+}
+
+/// Variable names read by an expression.
+void
+collect_vars(const Expr& expr, std::set<std::string>& vars)
+{
+    if (const auto* ref = expr_as<VarRef>(expr)) {
+        vars.insert(ref->name);
+        return;
+    }
+    switch (expr.kind()) {
+      case ExprKind::Unary:
+        collect_vars(*static_cast<const Unary&>(expr).operand, vars);
+        break;
+      case ExprKind::Binary: {
+        const auto& binary = static_cast<const Binary&>(expr);
+        collect_vars(*binary.lhs, vars);
+        collect_vars(*binary.rhs, vars);
+        break;
+      }
+      case ExprKind::Call:
+        for (const auto& arg : static_cast<const Call&>(expr).args)
+            collect_vars(*arg, vars);
+        break;
+      case ExprKind::Load:
+        collect_vars(*static_cast<const Load&>(expr).index, vars);
+        break;
+      case ExprKind::Cast:
+        collect_vars(*static_cast<const Cast&>(expr).operand, vars);
+        break;
+      case ExprKind::Select: {
+        const auto& select = static_cast<const Select&>(expr);
+        collect_vars(*select.cond, vars);
+        collect_vars(*select.if_true, vars);
+        collect_vars(*select.if_false, vars);
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+/// Does this statement subtree write (assign/declare) any of @p vars?
+bool
+writes_any(const Stmt& stmt, const std::set<std::string>& vars)
+{
+    bool found = false;
+    std::function<void(const Stmt&)> visit = [&](const Stmt& inner) {
+        if (found)
+            return;
+        if (const auto* assign = stmt_as<Assign>(inner)) {
+            found = vars.count(assign->name) > 0;
+            return;
+        }
+        if (const auto* decl = stmt_as<Decl>(inner)) {
+            found = vars.count(decl->name) > 0;
+            return;
+        }
+        if (const auto* branch = stmt_as<If>(inner)) {
+            for (const auto& child : branch->then_body->stmts)
+                visit(*child);
+            if (branch->else_body)
+                for (const auto& child : branch->else_body->stmts)
+                    visit(*child);
+            return;
+        }
+        if (const auto* loop = stmt_as<For>(inner)) {
+            if (loop->init)
+                visit(*loop->init);
+            if (loop->step)
+                visit(*loop->step);
+            for (const auto& child : loop->body->stmts)
+                visit(*child);
+            return;
+        }
+        if (const auto* block = stmt_as<Block>(inner)) {
+            for (const auto& child : block->stmts)
+                visit(*child);
+            return;
+        }
+    };
+    visit(stmt);
+    return found;
+}
+
+/// Rewriting context shared across a kernel.
+struct MergeContext {
+    const analysis::StencilGroup* group;
+    StencilScheme scheme;
+    int rd;
+    Type array_type;
+    std::map<const Load*, Offset> offsets;  ///< Constant-offset loads.
+    std::set<std::string> index_vars;       ///< Vars read by tile indices.
+    int temps_created = 0;
+};
+
+/// Process one block: statements sharing representative temps until a
+/// write to an index variable invalidates them.
+void
+process_block(Block& block, MergeContext& context)
+{
+    std::vector<StmtPtr> rebuilt;
+    rebuilt.reserve(block.stmts.size());
+    std::map<Offset, std::string> live;  ///< Valid representative temps.
+
+    for (auto& stmt : block.stmts) {
+        // Recurse into nested bodies first (fresh temp scope inside).
+        if (auto* branch = stmt_as<If>(*stmt)) {
+            process_block(*branch->then_body, context);
+            if (branch->else_body)
+                process_block(*branch->else_body, context);
+        } else if (auto* loop = stmt_as<For>(*stmt)) {
+            process_block(*loop->body, context);
+        } else if (auto* nested = stmt_as<Block>(*stmt)) {
+            process_block(*nested, context);
+        }
+
+        // Merged loads directly inside this statement (not inside nested
+        // blocks — those were just handled).
+        std::map<const Load*, Offset> merged;
+        const bool is_compound = stmt->kind() == StmtKind::If ||
+                                 stmt->kind() == StmtKind::For ||
+                                 stmt->kind() == StmtKind::Block;
+        if (!is_compound) {
+            for_each_expr(*stmt, [&](const Expr& expr) {
+                const auto* load = expr_as<Load>(expr);
+                if (!load)
+                    return;
+                auto it = context.offsets.find(load);
+                if (it == context.offsets.end())
+                    return;
+                merged[load] = representative(it->second, *context.group,
+                                              context.scheme, context.rd);
+            });
+        }
+
+        if (!merged.empty()) {
+            // Create temps for representatives not yet live.
+            for (const auto& [load, rep] : merged) {
+                if (live.count(rep))
+                    continue;
+                const Offset own = context.offsets.at(load);
+                ExprPtr index = load->index->clone();
+                const int ddx = rep.dx - own.dx;
+                const int ddy = rep.dy - own.dy;
+                if (ddx != 0)
+                    index = b::add(std::move(index), b::int_lit(ddx));
+                if (ddy != 0) {
+                    PARAPROX_ASSERT(context.group->width,
+                                    "2D merge requires a width expression");
+                    index = b::add(std::move(index),
+                                   b::mul(b::int_lit(ddy),
+                                          context.group->width->clone()));
+                }
+                const std::string name = fresh_name("__tile");
+                rebuilt.push_back(b::decl(
+                    name, context.array_type.pointee(),
+                    b::load(context.group->array, context.array_type,
+                            std::move(index))));
+                live[rep] = name;
+                ++context.temps_created;
+            }
+
+            // Substitute the loads.
+            Block holder;
+            holder.stmts.push_back(std::move(stmt));
+            rewrite_exprs(holder, [&](const Expr& expr) -> ExprPtr {
+                const auto* load = expr_as<Load>(expr);
+                if (!load)
+                    return nullptr;
+                auto it = merged.find(load);
+                if (it == merged.end())
+                    return nullptr;
+                return b::var(live.at(it->second),
+                              context.array_type.pointee());
+            });
+            stmt = std::move(holder.stmts[0]);
+        }
+
+        // Writes to index variables invalidate the live temps for later
+        // statements (the values they captured are stale).
+        if (writes_any(*stmt, context.index_vars))
+            live.clear();
+
+        rebuilt.push_back(std::move(stmt));
+    }
+    block.stmts = std::move(rebuilt);
+}
+
+}  // namespace
+
+StencilApproxKernel
+stencil_approx(const ir::Module& module, const std::string& kernel,
+               const analysis::StencilGroup& group, StencilScheme scheme,
+               int reaching_distance)
+{
+    PARAPROX_CHECK(reaching_distance >= 0, "reaching distance must be >= 0");
+    const Function* source = module.find_function(kernel);
+    PARAPROX_CHECK(source && source->is_kernel,
+                   "stencil_approx: no kernel `" + kernel + "`");
+
+    StencilApproxKernel result;
+    result.module = module.clone();
+    result.scheme = scheme;
+    result.reaching_distance = reaching_distance;
+    result.kernel_name = fresh_name(kernel + "__stencil_" +
+                                    to_string(scheme) + "_rd" +
+                                    std::to_string(reaching_distance) + "_");
+    Function* approx = result.module.find_function(kernel);
+    approx->name = result.kernel_name;
+
+    // Re-detect on the clone and find the matching group.
+    const analysis::StencilGroup* clone_group = nullptr;
+    auto clone_groups = analysis::detect_stencils(*approx);
+    for (const auto& candidate : clone_groups) {
+        if (candidate.array == group.array &&
+            candidate.base_key == group.base_key) {
+            clone_group = &candidate;
+            break;
+        }
+    }
+    PARAPROX_CHECK(clone_group,
+                   "stencil_approx: group not found in cloned kernel");
+
+    MergeContext context;
+    context.group = clone_group;
+    context.scheme = scheme;
+    context.rd = reaching_distance;
+
+    // Constant-offset accesses only: loop-enumerated loads appear several
+    // times in the group; leave those exact (unroll first to merge them,
+    // see transforms/unroll.h).
+    std::map<const Load*, int> occurrences;
+    for (const auto& access : clone_group->accesses)
+        ++occurrences[access.load];
+    for (const auto& access : clone_group->accesses) {
+        if (occurrences[access.load] == 1) {
+            context.offsets[access.load] = {access.dy, access.dx};
+            collect_vars(*access.load->index, context.index_vars);
+        }
+    }
+    result.loads_before = static_cast<int>(context.offsets.size());
+
+    context.array_type = [&] {
+        for (const auto& param : approx->params) {
+            if (param.name == clone_group->array)
+                return param.type;
+        }
+        throw UserError("stencil_approx: tile array `" +
+                        clone_group->array + "` is not a kernel parameter");
+    }();
+
+    process_block(*approx->body, context);
+    result.loads_after = context.temps_created;
+    return result;
+}
+
+}  // namespace paraprox::transforms

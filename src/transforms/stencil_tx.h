@@ -1,0 +1,50 @@
+/// @file
+/// Stencil & partition approximation (paper §3.2): under the
+/// adjacent-values-are-similar assumption, read only a subset of each tile
+/// and reuse those values for the neighbours within a reaching distance.
+/// Three schemes (Fig. 6): center, row, and column based.
+
+#pragma once
+
+#include <string>
+
+#include "analysis/stencil.h"
+#include "ir/function.h"
+
+namespace paraprox::transforms {
+
+/// Which subset of the tile is actually read (Fig. 6 a/b/c).
+enum class StencilScheme { Center, Row, Column };
+
+std::string to_string(StencilScheme scheme);
+
+/// A stencil-approximated kernel variant.
+struct StencilApproxKernel {
+    ir::Module module;
+    std::string kernel_name;
+    StencilScheme scheme = StencilScheme::Center;
+    int reaching_distance = 1;
+    int loads_before = 0;  ///< Tile loads in the exact kernel.
+    int loads_after = 0;   ///< Distinct loads remaining after merging.
+};
+
+/// Rewrite @p kernel so that tile accesses within @p reaching_distance of
+/// a representative element reuse the representative's value instead of
+/// being loaded.  The representative set depends on the scheme:
+///   - Center: the tile's central element covers neighbours with Chebyshev
+///     distance <= rd;
+///   - Row: the central row covers rows within rd (columns untouched);
+///   - Column: the central column covers columns within rd.
+/// Loads collapsing to the same representative are hoisted into one temp
+/// per statement, so the dynamic load count genuinely drops.
+///
+/// Only constant-offset (manually unrolled) accesses are merged;
+/// loop-enumerated accesses are left exact, matching the paper's Mean
+/// Filter discussion.
+StencilApproxKernel stencil_approx(const ir::Module& module,
+                                   const std::string& kernel,
+                                   const analysis::StencilGroup& group,
+                                   StencilScheme scheme,
+                                   int reaching_distance);
+
+}  // namespace paraprox::transforms

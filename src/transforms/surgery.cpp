@@ -1,0 +1,43 @@
+#include "transforms/surgery.h"
+
+#include <atomic>
+
+namespace paraprox::transforms {
+
+using namespace ir;
+
+void
+rewrite_stmt_lists(Block& block, const StmtRewriteFn& rewrite)
+{
+    std::vector<StmtPtr> rebuilt;
+    rebuilt.reserve(block.stmts.size());
+    for (auto& stmt : block.stmts) {
+        auto replacement = rewrite(stmt);
+        if (replacement) {
+            for (auto& new_stmt : *replacement)
+                rebuilt.push_back(std::move(new_stmt));
+            continue;
+        }
+        // Keep and recurse into nested blocks.
+        if (auto* branch = stmt_as<If>(*stmt)) {
+            rewrite_stmt_lists(*branch->then_body, rewrite);
+            if (branch->else_body)
+                rewrite_stmt_lists(*branch->else_body, rewrite);
+        } else if (auto* loop = stmt_as<For>(*stmt)) {
+            rewrite_stmt_lists(*loop->body, rewrite);
+        } else if (auto* nested = stmt_as<Block>(*stmt)) {
+            rewrite_stmt_lists(*nested, rewrite);
+        }
+        rebuilt.push_back(std::move(stmt));
+    }
+    block.stmts = std::move(rebuilt);
+}
+
+std::string
+fresh_name(const std::string& prefix)
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return prefix + std::to_string(counter.fetch_add(1));
+}
+
+}  // namespace paraprox::transforms

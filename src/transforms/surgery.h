@@ -1,0 +1,33 @@
+/// @file
+/// Statement-level rewriting utilities shared by the approximation
+/// transforms — the "action generator / rewriter" stages of the paper's
+/// compilation flow (Fig. 10): transforms clone the input kernel, then
+/// apply add/delete/substitute actions to its statement lists.
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace paraprox::transforms {
+
+/// Callback deciding the fate of one statement.  Return nullopt to keep
+/// the statement untouched (children are still visited); return a vector
+/// to replace it with those statements (children are NOT revisited).
+/// The callback owns the statement through @p stmt and may move it into
+/// the replacement list.
+using StmtRewriteFn =
+    std::function<std::optional<std::vector<ir::StmtPtr>>(ir::StmtPtr& stmt)>;
+
+/// Apply @p rewrite to every statement in @p block, recursing into If/For
+/// bodies (and loop init/step indirectly via their owning statements).
+void rewrite_stmt_lists(ir::Block& block, const StmtRewriteFn& rewrite);
+
+/// Generate a fresh identifier with the given prefix, unique within this
+/// process.
+std::string fresh_name(const std::string& prefix);
+
+}  // namespace paraprox::transforms

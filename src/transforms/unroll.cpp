@@ -1,0 +1,218 @@
+#include "transforms/unroll.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "analysis/stencil.h"
+#include "ir/builder.h"
+#include "ir/visitor.h"
+#include "support/error.h"
+#include "transforms/surgery.h"
+
+namespace paraprox::transforms {
+
+using namespace ir;
+namespace b = ir::build;
+
+namespace {
+
+/// Does the loop body write the induction variable (making unrolling by
+/// substitution unsound)?
+bool
+body_writes(const Block& body, const std::string& var)
+{
+    bool found = false;
+    std::function<void(const Stmt&)> visit = [&](const Stmt& stmt) {
+        if (found)
+            return;
+        if (const auto* assign = stmt_as<Assign>(stmt)) {
+            found = assign->name == var;
+            return;
+        }
+        if (const auto* decl = stmt_as<Decl>(stmt)) {
+            found = decl->name == var;  // shadowing: keep it simple, bail
+            return;
+        }
+        if (const auto* branch = stmt_as<If>(stmt)) {
+            visit(*branch->then_body);
+            if (branch->else_body)
+                visit(*branch->else_body);
+            for (const auto& child : branch->then_body->stmts)
+                (void)child;
+            return;
+        }
+        if (const auto* loop = stmt_as<For>(stmt)) {
+            if (loop->init)
+                visit(*loop->init);
+            if (loop->step)
+                visit(*loop->step);
+            visit(*loop->body);
+            return;
+        }
+        if (const auto* block = stmt_as<Block>(stmt)) {
+            for (const auto& child : block->stmts)
+                visit(*child);
+            return;
+        }
+    };
+    for (const auto& stmt : body.stmts)
+        visit(*stmt);
+    return found;
+}
+
+/// Names declared directly or transitively inside a block.
+void
+collect_decl_names(const Block& block, std::set<std::string>& names)
+{
+    for (const auto& stmt : block.stmts) {
+        if (const auto* decl = stmt_as<Decl>(*stmt)) {
+            names.insert(decl->name);
+        } else if (const auto* branch = stmt_as<If>(*stmt)) {
+            collect_decl_names(*branch->then_body, names);
+            if (branch->else_body)
+                collect_decl_names(*branch->else_body, names);
+        } else if (const auto* loop = stmt_as<For>(*stmt)) {
+            if (loop->init) {
+                if (const auto* init_decl = stmt_as<Decl>(*loop->init))
+                    names.insert(init_decl->name);
+            }
+            collect_decl_names(*loop->body, names);
+        } else if (const auto* nested = stmt_as<Block>(*stmt)) {
+            collect_decl_names(*nested, names);
+        }
+    }
+}
+
+/// Rename declarations (and their uses/writes) per the given mapping.
+void
+rename_decls(Block& block, const std::map<std::string, std::string>& names)
+{
+    rewrite_exprs(block, [&](const Expr& expr) -> ExprPtr {
+        if (const auto* ref = expr_as<VarRef>(expr)) {
+            auto it = names.find(ref->name);
+            if (it != names.end())
+                return b::var(it->second, ref->type());
+        }
+        return nullptr;
+    });
+    std::function<void(Block&)> rename_writes = [&](Block& inner) {
+        for (auto& stmt : inner.stmts) {
+            if (auto* decl = stmt_as<Decl>(*stmt)) {
+                auto it = names.find(decl->name);
+                if (it != names.end())
+                    decl->name = it->second;
+            } else if (auto* assign = stmt_as<Assign>(*stmt)) {
+                auto it = names.find(assign->name);
+                if (it != names.end())
+                    assign->name = it->second;
+            } else if (auto* branch = stmt_as<If>(*stmt)) {
+                rename_writes(*branch->then_body);
+                if (branch->else_body)
+                    rename_writes(*branch->else_body);
+            } else if (auto* loop = stmt_as<For>(*stmt)) {
+                if (loop->init)
+                    if (auto* init_decl = stmt_as<Decl>(*loop->init)) {
+                        auto it = names.find(init_decl->name);
+                        if (it != names.end())
+                            init_decl->name = it->second;
+                    }
+                if (loop->step)
+                    if (auto* step = stmt_as<Assign>(*loop->step)) {
+                        auto it = names.find(step->name);
+                        if (it != names.end())
+                            step->name = it->second;
+                    }
+                rename_writes(*loop->body);
+            } else if (auto* nested = stmt_as<Block>(*stmt)) {
+                rename_writes(*nested);
+            }
+        }
+    };
+    rename_writes(block);
+}
+
+/// Substitute the induction variable with a literal value.
+void
+substitute_var(Block& block, const std::string& var, int value)
+{
+    rewrite_exprs(block, [&](const Expr& expr) -> ExprPtr {
+        if (const auto* ref = expr_as<VarRef>(expr)) {
+            if (ref->name == var)
+                return b::int_lit(value);
+        }
+        return nullptr;
+    });
+}
+
+/// One unrolling pass over a block; returns loops expanded.
+int
+unroll_pass(Block& block, int max_trips)
+{
+    int expanded = 0;
+    rewrite_stmt_lists(
+        block,
+        [&](StmtPtr& stmt) -> std::optional<std::vector<StmtPtr>> {
+            auto* loop = stmt_as<For>(*stmt);
+            if (!loop)
+                return std::nullopt;
+            auto range = analysis::constant_loop_range(*loop);
+            if (!range || range->trips() > max_trips ||
+                body_writes(*loop->body, range->var)) {
+                return std::nullopt;
+            }
+
+            std::set<std::string> decls;
+            collect_decl_names(*loop->body, decls);
+
+            std::vector<StmtPtr> out;
+            for (int value : range->values()) {
+                auto body = BlockPtr(static_cast<Block*>(
+                    loop->body->clone().release()));
+                substitute_var(*body, range->var, value);
+                if (!decls.empty()) {
+                    // Globally fresh suffix: iterations of *different*
+                    // loops must not collide either.
+                    std::map<std::string, std::string> renames;
+                    const std::string suffix = fresh_name("__u");
+                    for (const auto& name : decls)
+                        renames[name] = name + suffix;
+                    rename_decls(*body, renames);
+                }
+                for (auto& body_stmt : body->stmts)
+                    out.push_back(std::move(body_stmt));
+            }
+            ++expanded;
+            return out;
+        });
+    return expanded;
+}
+
+}  // namespace
+
+ir::Module
+unroll_constant_loops(const ir::Module& module, const std::string& kernel,
+                      int max_trips, int* unrolled)
+{
+    PARAPROX_CHECK(max_trips >= 1, "max_trips must be positive");
+    const Function* source = module.find_function(kernel);
+    PARAPROX_CHECK(source, "unroll: no function `" + kernel + "`");
+
+    ir::Module clone = module.clone();
+    Function* target = clone.find_function(kernel);
+
+    // The replacement bodies may contain nested constant loops; iterate
+    // until a pass finds nothing (bounded to avoid surprises).
+    int total = 0;
+    for (int pass = 0; pass < 8; ++pass) {
+        const int expanded = unroll_pass(*target->body, max_trips);
+        total += expanded;
+        if (expanded == 0)
+            break;
+    }
+    if (unrolled)
+        *unrolled = total;
+    return clone;
+}
+
+}  // namespace paraprox::transforms

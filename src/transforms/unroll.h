@@ -1,0 +1,26 @@
+/// @file
+/// Full unrolling of constant-trip loops.
+///
+/// The paper's stencil detector accepts both manually unrolled tiles and
+/// loops with constant trips (§3.2.2), but the *tile transform* merges
+/// only constant-offset accesses.  Unrolling first turns loop-shaped
+/// stencils (Gaussian written with `for dy/dx` loops) into the unrolled
+/// form the transform can merge — the standard enabling pass.
+
+#pragma once
+
+#include "ir/function.h"
+
+namespace paraprox::transforms {
+
+/// Fully unroll every constant-trip loop in @p kernel whose trip count is
+/// at most @p max_trips (and whose body does not redefine the induction
+/// variable).  Nested qualifying loops unroll recursively.  Returns the
+/// rewritten module clone; @p unrolled (optional) reports how many loops
+/// were expanded.
+ir::Module unroll_constant_loops(const ir::Module& module,
+                                 const std::string& kernel,
+                                 int max_trips = 64,
+                                 int* unrolled = nullptr);
+
+}  // namespace paraprox::transforms

@@ -1,0 +1,193 @@
+#include "vm/bytecode.h"
+
+#include <sstream>
+
+namespace paraprox::vm {
+
+std::string
+to_string(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::LdImm: return "ldimm";
+      case Opcode::Mov: return "mov";
+      case Opcode::AddI: return "addi";
+      case Opcode::SubI: return "subi";
+      case Opcode::MulI: return "muli";
+      case Opcode::DivI: return "divi";
+      case Opcode::ModI: return "modi";
+      case Opcode::AddF: return "addf";
+      case Opcode::SubF: return "subf";
+      case Opcode::MulF: return "mulf";
+      case Opcode::DivF: return "divf";
+      case Opcode::NegI: return "negi";
+      case Opcode::NegF: return "negf";
+      case Opcode::NotI: return "noti";
+      case Opcode::LtI: return "lti";
+      case Opcode::LeI: return "lei";
+      case Opcode::GtI: return "gti";
+      case Opcode::GeI: return "gei";
+      case Opcode::EqI: return "eqi";
+      case Opcode::NeI: return "nei";
+      case Opcode::LtF: return "ltf";
+      case Opcode::LeF: return "lef";
+      case Opcode::GtF: return "gtf";
+      case Opcode::GeF: return "gef";
+      case Opcode::EqF: return "eqf";
+      case Opcode::NeF: return "nef";
+      case Opcode::AndI: return "andi";
+      case Opcode::OrI: return "ori";
+      case Opcode::XorI: return "xori";
+      case Opcode::ShlI: return "shli";
+      case Opcode::ShrI: return "shri";
+      case Opcode::IToF: return "itof";
+      case Opcode::FToI: return "ftoi";
+      case Opcode::Sqrt: return "sqrt";
+      case Opcode::Exp: return "exp";
+      case Opcode::Log: return "log";
+      case Opcode::Sin: return "sin";
+      case Opcode::Cos: return "cos";
+      case Opcode::Pow: return "pow";
+      case Opcode::Fabs: return "fabs";
+      case Opcode::Fmin: return "fmin";
+      case Opcode::Fmax: return "fmax";
+      case Opcode::Floor: return "floor";
+      case Opcode::Lgamma: return "lgamma";
+      case Opcode::Erf: return "erf";
+      case Opcode::IMin: return "imin";
+      case Opcode::IMax: return "imax";
+      case Opcode::Gid: return "gid";
+      case Opcode::Lid: return "lid";
+      case Opcode::GrpId: return "grpid";
+      case Opcode::LSize: return "lsize";
+      case Opcode::NGrp: return "ngrp";
+      case Opcode::GSize: return "gsize";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::AtomAdd: return "atom_add";
+      case Opcode::AtomMin: return "atom_min";
+      case Opcode::AtomMax: return "atom_max";
+      case Opcode::AtomInc: return "atom_inc";
+      case Opcode::AtomAnd: return "atom_and";
+      case Opcode::AtomOr: return "atom_or";
+      case Opcode::AtomXor: return "atom_xor";
+      case Opcode::Sel: return "sel";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Jz: return "jz";
+      case Opcode::Barrier: return "barrier";
+      case Opcode::Halt: return "halt";
+    }
+    return "<bad-op>";
+}
+
+LatencyClass
+latency_class(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::LdImm:
+      case Opcode::Mov:
+      case Opcode::Gid:
+      case Opcode::Lid:
+      case Opcode::GrpId:
+      case Opcode::LSize:
+      case Opcode::NGrp:
+      case Opcode::GSize:
+      case Opcode::Jmp:
+      case Opcode::Jz:
+      case Opcode::Sel:
+        return LatencyClass::Trivial;
+
+      case Opcode::AddI:
+      case Opcode::SubI:
+      case Opcode::MulI:
+      case Opcode::NegI:
+      case Opcode::NotI:
+      case Opcode::LtI:
+      case Opcode::LeI:
+      case Opcode::GtI:
+      case Opcode::GeI:
+      case Opcode::EqI:
+      case Opcode::NeI:
+      case Opcode::AndI:
+      case Opcode::OrI:
+      case Opcode::XorI:
+      case Opcode::ShlI:
+      case Opcode::ShrI:
+      case Opcode::IMin:
+      case Opcode::IMax:
+        return LatencyClass::IntArith;
+
+      case Opcode::AddF:
+      case Opcode::SubF:
+      case Opcode::MulF:
+      case Opcode::NegF:
+      case Opcode::LtF:
+      case Opcode::LeF:
+      case Opcode::GtF:
+      case Opcode::GeF:
+      case Opcode::EqF:
+      case Opcode::NeF:
+      case Opcode::IToF:
+      case Opcode::FToI:
+      // Select/clamp/round float ops execute on the regular ALU pipes.
+      case Opcode::Fabs:
+      case Opcode::Fmin:
+      case Opcode::Fmax:
+      case Opcode::Floor:
+        return LatencyClass::FloatArith;
+
+      case Opcode::DivI:
+      case Opcode::ModI:
+      case Opcode::DivF:
+        return LatencyClass::Div;
+
+      case Opcode::Exp:
+      case Opcode::Log:
+      case Opcode::Sin:
+      case Opcode::Cos:
+      case Opcode::Pow:
+        return LatencyClass::Transcendental;
+
+      case Opcode::Lgamma:
+      case Opcode::Erf:
+        return LatencyClass::HeavyTranscendental;
+
+      case Opcode::Sqrt:
+        return LatencyClass::SimpleMath;
+
+      case Opcode::Ld:
+      case Opcode::St:
+        return LatencyClass::Memory;
+
+      case Opcode::AtomAdd:
+      case Opcode::AtomMin:
+      case Opcode::AtomMax:
+      case Opcode::AtomInc:
+      case Opcode::AtomAnd:
+      case Opcode::AtomOr:
+      case Opcode::AtomXor:
+        return LatencyClass::Atomic;
+
+      case Opcode::Barrier:
+      case Opcode::Halt:
+        return LatencyClass::Control;
+    }
+    return LatencyClass::Trivial;
+}
+
+std::string
+Program::dump() const
+{
+    std::ostringstream os;
+    os << "kernel " << kernel_name << " (regs=" << num_regs << ")\n";
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Instr& instr = code[i];
+        os << "  " << i << ": " << to_string(instr.op) << " a=" << instr.a
+           << " b=" << instr.b << " c=" << instr.c << " d=" << instr.d
+           << " imm.i=" << instr.imm.i << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace paraprox::vm

@@ -1,0 +1,145 @@
+/// @file
+/// The register-bytecode ISA that ParaCL kernels compile to.
+///
+/// Exact and Paraprox-approximated kernels are both lowered to this ISA and
+/// executed by the same VM, so speedups measured between them reflect real
+/// reductions in dynamic instruction and memory-operation counts — the same
+/// mechanism the paper exploits on GPUs/CPUs.  Each opcode also carries a
+/// latency class that the device models (src/device) use to convert dynamic
+/// counts into modeled cycles.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace paraprox::vm {
+
+/// A 32-bit register/word value; opcodes determine the interpretation.
+union Value {
+    std::int32_t i;
+    float f;
+};
+
+inline Value
+make_int(std::int32_t v)
+{
+    Value value;
+    value.i = v;
+    return value;
+}
+
+inline Value
+make_float(float v)
+{
+    Value value;
+    value.f = v;
+    return value;
+}
+
+/// Bytecode operations.  Suffix I/F distinguishes int/float variants.
+enum class Opcode : std::uint8_t {
+    Nop,
+    LdImm,    ///< a <- imm (payload already typed).
+    Mov,      ///< a <- b.
+
+    AddI, SubI, MulI, DivI, ModI,
+    AddF, SubF, MulF, DivF,
+    NegI, NegF, NotI,
+
+    LtI, LeI, GtI, GeI, EqI, NeI,
+    LtF, LeF, GtF, GeF, EqF, NeF,
+
+    AndI, OrI, XorI, ShlI, ShrI,
+
+    IToF,    ///< a.f <- (float)b.i
+    FToI,    ///< a.i <- (int)b.f (truncating)
+
+    Sqrt, Exp, Log, Sin, Cos, Pow, Fabs, Fmin, Fmax, Floor, Lgamma, Erf,
+    IMin, IMax,
+
+    Gid,     ///< a <- global id in dim imm.i
+    Lid,     ///< a <- local id in dim imm.i
+    GrpId,   ///< a <- group id in dim imm.i
+    LSize,   ///< a <- local size in dim imm.i
+    NGrp,    ///< a <- number of groups in dim imm.i
+    GSize,   ///< a <- global size in dim imm.i
+
+    Ld,      ///< a <- buffer[imm.i][reg b]
+    St,      ///< buffer[imm.i][reg a] <- reg b
+
+    AtomAdd, AtomMin, AtomMax, AtomInc, AtomAnd, AtomOr, AtomXor,
+             ///< a <- old; buffer imm.i, index reg b, operand reg c.
+
+    Sel,     ///< a <- b ? c : d
+
+    Jmp,     ///< pc <- imm.i
+    Jz,      ///< if (!reg a) pc <- imm.i
+
+    Barrier,
+    Halt,
+};
+
+constexpr int kNumOpcodes = static_cast<int>(Opcode::Halt) + 1;
+
+/// Mnemonic for dumps and tests.
+std::string to_string(Opcode op);
+
+/// One decoded instruction.  a is the destination register unless noted.
+struct Instr {
+    Opcode op = Opcode::Nop;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+    std::int32_t c = 0;
+    std::int32_t d = 0;
+    Value imm = make_int(0);
+};
+
+/// A buffer-typed kernel parameter.
+struct BufferParamInfo {
+    std::string name;
+    ir::Scalar elem;
+    ir::AddrSpace space;
+};
+
+/// A scalar kernel parameter preloaded into a register before execution.
+struct ScalarParamInfo {
+    std::string name;
+    ir::Scalar scalar;
+    int reg;
+};
+
+/// A compiled kernel.
+struct Program {
+    std::string kernel_name;
+    std::vector<Instr> code;
+    int num_regs = 0;
+    std::vector<BufferParamInfo> buffers;
+    std::vector<ScalarParamInfo> scalars;
+    bool has_barrier = false;
+
+    /// Disassembly for debugging.
+    std::string dump() const;
+};
+
+/// Latency classes used by device models to price an opcode.
+enum class LatencyClass {
+    Trivial,         ///< mov/immediate/geometry/jumps.
+    IntArith,
+    FloatArith,
+    Div,             ///< int/float division & modulo (subroutine on GPUs).
+    Transcendental,  ///< exp/log/sin/cos/pow (SFU-capable).
+    HeavyTranscendental,  ///< lgamma/erf: long software routines.
+    SimpleMath,      ///< sqrt/fabs/min/max/floor.
+    Memory,          ///< Ld/St — priced by the memory model instead.
+    Atomic,
+    Control,         ///< barrier/halt.
+};
+
+/// Classify an opcode.
+LatencyClass latency_class(Opcode op);
+
+}  // namespace paraprox::vm

@@ -1,0 +1,571 @@
+#include "vm/compiler.h"
+
+#include <map>
+#include <optional>
+
+#include "ir/builtins.h"
+#include "support/error.h"
+
+namespace paraprox::vm {
+
+using namespace ir;
+
+namespace {
+
+/// What a name is bound to during compilation.
+struct Binding {
+    enum class Kind { Register, Buffer };
+    Kind kind;
+    int index;  ///< Register number or buffer slot.
+};
+
+/// One inlining frame: name bindings plus the return plumbing of the
+/// function currently being lowered.
+struct Frame {
+    std::map<std::string, Binding> names;
+    int return_reg = -1;      ///< Where `return expr` writes.
+    int exit_label = -1;      ///< Jump target for `return`.
+    const Frame* parent = nullptr;
+
+    const Binding*
+    lookup(const std::string& name) const
+    {
+        auto it = names.find(name);
+        if (it != names.end())
+            return &it->second;
+        // Only the current frame is visible for registers (no closures),
+        // but kernels have a single frame and inlined callees see only
+        // their own params/locals, so no parent chase is wanted here.
+        return nullptr;
+    }
+};
+
+class Compiler {
+  public:
+    Compiler(const ir::Module& module) : module_(module) {}
+
+    Program
+    compile(const Function& kernel, bool standalone_scalar)
+    {
+        program_.kernel_name = kernel.name;
+        Frame frame;
+
+        if (standalone_scalar) {
+            // Scalar function entry: params become preloaded registers and
+            // the result is written to register 0.
+            result_reg_ = alloc_reg();  // register 0
+            PARAPROX_ASSERT(result_reg_ == 0, "result register must be 0");
+            for (const auto& param : kernel.params) {
+                PARAPROX_CHECK(!param.type.is_pointer,
+                               "scalar function cannot take pointers");
+                const int reg = alloc_reg();
+                frame.names[param.name] = {Binding::Kind::Register, reg};
+                program_.scalars.push_back(
+                    {param.name, param.type.scalar, reg});
+            }
+            frame.return_reg = result_reg_;
+            frame.exit_label = make_label();
+            compile_block(*kernel.body, frame);
+            bind_label(frame.exit_label);
+            emit(Opcode::Halt);
+        } else {
+            for (const auto& param : kernel.params) {
+                if (param.type.is_pointer) {
+                    const int slot =
+                        static_cast<int>(program_.buffers.size());
+                    program_.buffers.push_back(
+                        {param.name, param.type.scalar, param.type.space});
+                    frame.names[param.name] = {Binding::Kind::Buffer, slot};
+                } else {
+                    const int reg = alloc_reg();
+                    frame.names[param.name] = {Binding::Kind::Register, reg};
+                    program_.scalars.push_back(
+                        {param.name, param.type.scalar, reg});
+                }
+            }
+            frame.return_reg = -1;
+            frame.exit_label = make_label();
+            compile_block(*kernel.body, frame);
+            bind_label(frame.exit_label);
+            emit(Opcode::Halt);
+        }
+
+        resolve_labels();
+        program_.num_regs = next_reg_;
+        return std::move(program_);
+    }
+
+  private:
+    // ---- Emission helpers ----------------------------------------------
+
+    int
+    emit(Opcode op, int a = 0, int b = 0, int c = 0, int d = 0,
+         Value imm = make_int(0))
+    {
+        program_.code.push_back({op, a, b, c, d, imm});
+        if (op == Opcode::Barrier)
+            program_.has_barrier = true;
+        return static_cast<int>(program_.code.size()) - 1;
+    }
+
+    int alloc_reg() { return next_reg_++; }
+
+    /// Labels are resolved to instruction indices after codegen.
+    int
+    make_label()
+    {
+        labels_.push_back(-1);
+        return static_cast<int>(labels_.size()) - 1;
+    }
+
+    void
+    bind_label(int label)
+    {
+        labels_[label] = static_cast<int>(program_.code.size());
+    }
+
+    /// Emit a jump whose imm.i is a label id, fixed up later.
+    int
+    emit_jump(Opcode op, int label, int cond_reg = 0)
+    {
+        const int index = emit(op, cond_reg, 0, 0, 0, make_int(label));
+        jump_sites_.push_back(index);
+        return index;
+    }
+
+    void
+    resolve_labels()
+    {
+        for (int site : jump_sites_) {
+            Instr& instr = program_.code[site];
+            const int label = instr.imm.i;
+            PARAPROX_ASSERT(labels_[label] >= 0, "unbound label");
+            instr.imm.i = labels_[label];
+        }
+    }
+
+    int
+    load_const_int(int value)
+    {
+        const int reg = alloc_reg();
+        emit(Opcode::LdImm, reg, 0, 0, 0, make_int(value));
+        return reg;
+    }
+
+    int
+    load_const_float(float value)
+    {
+        const int reg = alloc_reg();
+        emit(Opcode::LdImm, reg, 0, 0, 0, make_float(value));
+        return reg;
+    }
+
+    // ---- Statements -----------------------------------------------------
+
+    void
+    compile_block(const Block& block, Frame& frame)
+    {
+        for (const auto& stmt : block.stmts)
+            compile_stmt(*stmt, frame);
+    }
+
+    void
+    compile_stmt(const Stmt& stmt, Frame& frame)
+    {
+        switch (stmt.kind()) {
+          case StmtKind::Block:
+            compile_block(static_cast<const Block&>(stmt), frame);
+            break;
+          case StmtKind::Decl: {
+            const auto& decl = static_cast<const Decl&>(stmt);
+            const int reg = alloc_reg();
+            if (decl.init) {
+                const int value = compile_expr(*decl.init, frame);
+                emit(Opcode::Mov, reg, value);
+            } else {
+                emit(Opcode::LdImm, reg, 0, 0, 0,
+                     decl.type.is_float() ? make_float(0.0f) : make_int(0));
+            }
+            frame.names[decl.name] = {Binding::Kind::Register, reg};
+            break;
+          }
+          case StmtKind::Assign: {
+            const auto& assign = static_cast<const Assign&>(stmt);
+            const Binding* binding = frame.lookup(assign.name);
+            PARAPROX_CHECK(binding &&
+                               binding->kind == Binding::Kind::Register,
+                           "assignment to unknown variable `" +
+                               assign.name + "`");
+            const int value = compile_expr(*assign.value, frame);
+            emit(Opcode::Mov, binding->index, value);
+            break;
+          }
+          case StmtKind::Store: {
+            const auto& store = static_cast<const Store&>(stmt);
+            const Binding* binding = frame.lookup(store.array);
+            PARAPROX_CHECK(binding && binding->kind == Binding::Kind::Buffer,
+                           "store to unknown buffer `" + store.array + "`");
+            const int index = compile_expr(*store.index, frame);
+            const int value = compile_expr(*store.value, frame);
+            emit(Opcode::St, index, value, 0, 0, make_int(binding->index));
+            break;
+          }
+          case StmtKind::If: {
+            const auto& branch = static_cast<const If&>(stmt);
+            const int cond = compile_expr(*branch.cond, frame);
+            const int else_label = make_label();
+            const int end_label = make_label();
+            emit_jump(Opcode::Jz, else_label, cond);
+            compile_block(*branch.then_body, frame);
+            emit_jump(Opcode::Jmp, end_label);
+            bind_label(else_label);
+            if (branch.else_body)
+                compile_block(*branch.else_body, frame);
+            bind_label(end_label);
+            break;
+          }
+          case StmtKind::For: {
+            const auto& loop = static_cast<const For&>(stmt);
+            if (loop.init)
+                compile_stmt(*loop.init, frame);
+            const int head_label = make_label();
+            const int end_label = make_label();
+            bind_label(head_label);
+            const int cond = compile_expr(*loop.cond, frame);
+            emit_jump(Opcode::Jz, end_label, cond);
+            compile_block(*loop.body, frame);
+            if (loop.step)
+                compile_stmt(*loop.step, frame);
+            emit_jump(Opcode::Jmp, head_label);
+            bind_label(end_label);
+            break;
+          }
+          case StmtKind::Return: {
+            const auto& ret = static_cast<const Return&>(stmt);
+            if (ret.value) {
+                PARAPROX_CHECK(frame.return_reg >= 0,
+                               "return with value in void context");
+                const int value = compile_expr(*ret.value, frame);
+                emit(Opcode::Mov, frame.return_reg, value);
+            }
+            emit_jump(Opcode::Jmp, frame.exit_label);
+            break;
+          }
+          case StmtKind::ExprStmt:
+            compile_expr(*static_cast<const ExprStmt&>(stmt).expr, frame);
+            break;
+          case StmtKind::Barrier:
+            emit(Opcode::Barrier);
+            break;
+        }
+    }
+
+    // ---- Expressions ------------------------------------------------------
+
+    int
+    compile_expr(const Expr& expr, Frame& frame)
+    {
+        switch (expr.kind()) {
+          case ExprKind::IntLit:
+            return load_const_int(static_cast<const IntLit&>(expr).value);
+          case ExprKind::FloatLit:
+            return load_const_float(
+                static_cast<const FloatLit&>(expr).value);
+          case ExprKind::BoolLit:
+            return load_const_int(
+                static_cast<const BoolLit&>(expr).value ? 1 : 0);
+          case ExprKind::VarRef: {
+            const auto& ref = static_cast<const VarRef&>(expr);
+            const Binding* binding = frame.lookup(ref.name);
+            PARAPROX_CHECK(binding, "unknown variable `" + ref.name + "`");
+            PARAPROX_CHECK(binding->kind == Binding::Kind::Register,
+                           "buffer `" + ref.name + "` used as a scalar");
+            return binding->index;
+          }
+          case ExprKind::Unary:
+            return compile_unary(static_cast<const Unary&>(expr), frame);
+          case ExprKind::Binary:
+            return compile_binary(static_cast<const Binary&>(expr), frame);
+          case ExprKind::Call:
+            return compile_call(static_cast<const Call&>(expr), frame);
+          case ExprKind::Load: {
+            const auto& load = static_cast<const Load&>(expr);
+            const Binding* binding = frame.lookup(load.array);
+            PARAPROX_CHECK(binding && binding->kind == Binding::Kind::Buffer,
+                           "unknown buffer `" + load.array + "`");
+            const int index = compile_expr(*load.index, frame);
+            const int dest = alloc_reg();
+            emit(Opcode::Ld, dest, index, 0, 0, make_int(binding->index));
+            return dest;
+          }
+          case ExprKind::Cast:
+            return compile_cast(static_cast<const Cast&>(expr), frame);
+          case ExprKind::Select: {
+            const auto& select = static_cast<const Select&>(expr);
+            const int cond = compile_expr(*select.cond, frame);
+            const int if_true = compile_expr(*select.if_true, frame);
+            const int if_false = compile_expr(*select.if_false, frame);
+            const int dest = alloc_reg();
+            emit(Opcode::Sel, dest, cond, if_true, if_false);
+            return dest;
+          }
+        }
+        throw InternalError("unreachable expression kind");
+    }
+
+    int
+    compile_unary(const Unary& unary, Frame& frame)
+    {
+        const int operand = compile_expr(*unary.operand, frame);
+        const int dest = alloc_reg();
+        switch (unary.op) {
+          case UnaryOp::Neg:
+            emit(unary.operand->type().is_float() ? Opcode::NegF
+                                                  : Opcode::NegI,
+                 dest, operand);
+            break;
+          case UnaryOp::Not:
+            emit(Opcode::NotI, dest, operand);
+            break;
+        }
+        return dest;
+    }
+
+    int
+    compile_binary(const Binary& binary, Frame& frame)
+    {
+        const int lhs = compile_expr(*binary.lhs, frame);
+        const int rhs = compile_expr(*binary.rhs, frame);
+        const bool float_operands = binary.lhs->type().is_float();
+        const int dest = alloc_reg();
+
+        auto pick = [&](Opcode int_op, Opcode float_op) {
+            return float_operands ? float_op : int_op;
+        };
+
+        Opcode op;
+        switch (binary.op) {
+          case BinaryOp::Add: op = pick(Opcode::AddI, Opcode::AddF); break;
+          case BinaryOp::Sub: op = pick(Opcode::SubI, Opcode::SubF); break;
+          case BinaryOp::Mul: op = pick(Opcode::MulI, Opcode::MulF); break;
+          case BinaryOp::Div: op = pick(Opcode::DivI, Opcode::DivF); break;
+          case BinaryOp::Mod: op = Opcode::ModI; break;
+          case BinaryOp::Lt: op = pick(Opcode::LtI, Opcode::LtF); break;
+          case BinaryOp::Le: op = pick(Opcode::LeI, Opcode::LeF); break;
+          case BinaryOp::Gt: op = pick(Opcode::GtI, Opcode::GtF); break;
+          case BinaryOp::Ge: op = pick(Opcode::GeI, Opcode::GeF); break;
+          case BinaryOp::Eq: op = pick(Opcode::EqI, Opcode::EqF); break;
+          case BinaryOp::Ne: op = pick(Opcode::NeI, Opcode::NeF); break;
+          case BinaryOp::LogicalAnd: op = Opcode::AndI; break;
+          case BinaryOp::LogicalOr: op = Opcode::OrI; break;
+          case BinaryOp::BitAnd: op = Opcode::AndI; break;
+          case BinaryOp::BitOr: op = Opcode::OrI; break;
+          case BinaryOp::BitXor: op = Opcode::XorI; break;
+          case BinaryOp::Shl: op = Opcode::ShlI; break;
+          case BinaryOp::Shr: op = Opcode::ShrI; break;
+          default:
+            throw InternalError("unhandled binary op");
+        }
+        emit(op, dest, lhs, rhs);
+        return dest;
+    }
+
+    int
+    compile_cast(const Cast& cast, Frame& frame)
+    {
+        const int operand = compile_expr(*cast.operand, frame);
+        const Type from = cast.operand->type();
+        const Type to = cast.type();
+        const int dest = alloc_reg();
+        if (from.is_float() && !to.is_float()) {
+            if (to.is_bool()) {
+                const int zero = load_const_float(0.0f);
+                emit(Opcode::NeF, dest, operand, zero);
+            } else {
+                emit(Opcode::FToI, dest, operand);
+            }
+        } else if (!from.is_float() && to.is_float()) {
+            emit(Opcode::IToF, dest, operand);
+        } else if (to.is_bool() && from.is_int()) {
+            const int zero = load_const_int(0);
+            emit(Opcode::NeI, dest, operand, zero);
+        } else {
+            emit(Opcode::Mov, dest, operand);
+        }
+        return dest;
+    }
+
+    int
+    compile_call(const Call& call, Frame& frame)
+    {
+        if (call.builtin == Builtin::None)
+            return inline_user_call(call, frame);
+        return compile_builtin(call, frame);
+    }
+
+    int
+    compile_builtin(const Call& call, Frame& frame)
+    {
+        const Builtin builtin = call.builtin;
+        const BuiltinInfo& info = builtin_info(builtin);
+
+        if (is_thread_id_builtin(builtin)) {
+            const auto* dim = expr_as<IntLit>(*call.args[0]);
+            PARAPROX_CHECK(dim,
+                           std::string(info.name) +
+                               " requires a constant dimension");
+            PARAPROX_CHECK(dim->value >= 0 && dim->value < 3,
+                           "dimension must be 0, 1 or 2");
+            Opcode op;
+            switch (builtin) {
+              case Builtin::GlobalId: op = Opcode::Gid; break;
+              case Builtin::LocalId: op = Opcode::Lid; break;
+              case Builtin::GroupId: op = Opcode::GrpId; break;
+              case Builtin::LocalSize: op = Opcode::LSize; break;
+              case Builtin::NumGroups: op = Opcode::NGrp; break;
+              case Builtin::GlobalSize: op = Opcode::GSize; break;
+              default: throw InternalError("bad geometry builtin");
+            }
+            const int dest = alloc_reg();
+            emit(op, dest, 0, 0, 0, make_int(dim->value));
+            return dest;
+        }
+
+        if (info.is_atomic) {
+            const auto* target = expr_as<VarRef>(*call.args[0]);
+            PARAPROX_ASSERT(target, "atomic target must be a VarRef");
+            const Binding* binding = frame.lookup(target->name);
+            PARAPROX_CHECK(binding && binding->kind == Binding::Kind::Buffer,
+                           "atomic on unknown buffer `" + target->name +
+                               "`");
+            const int index = compile_expr(*call.args[1], frame);
+            int operand = 0;
+            if (call.args.size() == 3)
+                operand = compile_expr(*call.args[2], frame);
+            Opcode op;
+            switch (builtin) {
+              case Builtin::AtomicAdd: op = Opcode::AtomAdd; break;
+              case Builtin::AtomicMin: op = Opcode::AtomMin; break;
+              case Builtin::AtomicMax: op = Opcode::AtomMax; break;
+              case Builtin::AtomicInc: op = Opcode::AtomInc; break;
+              case Builtin::AtomicAnd: op = Opcode::AtomAnd; break;
+              case Builtin::AtomicOr: op = Opcode::AtomOr; break;
+              case Builtin::AtomicXor: op = Opcode::AtomXor; break;
+              default: throw InternalError("bad atomic builtin");
+            }
+            const int dest = alloc_reg();
+            emit(op, dest, index, operand, 0, make_int(binding->index));
+            return dest;
+        }
+
+        if (builtin == Builtin::Barrier) {
+            emit(Opcode::Barrier);
+            return 0;
+        }
+
+        // Plain math builtins.
+        std::vector<int> arg_regs;
+        arg_regs.reserve(call.args.size());
+        for (const auto& arg : call.args)
+            arg_regs.push_back(compile_expr(*arg, frame));
+        Opcode op;
+        switch (builtin) {
+          case Builtin::Sqrt: op = Opcode::Sqrt; break;
+          case Builtin::Exp: op = Opcode::Exp; break;
+          case Builtin::Log: op = Opcode::Log; break;
+          case Builtin::Sin: op = Opcode::Sin; break;
+          case Builtin::Cos: op = Opcode::Cos; break;
+          case Builtin::Pow: op = Opcode::Pow; break;
+          case Builtin::Fabs: op = Opcode::Fabs; break;
+          case Builtin::Fmin: op = Opcode::Fmin; break;
+          case Builtin::Fmax: op = Opcode::Fmax; break;
+          case Builtin::Floor: op = Opcode::Floor; break;
+          case Builtin::Lgamma: op = Opcode::Lgamma; break;
+          case Builtin::Erf: op = Opcode::Erf; break;
+          case Builtin::IMin: op = Opcode::IMin; break;
+          case Builtin::IMax: op = Opcode::IMax; break;
+          default: throw InternalError("unhandled builtin");
+        }
+        const int dest = alloc_reg();
+        emit(op, dest, arg_regs[0], arg_regs.size() > 1 ? arg_regs[1] : 0);
+        return dest;
+    }
+
+    int
+    inline_user_call(const Call& call, Frame& frame)
+    {
+        const Function* callee = module_.find_function(call.callee);
+        PARAPROX_CHECK(callee, "call to unknown function `" + call.callee +
+                                   "`");
+        PARAPROX_CHECK(callee->params.size() == call.args.size(),
+                       "arity mismatch calling `" + call.callee + "`");
+        PARAPROX_CHECK(inline_depth_ < 32,
+                       "function inlining too deep (recursion?)");
+
+        Frame callee_frame;
+        for (std::size_t i = 0; i < call.args.size(); ++i) {
+            const Param& param = callee->params[i];
+            if (param.type.is_pointer) {
+                const auto* arg_ref = expr_as<VarRef>(*call.args[i]);
+                PARAPROX_CHECK(arg_ref,
+                               "pointer argument must be a buffer name");
+                const Binding* binding = frame.lookup(arg_ref->name);
+                PARAPROX_CHECK(binding &&
+                                   binding->kind == Binding::Kind::Buffer,
+                               "pointer argument must name a buffer");
+                callee_frame.names[param.name] = *binding;
+            } else {
+                const int value = compile_expr(*call.args[i], frame);
+                const int param_reg = alloc_reg();
+                emit(Opcode::Mov, param_reg, value);
+                callee_frame.names[param.name] = {Binding::Kind::Register,
+                                                  param_reg};
+            }
+        }
+
+        const int result_reg = alloc_reg();
+        callee_frame.return_reg =
+            callee->return_type.is_void() ? -1 : result_reg;
+        callee_frame.exit_label = make_label();
+
+        ++inline_depth_;
+        compile_block(*callee->body, callee_frame);
+        --inline_depth_;
+        bind_label(callee_frame.exit_label);
+        return result_reg;
+    }
+
+    const ir::Module& module_;
+    Program program_;
+    int next_reg_ = 0;
+    int result_reg_ = -1;
+    int inline_depth_ = 0;
+    std::vector<int> labels_;
+    std::vector<int> jump_sites_;
+};
+
+}  // namespace
+
+Program
+compile_kernel(const ir::Module& module, const std::string& kernel_name)
+{
+    const Function* kernel = module.find_function(kernel_name);
+    PARAPROX_CHECK(kernel, "no function named `" + kernel_name + "`");
+    PARAPROX_CHECK(kernel->is_kernel,
+                   "`" + kernel_name + "` is not a kernel");
+    return Compiler(module).compile(*kernel, false);
+}
+
+Program
+compile_scalar_function(const ir::Module& module,
+                        const std::string& function_name)
+{
+    const Function* function = module.find_function(function_name);
+    PARAPROX_CHECK(function,
+                   "no function named `" + function_name + "`");
+    PARAPROX_CHECK(!function->return_type.is_void(),
+                   "scalar function must return a value");
+    return Compiler(module).compile(*function, true);
+}
+
+}  // namespace paraprox::vm

@@ -1,0 +1,28 @@
+/// @file
+/// Lowers ParaCL IR kernels to register bytecode.
+///
+/// User-function calls are inlined (ParaCL forbids recursion), so the VM
+/// needs no call stack and the dynamic instruction count of a kernel
+/// directly reflects the work its source performs — including the work
+/// removed by Paraprox's approximation transforms.
+
+#pragma once
+
+#include "ir/function.h"
+#include "vm/bytecode.h"
+
+namespace paraprox::vm {
+
+/// Compile @p kernel_name from @p module.  Throws UserError on constructs
+/// the backend rejects (e.g. non-constant get_global_id dimension).
+Program compile_kernel(const ir::Module& module,
+                       const std::string& kernel_name);
+
+/// Compile a pure scalar function to a standalone program whose scalar
+/// parameters are preloaded registers and whose return value lands in
+/// register 0.  Used by host-side evaluation (lookup-table population and
+/// bit tuning).
+Program compile_scalar_function(const ir::Module& module,
+                                const std::string& function_name);
+
+}  // namespace paraprox::vm

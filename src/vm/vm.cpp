@@ -1,0 +1,504 @@
+#include "vm/vm.h"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+
+namespace paraprox::vm {
+
+namespace {
+
+/// Atomic read-modify-write on a 4-byte word shared between host threads.
+template <typename ApplyFn>
+std::int32_t
+atomic_rmw(std::int32_t* word, ApplyFn apply)
+{
+    std::atomic_ref<std::int32_t> ref(*word);
+    std::int32_t old_word = ref.load(std::memory_order_relaxed);
+    for (;;) {
+        const std::int32_t new_word = apply(old_word);
+        if (ref.compare_exchange_weak(old_word, new_word,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+            return old_word;
+        }
+    }
+}
+
+float
+as_float(std::int32_t word)
+{
+    return std::bit_cast<float>(word);
+}
+
+std::int32_t
+as_word(float value)
+{
+    return std::bit_cast<std::int32_t>(value);
+}
+
+}  // namespace
+
+GroupRunner::GroupRunner(const Program& program,
+                         std::vector<BufferView> global_buffers,
+                         const std::vector<Value>& scalar_args,
+                         const std::vector<std::int64_t>& shared_sizes,
+                         const GroupGeometry& geometry, ExecStats* stats,
+                         MemoryListener* listener)
+    : program_(program), buffers_(std::move(global_buffers)),
+      scalar_args_(scalar_args), geometry_(geometry), stats_(stats),
+      listener_(listener)
+{
+    PARAPROX_CHECK(buffers_.size() == program.buffers.size(),
+                   "kernel buffer argument count mismatch");
+    PARAPROX_CHECK(scalar_args_.size() == program.scalars.size(),
+                   "kernel scalar argument count mismatch");
+    // Allocate per-group storage for __shared buffers.
+    for (std::size_t slot = 0; slot < program.buffers.size(); ++slot) {
+        if (program.buffers[slot].space == ir::AddrSpace::Shared) {
+            PARAPROX_CHECK(slot < shared_sizes.size() &&
+                               shared_sizes[slot] > 0,
+                           "missing size for __shared buffer `" +
+                               program.buffers[slot].name + "`");
+            shared_storage_.emplace_back(shared_sizes[slot], 0);
+            buffers_[slot] = {shared_storage_.back().data(),
+                              static_cast<std::int64_t>(shared_sizes[slot])};
+        }
+    }
+}
+
+BufferView&
+GroupRunner::buffer(int slot)
+{
+    return buffers_[slot];
+}
+
+void
+GroupRunner::run()
+{
+    const int count = geometry_.local_count();
+    const auto make_local_id = [&](int linear) {
+        std::array<int, 3> local_id;
+        local_id[0] = linear % geometry_.local_size[0];
+        local_id[1] = (linear / geometry_.local_size[0]) %
+                      geometry_.local_size[1];
+        local_id[2] = linear / (geometry_.local_size[0] *
+                                geometry_.local_size[1]);
+        return local_id;
+    };
+
+    if (!program_.has_barrier) {
+        // Independent work-items: run each to completion, reusing one
+        // register file.
+        ItemState item;
+        item.regs.resize(program_.num_regs);
+        for (int linear = 0; linear < count; ++linear) {
+            item.pc = 0;
+            item.halted = false;
+            for (std::size_t s = 0; s < program_.scalars.size(); ++s)
+                item.regs[program_.scalars[s].reg] = scalar_args_[s];
+            run_item(item, make_local_id(linear), false);
+        }
+        final_regs_ = item.regs;
+    } else {
+        // Cooperative execution in barrier-delimited rounds.
+        std::vector<ItemState> items(count);
+        std::vector<std::array<int, 3>> local_ids(count);
+        for (int linear = 0; linear < count; ++linear) {
+            items[linear].regs.resize(program_.num_regs);
+            for (std::size_t s = 0; s < program_.scalars.size(); ++s)
+                items[linear].regs[program_.scalars[s].reg] =
+                    scalar_args_[s];
+            local_ids[linear] = make_local_id(linear);
+        }
+        for (;;) {
+            int at_barrier = 0;
+            int halted = 0;
+            for (int linear = 0; linear < count; ++linear) {
+                ItemState& item = items[linear];
+                if (item.halted) {
+                    ++halted;
+                    continue;
+                }
+                if (run_item(item, local_ids[linear], true))
+                    ++at_barrier;
+                else
+                    ++halted;
+            }
+            if (at_barrier == 0) {
+                if (!items.empty())
+                    final_regs_ = items.back().regs;
+                break;
+            }
+            // Some work-items reached the barrier while others exited:
+            // divergent barrier.
+            if (halted != 0) {
+                throw TrapError("divergent barrier in kernel `" +
+                                program_.kernel_name + "`");
+            }
+        }
+    }
+
+    if (stats_) {
+        // Merge once per group; the launch layer synchronizes.
+        stats_->merge(local_stats_);
+    }
+}
+
+bool
+GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
+                      bool stop_at_barrier)
+{
+    const Instr* code = program_.code.data();
+    const auto code_size = static_cast<std::int64_t>(program_.code.size());
+    Value* regs = item.regs.data();
+    auto& counts = local_stats_.opcode_counts;
+    std::uint64_t executed = 0;
+
+    const std::int64_t group_linear = geometry_.group_linear();
+    const std::int64_t global_linear =
+        group_linear * geometry_.local_count() +
+        (static_cast<std::int64_t>(local_id[2]) * geometry_.local_size[1] +
+         local_id[1]) * geometry_.local_size[0] + local_id[0];
+
+    std::int64_t pc = item.pc;
+    for (;;) {
+        PARAPROX_ASSERT(pc >= 0 && pc < code_size, "pc out of range");
+        const Instr& instr = code[pc];
+        ++counts[static_cast<int>(instr.op)];
+        if (++executed > kMaxInstructionsPerItem)
+            throw TrapError("instruction budget exceeded (runaway loop?)");
+
+        switch (instr.op) {
+          case Opcode::Nop:
+            break;
+          case Opcode::LdImm:
+            regs[instr.a] = instr.imm;
+            break;
+          case Opcode::Mov:
+            regs[instr.a] = regs[instr.b];
+            break;
+
+          case Opcode::AddI:
+            regs[instr.a].i = regs[instr.b].i + regs[instr.c].i;
+            break;
+          case Opcode::SubI:
+            regs[instr.a].i = regs[instr.b].i - regs[instr.c].i;
+            break;
+          case Opcode::MulI:
+            regs[instr.a].i = regs[instr.b].i * regs[instr.c].i;
+            break;
+          case Opcode::DivI:
+            if (regs[instr.c].i == 0)
+                throw TrapError("integer division by zero");
+            regs[instr.a].i = regs[instr.b].i / regs[instr.c].i;
+            break;
+          case Opcode::ModI:
+            if (regs[instr.c].i == 0)
+                throw TrapError("integer modulo by zero");
+            regs[instr.a].i = regs[instr.b].i % regs[instr.c].i;
+            break;
+          case Opcode::AddF:
+            regs[instr.a].f = regs[instr.b].f + regs[instr.c].f;
+            break;
+          case Opcode::SubF:
+            regs[instr.a].f = regs[instr.b].f - regs[instr.c].f;
+            break;
+          case Opcode::MulF:
+            regs[instr.a].f = regs[instr.b].f * regs[instr.c].f;
+            break;
+          case Opcode::DivF:
+            regs[instr.a].f = regs[instr.b].f / regs[instr.c].f;
+            break;
+          case Opcode::NegI:
+            regs[instr.a].i = -regs[instr.b].i;
+            break;
+          case Opcode::NegF:
+            regs[instr.a].f = -regs[instr.b].f;
+            break;
+          case Opcode::NotI:
+            regs[instr.a].i = regs[instr.b].i == 0 ? 1 : 0;
+            break;
+
+          case Opcode::LtI:
+            regs[instr.a].i = regs[instr.b].i < regs[instr.c].i;
+            break;
+          case Opcode::LeI:
+            regs[instr.a].i = regs[instr.b].i <= regs[instr.c].i;
+            break;
+          case Opcode::GtI:
+            regs[instr.a].i = regs[instr.b].i > regs[instr.c].i;
+            break;
+          case Opcode::GeI:
+            regs[instr.a].i = regs[instr.b].i >= regs[instr.c].i;
+            break;
+          case Opcode::EqI:
+            regs[instr.a].i = regs[instr.b].i == regs[instr.c].i;
+            break;
+          case Opcode::NeI:
+            regs[instr.a].i = regs[instr.b].i != regs[instr.c].i;
+            break;
+          case Opcode::LtF:
+            regs[instr.a].i = regs[instr.b].f < regs[instr.c].f;
+            break;
+          case Opcode::LeF:
+            regs[instr.a].i = regs[instr.b].f <= regs[instr.c].f;
+            break;
+          case Opcode::GtF:
+            regs[instr.a].i = regs[instr.b].f > regs[instr.c].f;
+            break;
+          case Opcode::GeF:
+            regs[instr.a].i = regs[instr.b].f >= regs[instr.c].f;
+            break;
+          case Opcode::EqF:
+            regs[instr.a].i = regs[instr.b].f == regs[instr.c].f;
+            break;
+          case Opcode::NeF:
+            regs[instr.a].i = regs[instr.b].f != regs[instr.c].f;
+            break;
+
+          case Opcode::AndI:
+            regs[instr.a].i = regs[instr.b].i & regs[instr.c].i;
+            break;
+          case Opcode::OrI:
+            regs[instr.a].i = regs[instr.b].i | regs[instr.c].i;
+            break;
+          case Opcode::XorI:
+            regs[instr.a].i = regs[instr.b].i ^ regs[instr.c].i;
+            break;
+          case Opcode::ShlI:
+            regs[instr.a].i = regs[instr.b].i
+                              << (regs[instr.c].i & 31);
+            break;
+          case Opcode::ShrI:
+            regs[instr.a].i = regs[instr.b].i >> (regs[instr.c].i & 31);
+            break;
+
+          case Opcode::IToF:
+            regs[instr.a].f = static_cast<float>(regs[instr.b].i);
+            break;
+          case Opcode::FToI:
+            regs[instr.a].i = static_cast<std::int32_t>(regs[instr.b].f);
+            break;
+
+          case Opcode::Sqrt:
+            regs[instr.a].f = std::sqrt(regs[instr.b].f);
+            break;
+          case Opcode::Exp:
+            regs[instr.a].f = std::exp(regs[instr.b].f);
+            break;
+          case Opcode::Log:
+            regs[instr.a].f = std::log(regs[instr.b].f);
+            break;
+          case Opcode::Sin:
+            regs[instr.a].f = std::sin(regs[instr.b].f);
+            break;
+          case Opcode::Cos:
+            regs[instr.a].f = std::cos(regs[instr.b].f);
+            break;
+          case Opcode::Pow:
+            regs[instr.a].f = std::pow(regs[instr.b].f, regs[instr.c].f);
+            break;
+          case Opcode::Fabs:
+            regs[instr.a].f = std::fabs(regs[instr.b].f);
+            break;
+          case Opcode::Fmin:
+            regs[instr.a].f = std::fmin(regs[instr.b].f, regs[instr.c].f);
+            break;
+          case Opcode::Fmax:
+            regs[instr.a].f = std::fmax(regs[instr.b].f, regs[instr.c].f);
+            break;
+          case Opcode::Floor:
+            regs[instr.a].f = std::floor(regs[instr.b].f);
+            break;
+          case Opcode::Lgamma:
+            regs[instr.a].f = std::lgamma(regs[instr.b].f);
+            break;
+          case Opcode::Erf:
+            regs[instr.a].f = std::erf(regs[instr.b].f);
+            break;
+          case Opcode::IMin:
+            regs[instr.a].i = std::min(regs[instr.b].i, regs[instr.c].i);
+            break;
+          case Opcode::IMax:
+            regs[instr.a].i = std::max(regs[instr.b].i, regs[instr.c].i);
+            break;
+
+          case Opcode::Gid: {
+            const int dim = instr.imm.i;
+            regs[instr.a].i = geometry_.group_id[dim] *
+                                  geometry_.local_size[dim] +
+                              local_id[dim];
+            break;
+          }
+          case Opcode::Lid:
+            regs[instr.a].i = local_id[instr.imm.i];
+            break;
+          case Opcode::GrpId:
+            regs[instr.a].i = geometry_.group_id[instr.imm.i];
+            break;
+          case Opcode::LSize:
+            regs[instr.a].i = geometry_.local_size[instr.imm.i];
+            break;
+          case Opcode::NGrp:
+            regs[instr.a].i = geometry_.num_groups[instr.imm.i];
+            break;
+          case Opcode::GSize:
+            regs[instr.a].i = geometry_.num_groups[instr.imm.i] *
+                              geometry_.local_size[instr.imm.i];
+            break;
+
+          case Opcode::Ld: {
+            const int slot = instr.imm.i;
+            BufferView& view = buffer(slot);
+            const std::int64_t index = regs[instr.b].i;
+            if (index < 0 || index >= view.size) {
+                throw TrapError("out-of-bounds load from `" +
+                                program_.buffers[slot].name + "`");
+            }
+            if (listener_) {
+                listener_->on_access(static_cast<int>(pc), slot,
+                                     program_.buffers[slot].space, index,
+                                     false, global_linear);
+            }
+            regs[instr.a].i = view.data[index];
+            break;
+          }
+          case Opcode::St: {
+            const int slot = instr.imm.i;
+            BufferView& view = buffer(slot);
+            const std::int64_t index = regs[instr.a].i;
+            if (index < 0 || index >= view.size) {
+                throw TrapError("out-of-bounds store to `" +
+                                program_.buffers[slot].name + "`");
+            }
+            if (listener_) {
+                listener_->on_access(static_cast<int>(pc), slot,
+                                     program_.buffers[slot].space, index,
+                                     true, global_linear);
+            }
+            view.data[index] = regs[instr.b].i;
+            break;
+          }
+
+          case Opcode::AtomAdd:
+          case Opcode::AtomMin:
+          case Opcode::AtomMax:
+          case Opcode::AtomInc:
+          case Opcode::AtomAnd:
+          case Opcode::AtomOr:
+          case Opcode::AtomXor: {
+            const int slot = instr.imm.i;
+            BufferView& view = buffer(slot);
+            const std::int64_t index = regs[instr.b].i;
+            if (index < 0 || index >= view.size) {
+                throw TrapError("out-of-bounds atomic on `" +
+                                program_.buffers[slot].name + "`");
+            }
+            if (listener_) {
+                listener_->on_access(static_cast<int>(pc), slot,
+                                     program_.buffers[slot].space, index,
+                                     true, global_linear);
+            }
+            std::int32_t* word = &view.data[index];
+            const bool is_float_elem =
+                program_.buffers[slot].elem == ir::Scalar::F32;
+            const Value operand = regs[instr.c];
+            std::int32_t old_word = 0;
+            switch (instr.op) {
+              case Opcode::AtomAdd:
+                old_word = atomic_rmw(word, [&](std::int32_t w) {
+                    return is_float_elem
+                               ? as_word(as_float(w) + operand.f)
+                               : w + operand.i;
+                });
+                break;
+              case Opcode::AtomMin:
+                old_word = atomic_rmw(word, [&](std::int32_t w) {
+                    return is_float_elem
+                               ? as_word(std::fmin(as_float(w), operand.f))
+                               : std::min(w, operand.i);
+                });
+                break;
+              case Opcode::AtomMax:
+                old_word = atomic_rmw(word, [&](std::int32_t w) {
+                    return is_float_elem
+                               ? as_word(std::fmax(as_float(w), operand.f))
+                               : std::max(w, operand.i);
+                });
+                break;
+              case Opcode::AtomInc:
+                old_word = atomic_rmw(word, [](std::int32_t w) {
+                    return w + 1;
+                });
+                break;
+              case Opcode::AtomAnd:
+                old_word = atomic_rmw(word, [&](std::int32_t w) {
+                    return w & operand.i;
+                });
+                break;
+              case Opcode::AtomOr:
+                old_word = atomic_rmw(word, [&](std::int32_t w) {
+                    return w | operand.i;
+                });
+                break;
+              case Opcode::AtomXor:
+                old_word = atomic_rmw(word, [&](std::int32_t w) {
+                    return w ^ operand.i;
+                });
+                break;
+              default:
+                break;
+            }
+            regs[instr.a].i = old_word;
+            break;
+          }
+
+          case Opcode::Sel:
+            regs[instr.a] = regs[instr.b].i != 0 ? regs[instr.c]
+                                                 : regs[instr.d];
+            break;
+
+          case Opcode::Jmp:
+            pc = instr.imm.i;
+            continue;
+          case Opcode::Jz:
+            if (regs[instr.a].i == 0) {
+                pc = instr.imm.i;
+                continue;
+            }
+            break;
+
+          case Opcode::Barrier:
+            if (stop_at_barrier) {
+                item.pc = pc + 1;
+                local_stats_.total_instructions += executed;
+                return true;
+            }
+            // A barrier in a 1-item group (or barrier-free schedule) is a
+            // no-op.
+            break;
+
+          case Opcode::Halt:
+            item.halted = true;
+            local_stats_.total_instructions += executed;
+            return false;
+        }
+        ++pc;
+    }
+}
+
+Value
+run_scalar_program(const Program& program, const std::vector<Value>& args)
+{
+    PARAPROX_CHECK(program.buffers.empty(),
+                   "scalar program must not take buffers");
+    GroupGeometry geometry;  // one work-item
+    GroupRunner runner(program, {}, args, {}, geometry, nullptr, nullptr);
+    runner.run();
+    PARAPROX_ASSERT(!runner.final_regs().empty(),
+                    "scalar program produced no registers");
+    return runner.final_regs()[0];
+}
+
+}  // namespace paraprox::vm

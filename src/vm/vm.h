@@ -1,0 +1,156 @@
+/// @file
+/// The bytecode virtual machine: executes one work-group of a compiled
+/// kernel, with work-item geometry, barriers, atomics, bounds-checked
+/// memory, and dynamic-instruction accounting.
+///
+/// Execution statistics (per-opcode dynamic counts) and the memory-access
+/// stream are the raw material for the device cost models: the paper's
+/// GPU/CPU asymmetries (atomic cost, SFU transcendentals, cache behaviour
+/// of lookup tables, coalescing) are all priced from what the VM reports.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "vm/bytecode.h"
+
+namespace paraprox::vm {
+
+/// Raised when an approximate kernel does something unsafe (out-of-bounds
+/// access, integer division by zero, barrier divergence).  The runtime
+/// catches this and falls back to the exact kernel (paper §5, "Safety of
+/// Optimizations").
+class TrapError : public Error {
+  public:
+    explicit TrapError(const std::string& what) : Error(what) {}
+};
+
+/// Dynamic execution statistics for a launch (or a slice of one).
+struct ExecStats {
+    std::array<std::uint64_t, kNumOpcodes> opcode_counts{};
+    std::uint64_t total_instructions = 0;
+
+    void
+    merge(const ExecStats& other)
+    {
+        for (int i = 0; i < kNumOpcodes; ++i)
+            opcode_counts[i] += other.opcode_counts[i];
+        total_instructions += other.total_instructions;
+    }
+
+    std::uint64_t
+    count(Opcode op) const
+    {
+        return opcode_counts[static_cast<int>(op)];
+    }
+};
+
+/// Receives every Ld/St/atomic performed by a work-group; implemented by
+/// the device memory models.
+class MemoryListener {
+  public:
+    virtual ~MemoryListener() = default;
+
+    /// @param instr_index static instruction id within the program.
+    /// @param buffer_slot which kernel buffer parameter was touched.
+    /// @param space address space of that buffer.
+    /// @param element index of the 4-byte element accessed.
+    /// @param is_store true for St and all atomics.
+    /// @param global_linear_id flattened global work-item id (warp grouping
+    ///        uses consecutive ids).
+    virtual void on_access(int instr_index, int buffer_slot,
+                           ir::AddrSpace space, std::int64_t element,
+                           bool is_store, std::int64_t global_linear_id) = 0;
+};
+
+/// A runtime view of a buffer argument: raw 4-byte words.
+struct BufferView {
+    std::int32_t* data = nullptr;
+    std::int64_t size = 0;
+};
+
+/// Position of one work-group within the launch grid.
+struct GroupGeometry {
+    std::array<int, 3> group_id{0, 0, 0};
+    std::array<int, 3> num_groups{1, 1, 1};
+    std::array<int, 3> local_size{1, 1, 1};
+
+    int
+    local_count() const
+    {
+        return local_size[0] * local_size[1] * local_size[2];
+    }
+
+    std::int64_t
+    group_linear() const
+    {
+        return (static_cast<std::int64_t>(group_id[2]) * num_groups[1] +
+                group_id[1]) * num_groups[0] + group_id[0];
+    }
+};
+
+/// Executes every work-item of one work-group.
+///
+/// Groups without barriers run their work-items to completion one after
+/// another; groups with barriers run all work-items cooperatively in
+/// barrier-delimited rounds (detecting divergent barriers).
+class GroupRunner {
+  public:
+    /// @param shared_sizes element counts for each Shared buffer slot;
+    ///        ignored entries for non-shared slots.
+    GroupRunner(const Program& program,
+                std::vector<BufferView> global_buffers,
+                const std::vector<Value>& scalar_args,
+                const std::vector<std::int64_t>& shared_sizes,
+                const GroupGeometry& geometry, ExecStats* stats,
+                MemoryListener* listener);
+
+    /// Run the whole group.  Throws TrapError on unsafe behaviour.
+    void run();
+
+    /// Register file of the last work-item that completed, captured after
+    /// run().  Used by host-side scalar evaluation (register 0 holds the
+    /// result of a compile_scalar_function program).
+    const std::vector<Value>& final_regs() const { return final_regs_; }
+
+    /// Upper bound on dynamic instructions per work-item before the VM
+    /// assumes a runaway loop and traps (defends tests against infinite
+    /// loops in generated kernels).
+    static constexpr std::uint64_t kMaxInstructionsPerItem = 1ull << 33;
+
+  private:
+    struct ItemState {
+        std::vector<Value> regs;
+        std::int64_t pc = 0;
+        bool halted = false;
+    };
+
+    /// Run one work-item until Halt (or Barrier when @p stop_at_barrier),
+    /// returning true if it stopped at a barrier.
+    bool run_item(ItemState& item, const std::array<int, 3>& local_id,
+                  bool stop_at_barrier);
+
+    BufferView& buffer(int slot);
+
+    const Program& program_;
+    std::vector<BufferView> buffers_;  ///< Global + per-group shared views.
+    std::vector<std::vector<std::int32_t>> shared_storage_;
+    const std::vector<Value>& scalar_args_;
+    GroupGeometry geometry_;
+    ExecStats* stats_;
+    MemoryListener* listener_;
+    ExecStats local_stats_;
+    std::vector<Value> final_regs_;
+};
+
+/// Execute a compile_scalar_function() program once with @p args bound to
+/// its scalar parameters (in declaration order) and return register 0.
+Value run_scalar_program(const Program& program,
+                         const std::vector<Value>& args);
+
+}  // namespace paraprox::vm

@@ -1,0 +1,432 @@
+// Unit tests for pattern detection: purity, latency estimation (Eq. 1),
+// stencil/affine analysis, reduction detection, scan template matching,
+// and the driver.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/latency.h"
+#include "analysis/patterns.h"
+#include "analysis/purity.h"
+#include "analysis/reduction.h"
+#include "analysis/scan_match.h"
+#include "analysis/stencil.h"
+#include "parser/parser.h"
+
+namespace paraprox {
+namespace {
+
+using namespace analysis;
+using parser::parse_module;
+
+const device::DeviceModel kGpu = device::DeviceModel::gtx560();
+
+// ---- Purity ---------------------------------------------------------------
+
+TEST(PurityTest, PureMathFunction)
+{
+    auto module = parse_module(R"(
+        float f(float x) { return sqrtf(x) * expf(x) + 1.0f; }
+    )");
+    EXPECT_TRUE(is_pure(module, *module.find_function("f")));
+}
+
+TEST(PurityTest, PointerParamIsImpure)
+{
+    auto module = parse_module(R"(
+        float f(__global float* data) { return data[0]; }
+    )");
+    auto report = check_purity(module, *module.find_function("f"));
+    EXPECT_FALSE(report.pure);
+    EXPECT_NE(report.reason.find("pointer"), std::string::npos);
+}
+
+TEST(PurityTest, ThreadIdIsImpure)
+{
+    auto module = parse_module(R"(
+        float f() { return (float)(get_global_id(0)); }
+    )");
+    auto report = check_purity(module, *module.find_function("f"));
+    EXPECT_FALSE(report.pure);
+    EXPECT_NE(report.reason.find("work-item"), std::string::npos);
+}
+
+TEST(PurityTest, TransitiveImpurity)
+{
+    auto module = parse_module(R"(
+        float leaf() { return (float)(get_local_id(0)); }
+        float mid(float x) { return x + leaf(); }
+        float top(float x) { return mid(x) * 2.0f; }
+    )");
+    EXPECT_FALSE(is_pure(module, *module.find_function("top")));
+    auto report = check_purity(module, *module.find_function("top"));
+    EXPECT_NE(report.reason.find("mid"), std::string::npos);
+}
+
+TEST(PurityTest, PureCalleeKeepsCallerPure)
+{
+    auto module = parse_module(R"(
+        float leaf(float x) { return x * x; }
+        float top(float x) { return leaf(x) + leaf(x + 1.0f); }
+    )");
+    EXPECT_TRUE(is_pure(module, *module.find_function("top")));
+}
+
+// ---- Latency estimation -----------------------------------------------------
+
+TEST(LatencyTest, TranscendentalsCostMore)
+{
+    auto module = parse_module(R"(
+        float cheap(float x) { return x + 1.0f; }
+        float costly(float x) { return expf(logf(sinf(cosf(x)))); }
+    )");
+    const double cheap = estimate_cycles(
+        module, *module.find_function("cheap"), kGpu);
+    const double costly = estimate_cycles(
+        module, *module.find_function("costly"), kGpu);
+    EXPECT_GT(costly, cheap * 4);
+}
+
+TEST(LatencyTest, ConstantLoopsMultiply)
+{
+    auto module = parse_module(R"(
+        float once(float x) { return x * x + 1.0f; }
+        float looped(float x) {
+            float acc = 0.0f;
+            for (int i = 0; i < 100; i++) { acc += x * x + 1.0f; }
+            return acc;
+        }
+    )");
+    const double once = estimate_cycles(
+        module, *module.find_function("once"), kGpu);
+    const double looped = estimate_cycles(
+        module, *module.find_function("looped"), kGpu);
+    EXPECT_GT(looped, once * 50);
+}
+
+TEST(LatencyTest, ProfitabilityThreshold)
+{
+    auto module = parse_module(R"(
+        float trivial(float x) { return x + 1.0f; }
+        float heavy(float x) {
+            return expf(x) * logf(x + 2.0f) / (sqrtf(x) + powf(x, 0.3f));
+        }
+    )");
+    EXPECT_FALSE(memoization_profitable(
+        module, *module.find_function("trivial"), kGpu));
+    EXPECT_TRUE(memoization_profitable(
+        module, *module.find_function("heavy"), kGpu));
+}
+
+// ---- Stencil detection -------------------------------------------------------
+
+TEST(StencilTest, UnrolledTwoDimensionalTile)
+{
+    auto module = parse_module(R"(
+        __kernel void blur(__global float* in, __global float* out, int w) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            float acc = in[(y - 1) * w + x - 1] + in[(y - 1) * w + x]
+                      + in[(y - 1) * w + x + 1] + in[y * w + x - 1]
+                      + in[y * w + x] + in[y * w + x + 1]
+                      + in[(y + 1) * w + x - 1] + in[(y + 1) * w + x]
+                      + in[(y + 1) * w + x + 1];
+            out[y * w + x] = acc / 9.0f;
+        }
+    )");
+    auto groups = detect_stencils(*module.find_function("blur"));
+    ASSERT_EQ(groups.size(), 1u);
+    const auto& group = groups[0];
+    EXPECT_EQ(group.array, "in");
+    EXPECT_TRUE(group.two_dimensional);
+    EXPECT_EQ(group.tile_height(), 3);
+    EXPECT_EQ(group.tile_width(), 3);
+    EXPECT_EQ(group.accesses.size(), 9u);
+    EXPECT_NE(group.width, nullptr);
+}
+
+TEST(StencilTest, OneDimensionalTile)
+{
+    auto module = parse_module(R"(
+        __kernel void smooth(__global float* in, __global float* out) {
+            int i = get_global_id(0);
+            out[i] = (in[i - 1] + in[i] + in[i + 1]) / 3.0f;
+        }
+    )");
+    auto groups = detect_stencils(*module.find_function("smooth"));
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_FALSE(groups[0].two_dimensional);
+    EXPECT_EQ(groups[0].tile_width(), 3);
+}
+
+TEST(StencilTest, LoopEnumeratedTile)
+{
+    auto module = parse_module(R"(
+        __kernel void conv(__global float* in, __global float* out, int w) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            float acc = 0.0f;
+            for (int dy = -1; dy < 2; dy++) {
+                for (int dx = -1; dx < 2; dx++) {
+                    acc += in[(y + dy) * w + x + dx];
+                }
+            }
+            out[y * w + x] = acc / 9.0f;
+        }
+    )");
+    auto groups = detect_stencils(*module.find_function("conv"));
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].tile_height(), 3);
+    EXPECT_EQ(groups[0].tile_width(), 3);
+    EXPECT_EQ(groups[0].accesses.size(), 9u);
+}
+
+TEST(StencilTest, SingleAccessIsNotATile)
+{
+    auto module = parse_module(R"(
+        __kernel void copy(__global float* in, __global float* out) {
+            int i = get_global_id(0);
+            out[i] = in[i];
+        }
+    )");
+    EXPECT_TRUE(detect_stencils(*module.find_function("copy")).empty());
+}
+
+TEST(StencilTest, DistinctArraysFormDistinctGroups)
+{
+    auto module = parse_module(R"(
+        __kernel void two(__global float* a, __global float* b,
+                          __global float* out) {
+            int i = get_global_id(0);
+            out[i] = a[i - 1] + a[i + 1] + b[i - 2] + b[i + 2];
+        }
+    )");
+    auto groups = detect_stencils(*module.find_function("two"));
+    EXPECT_EQ(groups.size(), 2u);
+}
+
+// ---- Reduction detection -----------------------------------------------------
+
+TEST(ReductionTest, SumLoop)
+{
+    auto module = parse_module(R"(
+        __kernel void k(__global float* in, __global float* out, int n) {
+            float sum = 0.0f;
+            for (int i = 0; i < n; i++) { sum += in[i]; }
+            out[0] = sum;
+        }
+    )");
+    auto reductions = detect_reductions(*module.find_function("k"));
+    ASSERT_EQ(reductions.size(), 1u);
+    EXPECT_EQ(reductions[0].variable, "sum");
+    EXPECT_EQ(reductions[0].op, ReductionOp::Add);
+    EXPECT_TRUE(reductions[0].adjustable);
+}
+
+TEST(ReductionTest, MinViaFminf)
+{
+    auto module = parse_module(R"(
+        __kernel void k(__global float* in, __global float* out, int n) {
+            float best = 1e30f;
+            for (int i = 0; i < n; i++) { best = fminf(best, in[i]); }
+            out[0] = best;
+        }
+    )");
+    auto reductions = detect_reductions(*module.find_function("k"));
+    ASSERT_EQ(reductions.size(), 1u);
+    EXPECT_EQ(reductions[0].op, ReductionOp::Min);
+    EXPECT_FALSE(reductions[0].adjustable);
+}
+
+TEST(ReductionTest, VariableReadElsewhereDisqualifies)
+{
+    auto module = parse_module(R"(
+        __kernel void k(__global float* in, __global float* out, int n) {
+            float sum = 0.0f;
+            for (int i = 0; i < n; i++) {
+                sum += in[i];
+                out[i] = sum;
+            }
+        }
+    )");
+    auto reductions = detect_reductions(*module.find_function("k"));
+    EXPECT_TRUE(reductions.empty());
+}
+
+TEST(ReductionTest, AtomicLoop)
+{
+    auto module = parse_module(R"(
+        __kernel void k(__global float* hist, __global float* in, int n) {
+            int t = get_global_id(0);
+            for (int i = 0; i < n; i++) {
+                atomic_add(hist, i % 16, in[t * n + i]);
+            }
+        }
+    )");
+    auto reductions = detect_reductions(*module.find_function("k"));
+    ASSERT_EQ(reductions.size(), 1u);
+    EXPECT_EQ(reductions[0].op, ReductionOp::Atomic);
+}
+
+TEST(ReductionTest, NonAccumulativeLoopIgnored)
+{
+    auto module = parse_module(R"(
+        __kernel void k(__global float* out, int n) {
+            for (int i = 0; i < n; i++) { out[i] = (float)(i); }
+        }
+    )");
+    EXPECT_TRUE(detect_reductions(*module.find_function("k")).empty());
+}
+
+// ---- Scan matching ------------------------------------------------------------
+
+TEST(ScanMatchTest, PragmaMarksScan)
+{
+    auto module = parse_module(R"(
+        #pragma paraprox scan
+        __kernel void my_scan(__global float* data) {
+            int i = get_global_id(0);
+            data[i] = data[i];
+        }
+    )");
+    EXPECT_TRUE(is_scan_kernel(*module.find_function("my_scan")));
+}
+
+TEST(ScanMatchTest, TemplateMatchesItselfModuloNames)
+{
+    // Re-spell the template with different identifiers; the structural
+    // signature must still match.
+    auto module = parse_module(R"(
+        __kernel void p1(__global float* src, __global float* dst,
+                         __global float* totals, __shared float* buf) {
+            int lid = get_local_id(0);
+            int gid = get_global_id(0);
+            int sz = get_local_size(0);
+            buf[lid] = src[gid];
+            barrier();
+            for (int d = 1; d < sz; d = d * 2) {
+                float tmp = 0.0f;
+                if (lid >= d) { tmp = buf[lid - d]; }
+                barrier();
+                buf[lid] = buf[lid] + tmp;
+                barrier();
+            }
+            dst[gid] = buf[lid];
+            if (lid == sz - 1) { totals[get_group_id(0)] = buf[lid]; }
+        }
+    )");
+    EXPECT_TRUE(is_scan_kernel(*module.find_function("p1")));
+}
+
+TEST(ScanMatchTest, DifferentKernelDoesNotMatch)
+{
+    auto module = parse_module(R"(
+        __kernel void notscan(__global float* in, __global float* out) {
+            int i = get_global_id(0);
+            out[i] = in[i] * 2.0f;
+        }
+    )");
+    EXPECT_FALSE(is_scan_kernel(*module.find_function("notscan")));
+}
+
+// ---- Driver ---------------------------------------------------------------------
+
+TEST(PatternDriverTest, MapKernelDetected)
+{
+    auto module = parse_module(R"(
+        float heavy(float x) {
+            return expf(x) * logf(x + 2.0f) + sqrtf(x) / (x + 1.0f);
+        }
+        __kernel void k(__global float* in, __global float* out) {
+            int i = get_global_id(0);
+            out[i] = heavy(in[i]);
+        }
+    )");
+    auto report = detect_patterns(module, kGpu);
+    ASSERT_EQ(report.size(), 1u);
+    ASSERT_EQ(report[0].memo_candidates.size(), 1u);
+    EXPECT_TRUE(report[0].memo_candidates[0].profitable);
+    EXPECT_FALSE(report[0].memo_candidates[0].gather);
+    auto kinds = report[0].kinds();
+    ASSERT_EQ(kinds.size(), 1u);
+    EXPECT_EQ(kinds[0], PatternKind::Map);
+}
+
+TEST(PatternDriverTest, GatherKernelDetected)
+{
+    auto module = parse_module(R"(
+        float heavy(float x) {
+            return expf(x) * logf(x + 2.0f) + sqrtf(x) / (x + 1.0f);
+        }
+        __kernel void k(__global int* idx, __global float* in,
+                        __global float* out) {
+            int i = get_global_id(0);
+            out[i] = heavy(in[idx[i]]);
+        }
+    )");
+    auto report = detect_patterns(module, kGpu);
+    ASSERT_EQ(report[0].memo_candidates.size(), 1u);
+    EXPECT_TRUE(report[0].memo_candidates[0].gather);
+    auto kinds = report[0].kinds();
+    ASSERT_EQ(kinds.size(), 1u);
+    EXPECT_EQ(kinds[0], PatternKind::ScatterGather);
+}
+
+TEST(PatternDriverTest, UnprofitableCalleeNotLabelled)
+{
+    auto module = parse_module(R"(
+        float tiny(float x) { return x + 1.0f; }
+        __kernel void k(__global float* in, __global float* out) {
+            int i = get_global_id(0);
+            out[i] = tiny(in[i]);
+        }
+    )");
+    auto report = detect_patterns(module, kGpu);
+    ASSERT_EQ(report[0].memo_candidates.size(), 1u);
+    EXPECT_FALSE(report[0].memo_candidates[0].profitable);
+    EXPECT_TRUE(report[0].kinds().empty());
+}
+
+TEST(PatternDriverTest, PartitionDetectedForBlockTiledAccess)
+{
+    // Tiles addressed through the work-group structure are Partition
+    // (Fig. 1f): each block processes its own independent tile.
+    auto module = parse_module(R"(
+        __kernel void tile_sum(__global float* in, __global float* out,
+                               int w) {
+            int bx = get_group_id(0) * 4;
+            int by = get_group_id(1) * 4;
+            float acc = in[by * w + bx] + in[by * w + bx + 1]
+                      + in[(by + 1) * w + bx] + in[(by + 1) * w + bx + 1];
+            out[get_group_id(1) * get_num_groups(0) + get_group_id(0)]
+                = acc;
+        }
+    )");
+    auto report = detect_patterns(module, kGpu);
+    auto kinds = report[0].kinds();
+    EXPECT_TRUE(std::find(kinds.begin(), kinds.end(),
+                          PatternKind::Partition) != kinds.end());
+}
+
+TEST(PatternDriverTest, StencilPlusReduction)
+{
+    auto module = parse_module(R"(
+        __kernel void k(__global float* in, __global float* out, int w,
+                        int n) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            float tile = in[(y - 1) * w + x] + in[y * w + x]
+                       + in[(y + 1) * w + x];
+            float sum = 0.0f;
+            for (int i = 0; i < n; i++) { sum += in[i] * 0.001f; }
+            out[y * w + x] = tile + sum;
+        }
+    )");
+    auto report = detect_patterns(module, kGpu);
+    auto kinds = report[0].kinds();
+    EXPECT_EQ(kinds.size(), 2u);
+}
+
+}  // namespace
+}  // namespace paraprox

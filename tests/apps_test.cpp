@@ -1,0 +1,167 @@
+// Integration tests over the 13 benchmark applications: each app's
+// variants execute end-to-end under the GPU device model, the exact
+// variant is sane, at least one approximate variant meets the paper's 90%
+// TOQ while being cheaper, and pattern detection labels every kernel.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "analysis/patterns.h"
+#include "apps/app.h"
+#include "runtime/tuner.h"
+
+namespace paraprox {
+namespace {
+
+using apps::Application;
+
+const device::DeviceModel kGpu = device::DeviceModel::gtx560();
+
+struct AppCase {
+    std::string name;
+};
+
+class AppSuite : public ::testing::TestWithParam<int> {
+  protected:
+    static std::vector<std::unique_ptr<Application>>&
+    all()
+    {
+        static auto apps = [] {
+            auto list = apps::make_all_applications();
+            for (auto& app : list)
+                app->set_scale(0.25);  // keep tests quick
+            return list;
+        }();
+        return apps;
+    }
+
+    Application& app() { return *all()[GetParam()]; }
+};
+
+TEST_P(AppSuite, InfoIsComplete)
+{
+    const auto info = app().info();
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.domain.empty());
+    EXPECT_FALSE(info.patterns.empty());
+}
+
+TEST_P(AppSuite, ModuleHasKernels)
+{
+    EXPECT_FALSE(app().module().kernels().empty());
+}
+
+TEST_P(AppSuite, PatternsDetected)
+{
+    // Every app's module must exhibit at least one detected pattern on at
+    // least one kernel.
+    auto report = analysis::detect_patterns(app().module(), kGpu);
+    bool any = false;
+    for (const auto& kernel : report)
+        any = any || !kernel.kinds().empty();
+    EXPECT_TRUE(any) << app().info().name;
+}
+
+TEST_P(AppSuite, VariantsRunAndMeetToq)
+{
+    auto variants = app().variants(kGpu);
+    ASSERT_GE(variants.size(), 2u) << app().info().name;
+    EXPECT_EQ(variants[0].aggressiveness, 0);
+
+    runtime::Tuner tuner(std::move(variants), app().info().metric, 90.0);
+    const auto& profiles = tuner.calibrate({11, 22});
+
+    // The exact profile is trivially perfect.
+    EXPECT_DOUBLE_EQ(profiles[0].quality, 100.0);
+
+    // At least one approximate variant must meet the TOQ and be cheaper
+    // than exact under the device model.
+    bool winner = false;
+    for (std::size_t v = 1; v < profiles.size(); ++v) {
+        EXPECT_FALSE(profiles[v].trapped)
+            << app().info().name << ": " << profiles[v].label;
+        if (profiles[v].meets_toq && profiles[v].speedup > 1.0)
+            winner = true;
+    }
+    EXPECT_TRUE(winner) << app().info().name;
+    EXPECT_NE(tuner.selected_index(), 0) << app().info().name;
+
+    // Steady state: a few invocations at the selection stay healthy.
+    for (int i = 0; i < 3; ++i) {
+        auto run = tuner.invoke(100 + i);
+        EXPECT_FALSE(run.trapped);
+        EXPECT_FALSE(run.output.empty());
+    }
+}
+
+std::string
+app_case_name(const ::testing::TestParamInfo<int>& info)
+{
+    static const char* names[] = {
+        "BlackScholes", "Quasirandom", "GammaCorrection", "BoxMuller",
+        "HotSpot", "ConvolutionSeparable", "GaussianFilter", "MeanFilter",
+        "MatrixMultiply", "ImageDenoising", "NaiveBayes", "KernelDensity",
+        "CumulativeHistogram"};
+    return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppSuite, ::testing::Range(0, 13),
+                         app_case_name);
+
+TEST_P(AppSuite, DetectedPatternsMatchTableOne)
+{
+    // The detector must find every pattern family the app's Table 1 row
+    // claims, on at least one kernel of its module.
+    static const std::map<std::string, std::vector<analysis::PatternKind>>
+        expectations = {
+            {"BlackScholes", {analysis::PatternKind::Map}},
+            {"Quasirandom Generator", {analysis::PatternKind::Map}},
+            {"Gamma Correction", {analysis::PatternKind::Map}},
+            {"BoxMuller", {analysis::PatternKind::ScatterGather}},
+            {"HotSpot", {analysis::PatternKind::Stencil}},
+            {"Convolution Separable",
+             {analysis::PatternKind::Stencil,
+              analysis::PatternKind::Reduction}},
+            {"Gaussian Filter", {analysis::PatternKind::Stencil}},
+            {"Mean Filter", {analysis::PatternKind::Stencil}},
+            {"Matrix Multiply", {analysis::PatternKind::Reduction}},
+            {"Image Denoising", {analysis::PatternKind::Reduction}},
+            {"Naive Bayes", {analysis::PatternKind::Reduction}},
+            {"Kernel Density Estimation",
+             {analysis::PatternKind::Reduction}},
+            {"Cumulative Frequency Histogram",
+             {analysis::PatternKind::Scan}},
+        };
+    const auto& wanted = expectations.at(app().info().name);
+
+    auto report = analysis::detect_patterns(app().module(), kGpu);
+    std::set<analysis::PatternKind> found;
+    for (const auto& kernel : report)
+        for (auto kind : kernel.kinds())
+            found.insert(kind);
+    for (auto kind : wanted) {
+        EXPECT_TRUE(found.count(kind))
+            << app().info().name << " missing "
+            << analysis::to_string(kind);
+    }
+}
+
+TEST(AppRegistryTest, ThirteenApplications)
+{
+    auto apps = apps::make_all_applications();
+    EXPECT_EQ(apps.size(), 13u);
+}
+
+TEST(AppRegistryTest, NamesAreUnique)
+{
+    auto apps = apps::make_all_applications();
+    std::set<std::string> names;
+    for (const auto& app : apps)
+        names.insert(app->info().name);
+    EXPECT_EQ(names.size(), apps.size());
+}
+
+}  // namespace
+}  // namespace paraprox

@@ -1,0 +1,362 @@
+// Tests for the Paraprox compiler driver (core::compile_kernel /
+// compile_module) and the §5 division-safety guard.
+
+#include <gtest/gtest.h>
+
+#include "core/paraprox.h"
+#include "core/variants.h"
+#include "exec/launch.h"
+#include "ir/printer.h"
+#include "parser/parser.h"
+#include "runtime/quality.h"
+#include "support/rng.h"
+#include "transforms/safety.h"
+#include "vm/compiler.h"
+
+namespace paraprox {
+namespace {
+
+using exec::ArgPack;
+using exec::Buffer;
+using exec::LaunchConfig;
+
+// ---- Safety guard -----------------------------------------------------------
+
+TEST(SafetyTest, GuardedIntegerDivisionDoesNotTrap)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global int* in, __global int* out) {
+            int i = get_global_id(0);
+            out[i] = 100 / in[i];
+        }
+    )");
+    auto guarded_module = transforms::guard_divisions(module, "k");
+
+    Buffer in = Buffer::from_ints({5, 0, 2, 0});
+    Buffer out = Buffer::zeros_i32(4);
+    ArgPack args;
+    args.buffer("in", in).buffer("out", out);
+
+    // Unguarded: traps.
+    auto raw = exec::launch(vm::compile_kernel(module, "k"), args,
+                            LaunchConfig::linear(4, 1));
+    EXPECT_TRUE(raw.trapped);
+
+    // Guarded: zero where the divisor is zero, exact elsewhere.
+    auto safe = exec::launch(vm::compile_kernel(guarded_module, "k"), args,
+                             LaunchConfig::linear(4, 1));
+    EXPECT_FALSE(safe.trapped);
+    EXPECT_EQ(out.get_int(0), 20);
+    EXPECT_EQ(out.get_int(1), 0);
+    EXPECT_EQ(out.get_int(2), 50);
+    EXPECT_EQ(out.get_int(3), 0);
+}
+
+TEST(SafetyTest, LiteralDivisorsNotGuarded)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* out) {
+            int i = get_global_id(0);
+            out[i] = (float)(i) / 4.0f;
+        }
+    )");
+    int guards = -1;
+    transforms::guard_divisions(module, "k", &guards);
+    EXPECT_EQ(guards, 0);
+}
+
+TEST(SafetyTest, GuardCountsAndPreservesSemantics)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* a, __global float* b,
+                        __global float* out) {
+            int i = get_global_id(0);
+            out[i] = a[i] / b[i] + (float)(i % 3);
+        }
+    )");
+    int guards = 0;
+    auto guarded_module = transforms::guard_divisions(module, "k", &guards);
+    EXPECT_EQ(guards, 1);  // the modulo has a literal divisor
+
+    Rng rng(3);
+    const int n = 64;
+    auto av = rng.uniform_vector(n, 1.0f, 2.0f);
+    auto bv = rng.uniform_vector(n, 1.0f, 2.0f);
+    Buffer a = Buffer::from_floats(av);
+    Buffer b = Buffer::from_floats(bv);
+    Buffer exact_out = Buffer::zeros_f32(n);
+    Buffer guarded_out = Buffer::zeros_f32(n);
+
+    ArgPack exact_args;
+    exact_args.buffer("a", a).buffer("b", b).buffer("out", exact_out);
+    exec::launch(vm::compile_kernel(module, "k"), exact_args,
+                 LaunchConfig::linear(n, 16));
+    ArgPack guarded_args;
+    guarded_args.buffer("a", a).buffer("b", b).buffer("out", guarded_out);
+    exec::launch(vm::compile_kernel(guarded_module, "k"), guarded_args,
+                 LaunchConfig::linear(n, 16));
+
+    EXPECT_EQ(exact_out.to_floats(), guarded_out.to_floats());
+}
+
+TEST(SafetyTest, GuardedSourceReparses)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global int* in, __global int* out) {
+            int i = get_global_id(0);
+            out[i] = (in[i] % in[i + 1]) / (in[i + 2] - 1);
+        }
+    )");
+    auto guarded = transforms::guard_divisions(module, "k");
+    EXPECT_NO_THROW(parser::parse_module(ir::to_source(guarded)));
+}
+
+// ---- Compiler driver -----------------------------------------------------------
+
+class CompileDriverTest : public ::testing::Test {
+  protected:
+    static constexpr const char* kSource = R"(
+        float heavy(float x) {
+            return expf(x) * logf(x + 2.0f) / (sqrtf(x) + 1.0f);
+        }
+        __kernel void map_k(__global float* in, __global float* out) {
+            int i = get_global_id(0);
+            out[i] = heavy(in[i]);
+        }
+        __kernel void red_k(__global float* in, __global float* out,
+                            int n) {
+            int t = get_global_id(0);
+            float acc = 0.0f;
+            for (int i = 0; i < n; i++) { acc += in[t * n + i]; }
+            out[t] = acc;
+        }
+        __kernel void sten_k(__global float* in, __global float* out,
+                             int w) {
+            int x = get_global_id(0) + 1;
+            int y = get_global_id(1) + 1;
+            out[y * w + x] = (in[(y - 1) * w + x] + in[y * w + x - 1]
+                            + in[y * w + x] + in[y * w + x + 1]
+                            + in[(y + 1) * w + x]) * 0.2f;
+        }
+    )";
+
+    core::CompileOptions
+    options()
+    {
+        core::CompileOptions opts;
+        opts.training = core::uniform_training(0.0f, 2.0f);
+        return opts;
+    }
+};
+
+TEST_F(CompileDriverTest, GeneratesVariantsPerPattern)
+{
+    auto module = parser::parse_module(kSource);
+    auto results = core::compile_module(module, options());
+    ASSERT_EQ(results.size(), 3u);
+
+    // Map kernel: memo variants with table bindings.
+    const auto& map_result = results[0];
+    EXPECT_FALSE(map_result.generated.empty());
+    for (const auto& generated : map_result.generated) {
+        EXPECT_EQ(generated.pattern, analysis::PatternKind::Map);
+        ASSERT_EQ(generated.tables.size(), 1u);
+        EXPECT_FALSE(generated.tables[0].buffer_param.empty());
+        EXPECT_NE(generated.module.find_function(generated.kernel_name),
+                  nullptr);
+    }
+
+    // Reduction kernel: one variant per skip rate.
+    const auto& red_result = results[1];
+    EXPECT_EQ(red_result.generated.size(), 3u);
+
+    // Stencil kernel: only schemes that actually merge loads.
+    const auto& sten_result = results[2];
+    EXPECT_FALSE(sten_result.generated.empty());
+    for (const auto& generated : sten_result.generated)
+        EXPECT_EQ(generated.pattern, analysis::PatternKind::Stencil);
+}
+
+TEST_F(CompileDriverTest, GeneratedMapKernelExecutesAtQuality)
+{
+    auto module = parser::parse_module(kSource);
+    auto result = core::compile_kernel(module, "map_k", options());
+    ASSERT_FALSE(result.generated.empty());
+    const auto& generated = result.generated.front();
+
+    const int n = 2048;
+    Rng rng(8);
+    Buffer in = Buffer::from_floats(rng.uniform_vector(n, 0.0f, 2.0f));
+    Buffer exact_out = Buffer::zeros_f32(n);
+    Buffer approx_out = Buffer::zeros_f32(n);
+    Buffer table =
+        Buffer::from_floats(generated.tables[0].table.values);
+
+    ArgPack exact_args;
+    exact_args.buffer("in", in).buffer("out", exact_out);
+    exec::launch(vm::compile_kernel(module, "map_k"), exact_args,
+                 LaunchConfig::linear(n, 64));
+
+    ArgPack approx_args;
+    approx_args.buffer("in", in).buffer("out", approx_out);
+    approx_args.buffer(generated.tables[0].buffer_param, table);
+    auto launch = exec::launch(
+        vm::compile_kernel(generated.module, generated.kernel_name),
+        approx_args, LaunchConfig::linear(n, 64));
+    ASSERT_FALSE(launch.trapped);
+
+    EXPECT_GE(runtime::quality_percent(runtime::Metric::L1Norm,
+                                       exact_out.to_floats(),
+                                       approx_out.to_floats()),
+              85.0);
+}
+
+TEST_F(CompileDriverTest, DivisionGuardsInsertedIntoApproxKernels)
+{
+    // heavy() divides by (sqrtf(x) + 1.0f); the exact kernel keeps the
+    // raw division but generated kernels are guarded when the option is
+    // on... the division lives in the callee, which memoization removes,
+    // so craft a kernel with a division *outside* the call.
+    auto module = parser::parse_module(R"(
+        float heavy(float x) {
+            return expf(x) * logf(x + 2.0f) * sqrtf(x + 1.0f)
+                 * cosf(x) * sinf(x);
+        }
+        __kernel void k(__global float* in, __global float* d,
+                        __global float* out) {
+            int i = get_global_id(0);
+            out[i] = heavy(in[i]) / d[i];
+        }
+    )");
+    auto opts = options();
+    opts.guard_divisions = true;
+    auto result = core::compile_kernel(module, "k", opts);
+    ASSERT_FALSE(result.generated.empty());
+    bool noted = false;
+    for (const auto& note : result.notes)
+        noted = noted || note.find("guarded") != std::string::npos;
+    EXPECT_TRUE(noted);
+}
+
+TEST_F(CompileDriverTest, NoTrainingDataSkipsMemoization)
+{
+    auto module = parser::parse_module(kSource);
+    auto opts = options();
+    opts.training = [](const std::string&)
+        -> std::optional<std::vector<std::vector<float>>> {
+        return std::nullopt;
+    };
+    auto result = core::compile_kernel(module, "map_k", opts);
+    EXPECT_TRUE(result.generated.empty());
+    ASSERT_FALSE(result.notes.empty());
+    EXPECT_NE(result.notes[0].find("no training data"), std::string::npos);
+}
+
+TEST_F(CompileDriverTest, ScanKernelFlaggedNotRewritten)
+{
+    auto module = parser::parse_module(R"(
+        #pragma paraprox scan
+        __kernel void s(__global float* data) {
+            int i = get_global_id(0);
+            data[i] = data[i];
+        }
+    )");
+    auto result = core::compile_kernel(module, "s", options());
+    EXPECT_TRUE(result.detection.is_scan);
+    bool noted = false;
+    for (const auto& note : result.notes)
+        noted = noted || note.find("scan") != std::string::npos;
+    EXPECT_TRUE(noted);
+}
+
+TEST_F(CompileDriverTest, UnknownKernelRejected)
+{
+    auto module = parser::parse_module(kSource);
+    EXPECT_THROW(core::compile_kernel(module, "missing", options()),
+                 UserError);
+    EXPECT_THROW(core::compile_kernel(module, "heavy", options()),
+                 UserError);
+}
+
+TEST_F(CompileDriverTest, GeneratedSourcesAllReparse)
+{
+    auto module = parser::parse_module(kSource);
+    for (const auto& result : core::compile_module(module, options())) {
+        for (const auto& generated : result.generated) {
+            EXPECT_NO_THROW(
+                parser::parse_module(ir::to_source(generated.module)))
+                << generated.label;
+        }
+    }
+}
+
+// ---- Variant bridge -------------------------------------------------------------
+
+TEST_F(CompileDriverTest, MakeVariantsEndToEndWithTuner)
+{
+    auto module = parser::parse_module(kSource);
+    auto opts = options();
+
+    constexpr int kN = 2048;
+    core::LaunchPlan plan;
+    plan.config = LaunchConfig::linear(kN, 64);
+    plan.output_buffer = "out";
+    plan.bind_inputs = [](std::uint64_t seed, ArgPack& args,
+                          std::vector<std::unique_ptr<Buffer>>& storage) {
+        Rng rng(seed);
+        storage.push_back(std::make_unique<Buffer>(
+            Buffer::from_floats(rng.uniform_vector(kN, 0.0f, 2.0f))));
+        args.buffer("in", *storage.back());
+        storage.push_back(
+            std::make_unique<Buffer>(Buffer::zeros_f32(kN)));
+        args.buffer("out", *storage.back());
+    };
+
+    auto variants = core::make_variants(module, "map_k", opts, plan);
+    ASSERT_GE(variants.size(), 2u);
+    EXPECT_EQ(variants[0].label, "exact");
+
+    runtime::Tuner tuner(std::move(variants),
+                         runtime::Metric::MeanRelativeError, 85.0);
+    const auto& profiles = tuner.calibrate({4, 5});
+    EXPECT_DOUBLE_EQ(profiles[0].quality, 100.0);
+    bool winner = false;
+    for (std::size_t v = 1; v < profiles.size(); ++v) {
+        EXPECT_FALSE(profiles[v].trapped);
+        winner = winner || (profiles[v].meets_toq &&
+                            profiles[v].speedup > 1.0);
+    }
+    EXPECT_TRUE(winner);
+}
+
+TEST_F(CompileDriverTest, MakeVariantsRejectsMissingPlanPieces)
+{
+    auto module = parser::parse_module(kSource);
+    core::LaunchPlan plan;  // no bind_inputs
+    EXPECT_THROW(core::make_variants(module, "map_k", {}, plan,
+                                     device::DeviceModel::gtx560()),
+                 UserError);
+}
+
+TEST_F(CompileDriverTest, MakeVariantsChecksOutputBuffer)
+{
+    auto module = parser::parse_module(kSource);
+    core::LaunchPlan plan;
+    plan.config = LaunchConfig::linear(64, 64);
+    plan.output_buffer = "does_not_exist";
+    plan.bind_inputs = [](std::uint64_t, ArgPack& args,
+                          std::vector<std::unique_ptr<Buffer>>& storage) {
+        storage.push_back(
+            std::make_unique<Buffer>(Buffer::zeros_f32(64)));
+        args.buffer("in", *storage.back());
+        storage.push_back(
+            std::make_unique<Buffer>(Buffer::zeros_f32(64)));
+        args.buffer("out", *storage.back());
+    };
+    auto variants = core::make_variants(module, "map_k", {}, plan,
+                                        device::DeviceModel::gtx560());
+    EXPECT_THROW(variants[0].run(1), UserError);
+}
+
+}  // namespace
+}  // namespace paraprox

@@ -1,0 +1,222 @@
+// Unit tests for the device cost models: cache simulation, coalescing,
+// latency pricing, and GPU/CPU asymmetries.
+
+#include <gtest/gtest.h>
+
+#include "device/cache.h"
+#include "device/memory_model.h"
+#include "exec/launch.h"
+#include "parser/parser.h"
+#include "vm/compiler.h"
+
+namespace paraprox::device {
+namespace {
+
+TEST(CacheSimTest, HitsAfterFill)
+{
+    CacheSim cache(1024, 64, 2);
+    EXPECT_FALSE(cache.access(0));   // cold miss
+    EXPECT_TRUE(cache.access(4));    // same line
+    EXPECT_TRUE(cache.access(63));
+    EXPECT_FALSE(cache.access(64));  // next line
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CacheSimTest, LruEviction)
+{
+    // 2 sets x 2 ways x 64B lines = 256B.
+    CacheSim cache(256, 64, 2);
+    // Three lines mapping to set 0: 0, 128, 256.
+    cache.access(0);
+    cache.access(128);
+    cache.access(256);            // evicts line 0 (LRU)
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_TRUE(cache.access(256));
+}
+
+TEST(CacheSimTest, WorkingSetBeyondCapacityMisses)
+{
+    CacheSim cache(4096, 64, 4);
+    // Stream 16 KiB twice: second pass should still miss heavily.
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::int64_t addr = 0; addr < 16384; addr += 64)
+            cache.access(addr);
+    EXPECT_GT(cache.misses(), cache.hits());
+}
+
+TEST(CacheSimTest, SmallWorkingSetHitsOnSecondPass)
+{
+    CacheSim cache(4096, 64, 4);
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::int64_t addr = 0; addr < 2048; addr += 64)
+            cache.access(addr);
+    EXPECT_EQ(cache.hits(), 32u);
+    EXPECT_EQ(cache.misses(), 32u);
+}
+
+TEST(CacheSimTest, BadParametersRejected)
+{
+    EXPECT_THROW(CacheSim(0, 64, 2), UserError);
+    EXPECT_THROW(CacheSim(100, 64, 3), UserError);
+}
+
+TEST(DeviceModelTest, LatencyClassesPriced)
+{
+    const DeviceModel gpu = DeviceModel::gtx560();
+    EXPECT_GT(gpu.latency.cycles(vm::Opcode::DivF),
+              gpu.latency.cycles(vm::Opcode::Exp));
+    EXPECT_EQ(gpu.latency.cycles(vm::Opcode::Ld), 0.0);  // memory-priced
+    const DeviceModel cpu = DeviceModel::core_i7();
+    // The paper's asymmetries: transcendentals cheap on GPU SFUs,
+    // atomics cheap on CPUs.
+    EXPECT_LT(gpu.throughput.transcendental,
+              cpu.throughput.transcendental);
+    EXPECT_GT(gpu.throughput.atomic * gpu.atomic_serialization,
+              cpu.throughput.atomic * cpu.atomic_serialization);
+}
+
+TEST(DeviceModelTest, ComputeCostCountsOps)
+{
+    vm::ExecStats stats;
+    stats.opcode_counts[static_cast<int>(vm::Opcode::MulF)] = 100;
+    stats.opcode_counts[static_cast<int>(vm::Opcode::AtomAdd)] = 10;
+    const DeviceModel gpu = DeviceModel::gtx560();
+    auto cost = compute_cost(gpu, stats);
+    EXPECT_DOUBLE_EQ(cost.compute_cycles,
+                     100.0 * gpu.throughput.float_arith);
+    EXPECT_DOUBLE_EQ(cost.atomic_cycles, 10.0 * gpu.throughput.atomic);
+}
+
+/// Run a kernel under a device model and return the cost breakdown.
+ModeledResult
+run_kernel(const std::string& source, int n, const DeviceModel& device,
+           exec::Buffer& out, int stride = 1)
+{
+    auto module = parser::parse_module(source);
+    auto program = vm::compile_kernel(module, module.kernels()[0]->name);
+    exec::ArgPack args;
+    args.buffer("out", out).scalar("stride", stride);
+    return run_modeled(program, args, exec::LaunchConfig::linear(n, 32),
+                       device);
+}
+
+constexpr const char* kStridedSource = R"(
+    __kernel void k(__global float* out, int stride) {
+        int i = get_global_id(0);
+        out[(i * stride) % 4096] = 1.0f;
+    }
+)";
+
+TEST(MemoryModelTest, UncoalescedAccessesCostMore)
+{
+    const DeviceModel gpu = DeviceModel::gtx560();
+    exec::Buffer out1 = exec::Buffer::zeros_f32(4096);
+    exec::Buffer out2 = exec::Buffer::zeros_f32(4096);
+    auto coalesced = run_kernel(kStridedSource, 1024, gpu, out1, 1);
+    auto strided = run_kernel(kStridedSource, 1024, gpu, out2, 33);
+    EXPECT_GT(strided.cost.extra_transactions,
+              coalesced.cost.extra_transactions);
+    EXPECT_GT(strided.cost.memory_cycles, coalesced.cost.memory_cycles);
+}
+
+TEST(MemoryModelTest, CpuIgnoresCoalescing)
+{
+    const DeviceModel cpu = DeviceModel::core_i7();
+    exec::Buffer out = exec::Buffer::zeros_f32(4096);
+    auto strided = run_kernel(kStridedSource, 1024, cpu, out, 33);
+    EXPECT_EQ(strided.cost.extra_transactions, 0u);
+}
+
+TEST(MemoryModelTest, SharedMemoryFlatCost)
+{
+    const DeviceModel gpu = DeviceModel::gtx560();
+    auto module = parser::parse_module(R"(
+        __kernel void k(__shared float* tile, __global float* out) {
+            int l = get_local_id(0);
+            int g = get_global_id(0);
+            tile[l] = (float)(l);
+            barrier();
+            out[g] = tile[l];
+        }
+    )");
+    auto program = vm::compile_kernel(module, "k");
+    exec::Buffer out = exec::Buffer::zeros_f32(256);
+    exec::ArgPack args;
+    args.buffer("out", out).shared("tile", 32);
+    auto result = run_modeled(program, args,
+                              exec::LaunchConfig::linear(256, 32), gpu);
+    EXPECT_FALSE(result.launch.trapped);
+    EXPECT_GT(result.cost.memory_cycles, 0.0);
+}
+
+TEST(MemoryModelTest, ConstantDivergenceSerializes)
+{
+    const DeviceModel gpu = DeviceModel::gtx560();
+    // Uniform: every lane reads table[0]; divergent: lane-dependent.
+    auto module = parser::parse_module(R"(
+        __kernel void uniform_read(__constant float* table,
+                                   __global float* out) {
+            int i = get_global_id(0);
+            out[i] = table[0];
+        }
+        __kernel void divergent_read(__constant float* table,
+                                     __global float* out) {
+            int i = get_global_id(0);
+            out[i] = table[(i * 37) % 512];
+        }
+    )");
+    exec::Buffer table = exec::Buffer::zeros_f32(512);
+    exec::Buffer out = exec::Buffer::zeros_f32(1024);
+    auto uniform_prog = vm::compile_kernel(module, "uniform_read");
+    auto divergent_prog = vm::compile_kernel(module, "divergent_read");
+    exec::ArgPack args;
+    args.buffer("table", table).buffer("out", out);
+    auto uniform = run_modeled(uniform_prog, args,
+                               exec::LaunchConfig::linear(1024, 32), gpu);
+    auto divergent = run_modeled(divergent_prog, args,
+                                 exec::LaunchConfig::linear(1024, 32),
+                                 gpu);
+    EXPECT_GT(divergent.cost.memory_cycles,
+              uniform.cost.memory_cycles * 2);
+}
+
+TEST(MemoryModelTest, BiggerTableMissesMore)
+{
+    // Lookup tables larger than the L1 start missing (Fig. 17's driver).
+    const DeviceModel gpu = DeviceModel::gtx560();
+    auto module = parser::parse_module(R"(
+        __kernel void lookup(__global float* table, __global float* out,
+                             int mask) {
+            int i = get_global_id(0);
+            out[i] = table[(i * 2654435) % mask];
+        }
+    )");
+    auto program = vm::compile_kernel(module, "lookup");
+    auto run_with = [&](int table_size) {
+        exec::Buffer table = exec::Buffer::zeros_f32(table_size);
+        exec::Buffer out = exec::Buffer::zeros_f32(8192);
+        exec::ArgPack args;
+        args.buffer("table", table).buffer("out", out)
+            .scalar("mask", table_size);
+        return run_modeled(program, args,
+                           exec::LaunchConfig::linear(8192, 32), gpu);
+    };
+    auto small = run_with(512);      // 2 KiB, fits in L1
+    auto large = run_with(1 << 17);  // 512 KiB, thrashes
+    EXPECT_GT(large.cost.memory_cycles, small.cost.memory_cycles * 1.5);
+}
+
+TEST(ModeledCyclesTest, LanesDivideCompute)
+{
+    DeviceModel device = DeviceModel::gtx560();
+    CostBreakdown cost;
+    cost.compute_cycles = 1000.0;
+    const double wide = modeled_cycles(device, cost);
+    device.compute_lanes /= 2;
+    const double narrow = modeled_cycles(device, cost);
+    EXPECT_NEAR(narrow, wide * 2, 1e-9);
+}
+
+}  // namespace
+}  // namespace paraprox::device

@@ -1,0 +1,273 @@
+// Edge-case tests: parser corner cases, VM numeric semantics, printer
+// idempotence, and geometry/launch boundaries that the main suites do
+// not cover.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "exec/launch.h"
+#include "ir/printer.h"
+#include "parser/parser.h"
+#include "support/error.h"
+#include "vm/compiler.h"
+#include "vm/vm.h"
+
+namespace paraprox {
+namespace {
+
+using exec::ArgPack;
+using exec::Buffer;
+using exec::LaunchConfig;
+
+// ---- Parser corners ---------------------------------------------------------
+
+TEST(ParserEdgeTest, DeeplyNestedExpressions)
+{
+    std::string expr = "1.0f";
+    for (int i = 0; i < 60; ++i)
+        expr = "(" + expr + " + 1.0f)";
+    auto module = parser::parse_module("float f() { return " + expr +
+                                       "; }");
+    auto program = vm::compile_scalar_function(module, "f");
+    EXPECT_FLOAT_EQ(vm::run_scalar_program(program, {}).f, 61.0f);
+}
+
+TEST(ParserEdgeTest, OperatorPrecedenceGolden)
+{
+    auto module = parser::parse_module(R"(
+        int f(int a, int b, int c) {
+            return a + b * c - a / (b + 1) % 3 << 1 & 7 | c ^ 2;
+        }
+    )");
+    const auto* fn = module.find_function("f");
+    // Round-trip must preserve the tree exactly.
+    const std::string once = ir::to_source(*fn);
+    auto reparsed = parser::parse_module(once);
+    EXPECT_EQ(once, ir::to_source(*reparsed.find_function("f")));
+}
+
+TEST(ParserEdgeTest, UnaryChains)
+{
+    auto module = parser::parse_module(R"(
+        int f(int a) { return - -a + !!(a > 0); }
+    )");
+    (void)module;
+}
+
+TEST(ParserEdgeTest, EmptyForHeaderPieces)
+{
+    // Missing init and step are allowed; missing cond means `true`.
+    auto module = parser::parse_module(R"(
+        int f(int n) {
+            int i = 0;
+            int s = 0;
+            for (; i < n;) {
+                s += i;
+                i++;
+            }
+            return s;
+        }
+    )");
+    (void)module;
+}
+
+TEST(ParserEdgeTest, CommentsEverywhere)
+{
+    auto module = parser::parse_module(R"(
+        /* header */ float /*mid*/ f(/*args*/ float x /*trailing*/) {
+            // line comment
+            return x; /* tail */
+        }
+    )");
+    EXPECT_NE(module.find_function("f"), nullptr);
+}
+
+TEST(ParserEdgeTest, LargeIntAndFloatLiterals)
+{
+    auto module = parser::parse_module(R"(
+        int f() { return 2147483647; }
+        float g() { return 3.4028e38f; }
+        float tiny() { return 1.17549e-38f; }
+    )");
+    (void)module;
+}
+
+// ---- VM numeric semantics ---------------------------------------------------------
+
+float
+run_unary_float(const std::string& body, float input)
+{
+    auto module = parser::parse_module("float f(float x) { return " +
+                                       body + "; }");
+    auto program = vm::compile_scalar_function(module, "f");
+    return vm::run_scalar_program(program, {vm::make_float(input)}).f;
+}
+
+TEST(VmNumericsTest, FloatDivisionByZeroIsInf)
+{
+    EXPECT_TRUE(std::isinf(run_unary_float("1.0f / x", 0.0f)));
+    EXPECT_TRUE(std::isnan(run_unary_float("x / x", 0.0f)));
+}
+
+TEST(VmNumericsTest, SqrtOfNegativeIsNan)
+{
+    EXPECT_TRUE(std::isnan(run_unary_float("sqrtf(x)", -1.0f)));
+}
+
+TEST(VmNumericsTest, LogOfZeroIsNegInf)
+{
+    const float v = run_unary_float("logf(x)", 0.0f);
+    EXPECT_TRUE(std::isinf(v));
+    EXPECT_LT(v, 0.0f);
+}
+
+TEST(VmNumericsTest, FminFmaxIgnoreNan)
+{
+    // std::fmin/fmax semantics: NaN operand yields the other operand.
+    EXPECT_FLOAT_EQ(run_unary_float("fminf(sqrtf(x), 3.0f)", -1.0f), 3.0f);
+    EXPECT_FLOAT_EQ(run_unary_float("fmaxf(sqrtf(x), 3.0f)", -1.0f), 3.0f);
+}
+
+TEST(VmNumericsTest, TruncationTowardZero)
+{
+    EXPECT_EQ(static_cast<int>(
+                  run_unary_float("(float)((int)(x))", 2.9f)),
+              2);
+    EXPECT_EQ(static_cast<int>(
+                  run_unary_float("(float)((int)(x))", -2.9f)),
+              -2);
+}
+
+TEST(VmNumericsTest, IntegerOverflowWraps)
+{
+    auto module = parser::parse_module(R"(
+        int f(int x) { return x + 1; }
+    )");
+    auto program = vm::compile_scalar_function(module, "f");
+    const auto max_int = std::numeric_limits<std::int32_t>::max();
+    EXPECT_EQ(vm::run_scalar_program(program, {vm::make_int(max_int)}).i,
+              std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(VmNumericsTest, NegativeModuloFollowsC)
+{
+    auto module = parser::parse_module("int f(int x) { return x % 3; }");
+    auto program = vm::compile_scalar_function(module, "f");
+    EXPECT_EQ(vm::run_scalar_program(program, {vm::make_int(-7)}).i, -1);
+}
+
+TEST(VmNumericsTest, ShiftAmountMasked)
+{
+    auto module = parser::parse_module(
+        "int f(int x, int s) { return x << s; }");
+    auto program = vm::compile_scalar_function(module, "f");
+    // Shift by 33 behaves as shift by 1 (masked to 5 bits, like hardware).
+    EXPECT_EQ(vm::run_scalar_program(
+                  program, {vm::make_int(1), vm::make_int(33)}).i,
+              2);
+}
+
+// ---- Launch geometry corners ---------------------------------------------------------
+
+TEST(LaunchEdgeTest, SingleItemLaunch)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* out) { out[0] = 42.0f; }
+    )");
+    Buffer out = Buffer::zeros_f32(1);
+    ArgPack args;
+    args.buffer("out", out);
+    exec::launch(vm::compile_kernel(module, "k"), args,
+                 LaunchConfig::linear(1, 1));
+    EXPECT_FLOAT_EQ(out.get_float(0), 42.0f);
+}
+
+TEST(LaunchEdgeTest, ThreeDimensionalGrid)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global int* out, int w, int h) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            int z = get_global_id(2);
+            out[(z * h + y) * w + x] = z * 100 + y * 10 + x;
+        }
+    )");
+    auto program = vm::compile_kernel(module, "k");
+    Buffer out = Buffer::zeros_i32(2 * 3 * 4);
+    ArgPack args;
+    args.buffer("out", out).scalar("w", 4).scalar("h", 3);
+    exec::LaunchConfig config;
+    config.global_size = {4, 3, 2};
+    config.local_size = {2, 1, 1};
+    exec::launch(program, args, config);
+    for (int z = 0; z < 2; ++z)
+        for (int y = 0; y < 3; ++y)
+            for (int x = 0; x < 4; ++x)
+                EXPECT_EQ(out.get_int((z * 3 + y) * 4 + x),
+                          z * 100 + y * 10 + x);
+}
+
+TEST(LaunchEdgeTest, BarrierInSingleItemGroupIsNoop)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__shared float* tile, __global float* out) {
+            tile[0] = 7.0f;
+            barrier();
+            out[get_global_id(0)] = tile[0];
+        }
+    )");
+    Buffer out = Buffer::zeros_f32(4);
+    ArgPack args;
+    args.buffer("out", out).shared("tile", 1);
+    auto result = exec::launch(vm::compile_kernel(module, "k"), args,
+                               LaunchConfig::linear(4, 1));
+    EXPECT_FALSE(result.trapped);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(out.get_float(i), 7.0f);
+}
+
+TEST(LaunchEdgeTest, DivergentBarrierTraps)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__shared float* tile, __global float* out) {
+            int l = get_local_id(0);
+            if (l < 2) { barrier(); tile[l] = 1.0f; }
+            out[get_global_id(0)] = 1.0f;
+        }
+    )");
+    Buffer out = Buffer::zeros_f32(4);
+    ArgPack args;
+    args.buffer("out", out).shared("tile", 4);
+    auto result = exec::launch(vm::compile_kernel(module, "k"), args,
+                               LaunchConfig::linear(4, 4));
+    EXPECT_TRUE(result.trapped);
+    EXPECT_NE(result.trap_message.find("divergent"), std::string::npos);
+}
+
+// ---- Printer idempotence ------------------------------------------------------------
+
+TEST(PrinterEdgeTest, PrintParsePrintIsStable)
+{
+    const char* sources[] = {
+        "float f(float x) { return x < 0.0f ? -x : x; }",
+        "int g(int a, int b) { return (a & b) | (a ^ b) << 2; }",
+        R"(__kernel void k(__global float* o) {
+               for (int i = 0; i < 4; i++) { o[i] = (float)(i); }
+           })",
+        R"(float h(float x) {
+               if (x > 1.0f) { return 1.0f; }
+               else if (x < -1.0f) { return -1.0f; }
+               return x;
+           })",
+    };
+    for (const char* source : sources) {
+        auto once = ir::to_source(parser::parse_module(source));
+        auto twice = ir::to_source(parser::parse_module(once));
+        EXPECT_EQ(once, twice) << source;
+    }
+}
+
+}  // namespace
+}  // namespace paraprox

@@ -1,0 +1,151 @@
+// Unit tests for buffers and launch plumbing.
+
+#include <gtest/gtest.h>
+
+#include "exec/buffer.h"
+#include "exec/launch.h"
+#include "parser/parser.h"
+#include "support/error.h"
+#include "vm/compiler.h"
+
+namespace paraprox {
+namespace {
+
+using exec::ArgPack;
+using exec::Buffer;
+using exec::LaunchConfig;
+
+TEST(BufferTest, FloatRoundTrip)
+{
+    std::vector<float> values = {1.5f, -2.25f, 0.0f, 3.14159f};
+    Buffer buffer = Buffer::from_floats(values);
+    EXPECT_EQ(buffer.size(), 4u);
+    EXPECT_EQ(buffer.elem_type(), ir::Scalar::F32);
+    EXPECT_EQ(buffer.to_floats(), values);
+    EXPECT_FLOAT_EQ(buffer.get_float(1), -2.25f);
+}
+
+TEST(BufferTest, IntRoundTrip)
+{
+    std::vector<std::int32_t> values = {-7, 0, 42};
+    Buffer buffer = Buffer::from_ints(values);
+    EXPECT_EQ(buffer.to_ints(), values);
+    buffer.set_int(0, 9);
+    EXPECT_EQ(buffer.get_int(0), 9);
+}
+
+TEST(BufferTest, ZerosInitialized)
+{
+    Buffer f = Buffer::zeros_f32(16);
+    Buffer i = Buffer::zeros_i32(16);
+    for (std::size_t k = 0; k < 16; ++k) {
+        EXPECT_EQ(f.get_float(k), 0.0f);
+        EXPECT_EQ(i.get_int(k), 0);
+    }
+}
+
+TEST(BufferTest, FillSizeMismatchRejected)
+{
+    Buffer buffer = Buffer::zeros_f32(4);
+    EXPECT_THROW(buffer.fill_floats({1.0f}), UserError);
+}
+
+TEST(BufferTest, OnlyScalarElementTypes)
+{
+    EXPECT_THROW(Buffer(ir::Scalar::Void, 4), UserError);
+    EXPECT_THROW(Buffer(ir::Scalar::Bool, 4), UserError);
+}
+
+TEST(ArgPackTest, LookupSemantics)
+{
+    Buffer buffer = Buffer::zeros_f32(4);
+    ArgPack args;
+    args.buffer("buf", buffer).scalar("n", 7).scalar("x", 1.5f)
+        .shared("tile", 64);
+    EXPECT_EQ(args.find_buffer("buf"), &buffer);
+    EXPECT_EQ(args.find_buffer("nope"), nullptr);
+    EXPECT_EQ(args.find_scalar("n")->i, 7);
+    EXPECT_FLOAT_EQ(args.find_scalar("x")->f, 1.5f);
+    EXPECT_EQ(args.find_scalar("nope"), nullptr);
+    EXPECT_EQ(args.find_shared("tile"), 64);
+    EXPECT_EQ(args.find_shared("nope"), 0);
+}
+
+TEST(LaunchTest, WallClockPositive)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* out) {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            for (int j = 0; j < 100; j++) { acc += sqrtf((float)(j)); }
+            out[i] = acc;
+        }
+    )");
+    auto program = vm::compile_kernel(module, "k");
+    Buffer out = Buffer::zeros_f32(1024);
+    ArgPack args;
+    args.buffer("out", out);
+    auto result = exec::launch(program, args, LaunchConfig::linear(1024, 64));
+    EXPECT_GT(result.wall_seconds, 0.0);
+    EXPECT_FALSE(result.trapped);
+}
+
+TEST(LaunchTest, ManyGroupsRunInParallelConsistently)
+{
+    // All groups write disjoint slices; result must be deterministic.
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global int* out) {
+            int i = get_global_id(0);
+            out[i] = i * 3 + 1;
+        }
+    )");
+    auto program = vm::compile_kernel(module, "k");
+    Buffer out = Buffer::zeros_i32(4096);
+    ArgPack args;
+    args.buffer("out", out);
+    exec::launch(program, args, LaunchConfig::linear(4096, 32));
+    for (int i = 0; i < 4096; ++i)
+        ASSERT_EQ(out.get_int(i), i * 3 + 1);
+}
+
+TEST(LaunchTest, MissingSharedSizeRejected)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__shared float* tile, __global float* out) {
+            int i = get_global_id(0);
+            tile[0] = 1.0f;
+            out[i] = tile[0];
+        }
+    )");
+    auto program = vm::compile_kernel(module, "k");
+    Buffer out = Buffer::zeros_f32(4);
+    ArgPack args;
+    args.buffer("out", out);
+    EXPECT_THROW(exec::launch(program, args, LaunchConfig::linear(4, 4)),
+                 UserError);
+}
+
+TEST(LaunchTest, SharedMemoryIsPerGroup)
+{
+    // Each group increments tile[0]; if shared memory leaked between
+    // groups, later groups would observe larger values.
+    auto module = parser::parse_module(R"(
+        __kernel void k(__shared int* tile, __global int* out) {
+            int l = get_local_id(0);
+            int g = get_global_id(0);
+            if (l == 0) { tile[0] = get_group_id(0); }
+            barrier();
+            out[g] = tile[0];
+        }
+    )");
+    auto program = vm::compile_kernel(module, "k");
+    Buffer out = Buffer::zeros_i32(64);
+    ArgPack args;
+    args.buffer("out", out).shared("tile", 1);
+    exec::launch(program, args, LaunchConfig::linear(64, 8));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(out.get_int(i), i / 8);
+}
+
+}  // namespace
+}  // namespace paraprox

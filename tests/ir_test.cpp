@@ -1,0 +1,207 @@
+// Unit tests for the IR: types, builders, cloning, visitors, printing.
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/visitor.h"
+#include "support/error.h"
+
+namespace paraprox::ir {
+namespace {
+
+namespace b = build;
+
+TEST(TypeTest, ToString)
+{
+    EXPECT_EQ(Type::i32().to_string(), "int");
+    EXPECT_EQ(Type::f32().to_string(), "float");
+    EXPECT_EQ(Type::boolean().to_string(), "bool");
+    EXPECT_EQ(Type::pointer(Scalar::F32, AddrSpace::Global).to_string(),
+              "__global float*");
+    EXPECT_EQ(Type::pointer(Scalar::I32, AddrSpace::Shared).to_string(),
+              "__shared int*");
+}
+
+TEST(TypeTest, Predicates)
+{
+    EXPECT_TRUE(Type::f32().is_float());
+    EXPECT_TRUE(Type::i32().is_int());
+    EXPECT_TRUE(Type::boolean().is_bool());
+    EXPECT_TRUE(Type::void_type().is_void());
+    const Type ptr = Type::pointer(Scalar::F32, AddrSpace::Constant);
+    EXPECT_FALSE(ptr.is_scalar());
+    EXPECT_TRUE(ptr.pointee().is_float());
+}
+
+TEST(TypeTest, Equality)
+{
+    EXPECT_EQ(Type::i32(), Type::i32());
+    EXPECT_NE(Type::i32(), Type::f32());
+    EXPECT_NE(Type::pointer(Scalar::F32, AddrSpace::Global),
+              Type::pointer(Scalar::F32, AddrSpace::Shared));
+}
+
+TEST(BuiltinTest, LookupByName)
+{
+    EXPECT_EQ(builtin_by_name("sqrtf"), Builtin::Sqrt);
+    EXPECT_EQ(builtin_by_name("get_global_id"), Builtin::GlobalId);
+    EXPECT_EQ(builtin_by_name("atomic_add"), Builtin::AtomicAdd);
+    EXPECT_FALSE(builtin_by_name("not_a_builtin").has_value());
+}
+
+TEST(BuiltinTest, Classification)
+{
+    EXPECT_TRUE(builtin_info(Builtin::Sqrt).pure);
+    EXPECT_FALSE(builtin_info(Builtin::AtomicAdd).pure);
+    EXPECT_TRUE(is_thread_id_builtin(Builtin::GlobalId));
+    EXPECT_FALSE(is_thread_id_builtin(Builtin::Exp));
+    EXPECT_TRUE(is_atomic_builtin(Builtin::AtomicInc));
+    EXPECT_TRUE(is_transcendental_builtin(Builtin::Exp));
+    EXPECT_FALSE(is_transcendental_builtin(Builtin::Sqrt));
+}
+
+TEST(BuilderTest, ArithmeticTypesInferred)
+{
+    auto sum = b::add(b::float_lit(1.0f), b::float_lit(2.0f));
+    EXPECT_TRUE(sum->type().is_float());
+    auto isum = b::add(b::int_lit(1), b::int_lit(2));
+    EXPECT_TRUE(isum->type().is_int());
+    auto cmp = b::lt(b::int_lit(1), b::int_lit(2));
+    EXPECT_TRUE(cmp->type().is_bool());
+}
+
+TEST(BuilderTest, BuiltinCallArityChecked)
+{
+    std::vector<ExprPtr> no_args;
+    EXPECT_THROW(b::call(Builtin::Sqrt, std::move(no_args)), UserError);
+}
+
+TEST(CloneTest, ExprDeepCopy)
+{
+    auto original = b::add(b::mul(b::var("x"), b::float_lit(2.0f)),
+                           b::var("y"));
+    auto copy = original->clone();
+    EXPECT_EQ(to_source(*original), to_source(*copy));
+    // Mutating the copy must not affect the original.
+    static_cast<Binary&>(*copy).lhs = b::float_lit(9.0f);
+    EXPECT_NE(to_source(*original), to_source(*copy));
+}
+
+TEST(CloneTest, FunctionDeepCopyAndRename)
+{
+    std::vector<StmtPtr> stmts;
+    stmts.push_back(b::ret(b::add(b::var("a"), b::float_lit(1.0f))));
+    auto fn = std::make_unique<Function>(
+        "f", Type::f32(), std::vector<Param>{{"a", Type::f32()}},
+        b::block(std::move(stmts)), false);
+    fn->pragmas.insert("scan");
+    auto copy = fn->clone("g");
+    EXPECT_EQ(copy->name, "g");
+    EXPECT_EQ(copy->params.size(), 1u);
+    EXPECT_TRUE(copy->pragmas.count("scan"));
+    EXPECT_NE(copy->body.get(), fn->body.get());
+}
+
+TEST(ModuleTest, AddAndFind)
+{
+    Module module;
+    module.add_function(std::make_unique<Function>(
+        "k", Type::void_type(), std::vector<Param>{}, b::block(), true));
+    module.add_function(std::make_unique<Function>(
+        "helper", Type::f32(), std::vector<Param>{}, b::block(), false));
+    EXPECT_NE(module.find_function("k"), nullptr);
+    EXPECT_EQ(module.find_function("missing"), nullptr);
+    EXPECT_EQ(module.kernels().size(), 1u);
+    EXPECT_EQ(module.kernels()[0]->name, "k");
+}
+
+TEST(ModuleTest, DuplicateNameRejected)
+{
+    Module module;
+    module.add_function(std::make_unique<Function>(
+        "f", Type::f32(), std::vector<Param>{}, b::block(), false));
+    EXPECT_THROW(module.add_function(std::make_unique<Function>(
+                     "f", Type::f32(), std::vector<Param>{}, b::block(),
+                     false)),
+                 UserError);
+}
+
+TEST(PrinterTest, ExprPrecedence)
+{
+    // (a + b) * c needs parens; a + b * c does not.
+    auto e1 = b::mul(b::add(b::var("a"), b::var("b")), b::var("c"));
+    EXPECT_EQ(to_source(*e1), "(a + b) * c");
+    auto e2 = b::add(b::var("a"), b::mul(b::var("b"), b::var("c")));
+    EXPECT_EQ(to_source(*e2), "a + b * c");
+}
+
+TEST(PrinterTest, FloatLiteralsRelexAsFloats)
+{
+    EXPECT_EQ(to_source(*b::float_lit(1.0f)), "1.0f");
+    EXPECT_EQ(to_source(*b::float_lit(0.5f)), "0.5f");
+}
+
+TEST(PrinterTest, LoadAndCall)
+{
+    auto load = b::load("in", Type::pointer(Scalar::F32, AddrSpace::Global),
+                        b::ivar("i"));
+    EXPECT_EQ(to_source(*load), "in[i]");
+    std::vector<ExprPtr> args;
+    args.push_back(b::var("x"));
+    auto call = b::call(Builtin::Sqrt, std::move(args));
+    EXPECT_EQ(to_source(*call), "sqrtf(x)");
+}
+
+TEST(VisitorTest, CountsNodes)
+{
+    std::vector<StmtPtr> body;
+    body.push_back(b::decl("t", Type::f32(),
+                           b::add(b::var("a"), b::var("b"))));
+    body.push_back(b::ret(b::mul(b::var("t"), b::var("t"))));
+    Function fn("f", Type::f32(),
+                {{"a", Type::f32()}, {"b", Type::f32()}},
+                b::block(std::move(body)), false);
+
+    int exprs = 0, stmts = 0;
+    for_each_expr(fn, [&](const Expr&) { ++exprs; });
+    for_each_stmt(fn, [&](const Stmt&) { ++stmts; });
+    EXPECT_EQ(exprs, 6);  // a, b, a+b, t, t, t*t
+    EXPECT_EQ(stmts, 3);  // block, decl, return
+}
+
+TEST(VisitorTest, RewriteReplacesVarRefs)
+{
+    std::vector<StmtPtr> body;
+    body.push_back(b::ret(b::add(b::var("x"), b::var("x"))));
+    Function fn("f", Type::f32(), {{"x", Type::f32()}},
+                b::block(std::move(body)), false);
+
+    rewrite_exprs(fn, [](const Expr& expr) -> ExprPtr {
+        if (const auto* ref = expr_as<VarRef>(expr)) {
+            if (ref->name == "x")
+                return build::var("y", ref->type());
+        }
+        return nullptr;
+    });
+    EXPECT_EQ(to_source(*fn.body->stmts[0], 0), "return y + y;\n");
+}
+
+TEST(VisitorTest, RewriteIsBottomUp)
+{
+    // Rewrites inside replaced subtrees should already have happened.
+    std::vector<StmtPtr> body;
+    body.push_back(b::ret(b::neg(b::var("x"))));
+    Function fn("f", Type::f32(), {{"x", Type::f32()}},
+                b::block(std::move(body)), false);
+    int var_visits = 0;
+    rewrite_exprs(fn, [&](const Expr& expr) -> ExprPtr {
+        if (expr.kind() == ExprKind::VarRef)
+            ++var_visits;
+        return nullptr;
+    });
+    EXPECT_EQ(var_visits, 1);
+}
+
+}  // namespace
+}  // namespace paraprox::ir

@@ -1,0 +1,255 @@
+// Unit tests for the memoization machinery: quantization, host-side
+// evaluation, bit tuning (Fig. 4), and the TOQ table-size search.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "memo/bit_tuning.h"
+#include "memo/evaluator.h"
+#include "memo/quant.h"
+#include "memo/table.h"
+#include "parser/parser.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace paraprox {
+namespace {
+
+using namespace memo;
+
+// ---- Quantization -----------------------------------------------------------
+
+TEST(QuantTest, LevelRoundTrip)
+{
+    InputQuant input;
+    input.lo = 0.0f;
+    input.hi = 16.0f;
+    input.bits = 4;  // 16 levels, step 1
+    EXPECT_EQ(input.levels(), 16);
+    EXPECT_FLOAT_EQ(input.step(), 1.0f);
+    EXPECT_EQ(input.quantize(3.2f), 3);
+    EXPECT_FLOAT_EQ(input.level_value(3), 3.5f);
+}
+
+TEST(QuantTest, OutOfRangeClamps)
+{
+    InputQuant input;
+    input.lo = 0.0f;
+    input.hi = 1.0f;
+    input.bits = 3;
+    EXPECT_EQ(input.quantize(-5.0f), 0);
+    EXPECT_EQ(input.quantize(9.0f), input.levels() - 1);
+}
+
+TEST(QuantTest, AddressPacking)
+{
+    TableConfig config;
+    config.inputs = {
+        {"a", 0.0f, 1.0f, 2, false, 0.0f},   // 4 levels
+        {"b", 0.0f, 1.0f, 3, false, 0.0f},   // 8 levels
+    };
+    EXPECT_EQ(config.address_bits(), 5);
+    EXPECT_EQ(config.table_size(), 32);
+    // a level 3, b level 5 -> (3 << 3) | 5 = 29.
+    const std::int64_t addr = config.address({0.9f, 0.7f});
+    EXPECT_EQ(addr, (config.inputs[0].quantize(0.9f) << 3) |
+                        config.inputs[1].quantize(0.7f));
+}
+
+TEST(QuantTest, AddressRoundTripThroughInputsAt)
+{
+    TableConfig config;
+    config.inputs = {
+        {"a", -2.0f, 2.0f, 3, false, 0.0f},
+        {"c", 0.0f, 0.0f, 0, true, 7.5f},  // constant input
+        {"b", 10.0f, 20.0f, 4, false, 0.0f},
+    };
+    for (std::int64_t addr = 0; addr < config.table_size(); ++addr) {
+        auto args = config.inputs_at(addr);
+        EXPECT_FLOAT_EQ(args[1], 7.5f);  // constant passthrough
+        EXPECT_EQ(config.address(args), addr);
+    }
+}
+
+TEST(QuantTest, ProfilingFindsRangesAndConstants)
+{
+    auto quants = profile_inputs(
+        {"x", "y", "c"},
+        {{1.0f, -5.0f, 3.0f}, {2.0f, 5.0f, 3.0f}, {1.5f, 0.0f, 3.0f}});
+    EXPECT_FALSE(quants[0].is_constant);
+    EXPECT_LE(quants[0].lo, 1.0f);
+    EXPECT_GE(quants[0].hi, 2.0f);
+    EXPECT_FALSE(quants[1].is_constant);
+    EXPECT_TRUE(quants[2].is_constant);
+    EXPECT_FLOAT_EQ(quants[2].constant_value, 3.0f);
+}
+
+// ---- Evaluator ----------------------------------------------------------------
+
+TEST(EvaluatorTest, EvaluatesScalarFunction)
+{
+    auto module = parser::parse_module(R"(
+        float f(float x, float y) { return x * y + sqrtf(x); }
+    )");
+    ScalarEvaluator evaluator(module, "f");
+    EXPECT_EQ(evaluator.arity(), 2u);
+    EXPECT_FLOAT_EQ(evaluator.eval({4.0f, 3.0f}), 14.0f);
+}
+
+TEST(EvaluatorTest, IntParamsConverted)
+{
+    auto module = parser::parse_module(R"(
+        float f(float x, int n) { return x * (float)(n); }
+    )");
+    ScalarEvaluator evaluator(module, "f");
+    EXPECT_FLOAT_EQ(evaluator.eval({2.5f, 4.0f}), 10.0f);
+}
+
+TEST(EvaluatorTest, ParamNamesInOrder)
+{
+    auto module = parser::parse_module(R"(
+        float f(float alpha, float beta) { return alpha + beta; }
+    )");
+    ScalarEvaluator evaluator(module, "f");
+    auto names = evaluator.param_names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "beta");
+}
+
+// ---- Bit tuning -------------------------------------------------------------------
+
+std::vector<std::vector<float>>
+training_2d(int n, float xlo, float xhi, float ylo, float yhi,
+            std::uint64_t seed = 11)
+{
+    Rng rng(seed);
+    std::vector<std::vector<float>> samples(n);
+    for (auto& sample : samples)
+        sample = {rng.uniform(xlo, xhi), rng.uniform(ylo, yhi)};
+    return samples;
+}
+
+TEST(BitTuningTest, FavorsSensitiveInput)
+{
+    // f is far more sensitive to x than to y: tuning should assign x more
+    // bits than the even split.
+    auto module = parser::parse_module(R"(
+        float f(float x, float y) { return expf(3.0f * x) + 0.01f * y; }
+    )");
+    ScalarEvaluator evaluator(module, "f");
+    auto result = bit_tune(evaluator, training_2d(200, 0.0f, 2.0f, 0.0f,
+                                                  2.0f), 8);
+    int x_bits = 0, y_bits = 0;
+    for (const auto& input : result.config.inputs) {
+        if (input.name == "x")
+            x_bits = input.bits;
+        else
+            y_bits = input.bits;
+    }
+    EXPECT_GT(x_bits, y_bits);
+    EXPECT_EQ(x_bits + y_bits, 8);
+    EXPECT_GT(result.explored.size(), 1u);
+}
+
+TEST(BitTuningTest, ConstantInputGetsNoBits)
+{
+    auto module = parser::parse_module(R"(
+        float f(float x, float r) { return x * r; }
+    )");
+    ScalarEvaluator evaluator(module, "f");
+    Rng rng(3);
+    std::vector<std::vector<float>> training(100);
+    for (auto& sample : training)
+        sample = {rng.uniform(0.0f, 1.0f), 0.05f};  // r constant
+    auto result = bit_tune(evaluator, training, 10);
+    EXPECT_TRUE(result.config.inputs[1].is_constant);
+    EXPECT_EQ(result.config.inputs[1].bits, 0);
+    EXPECT_EQ(result.config.inputs[0].bits, 10);
+}
+
+TEST(BitTuningTest, MoreBitsNeverHurtMuch)
+{
+    auto module = parser::parse_module(R"(
+        float f(float x, float y) { return sinf(x) * cosf(y); }
+    )");
+    ScalarEvaluator evaluator(module, "f");
+    auto training = training_2d(200, 0.0f, 6.28f, 0.0f, 6.28f);
+    auto small = bit_tune(evaluator, training, 6);
+    auto large = bit_tune(evaluator, training, 14);
+    EXPECT_GE(large.quality + 1e-6, small.quality);
+}
+
+TEST(BitTuningTest, QualityMetricBounds)
+{
+    EXPECT_DOUBLE_EQ(tuning_quality({1.0f, 2.0f}, {1.0f, 2.0f}), 100.0);
+    EXPECT_LT(tuning_quality({1.0f, 1.0f}, {2.0f, 0.0f}), 100.0);
+    EXPECT_DOUBLE_EQ(tuning_quality({}, {}), 100.0);
+}
+
+TEST(BitTuningTest, AllConstantInputsRejected)
+{
+    auto module = parser::parse_module(R"(
+        float f(float x) { return x; }
+    )");
+    ScalarEvaluator evaluator(module, "f");
+    std::vector<std::vector<float>> training(10, {1.0f});
+    EXPECT_THROW(bit_tune(evaluator, training, 8), UserError);
+}
+
+// ---- Table building & size search ------------------------------------------------
+
+TEST(TableTest, EntriesMatchFunction)
+{
+    auto module = parser::parse_module(R"(
+        float f(float x) { return x * x; }
+    )");
+    ScalarEvaluator evaluator(module, "f");
+    TableConfig config;
+    config.inputs = {{"x", 0.0f, 4.0f, 3, false, 0.0f}};
+    auto table = build_table(evaluator, config);
+    ASSERT_EQ(table.values.size(), 8u);
+    for (int i = 0; i < 8; ++i) {
+        const float x = config.inputs[0].level_value(i);
+        EXPECT_FLOAT_EQ(table.values[i], x * x);
+    }
+}
+
+TEST(TableTest, SizeSearchShrinksForEasyFunctions)
+{
+    // A nearly-linear function meets 95% quality with a tiny table; the
+    // search should come back well below the 2048-entry start.
+    auto module = parser::parse_module(R"(
+        float f(float x) { return 2.0f * x + 1.0f; }
+    )");
+    ScalarEvaluator evaluator(module, "f");
+    Rng rng(5);
+    std::vector<std::vector<float>> training(200);
+    for (auto& sample : training)
+        sample = {rng.uniform(1.0f, 2.0f)};
+    auto search = find_table_for_toq(evaluator, training, 95.0);
+    EXPECT_LT(search.table.values.size(), 2048u);
+    EXPECT_GE(search.table.tuned_quality, 95.0);
+    EXPECT_GT(search.attempts.size(), 1u);
+}
+
+TEST(TableTest, SizeSearchGrowsForHardFunctions)
+{
+    // Demand very high quality from a wiggly function: the search must
+    // grow past the default size.
+    auto module = parser::parse_module(R"(
+        float f(float x) { return sinf(50.0f * x); }
+    )");
+    ScalarEvaluator evaluator(module, "f");
+    Rng rng(7);
+    std::vector<std::vector<float>> training(300);
+    for (auto& sample : training)
+        sample = {rng.uniform(0.0f, 6.28f)};
+    auto small = find_table_for_toq(evaluator, training, 50.0, 3, 8, 4);
+    auto grown = find_table_for_toq(evaluator, training, 99.0, 3, 14, 4);
+    EXPECT_GT(grown.table.values.size(), small.table.values.size());
+}
+
+}  // namespace
+}  // namespace paraprox

@@ -1,0 +1,348 @@
+// Unit tests for the ParaCL lexer and parser.
+
+#include <gtest/gtest.h>
+
+#include "ir/printer.h"
+#include "ir/visitor.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+#include "support/error.h"
+
+namespace paraprox {
+namespace {
+
+using namespace ir;
+using parser::parse_module;
+using parser::tokenize;
+using parser::TokKind;
+
+TEST(LexerTest, BasicTokens)
+{
+    auto tokens = tokenize("int x = 42;");
+    ASSERT_EQ(tokens.size(), 6u);  // int x = 42 ; <end>
+    EXPECT_TRUE(tokens[0].is_keyword("int"));
+    EXPECT_TRUE(tokens[1].is(TokKind::Identifier));
+    EXPECT_TRUE(tokens[2].is_punct("="));
+    EXPECT_EQ(tokens[3].int_value, 42);
+    EXPECT_TRUE(tokens[4].is_punct(";"));
+    EXPECT_TRUE(tokens[5].is(TokKind::End));
+}
+
+TEST(LexerTest, FloatForms)
+{
+    auto tokens = tokenize("1.5f 2.0 3e-2f .25f 7f");
+    EXPECT_FLOAT_EQ(tokens[0].float_value, 1.5f);
+    EXPECT_FLOAT_EQ(tokens[1].float_value, 2.0f);
+    EXPECT_FLOAT_EQ(tokens[2].float_value, 0.03f);
+    EXPECT_FLOAT_EQ(tokens[3].float_value, 0.25f);
+    EXPECT_FLOAT_EQ(tokens[4].float_value, 7.0f);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(tokens[i].is(TokKind::FloatLit));
+}
+
+TEST(LexerTest, HexLiterals)
+{
+    auto tokens = tokenize("0xff");
+    EXPECT_EQ(tokens[0].int_value, 255);
+}
+
+TEST(LexerTest, CommentsSkipped)
+{
+    auto tokens = tokenize("a // line comment\n/* block\ncomment */ b");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[0].text, "a");
+    EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, MultiCharPunctuation)
+{
+    auto tokens = tokenize("<< >> <= >= == != && || += ++");
+    const char* expect[] = {"<<", ">>", "<=", ">=", "==",
+                            "!=", "&&", "||", "+=", "++"};
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(tokens[i].is_punct(expect[i])) << i;
+}
+
+TEST(LexerTest, PragmaParsing)
+{
+    auto tokens = tokenize("#pragma paraprox scan\nint x;");
+    EXPECT_TRUE(tokens[0].is(TokKind::Pragma));
+    EXPECT_EQ(tokens[0].text, "scan");
+}
+
+TEST(LexerTest, BadPragmaRejected)
+{
+    EXPECT_THROW(tokenize("#pragma openmp parallel\n"), UserError);
+    EXPECT_THROW(tokenize("#include <x>\n"), UserError);
+}
+
+TEST(LexerTest, PositionsTracked)
+{
+    auto tokens = tokenize("a\n  b");
+    EXPECT_EQ(tokens[0].line, 1);
+    EXPECT_EQ(tokens[1].line, 2);
+    EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, UnterminatedCommentRejected)
+{
+    EXPECT_THROW(tokenize("/* never closed"), UserError);
+}
+
+// ---- Parser ------------------------------------------------------------
+
+TEST(ParserTest, SimpleKernel)
+{
+    auto module = parse_module(R"(
+        __kernel void copy(__global float* in, __global float* out) {
+            int i = get_global_id(0);
+            out[i] = in[i];
+        }
+    )");
+    const Function* kernel = module.find_function("copy");
+    ASSERT_NE(kernel, nullptr);
+    EXPECT_TRUE(kernel->is_kernel);
+    EXPECT_EQ(kernel->params.size(), 2u);
+    EXPECT_TRUE(kernel->params[0].type.is_pointer);
+    EXPECT_EQ(kernel->body->stmts.size(), 2u);
+}
+
+TEST(ParserTest, UserFunctionAndCall)
+{
+    auto module = parse_module(R"(
+        float square(float x) { return x * x; }
+        __kernel void k(__global float* out) {
+            int i = get_global_id(0);
+            out[i] = square(2.0f);
+        }
+    )");
+    EXPECT_NE(module.find_function("square"), nullptr);
+    EXPECT_FALSE(module.find_function("square")->is_kernel);
+}
+
+TEST(ParserTest, CompoundAssignDesugars)
+{
+    auto module = parse_module(R"(
+        float f(float a) {
+            a += 2.0f;
+            return a;
+        }
+    )");
+    const auto& stmts = module.find_function("f")->body->stmts;
+    const auto* assign = stmt_as<Assign>(*stmts[0]);
+    ASSERT_NE(assign, nullptr);
+    const auto* add = expr_as<Binary>(*assign->value);
+    ASSERT_NE(add, nullptr);
+    EXPECT_EQ(add->op, BinaryOp::Add);
+}
+
+TEST(ParserTest, IncrementDesugarsInForStep)
+{
+    auto module = parse_module(R"(
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                s += i;
+            }
+            return s;
+        }
+    )");
+    const auto& stmts = module.find_function("f")->body->stmts;
+    const auto* loop = stmt_as<For>(*stmts[1]);
+    ASSERT_NE(loop, nullptr);
+    ASSERT_NE(loop->step, nullptr);
+    EXPECT_NE(stmt_as<Assign>(*loop->step), nullptr);
+}
+
+TEST(ParserTest, IntFloatCoercionInsertsCasts)
+{
+    auto module = parse_module(R"(
+        float f(int i) { return i * 0.5f; }
+    )");
+    int casts = 0;
+    for_each_expr(*module.find_function("f"), [&](const Expr& expr) {
+        if (expr.kind() == ExprKind::Cast)
+            ++casts;
+    });
+    EXPECT_GE(casts, 1);
+}
+
+TEST(ParserTest, PragmaAttachesToNextFunction)
+{
+    auto module = parse_module(R"(
+        #pragma paraprox scan
+        __kernel void scan_kernel(__global float* data) {
+            int i = get_global_id(0);
+            data[i] = data[i];
+        }
+        __kernel void other(__global float* data) {
+            int i = get_global_id(0);
+            data[i] = data[i];
+        }
+    )");
+    EXPECT_TRUE(module.find_function("scan_kernel")->pragmas.count("scan"));
+    EXPECT_FALSE(module.find_function("other")->pragmas.count("scan"));
+}
+
+TEST(ParserTest, SharedAndConstantQualifiers)
+{
+    auto module = parse_module(R"(
+        __kernel void k(__shared float* tile, __constant float* lut,
+                        __global float* out) {
+            int i = get_global_id(0);
+            out[i] = tile[0] + lut[0];
+        }
+    )");
+    const auto& params = module.find_function("k")->params;
+    EXPECT_EQ(params[0].type.space, AddrSpace::Shared);
+    EXPECT_EQ(params[1].type.space, AddrSpace::Constant);
+    EXPECT_EQ(params[2].type.space, AddrSpace::Global);
+}
+
+TEST(ParserTest, LocalIsAliasForShared)
+{
+    auto module = parse_module(R"(
+        __kernel void k(__local float* tile, __global float* out) {
+            int i = get_global_id(0);
+            out[i] = tile[0];
+        }
+    )");
+    EXPECT_EQ(module.find_function("k")->params[0].type.space,
+              AddrSpace::Shared);
+}
+
+TEST(ParserTest, TernaryAndLogicalOps)
+{
+    auto module = parse_module(R"(
+        float f(float a, float b) {
+            return (a > 0.0f && b > 0.0f) ? a : b;
+        }
+    )");
+    const auto* ret =
+        stmt_as<Return>(*module.find_function("f")->body->stmts[0]);
+    ASSERT_NE(ret, nullptr);
+    EXPECT_EQ(ret->value->kind(), ExprKind::Select);
+}
+
+TEST(ParserTest, ElseIfChain)
+{
+    auto module = parse_module(R"(
+        int f(int x) {
+            if (x > 2) { return 2; }
+            else if (x > 1) { return 1; }
+            else { return 0; }
+        }
+    )");
+    const auto* branch =
+        stmt_as<If>(*module.find_function("f")->body->stmts[0]);
+    ASSERT_NE(branch, nullptr);
+    ASSERT_NE(branch->else_body, nullptr);
+    EXPECT_NE(stmt_as<If>(*branch->else_body->stmts[0]), nullptr);
+}
+
+TEST(ParserTest, BarrierBecomesBarrierStmt)
+{
+    auto module = parse_module(R"(
+        __kernel void k(__global float* out) {
+            int i = get_global_id(0);
+            barrier();
+            out[i] = 1.0f;
+        }
+    )");
+    const auto& stmts = module.find_function("k")->body->stmts;
+    EXPECT_EQ(stmts[1]->kind(), StmtKind::Barrier);
+}
+
+// ---- Error cases ---------------------------------------------------------
+
+TEST(ParserErrorTest, UndeclaredVariable)
+{
+    EXPECT_THROW(parse_module("float f() { return x; }"), UserError);
+}
+
+TEST(ParserErrorTest, UndeclaredFunction)
+{
+    EXPECT_THROW(parse_module("float f() { return g(1.0f); }"), UserError);
+}
+
+TEST(ParserErrorTest, KernelMustReturnVoid)
+{
+    EXPECT_THROW(parse_module("__kernel float k() { return 1.0f; }"),
+                 UserError);
+}
+
+TEST(ParserErrorTest, DuplicateParameter)
+{
+    EXPECT_THROW(parse_module("float f(float a, float a) { return a; }"),
+                 UserError);
+}
+
+TEST(ParserErrorTest, Redefinition)
+{
+    EXPECT_THROW(parse_module("float f() { return 1.0f; }"
+                              "float f() { return 2.0f; }"),
+                 UserError);
+}
+
+TEST(ParserErrorTest, BuiltinNameCollision)
+{
+    EXPECT_THROW(parse_module("float sqrtf(float x) { return x; }"),
+                 UserError);
+}
+
+TEST(ParserErrorTest, ArityMismatch)
+{
+    EXPECT_THROW(parse_module("float f(float a) { return a; }"
+                              "float g() { return f(); }"),
+                 UserError);
+}
+
+TEST(ParserErrorTest, MissingReturnValue)
+{
+    EXPECT_THROW(parse_module("float f() { return; }"), UserError);
+}
+
+TEST(ParserErrorTest, QualifierWithoutPointer)
+{
+    EXPECT_THROW(parse_module("float f(__global float a) { return a; }"),
+                 UserError);
+}
+
+TEST(ParserErrorTest, ErrorsCarryPosition)
+{
+    try {
+        parse_module("float f() {\n  return x;\n}");
+        FAIL() << "expected throw";
+    } catch (const UserError& error) {
+        EXPECT_NE(std::string(error.what()).find("2:"), std::string::npos);
+    }
+}
+
+// ---- Round trips -----------------------------------------------------------
+
+TEST(RoundTripTest, PrintedSourceReparses)
+{
+    const char* source = R"(
+        float helper(float x, float y) {
+            float t = x * y + 1.5f;
+            if (t > 10.0f) { t = 10.0f; } else { t = t / 2.0f; }
+            return t;
+        }
+        __kernel void k(__global float* in, __global float* out, int n) {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            for (int j = 0; j < n; j = j + 1) {
+                acc += helper(in[i], (float)(j));
+            }
+            out[i] = acc;
+        }
+    )";
+    auto module = parse_module(source);
+    const std::string printed = to_source(module);
+    auto reparsed = parse_module(printed);
+    const std::string printed_again = to_source(reparsed);
+    EXPECT_EQ(printed, printed_again);
+}
+
+}  // namespace
+}  // namespace paraprox

@@ -1,0 +1,192 @@
+// Unit tests for quality metrics and the TOQ tuner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/quality.h"
+#include "runtime/tuner.h"
+#include "support/error.h"
+
+namespace paraprox::runtime {
+namespace {
+
+// ---- Metrics ----------------------------------------------------------------
+
+TEST(QualityTest, PerfectMatchIsHundred)
+{
+    std::vector<float> v = {1.0f, -2.0f, 3.0f};
+    EXPECT_DOUBLE_EQ(quality_percent(Metric::L1Norm, v, v), 100.0);
+    EXPECT_DOUBLE_EQ(quality_percent(Metric::L2Norm, v, v), 100.0);
+    EXPECT_DOUBLE_EQ(quality_percent(Metric::MeanRelativeError, v, v),
+                     100.0);
+}
+
+TEST(QualityTest, L1NormMatchesHandComputation)
+{
+    std::vector<float> exact = {2.0f, 2.0f};
+    std::vector<float> approx = {1.8f, 2.2f};
+    // err = 0.4, ref = 4 -> 90%.
+    EXPECT_NEAR(quality_percent(Metric::L1Norm, exact, approx), 90.0,
+                1e-4);
+}
+
+TEST(QualityTest, L2NormMatchesHandComputation)
+{
+    std::vector<float> exact = {3.0f, 4.0f};
+    std::vector<float> approx = {3.0f, 3.0f};
+    // rel l2 err = 1/5 -> 80%.
+    EXPECT_NEAR(quality_percent(Metric::L2Norm, exact, approx), 80.0,
+                1e-4);
+}
+
+TEST(QualityTest, MreMatchesHandComputation)
+{
+    std::vector<float> exact = {1.0f, 2.0f};
+    std::vector<float> approx = {0.9f, 2.2f};
+    // errors: 0.1, 0.1 -> mean 10% -> 90.
+    EXPECT_NEAR(quality_percent(Metric::MeanRelativeError, exact, approx),
+                90.0, 1e-4);
+}
+
+TEST(QualityTest, QualityFlooredAtZero)
+{
+    std::vector<float> exact = {1.0f};
+    std::vector<float> approx = {100.0f};
+    EXPECT_DOUBLE_EQ(quality_percent(Metric::L1Norm, exact, approx), 0.0);
+}
+
+TEST(QualityTest, NonFiniteSkipped)
+{
+    std::vector<float> exact = {1.0f, std::nanf(""), 3.0f};
+    std::vector<float> approx = {1.0f, 5.0f, 3.0f};
+    EXPECT_DOUBLE_EQ(quality_percent(Metric::L1Norm, exact, approx),
+                     100.0);
+}
+
+TEST(QualityTest, SizeMismatchRejected)
+{
+    EXPECT_THROW(quality_percent(Metric::L1Norm, {1.0f}, {1.0f, 2.0f}),
+                 UserError);
+}
+
+TEST(QualityTest, ElementErrors)
+{
+    auto errors = element_errors({2.0f, 4.0f}, {1.0f, 4.0f});
+    ASSERT_EQ(errors.size(), 2u);
+    EXPECT_DOUBLE_EQ(errors[0], 0.5);
+    EXPECT_DOUBLE_EQ(errors[1], 0.0);
+}
+
+// ---- Tuner -------------------------------------------------------------------
+
+/// A synthetic variant: produces `base + bias` with given cost.
+Variant
+fake_variant(const std::string& label, int aggressiveness, float bias,
+             double cycles, bool trap = false)
+{
+    return {label, aggressiveness, [bias, cycles, trap](std::uint64_t seed) {
+                VariantRun run;
+                run.output = {static_cast<float>(seed % 100) + bias,
+                              10.0f + bias};
+                run.modeled_cycles = cycles;
+                run.wall_seconds = cycles * 1e-9;
+                run.trapped = trap;
+                return run;
+            }};
+}
+
+TEST(TunerTest, PicksFastestMeetingToq)
+{
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(fake_variant("good", 1, 0.1f, 500.0));   // ~99%
+    variants.push_back(fake_variant("fast-bad", 2, 9.0f, 100.0));  // poor
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0);
+    tuner.calibrate({1, 2, 3});
+    EXPECT_EQ(tuner.selected_label(), "good");
+    const auto& profiles = tuner.profiles();
+    EXPECT_TRUE(profiles[1].meets_toq);
+    EXPECT_FALSE(profiles[2].meets_toq);
+    EXPECT_NEAR(profiles[1].speedup, 2.0, 1e-9);
+}
+
+TEST(TunerTest, FallsBackToExactWhenNothingQualifies)
+{
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(fake_variant("bad", 1, 50.0f, 10.0));
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0);
+    tuner.calibrate({1, 2});
+    EXPECT_EQ(tuner.selected_label(), "exact");
+}
+
+TEST(TunerTest, TrappedVariantNeverSelected)
+{
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(fake_variant("unsafe", 1, 0.0f, 1.0, true));
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0);
+    tuner.calibrate({1});
+    EXPECT_EQ(tuner.selected_label(), "exact");
+    EXPECT_TRUE(tuner.profiles()[1].trapped);
+}
+
+TEST(TunerTest, RuntimeViolationTriggersBackoff)
+{
+    // A variant that is fine during calibration (seeds < 100) but
+    // degrades at runtime (seeds >= 100).
+    Variant shifty{"shifty", 1, [](std::uint64_t seed) {
+                       VariantRun run;
+                       const float bias = seed >= 100 ? 50.0f : 0.01f;
+                       run.output = {static_cast<float>(seed % 7) + bias,
+                                     10.0f};
+                       run.modeled_cycles = 10.0;
+                       return run;
+                   }};
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(shifty);
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0,
+                /*check_interval=*/5);
+    tuner.calibrate({1, 2});
+    EXPECT_EQ(tuner.selected_label(), "shifty");
+    for (int i = 0; i < 10; ++i)
+        tuner.invoke(100 + i);
+    EXPECT_EQ(tuner.selected_label(), "exact");
+    EXPECT_GE(tuner.stats().violations, 1u);
+    EXPECT_GE(tuner.stats().backoffs, 1u);
+}
+
+TEST(TunerTest, AuditsEveryNthInvocation)
+{
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(fake_variant("good", 1, 0.01f, 100.0));
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0,
+                /*check_interval=*/10);
+    tuner.calibrate({1});
+    for (int i = 0; i < 100; ++i)
+        tuner.invoke(i);
+    EXPECT_EQ(tuner.stats().quality_checks, 10u);
+    EXPECT_EQ(tuner.stats().violations, 0u);
+}
+
+TEST(TunerTest, InvokeBeforeCalibrateRejected)
+{
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1.0));
+    Tuner tuner(std::move(variants), Metric::L1Norm, 90.0);
+    EXPECT_THROW(tuner.invoke(1), UserError);
+}
+
+TEST(TunerTest, FirstVariantMustBeExact)
+{
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("approx", 1, 0.0f, 1.0));
+    EXPECT_THROW(Tuner(std::move(variants), Metric::L1Norm, 90.0),
+                 UserError);
+}
+
+}  // namespace
+}  // namespace paraprox::runtime

@@ -1,0 +1,221 @@
+// Unit tests for the support library: error machinery, RNG, statistics,
+// and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "support/error.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace paraprox {
+namespace {
+
+TEST(ErrorTest, CheckThrowsUserError)
+{
+    EXPECT_THROW(PARAPROX_CHECK(false, "boom"), UserError);
+    EXPECT_NO_THROW(PARAPROX_CHECK(true, "fine"));
+}
+
+TEST(ErrorTest, AssertThrowsInternalError)
+{
+    EXPECT_THROW(PARAPROX_ASSERT(false, "bug"), InternalError);
+}
+
+TEST(ErrorTest, MessageContainsContext)
+{
+    try {
+        PARAPROX_CHECK(1 == 2, "custom message");
+        FAIL() << "expected throw";
+    } catch (const UserError& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("custom message"), std::string::npos);
+        EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(ErrorTest, BothDeriveFromError)
+{
+    EXPECT_THROW(throw UserError("u"), Error);
+    EXPECT_THROW(throw InternalError("i"), Error);
+}
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, FloatRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const float v = rng.next_float();
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(RngTest, UniformRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = rng.uniform(-3.0f, 5.0f);
+        EXPECT_GE(v, -3.0f);
+        EXPECT_LT(v, 5.0f);
+    }
+}
+
+TEST(RngTest, UniformIntInclusive)
+{
+    Rng rng(11);
+    std::set<int> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const int v = rng.uniform_int(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(RngTest, NextBelowRejectsZero)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.next_below(0), UserError);
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(13);
+    std::vector<double> samples(20000);
+    for (auto& s : samples)
+        samples[&s - samples.data()] = rng.normal();
+    EXPECT_NEAR(stats::mean(samples), 0.0, 0.05);
+    EXPECT_NEAR(stats::stddev(samples), 1.0, 0.05);
+}
+
+TEST(RngTest, NormalMeanStddev)
+{
+    Rng rng(17);
+    std::vector<double> samples(20000);
+    for (auto& s : samples)
+        s = rng.normal(10.0f, 2.0f);
+    EXPECT_NEAR(stats::mean(samples), 10.0, 0.1);
+    EXPECT_NEAR(stats::stddev(samples), 2.0, 0.1);
+}
+
+TEST(StatsTest, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(stats::mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stats::mean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(stats::mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, StddevBasics)
+{
+    EXPECT_DOUBLE_EQ(stats::stddev({1.0}), 0.0);
+    EXPECT_NEAR(stats::stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                2.0, 1e-12);
+}
+
+TEST(StatsTest, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(stats::geomean({}), 0.0);
+    EXPECT_NEAR(stats::geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_THROW(stats::geomean({1.0, -1.0}), UserError);
+}
+
+TEST(StatsTest, PercentileInterpolates)
+{
+    std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(stats::percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(stats::percentile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(stats::percentile(xs, 0.5), 2.5);
+    EXPECT_THROW(stats::percentile({}, 0.5), UserError);
+    EXPECT_THROW(stats::percentile(xs, 1.5), UserError);
+}
+
+TEST(StatsTest, CdfMonotonic)
+{
+    std::vector<double> xs = {0.1, 0.2, 0.3, 0.9};
+    auto points = stats::cdf(xs, 0.0, 1.0, 10);
+    ASSERT_EQ(points.size(), 10u);
+    double prev = 0.0;
+    for (const auto& p : points) {
+        EXPECT_GE(p.fraction, prev);
+        prev = p.fraction;
+    }
+    EXPECT_DOUBLE_EQ(points.back().fraction, 1.0);
+}
+
+TEST(StatsTest, FractionBelow)
+{
+    std::vector<double> xs = {0.05, 0.15, 0.25, 0.5};
+    EXPECT_DOUBLE_EQ(stats::fraction_below(xs, 0.2), 0.5);
+    EXPECT_DOUBLE_EQ(stats::fraction_below({}, 0.2), 0.0);
+}
+
+TEST(ThreadPoolTest, RunsAllIterations)
+{
+    std::atomic<int> sum{0};
+    parallel_for(1000, [&](std::size_t i) {
+        sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+}
+
+TEST(ThreadPoolTest, ZeroAndOneIterations)
+{
+    std::atomic<int> calls{0};
+    parallel_for(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+    parallel_for(1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions)
+{
+    EXPECT_THROW(parallel_for(100,
+                              [&](std::size_t i) {
+                                  if (i == 57)
+                                      throw UserError("from worker");
+                              }),
+                 UserError);
+}
+
+TEST(ThreadPoolTest, EachIndexVisitedOnce)
+{
+    std::vector<std::atomic<int>> visits(512);
+    parallel_for(512, [&](std::size_t i) { ++visits[i]; });
+    for (const auto& v : visits)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, PrivatePoolSize)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    std::atomic<int> sum{0};
+    pool.parallel_for(10, [&](std::size_t i) {
+        sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 45);
+}
+
+}  // namespace
+}  // namespace paraprox

@@ -1,0 +1,564 @@
+// Unit tests for the four approximation transforms, executed end-to-end:
+// each transformed kernel is compiled and launched, and its output is
+// compared against the exact kernel's.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/stencil.h"
+#include "exec/launch.h"
+#include "ir/printer.h"
+#include "memo/table.h"
+#include "parser/parser.h"
+#include "support/rng.h"
+#include "transforms/memoize.h"
+#include "transforms/reduction_tx.h"
+#include "transforms/scan_tx.h"
+#include "transforms/stencil_tx.h"
+#include "vm/compiler.h"
+
+namespace paraprox {
+namespace {
+
+using exec::ArgPack;
+using exec::Buffer;
+using exec::LaunchConfig;
+using namespace transforms;
+
+double
+mean_rel_err(const std::vector<float>& exact,
+             const std::vector<float>& approx)
+{
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+        const double denom =
+            std::max(1e-6, static_cast<double>(std::fabs(exact[i])));
+        acc += std::fabs(exact[i] - approx[i]) / denom;
+        ++n;
+    }
+    return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+// ---- Memoization -----------------------------------------------------------
+
+class MemoizeTest : public ::testing::Test {
+  protected:
+    static constexpr const char* kSource = R"(
+        float wave(float x, float y) {
+            return sinf(x) * 2.0f + cosf(y);
+        }
+        __kernel void k(__global float* xs, __global float* ys,
+                        __global float* out) {
+            int i = get_global_id(0);
+            out[i] = wave(xs[i], ys[i]);
+        }
+    )";
+
+    void
+    SetUp() override
+    {
+        module_ = parser::parse_module(kSource);
+        Rng rng(21);
+        xs_ = rng.uniform_vector(kN, 0.0f, 3.0f);
+        ys_ = rng.uniform_vector(kN, 0.0f, 3.0f);
+        // Exact run.
+        auto program = vm::compile_kernel(module_, "k");
+        Buffer xs = Buffer::from_floats(xs_);
+        Buffer ys = Buffer::from_floats(ys_);
+        Buffer out = Buffer::zeros_f32(kN);
+        ArgPack args;
+        args.buffer("xs", xs).buffer("ys", ys).buffer("out", out);
+        exec::launch(program, args, LaunchConfig::linear(kN, 32));
+        exact_ = out.to_floats();
+
+        // Training data + table.
+        std::vector<std::vector<float>> training(256);
+        Rng train_rng(4);
+        for (auto& sample : training)
+            sample = {train_rng.uniform(0.0f, 3.0f),
+                      train_rng.uniform(0.0f, 3.0f)};
+        memo::ScalarEvaluator evaluator(module_, "wave");
+        auto tuning = memo::bit_tune(evaluator, training, 12);
+        table_ = memo::build_table(evaluator, tuning.config);
+    }
+
+    std::vector<float>
+    run_variant(TableLocation location, LookupMode mode)
+    {
+        auto variant = memoize_kernel(module_, "k", "wave", table_,
+                                      location, mode);
+        auto program = vm::compile_kernel(variant.module,
+                                          variant.kernel_name);
+        Buffer xs = Buffer::from_floats(xs_);
+        Buffer ys = Buffer::from_floats(ys_);
+        Buffer out = Buffer::zeros_f32(kN);
+        Buffer table = Buffer::from_floats(variant.table.values);
+        ArgPack args;
+        args.buffer("xs", xs).buffer("ys", ys).buffer("out", out);
+        args.buffer(variant.table_buffer_param, table);
+        if (!variant.shared_table_param.empty()) {
+            args.shared(variant.shared_table_param,
+                        static_cast<std::int64_t>(
+                            variant.table.values.size()));
+        }
+        auto result = exec::launch(program, args,
+                                   LaunchConfig::linear(kN, 32));
+        EXPECT_FALSE(result.trapped) << result.trap_message;
+        return out.to_floats();
+    }
+
+    static constexpr int kN = 1024;
+    ir::Module module_;
+    std::vector<float> xs_, ys_, exact_;
+    memo::LookupTable table_;
+};
+
+TEST_F(MemoizeTest, GlobalNearestIsClose)
+{
+    auto approx = run_variant(TableLocation::Global, LookupMode::Nearest);
+    EXPECT_LT(mean_rel_err(exact_, approx), 0.10);
+}
+
+TEST_F(MemoizeTest, ConstantPlacementSameValues)
+{
+    auto global = run_variant(TableLocation::Global, LookupMode::Nearest);
+    auto constant = run_variant(TableLocation::Constant,
+                                LookupMode::Nearest);
+    EXPECT_EQ(global, constant);
+}
+
+TEST_F(MemoizeTest, SharedPlacementSameValues)
+{
+    auto global = run_variant(TableLocation::Global, LookupMode::Nearest);
+    auto shared = run_variant(TableLocation::Shared, LookupMode::Nearest);
+    EXPECT_EQ(global, shared);
+}
+
+TEST_F(MemoizeTest, LinearBeatsNearest)
+{
+    auto nearest = run_variant(TableLocation::Global, LookupMode::Nearest);
+    auto linear = run_variant(TableLocation::Global, LookupMode::Linear);
+    EXPECT_LT(mean_rel_err(exact_, linear),
+              mean_rel_err(exact_, nearest));
+}
+
+TEST_F(MemoizeTest, ApproxReducesInstructions)
+{
+    auto variant = memoize_kernel(module_, "k", "wave", table_,
+                                  TableLocation::Global,
+                                  LookupMode::Nearest);
+    auto exact_prog = vm::compile_kernel(module_, "k");
+    auto approx_prog = vm::compile_kernel(variant.module,
+                                          variant.kernel_name);
+
+    Buffer xs = Buffer::from_floats(xs_);
+    Buffer ys = Buffer::from_floats(ys_);
+    Buffer out = Buffer::zeros_f32(kN);
+    Buffer table = Buffer::from_floats(variant.table.values);
+    ArgPack exact_args;
+    exact_args.buffer("xs", xs).buffer("ys", ys).buffer("out", out);
+    auto exact_result = exec::launch(exact_prog, exact_args,
+                                     LaunchConfig::linear(kN, 32));
+    ArgPack approx_args;
+    approx_args.buffer("xs", xs).buffer("ys", ys).buffer("out", out);
+    approx_args.buffer(variant.table_buffer_param, table);
+    auto approx_result = exec::launch(approx_prog, approx_args,
+                                      LaunchConfig::linear(kN, 32));
+    // Transcendentals disappear entirely.
+    EXPECT_EQ(approx_result.stats.count(vm::Opcode::Sin), 0u);
+    EXPECT_GT(exact_result.stats.count(vm::Opcode::Sin), 0u);
+}
+
+TEST_F(MemoizeTest, GeneratedSourceReparses)
+{
+    auto variant = memoize_kernel(module_, "k", "wave", table_,
+                                  TableLocation::Shared,
+                                  LookupMode::Linear);
+    const std::string printed = ir::to_source(variant.module);
+    EXPECT_NO_THROW(parser::parse_module(printed));
+}
+
+// ---- Stencil ---------------------------------------------------------------
+
+class StencilTxTest : public ::testing::Test {
+  protected:
+    static constexpr const char* kSource = R"(
+        __kernel void blur(__global float* in, __global float* out, int w) {
+            int x = get_global_id(0) + 1;
+            int y = get_global_id(1) + 1;
+            float acc = in[(y - 1) * w + x - 1] + in[(y - 1) * w + x]
+                      + in[(y - 1) * w + x + 1] + in[y * w + x - 1]
+                      + in[y * w + x] + in[y * w + x + 1]
+                      + in[(y + 1) * w + x - 1] + in[(y + 1) * w + x]
+                      + in[(y + 1) * w + x + 1];
+            out[y * w + x] = acc / 9.0f;
+        }
+    )";
+    static constexpr int kW = 66;   // 64 interior + border
+    static constexpr int kH = 66;
+
+    void
+    SetUp() override
+    {
+        module_ = parser::parse_module(kSource);
+        // Smooth image: neighbouring pixels similar (the §3.2.1
+        // assumption).
+        image_.resize(kW * kH);
+        for (int y = 0; y < kH; ++y)
+            for (int x = 0; x < kW; ++x)
+                image_[y * kW + x] =
+                    10.0f + std::sin(x * 0.1f) * 3.0f +
+                    std::cos(y * 0.08f) * 2.0f;
+        exact_ = run_kernel(module_, "blur");
+    }
+
+    std::vector<float>
+    run_kernel(const ir::Module& module, const std::string& name)
+    {
+        auto program = vm::compile_kernel(module, name);
+        Buffer in = Buffer::from_floats(image_);
+        Buffer out = Buffer::zeros_f32(kW * kH);
+        ArgPack args;
+        args.buffer("in", in).buffer("out", out).scalar("w", kW);
+        auto result = exec::launch(program, args,
+                                   LaunchConfig::grid2d(kW - 2, kH - 2, 8,
+                                                        8));
+        EXPECT_FALSE(result.trapped) << result.trap_message;
+        last_stats_ = result.stats;
+        return out.to_floats();
+    }
+
+    ir::Module module_;
+    std::vector<float> image_, exact_;
+    vm::ExecStats last_stats_;
+};
+
+TEST_F(StencilTxTest, CenterSchemeCollapsesLoads)
+{
+    auto groups =
+        analysis::detect_stencils(*module_.find_function("blur"));
+    ASSERT_EQ(groups.size(), 1u);
+    auto variant = stencil_approx(module_, "blur", groups[0],
+                                  StencilScheme::Center, 1);
+    EXPECT_EQ(variant.loads_before, 9);
+    EXPECT_EQ(variant.loads_after, 1);
+
+    auto exact_loads = [&] {
+        run_kernel(module_, "blur");
+        return last_stats_.count(vm::Opcode::Ld);
+    }();
+    auto approx = run_kernel(variant.module, variant.kernel_name);
+    EXPECT_LT(last_stats_.count(vm::Opcode::Ld), exact_loads / 4);
+    EXPECT_LT(mean_rel_err(exact_, approx), 0.05);
+}
+
+TEST_F(StencilTxTest, RowSchemeKeepsColumns)
+{
+    auto groups =
+        analysis::detect_stencils(*module_.find_function("blur"));
+    auto variant = stencil_approx(module_, "blur", groups[0],
+                                  StencilScheme::Row, 1);
+    EXPECT_EQ(variant.loads_after, 3);  // one row of three columns
+    auto approx = run_kernel(variant.module, variant.kernel_name);
+    EXPECT_LT(mean_rel_err(exact_, approx), 0.05);
+}
+
+TEST_F(StencilTxTest, ColumnSchemeKeepsRows)
+{
+    auto groups =
+        analysis::detect_stencils(*module_.find_function("blur"));
+    auto variant = stencil_approx(module_, "blur", groups[0],
+                                  StencilScheme::Column, 1);
+    EXPECT_EQ(variant.loads_after, 3);
+    auto approx = run_kernel(variant.module, variant.kernel_name);
+    EXPECT_LT(mean_rel_err(exact_, approx), 0.05);
+}
+
+TEST_F(StencilTxTest, ZeroReachingDistanceIsExact)
+{
+    auto groups =
+        analysis::detect_stencils(*module_.find_function("blur"));
+    auto variant = stencil_approx(module_, "blur", groups[0],
+                                  StencilScheme::Center, 0);
+    auto approx = run_kernel(variant.module, variant.kernel_name);
+    for (std::size_t i = 0; i < exact_.size(); ++i)
+        ASSERT_FLOAT_EQ(exact_[i], approx[i]);
+}
+
+TEST_F(StencilTxTest, GeneratedSourceReparses)
+{
+    auto groups =
+        analysis::detect_stencils(*module_.find_function("blur"));
+    auto variant = stencil_approx(module_, "blur", groups[0],
+                                  StencilScheme::Row, 1);
+    EXPECT_NO_THROW(parser::parse_module(ir::to_source(variant.module)));
+}
+
+// ---- Reduction -----------------------------------------------------------------
+
+class ReductionTxTest : public ::testing::Test {
+  protected:
+    static constexpr const char* kSource = R"(
+        __kernel void sum(__global float* in, __global float* out, int n) {
+            int t = get_global_id(0);
+            float acc = 0.0f;
+            for (int i = 0; i < n; i++) { acc += in[t * n + i]; }
+            out[t] = acc;
+        }
+    )";
+    static constexpr int kThreads = 64;
+    static constexpr int kPerThread = 256;
+
+    void
+    SetUp() override
+    {
+        module_ = parser::parse_module(kSource);
+        Rng rng(9);
+        data_ = rng.uniform_vector(kThreads * kPerThread, 0.0f, 1.0f);
+        exact_ = run(module_, "sum");
+    }
+
+    std::vector<float>
+    run(const ir::Module& module, const std::string& name)
+    {
+        auto program = vm::compile_kernel(module, name);
+        Buffer in = Buffer::from_floats(data_);
+        Buffer out = Buffer::zeros_f32(kThreads);
+        ArgPack args;
+        args.buffer("in", in).buffer("out", out).scalar("n", kPerThread);
+        auto result = exec::launch(program, args,
+                                   LaunchConfig::linear(kThreads, 16));
+        EXPECT_FALSE(result.trapped) << result.trap_message;
+        last_stats_ = result.stats;
+        return out.to_floats();
+    }
+
+    ir::Module module_;
+    std::vector<float> data_, exact_;
+    vm::ExecStats last_stats_;
+};
+
+TEST_F(ReductionTxTest, SkipRateReducesWork)
+{
+    auto variant = reduction_approx(module_, "sum", 0, 4);
+    EXPECT_TRUE(variant.adjusted);
+    run(module_, "sum");
+    const auto exact_loads = last_stats_.count(vm::Opcode::Ld);
+    auto approx = run(variant.module, variant.kernel_name);
+    EXPECT_LT(last_stats_.count(vm::Opcode::Ld), exact_loads / 3);
+    EXPECT_LT(mean_rel_err(exact_, approx), 0.10);
+}
+
+TEST_F(ReductionTxTest, AdjustmentImprovesAdditiveReductions)
+{
+    auto adjusted = reduction_approx(module_, "sum", 0, 4, true);
+    auto raw = reduction_approx(module_, "sum", 0, 4, false);
+    auto with_adj = run(adjusted.module, adjusted.kernel_name);
+    auto without = run(raw.module, raw.kernel_name);
+    EXPECT_LT(mean_rel_err(exact_, with_adj),
+              mean_rel_err(exact_, without) / 2);
+}
+
+TEST_F(ReductionTxTest, ErrorGrowsWithSkipRate)
+{
+    auto mild = reduction_approx(module_, "sum", 0, 2);
+    auto harsh = reduction_approx(module_, "sum", 0, 16);
+    auto mild_out = run(mild.module, mild.kernel_name);
+    auto harsh_out = run(harsh.module, harsh.kernel_name);
+    EXPECT_LT(mean_rel_err(exact_, mild_out),
+              mean_rel_err(exact_, harsh_out));
+}
+
+TEST_F(ReductionTxTest, NonZeroInitialValueHandled)
+{
+    // The adjustment must not scale the reduction variable's initial
+    // value (§3.3.3's temporary-variable fix).
+    auto module = parser::parse_module(R"(
+        __kernel void sum100(__global float* in, __global float* out,
+                             int n) {
+            int t = get_global_id(0);
+            float acc = 100.0f;
+            for (int i = 0; i < n; i++) { acc += in[t * n + i]; }
+            out[t] = acc;
+        }
+    )");
+    auto variant = reduction_approx(module, "sum100", 0, 4);
+    auto program = vm::compile_kernel(variant.module, variant.kernel_name);
+    Buffer in = Buffer::from_floats(data_);
+    Buffer out = Buffer::zeros_f32(kThreads);
+    ArgPack args;
+    args.buffer("in", in).buffer("out", out).scalar("n", kPerThread);
+    exec::launch(program, args, LaunchConfig::linear(kThreads, 16));
+    // Expected: ~100 + sum(row).  If the initial value were scaled the
+    // result would be off by ~300.
+    for (int t = 0; t < kThreads; ++t) {
+        float row_sum = 0.0f;
+        for (int i = 0; i < kPerThread; ++i)
+            row_sum += data_[t * kPerThread + i];
+        EXPECT_NEAR(out.get_float(t), 100.0f + row_sum,
+                    0.15f * row_sum + 1.0f);
+    }
+}
+
+TEST_F(ReductionTxTest, AtomicIncBecomesScaledAdd)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void count(__global int* hist, int n) {
+            int t = get_global_id(0);
+            for (int i = 0; i < n; i++) { atomic_inc(hist, 0); }
+        }
+    )");
+    auto variant = reduction_approx(module, "count", 0, 4);
+    auto program = vm::compile_kernel(variant.module, variant.kernel_name);
+    Buffer hist = Buffer::zeros_i32(1);
+    ArgPack args;
+    args.buffer("hist", hist).scalar("n", 100);
+    exec::launch(program, args, LaunchConfig::linear(8, 8));
+    // Exact count would be 800; sampled 25 iterations x 4 x 8 = 800.
+    EXPECT_EQ(hist.get_int(0), 800);
+}
+
+TEST_F(ReductionTxTest, MinReductionSampledWithoutAdjustment)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void mn(__global float* in, __global float* out, int n) {
+            float best = 1e30f;
+            for (int i = 0; i < n; i++) { best = fminf(best, in[i]); }
+            out[0] = best;
+        }
+    )");
+    auto variant = reduction_approx(module, "mn", 0, 2);
+    EXPECT_FALSE(variant.adjusted);
+    auto program = vm::compile_kernel(variant.module, variant.kernel_name);
+    Buffer in = Buffer::from_floats(data_);
+    Buffer out = Buffer::zeros_f32(1);
+    ArgPack args;
+    args.buffer("in", in).buffer("out", out)
+        .scalar("n", static_cast<int>(data_.size()));
+    exec::launch(program, args, LaunchConfig::linear(1, 1));
+    // Sampled min is an upper bound on the true min and should be close.
+    float true_min = data_[0];
+    for (float v : data_)
+        true_min = std::min(true_min, v);
+    EXPECT_GE(out.get_float(0), true_min);
+    EXPECT_LT(out.get_float(0), true_min + 0.05f);
+}
+
+TEST_F(StencilTxTest, CrossStatementSharingReusesOneLoad)
+{
+    // Loads of the same representative spread over several statements
+    // must share one temp (block-level CSE).
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* in, __global float* out, int w) {
+            int x = get_global_id(0) + 1;
+            int y = get_global_id(1) + 1;
+            float a = in[(y - 1) * w + x];
+            float c = in[y * w + x];
+            float d = in[(y + 1) * w + x];
+            out[y * w + x] = (a + c + d) / 3.0f;
+        }
+    )");
+    auto groups = analysis::detect_stencils(*module.find_function("k"));
+    ASSERT_EQ(groups.size(), 1u);
+    auto variant = stencil_approx(module, "k", groups[0],
+                                  StencilScheme::Center, 1);
+    EXPECT_EQ(variant.loads_before, 3);
+    EXPECT_EQ(variant.loads_after, 1);
+}
+
+TEST_F(StencilTxTest, IndexVariableWriteInvalidatesSharedTemps)
+{
+    // `x` is reassigned between two tile reads: the second read must NOT
+    // reuse the first temp (its captured address is stale).
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* in, __global float* out, int w) {
+            int x = get_global_id(0) + 1;
+            int y = get_global_id(1) + 1;
+            float a = in[y * w + x - 1] + in[y * w + x + 1];
+            x = x + 1;
+            float c = in[y * w + x - 1] + in[y * w + x + 1];
+            out[y * w + x] = a + c;
+        }
+    )");
+    auto groups = analysis::detect_stencils(*module.find_function("k"));
+    ASSERT_EQ(groups.size(), 1u);
+    auto variant = stencil_approx(module, "k", groups[0],
+                                  StencilScheme::Center, 1);
+    // Two statements, each merging into one representative, but no
+    // sharing across the reassignment: two temps.
+    EXPECT_EQ(variant.loads_after, 2);
+
+    // And the output must match the semantics of merging per statement.
+    constexpr int kW = 36, kH = 8;
+    std::vector<float> image(kW * kH);
+    for (int i = 0; i < kW * kH; ++i)
+        image[i] = static_cast<float>(i % 17);
+    auto run = [&](const ir::Module& m, const std::string& kernel) {
+        Buffer in = Buffer::from_floats(image);
+        Buffer out = Buffer::zeros_f32(kW * kH);
+        ArgPack args;
+        args.buffer("in", in).buffer("out", out).scalar("w", kW);
+        auto result = exec::launch(vm::compile_kernel(m, kernel), args,
+                                   LaunchConfig::grid2d(kW - 4, kH - 2,
+                                                        16, 2));
+        EXPECT_FALSE(result.trapped);
+        return out.to_floats();
+    };
+    // The merged kernel reads the center of each statement's tile: with
+    // rd=1 both reads collapse to in[y*w+x] then (post increment)
+    // in[y*w+x+1] -- verify against a hand-derived expectation.
+    auto approx = run(variant.module, variant.kernel_name);
+    for (int y = 1; y < kH - 1; ++y) {
+        for (int x0 = 1; x0 < kW - 3; ++x0) {
+            const float expect = 2.0f * image[y * kW + x0] +
+                                 2.0f * image[y * kW + x0 + 1];
+            ASSERT_FLOAT_EQ(approx[y * kW + x0 + 1], expect)
+                << y << "," << x0;
+        }
+    }
+}
+
+// ---- Scan -------------------------------------------------------------------------
+
+TEST(ScanTxTest, PlanGeometry)
+{
+    auto plan = scan_approx(16, 4, 256);
+    EXPECT_EQ(plan.computed_subarrays, 12);
+    EXPECT_EQ(plan.skipped_subarrays, 4);
+    EXPECT_EQ(plan.computed_elements(), 12 * 256);
+    EXPECT_EQ(plan.skipped_elements(), 4 * 256);
+    EXPECT_NE(plan.module.find_function(plan.tail_kernel), nullptr);
+}
+
+TEST(ScanTxTest, RejectsSkippingEverything)
+{
+    EXPECT_THROW(scan_approx(8, 8, 64), UserError);
+    EXPECT_THROW(scan_approx(0, 0, 64), UserError);
+}
+
+TEST(ScanTxTest, TailKernelSynthesizesShiftedHead)
+{
+    // out[0..computed) already holds the computed scan; the tail kernel
+    // must produce out[computed + i] = out[i % computed] + total * wraps.
+    auto plan = scan_approx(4, 2, 4);  // computed = 8 elements, skip 8
+    auto program = vm::compile_kernel(plan.module, plan.tail_kernel);
+
+    std::vector<float> out_init(16, 0.0f);
+    for (int i = 0; i < 8; ++i)
+        out_init[i] = static_cast<float>(i + 1);  // scan of all-ones
+    Buffer out = Buffer::from_floats(out_init);
+    Buffer sums = Buffer::from_floats({4.0f, 8.0f});  // phase-II scan
+    ArgPack args;
+    args.buffer("out", out).buffer("sums_scan", sums)
+        .scalar("computed", 8).scalar("last_sum", 1);
+    auto result = exec::launch(program, args, LaunchConfig::linear(8, 4));
+    ASSERT_FALSE(result.trapped) << result.trap_message;
+    // Input was implicitly all ones: full scan = 1..16.
+    for (int i = 0; i < 16; ++i)
+        EXPECT_FLOAT_EQ(out.get_float(i), static_cast<float>(i + 1)) << i;
+}
+
+}  // namespace
+}  // namespace paraprox

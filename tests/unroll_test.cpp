@@ -1,0 +1,231 @@
+// Tests for the constant-trip loop unroller and its use by the compiler
+// driver to approximate loop-shaped stencils.
+
+#include <gtest/gtest.h>
+
+#include "analysis/stencil.h"
+#include "apps/common.h"
+#include "core/paraprox.h"
+#include "exec/launch.h"
+#include "ir/printer.h"
+#include "ir/visitor.h"
+#include "parser/parser.h"
+#include "runtime/quality.h"
+#include "support/rng.h"
+#include "transforms/stencil_tx.h"
+#include "transforms/unroll.h"
+#include "vm/compiler.h"
+
+namespace paraprox {
+namespace {
+
+using exec::ArgPack;
+using exec::Buffer;
+using exec::LaunchConfig;
+
+int
+count_loops(const ir::Function& function)
+{
+    int loops = 0;
+    ir::for_each_stmt(function, [&](const ir::Stmt& stmt) {
+        if (stmt.kind() == ir::StmtKind::For)
+            ++loops;
+    });
+    return loops;
+}
+
+TEST(UnrollTest, FullyUnrollsConstantLoop)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* out) {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            for (int j = 0; j < 4; j++) {
+                acc += (float)(j) * 2.0f;
+            }
+            out[i] = acc;
+        }
+    )");
+    int unrolled = 0;
+    auto result = transforms::unroll_constant_loops(module, "k", 64,
+                                                    &unrolled);
+    EXPECT_EQ(unrolled, 1);
+    EXPECT_EQ(count_loops(*result.find_function("k")), 0);
+
+    // Semantics preserved.
+    Buffer out = Buffer::zeros_f32(4);
+    ArgPack args;
+    args.buffer("out", out);
+    exec::launch(vm::compile_kernel(result, "k"), args,
+                 LaunchConfig::linear(4, 4));
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(out.get_float(i), 12.0f);
+}
+
+TEST(UnrollTest, NestedLoopsUnrollRecursively)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global int* out) {
+            int i = get_global_id(0);
+            int acc = 0;
+            for (int a = 0; a < 3; a++) {
+                for (int b = 0; b < 2; b++) {
+                    acc += a * 10 + b;
+                }
+            }
+            out[i] = acc;
+        }
+    )");
+    int unrolled = 0;
+    auto result = transforms::unroll_constant_loops(module, "k", 64,
+                                                    &unrolled);
+    EXPECT_EQ(count_loops(*result.find_function("k")), 0);
+    EXPECT_EQ(unrolled, 4);  // outer once + inner three times
+
+    Buffer out = Buffer::zeros_i32(1);
+    ArgPack args;
+    args.buffer("out", out);
+    exec::launch(vm::compile_kernel(result, "k"), args,
+                 LaunchConfig::linear(1, 1));
+    EXPECT_EQ(out.get_int(0), 0 + 1 + 10 + 11 + 20 + 21);
+}
+
+TEST(UnrollTest, BodyDeclsRenamedApart)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* out) {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            for (int j = 0; j < 3; j++) {
+                float t = (float)(j) + 1.0f;
+                acc += t * t;
+            }
+            out[i] = acc;
+        }
+    )");
+    auto result = transforms::unroll_constant_loops(module, "k");
+    // The unrolled source must reparse: duplicate `t` declarations in one
+    // scope would be rejected.
+    EXPECT_NO_THROW(parser::parse_module(ir::to_source(result)));
+
+    Buffer out = Buffer::zeros_f32(1);
+    ArgPack args;
+    args.buffer("out", out);
+    exec::launch(vm::compile_kernel(result, "k"), args,
+                 LaunchConfig::linear(1, 1));
+    EXPECT_FLOAT_EQ(out.get_float(0), 1.0f + 4.0f + 9.0f);
+}
+
+TEST(UnrollTest, NonConstantLoopsLeftAlone)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* out, int n) {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            for (int j = 0; j < n; j++) { acc += 1.0f; }
+            out[i] = acc;
+        }
+    )");
+    int unrolled = 0;
+    auto result = transforms::unroll_constant_loops(module, "k", 64,
+                                                    &unrolled);
+    EXPECT_EQ(unrolled, 0);
+    EXPECT_EQ(count_loops(*result.find_function("k")), 1);
+}
+
+TEST(UnrollTest, TripBudgetRespected)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* out) {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            for (int j = 0; j < 100; j++) { acc += 1.0f; }
+            out[i] = acc;
+        }
+    )");
+    int unrolled = 0;
+    transforms::unroll_constant_loops(module, "k", 16, &unrolled);
+    EXPECT_EQ(unrolled, 0);
+}
+
+TEST(UnrollTest, EnablesStencilMergeOnLoopShapedTile)
+{
+    // Gaussian written with loops: detection sees a 3x3 tile; unrolling
+    // then lets the tile transform actually merge loads.
+    auto module = parser::parse_module(R"(
+        __kernel void blur(__global float* in, __global float* out,
+                           int w) {
+            int x = get_global_id(0) + 1;
+            int y = get_global_id(1) + 1;
+            float acc = 0.0f;
+            for (int dy = -1; dy < 2; dy++) {
+                for (int dx = -1; dx < 2; dx++) {
+                    acc += in[(y + dy) * w + x + dx];
+                }
+            }
+            out[y * w + x] = acc / 9.0f;
+        }
+    )");
+    auto unrolled = transforms::unroll_constant_loops(module, "blur");
+    auto groups =
+        analysis::detect_stencils(*unrolled.find_function("blur"));
+    ASSERT_EQ(groups.size(), 1u);
+    auto variant = transforms::stencil_approx(
+        unrolled, "blur", groups[0], transforms::StencilScheme::Center, 1);
+    EXPECT_EQ(variant.loads_before, 9);
+    EXPECT_EQ(variant.loads_after, 1);
+
+    // Quality on a smooth image.
+    constexpr int kW = 66, kH = 66;
+    auto image = apps::make_correlated_image(kW, kH, 12);
+    auto run = [&](const ir::Module& m, const std::string& kernel) {
+        Buffer in = Buffer::from_floats(image);
+        Buffer out = Buffer::zeros_f32(kW * kH);
+        ArgPack args;
+        args.buffer("in", in).buffer("out", out).scalar("w", kW);
+        exec::launch(vm::compile_kernel(m, kernel), args,
+                     LaunchConfig::grid2d(kW - 2, kH - 2, 16, 4));
+        return out.to_floats();
+    };
+    const auto exact = run(module, "blur");
+    const auto approx = run(variant.module, variant.kernel_name);
+    EXPECT_GE(runtime::quality_percent(runtime::Metric::MeanRelativeError,
+                                       exact, approx),
+              95.0);
+}
+
+TEST(UnrollTest, DriverUnrollsLoopShapedStencils)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void blur(__global float* in, __global float* out,
+                           int w) {
+            int x = get_global_id(0) + 1;
+            int y = get_global_id(1) + 1;
+            float acc = 0.0f;
+            for (int dy = -1; dy < 2; dy++) {
+                for (int dx = -1; dx < 2; dx++) {
+                    acc += in[(y + dy) * w + x + dx];
+                }
+            }
+            out[y * w + x] = acc / 9.0f;
+        }
+    )");
+    core::CompileOptions options;
+    options.training = core::uniform_training(0.0f, 1.0f);
+    auto result = core::compile_kernel(module, "blur", options);
+
+    bool stencil_generated = false;
+    for (const auto& generated : result.generated) {
+        if (generated.pattern == analysis::PatternKind::Stencil)
+            stencil_generated = true;
+    }
+    EXPECT_TRUE(stencil_generated);
+    bool unroll_noted = false;
+    for (const auto& note : result.notes)
+        unroll_noted = unroll_noted ||
+                       note.find("unrolling") != std::string::npos;
+    EXPECT_TRUE(unroll_noted);
+}
+
+}  // namespace
+}  // namespace paraprox

@@ -1,0 +1,390 @@
+// Unit tests for the bytecode compiler and VM, driven end-to-end through
+// the parser and exec layers (parse -> compile -> launch -> inspect).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/launch.h"
+#include "parser/parser.h"
+#include "support/error.h"
+#include "vm/compiler.h"
+
+namespace paraprox {
+namespace {
+
+using exec::ArgPack;
+using exec::Buffer;
+using exec::LaunchConfig;
+using vm::compile_kernel;
+using vm::Opcode;
+
+/// Compile the single kernel in @p source and run it over @p n work-items.
+exec::LaunchResult
+run1d(const std::string& source, ArgPack& args, int global, int local = 1)
+{
+    auto module = parser::parse_module(source);
+    auto kernels = module.kernels();
+    auto program = compile_kernel(module, kernels[0]->name);
+    return exec::launch(program, args, LaunchConfig::linear(global, local));
+}
+
+TEST(VmTest, CopyKernel)
+{
+    Buffer in = Buffer::from_floats({1.0f, 2.0f, 3.0f, 4.0f});
+    Buffer out = Buffer::zeros_f32(4);
+    ArgPack args;
+    args.buffer("in", in).buffer("out", out);
+    auto result = run1d(R"(
+        __kernel void copy(__global float* in, __global float* out) {
+            int i = get_global_id(0);
+            out[i] = in[i];
+        }
+    )", args, 4);
+    EXPECT_FALSE(result.trapped);
+    EXPECT_EQ(out.to_floats(), in.to_floats());
+}
+
+TEST(VmTest, ArithmeticAndMath)
+{
+    Buffer out = Buffer::zeros_f32(1);
+    ArgPack args;
+    args.buffer("out", out);
+    run1d(R"(
+        __kernel void k(__global float* out) {
+            float a = sqrtf(16.0f) + expf(0.0f) - logf(1.0f);
+            float b = powf(2.0f, 3.0f) + fabsf(-1.0f);
+            float c = fminf(3.0f, 4.0f) + fmaxf(3.0f, 4.0f) + floorf(2.7f);
+            out[0] = a + b + c;
+        }
+    )", args, 1);
+    // a=5, b=9, c=3+4+2=9 -> 23.
+    EXPECT_FLOAT_EQ(out.get_float(0), 23.0f);
+}
+
+TEST(VmTest, IntOps)
+{
+    Buffer out = Buffer::zeros_i32(8);
+    ArgPack args;
+    args.buffer("out", out);
+    run1d(R"(
+        __kernel void k(__global int* out) {
+            out[0] = 7 / 2;
+            out[1] = 7 % 3;
+            out[2] = 1 << 4;
+            out[3] = 256 >> 2;
+            out[4] = 12 & 10;
+            out[5] = 12 | 3;
+            out[6] = 5 ^ 1;
+            out[7] = min(3, max(9, 4));
+        }
+    )", args, 1);
+    auto v = out.to_ints();
+    EXPECT_EQ(v[0], 3);
+    EXPECT_EQ(v[1], 1);
+    EXPECT_EQ(v[2], 16);
+    EXPECT_EQ(v[3], 64);
+    EXPECT_EQ(v[4], 8);
+    EXPECT_EQ(v[5], 15);
+    EXPECT_EQ(v[6], 4);
+    EXPECT_EQ(v[7], 3);
+}
+
+TEST(VmTest, ControlFlow)
+{
+    Buffer out = Buffer::zeros_i32(16);
+    ArgPack args;
+    args.buffer("out", out);
+    run1d(R"(
+        __kernel void k(__global int* out) {
+            int i = get_global_id(0);
+            if (i % 2 == 0) {
+                out[i] = i * 10;
+            } else {
+                out[i] = -i;
+            }
+        }
+    )", args, 16);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(out.get_int(i), i % 2 == 0 ? i * 10 : -i);
+}
+
+TEST(VmTest, LoopAccumulation)
+{
+    Buffer out = Buffer::zeros_i32(1);
+    ArgPack args;
+    args.buffer("out", out).scalar("n", 100);
+    run1d(R"(
+        __kernel void k(__global int* out, int n) {
+            int sum = 0;
+            for (int i = 0; i < n; i++) { sum += i; }
+            out[0] = sum;
+        }
+    )", args, 1);
+    EXPECT_EQ(out.get_int(0), 4950);
+}
+
+TEST(VmTest, UserFunctionInlining)
+{
+    Buffer out = Buffer::zeros_f32(4);
+    ArgPack args;
+    args.buffer("out", out);
+    run1d(R"(
+        float poly(float x) {
+            if (x < 0.0f) { return -x; }
+            return x * x + 1.0f;
+        }
+        __kernel void k(__global float* out) {
+            int i = get_global_id(0);
+            out[i] = poly((float)(i) - 2.0f);
+        }
+    )", args, 4);
+    EXPECT_FLOAT_EQ(out.get_float(0), 2.0f);   // |-2|
+    EXPECT_FLOAT_EQ(out.get_float(1), 1.0f);   // |-1|
+    EXPECT_FLOAT_EQ(out.get_float(2), 1.0f);   // 0^2+1
+    EXPECT_FLOAT_EQ(out.get_float(3), 2.0f);   // 1^2+1
+}
+
+TEST(VmTest, NestedInlining)
+{
+    Buffer out = Buffer::zeros_f32(1);
+    ArgPack args;
+    args.buffer("out", out);
+    run1d(R"(
+        float inner(float x) { return x + 1.0f; }
+        float outer(float x) { return inner(x) * inner(x + 1.0f); }
+        __kernel void k(__global float* out) {
+            out[0] = outer(1.0f);
+        }
+    )", args, 1);
+    EXPECT_FLOAT_EQ(out.get_float(0), 6.0f);  // (1+1)*(2+1)
+}
+
+TEST(VmTest, GeometryBuiltins)
+{
+    Buffer out = Buffer::zeros_i32(6);
+    ArgPack args;
+    args.buffer("out", out);
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global int* out) {
+            int g = get_global_id(0);
+            if (g == 5) {
+                out[0] = get_global_id(0);
+                out[1] = get_local_id(0);
+                out[2] = get_group_id(0);
+                out[3] = get_local_size(0);
+                out[4] = get_num_groups(0);
+                out[5] = get_global_size(0);
+            }
+        }
+    )");
+    auto program = compile_kernel(module, "k");
+    exec::launch(program, args, LaunchConfig::linear(8, 4));
+    EXPECT_EQ(out.get_int(0), 5);
+    EXPECT_EQ(out.get_int(1), 1);
+    EXPECT_EQ(out.get_int(2), 1);
+    EXPECT_EQ(out.get_int(3), 4);
+    EXPECT_EQ(out.get_int(4), 2);
+    EXPECT_EQ(out.get_int(5), 8);
+}
+
+TEST(VmTest, TwoDimensionalLaunch)
+{
+    Buffer out = Buffer::zeros_i32(12);
+    ArgPack args;
+    args.buffer("out", out).scalar("w", 4);
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global int* out, int w) {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            out[y * w + x] = y * 100 + x;
+        }
+    )");
+    auto program = compile_kernel(module, "k");
+    exec::launch(program, args, LaunchConfig::grid2d(4, 3, 2, 1));
+    for (int y = 0; y < 3; ++y)
+        for (int x = 0; x < 4; ++x)
+            EXPECT_EQ(out.get_int(y * 4 + x), y * 100 + x);
+}
+
+TEST(VmTest, AtomicsAccumulateAcrossGroups)
+{
+    Buffer counter = Buffer::zeros_i32(1);
+    Buffer fsum = Buffer::zeros_f32(1);
+    ArgPack args;
+    args.buffer("counter", counter).buffer("fsum", fsum);
+    run1d(R"(
+        __kernel void k(__global int* counter, __global float* fsum) {
+            atomic_inc(counter, 0);
+            atomic_add(fsum, 0, 0.5f);
+        }
+    )", args, 256, 16);
+    EXPECT_EQ(counter.get_int(0), 256);
+    EXPECT_FLOAT_EQ(fsum.get_float(0), 128.0f);
+}
+
+TEST(VmTest, AtomicMinMax)
+{
+    Buffer lo = Buffer::from_ints({1000000});
+    Buffer hi = Buffer::from_ints({-1000000});
+    ArgPack args;
+    args.buffer("lo", lo).buffer("hi", hi);
+    run1d(R"(
+        __kernel void k(__global int* lo, __global int* hi) {
+            int i = get_global_id(0);
+            atomic_min(lo, 0, i * 7 % 113);
+            atomic_max(hi, 0, i * 7 % 113);
+        }
+    )", args, 128, 32);
+    EXPECT_EQ(lo.get_int(0), 0);
+    EXPECT_EQ(hi.get_int(0), 112);
+}
+
+TEST(VmTest, BarrierSharedMemoryReverse)
+{
+    Buffer in = Buffer::from_floats({0, 1, 2, 3, 4, 5, 6, 7});
+    Buffer out = Buffer::zeros_f32(8);
+    ArgPack args;
+    args.buffer("in", in).buffer("out", out).shared("tile", 4);
+    run1d(R"(
+        __kernel void rev(__global float* in, __global float* out,
+                          __shared float* tile) {
+            int l = get_local_id(0);
+            int g = get_global_id(0);
+            int n = get_local_size(0);
+            tile[l] = in[g];
+            barrier();
+            out[g] = tile[n - 1 - l];
+        }
+    )", args, 8, 4);
+    std::vector<float> expect = {3, 2, 1, 0, 7, 6, 5, 4};
+    EXPECT_EQ(out.to_floats(), expect);
+}
+
+TEST(VmTest, OutOfBoundsTrap)
+{
+    Buffer out = Buffer::zeros_f32(4);
+    ArgPack args;
+    args.buffer("out", out);
+    auto result = run1d(R"(
+        __kernel void k(__global float* out) {
+            int i = get_global_id(0);
+            out[i + 100] = 1.0f;
+        }
+    )", args, 4);
+    EXPECT_TRUE(result.trapped);
+    EXPECT_NE(result.trap_message.find("out-of-bounds"),
+              std::string::npos);
+}
+
+TEST(VmTest, DivisionByZeroTrap)
+{
+    Buffer out = Buffer::zeros_i32(1);
+    ArgPack args;
+    args.buffer("out", out).scalar("d", 0);
+    auto result = run1d(R"(
+        __kernel void k(__global int* out, int d) {
+            out[0] = 7 / d;
+        }
+    )", args, 1);
+    EXPECT_TRUE(result.trapped);
+}
+
+TEST(VmTest, StatsCountInstructions)
+{
+    Buffer out = Buffer::zeros_f32(64);
+    ArgPack args;
+    args.buffer("out", out);
+    auto result = run1d(R"(
+        __kernel void k(__global float* out) {
+            int i = get_global_id(0);
+            out[i] = sqrtf((float)(i));
+        }
+    )", args, 64);
+    EXPECT_EQ(result.stats.count(Opcode::Sqrt), 64u);
+    EXPECT_EQ(result.stats.count(Opcode::St), 64u);
+    EXPECT_GT(result.stats.total_instructions, 64u * 4);
+}
+
+TEST(VmTest, ScalarFunctionCompilation)
+{
+    auto module = parser::parse_module(R"(
+        float f(float x, int n) { return x * (float)(n); }
+    )");
+    auto program = vm::compile_scalar_function(module, "f");
+    EXPECT_EQ(program.scalars.size(), 2u);
+    EXPECT_TRUE(program.buffers.empty());
+}
+
+TEST(VmTest, MismatchedArgumentsRejected)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* out) {
+            int i = get_global_id(0);
+            out[i] = 0.0f;
+        }
+    )");
+    auto program = compile_kernel(module, "k");
+    ArgPack empty;
+    EXPECT_THROW(exec::launch(program, empty, LaunchConfig::linear(4, 1)),
+                 UserError);
+}
+
+TEST(VmTest, BufferTypeMismatchRejected)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* out) {
+            int i = get_global_id(0);
+            out[i] = 0.0f;
+        }
+    )");
+    auto program = compile_kernel(module, "k");
+    Buffer wrong = Buffer::zeros_i32(4);
+    ArgPack args;
+    args.buffer("out", wrong);
+    EXPECT_THROW(exec::launch(program, args, LaunchConfig::linear(4, 1)),
+                 UserError);
+}
+
+TEST(VmTest, IndivisibleLaunchRejected)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* out) {
+            int i = get_global_id(0);
+            out[i] = 0.0f;
+        }
+    )");
+    auto program = compile_kernel(module, "k");
+    Buffer out = Buffer::zeros_f32(10);
+    ArgPack args;
+    args.buffer("out", out);
+    EXPECT_THROW(exec::launch(program, args, LaunchConfig::linear(10, 4)),
+                 UserError);
+}
+
+TEST(VmTest, SelectAndLogicalOps)
+{
+    Buffer out = Buffer::zeros_i32(4);
+    ArgPack args;
+    args.buffer("out", out);
+    run1d(R"(
+        __kernel void k(__global int* out) {
+            int i = get_global_id(0);
+            out[i] = (i > 0 && i < 3) ? 1 : 0;
+        }
+    )", args, 4);
+    EXPECT_EQ(out.get_int(0), 0);
+    EXPECT_EQ(out.get_int(1), 1);
+    EXPECT_EQ(out.get_int(2), 1);
+    EXPECT_EQ(out.get_int(3), 0);
+}
+
+TEST(VmTest, NonKernelRejected)
+{
+    auto module = parser::parse_module("float f() { return 1.0f; }");
+    EXPECT_THROW(compile_kernel(module, "f"), UserError);
+    EXPECT_THROW(compile_kernel(module, "missing"), UserError);
+}
+
+}  // namespace
+}  // namespace paraprox

@@ -1,0 +1,202 @@
+/// @file
+/// paraproxc — the Paraprox source-to-source compiler CLI.
+///
+/// Reads a ParaCL translation unit, detects data-parallel patterns in
+/// every kernel, and (optionally) emits the generated approximate kernels
+/// back as ParaCL source — mirroring how the original system consumed
+/// CUDA/OpenCL and produced rewritten CUDA.
+///
+/// Usage:
+///   paraproxc [options] file.pcl
+///     --toq=<percent>         target output quality (default 90)
+///     --device=gpu|cpu        cost model for Eq. 1 profitability
+///     --train=<lo>,<hi>       uniform training range for memoization
+///     --emit                  print generated approximate kernel source
+///     --detect-only           only print the pattern report
+///     --no-placements         skip constant/shared table variants
+///
+/// Exit status: 0 on success, 1 on bad usage or ParaCL errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/paraprox.h"
+#include "ir/printer.h"
+#include "parser/parser.h"
+#include "support/error.h"
+
+namespace {
+
+struct CliOptions {
+    std::string input_path;
+    double toq = 90.0;
+    bool cpu = false;
+    float train_lo = 0.0f;
+    float train_hi = 1.0f;
+    bool emit = false;
+    bool detect_only = false;
+    bool placements = true;
+};
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: paraproxc [--toq=N] [--device=gpu|cpu] "
+                 "[--train=lo,hi]\n"
+                 "                 [--emit] [--detect-only] "
+                 "[--no-placements] file.pcl\n");
+}
+
+bool
+parse_args(int argc, char** argv, CliOptions& options)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--toq=", 0) == 0) {
+            options.toq = std::atof(arg.c_str() + 6);
+        } else if (arg == "--device=gpu") {
+            options.cpu = false;
+        } else if (arg == "--device=cpu") {
+            options.cpu = true;
+        } else if (arg.rfind("--train=", 0) == 0) {
+            if (std::sscanf(arg.c_str() + 8, "%f,%f", &options.train_lo,
+                            &options.train_hi) != 2 ||
+                options.train_hi <= options.train_lo) {
+                std::fprintf(stderr, "paraproxc: bad --train range\n");
+                return false;
+            }
+        } else if (arg == "--emit") {
+            options.emit = true;
+        } else if (arg == "--detect-only") {
+            options.detect_only = true;
+        } else if (arg == "--no-placements") {
+            options.placements = false;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "paraproxc: unknown option %s\n",
+                         arg.c_str());
+            return false;
+        } else if (options.input_path.empty()) {
+            options.input_path = arg;
+        } else {
+            std::fprintf(stderr, "paraproxc: multiple input files\n");
+            return false;
+        }
+    }
+    if (options.input_path.empty()) {
+        usage();
+        return false;
+    }
+    return true;
+}
+
+std::string
+pattern_list(const paraprox::analysis::KernelPatterns& detection)
+{
+    std::string out;
+    for (auto kind : detection.kinds()) {
+        if (!out.empty())
+            out += ", ";
+        out += paraprox::analysis::to_string(kind);
+    }
+    return out.empty() ? "(none)" : out;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliOptions cli;
+    if (!parse_args(argc, argv, cli))
+        return 1;
+
+    std::ifstream file(cli.input_path);
+    if (!file) {
+        std::fprintf(stderr, "paraproxc: cannot open %s\n",
+                     cli.input_path.c_str());
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+
+    try {
+        auto module = paraprox::parser::parse_module(buffer.str());
+
+        paraprox::core::CompileOptions options;
+        options.toq = cli.toq;
+        options.device = cli.cpu
+                             ? paraprox::device::DeviceModel::core_i7()
+                             : paraprox::device::DeviceModel::gtx560();
+        options.training = paraprox::core::uniform_training(cli.train_lo,
+                                                            cli.train_hi);
+        options.table_placements = cli.placements;
+
+        if (cli.detect_only) {
+            for (const auto* kernel : module.kernels()) {
+                auto detection = paraprox::analysis::detect_kernel_patterns(
+                    module, *kernel, options.device);
+                std::printf("kernel `%s`: %s\n", kernel->name.c_str(),
+                            pattern_list(detection).c_str());
+                for (const auto& candidate : detection.memo_candidates) {
+                    std::printf(
+                        "  call `%s`: %.0f est. cycles, %s\n",
+                        candidate.callee.c_str(), candidate.cycles_needed,
+                        candidate.profitable ? "memoizable"
+                                             : "not profitable");
+                }
+                for (const auto& group : detection.stencils) {
+                    std::printf("  tile on `%s`: %dx%d (%zu accesses)\n",
+                                group.array.c_str(), group.tile_height(),
+                                group.tile_width(),
+                                group.accesses.size());
+                }
+                for (const auto& loop : detection.reductions) {
+                    std::printf("  reduction loop: %s\n",
+                                paraprox::analysis::to_string(loop.op)
+                                    .c_str());
+                }
+                if (detection.is_scan)
+                    std::printf("  scan kernel\n");
+            }
+            return 0;
+        }
+
+        auto results = paraprox::core::compile_module(module, options);
+        for (const auto& result : results) {
+            std::printf("== kernel `%s`: patterns %s\n",
+                        result.kernel.c_str(),
+                        pattern_list(result.detection).c_str());
+            for (const auto& note : result.notes)
+                std::printf("   note: %s\n", note.c_str());
+            for (const auto& generated : result.generated) {
+                std::printf("   generated: %-40s (aggressiveness %d)\n",
+                            generated.label.c_str(),
+                            generated.aggressiveness);
+                if (cli.emit) {
+                    const auto* fn = generated.module.find_function(
+                        generated.kernel_name);
+                    std::printf("%s\n",
+                                paraprox::ir::to_source(*fn).c_str());
+                    for (const auto& table : generated.tables) {
+                        std::printf(
+                            "// bind a %zu-entry table to `%s`%s\n\n",
+                            table.table.values.size(),
+                            table.buffer_param.c_str(),
+                            table.shared_param.empty()
+                                ? ""
+                                : (" and size to `" + table.shared_param +
+                                   "`").c_str());
+                    }
+                }
+            }
+        }
+        return 0;
+    } catch (const paraprox::Error& error) {
+        std::fprintf(stderr, "paraproxc: %s\n", error.what());
+        return 1;
+    }
+}
