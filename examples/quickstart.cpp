@@ -1,21 +1,19 @@
 /// @file
-/// Quickstart: the whole Paraprox flow on a user-written kernel in ~100
-/// lines — parse ParaCL, detect a pattern, generate an approximate
-/// variant, run both, and compare speed and quality.
+/// Quickstart: the whole Paraprox flow on a user-written kernel — parse
+/// ParaCL, hand the kernel to a KernelSession (pattern detection, variant
+/// generation, bytecode compilation and table binding in one object),
+/// describe the launch once, and let the TOQ-driven tuner pick the
+/// fastest variant that meets quality.
 ///
 ///   $ ./examples/quickstart
 
 #include <cstdio>
 
-#include "analysis/patterns.h"
-#include "device/memory_model.h"
 #include "exec/launch.h"
-#include "memo/table.h"
 #include "parser/parser.h"
-#include "runtime/quality.h"
+#include "runtime/session.h"
 #include "support/rng.h"
-#include "transforms/memoize.h"
-#include "vm/compiler.h"
+#include "vm/program_cache.h"
 
 using namespace paraprox;
 
@@ -39,75 +37,83 @@ main()
 {
     const int n = 1 << 16;
 
-    // 1. Parse and detect patterns (the paper's Fig. 10 front half).
+    // 1. Parse, then let one KernelSession run the compile flow: pattern
+    //    detection, the table-size search against TOQ = 90%, variant
+    //    generation, and bytecode for every member through the
+    //    process-wide program cache.
     auto module = parser::parse_module(kSource);
-    const auto device = device::DeviceModel::gtx560();
-    auto patterns = analysis::detect_patterns(module, device);
-    for (const auto& kernel : patterns) {
-        std::printf("kernel `%s`:\n", kernel.kernel.c_str());
-        for (auto kind : kernel.kinds())
-            std::printf("  pattern: %s\n",
-                        analysis::to_string(kind).c_str());
-        for (const auto& candidate : kernel.memo_candidates) {
-            std::printf("  memoizable call `%s` (est. %.0f cycles, %s)\n",
-                        candidate.callee.c_str(), candidate.cycles_needed,
-                        candidate.profitable ? "profitable"
-                                             : "not profitable");
-        }
+
+    core::CompileOptions options;
+    options.toq = 90.0;
+    options.device = device::DeviceModel::gtx560();
+    // Representative inputs: x spans the data range, sharpness is the
+    // constant the application will pass at runtime.
+    options.training = [](const std::string&)
+        -> std::optional<std::vector<std::vector<float>>> {
+        Rng rng(2026);
+        std::vector<std::vector<float>> samples(256);
+        for (auto& sample : samples)
+            sample = {rng.uniform(-4.0f, 4.0f), 2.0f};
+        return samples;
+    };
+
+    runtime::KernelSession session(module, "activate", options);
+
+    for (auto kind : session.result().detection.kinds())
+        std::printf("pattern: %s\n", analysis::to_string(kind).c_str());
+    for (const auto& note : session.result().notes)
+        std::printf("note: %s\n", note.c_str());
+    std::printf("members ready: %zu (exact + %zu approximate)\n\n",
+                session.members().size(), session.members().size() - 1);
+
+    // 2. Describe the launch once; the session auto-binds each member's
+    //    lookup tables on top of these application arguments.
+    core::LaunchPlan plan;
+    plan.config = exec::LaunchConfig::linear(n, 64);
+    plan.output_buffer = "out";
+    plan.bind_inputs =
+        [n](std::uint64_t seed, exec::ArgPack& args,
+            std::vector<std::unique_ptr<exec::Buffer>>& storage) {
+            Rng rng(seed);
+            storage.push_back(
+                std::make_unique<exec::Buffer>(exec::Buffer::from_floats(
+                    rng.uniform_vector(n, -4.0f, 4.0f))));
+            args.buffer("in", *storage.back());
+            storage.push_back(std::make_unique<exec::Buffer>(
+                exec::Buffer::zeros_f32(n)));
+            args.buffer("out", *storage.back());
+            args.scalar("sharpness", 2.0f);
+        };
+
+    // 3. Calibrate: the variant x seed sweep runs on the thread pool;
+    //    deterministic modeled cycles decide the selection.
+    auto tuner = session.tuner(plan, runtime::Metric::MeanRelativeError);
+    for (const auto& profile : tuner.calibrate({1, 2, 3})) {
+        std::printf("%-40s %5.2fx at %6.2f%% quality%s\n",
+                    profile.label.c_str(), profile.speedup,
+                    profile.quality,
+                    profile.meets_toq ? "" : "  (rejected)");
     }
+    std::printf("\nselected: %s\n", tuner.selected_label().c_str());
 
-    // 2. Build the lookup table: profile input ranges on training data,
-    //    bit-tune, and search for the smallest table meeting TOQ = 90%.
-    Rng rng(2026);
-    std::vector<std::vector<float>> training(256);
-    for (auto& sample : training)
-        sample = {rng.uniform(-4.0f, 4.0f), 2.0f};  // sharpness constant
-    memo::ScalarEvaluator evaluator(module, "sigmoid_blend");
-    auto search = memo::find_table_for_toq(evaluator, training, 90.0);
-    std::printf("\ntable search: %zu entries, tuned quality %.2f%%\n",
-                search.table.values.size(), search.table.tuned_quality);
+    // 4. Steady state: invoke runs the selection, auditing quality every
+    //    check_interval invocations and backing off on TOQ violations.
+    for (std::uint64_t seed = 100; seed < 110; ++seed)
+        tuner.invoke(seed);
+    std::printf("invocations: %llu, quality checks: %llu, backoffs: %llu\n",
+                static_cast<unsigned long long>(tuner.stats().invocations),
+                static_cast<unsigned long long>(
+                    tuner.stats().quality_checks),
+                static_cast<unsigned long long>(tuner.stats().backoffs));
 
-    // 3. Generate the approximate kernel (quantize -> concat -> lookup).
-    auto memoized = transforms::memoize_kernel(
-        module, "activate", "sigmoid_blend", search.table,
-        transforms::TableLocation::Global, transforms::LookupMode::Nearest);
-
-    // 4. Run exact and approximate under the GPU cost model.
-    auto exact_prog = vm::compile_kernel(module, "activate");
-    auto approx_prog = vm::compile_kernel(memoized.module,
-                                          memoized.kernel_name);
-
-    exec::Buffer in =
-        exec::Buffer::from_floats(rng.uniform_vector(n, -4.0f, 4.0f));
-    exec::Buffer exact_out = exec::Buffer::zeros_f32(n);
-    exec::Buffer approx_out = exec::Buffer::zeros_f32(n);
-    exec::Buffer table = exec::Buffer::from_floats(memoized.table.values);
-    const auto config = exec::LaunchConfig::linear(n, 64);
-
-    exec::ArgPack exact_args;
-    exact_args.buffer("in", in).buffer("out", exact_out)
-        .scalar("sharpness", 2.0f);
-    auto exact = device::run_modeled(exact_prog, exact_args, config,
-                                     device);
-
-    exec::ArgPack approx_args;
-    approx_args.buffer("in", in).buffer("out", approx_out)
-        .scalar("sharpness", 2.0f);
-    approx_args.buffer(memoized.table_buffer_param, table);
-    auto approx = device::run_modeled(approx_prog, approx_args, config,
-                                      device);
-
-    // 5. Compare.
-    const double quality = runtime::quality_percent(
-        runtime::Metric::MeanRelativeError, exact_out.to_floats(),
-        approx_out.to_floats());
-    std::printf("\nexact:  %.0f modeled cycles (%.3f ms wall)\n",
-                exact.cycles, exact.launch.wall_seconds * 1e3);
-    std::printf("approx: %.0f modeled cycles (%.3f ms wall)\n",
-                approx.cycles, approx.launch.wall_seconds * 1e3);
-    std::printf("speedup %.2fx at %.2f%% output quality\n",
-                exact.cycles / approx.cycles, quality);
-    std::printf("(wall times include cost-model instrumentation; modeled "
-                "cycles are the headline metric)\n");
+    // 5. A second session over the same module compiles nothing: every
+    //    program is already in the bytecode cache.
+    const auto before = vm::ProgramCache::global().stats();
+    runtime::KernelSession again(module, "activate", options);
+    const auto after = vm::ProgramCache::global().stats();
+    std::printf("\nsecond session: %llu cache hits, %llu new compiles\n",
+                static_cast<unsigned long long>(after.hits - before.hits),
+                static_cast<unsigned long long>(after.misses -
+                                                before.misses));
     return 0;
 }

@@ -1,157 +1,11 @@
 #include "apps/common.h"
 
+#include <algorithm>
 #include <cmath>
 
-#include "support/error.h"
+#include "support/rng.h"
 
 namespace paraprox::apps {
-
-runtime::VariantRun
-run_priced(const vm::Program& program, const exec::ArgPack& args,
-           const exec::LaunchConfig& config,
-           const device::DeviceModel& device,
-           std::vector<float> output_placeholder)
-{
-    device::ModeledResult modeled =
-        device::run_modeled(program, args, config, device);
-    runtime::VariantRun run;
-    run.output = std::move(output_placeholder);
-    run.modeled_cycles = modeled.cycles;
-    run.wall_seconds = modeled.launch.wall_seconds;
-    run.trapped = modeled.launch.trapped;
-    return run;
-}
-
-void
-attach_output(runtime::VariantRun& run, const exec::Buffer& out)
-{
-    run.output = out.to_floats();
-}
-
-std::vector<MemoMember>
-make_memo_members(
-    const ir::Module& module, const std::string& kernel,
-    const std::vector<std::string>& callees,
-    const std::function<std::vector<std::vector<float>>(
-        const std::string&)>& training_for,
-    double toq, bool include_placements)
-{
-    using transforms::LookupMode;
-    using transforms::TableLocation;
-
-    PARAPROX_CHECK(!callees.empty(), "make_memo_members: no callees");
-
-    // Per-callee table-size search (tables shared across members at the
-    // found size).
-    struct CalleeTables {
-        std::string name;
-        memo::LookupTable found;
-        std::vector<memo::LookupTable> smaller;  // 1 and 2 halvings down
-    };
-    std::vector<CalleeTables> per_callee;
-    for (const auto& callee : callees) {
-        memo::ScalarEvaluator evaluator(module, callee);
-        const auto training = training_for(callee);
-        auto search = memo::find_table_for_toq(evaluator, training, toq);
-        CalleeTables tables;
-        tables.name = callee;
-        tables.found = search.table;
-        const int found_bits = search.table.config.address_bits();
-        for (int shrink = 1; shrink <= 2; ++shrink) {
-            const int bits = found_bits - shrink;
-            if (bits < 3)
-                break;
-            auto tuning = memo::bit_tune(evaluator, training, bits);
-            auto table = memo::build_table(evaluator, tuning.config);
-            table.tuned_quality = tuning.quality;
-            tables.smaller.push_back(std::move(table));
-        }
-        per_callee.push_back(std::move(tables));
-    }
-
-    // Chain the memoize transform across all callees for one
-    // (location, mode, shrink) configuration.
-    auto build_member = [&](TableLocation location, LookupMode mode,
-                            int shrink, int aggressiveness) {
-        MemoMember member;
-        member.location = location;
-        member.mode = mode;
-        member.aggressiveness = aggressiveness;
-
-        const ir::Module* current = &module;
-        std::string current_kernel = kernel;
-        ir::Module owned;
-        std::int64_t table_entries = 0;
-        for (const auto& tables : per_callee) {
-            const memo::LookupTable& table =
-                (shrink == 0 || tables.smaller.empty())
-                    ? tables.found
-                    : tables.smaller[std::min(
-                          shrink - 1,
-                          static_cast<int>(tables.smaller.size()) - 1)];
-            auto memoized = transforms::memoize_kernel(
-                *current, current_kernel, tables.name, table, location,
-                mode);
-            member.tables.push_back({memoized.table_buffer_param,
-                                     memoized.shared_table_param, table});
-            table_entries += static_cast<std::int64_t>(table.values.size());
-            owned = std::move(memoized.module);
-            current = &owned;
-            current_kernel = memoized.kernel_name;
-        }
-        member.module = std::move(owned);
-        member.kernel_name = current_kernel;
-        member.program = vm::compile_kernel(member.module,
-                                            member.kernel_name);
-        member.label = "memo " + to_string(location) + "/" +
-                       to_string(mode) + " " +
-                       std::to_string(table_entries) + " entries";
-        return member;
-    };
-
-    std::vector<MemoMember> members;
-    members.push_back(build_member(TableLocation::Global,
-                                   LookupMode::Nearest, 0, 1));
-    members.push_back(build_member(TableLocation::Global,
-                                   LookupMode::Linear, 0, 1));
-    if (include_placements) {
-        members.push_back(build_member(TableLocation::Constant,
-                                       LookupMode::Nearest, 0, 1));
-        members.push_back(build_member(TableLocation::Shared,
-                                       LookupMode::Nearest, 0, 1));
-    }
-    if (!per_callee[0].smaller.empty()) {
-        members.push_back(build_member(TableLocation::Global,
-                                       LookupMode::Nearest, 1, 2));
-        // Linear interpolation at the shrunk sizes: the extra read often
-        // costs less than the lines the smaller table saves (§4.4.2).
-        members.push_back(build_member(TableLocation::Global,
-                                       LookupMode::Linear, 1, 2));
-        if (per_callee[0].smaller.size() > 1) {
-            members.push_back(build_member(TableLocation::Global,
-                                           LookupMode::Nearest, 2, 3));
-            members.push_back(build_member(TableLocation::Global,
-                                           LookupMode::Linear, 2, 3));
-        }
-    }
-    return members;
-}
-
-void
-bind_tables(const MemoMember& member, exec::ArgPack& args,
-            std::vector<std::unique_ptr<exec::Buffer>>& storage)
-{
-    for (const auto& binding : member.tables) {
-        storage.push_back(std::make_unique<exec::Buffer>(
-            exec::Buffer::from_floats(binding.table.values)));
-        args.buffer(binding.buffer_param, *storage.back());
-        if (!binding.shared_param.empty()) {
-            args.shared(binding.shared_param,
-                        static_cast<std::int64_t>(
-                            binding.table.values.size()));
-        }
-    }
-}
 
 std::vector<float>
 make_correlated_image(int width, int height, std::uint64_t seed,

@@ -1,72 +1,16 @@
 /// @file
-/// Shared plumbing for the benchmark applications: modeled launches
-/// wrapped as runtime::VariantRun, memoization variant enumeration, and
-/// synthetic image generation.
+/// Shared plumbing for the benchmark applications.
+///
+/// Compilation, binding, launching and tuning all moved into
+/// runtime::KernelSession; what remains here is the synthetic input
+/// generator the image-processing apps (and several tests) share.
 
 #pragma once
 
-#include <functional>
-#include <memory>
-
-#include "analysis/stencil.h"
-#include "device/memory_model.h"
-#include "exec/launch.h"
-#include "memo/table.h"
-#include "runtime/tuner.h"
-#include "support/rng.h"
-#include "transforms/memoize.h"
-#include "transforms/reduction_tx.h"
-#include "transforms/stencil_tx.h"
-#include "vm/compiler.h"
+#include <cstdint>
+#include <vector>
 
 namespace paraprox::apps {
-
-/// Launch under the device cost model and package the result.
-runtime::VariantRun run_priced(const vm::Program& program,
-                               const exec::ArgPack& args,
-                               const exec::LaunchConfig& config,
-                               const device::DeviceModel& device,
-                               std::vector<float> output_placeholder = {});
-
-/// Collect @p out's floats into @p run (convenience since outputs are read
-/// after the launch).
-void attach_output(runtime::VariantRun& run, const exec::Buffer& out);
-
-/// One memoized configuration of a kernel, possibly with several
-/// functions memoized (chained transforms), ready to launch.
-struct MemoMember {
-    struct TableBinding {
-        std::string buffer_param;
-        std::string shared_param;  ///< Empty unless Shared placement.
-        memo::LookupTable table;
-    };
-
-    ir::Module module;
-    std::string kernel_name;
-    vm::Program program;
-    std::vector<TableBinding> tables;
-    transforms::TableLocation location;
-    transforms::LookupMode mode;
-    int aggressiveness = 1;
-    std::string label;
-};
-
-/// Build the memoized variant family for @p kernel of @p module:
-/// the §3.1.3 table-size search runs per callee at @p toq, then members
-/// are emitted for global/nearest at the found size, global/linear,
-/// (optionally) constant and shared placements, and one and two table
-/// halvings below the found size (more aggressive).
-std::vector<MemoMember> make_memo_members(
-    const ir::Module& module, const std::string& kernel,
-    const std::vector<std::string>& callees,
-    const std::function<std::vector<std::vector<float>>(
-        const std::string&)>& training_for,
-    double toq, bool include_placements = true);
-
-/// Bind a member's lookup tables into @p args; table buffers are appended
-/// to @p storage, which must outlive the launch.
-void bind_tables(const MemoMember& member, exec::ArgPack& args,
-                 std::vector<std::unique_ptr<exec::Buffer>>& storage);
 
 /// Synthetic image with tunable spatial smoothness: neighbouring pixels
 /// are similar (the §3.2.1 assumption), with occasional edges.

@@ -11,7 +11,9 @@
 #include "apps/app.h"
 #include "apps/common.h"
 #include "parser/parser.h"
+#include "runtime/session.h"
 #include "support/error.h"
+#include "support/rng.h"
 
 namespace paraprox::apps {
 
@@ -26,7 +28,6 @@ struct MapAppSpec {
     AppInfo info;
     std::string source;
     std::string kernel;
-    std::vector<std::string> callees;
     int default_n = 1 << 16;
     int local_size = 64;
     std::string output_name = "out";
@@ -53,49 +54,25 @@ class MapApp final : public Application {
     std::vector<runtime::Variant>
     variants(const device::DeviceModel& device) const override
     {
-        auto members = std::make_shared<std::vector<MemoMember>>(
-            make_memo_members(module_, spec_.kernel, spec_.callees,
-                              spec_.training_for, 90.0));
-        auto exact_program = std::make_shared<vm::Program>(
-            vm::compile_kernel(module_, spec_.kernel));
-        auto dev = std::make_shared<device::DeviceModel>(device);
+        core::CompileOptions options;
+        options.toq = 90.0;
+        options.device = device;
+        options.training = [training = spec_.training_for](
+                               const std::string& callee)
+            -> std::optional<std::vector<std::vector<float>>> {
+            return training(callee);
+        };
+        runtime::KernelSession session(module_, spec_.kernel, options);
 
         const int n = element_count();
-        const auto spec = std::make_shared<MapAppSpec>(spec_);
-
-        std::vector<runtime::Variant> variants;
-        variants.push_back(
-            {"exact", 0, [spec, exact_program, dev, n](std::uint64_t seed) {
-                 ArgPack args;
-                 std::vector<std::unique_ptr<Buffer>> holder;
-                 spec->bind_inputs(seed, n, args, holder);
-                 auto run = run_priced(
-                     *exact_program, args,
-                     LaunchConfig::linear(n, spec->local_size), *dev);
-                 attach_output(run,
-                               *args.find_buffer(spec->output_name));
-                 return run;
-             }});
-
-        for (std::size_t m = 0; m < members->size(); ++m) {
-            const auto& member = (*members)[m];
-            variants.push_back(
-                {member.label, member.aggressiveness,
-                 [spec, members, m, dev, n](std::uint64_t seed) {
-                     const MemoMember& chosen = (*members)[m];
-                     ArgPack args;
-                     std::vector<std::unique_ptr<Buffer>> holder;
-                     spec->bind_inputs(seed, n, args, holder);
-                     bind_tables(chosen, args, holder);
-                     auto run = run_priced(
-                         chosen.program, args,
-                         LaunchConfig::linear(n, spec->local_size), *dev);
-                     attach_output(run,
-                                   *args.find_buffer(spec->output_name));
-                     return run;
-                 }});
-        }
-        return variants;
+        core::LaunchPlan plan;
+        plan.config = LaunchConfig::linear(n, spec_.local_size);
+        plan.output_buffer = spec_.output_name;
+        plan.bind_inputs = [bind = spec_.bind_inputs, n](
+                               std::uint64_t seed, ArgPack& args,
+                               std::vector<std::unique_ptr<Buffer>>&
+                                   holder) { bind(seed, n, args, holder); };
+        return session.variants(plan);
     }
 
   private:
@@ -361,7 +338,6 @@ make_blackscholes()
                  runtime::Metric::L1Norm};
     spec.source = kBlackScholesSource;
     spec.kernel = "blackscholes";
-    spec.callees = {"black_scholes_body"};
     spec.default_n = 1 << 17;
     spec.bind_inputs = bind_blackscholes;
     spec.training_for = blackscholes_training;
@@ -376,7 +352,6 @@ make_quasirandom()
                  "Map", runtime::Metric::L1Norm};
     spec.source = kQuasirandomSource;
     spec.kernel = "quasirandom";
-    spec.callees = {"moro_inv_cnd"};
     spec.default_n = 1 << 17;
     spec.bind_inputs = bind_quasirandom;
     spec.training_for = quasirandom_training;
@@ -391,7 +366,6 @@ make_gamma_correction()
                  "Map", runtime::Metric::MeanRelativeError};
     spec.source = kGammaSource;
     spec.kernel = "gamma_correction";
-    spec.callees = {"gamma_correct"};
     spec.default_n = 256 * 256;
     spec.bind_inputs = bind_gamma;
     spec.training_for = gamma_training;
@@ -406,7 +380,6 @@ make_boxmuller()
                  runtime::Metric::L1Norm};
     spec.source = kBoxMullerSource;
     spec.kernel = "boxmuller";
-    spec.callees = {"bm_normal0", "bm_normal1"};
     spec.default_n = 1 << 16;
     spec.bind_inputs = bind_boxmuller;
     spec.training_for = boxmuller_training;

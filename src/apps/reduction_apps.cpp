@@ -10,7 +10,9 @@
 #include "apps/app.h"
 #include "apps/common.h"
 #include "parser/parser.h"
+#include "runtime/session.h"
 #include "support/error.h"
+#include "support/rng.h"
 
 namespace paraprox::apps {
 
@@ -26,9 +28,8 @@ struct ReductionAppSpec {
     AppInfo info;
     std::string source;
     std::string kernel;
-    int reduction_index = 0;
     bool adjust = true;
-    std::vector<std::pair<int, int>> skips = {{2, 1}, {4, 2}, {8, 3}};
+    std::vector<int> skips = {2, 4, 8};
     /// Bind inputs for the given scale; returns the launch config.  The
     /// output buffer must be bound as "out".
     std::function<LaunchConfig(std::uint64_t seed, double scale, ArgPack&,
@@ -49,53 +50,32 @@ class ReductionApp final : public Application {
     std::vector<runtime::Variant>
     variants(const device::DeviceModel& device) const override
     {
-        auto dev = std::make_shared<device::DeviceModel>(device);
-        auto spec = std::make_shared<ReductionAppSpec>(spec_);
-        const double scale = scale_;
-
-        struct Compiled {
-            vm::Program program;
-            std::string label;
-            int aggressiveness;
+        core::CompileOptions options;
+        options.toq = 90.0;
+        options.device = device;
+        options.training = [](const std::string&)
+            -> std::optional<std::vector<std::vector<float>>> {
+            return std::nullopt;  // sampling, not memoization
         };
-        auto compiled = std::make_shared<std::vector<Compiled>>();
-        compiled->push_back(
-            {vm::compile_kernel(module_, spec_.kernel), "exact", 0});
-        for (const auto& [skip, agg] : spec_.skips) {
-            auto variant = transforms::reduction_approx(
-                module_, spec_.kernel, spec_.reduction_index, skip,
-                spec_.adjust);
-            compiled->push_back(
-                {vm::compile_kernel(variant.module, variant.kernel_name),
-                 "reduction skip=" + std::to_string(skip), agg});
-        }
+        options.skip_rates = spec_.skips;
+        options.reduction_adjust = spec_.adjust;
+        runtime::KernelSession session(module_, spec_.kernel, options);
 
-        std::vector<runtime::Variant> variants;
-        for (std::size_t c = 0; c < compiled->size(); ++c) {
-            variants.push_back(
-                {(*compiled)[c].label, (*compiled)[c].aggressiveness,
-                 [spec, compiled, c, dev, scale](std::uint64_t seed) {
-                     ArgPack args;
-                     std::vector<std::unique_ptr<Buffer>> holder;
-                     const LaunchConfig config =
-                         spec->bind_inputs(seed, scale, args, holder);
-                     auto run = run_priced((*compiled)[c].program, args,
-                                           config, *dev);
-                     const Buffer* out = args.find_buffer("out");
-                     if (out->elem_type() == ir::Scalar::F32) {
-                         attach_output(run, *out);
-                     } else {
-                         // Integer outputs (Naive Bayes counts) are scored
-                         // as floats.
-                         run.output.clear();
-                         for (std::int32_t v : out->to_ints())
-                             run.output.push_back(
-                                 static_cast<float>(v));
-                     }
-                     return run;
-                 }});
+        const double scale = scale_;
+        core::LaunchPlan plan;
+        {
+            // The launch geometry depends only on the scale, so one dry
+            // bind discovers it.
+            ArgPack args;
+            std::vector<std::unique_ptr<Buffer>> holder;
+            plan.config = spec_.bind_inputs(0, scale, args, holder);
         }
-        return variants;
+        plan.output_buffer = "out";
+        plan.bind_inputs = [bind = spec_.bind_inputs, scale](
+                               std::uint64_t seed, ArgPack& args,
+                               std::vector<std::unique_ptr<Buffer>>&
+                                   holder) { bind(seed, scale, args, holder); };
+        return session.variants(plan);
     }
 
   private:
@@ -317,7 +297,7 @@ make_image_denoising()
     // acc/wsum form a self-normalizing ratio: sampling alone is correct,
     // scaling either variable would have to scale both (it cancels).
     spec.adjust = false;
-    spec.skips = {{2, 1}, {3, 2}};
+    spec.skips = {2, 3};
     spec.bind_inputs = bind_denoise;
     return std::make_unique<ReductionApp>(std::move(spec));
 }
@@ -331,8 +311,7 @@ make_naive_bayes()
                  runtime::Metric::MeanRelativeError};
     spec.source = kNaiveBayesSource;
     spec.kernel = "nb_train";
-    spec.reduction_index = 0;  // the outer per-sample loop
-    spec.skips = {{2, 1}, {4, 2}};
+    spec.skips = {2, 4};
     spec.bind_inputs = bind_naive_bayes;
     return std::make_unique<ReductionApp>(std::move(spec));
 }

@@ -12,8 +12,12 @@
 #include "apps/app.h"
 #include "apps/common.h"
 #include "parser/parser.h"
+#include "runtime/session.h"
+#include "runtime/variant_run.h"
 #include "support/error.h"
+#include "support/rng.h"
 #include "transforms/scan_tx.h"
+#include "vm/program_cache.h"
 
 namespace paraprox::apps {
 
@@ -73,15 +77,44 @@ class CumulativeHistogramApp final : public Application {
             std::max(8, static_cast<int>(kDefaultGroups * scale_));
         auto dev = std::make_shared<device::DeviceModel>(device);
 
-        auto phase1 = std::make_shared<vm::Program>(
-            vm::compile_kernel(module_, "scan_phase1"));
-        auto phase3 = std::make_shared<vm::Program>(
-            vm::compile_kernel(module_, "scan_add_offsets"));
+        // The session flags the scan pattern (the transform needs the
+        // host's subarray geometry, applied below) and supplies the phase
+        // kernels' bytecode through the shared cache.
+        core::CompileOptions options;
+        options.device = device;
+        options.training = [](const std::string&)
+            -> std::optional<std::vector<std::vector<float>>> {
+            return std::nullopt;
+        };
+        runtime::KernelSession session(module_, "scan_phase1", options);
+        PARAPROX_CHECK(session.result().detection.is_scan,
+                       "scan pattern not detected");
+        auto phase1 = session.members()[0].program;
+        auto phase3 = session.program("scan_add_offsets");
 
-        // Exact pipeline.
+        // Tail kernels for the approximate variants are synthesized once
+        // per geometry and cached; invocations are launch-only.
+        struct Tail {
+            std::shared_ptr<const vm::Program> program;
+            int computed_elements = 0;
+            int skipped_elements = 0;
+        };
+        auto make_tail = [&](int skipped) {
+            auto plan = transforms::scan_approx(groups, skipped, sub);
+            Tail tail;
+            tail.program = vm::ProgramCache::global().get_or_compile(
+                plan.module, plan.tail_kernel);
+            tail.computed_elements =
+                static_cast<int>(plan.computed_elements());
+            tail.skipped_elements =
+                static_cast<int>(plan.skipped_elements());
+            return tail;
+        };
+
         std::vector<runtime::Variant> variants;
         auto run_pipeline = [phase1, phase3, dev, sub, groups](
-                                std::uint64_t seed, int skipped) {
+                                std::uint64_t seed, int skipped,
+                                const Tail& tail) {
             const int computed = groups - skipped;
             const int n = groups * sub;
 
@@ -109,7 +142,7 @@ class CumulativeHistogramApp final : public Application {
                 ArgPack args;
                 args.buffer("in", in).buffer("out", out)
                     .buffer("sums", sums).shared("tile", sub);
-                accumulate(run_priced(
+                accumulate(runtime::run_priced(
                     *phase1, args,
                     LaunchConfig::linear(computed * sub, sub), *dev));
             }
@@ -118,51 +151,49 @@ class CumulativeHistogramApp final : public Application {
                 ArgPack args;
                 args.buffer("in", sums).buffer("out", sums_scan)
                     .buffer("sums", dummy).shared("tile", computed);
-                accumulate(run_priced(*phase1, args,
-                                      LaunchConfig::linear(computed,
-                                                           computed),
-                                      *dev));
+                accumulate(runtime::run_priced(
+                    *phase1, args,
+                    LaunchConfig::linear(computed, computed), *dev));
             }
             // Phase III over the computed region.
             {
                 ArgPack args;
                 args.buffer("out", out).buffer("sums_scan", sums_scan);
-                accumulate(run_priced(
+                accumulate(runtime::run_priced(
                     *phase3, args,
                     LaunchConfig::linear(computed * sub, sub), *dev));
             }
             // Tail synthesis for the skipped region (§3.4.3).
             if (skipped > 0) {
-                auto plan = transforms::scan_approx(groups, skipped, sub);
-                auto tail = vm::compile_kernel(plan.module,
-                                               plan.tail_kernel);
                 ArgPack args;
                 args.buffer("out", out).buffer("sums_scan", sums_scan)
-                    .scalar("computed", plan.computed_elements())
+                    .scalar("computed", tail.computed_elements)
                     .scalar("last_sum", computed - 1);
-                accumulate(run_priced(
-                    tail, args,
-                    LaunchConfig::linear(plan.skipped_elements(), sub),
+                accumulate(runtime::run_priced(
+                    *tail.program, args,
+                    LaunchConfig::linear(tail.skipped_elements, sub),
                     *dev));
             }
 
-            attach_output(total, out);
+            runtime::attach_output(total, out);
             return total;
         };
 
         variants.push_back({"exact", 0, [run_pipeline](std::uint64_t seed) {
-                                return run_pipeline(seed, 0);
+                                return run_pipeline(seed, 0, {});
                             }});
         const int quarter = groups / 4;
         const int half = groups / 2;
-        variants.push_back(
-            {"scan skip 1/4", 1, [run_pipeline, quarter](std::uint64_t s) {
-                 return run_pipeline(s, quarter);
-             }});
-        variants.push_back(
-            {"scan skip 1/2", 2, [run_pipeline, half](std::uint64_t s) {
-                 return run_pipeline(s, half);
-             }});
+        variants.push_back({"scan skip 1/4", 1,
+                            [run_pipeline, quarter,
+                             tail = make_tail(quarter)](std::uint64_t s) {
+                                return run_pipeline(s, quarter, tail);
+                            }});
+        variants.push_back({"scan skip 1/2", 2,
+                            [run_pipeline, half,
+                             tail = make_tail(half)](std::uint64_t s) {
+                                return run_pipeline(s, half, tail);
+                            }});
         return variants;
     }
 

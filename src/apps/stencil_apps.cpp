@@ -11,7 +11,10 @@
 #include "apps/app.h"
 #include "apps/common.h"
 #include "parser/parser.h"
+#include "runtime/session.h"
+#include "runtime/variant_run.h"
 #include "support/error.h"
+#include "support/rng.h"
 
 namespace paraprox::apps {
 
@@ -20,7 +23,14 @@ namespace {
 using exec::ArgPack;
 using exec::Buffer;
 using exec::LaunchConfig;
-using transforms::StencilScheme;
+
+/// A CompileOptions training provider that declines every callee —
+/// stencil apps approximate tiles, not function calls.
+std::optional<std::vector<std::vector<float>>>
+no_training(const std::string&)
+{
+    return std::nullopt;
+}
 
 /// Shared shape for single-kernel image-stencil apps.
 struct StencilAppSpec {
@@ -33,12 +43,6 @@ struct StencilAppSpec {
     std::function<void(std::uint64_t seed, int w, int h, ArgPack&,
                        std::vector<std::unique_ptr<Buffer>>&)>
         bind_inputs;
-    /// Variant knobs to sweep: (scheme, reaching distance, aggressiveness).
-    std::vector<std::tuple<StencilScheme, int, int>> knobs = {
-        {StencilScheme::Row, 1, 1},
-        {StencilScheme::Column, 1, 1},
-        {StencilScheme::Center, 1, 2},
-    };
 };
 
 class StencilApp final : public Application {
@@ -54,50 +58,25 @@ class StencilApp final : public Application {
     std::vector<runtime::Variant>
     variants(const device::DeviceModel& device) const override
     {
+        // rd=1 sweep: the driver emits row/column (agg 1) and center
+        // (agg 2) schemes for the detected tile.
+        core::CompileOptions options;
+        options.toq = 90.0;
+        options.device = device;
+        options.training = no_training;
+        options.reaching_distances = {1};
+        runtime::KernelSession session(module_, spec_.kernel, options);
+
         const int w = dim(spec_.width);
         const int h = dim(spec_.height);
-        auto dev = std::make_shared<device::DeviceModel>(device);
-        auto spec = std::make_shared<StencilAppSpec>(spec_);
-
-        auto groups = analysis::detect_stencils(
-            *module_.find_function(spec_.kernel));
-        PARAPROX_CHECK(!groups.empty(),
-                       spec_.info.name + ": stencil not detected");
-
-        struct Compiled {
-            vm::Program program;
-            std::string label;
-            int aggressiveness;
-        };
-        auto compiled = std::make_shared<std::vector<Compiled>>();
-        compiled->push_back(
-            {vm::compile_kernel(module_, spec_.kernel), "exact", 0});
-        for (const auto& [scheme, rd, agg] : spec_.knobs) {
-            auto variant = transforms::stencil_approx(
-                module_, spec_.kernel, groups[0], scheme, rd);
-            compiled->push_back(
-                {vm::compile_kernel(variant.module, variant.kernel_name),
-                 "stencil " + transforms::to_string(scheme) + " rd=" +
-                     std::to_string(rd),
-                 agg});
-        }
-
-        std::vector<runtime::Variant> variants;
-        for (std::size_t c = 0; c < compiled->size(); ++c) {
-            variants.push_back(
-                {(*compiled)[c].label, (*compiled)[c].aggressiveness,
-                 [spec, compiled, c, dev, w, h](std::uint64_t seed) {
-                     ArgPack args;
-                     std::vector<std::unique_ptr<Buffer>> holder;
-                     spec->bind_inputs(seed, w, h, args, holder);
-                     auto run = run_priced(
-                         (*compiled)[c].program, args,
-                         LaunchConfig::grid2d(w - 2, h - 2, 16, 4), *dev);
-                     attach_output(run, *args.find_buffer("out"));
-                     return run;
-                 }});
-        }
-        return variants;
+        core::LaunchPlan plan;
+        plan.config = LaunchConfig::grid2d(w - 2, h - 2, 16, 4);
+        plan.output_buffer = "out";
+        plan.bind_inputs = [bind = spec_.bind_inputs, w, h](
+                               std::uint64_t seed, ArgPack& args,
+                               std::vector<std::unique_ptr<Buffer>>&
+                                   holder) { bind(seed, w, h, args, holder); };
+        return session.variants(plan);
     }
 
   private:
@@ -270,55 +249,58 @@ class ConvolutionApp final : public Application {
         const int h = w;
         auto dev = std::make_shared<device::DeviceModel>(device);
 
+        // Two sessions over the same module: the row pass is approximated
+        // as a stencil (1x17 tile merges along x: column scheme), the
+        // column pass as a sampled reduction.  Programs come from the
+        // shared bytecode cache, so the exact kernels and any variant
+        // reused across pipelines are compiled once.
+        core::CompileOptions row_options;
+        row_options.toq = 90.0;
+        row_options.device = device;
+        row_options.training = no_training;
+        row_options.reaching_distances = {1, 2};
+        runtime::KernelSession row_session(module_, "conv_row",
+                                           row_options);
+
+        core::CompileOptions col_options;
+        col_options.toq = 90.0;
+        col_options.device = device;
+        col_options.training = no_training;
+        col_options.skip_rates = {2, 4};
+        runtime::KernelSession col_session(module_, "conv_col",
+                                           col_options);
+
+        auto member_program = [](const runtime::KernelSession& session,
+                                 const std::string& label) {
+            const auto* member = session.find_member(label);
+            PARAPROX_CHECK(member, "Convolution Separable: member `" +
+                                       label + "` not generated");
+            return member->program;
+        };
+        auto exact_row = row_session.members()[0].program;
+        auto exact_col = col_session.members()[0].program;
+        auto row_rd1 = member_program(row_session, "stencil column rd=1");
+        auto row_rd2 = member_program(row_session, "stencil column rd=2");
+        auto col_skip2 = member_program(col_session, "reduction #0 skip=2");
+        auto col_skip4 = member_program(col_session, "reduction #0 skip=4");
+
         struct Pipeline {
-            vm::Program row;
-            vm::Program col;
+            std::shared_ptr<const vm::Program> row;
+            std::shared_ptr<const vm::Program> col;
             std::string label;
             int aggressiveness;
         };
         auto pipelines = std::make_shared<std::vector<Pipeline>>();
-
-        vm::Program exact_row = vm::compile_kernel(module_, "conv_row");
-        vm::Program exact_col = vm::compile_kernel(module_, "conv_col");
         pipelines->push_back({exact_row, exact_col, "exact", 0});
-
-        auto groups = analysis::detect_stencils(
-            *module_.find_function("conv_row"));
-        PARAPROX_CHECK(!groups.empty(), "conv_row stencil not detected");
-
         // Stencil-only variants (the GPU winners per §4.3).
-        for (const auto& [rd, agg] :
-             std::vector<std::pair<int, int>>{{1, 1}, {2, 2}}) {
-            // The 1x17 row-pass tile merges along x: column scheme.
-            auto stencil = transforms::stencil_approx(
-                module_, "conv_row", groups[0], StencilScheme::Column, rd);
-            pipelines->push_back(
-                {vm::compile_kernel(stencil.module, stencil.kernel_name),
-                 exact_col, "stencil rd=" + std::to_string(rd), agg});
-        }
-
+        pipelines->push_back({row_rd1, exact_col, "stencil rd=1", 1});
+        pipelines->push_back({row_rd2, exact_col, "stencil rd=2", 2});
         // Reduction-only variants (the CPU winners per §4.3).
-        for (const auto& [skip, agg] :
-             std::vector<std::pair<int, int>>{{2, 1}, {4, 2}}) {
-            auto reduced = transforms::reduction_approx(module_, "conv_col",
-                                                        0, skip);
-            pipelines->push_back(
-                {exact_row,
-                 vm::compile_kernel(reduced.module, reduced.kernel_name),
-                 "reduction skip=" + std::to_string(skip), agg});
-        }
-
+        pipelines->push_back({exact_row, col_skip2, "reduction skip=2", 1});
+        pipelines->push_back({exact_row, col_skip4, "reduction skip=4", 2});
         // Combined.
-        {
-            auto stencil = transforms::stencil_approx(
-                module_, "conv_row", groups[0], StencilScheme::Column, 1);
-            auto reduced = transforms::reduction_approx(module_, "conv_col",
-                                                        0, 2);
-            pipelines->push_back(
-                {vm::compile_kernel(stencil.module, stencil.kernel_name),
-                 vm::compile_kernel(reduced.module, reduced.kernel_name),
-                 "stencil rd=1 + reduction skip=2", 3});
-        }
+        pipelines->push_back(
+            {row_rd1, col_skip2, "stencil rd=1 + reduction skip=2", 3});
 
         std::vector<runtime::Variant> variants;
         for (std::size_t p = 0; p < pipelines->size(); ++p) {
@@ -337,15 +319,15 @@ class ConvolutionApp final : public Application {
                      ArgPack row_args;
                      row_args.buffer("in", in).buffer("tmp", tmp)
                          .scalar("w", w);
-                     auto row_run = run_priced(
-                         pipe.row, row_args,
+                     auto row_run = runtime::run_priced(
+                         *pipe.row, row_args,
                          LaunchConfig::grid2d(w - 16, h, 16, 4), *dev);
 
                      ArgPack col_args;
                      col_args.buffer("tmp", tmp).buffer("weights", weights)
                          .buffer("out", out).scalar("w", w);
-                     auto col_run = run_priced(
-                         pipe.col, col_args,
+                     auto col_run = runtime::run_priced(
+                         *pipe.col, col_args,
                          LaunchConfig::grid2d(w - 16, h - 16, 16, 4),
                          *dev);
 
@@ -355,7 +337,7 @@ class ConvolutionApp final : public Application {
                          row_run.modeled_cycles + col_run.modeled_cycles;
                      run.wall_seconds =
                          row_run.wall_seconds + col_run.wall_seconds;
-                     attach_output(run, out);
+                     runtime::attach_output(run, out);
                      return run;
                  }});
         }

@@ -52,11 +52,20 @@ fit_training_to_arity(const std::vector<std::vector<float>>& raw,
     return out;
 }
 
+/// A memo candidate that survived profitability + training, with its
+/// TOQ-searched table — the input to chained (multi-callee) variants.
+struct MemoPrep {
+    std::string callee;
+    memo::LookupTable table;
+    bool gather = false;
+};
+
 void
 generate_memo_variants(const ir::Module& module, const std::string& kernel,
                        const analysis::MemoCandidate& candidate,
                        const CompileOptions& options,
-                       KernelCompileResult& result)
+                       KernelCompileResult& result,
+                       std::vector<MemoPrep>& preps)
 {
     using transforms::LookupMode;
     using transforms::TableLocation;
@@ -123,6 +132,8 @@ generate_memo_variants(const ir::Module& module, const std::string& kernel,
         result.generated.push_back(std::move(generated));
     };
 
+    preps.push_back({candidate.callee, search.table, candidate.gather});
+
     emit(search.table, TableLocation::Global, LookupMode::Nearest, 1);
     if (options.linear_mode)
         emit(search.table, TableLocation::Global, LookupMode::Linear, 1);
@@ -144,6 +155,73 @@ generate_memo_variants(const ir::Module& module, const std::string& kernel,
         emit(table, TableLocation::Global, LookupMode::Nearest,
              aggressiveness++);
     }
+}
+
+/// When a kernel has several profitable memo candidates, also emit
+/// variants with *all* of them memoized at once by chaining the memoize
+/// transform across callees (what an application would hand-wire for a
+/// kernel like Box-Muller with two heavy callees).
+void
+generate_chained_memo_variants(const ir::Module& module,
+                               const std::string& kernel,
+                               const std::vector<MemoPrep>& preps,
+                               const CompileOptions& options,
+                               KernelCompileResult& result)
+{
+    using transforms::LookupMode;
+    using transforms::TableLocation;
+
+    if (preps.size() < 2)
+        return;
+
+    const bool any_gather =
+        std::any_of(preps.begin(), preps.end(),
+                    [](const MemoPrep& prep) { return prep.gather; });
+
+    auto emit = [&](LookupMode mode) {
+        GeneratedKernel generated;
+        const ir::Module* current = &module;
+        std::string current_kernel = kernel;
+        ir::Module owned;
+        std::int64_t entries = 0;
+        for (const auto& prep : preps) {
+            auto memoized = transforms::memoize_kernel(
+                *current, current_kernel, prep.callee, prep.table,
+                TableLocation::Global, mode);
+            generated.tables.push_back({memoized.table_buffer_param,
+                                        memoized.shared_table_param,
+                                        prep.table});
+            entries += static_cast<std::int64_t>(prep.table.values.size());
+            owned = std::move(memoized.module);
+            current = &owned;
+            current_kernel = memoized.kernel_name;
+        }
+        generated.label = "memo all global/" +
+                          transforms::to_string(mode) + " " +
+                          std::to_string(entries) + " entries";
+        generated.pattern = any_gather ? PatternKind::ScatterGather
+                                       : PatternKind::Map;
+        generated.aggressiveness = 1;
+        generated.kernel_name = current_kernel;
+        generated.module = std::move(owned);
+        if (options.guard_divisions) {
+            int guards = 0;
+            generated.module = transforms::guard_divisions(
+                generated.module, generated.kernel_name, &guards);
+            if (guards > 0) {
+                result.notes.push_back(generated.label + ": guarded " +
+                                       std::to_string(guards) +
+                                       " division(s)");
+            }
+        }
+        result.generated.push_back(std::move(generated));
+    };
+
+    result.notes.push_back("memoize all " + std::to_string(preps.size()) +
+                           " profitable callees together (chained)");
+    emit(LookupMode::Nearest);
+    if (options.linear_mode)
+        emit(LookupMode::Linear);
 }
 
 void
@@ -208,8 +286,9 @@ generate_reduction_variants(const ir::Module& module,
         ")");
     int aggressiveness = 1;
     for (int skip : options.skip_rates) {
-        auto variant = transforms::reduction_approx(module, kernel,
-                                                    reduction_index, skip);
+        auto variant = transforms::reduction_approx(
+            module, kernel, reduction_index, skip,
+            options.reduction_adjust);
         GeneratedKernel generated;
         generated.label = "reduction #" +
                           std::to_string(reduction_index) + " skip=" +
@@ -237,8 +316,13 @@ compile_kernel(const ir::Module& module, const std::string& kernel,
     result.detection =
         analysis::detect_kernel_patterns(module, *target, options.device);
 
-    for (const auto& candidate : result.detection.memo_candidates)
-        generate_memo_variants(module, kernel, candidate, options, result);
+    std::vector<MemoPrep> memo_preps;
+    for (const auto& candidate : result.detection.memo_candidates) {
+        generate_memo_variants(module, kernel, candidate, options, result,
+                               memo_preps);
+    }
+    generate_chained_memo_variants(module, kernel, memo_preps, options,
+                                   result);
 
     // Stencils: loop-shaped tiles are unrolled first so the tile
     // transform can merge their (then constant-offset) accesses.

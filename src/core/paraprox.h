@@ -55,6 +55,10 @@ struct CompileOptions {
 
     std::vector<int> skip_rates = {2, 4, 8};
     std::vector<int> reaching_distances = {1, 2};
+    /// Rescale sampled reductions by iterations/sampled (§3.3).  Turn off
+    /// for self-normalizing reductions (e.g. weighted averages that divide
+    /// an accumulator by an equally-sampled weight sum).
+    bool reduction_adjust = true;
     bool table_placements = true;   ///< Emit constant/shared variants too.
     bool linear_mode = true;        ///< Emit linear-interpolation variants.
     bool guard_divisions = true;    ///< §5 safety guards on approx kernels.

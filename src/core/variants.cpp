@@ -1,10 +1,27 @@
 #include "core/variants.h"
 
 #include "device/memory_model.h"
+#include "runtime/variant_run.h"
 #include "support/error.h"
-#include "vm/compiler.h"
+#include "vm/program_cache.h"
 
 namespace paraprox::core {
+
+void
+bind_tables(const std::vector<TableBinding>& tables, exec::ArgPack& args,
+            std::vector<std::unique_ptr<exec::Buffer>>& storage)
+{
+    for (const auto& binding : tables) {
+        storage.push_back(std::make_unique<exec::Buffer>(
+            exec::Buffer::from_floats(binding.table.values)));
+        args.buffer(binding.buffer_param, *storage.back());
+        if (!binding.shared_param.empty()) {
+            args.shared(binding.shared_param,
+                        static_cast<std::int64_t>(
+                            binding.table.values.size()));
+        }
+    }
+}
 
 namespace {
 
@@ -22,29 +39,16 @@ run_one(const vm::Program& program,
     exec::ArgPack args;
     std::vector<std::unique_ptr<exec::Buffer>> storage;
     context.plan.bind_inputs(seed, args, storage);
-    for (const auto& binding : tables) {
-        storage.push_back(std::make_unique<exec::Buffer>(
-            exec::Buffer::from_floats(binding.table.values)));
-        args.buffer(binding.buffer_param, *storage.back());
-        if (!binding.shared_param.empty()) {
-            args.shared(binding.shared_param,
-                        static_cast<std::int64_t>(
-                            binding.table.values.size()));
-        }
-    }
+    bind_tables(tables, args, storage);
 
-    auto modeled = device::run_modeled(program, args, context.plan.config,
-                                       context.device);
-    runtime::VariantRun run;
-    run.modeled_cycles = modeled.cycles;
-    run.wall_seconds = modeled.launch.wall_seconds;
-    run.trapped = modeled.launch.trapped;
+    runtime::VariantRun run = runtime::run_priced(
+        program, args, context.plan.config, context.device);
     const exec::Buffer* output =
         args.find_buffer(context.plan.output_buffer);
     PARAPROX_CHECK(output, "LaunchPlan output buffer `" +
                                context.plan.output_buffer +
                                "` was not bound");
-    run.output = output->to_floats();
+    runtime::attach_output(run, *output);
     return run;
 }
 
@@ -61,9 +65,12 @@ make_variants(const ir::Module& module, const std::string& kernel,
     context->device = device;
     context->plan = plan;
 
+    // All programs come from the process-wide cache, so rebuilding the
+    // variant list (or a KernelSession over the same module) compiles
+    // nothing twice.
+    auto& cache = vm::ProgramCache::global();
     std::vector<runtime::Variant> variants;
-    auto exact_program = std::make_shared<vm::Program>(
-        vm::compile_kernel(module, kernel));
+    auto exact_program = cache.get_or_compile(module, kernel);
     variants.push_back({"exact", 0,
                         [exact_program, context](std::uint64_t seed) {
                             return run_one(*exact_program, {}, *context,
@@ -71,8 +78,8 @@ make_variants(const ir::Module& module, const std::string& kernel,
                         }});
 
     for (const auto& kernel_variant : generated) {
-        auto program = std::make_shared<vm::Program>(vm::compile_kernel(
-            kernel_variant.module, kernel_variant.kernel_name));
+        auto program = cache.get_or_compile(kernel_variant.module,
+                                            kernel_variant.kernel_name);
         auto tables = std::make_shared<std::vector<TableBinding>>(
             kernel_variant.tables);
         variants.push_back(

@@ -33,6 +33,13 @@ struct LaunchPlan {
     std::string output_buffer;
 };
 
+/// Bind each table's buffer (and, for shared placement, its size) into
+/// @p args; backing Buffers are appended to @p storage, which must
+/// outlive the launch.
+void bind_tables(const std::vector<TableBinding>& tables,
+                 exec::ArgPack& args,
+                 std::vector<std::unique_ptr<exec::Buffer>>& storage);
+
 /// Build the tuner-ready variant list: variants[0] is the exact kernel,
 /// followed by one variant per generated kernel (tables bound
 /// automatically).  All programs are compiled eagerly so launch-time work

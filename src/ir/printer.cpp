@@ -312,4 +312,16 @@ to_source(const Module& module)
     return out;
 }
 
+std::uint64_t
+fingerprint(const Module& module)
+{
+    const std::string source = to_source(module);
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : source) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
 }  // namespace paraprox::ir

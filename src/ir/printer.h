@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "ir/function.h"
@@ -18,5 +19,11 @@ std::string to_source(const Expr& expr);
 std::string to_source(const Stmt& stmt, int indent = 0);
 std::string to_source(const Function& function);
 std::string to_source(const Module& module);
+
+/// FNV-1a hash of the module's printed source.  Because printing
+/// round-trips through the parser, equal fingerprints mean structurally
+/// identical modules — the key vm::ProgramCache uses to share compiled
+/// bytecode across sessions.
+std::uint64_t fingerprint(const Module& module);
 
 }  // namespace paraprox::ir

@@ -1,0 +1,85 @@
+#include "runtime/session.h"
+
+#include "runtime/variant_run.h"
+#include "support/error.h"
+#include "vm/program_cache.h"
+
+namespace paraprox::runtime {
+
+KernelSession::KernelSession(const ir::Module& module, std::string kernel,
+                             core::CompileOptions options)
+    : module_(&module), kernel_(std::move(kernel)),
+      options_(std::move(options))
+{
+    result_ = core::compile_kernel(*module_, kernel_, options_);
+
+    auto& cache = vm::ProgramCache::global();
+    members_.reserve(result_.generated.size() + 1);
+    members_.push_back({"exact", 0, kernel_,
+                        cache.get_or_compile(*module_, kernel_), {}});
+    for (const auto& generated : result_.generated) {
+        members_.push_back({generated.label, generated.aggressiveness,
+                            generated.kernel_name,
+                            cache.get_or_compile(generated.module,
+                                                 generated.kernel_name),
+                            generated.tables});
+    }
+}
+
+const SessionMember*
+KernelSession::find_member(const std::string& label) const
+{
+    for (const auto& member : members_) {
+        if (member.label == label)
+            return &member;
+    }
+    return nullptr;
+}
+
+std::shared_ptr<const vm::Program>
+KernelSession::program(const std::string& kernel_name) const
+{
+    return vm::ProgramCache::global().get_or_compile(*module_, kernel_name);
+}
+
+VariantRun
+KernelSession::run_member(const SessionMember& member,
+                          const core::LaunchPlan& plan,
+                          std::uint64_t seed) const
+{
+    PARAPROX_CHECK(plan.bind_inputs != nullptr,
+                   "LaunchPlan needs a bind_inputs callback");
+    exec::ArgPack args;
+    std::vector<std::unique_ptr<exec::Buffer>> storage;
+    plan.bind_inputs(seed, args, storage);
+    core::bind_tables(member.tables, args, storage);
+
+    VariantRun run = run_priced(*member.program, args, plan.config,
+                                options_.device);
+    const exec::Buffer* output = args.find_buffer(plan.output_buffer);
+    PARAPROX_CHECK(output, "LaunchPlan output buffer `" +
+                               plan.output_buffer + "` was not bound");
+    attach_output(run, *output);
+    return run;
+}
+
+std::vector<Variant>
+KernelSession::variants(const core::LaunchPlan& plan) const
+{
+    // The bridge fetches every program from the shared cache, where this
+    // session already compiled them, so this is binding-only work.  The
+    // closures own copies of everything they touch and outlive the
+    // session.
+    return core::make_variants(*module_, kernel_, result_.generated, plan,
+                               options_.device);
+}
+
+Tuner
+KernelSession::tuner(const core::LaunchPlan& plan, Metric metric,
+                     double toq_percent, int check_interval) const
+{
+    const double toq = toq_percent < 0.0 ? options_.toq : toq_percent;
+    return Tuner(variants(plan), metric, toq, check_interval);
+}
+
+}  // namespace paraprox::runtime

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.h"
+#include "support/parallel.h"
 
 namespace paraprox::runtime {
 
@@ -18,23 +19,40 @@ Tuner::Tuner(std::vector<Variant> variants, Metric metric,
 }
 
 const std::vector<VariantProfile>&
-Tuner::calibrate(const std::vector<std::uint64_t>& training_seeds)
+Tuner::calibrate(const std::vector<std::uint64_t>& training_seeds,
+                 bool parallel)
 {
     PARAPROX_CHECK(!training_seeds.empty(),
                    "calibration needs at least one training input");
     profiles_.assign(variants_.size(), {});
 
-    // Exact baselines per seed.
-    std::vector<VariantRun> exact_runs;
-    exact_runs.reserve(training_seeds.size());
+    // Materialize every (variant, seed) execution first — in parallel when
+    // requested — then aggregate serially in a fixed order.  Selection is
+    // decided by modeled cycles, which are deterministic per run, so the
+    // parallel sweep picks the same variant as a serial one; wall times are
+    // advisory and may be skewed by concurrency.
+    const std::size_t num_seeds = training_seeds.size();
+    std::vector<VariantRun> runs(variants_.size() * num_seeds);
+    auto run_one = [&](std::size_t job) {
+        const std::size_t v = job / num_seeds;
+        const std::size_t s = job % num_seeds;
+        runs[job] = variants_[v].run(training_seeds[s]);
+    };
+    if (parallel) {
+        ThreadPool::global().parallel_for(runs.size(), run_one);
+    } else {
+        for (std::size_t job = 0; job < runs.size(); ++job)
+            run_one(job);
+    }
+
+    const VariantRun* exact_runs = runs.data();
     double exact_cycles = 0.0;
     double exact_wall = 0.0;
-    for (std::uint64_t seed : training_seeds) {
-        exact_runs.push_back(variants_[0].run(seed));
-        PARAPROX_CHECK(!exact_runs.back().trapped,
+    for (std::size_t s = 0; s < num_seeds; ++s) {
+        PARAPROX_CHECK(!exact_runs[s].trapped,
                        "exact kernel trapped during calibration");
-        exact_cycles += exact_runs.back().modeled_cycles;
-        exact_wall += exact_runs.back().wall_seconds;
+        exact_cycles += exact_runs[s].modeled_cycles;
+        exact_wall += exact_runs[s].wall_seconds;
     }
     profiles_[0] = {variants_[0].label, 1.0, 1.0, 100.0, true, false};
 
@@ -45,8 +63,8 @@ Tuner::calibrate(const std::vector<std::uint64_t>& training_seeds)
         double wall = 0.0;
         double quality_acc = 0.0;
         bool trapped = false;
-        for (std::size_t s = 0; s < training_seeds.size(); ++s) {
-            VariantRun run = variants_[v].run(training_seeds[s]);
+        for (std::size_t s = 0; s < num_seeds; ++s) {
+            const VariantRun& run = runs[v * num_seeds + s];
             if (run.trapped) {
                 trapped = true;
                 break;
@@ -61,8 +79,7 @@ Tuner::calibrate(const std::vector<std::uint64_t>& training_seeds)
             profile.meets_toq = false;
             continue;
         }
-        profile.quality =
-            quality_acc / static_cast<double>(training_seeds.size());
+        profile.quality = quality_acc / static_cast<double>(num_seeds);
         profile.speedup = cycles > 0.0 ? exact_cycles / cycles : 1.0;
         profile.wall_speedup = wall > 0.0 ? exact_wall / wall : 1.0;
         profile.meets_toq = profile.quality >= toq_;

@@ -71,8 +71,16 @@ class Tuner {
     /// Profile every variant on @p training_seeds and select the fastest
     /// one meeting the TOQ (modeled cycles decide; falls back to exact if
     /// none qualify).  Returns the profiles for inspection.
+    ///
+    /// By default the variant x seed sweep runs on the global ThreadPool;
+    /// selection is unaffected because it is decided by deterministic
+    /// modeled cycles, aggregated in a fixed order after all runs finish.
+    /// Wall-clock speedups are advisory under concurrency.  Pass
+    /// @p parallel = false to force a serial sweep (identical profiles
+    /// except for wall times).
     const std::vector<VariantProfile>&
-    calibrate(const std::vector<std::uint64_t>& training_seeds);
+    calibrate(const std::vector<std::uint64_t>& training_seeds,
+              bool parallel = true);
 
     /// Execute the current selection on @p input_seed.  Periodically also
     /// runs the exact kernel on the same input to audit quality; on a TOQ

@@ -1,0 +1,36 @@
+#include "runtime/variant_run.h"
+
+namespace paraprox::runtime {
+
+VariantRun
+run_priced(const vm::Program& program, const exec::ArgPack& args,
+           const exec::LaunchConfig& config,
+           const device::DeviceModel& device,
+           std::vector<float> output_placeholder)
+{
+    device::ModeledResult modeled =
+        device::run_modeled(program, args, config, device);
+    VariantRun run;
+    run.output = std::move(output_placeholder);
+    run.modeled_cycles = modeled.cycles;
+    run.wall_seconds = modeled.launch.wall_seconds;
+    run.trapped = modeled.launch.trapped;
+    return run;
+}
+
+void
+attach_output(VariantRun& run, const exec::Buffer& out)
+{
+    if (out.elem_type() == ir::Scalar::F32) {
+        run.output = out.to_floats();
+        return;
+    }
+    // Integer outputs (e.g. histogram counts) are scored as numeric
+    // values, not reinterpreted bit patterns.
+    run.output.clear();
+    run.output.reserve(out.size());
+    for (std::int32_t v : out.to_ints())
+        run.output.push_back(static_cast<float>(v));
+}
+
+}  // namespace paraprox::runtime

@@ -1,0 +1,29 @@
+/// @file
+/// Bridging modeled device launches into runtime::VariantRun.
+///
+/// Every consumer of the tuner (sessions, apps, benches) executes a
+/// compiled program under the device cost model and packages the result
+/// the same way; these helpers are that one shared path.
+
+#pragma once
+
+#include <vector>
+
+#include "device/memory_model.h"
+#include "exec/launch.h"
+#include "runtime/tuner.h"
+#include "vm/bytecode.h"
+
+namespace paraprox::runtime {
+
+/// Launch under the device cost model and package the result.
+VariantRun run_priced(const vm::Program& program, const exec::ArgPack& args,
+                      const exec::LaunchConfig& config,
+                      const device::DeviceModel& device,
+                      std::vector<float> output_placeholder = {});
+
+/// Collect @p out's floats into @p run (convenience since outputs are read
+/// after the launch).
+void attach_output(VariantRun& run, const exec::Buffer& out);
+
+}  // namespace paraprox::runtime

@@ -69,25 +69,35 @@ ThreadPool::parallel_for(std::size_t count,
     };
     auto shared = std::make_shared<Shared>();
 
-    // Chunked dynamic scheduling: each task drains indices until exhausted.
+    // Block-chunked dynamic scheduling: each claim grabs a block of
+    // indices, not one, so group-per-task launches over large NDRanges do
+    // not pay one atomic round-trip per index.  Blocks are sized to give
+    // every participant several claims, keeping dynamic load balance.
     const std::size_t num_tasks = std::min(count, workers_.size());
-    auto run_chunk = [shared, count, &body] {
+    const std::size_t participants = workers_.size() + 1;
+    const std::size_t block =
+        std::max<std::size_t>(1, count / (participants * 8));
+    auto run_chunk = [shared, count, block, &body] {
         std::size_t completed = 0;
         for (;;) {
-            const std::size_t i =
-                shared->next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= count)
+            const std::size_t begin =
+                shared->next.fetch_add(block, std::memory_order_relaxed);
+            if (begin >= count)
                 break;
-            if (!shared->failed.load(std::memory_order_relaxed)) {
-                try {
-                    body(i);
-                } catch (...) {
-                    std::lock_guard<std::mutex> lock(shared->error_mutex);
-                    if (!shared->failed.exchange(true))
-                        shared->error = std::current_exception();
+            const std::size_t end = std::min(count, begin + block);
+            for (std::size_t i = begin; i < end; ++i) {
+                if (!shared->failed.load(std::memory_order_relaxed)) {
+                    try {
+                        body(i);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(
+                            shared->error_mutex);
+                        if (!shared->failed.exchange(true))
+                            shared->error = std::current_exception();
+                    }
                 }
+                ++completed;
             }
-            ++completed;
         }
         return completed;
     };

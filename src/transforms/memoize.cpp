@@ -208,6 +208,7 @@ memoize_kernel(const ir::Module& module, const std::string& kernel,
                    "memoize: no kernel `" + kernel + "`");
     PARAPROX_CHECK(module.find_function(callee),
                    "memoize: no function `" + callee + "`");
+    begin_name_epoch(module);
 
     MemoizedKernel result;
     result.module = module.clone();

@@ -273,6 +273,7 @@ stencil_approx(const ir::Module& module, const std::string& kernel,
     const Function* source = module.find_function(kernel);
     PARAPROX_CHECK(source && source->is_kernel,
                    "stencil_approx: no kernel `" + kernel + "`");
+    begin_name_epoch(module);
 
     StencilApproxKernel result;
     result.module = module.clone();

@@ -1,6 +1,10 @@
 #include "transforms/surgery.h"
 
-#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "ir/printer.h"
 
 namespace paraprox::transforms {
 
@@ -33,11 +37,41 @@ rewrite_stmt_lists(Block& block, const StmtRewriteFn& rewrite)
     block.stmts = std::move(rebuilt);
 }
 
+namespace {
+
+std::string
+epoch_tag_string(std::uint64_t tag)
+{
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "%06" PRIx64,
+                  tag & std::uint64_t{0xffffff});
+    return buf;
+}
+
+// Per-thread: transforms run to completion on the thread that entered them.
+thread_local std::string name_tag = epoch_tag_string(0);
+thread_local std::uint64_t name_serial = 0;
+
+}  // namespace
+
+void
+begin_name_epoch(const Module& module)
+{
+    const std::string source = to_source(module);
+    std::uint64_t tag = fingerprint(module);
+    // The tag must not occur anywhere in the module, or a name coined now
+    // could collide with one coined in an earlier epoch (e.g. memoization
+    // chained onto an already-memoized kernel).
+    while (source.find(epoch_tag_string(tag)) != std::string::npos)
+        ++tag;
+    name_tag = epoch_tag_string(tag);
+    name_serial = 0;
+}
+
 std::string
 fresh_name(const std::string& prefix)
 {
-    static std::atomic<std::uint64_t> counter{0};
-    return prefix + std::to_string(counter.fetch_add(1));
+    return prefix + name_tag + "_" + std::to_string(name_serial++);
 }
 
 }  // namespace paraprox::transforms

@@ -26,8 +26,18 @@ using StmtRewriteFn =
 /// bodies (and loop init/step indirectly via their owning statements).
 void rewrite_stmt_lists(ir::Block& block, const StmtRewriteFn& rewrite);
 
-/// Generate a fresh identifier with the given prefix, unique within this
-/// process.
+/// Start a fresh-name epoch for a transform over @p module: subsequent
+/// fresh_name calls become a pure function of the module's contents, so
+/// re-running the same transform on the same input yields byte-identical
+/// output — which is what lets the process-wide bytecode cache hit when a
+/// kernel family is compiled again.  Transforms chained on an evolved
+/// module re-seed with different contents, so names from earlier epochs
+/// cannot collide with new ones (the epoch tag is bumped until it appears
+/// nowhere in the module).
+void begin_name_epoch(const ir::Module& module);
+
+/// Generate a fresh identifier with the given prefix: unique within the
+/// current epoch and deterministic given the epoch's module.
 std::string fresh_name(const std::string& prefix);
 
 }  // namespace paraprox::transforms

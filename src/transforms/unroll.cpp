@@ -197,6 +197,7 @@ unroll_constant_loops(const ir::Module& module, const std::string& kernel,
     PARAPROX_CHECK(max_trips >= 1, "max_trips must be positive");
     const Function* source = module.find_function(kernel);
     PARAPROX_CHECK(source, "unroll: no function `" + kernel + "`");
+    begin_name_epoch(module);
 
     ir::Module clone = module.clone();
     Function* target = clone.find_function(kernel);

@@ -1,0 +1,57 @@
+#include "vm/program_cache.h"
+
+#include "ir/printer.h"
+#include "vm/compiler.h"
+
+namespace paraprox::vm {
+
+std::shared_ptr<const Program>
+ProgramCache::get_or_compile(const ir::Module& module,
+                             const std::string& kernel_name)
+{
+    const Key key{ir::fingerprint(module), kernel_name};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+
+    // Compile outside the lock so a slow miss does not serialize parallel
+    // calibration; a concurrent miss on the same key compiles the same
+    // pure result and the first insertion wins.
+    auto program = std::make_shared<const Program>(
+        compile_kernel(module, kernel_name));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    auto [it, inserted] = entries_.emplace(key, std::move(program));
+    return it->second;
+}
+
+ProgramCache::Stats
+ProgramCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {hits_, misses_, entries_.size()};
+}
+
+void
+ProgramCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+ProgramCache&
+ProgramCache::global()
+{
+    static ProgramCache cache;
+    return cache;
+}
+
+}  // namespace paraprox::vm

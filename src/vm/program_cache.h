@@ -1,0 +1,59 @@
+/// @file
+/// Process-wide bytecode cache.
+///
+/// Paraprox generates a family of kernels per compile (exact + every
+/// approximate variant), and callers historically re-lowered them to
+/// bytecode on every variant-list construction.  The cache keys compiled
+/// programs by (module fingerprint, kernel name) so each distinct kernel
+/// is compiled exactly once per process, no matter how many sessions,
+/// tuners, or pipeline invocations ask for it.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "ir/function.h"
+#include "vm/bytecode.h"
+
+namespace paraprox::vm {
+
+/// Thread-safe (fingerprint, kernel) -> compiled Program cache.
+class ProgramCache {
+  public:
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::size_t entries = 0;
+    };
+
+    /// Fetch the compiled form of @p kernel_name in @p module, compiling
+    /// it on first request.  Concurrent misses on the same key may compile
+    /// redundantly (compilation is pure); the first insertion wins, and
+    /// every caller receives the same shared program afterwards.
+    std::shared_ptr<const Program>
+    get_or_compile(const ir::Module& module,
+                   const std::string& kernel_name);
+
+    Stats stats() const;
+
+    /// Drop every entry and reset the hit/miss counters (tests only).
+    void clear();
+
+    /// The process-wide cache.
+    static ProgramCache& global();
+
+  private:
+    using Key = std::pair<std::uint64_t, std::string>;
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_ptr<const Program>> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace paraprox::vm

@@ -158,6 +158,106 @@ TEST(TunerTest, RuntimeViolationTriggersBackoff)
     EXPECT_GE(tuner.stats().backoffs, 1u);
 }
 
+/// Clean during calibration (seeds < 100), degraded at runtime.
+Variant
+degrading_variant(const std::string& label, int aggressiveness,
+                  double cycles)
+{
+    return {label, aggressiveness, [cycles](std::uint64_t seed) {
+                VariantRun run;
+                const float bias = seed >= 100 ? 50.0f : 0.01f;
+                run.output = {static_cast<float>(seed % 7) + bias, 10.0f};
+                run.modeled_cycles = cycles;
+                return run;
+            }};
+}
+
+TEST(TunerTest, BackoffStepsThroughFallbackChain)
+{
+    // Two approximate variants, both fine in training and both degraded
+    // at runtime: each violation must drop the current selection and
+    // advance to the next-fastest candidate, ending at exact.
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(degrading_variant("aggressive", 2, 100.0));
+    variants.push_back(degrading_variant("mild", 1, 400.0));
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0,
+                /*check_interval=*/1);
+    tuner.calibrate({1, 2});
+    EXPECT_EQ(tuner.selected_label(), "aggressive");
+
+    tuner.invoke(100);
+    EXPECT_EQ(tuner.selected_label(), "mild");
+    tuner.invoke(101);
+    EXPECT_EQ(tuner.selected_label(), "exact");
+
+    EXPECT_EQ(tuner.stats().invocations, 2u);
+    EXPECT_EQ(tuner.stats().quality_checks, 2u);
+    EXPECT_EQ(tuner.stats().violations, 2u);
+    EXPECT_EQ(tuner.stats().backoffs, 2u);
+
+    // Exact is the chain's terminator: no further audits or downgrades.
+    tuner.invoke(102);
+    EXPECT_EQ(tuner.selected_label(), "exact");
+    EXPECT_EQ(tuner.stats().quality_checks, 2u);
+    EXPECT_EQ(tuner.stats().backoffs, 2u);
+}
+
+TEST(TunerTest, TrappedAtRuntimeBacksOffPermanently)
+{
+    // Safe during calibration, traps at runtime: the tuner must serve the
+    // input with the exact kernel and demote the variant for good.
+    Variant unstable{"unstable", 1, [](std::uint64_t seed) {
+                         VariantRun run;
+                         run.output = {static_cast<float>(seed % 7) + 0.01f,
+                                       10.0f};
+                         run.modeled_cycles = 10.0;
+                         run.trapped = seed >= 100;
+                         return run;
+                     }};
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(unstable);
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0,
+                /*check_interval=*/5);
+    tuner.calibrate({1, 2});
+    EXPECT_EQ(tuner.selected_label(), "unstable");
+
+    const VariantRun served = tuner.invoke(100);
+    EXPECT_FALSE(served.trapped);  // The exact rerun serves this input.
+    EXPECT_EQ(tuner.selected_label(), "exact");
+    EXPECT_EQ(tuner.stats().backoffs, 1u);
+    EXPECT_EQ(tuner.stats().violations, 0u);  // Trap, not a quality miss.
+}
+
+TEST(TunerTest, ParallelCalibrationMatchesSerial)
+{
+    auto build = [] {
+        std::vector<Variant> variants;
+        variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+        variants.push_back(fake_variant("good", 1, 0.1f, 500.0));
+        variants.push_back(fake_variant("better", 2, 0.2f, 250.0));
+        variants.push_back(fake_variant("fast-bad", 3, 9.0f, 100.0));
+        return variants;
+    };
+    Tuner parallel_tuner(build(), Metric::MeanRelativeError, 90.0);
+    Tuner serial_tuner(build(), Metric::MeanRelativeError, 90.0);
+    const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+    const auto& par = parallel_tuner.calibrate(seeds, /*parallel=*/true);
+    const auto& ser = serial_tuner.calibrate(seeds, /*parallel=*/false);
+
+    EXPECT_EQ(parallel_tuner.selected_label(),
+              serial_tuner.selected_label());
+    ASSERT_EQ(par.size(), ser.size());
+    for (std::size_t v = 0; v < par.size(); ++v) {
+        EXPECT_EQ(par[v].label, ser[v].label);
+        EXPECT_DOUBLE_EQ(par[v].speedup, ser[v].speedup);
+        EXPECT_DOUBLE_EQ(par[v].quality, ser[v].quality);
+        EXPECT_EQ(par[v].meets_toq, ser[v].meets_toq);
+        EXPECT_EQ(par[v].trapped, ser[v].trapped);
+    }
+}
+
 TEST(TunerTest, AuditsEveryNthInvocation)
 {
     std::vector<Variant> variants;

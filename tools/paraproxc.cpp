@@ -26,7 +26,9 @@
 #include "core/paraprox.h"
 #include "ir/printer.h"
 #include "parser/parser.h"
+#include "runtime/session.h"
 #include "support/error.h"
+#include "vm/program_cache.h"
 
 namespace {
 
@@ -165,8 +167,12 @@ main(int argc, char** argv)
             return 0;
         }
 
-        auto results = paraprox::core::compile_module(module, options);
-        for (const auto& result : results) {
+        // One session per kernel: generation plus bytecode for the exact
+        // kernel and every variant, shared through the program cache.
+        for (const auto* kernel : module.kernels()) {
+            paraprox::runtime::KernelSession session(module, kernel->name,
+                                                     options);
+            const auto& result = session.result();
             std::printf("== kernel `%s`: patterns %s\n",
                         result.kernel.c_str(),
                         pattern_list(result.detection).c_str());
@@ -193,7 +199,14 @@ main(int argc, char** argv)
                     }
                 }
             }
+            std::printf("   bytecode: %zu member(s) ready\n",
+                        session.members().size());
         }
+        const auto stats = paraprox::vm::ProgramCache::global().stats();
+        std::printf("program cache: %zu entries, %llu hits, %llu misses\n",
+                    stats.entries,
+                    static_cast<unsigned long long>(stats.hits),
+                    static_cast<unsigned long long>(stats.misses));
         return 0;
     } catch (const paraprox::Error& error) {
         std::fprintf(stderr, "paraproxc: %s\n", error.what());
