@@ -1,0 +1,137 @@
+/// @file
+/// Serving throughput of serve::ApproxService at TOQ=90%: requests/sec
+/// when every request runs the exact kernel vs. when the service runs
+/// the Paraprox-selected variant with online quality monitoring (one
+/// shadowed exact run every Config::shadow_interval requests).
+///
+/// The monitored approximate mode pays for its shadow sample out of the
+/// variant's speedup, so the interesting number is the throughput ratio:
+/// how much of the paper's Fig. 11 speedup survives once the runtime is
+/// auditing itself.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <future>
+
+#include "bench/bench_support.h"
+#include "serve/service.h"
+#include "support/stats.h"
+
+namespace paraprox::bench {
+namespace {
+
+constexpr double kToq = 90.0;
+constexpr double kScale = 0.25;
+constexpr int kRequests = 96;
+
+struct ModeResult {
+    double requests_per_second = 0.0;
+    std::string selected;
+    std::uint64_t shadows = 0;
+    std::uint64_t violations = 0;
+};
+
+/// Serve kRequests against one registered kernel and report throughput.
+/// Exact-only mode registers just variants[0], so the tuner has nothing
+/// to select but the exact kernel and the monitor never shadows it.
+ModeResult
+run_mode(apps::Application& app, const device::DeviceModel& device,
+         bool approximate, std::size_t workers)
+{
+    auto variants = app.variants(device);
+    if (!approximate)
+        variants.resize(1);
+
+    serve::ServiceConfig config;
+    config.num_workers = workers;
+    config.queue_capacity = kRequests + 16;
+    serve::ApproxService service(config);
+    service.register_kernel("kernel", std::move(variants),
+                            app.info().metric, kToq, {101, 202});
+
+    // Warm-up request so worker startup is off the clock.
+    service.submit("kernel", 11);
+    service.drain();
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::future<serve::Response>> responses;
+    responses.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i) {
+        auto ticket = service.submit("kernel", 1000 + i);
+        if (ticket.accepted)
+            responses.push_back(std::move(ticket.response));
+    }
+    for (auto& response : responses)
+        response.get();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    service.drain();
+
+    const auto kernel = service.kernel_snapshot("kernel");
+    ModeResult result;
+    result.requests_per_second =
+        seconds > 0.0 ? static_cast<double>(responses.size()) / seconds
+                      : 0.0;
+    result.selected = kernel.selected;
+    result.shadows = kernel.monitor.shadows;
+    result.violations = kernel.monitor.violations;
+    return result;
+}
+
+void
+run_figure()
+{
+    const auto device = device::DeviceModel::gtx560();
+    const std::size_t workers = default_thread_count();
+
+    // Stencil/reduction apps, whose variants speed up interpreter wall
+    // time itself (memo-table apps only save modeled device cycles, which
+    // a throughput benchmark cannot observe).
+    std::vector<std::unique_ptr<apps::Application>> apps;
+    apps.push_back(apps::make_mean_filter());
+    apps.push_back(apps::make_gaussian_filter());
+    apps.push_back(apps::make_naive_bayes());
+    apps.push_back(apps::make_kernel_density());
+
+    print_header("Serving throughput at TOQ=90% (" +
+                 std::to_string(workers) + " workers, " +
+                 std::to_string(kRequests) + " requests)");
+    print_row({"Application", "exact req/s", "approx req/s", "ratio",
+               "selected", "shadows"},
+              16);
+
+    std::vector<double> ratios;
+    for (auto& app : apps) {
+        app->set_scale(kScale);
+        const auto exact = run_mode(*app, device, false, workers);
+        const auto approx = run_mode(*app, device, true, workers);
+        const double ratio =
+            exact.requests_per_second > 0.0
+                ? approx.requests_per_second / exact.requests_per_second
+                : 0.0;
+        ratios.push_back(ratio);
+        print_row({app->info().name, fmt(exact.requests_per_second, 1),
+                   fmt(approx.requests_per_second, 1),
+                   fmt(ratio) + "x", approx.selected,
+                   std::to_string(approx.shadows)},
+                  16);
+    }
+    std::printf("\nGeomean throughput ratio (monitored approx / exact): "
+                "%.2fx\n",
+                stats::geomean(ratios));
+}
+
+}  // namespace
+}  // namespace paraprox::bench
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    paraprox::bench::run_figure();
+    return 0;
+}

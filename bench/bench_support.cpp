@@ -6,6 +6,7 @@
 #include "memo/table.h"
 #include "parser/parser.h"
 #include "runtime/quality.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 #include "vm/compiler.h"
 
@@ -185,6 +186,12 @@ run_case_study(const CaseStudyFunction& function, int bits,
                   static_cast<double>(approx.cost.transactions)
             : 0.0;
     return result;
+}
+
+std::size_t
+default_thread_count()
+{
+    return ThreadPool::global().size();
 }
 
 void

@@ -67,6 +67,10 @@ CaseStudyResult run_case_study(const CaseStudyFunction& function, int bits,
                                const device::DeviceModel& device,
                                int n = 1 << 15);
 
+/// Worker-thread count for concurrency benchmarks: the global pool's
+/// size, which honours the PARAPROX_THREADS environment override.
+std::size_t default_thread_count();
+
 /// Print a horizontal rule + title.
 void print_header(const std::string& title);
 

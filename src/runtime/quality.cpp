@@ -39,6 +39,8 @@ quality_percent(Metric metric, const std::vector<float>& exact,
             ref += std::fabs(static_cast<double>(exact[i]));
             ++counted;
         }
+        if (counted == 0)
+            return 0.0;
         if (ref == 0.0)
             return err == 0.0 ? 100.0 : 0.0;
         return std::max(0.0, 100.0 * (1.0 - err / ref));
@@ -52,6 +54,8 @@ quality_percent(Metric metric, const std::vector<float>& exact,
             ref += static_cast<double>(exact[i]) * exact[i];
             ++counted;
         }
+        if (counted == 0)
+            return 0.0;
         if (ref == 0.0)
             return err == 0.0 ? 100.0 : 0.0;
         return std::max(0.0, 100.0 * (1.0 - std::sqrt(err / ref)));
@@ -67,7 +71,7 @@ quality_percent(Metric metric, const std::vector<float>& exact,
             ++counted;
         }
         if (counted == 0)
-            return 100.0;
+            return 0.0;
         return std::max(0.0,
                         100.0 * (1.0 - err / static_cast<double>(counted)));
       }

@@ -21,7 +21,10 @@ std::string to_string(Metric metric);
 
 /// Quality percentage of @p approx against @p exact under @p metric.
 /// Non-finite elements are skipped (matching how GPU benchmarks treat
-/// stray NaNs in reference outputs).
+/// stray NaNs in reference outputs).  Degenerate inputs have defined
+/// values: empty vectors score 100 (nothing diverged), while non-empty
+/// vectors where every pair was skipped — e.g. an all-NaN approximate
+/// output — score 0 (nothing usable was produced).
 double quality_percent(Metric metric, const std::vector<float>& exact,
                        const std::vector<float>& approx);
 

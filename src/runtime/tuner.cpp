@@ -24,13 +24,14 @@ Tuner::calibrate(const std::vector<std::uint64_t>& training_seeds,
 {
     PARAPROX_CHECK(!training_seeds.empty(),
                    "calibration needs at least one training input");
-    profiles_.assign(variants_.size(), {});
 
     // Materialize every (variant, seed) execution first — in parallel when
     // requested — then aggregate serially in a fixed order.  Selection is
     // decided by modeled cycles, which are deterministic per run, so the
     // parallel sweep picks the same variant as a serial one; wall times are
-    // advisory and may be skewed by concurrency.
+    // advisory and may be skewed by concurrency.  The sweep runs outside
+    // the tuner lock so concurrent run_selected() callers keep serving the
+    // previous selection during a recalibration.
     const std::size_t num_seeds = training_seeds.size();
     std::vector<VariantRun> runs(variants_.size() * num_seeds);
     auto run_one = [&](std::size_t job) {
@@ -44,6 +45,9 @@ Tuner::calibrate(const std::vector<std::uint64_t>& training_seeds,
         for (std::size_t job = 0; job < runs.size(); ++job)
             run_one(job);
     }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    profiles_.assign(variants_.size(), {});
 
     const VariantRun* exact_runs = runs.data();
     double exact_cycles = 0.0;
@@ -103,35 +107,87 @@ Tuner::calibrate(const std::vector<std::uint64_t>& training_seeds,
     return profiles_;
 }
 
+const std::vector<VariantProfile>&
+Tuner::recalibrate(const std::vector<std::uint64_t>& training_seeds,
+                   bool parallel)
+{
+    const auto& profiles = calibrate(training_seeds, parallel);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.recalibrations;
+    return profiles;
+}
+
 VariantRun
 Tuner::invoke(std::uint64_t input_seed)
 {
-    PARAPROX_CHECK(calibrated_, "call calibrate() before invoke()");
-    ++stats_.invocations;
+    int index;
+    std::uint64_t invocation;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        PARAPROX_CHECK(calibrated_, "call calibrate() before invoke()");
+        invocation = ++stats_.invocations;
+        index = selected_;
+    }
 
-    VariantRun run = variants_[selected_].run(input_seed);
-    if (run.trapped && selected_ != 0) {
+    VariantRun run = variants_[index].run(input_seed);
+    if (run.trapped && index != 0) {
         // Unsafe execution: fall back to exact for this input and demote
         // the variant permanently (§5, safety).
-        ++stats_.backoffs;
-        drop_selected_and_advance();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.backoffs;
+            if (selected_ == index)
+                drop_selected_and_advance();
+        }
         return variants_[0].run(input_seed);
     }
 
-    const bool audit = selected_ != 0 &&
-                       stats_.invocations % check_interval_ == 0;
+    const bool audit = index != 0 && invocation % check_interval_ == 0;
     if (audit) {
-        ++stats_.quality_checks;
         VariantRun exact = variants_[0].run(input_seed);
         const double quality =
             quality_percent(metric_, exact.output, run.output);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.quality_checks;
         if (quality < toq_) {
             ++stats_.violations;
             ++stats_.backoffs;
-            drop_selected_and_advance();
+            if (selected_ == index)
+                drop_selected_and_advance();
         }
     }
     return run;
+}
+
+VariantRun
+Tuner::run_selected(std::uint64_t input_seed)
+{
+    int index;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        PARAPROX_CHECK(calibrated_,
+                       "call calibrate() before run_selected()");
+        ++stats_.invocations;
+        index = selected_;
+    }
+
+    VariantRun run = variants_[index].run(input_seed);
+    if (run.trapped && index != 0) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.backoffs;
+            if (selected_ == index)
+                drop_selected_and_advance();
+        }
+        return variants_[0].run(input_seed);
+    }
+    return run;
+}
+
+VariantRun
+Tuner::run_exact(std::uint64_t input_seed) const
+{
+    return variants_[0].run(input_seed);
 }
 
 void
@@ -148,6 +204,27 @@ const std::string&
 Tuner::selected_label() const
 {
     return variants_[selected_].label;
+}
+
+TunerStats
+Tuner::stats_snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::string
+Tuner::selected_label_snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return variants_[selected_].label;
+}
+
+int
+Tuner::selected_index_snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return selected_;
 }
 
 }  // namespace paraprox::runtime

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,7 @@ struct TunerStats {
     std::uint64_t quality_checks = 0;
     std::uint64_t violations = 0;  ///< TOQ misses observed at runtime.
     std::uint64_t backoffs = 0;    ///< Variant downgrades performed.
+    std::uint64_t recalibrations = 0;  ///< Full re-profiling passes.
 };
 
 /// Calibrate-then-monitor tuner over a fixed variant list.
@@ -82,25 +84,61 @@ class Tuner {
     calibrate(const std::vector<std::uint64_t>& training_seeds,
               bool parallel = true);
 
+    /// Re-run calibration over fresh training inputs, rebuilding the
+    /// fallback chain and selection from scratch and bumping
+    /// stats().recalibrations.  Unlike the permanent demotion of invoke()
+    /// backoff, a recalibration can re-promote a previously dropped
+    /// variant once inputs recover.  Safe to call while other threads are
+    /// inside run_selected() / run_exact(); they keep serving the old
+    /// selection until the new one is installed.
+    const std::vector<VariantProfile>&
+    recalibrate(const std::vector<std::uint64_t>& training_seeds,
+                bool parallel = true);
+
     /// Execute the current selection on @p input_seed.  Periodically also
     /// runs the exact kernel on the same input to audit quality; on a TOQ
     /// violation, steps down to the next less aggressive variant.
+    /// Single-caller: concurrent serving goes through run_selected().
     VariantRun invoke(std::uint64_t input_seed);
+
+    /// Thread-safe serving path: execute the currently selected variant
+    /// without invoke()'s periodic quality audit — a serving layer is
+    /// expected to own auditing (see serve::QualityMonitor).  A trapped
+    /// execution still demotes the variant and re-serves the input with
+    /// the exact kernel.
+    VariantRun run_selected(std::uint64_t input_seed);
+
+    /// Thread-safe: execute the exact kernel (variants[0]) on
+    /// @p input_seed, bypassing selection and all bookkeeping.
+    VariantRun run_exact(std::uint64_t input_seed) const;
 
     int selected_index() const { return selected_; }
     const std::string& selected_label() const;
     const TunerStats& stats() const { return stats_; }
     const std::vector<VariantProfile>& profiles() const { return profiles_; }
 
+    /// Copies taken under the tuner lock, for observers that run
+    /// concurrently with serving (the reference accessors above are only
+    /// safe once the tuner has quiesced).
+    TunerStats stats_snapshot() const;
+    std::string selected_label_snapshot() const;
+    int selected_index_snapshot() const;
+
   private:
     /// Demote the current selection: remove it from the fallback chain and
-    /// move to the next (less aggressive / slower) candidate.
+    /// move to the next (less aggressive / slower) candidate.  Caller
+    /// holds mutex_.
     void drop_selected_and_advance();
 
-    std::vector<Variant> variants_;
+    std::vector<Variant> variants_;  ///< Immutable after construction.
     Metric metric_;
     double toq_;
     int check_interval_;
+
+    /// Guards all mutable tuning state below.  Variant executions happen
+    /// outside the lock; the closures are concurrency-safe by construction
+    /// (parallel calibration already runs them from many pool threads).
+    mutable std::mutex mutex_;
     int selected_ = 0;
     std::vector<VariantProfile> profiles_;
     /// Variant indices ordered by profiled speed among TOQ-passing ones

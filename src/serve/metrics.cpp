@@ -1,0 +1,76 @@
+#include "serve/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+namespace paraprox::serve {
+
+void
+LatencyHistogram::record(double seconds)
+{
+    if (!(seconds > 0.0))
+        seconds = 0.0;
+    const double ns = seconds * 1e9;
+    std::uint64_t ticks = 1;
+    if (ns >= 1.0) {
+        // Anything beyond the top bucket saturates there.
+        ticks = ns >= 9.2e18 ? ~std::uint64_t{0}
+                             : static_cast<std::uint64_t>(ns);
+    }
+    const int bucket = std::bit_width(ticks) - 1;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencySnapshot
+LatencyHistogram::snapshot() const
+{
+    std::uint64_t counts[kBuckets];
+    std::uint64_t total = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+        total += counts[i];
+    }
+
+    LatencySnapshot out;
+    out.count = total;
+    if (total == 0)
+        return out;
+
+    const auto quantile = [&](double q) {
+        const std::uint64_t target = static_cast<std::uint64_t>(
+            std::ceil(q * static_cast<double>(total)));
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < kBuckets; ++i) {
+            cumulative += counts[i];
+            if (cumulative >= target && counts[i] > 0)
+                return std::ldexp(1.0, i + 1) * 1e-9;  // bucket upper bound
+        }
+        return std::ldexp(1.0, kBuckets) * 1e-9;
+    };
+    out.p50 = quantile(0.50);
+    out.p95 = quantile(0.95);
+    out.p99 = quantile(0.99);
+    return out;
+}
+
+MetricsSnapshot
+Metrics::snapshot() const
+{
+    MetricsSnapshot out;
+    out.accepted = accepted.load(std::memory_order_relaxed);
+    out.rejected_full = rejected_full.load(std::memory_order_relaxed);
+    out.rejected_unknown = rejected_unknown.load(std::memory_order_relaxed);
+    out.rejected_stopped = rejected_stopped.load(std::memory_order_relaxed);
+    out.served = served.load(std::memory_order_relaxed);
+    out.shadow_runs = shadow_runs.load(std::memory_order_relaxed);
+    out.shadow_violations =
+        shadow_violations.load(std::memory_order_relaxed);
+    out.recalibrations = recalibrations.load(std::memory_order_relaxed);
+    out.exact_while_recalibrating =
+        exact_while_recalibrating.load(std::memory_order_relaxed);
+    out.queue_depth = queue_depth.load(std::memory_order_relaxed);
+    out.latency = latency.snapshot();
+    return out;
+}
+
+}  // namespace paraprox::serve

@@ -1,0 +1,79 @@
+/// @file
+/// Observability for the serving subsystem: monotonic counters, a
+/// queue-depth gauge, and a lock-free log2-bucketed latency histogram
+/// with percentile snapshot export.
+///
+/// Everything here is bumped from worker threads on the request path, so
+/// the primitives are plain atomics — no locks, no allocation.  Snapshots
+/// are consistent per counter, not across counters; that is the usual
+/// contract for serving metrics.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace paraprox::serve {
+
+/// Point-in-time view of the latency distribution, in seconds.
+/// Percentiles are bucket upper bounds (conservative: the true quantile
+/// is at most the reported value, within one power-of-two bucket).
+struct LatencySnapshot {
+    std::uint64_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/// Log2-bucketed histogram over [1 ns, ~2^63 ns); record() is wait-free.
+class LatencyHistogram {
+  public:
+    void record(double seconds);
+    LatencySnapshot snapshot() const;
+
+  private:
+    static constexpr int kBuckets = 64;
+    /// buckets_[i] counts samples with bit_width(nanoseconds) == i + 1,
+    /// i.e. latencies in [2^i, 2^(i+1)) ns.
+    std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Plain-struct copy of every counter, for printing and assertions.
+struct MetricsSnapshot {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_full = 0;
+    std::uint64_t rejected_unknown = 0;
+    std::uint64_t rejected_stopped = 0;
+    std::uint64_t served = 0;
+    std::uint64_t shadow_runs = 0;
+    std::uint64_t shadow_violations = 0;
+    std::uint64_t recalibrations = 0;
+    std::uint64_t exact_while_recalibrating = 0;
+    /// Variant downgrades across all kernels.  Tuners own this count;
+    /// ApproxService::snapshot() aggregates it in — it stays 0 in a bare
+    /// Metrics::snapshot().
+    std::uint64_t backoffs = 0;
+    std::int64_t queue_depth = 0;
+    LatencySnapshot latency;
+};
+
+/// The registry the service, monitor, and tuner report through.  Fields
+/// are public atomics: the request path bumps them directly.
+class Metrics {
+  public:
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected_full{0};
+    std::atomic<std::uint64_t> rejected_unknown{0};
+    std::atomic<std::uint64_t> rejected_stopped{0};
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> shadow_runs{0};
+    std::atomic<std::uint64_t> shadow_violations{0};
+    std::atomic<std::uint64_t> recalibrations{0};
+    std::atomic<std::uint64_t> exact_while_recalibrating{0};
+    std::atomic<std::int64_t> queue_depth{0};
+    LatencyHistogram latency;
+
+    MetricsSnapshot snapshot() const;
+};
+
+}  // namespace paraprox::serve

@@ -1,0 +1,100 @@
+#include "serve/monitor.h"
+
+#include "support/error.h"
+
+namespace paraprox::serve {
+
+QualityMonitor::QualityMonitor(double toq_percent, Config config)
+    : toq_(toq_percent), config_(config)
+{
+    PARAPROX_CHECK(config_.shadow_interval > 0,
+                   "shadow interval must be positive");
+    PARAPROX_CHECK(config_.window > 0, "window must be non-empty");
+    PARAPROX_CHECK(config_.trigger_streak > 0,
+                   "trigger streak must be positive");
+    PARAPROX_CHECK(config_.min_samples > 0,
+                   "min samples must be positive");
+    PARAPROX_CHECK(config_.seed_memory > 0,
+                   "seed memory must be non-empty");
+}
+
+bool
+QualityMonitor::admit(std::uint64_t seed)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++requests_;
+    seeds_.push_back(seed);
+    if (seeds_.size() > config_.seed_memory)
+        seeds_.pop_front();
+    return requests_ % static_cast<std::uint64_t>(
+                           config_.shadow_interval) == 0;
+}
+
+bool
+QualityMonitor::record(double quality_percent)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++shadows_;
+    window_.push_back(quality_percent);
+    if (window_.size() > config_.window)
+        window_.pop_front();
+
+    if (quality_percent < toq_) {
+        ++violations_;
+        ++streak_;
+    } else {
+        streak_ = 0;
+    }
+
+    if (trigger_pending_ || streak_ < config_.trigger_streak ||
+        window_.size() < config_.min_samples)
+        return false;
+
+    double sum = 0.0;
+    for (const double q : window_)
+        sum += q;
+    if (sum / static_cast<double>(window_.size()) >= toq_)
+        return false;
+
+    trigger_pending_ = true;
+    ++triggers_;
+    return true;
+}
+
+void
+QualityMonitor::on_recalibrated()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    window_.clear();
+    streak_ = 0;
+    trigger_pending_ = false;
+}
+
+std::vector<std::uint64_t>
+QualityMonitor::recent_seeds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {seeds_.begin(), seeds_.end()};
+}
+
+QualityMonitor::Snapshot
+QualityMonitor::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot out;
+    out.requests = requests_;
+    out.shadows = shadows_;
+    out.violations = violations_;
+    out.triggers = triggers_;
+    if (!window_.empty()) {
+        double sum = 0.0;
+        for (const double q : window_)
+            sum += q;
+        out.window_mean = sum / static_cast<double>(window_.size());
+    }
+    out.streak = streak_;
+    out.trigger_pending = trigger_pending_;
+    return out;
+}
+
+}  // namespace paraprox::serve

@@ -1,0 +1,89 @@
+/// @file
+/// Per-kernel online TOQ monitoring with hysteresis.
+///
+/// The tuner's own invoke()-time audit is a single-caller affair; under
+/// concurrent serving the QualityMonitor owns quality accounting instead.
+/// It shadows a configurable sample of requests with the exact kernel,
+/// keeps a sliding window of the observed qualities, and asks for a full
+/// recalibration only on *sustained* violation — a streak of violating
+/// shadows over a window whose mean is below the TOQ — so one unlucky
+/// input never thrashes the variant selection (paper §5's drift
+/// behaviour, with hysteresis).  After a recalibration the window is
+/// cleared and evidence must re-accumulate before the next trigger.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace paraprox::serve {
+
+class QualityMonitor {
+  public:
+    struct Config {
+        /// Shadow every Nth request with the exact kernel.
+        int shadow_interval = 8;
+        /// Sliding window of shadow qualities the drift decision reads.
+        std::size_t window = 32;
+        /// Minimum shadows in the window before a trigger is possible.
+        std::size_t min_samples = 4;
+        /// Consecutive violating shadows required to trigger.
+        int trigger_streak = 3;
+        /// How many recently served input seeds to remember; these become
+        /// the recalibration training set, so the tuner re-profiles on the
+        /// inputs that actually drifted.
+        std::size_t seed_memory = 64;
+    };
+
+    /// Cumulative and windowed monitor state, copied under the lock.
+    struct Snapshot {
+        std::uint64_t requests = 0;
+        std::uint64_t shadows = 0;
+        std::uint64_t violations = 0;
+        std::uint64_t triggers = 0;
+        double window_mean = 100.0;  ///< 100 when the window is empty.
+        int streak = 0;
+        bool trigger_pending = false;
+    };
+
+    QualityMonitor(double toq_percent, Config config);
+
+    /// Account one admitted request (remembering its seed) and decide
+    /// whether this request should also be shadowed by the exact kernel.
+    bool admit(std::uint64_t seed);
+
+    /// Record the quality of one shadowed request.  Returns true exactly
+    /// once per drift episode: when the violation streak and the window
+    /// mean both say the TOQ loss is sustained.  Further shadows return
+    /// false until on_recalibrated() re-arms the trigger.
+    bool record(double quality_percent);
+
+    /// A triggered recalibration finished: clear the window and streak so
+    /// evidence re-accumulates before the monitor can fire again.
+    void on_recalibrated();
+
+    /// The most recently served seeds, oldest first (at most
+    /// Config::seed_memory of them).
+    std::vector<std::uint64_t> recent_seeds() const;
+
+    Snapshot snapshot() const;
+    double toq() const { return toq_; }
+
+  private:
+    const double toq_;
+    const Config config_;
+
+    mutable std::mutex mutex_;
+    std::deque<double> window_;
+    std::deque<std::uint64_t> seeds_;
+    int streak_ = 0;
+    bool trigger_pending_ = false;
+    std::uint64_t requests_ = 0;
+    std::uint64_t shadows_ = 0;
+    std::uint64_t violations_ = 0;
+    std::uint64_t triggers_ = 0;
+};
+
+}  // namespace paraprox::serve

@@ -1,0 +1,104 @@
+/// @file
+/// A bounded MPMC queue with reject-on-full backpressure.
+///
+/// The serving subsystem never blocks a producer: when the queue is at
+/// capacity, try_push fails immediately with a reason the caller can
+/// surface to its client (shed load at the edge instead of letting an
+/// unbounded backlog grow — the paper's runtime budget only holds if
+/// admission is bounded).  Consumers block; close() lets them drain what
+/// was admitted and then exit, which is what "stop without dropping
+/// queued requests" means.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+namespace paraprox::serve {
+
+/// Why a push was (or was not) admitted.
+enum class PushResult {
+    Ok,      ///< Enqueued.
+    Full,    ///< At capacity; retry later or shed the request.
+    Closed,  ///< close() was called; no further admissions.
+};
+
+inline const char*
+to_string(PushResult result)
+{
+    switch (result) {
+      case PushResult::Ok: return "ok";
+      case PushResult::Full: return "queue full";
+      case PushResult::Closed: return "queue closed";
+    }
+    return "<bad-push-result>";
+}
+
+/// Mutex-based bounded multi-producer multi-consumer queue.
+template <typename T>
+class BoundedQueue {
+  public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /// Non-blocking admission: enqueue @p item or say why not.  This is
+    /// the backpressure point — it never waits.
+    PushResult try_push(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return PushResult::Closed;
+            if (items_.size() >= capacity_)
+                return PushResult::Full;
+            items_.push_back(std::move(item));
+        }
+        ready_.notify_one();
+        return PushResult::Ok;
+    }
+
+    /// Blocking consumer side: waits until an item is available or the
+    /// queue is closed and drained.  Returns false only in the latter
+    /// case (the consumer should exit).
+    bool pop(T& out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        return true;
+    }
+
+    /// Refuse new admissions; already-queued items remain poppable.
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace paraprox::serve

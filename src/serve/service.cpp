@@ -1,0 +1,289 @@
+#include "serve/service.h"
+
+#include <chrono>
+
+#include "runtime/quality.h"
+#include "support/error.h"
+#include "support/parallel.h"
+
+namespace paraprox::serve {
+
+namespace {
+
+std::size_t
+resolve_workers(std::size_t requested)
+{
+    if (requested != 0)
+        return requested;
+    if (const std::size_t env = thread_override_from_env())
+        return env;
+    const std::size_t hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 4;
+}
+
+}  // namespace
+
+ApproxService::ApproxService(ServiceConfig config)
+    : config_(config), queue_(config.queue_capacity)
+{
+    PARAPROX_CHECK(config_.queue_capacity > 0,
+                   "queue capacity must be positive");
+    const std::size_t count = resolve_workers(config_.num_workers);
+    workers_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ApproxService::~ApproxService()
+{
+    stop();
+}
+
+void
+ApproxService::register_kernel(
+    const std::string& name, std::vector<runtime::Variant> variants,
+    runtime::Metric metric, double toq_percent,
+    const std::vector<std::uint64_t>& training_seeds)
+{
+    auto state = std::make_unique<KernelState>(
+        name, std::move(variants), metric, toq_percent, config_.monitor,
+        training_seeds);
+    state->tuner.calibrate(training_seeds);
+
+    std::lock_guard<std::mutex> lock(kernels_mutex_);
+    const bool inserted =
+        kernels_.emplace(name, std::move(state)).second;
+    PARAPROX_CHECK(inserted,
+                   "kernel `" + name + "` is already registered");
+}
+
+ApproxService::KernelState*
+ApproxService::find_kernel(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(kernels_mutex_);
+    const auto it = kernels_.find(name);
+    return it == kernels_.end() ? nullptr : it->second.get();
+}
+
+Ticket
+ApproxService::submit(const std::string& kernel, std::uint64_t seed)
+{
+    Ticket ticket;
+    if (stopped_.load(std::memory_order_acquire)) {
+        metrics_.rejected_stopped.fetch_add(1, std::memory_order_relaxed);
+        ticket.reject_reason = "service stopped";
+        return ticket;
+    }
+    KernelState* state = find_kernel(kernel);
+    if (state == nullptr) {
+        metrics_.rejected_unknown.fetch_add(1, std::memory_order_relaxed);
+        ticket.reject_reason = "unknown kernel `" + kernel + "`";
+        return ticket;
+    }
+
+    Job job;
+    job.kernel = state;
+    job.seed = seed;
+    ticket.response = job.promise.get_future();
+
+    // Count the admission before the push so a racing drain() cannot
+    // observe completed > accepted; undo on rejection.
+    {
+        std::lock_guard<std::mutex> lock(flight_mutex_);
+        ++flight_accepted_;
+    }
+    const PushResult pushed = queue_.try_push(std::move(job));
+    if (pushed != PushResult::Ok) {
+        {
+            std::lock_guard<std::mutex> lock(flight_mutex_);
+            --flight_accepted_;
+        }
+        flight_cv_.notify_all();
+        if (pushed == PushResult::Full)
+            metrics_.rejected_full.fetch_add(1, std::memory_order_relaxed);
+        else
+            metrics_.rejected_stopped.fetch_add(1,
+                                                std::memory_order_relaxed);
+        ticket.reject_reason = to_string(pushed);
+        ticket.response = {};
+        return ticket;
+    }
+
+    metrics_.accepted.fetch_add(1, std::memory_order_relaxed);
+    metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+    ticket.accepted = true;
+    return ticket;
+}
+
+void
+ApproxService::worker_loop()
+{
+    Job job;
+    while (queue_.pop(job)) {
+        metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+        const auto start = std::chrono::steady_clock::now();
+        try {
+            Response response = serve_one(*job.kernel, job.seed);
+            metrics_.latency.record(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+            metrics_.served.fetch_add(1, std::memory_order_relaxed);
+            job.promise.set_value(std::move(response));
+        } catch (...) {
+            job.promise.set_exception(std::current_exception());
+        }
+        finish_one();
+    }
+}
+
+Response
+ApproxService::serve_one(KernelState& state, std::uint64_t seed)
+{
+    Response response;
+    if (state.recalibrating.load(std::memory_order_acquire)) {
+        // The tuner is re-profiling: keep serving with the always-safe
+        // exact kernel rather than blocking (or dropping) the request.
+        response.run = state.tuner.run_exact(seed);
+        response.served_by = "exact";
+        metrics_.exact_while_recalibrating.fetch_add(
+            1, std::memory_order_relaxed);
+        return response;
+    }
+
+    const bool shadow = state.monitor.admit(seed);
+    response.run = state.tuner.run_selected(seed);
+    response.served_by = state.tuner.selected_label_snapshot();
+
+    // Shadow only approximate selections: auditing exact against itself
+    // would tell the monitor nothing.
+    if (shadow && state.tuner.selected_index_snapshot() != 0) {
+        const runtime::VariantRun exact = state.tuner.run_exact(seed);
+        response.shadowed = true;
+        response.shadow_quality = runtime::quality_percent(
+            state.metric, exact.output, response.run.output);
+        metrics_.shadow_runs.fetch_add(1, std::memory_order_relaxed);
+        if (response.shadow_quality < state.toq)
+            metrics_.shadow_violations.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        if (state.monitor.record(response.shadow_quality))
+            trigger_recalibration(state, {});
+    }
+    return response;
+}
+
+void
+ApproxService::recalibrate_kernel(const std::string& kernel,
+                                  std::vector<std::uint64_t> seeds)
+{
+    KernelState* state = find_kernel(kernel);
+    PARAPROX_CHECK(state != nullptr, "unknown kernel `" + kernel + "`");
+    if (seeds.empty())
+        seeds = state->training_seeds;
+    trigger_recalibration(*state, std::move(seeds));
+}
+
+void
+ApproxService::trigger_recalibration(KernelState& state,
+                                     std::vector<std::uint64_t> seeds)
+{
+    if (state.recalibrating.exchange(true, std::memory_order_acq_rel))
+        return;  // One re-profiling pass at a time per kernel.
+    metrics_.recalibrations.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(flight_mutex_);
+        ++pending_recalibrations_;
+    }
+    ThreadPool::global().submit([this, &state,
+                                 seeds = std::move(seeds)]() mutable {
+        // Re-profile on the inputs that actually drifted; fall back to
+        // the registration seeds if the monitor saw too few.
+        if (seeds.empty())
+            seeds = state.monitor.recent_seeds();
+        if (seeds.empty())
+            seeds = state.training_seeds;
+        try {
+            state.tuner.recalibrate(seeds);
+        } catch (...) {
+            // An exact-kernel trap during re-profiling leaves the
+            // previous selection standing; serving continues either way.
+        }
+        state.monitor.on_recalibrated();
+        state.recalibrating.store(false, std::memory_order_release);
+        // Notify under the lock: this task runs on the global pool, which
+        // outlives the service, so a drain()ing destructor must not be
+        // able to finish (and destroy the cv) mid-notify.
+        std::lock_guard<std::mutex> lock(flight_mutex_);
+        --pending_recalibrations_;
+        flight_cv_.notify_all();
+    });
+}
+
+void
+ApproxService::finish_one()
+{
+    {
+        std::lock_guard<std::mutex> lock(flight_mutex_);
+        ++flight_completed_;
+    }
+    flight_cv_.notify_all();
+}
+
+void
+ApproxService::drain()
+{
+    std::unique_lock<std::mutex> lock(flight_mutex_);
+    flight_cv_.wait(lock, [this] {
+        return flight_completed_ == flight_accepted_ &&
+               pending_recalibrations_ == 0;
+    });
+}
+
+void
+ApproxService::stop()
+{
+    stopped_.store(true, std::memory_order_release);
+    queue_.close();
+    for (auto& worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
+    drain();
+}
+
+KernelSnapshot
+ApproxService::snapshot_kernel(const KernelState& state)
+{
+    KernelSnapshot out;
+    out.kernel = state.name;
+    out.selected = state.tuner.selected_label_snapshot();
+    out.recalibrating = state.recalibrating.load(std::memory_order_acquire);
+    out.tuner = state.tuner.stats_snapshot();
+    out.monitor = state.monitor.snapshot();
+    return out;
+}
+
+ServiceSnapshot
+ApproxService::snapshot() const
+{
+    ServiceSnapshot out;
+    out.metrics = metrics_.snapshot();
+    std::lock_guard<std::mutex> lock(kernels_mutex_);
+    out.kernels.reserve(kernels_.size());
+    for (const auto& [name, state] : kernels_) {
+        out.kernels.push_back(snapshot_kernel(*state));
+        out.metrics.backoffs += out.kernels.back().tuner.backoffs;
+    }
+    return out;
+}
+
+KernelSnapshot
+ApproxService::kernel_snapshot(const std::string& kernel) const
+{
+    const KernelState* state = find_kernel(kernel);
+    PARAPROX_CHECK(state != nullptr,
+                   "unknown kernel `" + kernel + "`");
+    return snapshot_kernel(*state);
+}
+
+}  // namespace paraprox::serve

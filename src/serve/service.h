@@ -1,0 +1,177 @@
+/// @file
+/// ApproxService: the concurrent approximation-serving front end.
+///
+/// A KernelSession (or any variant list) ends at a calibrated
+/// runtime::Tuner — a single-caller object.  ApproxService is what turns
+/// that into a service: requests enter through a bounded MPMC queue with
+/// reject-on-full backpressure, a fixed pool of worker threads executes
+/// them against each kernel's currently selected variant, and a
+/// per-kernel QualityMonitor shadows a sample of requests with the exact
+/// kernel.  On sustained TOQ violation the monitor triggers an
+/// asynchronous recalibration (on the global ThreadPool) over the seeds
+/// that actually drifted; while it runs, the kernel's requests are served
+/// by the always-safe exact member, so nothing queued is ever dropped.
+///
+///     submit -> BoundedQueue -> workers -> Tuner::run_selected
+///                                 |-> QualityMonitor (shadow sample)
+///                                        |-> Tuner::recalibrate (async)
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/tuner.h"
+#include "serve/metrics.h"
+#include "serve/monitor.h"
+#include "serve/queue.h"
+
+namespace paraprox::serve {
+
+struct ServiceConfig {
+    /// Worker threads; 0 resolves like ThreadPool::global() (the
+    /// PARAPROX_THREADS override, then hardware_concurrency).
+    std::size_t num_workers = 0;
+    /// Bounded queue capacity; pushes beyond it are rejected.
+    std::size_t queue_capacity = 256;
+    /// Per-kernel monitoring knobs.
+    QualityMonitor::Config monitor;
+};
+
+/// What one served request produced.
+struct Response {
+    runtime::VariantRun run;
+    std::string served_by;       ///< Label of the variant that ran.
+    bool shadowed = false;
+    double shadow_quality = -1.0;  ///< Valid when shadowed.
+};
+
+/// Outcome of submit(): either a future or a rejection reason.
+struct Ticket {
+    bool accepted = false;
+    std::string reject_reason;  ///< Empty when accepted.
+    std::future<Response> response;  ///< Valid when accepted.
+};
+
+/// Per-kernel observability: selection, tuner stats, monitor state.
+struct KernelSnapshot {
+    std::string kernel;
+    std::string selected;
+    bool recalibrating = false;
+    runtime::TunerStats tuner;
+    QualityMonitor::Snapshot monitor;
+};
+
+/// Whole-service observability; metrics.backoffs is aggregated from the
+/// per-kernel tuner stats here.
+struct ServiceSnapshot {
+    MetricsSnapshot metrics;
+    std::vector<KernelSnapshot> kernels;
+};
+
+class ApproxService {
+  public:
+    explicit ApproxService(ServiceConfig config = {});
+    ~ApproxService();  ///< stop()s if the caller has not.
+
+    ApproxService(const ApproxService&) = delete;
+    ApproxService& operator=(const ApproxService&) = delete;
+
+    /// Register a kernel family under @p name and calibrate its tuner on
+    /// @p training_seeds (variants[0] must be the exact kernel).
+    /// Registering while serving is safe; re-registering a name is an
+    /// error.
+    void register_kernel(const std::string& name,
+                         std::vector<runtime::Variant> variants,
+                         runtime::Metric metric, double toq_percent,
+                         const std::vector<std::uint64_t>& training_seeds);
+
+    /// Admit one request.  Never blocks: a full queue, an unknown kernel,
+    /// or a stopped service rejects immediately with a reason.
+    Ticket submit(const std::string& kernel, std::uint64_t seed);
+
+    /// Operator hook: asynchronously recalibrate @p kernel over @p seeds
+    /// (the registration seeds when empty).  Shadowing cannot observe
+    /// recovery while the selection is exact, so re-promotion after a
+    /// drift episode ends is a driver decision.  No-op if a
+    /// recalibration is already in flight; drain() waits for it.
+    void recalibrate_kernel(const std::string& kernel,
+                            std::vector<std::uint64_t> seeds = {});
+
+    /// Block until every accepted request has been served and no
+    /// recalibration is in flight.
+    void drain();
+
+    /// Reject new requests, serve everything already queued, join the
+    /// workers, and wait out pending recalibrations.  Idempotent.
+    void stop();
+
+    std::size_t num_workers() const { return workers_.size(); }
+    const Metrics& metrics() const { return metrics_; }
+    ServiceSnapshot snapshot() const;
+    KernelSnapshot kernel_snapshot(const std::string& kernel) const;
+
+  private:
+    struct KernelState {
+        KernelState(std::string name_, std::vector<runtime::Variant> vs,
+                    runtime::Metric metric_, double toq_,
+                    QualityMonitor::Config monitor_config,
+                    std::vector<std::uint64_t> seeds)
+            : name(std::move(name_)),
+              tuner(std::move(vs), metric_, toq_),
+              metric(metric_), toq(toq_),
+              monitor(toq_, monitor_config),
+              training_seeds(std::move(seeds)) {}
+
+        const std::string name;
+        runtime::Tuner tuner;
+        const runtime::Metric metric;
+        const double toq;
+        QualityMonitor monitor;
+        const std::vector<std::uint64_t> training_seeds;
+        std::atomic<bool> recalibrating{false};
+    };
+
+    struct Job {
+        KernelState* kernel = nullptr;
+        std::uint64_t seed = 0;
+        std::promise<Response> promise;
+    };
+
+    void worker_loop();
+    Response serve_one(KernelState& state, std::uint64_t seed);
+    /// Empty @p seeds: use the monitor's recent (drifted) seeds, then the
+    /// registration seeds.
+    void trigger_recalibration(KernelState& state,
+                               std::vector<std::uint64_t> seeds);
+    KernelState* find_kernel(const std::string& name) const;
+    void finish_one();
+    static KernelSnapshot snapshot_kernel(const KernelState& state);
+
+    const ServiceConfig config_;
+    Metrics metrics_;
+    BoundedQueue<Job> queue_;
+
+    mutable std::mutex kernels_mutex_;
+    std::map<std::string, std::unique_ptr<KernelState>> kernels_;
+
+    std::vector<std::thread> workers_;
+    std::atomic<bool> stopped_{false};
+
+    /// In-flight accounting for drain()/stop().
+    mutable std::mutex flight_mutex_;
+    std::condition_variable flight_cv_;
+    std::uint64_t flight_accepted_ = 0;
+    std::uint64_t flight_completed_ = 0;
+    int pending_recalibrations_ = 0;
+};
+
+}  // namespace paraprox::serve

@@ -1,6 +1,7 @@
 #include "support/parallel.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 #include "support/error.h"
@@ -133,10 +134,20 @@ ThreadPool::parallel_for(std::size_t count,
         std::rethrow_exception(shared->error);
 }
 
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+    }
+    wake_.notify_one();
+}
+
 ThreadPool&
 ThreadPool::global()
 {
-    static ThreadPool pool;
+    static ThreadPool pool(thread_override_from_env());
     return pool;
 }
 
@@ -144,6 +155,19 @@ void
 parallel_for(std::size_t count, const std::function<void(std::size_t)>& body)
 {
     ThreadPool::global().parallel_for(count, body);
+}
+
+std::size_t
+thread_override_from_env()
+{
+    const char* text = std::getenv("PARAPROX_THREADS");
+    if (text == nullptr || *text == '\0')
+        return 0;
+    char* end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end == nullptr || *end != '\0' || value <= 0)
+        return 0;
+    return static_cast<std::size_t>(value);
 }
 
 }  // namespace paraprox

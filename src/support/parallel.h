@@ -36,7 +36,19 @@ class ThreadPool {
     void parallel_for(std::size_t count,
                       const std::function<void(std::size_t)>& body);
 
-    /// The process-wide default pool.
+    /// Fire-and-forget: enqueue @p task for execution on some worker and
+    /// return immediately.  The task must not throw — an exception escaping
+    /// it terminates the process (there is no caller to rethrow to).
+    /// Completion, if the caller cares, must be signalled by the task
+    /// itself (serve::ApproxService counts pending recalibrations this
+    /// way).
+    void submit(std::function<void()> task);
+
+    /// The process-wide default pool.  Its worker count is resolved once,
+    /// at first use: the PARAPROX_THREADS environment variable when set to
+    /// a positive integer (see thread_override_from_env), otherwise
+    /// hardware_concurrency().  CI and benchmark harnesses use the env
+    /// override to pin worker counts.
     static ThreadPool& global();
 
   private:
@@ -52,5 +64,10 @@ class ThreadPool {
 /// Convenience wrapper over ThreadPool::global().parallel_for.
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body);
+
+/// The PARAPROX_THREADS worker-count override: the parsed value when the
+/// variable is set to a positive integer, otherwise 0 (meaning "use the
+/// hardware default").  Read once by ThreadPool::global() at first use.
+std::size_t thread_override_from_env();
 
 }  // namespace paraprox

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <thread>
 
 #include "runtime/quality.h"
 #include "runtime/tuner.h"
@@ -62,6 +64,28 @@ TEST(QualityTest, NonFiniteSkipped)
     std::vector<float> approx = {1.0f, 5.0f, 3.0f};
     EXPECT_DOUBLE_EQ(quality_percent(Metric::L1Norm, exact, approx),
                      100.0);
+}
+
+TEST(QualityTest, EmptyVectorsScoreHundred)
+{
+    for (const Metric metric : {Metric::L1Norm, Metric::L2Norm,
+                                Metric::MeanRelativeError})
+        EXPECT_DOUBLE_EQ(quality_percent(metric, {}, {}), 100.0);
+}
+
+TEST(QualityTest, AllNonFiniteScoresZero)
+{
+    // Every pair skipped means the approximation produced nothing
+    // usable: defined as 0, not whatever the skip loop leaves behind.
+    const std::vector<float> finite = {1.0f, 2.0f};
+    const std::vector<float> broken = {std::nanf(""),
+                                       std::numeric_limits<float>::infinity()};
+    for (const Metric metric : {Metric::L1Norm, Metric::L2Norm,
+                                Metric::MeanRelativeError}) {
+        EXPECT_DOUBLE_EQ(quality_percent(metric, finite, broken), 0.0);
+        EXPECT_DOUBLE_EQ(quality_percent(metric, broken, finite), 0.0);
+        EXPECT_DOUBLE_EQ(quality_percent(metric, broken, broken), 0.0);
+    }
 }
 
 TEST(QualityTest, SizeMismatchRejected)
@@ -201,6 +225,133 @@ TEST(TunerTest, BackoffStepsThroughFallbackChain)
     EXPECT_EQ(tuner.selected_label(), "exact");
     EXPECT_EQ(tuner.stats().quality_checks, 2u);
     EXPECT_EQ(tuner.stats().backoffs, 2u);
+}
+
+TEST(TunerTest, BackoffExhaustionLandsOnExactAndStays)
+{
+    // Every approximate variant degrades at runtime: the violation
+    // cascade must walk the whole fallback chain, land on the exact
+    // variant (aggressiveness 0), stay there, and count each downgrade
+    // exactly once.
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(degrading_variant("a3", 3, 50.0));
+    variants.push_back(degrading_variant("a2", 2, 200.0));
+    variants.push_back(degrading_variant("a1", 1, 500.0));
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0,
+                /*check_interval=*/1);
+    tuner.calibrate({1, 2});
+    EXPECT_EQ(tuner.selected_label(), "a3");
+
+    std::uint64_t seed = 100;
+    while (tuner.selected_index() != 0)
+        tuner.invoke(seed++);
+    EXPECT_EQ(tuner.selected_label(), "exact");
+    EXPECT_EQ(tuner.stats().backoffs, 3u);     // One per approx variant.
+    EXPECT_EQ(tuner.stats().violations, 3u);
+
+    // Exhausted: further violating inputs change nothing.
+    for (int i = 0; i < 20; ++i)
+        tuner.invoke(seed++);
+    EXPECT_EQ(tuner.selected_index(), 0);
+    EXPECT_EQ(tuner.selected_label(), "exact");
+    EXPECT_EQ(tuner.stats().backoffs, 3u);
+    EXPECT_EQ(tuner.stats().violations, 3u);
+}
+
+TEST(TunerTest, RecalibrateRebuildsSelectionAndCounts)
+{
+    // After runtime backoff demoted the variant, recalibrating on clean
+    // inputs re-promotes it — unlike invoke()'s permanent demotion — and
+    // recalibrating on drifted inputs drops it again.
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(degrading_variant("shifty", 1, 10.0));
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0,
+                /*check_interval=*/1);
+    tuner.calibrate({1, 2});
+    EXPECT_EQ(tuner.selected_label(), "shifty");
+
+    tuner.invoke(100);  // Violation: demoted to exact.
+    EXPECT_EQ(tuner.selected_label(), "exact");
+
+    tuner.recalibrate({3, 4});  // Clean inputs again.
+    EXPECT_EQ(tuner.selected_label(), "shifty");
+    EXPECT_EQ(tuner.stats().recalibrations, 1u);
+
+    tuner.recalibrate({100, 101});  // Drifted training set.
+    EXPECT_EQ(tuner.selected_label(), "exact");
+    EXPECT_EQ(tuner.stats().recalibrations, 2u);
+    // Runtime counters survive recalibration.
+    EXPECT_GE(tuner.stats().invocations, 1u);
+}
+
+TEST(TunerTest, RunSelectedSkipsAuditsButCountsInvocations)
+{
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(degrading_variant("shifty", 1, 10.0));
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0,
+                /*check_interval=*/1);
+    tuner.calibrate({1, 2});
+
+    // Degraded inputs, but run_selected never audits: no violations, no
+    // backoff — quality accounting belongs to the serving layer.
+    for (std::uint64_t seed = 100; seed < 120; ++seed)
+        tuner.run_selected(seed);
+    EXPECT_EQ(tuner.selected_label(), "shifty");
+    EXPECT_EQ(tuner.stats().invocations, 20u);
+    EXPECT_EQ(tuner.stats().quality_checks, 0u);
+    EXPECT_EQ(tuner.stats().backoffs, 0u);
+}
+
+TEST(TunerTest, RunSelectedTrapStillDemotes)
+{
+    Variant unstable{"unstable", 1, [](std::uint64_t seed) {
+                         VariantRun run;
+                         run.output = {static_cast<float>(seed % 7), 10.0f};
+                         run.modeled_cycles = 10.0;
+                         run.trapped = seed >= 100;
+                         return run;
+                     }};
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(unstable);
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0);
+    tuner.calibrate({1, 2});
+
+    const VariantRun served = tuner.run_selected(100);
+    EXPECT_FALSE(served.trapped);  // Served by the exact rerun.
+    EXPECT_EQ(tuner.selected_label(), "exact");
+    EXPECT_EQ(tuner.stats().backoffs, 1u);
+}
+
+TEST(TunerTest, ConcurrentRunSelectedKeepsCountsConsistent)
+{
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(fake_variant("good", 1, 0.01f, 100.0));
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0);
+    tuner.calibrate({1, 2});
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&tuner, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                tuner.run_selected(static_cast<std::uint64_t>(t * 1000 + i));
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+
+    const TunerStats stats = tuner.stats_snapshot();
+    EXPECT_EQ(stats.invocations,
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(stats.backoffs, 0u);
+    EXPECT_EQ(tuner.selected_label_snapshot(), "good");
+    EXPECT_EQ(tuner.selected_index_snapshot(), 1);
 }
 
 TEST(TunerTest, TrappedAtRuntimeBacksOffPermanently)

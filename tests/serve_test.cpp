@@ -1,0 +1,453 @@
+// Tests for the serving subsystem: the bounded queue's backpressure, the
+// latency histogram, the quality monitor's hysteresis, and ApproxService
+// end-to-end — including the forced-drift scenario where the monitor must
+// recalibrate back under the TOQ without dropping queued requests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "serve/metrics.h"
+#include "serve/monitor.h"
+#include "serve/queue.h"
+#include "serve/service.h"
+#include "support/error.h"
+
+namespace paraprox::serve {
+namespace {
+
+using runtime::Metric;
+using runtime::Variant;
+using runtime::VariantRun;
+
+// ---- BoundedQueue -----------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoWithinCapacity)
+{
+    BoundedQueue<int> queue(4);
+    EXPECT_EQ(queue.try_push(1), PushResult::Ok);
+    EXPECT_EQ(queue.try_push(2), PushResult::Ok);
+    int out = 0;
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 1);
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueueTest, RejectsWhenFull)
+{
+    BoundedQueue<int> queue(2);
+    EXPECT_EQ(queue.try_push(1), PushResult::Ok);
+    EXPECT_EQ(queue.try_push(2), PushResult::Ok);
+    EXPECT_EQ(queue.try_push(3), PushResult::Full);
+    int out = 0;
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(queue.try_push(3), PushResult::Ok);
+    EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenStopsConsumers)
+{
+    BoundedQueue<int> queue(4);
+    ASSERT_EQ(queue.try_push(7), PushResult::Ok);
+    queue.close();
+    EXPECT_EQ(queue.try_push(8), PushResult::Closed);
+    int out = 0;
+    EXPECT_TRUE(queue.pop(out));  // Queued before close: still served.
+    EXPECT_EQ(out, 7);
+    EXPECT_FALSE(queue.pop(out));  // Drained: consumer exits.
+}
+
+TEST(BoundedQueueTest, PushResultNames)
+{
+    EXPECT_STREQ(to_string(PushResult::Full), "queue full");
+    EXPECT_STREQ(to_string(PushResult::Closed), "queue closed");
+}
+
+// ---- LatencyHistogram -------------------------------------------------------
+
+TEST(LatencyHistogramTest, PercentilesAreOrderedAndBracketSamples)
+{
+    LatencyHistogram histogram;
+    for (int i = 0; i < 90; ++i)
+        histogram.record(1e-3);  // 1 ms
+    for (int i = 0; i < 10; ++i)
+        histogram.record(0.1);  // 100 ms
+    const LatencySnapshot snap = histogram.snapshot();
+    EXPECT_EQ(snap.count, 100u);
+    EXPECT_LE(snap.p50, snap.p95);
+    EXPECT_LE(snap.p95, snap.p99);
+    // Bucket upper bounds: p50 lands in the 1 ms bucket (< 2.1 ms), p99
+    // in the 100 ms bucket (>= 100 ms).
+    EXPECT_LT(snap.p50, 2.2e-3);
+    EXPECT_GE(snap.p99, 0.1);
+}
+
+TEST(LatencyHistogramTest, EmptySnapshotIsZero)
+{
+    LatencyHistogram histogram;
+    const LatencySnapshot snap = histogram.snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.p99, 0.0);
+}
+
+// ---- QualityMonitor ---------------------------------------------------------
+
+QualityMonitor::Config
+tight_monitor()
+{
+    QualityMonitor::Config config;
+    config.shadow_interval = 3;
+    config.window = 4;
+    config.min_samples = 2;
+    config.trigger_streak = 2;
+    config.seed_memory = 8;
+    return config;
+}
+
+TEST(QualityMonitorTest, AdmitsEveryNthRequestForShadowing)
+{
+    QualityMonitor monitor(90.0, tight_monitor());
+    int shadows = 0;
+    for (std::uint64_t seed = 0; seed < 9; ++seed)
+        shadows += monitor.admit(seed);
+    EXPECT_EQ(shadows, 3);  // every 3rd of 9
+}
+
+TEST(QualityMonitorTest, OneBadShadowDoesNotTrigger)
+{
+    QualityMonitor monitor(90.0, tight_monitor());
+    EXPECT_FALSE(monitor.record(50.0));  // streak 1 < 2
+    EXPECT_FALSE(monitor.record(99.0));  // recovery resets the streak
+    EXPECT_FALSE(monitor.record(50.0));
+    EXPECT_EQ(monitor.snapshot().triggers, 0u);
+}
+
+TEST(QualityMonitorTest, SustainedViolationTriggersExactlyOnce)
+{
+    QualityMonitor monitor(90.0, tight_monitor());
+    EXPECT_FALSE(monitor.record(50.0));
+    EXPECT_TRUE(monitor.record(50.0));   // streak 2, window mean 50
+    EXPECT_FALSE(monitor.record(50.0));  // pending: armed only once
+    const auto snap = monitor.snapshot();
+    EXPECT_EQ(snap.triggers, 1u);
+    EXPECT_EQ(snap.violations, 3u);
+    EXPECT_TRUE(snap.trigger_pending);
+}
+
+TEST(QualityMonitorTest, RecalibrationRearmsAfterFreshEvidence)
+{
+    QualityMonitor monitor(90.0, tight_monitor());
+    monitor.record(50.0);
+    EXPECT_TRUE(monitor.record(50.0));
+    monitor.on_recalibrated();
+    EXPECT_FALSE(monitor.snapshot().trigger_pending);
+    // The window was cleared: a fresh sustained violation re-triggers.
+    EXPECT_FALSE(monitor.record(50.0));
+    EXPECT_TRUE(monitor.record(50.0));
+    EXPECT_EQ(monitor.snapshot().triggers, 2u);
+}
+
+TEST(QualityMonitorTest, RemembersRecentSeedsBounded)
+{
+    QualityMonitor monitor(90.0, tight_monitor());
+    for (std::uint64_t seed = 0; seed < 20; ++seed)
+        monitor.admit(seed);
+    const auto seeds = monitor.recent_seeds();
+    ASSERT_EQ(seeds.size(), 8u);  // seed_memory
+    EXPECT_EQ(seeds.front(), 12u);
+    EXPECT_EQ(seeds.back(), 19u);
+}
+
+// ---- ApproxService ----------------------------------------------------------
+
+/// A synthetic variant: produces `seed-derived base + bias` at the given
+/// modeled cost, optionally sleeping to simulate a slow kernel.
+Variant
+fake_variant(const std::string& label, int aggressiveness, float bias,
+             double cycles, int sleep_ms = 0)
+{
+    return {label, aggressiveness,
+            [bias, cycles, sleep_ms](std::uint64_t seed) {
+                if (sleep_ms > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(sleep_ms));
+                VariantRun run;
+                // Keep exact elements away from zero so the mean-relative
+                // -error denominator never degenerates.
+                run.output = {static_cast<float>(seed % 100) + 1.0f + bias,
+                              10.0f + bias};
+                run.modeled_cycles = cycles;
+                run.wall_seconds = cycles * 1e-9;
+                return run;
+            }};
+}
+
+/// Clean for seeds below 100, badly degraded at and above (the forced
+/// drift input shift).  Shares the exact variant's output base so only
+/// the bias separates them.
+Variant
+drifting_variant(const std::string& label, double cycles)
+{
+    return {label, 1, [cycles](std::uint64_t seed) {
+                VariantRun run;
+                const float bias = seed >= 100 ? 50.0f : 0.01f;
+                run.output = {static_cast<float>(seed % 100) + 1.0f + bias,
+                              10.0f};
+                run.modeled_cycles = cycles;
+                return run;
+            }};
+}
+
+ServiceConfig
+small_service(std::size_t workers, std::size_t capacity)
+{
+    ServiceConfig config;
+    config.num_workers = workers;
+    config.queue_capacity = capacity;
+    config.monitor = tight_monitor();
+    return config;
+}
+
+TEST(ApproxServiceTest, ServesAllAcceptedRequests)
+{
+    ApproxService service(small_service(2, 64));
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(fake_variant("good", 1, 0.1f, 100.0));
+    service.register_kernel("k", std::move(variants),
+                            Metric::MeanRelativeError, 90.0, {1, 2, 3});
+
+    std::vector<Ticket> tickets;
+    for (std::uint64_t seed = 0; seed < 40; ++seed)
+        tickets.push_back(service.submit("k", seed));
+    for (auto& ticket : tickets) {
+        ASSERT_TRUE(ticket.accepted);
+        const Response response = ticket.response.get();
+        EXPECT_EQ(response.served_by, "good");
+        EXPECT_EQ(response.run.output.size(), 2u);
+    }
+    service.drain();
+
+    const auto metrics = service.metrics().snapshot();
+    EXPECT_EQ(metrics.accepted, 40u);
+    EXPECT_EQ(metrics.served, 40u);
+    EXPECT_EQ(metrics.queue_depth, 0);
+    EXPECT_GT(metrics.latency.count, 0u);
+    // shadow_interval=3 over 40 requests on an approximate selection.
+    EXPECT_GT(metrics.shadow_runs, 0u);
+    EXPECT_EQ(metrics.shadow_violations, 0u);
+}
+
+TEST(ApproxServiceTest, UnknownKernelRejectedWithReason)
+{
+    ApproxService service(small_service(1, 8));
+    const Ticket ticket = service.submit("nope", 1);
+    EXPECT_FALSE(ticket.accepted);
+    EXPECT_NE(ticket.reject_reason.find("unknown kernel"),
+              std::string::npos);
+    EXPECT_EQ(service.metrics().snapshot().rejected_unknown, 1u);
+}
+
+TEST(ApproxServiceTest, BackpressureRejectsWhenQueueFull)
+{
+    // One worker stuck on 20 ms kernels and a 4-deep queue: a 32-request
+    // burst must shed load with a reason instead of blocking.
+    ApproxService service(small_service(1, 4));
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0, 20));
+    service.register_kernel("slow", std::move(variants),
+                            Metric::MeanRelativeError, 90.0, {1});
+
+    int accepted = 0;
+    int rejected = 0;
+    std::vector<Ticket> tickets;
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+        Ticket ticket = service.submit("slow", seed);
+        if (ticket.accepted) {
+            ++accepted;
+            tickets.push_back(std::move(ticket));
+        } else {
+            ++rejected;
+            EXPECT_EQ(ticket.reject_reason, "queue full");
+        }
+    }
+    EXPECT_GT(rejected, 0);
+    EXPECT_EQ(accepted + rejected, 32);
+
+    // Every accepted request is still served.
+    for (auto& ticket : tickets)
+        ticket.response.get();
+    service.drain();
+    const auto metrics = service.metrics().snapshot();
+    EXPECT_EQ(metrics.accepted, static_cast<std::uint64_t>(accepted));
+    EXPECT_EQ(metrics.served, static_cast<std::uint64_t>(accepted));
+    EXPECT_EQ(metrics.rejected_full,
+              static_cast<std::uint64_t>(rejected));
+}
+
+TEST(ApproxServiceTest, StopRejectsNewButServesQueued)
+{
+    ApproxService service(small_service(1, 64));
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0, 2));
+    service.register_kernel("k", std::move(variants),
+                            Metric::MeanRelativeError, 90.0, {1});
+
+    std::vector<Ticket> tickets;
+    for (std::uint64_t seed = 0; seed < 8; ++seed)
+        tickets.push_back(service.submit("k", seed));
+    service.stop();
+    for (auto& ticket : tickets) {
+        ASSERT_TRUE(ticket.accepted);
+        ticket.response.get();  // Queued before stop: never dropped.
+    }
+
+    const Ticket late = service.submit("k", 99);
+    EXPECT_FALSE(late.accepted);
+    EXPECT_EQ(late.reject_reason, "service stopped");
+    EXPECT_EQ(service.metrics().snapshot().rejected_stopped, 1u);
+}
+
+TEST(ApproxServiceTest, ReRegisteringKernelRejected)
+{
+    ApproxService service(small_service(1, 8));
+    auto make = [] {
+        std::vector<Variant> variants;
+        variants.push_back(fake_variant("exact", 0, 0.0f, 1.0));
+        return variants;
+    };
+    service.register_kernel("k", make(), Metric::L1Norm, 90.0, {1});
+    EXPECT_THROW(
+        service.register_kernel("k", make(), Metric::L1Norm, 90.0, {1}),
+        UserError);
+}
+
+TEST(ApproxServiceTest, DriftTriggersRecalibrationBackUnderToq)
+{
+    // The forced quality-drift scenario: the approximate variant is clean
+    // on the training distribution (seeds < 100) and badly degraded on
+    // the drifted one (seeds >= 100).  The monitor's shadow sample must
+    // detect the sustained violation, recalibrate on the drifted seeds,
+    // and land the selection back on the exact kernel — while every
+    // accepted request still gets an answer.
+    ApproxService service(small_service(2, 1024));
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(drifting_variant("drifty", 10.0));
+    service.register_kernel("k", std::move(variants),
+                            Metric::MeanRelativeError, 90.0, {1, 2, 3});
+    EXPECT_EQ(service.kernel_snapshot("k").selected, "drifty");
+
+    // Phase 1: in-distribution traffic is served approximately.
+    std::vector<Ticket> tickets;
+    for (std::uint64_t seed = 10; seed < 30; ++seed)
+        tickets.push_back(service.submit("k", seed));
+    service.drain();
+    EXPECT_EQ(service.kernel_snapshot("k").selected, "drifty");
+
+    // Phase 2: the input distribution shifts.
+    for (std::uint64_t seed = 100; seed < 180; ++seed)
+        tickets.push_back(service.submit("k", seed));
+    service.drain();
+
+    const KernelSnapshot kernel = service.kernel_snapshot("k");
+    EXPECT_EQ(kernel.selected, "exact");  // Recalibrated off the variant.
+    EXPECT_GE(kernel.tuner.recalibrations, 1u);
+    EXPECT_GE(kernel.monitor.triggers, 1u);
+    EXPECT_FALSE(kernel.recalibrating);
+
+    // Phase 3: post-recalibration traffic is exact, hence clean.
+    for (std::uint64_t seed = 200; seed < 210; ++seed)
+        tickets.push_back(service.submit("k", seed));
+    service.drain();
+
+    // No accepted request was dropped anywhere along the way.
+    for (auto& ticket : tickets) {
+        ASSERT_TRUE(ticket.accepted);
+        EXPECT_NO_THROW(ticket.response.get());
+    }
+    const auto snapshot = service.snapshot();
+    EXPECT_EQ(snapshot.metrics.accepted, snapshot.metrics.served);
+    EXPECT_EQ(snapshot.metrics.accepted, tickets.size());
+    EXPECT_GE(snapshot.metrics.recalibrations, 1u);
+    EXPECT_GE(snapshot.metrics.shadow_violations, 1u);
+    ASSERT_EQ(snapshot.kernels.size(), 1u);
+    EXPECT_EQ(snapshot.kernels[0].kernel, "k");
+}
+
+TEST(ApproxServiceTest, RecalibrationCanRepromoteAfterRecovery)
+{
+    // Drift away and back: after the drifted phase lands on exact, a
+    // recalibration over recovered inputs must re-promote the variant —
+    // the advantage of recalibrating over invoke()'s permanent demotion.
+    ApproxService service(small_service(1, 1024));
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(drifting_variant("drifty", 10.0));
+    service.register_kernel("k", std::move(variants),
+                            Metric::MeanRelativeError, 90.0, {1, 2, 3});
+
+    for (std::uint64_t seed = 100; seed < 160; ++seed)
+        service.submit("k", seed);
+    service.drain();
+    ASSERT_EQ(service.kernel_snapshot("k").selected, "exact");
+
+    // Inputs recover; an operator recalibration over them re-selects the
+    // variant.  (Shadowing cannot observe recovery while the selection is
+    // exact, so re-promotion is a driver decision.)
+    service.recalibrate_kernel("k", {1, 2, 3});
+    service.drain();
+    const auto kernel = service.kernel_snapshot("k");
+    EXPECT_EQ(kernel.selected, "drifty");
+    EXPECT_GE(kernel.tuner.recalibrations, 2u);
+}
+
+TEST(ApproxServiceTest, ConcurrentMixedKernels)
+{
+    // Two kernels served concurrently from four submitter threads; all
+    // responses must arrive and per-kernel accounting must add up.
+    ApproxService service(small_service(4, 4096));
+    auto make = [](float bias) {
+        std::vector<Variant> variants;
+        variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+        variants.push_back(fake_variant("approx", 1, bias, 100.0));
+        return variants;
+    };
+    service.register_kernel("a", make(0.1f), Metric::MeanRelativeError,
+                            90.0, {1, 2});
+    service.register_kernel("b", make(0.2f), Metric::MeanRelativeError,
+                            90.0, {1, 2});
+
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&service, &accepted, t] {
+            for (std::uint64_t i = 0; i < 50; ++i) {
+                const char* kernel = (t + i) % 2 == 0 ? "a" : "b";
+                Ticket ticket = service.submit(kernel, i);
+                if (ticket.accepted) {
+                    ticket.response.get();
+                    ++accepted;
+                }
+            }
+        });
+    }
+    for (auto& thread : submitters)
+        thread.join();
+    service.drain();
+
+    const auto snapshot = service.snapshot();
+    EXPECT_EQ(snapshot.metrics.served,
+              static_cast<std::uint64_t>(accepted.load()));
+    EXPECT_EQ(snapshot.kernels.size(), 2u);
+    const std::uint64_t per_kernel_sum =
+        snapshot.kernels[0].tuner.invocations +
+        snapshot.kernels[1].tuner.invocations;
+    EXPECT_EQ(per_kernel_sum, snapshot.metrics.served);
+}
+
+}  // namespace
+}  // namespace paraprox::serve

@@ -5,6 +5,9 @@
 
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
 #include <set>
 
 #include "support/error.h"
@@ -215,6 +218,61 @@ TEST(ThreadPoolTest, PrivatePoolSize)
         sum += static_cast<int>(i);
     });
     EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, SubmitRunsFireAndForgetTasks)
+{
+    ThreadPool pool(2);
+    constexpr int kTasks = 64;
+    std::mutex mutex;
+    std::condition_variable done;
+    int completed = 0;
+    for (int t = 0; t < kTasks; ++t) {
+        pool.submit([&] {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (++completed == kTasks)
+                done.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [&] { return completed == kTasks; });
+    EXPECT_EQ(completed, kTasks);
+}
+
+TEST(ThreadPoolTest, SubmitInterleavesWithParallelFor)
+{
+    ThreadPool pool(2);
+    std::atomic<int> submitted{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    pool.submit([&] {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++submitted;
+        done.notify_all();
+    });
+    std::atomic<int> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) {
+        sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 4950);
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [&] { return submitted.load() == 1; });
+}
+
+TEST(ThreadPoolTest, EnvThreadOverrideParsing)
+{
+    ASSERT_EQ(setenv("PARAPROX_THREADS", "3", 1), 0);
+    EXPECT_EQ(thread_override_from_env(), 3u);
+    ASSERT_EQ(setenv("PARAPROX_THREADS", "0", 1), 0);
+    EXPECT_EQ(thread_override_from_env(), 0u);
+    ASSERT_EQ(setenv("PARAPROX_THREADS", "-2", 1), 0);
+    EXPECT_EQ(thread_override_from_env(), 0u);
+    ASSERT_EQ(setenv("PARAPROX_THREADS", "lots", 1), 0);
+    EXPECT_EQ(thread_override_from_env(), 0u);
+    ASSERT_EQ(setenv("PARAPROX_THREADS", "8x", 1), 0);
+    EXPECT_EQ(thread_override_from_env(), 0u);
+    ASSERT_EQ(unsetenv("PARAPROX_THREADS"), 0);
+    EXPECT_EQ(thread_override_from_env(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,128 @@
+/// @file
+/// paraprox_serve: a small demonstration driver for serve::ApproxService.
+///
+/// Registers two benchmark applications as served kernels, pushes a mixed
+/// request stream through the bounded queue, forces one operator-driven
+/// recalibration mid-stream, and prints the metrics registry — counters,
+/// queue depth, latency percentiles — plus the per-kernel tuner and
+/// monitor state at the end.
+///
+/// Usage: paraprox_serve [requests-per-kernel]   (default 48)
+///
+/// Worker count honours PARAPROX_THREADS; see docs/serving.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "serve/service.h"
+
+namespace {
+
+void
+print_metrics(const paraprox::serve::MetricsSnapshot& m)
+{
+    std::printf("  accepted %llu  served %llu  rejected "
+                "(full %llu / unknown %llu / stopped %llu)\n",
+                static_cast<unsigned long long>(m.accepted),
+                static_cast<unsigned long long>(m.served),
+                static_cast<unsigned long long>(m.rejected_full),
+                static_cast<unsigned long long>(m.rejected_unknown),
+                static_cast<unsigned long long>(m.rejected_stopped));
+    std::printf("  shadows %llu  violations %llu  recalibrations %llu  "
+                "exact-while-recalibrating %llu  backoffs %llu\n",
+                static_cast<unsigned long long>(m.shadow_runs),
+                static_cast<unsigned long long>(m.shadow_violations),
+                static_cast<unsigned long long>(m.recalibrations),
+                static_cast<unsigned long long>(m.exact_while_recalibrating),
+                static_cast<unsigned long long>(m.backoffs));
+    std::printf("  queue depth %lld  latency p50 %.2f ms  p95 %.2f ms  "
+                "p99 %.2f ms (%llu samples)\n",
+                static_cast<long long>(m.queue_depth),
+                m.latency.p50 * 1e3, m.latency.p95 * 1e3,
+                m.latency.p99 * 1e3,
+                static_cast<unsigned long long>(m.latency.count));
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace paraprox;
+
+    int requests = 48;
+    if (argc > 1) {
+        requests = std::atoi(argv[1]);
+        if (requests <= 0) {
+            std::fprintf(stderr,
+                         "usage: %s [requests-per-kernel]\n", argv[0]);
+            return 1;
+        }
+    }
+
+    const auto device = device::DeviceModel::gtx560();
+    std::vector<std::unique_ptr<apps::Application>> apps;
+    apps.push_back(apps::make_mean_filter());
+    apps.push_back(apps::make_naive_bayes());
+
+    serve::ServiceConfig config;
+    config.queue_capacity = static_cast<std::size_t>(requests) * 4;
+    serve::ApproxService service(config);
+    std::printf("paraprox_serve: %zu workers, queue capacity %zu\n",
+                service.num_workers(), config.queue_capacity);
+
+    std::vector<std::string> names;
+    for (auto& app : apps) {
+        app->set_scale(0.1);
+        const auto info = app->info();
+        service.register_kernel(info.name, app->variants(device),
+                                info.metric, 90.0, {101, 202});
+        names.push_back(info.name);
+        std::printf("registered `%s` (selected: %s)\n", info.name.c_str(),
+                    service.kernel_snapshot(info.name).selected.c_str());
+    }
+
+    // Mixed stream: interleave the kernels request by request.
+    std::vector<std::future<serve::Response>> responses;
+    for (int i = 0; i < requests; ++i) {
+        for (const auto& name : names) {
+            auto ticket = service.submit(name, 5000 + i);
+            if (ticket.accepted)
+                responses.push_back(std::move(ticket.response));
+            else
+                std::printf("rejected %s: %s\n", name.c_str(),
+                            ticket.reject_reason.c_str());
+        }
+        // Operator-driven recalibration mid-stream: requests queued
+        // behind it keep being served (by the exact kernel) while the
+        // tuner re-profiles.
+        if (i == requests / 2)
+            service.recalibrate_kernel(names.front());
+    }
+    for (auto& response : responses)
+        response.get();
+    service.drain();
+
+    std::printf("\nservice metrics after %zu served requests:\n",
+                responses.size());
+    const auto snapshot = service.snapshot();
+    print_metrics(snapshot.metrics);
+
+    std::printf("\nper-kernel state:\n");
+    for (const auto& kernel : snapshot.kernels) {
+        std::printf("  %-28s selected=%s  shadows=%llu  window mean=%.1f%%"
+                    "  triggers=%llu\n",
+                    kernel.kernel.c_str(), kernel.selected.c_str(),
+                    static_cast<unsigned long long>(kernel.monitor.shadows),
+                    kernel.monitor.window_mean,
+                    static_cast<unsigned long long>(
+                        kernel.monitor.triggers));
+    }
+
+    service.stop();
+    return 0;
+}
