@@ -114,7 +114,7 @@ class CumulativeHistogramApp final : public Application {
         std::vector<runtime::Variant> variants;
         auto run_pipeline = [phase1, phase3, dev, sub, groups](
                                 std::uint64_t seed, int skipped,
-                                const Tail& tail) {
+                                const Tail& tail, vm::ExecMode mode) {
             const int computed = groups - skipped;
             const int n = groups * sub;
 
@@ -134,7 +134,17 @@ class CumulativeHistogramApp final : public Application {
             auto accumulate = [&](const runtime::VariantRun& part) {
                 total.modeled_cycles += part.modeled_cycles;
                 total.wall_seconds += part.wall_seconds;
+                total.instructions += part.instructions;
                 total.trapped = total.trapped || part.trapped;
+            };
+            auto launch_one = [&](const vm::Program& program,
+                                  const ArgPack& args,
+                                  const LaunchConfig& config) {
+                return mode == vm::ExecMode::Fast
+                           ? runtime::run_fast_unpriced(program, args,
+                                                        config)
+                           : runtime::run_priced(program, args, config,
+                                                 *dev);
             };
 
             // Phase I over the computed subarrays.
@@ -142,26 +152,26 @@ class CumulativeHistogramApp final : public Application {
                 ArgPack args;
                 args.buffer("in", in).buffer("out", out)
                     .buffer("sums", sums).shared("tile", sub);
-                accumulate(runtime::run_priced(
+                accumulate(launch_one(
                     *phase1, args,
-                    LaunchConfig::linear(computed * sub, sub), *dev));
+                    LaunchConfig::linear(computed * sub, sub)));
             }
             // Phase II: scan the subarray sums with one work-group.
             {
                 ArgPack args;
                 args.buffer("in", sums).buffer("out", sums_scan)
                     .buffer("sums", dummy).shared("tile", computed);
-                accumulate(runtime::run_priced(
+                accumulate(launch_one(
                     *phase1, args,
-                    LaunchConfig::linear(computed, computed), *dev));
+                    LaunchConfig::linear(computed, computed)));
             }
             // Phase III over the computed region.
             {
                 ArgPack args;
                 args.buffer("out", out).buffer("sums_scan", sums_scan);
-                accumulate(runtime::run_priced(
+                accumulate(launch_one(
                     *phase3, args,
-                    LaunchConfig::linear(computed * sub, sub), *dev));
+                    LaunchConfig::linear(computed * sub, sub)));
             }
             // Tail synthesis for the skipped region (§3.4.3).
             if (skipped > 0) {
@@ -169,31 +179,37 @@ class CumulativeHistogramApp final : public Application {
                 args.buffer("out", out).buffer("sums_scan", sums_scan)
                     .scalar("computed", tail.computed_elements)
                     .scalar("last_sum", computed - 1);
-                accumulate(runtime::run_priced(
+                accumulate(launch_one(
                     *tail.program, args,
-                    LaunchConfig::linear(tail.skipped_elements, sub),
-                    *dev));
+                    LaunchConfig::linear(tail.skipped_elements, sub)));
             }
 
             runtime::attach_output(total, out);
             return total;
         };
 
-        variants.push_back({"exact", 0, [run_pipeline](std::uint64_t seed) {
-                                return run_pipeline(seed, 0, {});
-                            }});
+        auto add_variant = [&](std::string label, int aggressiveness,
+                               int skipped, Tail tail) {
+            runtime::Variant variant;
+            variant.label = std::move(label);
+            variant.aggressiveness = aggressiveness;
+            variant.run = [run_pipeline, skipped,
+                           tail](std::uint64_t seed) {
+                return run_pipeline(seed, skipped, tail,
+                                    vm::ExecMode::Instrumented);
+            };
+            variant.run_fast = [run_pipeline, skipped,
+                                tail](std::uint64_t seed) {
+                return run_pipeline(seed, skipped, tail,
+                                    vm::ExecMode::Fast);
+            };
+            variants.push_back(std::move(variant));
+        };
+        add_variant("exact", 0, 0, {});
         const int quarter = groups / 4;
         const int half = groups / 2;
-        variants.push_back({"scan skip 1/4", 1,
-                            [run_pipeline, quarter,
-                             tail = make_tail(quarter)](std::uint64_t s) {
-                                return run_pipeline(s, quarter, tail);
-                            }});
-        variants.push_back({"scan skip 1/2", 2,
-                            [run_pipeline, half,
-                             tail = make_tail(half)](std::uint64_t s) {
-                                return run_pipeline(s, half, tail);
-                            }});
+        add_variant("scan skip 1/4", 1, quarter, make_tail(quarter));
+        add_variant("scan skip 1/2", 2, half, make_tail(half));
         return variants;
     }
 

@@ -302,44 +302,63 @@ class ConvolutionApp final : public Application {
         pipelines->push_back(
             {row_rd1, col_skip2, "stencil rd=1 + reduction skip=2", 3});
 
+        auto run_pipeline = [pipelines, dev, w, h](std::size_t p,
+                                                   std::uint64_t seed,
+                                                   vm::ExecMode mode) {
+            const Pipeline& pipe = (*pipelines)[p];
+            Buffer in = Buffer::from_floats(
+                make_correlated_image(w, h, seed ^ 0xc09ull));
+            Buffer tmp =
+                Buffer::zeros_f32(static_cast<std::size_t>(w) * h);
+            Buffer out =
+                Buffer::zeros_f32(static_cast<std::size_t>(w) * h);
+            Buffer weights = Buffer::from_floats(kWeights);
+
+            auto launch_one = [&](const vm::Program& program,
+                                  const ArgPack& args,
+                                  const LaunchConfig& config) {
+                return mode == vm::ExecMode::Fast
+                           ? runtime::run_fast_unpriced(program, args,
+                                                        config)
+                           : runtime::run_priced(program, args, config,
+                                                 *dev);
+            };
+
+            ArgPack row_args;
+            row_args.buffer("in", in).buffer("tmp", tmp).scalar("w", w);
+            auto row_run =
+                launch_one(*pipe.row, row_args,
+                           LaunchConfig::grid2d(w - 16, h, 16, 4));
+
+            ArgPack col_args;
+            col_args.buffer("tmp", tmp).buffer("weights", weights)
+                .buffer("out", out).scalar("w", w);
+            auto col_run =
+                launch_one(*pipe.col, col_args,
+                           LaunchConfig::grid2d(w - 16, h - 16, 16, 4));
+
+            runtime::VariantRun run;
+            run.trapped = row_run.trapped || col_run.trapped;
+            run.modeled_cycles =
+                row_run.modeled_cycles + col_run.modeled_cycles;
+            run.wall_seconds = row_run.wall_seconds + col_run.wall_seconds;
+            run.instructions = row_run.instructions + col_run.instructions;
+            runtime::attach_output(run, out);
+            return run;
+        };
+
         std::vector<runtime::Variant> variants;
         for (std::size_t p = 0; p < pipelines->size(); ++p) {
-            variants.push_back(
-                {(*pipelines)[p].label, (*pipelines)[p].aggressiveness,
-                 [pipelines, p, dev, w, h](std::uint64_t seed) {
-                     const Pipeline& pipe = (*pipelines)[p];
-                     Buffer in = Buffer::from_floats(
-                         make_correlated_image(w, h, seed ^ 0xc09ull));
-                     Buffer tmp = Buffer::zeros_f32(
-                         static_cast<std::size_t>(w) * h);
-                     Buffer out = Buffer::zeros_f32(
-                         static_cast<std::size_t>(w) * h);
-                     Buffer weights = Buffer::from_floats(kWeights);
-
-                     ArgPack row_args;
-                     row_args.buffer("in", in).buffer("tmp", tmp)
-                         .scalar("w", w);
-                     auto row_run = runtime::run_priced(
-                         *pipe.row, row_args,
-                         LaunchConfig::grid2d(w - 16, h, 16, 4), *dev);
-
-                     ArgPack col_args;
-                     col_args.buffer("tmp", tmp).buffer("weights", weights)
-                         .buffer("out", out).scalar("w", w);
-                     auto col_run = runtime::run_priced(
-                         *pipe.col, col_args,
-                         LaunchConfig::grid2d(w - 16, h - 16, 16, 4),
-                         *dev);
-
-                     runtime::VariantRun run;
-                     run.trapped = row_run.trapped || col_run.trapped;
-                     run.modeled_cycles =
-                         row_run.modeled_cycles + col_run.modeled_cycles;
-                     run.wall_seconds =
-                         row_run.wall_seconds + col_run.wall_seconds;
-                     runtime::attach_output(run, out);
-                     return run;
-                 }});
+            runtime::Variant variant;
+            variant.label = (*pipelines)[p].label;
+            variant.aggressiveness = (*pipelines)[p].aggressiveness;
+            variant.run = [run_pipeline, p](std::uint64_t seed) {
+                return run_pipeline(p, seed, vm::ExecMode::Instrumented);
+            };
+            variant.run_fast = [run_pipeline, p](std::uint64_t seed) {
+                return run_pipeline(p, seed, vm::ExecMode::Fast);
+            };
+            variants.push_back(std::move(variant));
         }
         return variants;
     }

@@ -34,15 +34,19 @@ struct VariantContext {
 runtime::VariantRun
 run_one(const vm::Program& program,
         const std::vector<TableBinding>& tables,
-        const VariantContext& context, std::uint64_t seed)
+        const VariantContext& context, std::uint64_t seed,
+        vm::ExecMode mode)
 {
     exec::ArgPack args;
     std::vector<std::unique_ptr<exec::Buffer>> storage;
     context.plan.bind_inputs(seed, args, storage);
     bind_tables(tables, args, storage);
 
-    runtime::VariantRun run = runtime::run_priced(
-        program, args, context.plan.config, context.device);
+    runtime::VariantRun run =
+        mode == vm::ExecMode::Fast
+            ? runtime::run_fast_unpriced(program, args, context.plan.config)
+            : runtime::run_priced(program, args, context.plan.config,
+                                  context.device);
     const exec::Buffer* output =
         args.find_buffer(context.plan.output_buffer);
     PARAPROX_CHECK(output, "LaunchPlan output buffer `" +
@@ -68,25 +72,40 @@ make_variants(const ir::Module& module, const std::string& kernel,
     // All programs come from the process-wide cache, so rebuilding the
     // variant list (or a KernelSession over the same module) compiles
     // nothing twice.
+    // Every variant carries two closures over the same program and
+    // bindings: `run` prices the launch under the device model (what
+    // calibration needs) and `run_fast` serves in vm::ExecMode::Fast.
+    auto make_variant = [&context](std::string label, int aggressiveness,
+                                   std::shared_ptr<const vm::Program> program,
+                                   std::shared_ptr<std::vector<TableBinding>>
+                                       tables) {
+        runtime::Variant variant;
+        variant.label = std::move(label);
+        variant.aggressiveness = aggressiveness;
+        variant.run = [program, tables, context](std::uint64_t seed) {
+            return run_one(*program, *tables, *context, seed,
+                           vm::ExecMode::Instrumented);
+        };
+        variant.run_fast = [program, tables, context](std::uint64_t seed) {
+            return run_one(*program, *tables, *context, seed,
+                           vm::ExecMode::Fast);
+        };
+        return variant;
+    };
+
     auto& cache = vm::ProgramCache::global();
     std::vector<runtime::Variant> variants;
-    auto exact_program = cache.get_or_compile(module, kernel);
-    variants.push_back({"exact", 0,
-                        [exact_program, context](std::uint64_t seed) {
-                            return run_one(*exact_program, {}, *context,
-                                           seed);
-                        }});
+    variants.push_back(
+        make_variant("exact", 0, cache.get_or_compile(module, kernel),
+                     std::make_shared<std::vector<TableBinding>>()));
 
     for (const auto& kernel_variant : generated) {
-        auto program = cache.get_or_compile(kernel_variant.module,
-                                            kernel_variant.kernel_name);
-        auto tables = std::make_shared<std::vector<TableBinding>>(
-            kernel_variant.tables);
-        variants.push_back(
-            {kernel_variant.label, kernel_variant.aggressiveness,
-             [program, tables, context](std::uint64_t seed) {
-                 return run_one(*program, *tables, *context, seed);
-             }});
+        variants.push_back(make_variant(
+            kernel_variant.label, kernel_variant.aggressiveness,
+            cache.get_or_compile(kernel_variant.module,
+                                 kernel_variant.kernel_name),
+            std::make_shared<std::vector<TableBinding>>(
+                kernel_variant.tables)));
     }
     return variants;
 }

@@ -1,5 +1,6 @@
 #include "exec/launch.h"
 
+#include <atomic>
 #include <chrono>
 #include <mutex>
 
@@ -60,6 +61,10 @@ LaunchResult
 launch(const vm::Program& program, const ArgPack& args,
        const LaunchConfig& config, LaunchObserver* observer)
 {
+    PARAPROX_CHECK(config.mode == vm::ExecMode::Instrumented ||
+                       observer == nullptr,
+                   "fast launches cannot attach a LaunchObserver");
+
     // Resolve buffer and scalar arguments against the program signature.
     std::vector<vm::BufferView> buffer_views(program.buffers.size());
     std::vector<std::int64_t> shared_sizes(program.buffers.size(), 0);
@@ -102,13 +107,20 @@ launch(const vm::Program& program, const ArgPack& args,
 
     LaunchResult result;
     std::mutex merge_mutex;
-    bool trapped = false;
+    // Raised by the first trapping group and checked before each group
+    // starts, so a trap early in a large NDRange doesn't burn cycles
+    // executing the thousands of groups still queued behind it (the whole
+    // launch is discarded anyway once trapped).
+    std::atomic<bool> abort{false};
     std::string trap_message;
 
     const auto start = std::chrono::steady_clock::now();
 
     parallel_for(static_cast<std::size_t>(total_groups),
                  [&](std::size_t group_linear) {
+        if (abort.load(std::memory_order_relaxed))
+            return;
+
         vm::GroupGeometry geometry;
         geometry.local_size = config.local_size;
         geometry.num_groups = num_groups;
@@ -127,19 +139,22 @@ launch(const vm::Program& program, const ArgPack& args,
         vm::ExecStats group_stats;
         vm::GroupRunner runner(program, buffer_views, scalar_args,
                                shared_sizes, geometry, &group_stats,
-                               listener.get());
+                               listener.get(), config.mode);
         try {
             runner.run();
         } catch (const vm::TrapError& trap) {
             std::lock_guard<std::mutex> lock(merge_mutex);
-            if (!trapped) {
-                trapped = true;
+            if (!abort.exchange(true, std::memory_order_relaxed))
                 trap_message = trap.what();
-            }
             return;
         }
 
+        // A group finishing after the trap landed contributes nothing: the
+        // launch result is discarded, so merging its stats (or feeding the
+        // observer) would only skew the abandoned measurement.
         std::lock_guard<std::mutex> lock(merge_mutex);
+        if (abort.load(std::memory_order_relaxed))
+            return;
         result.stats.merge(group_stats);
         if (observer && listener)
             observer->on_group_complete(*listener);
@@ -148,7 +163,7 @@ launch(const vm::Program& program, const ArgPack& args,
     const auto end = std::chrono::steady_clock::now();
     result.wall_seconds =
         std::chrono::duration<double>(end - start).count();
-    result.trapped = trapped;
+    result.trapped = abort.load(std::memory_order_relaxed);
     result.trap_message = trap_message;
     return result;
 }

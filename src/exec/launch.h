@@ -22,6 +22,10 @@ namespace paraprox::exec {
 struct LaunchConfig {
     std::array<int, 3> global_size{1, 1, 1};
     std::array<int, 3> local_size{1, 1, 1};
+    /// Execution mode for every work-group.  Fast mode is incompatible
+    /// with a LaunchObserver (no listener callbacks) and reports only
+    /// ExecStats::total_instructions.
+    vm::ExecMode mode = vm::ExecMode::Instrumented;
 
     static LaunchConfig
     linear(int global, int local)
@@ -81,7 +85,9 @@ struct LaunchResult {
 ///
 /// Safety: vm::TrapError raised by any work-group aborts the launch and is
 /// reported via LaunchResult::trapped (output buffers may be partially
-/// written); other exceptions propagate.
+/// written); other exceptions propagate.  Groups that have not started when
+/// the trap lands are skipped rather than executed, and LaunchResult::stats
+/// never includes partial counts from trapped or skipped groups.
 LaunchResult launch(const vm::Program& program, const ArgPack& args,
                     const LaunchConfig& config,
                     LaunchObserver* observer = nullptr);

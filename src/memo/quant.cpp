@@ -15,9 +15,19 @@ InputQuant::quantize(float value) const
     const float span = hi - lo;
     if (span <= 0.0f)
         return 0;
-    const int level = static_cast<int>((value - lo) / span *
-                                       static_cast<float>(levels()));
-    return std::clamp(level, 0, levels() - 1);
+    // NaN/inf runtime inputs (unlike training samples, which profiling
+    // rejects) get the designated level 0; casting them to int is
+    // undefined behaviour before any clamp could run.
+    if (!std::isfinite(value))
+        return 0;
+    // Clamp in the float domain: a finite but huge value would make the
+    // scaled product overflow int in the cast, which is UB too.
+    const float scaled = (value - lo) / span * static_cast<float>(levels());
+    if (!(scaled > 0.0f))
+        return 0;
+    if (scaled >= static_cast<float>(levels()))
+        return levels() - 1;
+    return static_cast<int>(scaled);
 }
 
 float
@@ -97,8 +107,13 @@ profile_inputs(const std::vector<std::string>& names,
         input.name = names[i];
         input.lo = input.hi = training[0].at(i);
         for (const auto& sample : training) {
-            input.lo = std::min(input.lo, sample.at(i));
-            input.hi = std::max(input.hi, sample.at(i));
+            const float value = sample.at(i);
+            PARAPROX_CHECK(std::isfinite(value),
+                           "non-finite training sample for input `" +
+                               input.name +
+                               "`; clean the training set before profiling");
+            input.lo = std::min(input.lo, value);
+            input.hi = std::max(input.hi, value);
         }
         if (input.lo == input.hi) {
             input.is_constant = true;

@@ -33,7 +33,8 @@ struct InputQuant {
         return (hi - lo) / static_cast<float>(levels());
     }
 
-    /// Level index of @p value, clamped into range.
+    /// Level index of @p value, clamped into range.  Non-finite values
+    /// (NaN, ±inf) map to level 0.
     int quantize(float value) const;
 
     /// Representative (center) value of level @p index.

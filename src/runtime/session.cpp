@@ -44,8 +44,8 @@ KernelSession::program(const std::string& kernel_name) const
 
 VariantRun
 KernelSession::run_member(const SessionMember& member,
-                          const core::LaunchPlan& plan,
-                          std::uint64_t seed) const
+                          const core::LaunchPlan& plan, std::uint64_t seed,
+                          vm::ExecMode mode) const
 {
     PARAPROX_CHECK(plan.bind_inputs != nullptr,
                    "LaunchPlan needs a bind_inputs callback");
@@ -54,8 +54,11 @@ KernelSession::run_member(const SessionMember& member,
     plan.bind_inputs(seed, args, storage);
     core::bind_tables(member.tables, args, storage);
 
-    VariantRun run = run_priced(*member.program, args, plan.config,
-                                options_.device);
+    VariantRun run = mode == vm::ExecMode::Fast
+                         ? run_fast_unpriced(*member.program, args,
+                                             plan.config)
+                         : run_priced(*member.program, args, plan.config,
+                                      options_.device);
     const exec::Buffer* output = args.find_buffer(plan.output_buffer);
     PARAPROX_CHECK(output, "LaunchPlan output buffer `" +
                                plan.output_buffer + "` was not bound");

@@ -71,9 +71,12 @@ class KernelSession {
     /// Execute one member for @p plan on input @p seed: binds the plan's
     /// inputs, auto-binds the member's lookup tables, launches under the
     /// session device model and collects the plan's output buffer.
+    /// vm::ExecMode::Fast skips the device pricing entirely (the run's
+    /// modeled_cycles stays 0); outputs are identical in both modes.
     VariantRun run_member(const SessionMember& member,
-                          const core::LaunchPlan& plan,
-                          std::uint64_t seed) const;
+                          const core::LaunchPlan& plan, std::uint64_t seed,
+                          vm::ExecMode mode =
+                              vm::ExecMode::Instrumented) const;
 
     /// Tuner-ready variant list over @p plan; variants[0] is exact.  The
     /// returned closures share ownership of the cached programs and copied

@@ -117,6 +117,27 @@ Tuner::recalibrate(const std::vector<std::uint64_t>& training_seeds,
     return profiles;
 }
 
+void
+Tuner::set_serving_mode(vm::ExecMode mode)
+{
+    serving_mode_.store(mode, std::memory_order_relaxed);
+}
+
+vm::ExecMode
+Tuner::serving_mode() const
+{
+    return serving_mode_.load(std::memory_order_relaxed);
+}
+
+VariantRun
+Tuner::execute(int index, std::uint64_t input_seed) const
+{
+    const Variant& variant = variants_[index];
+    if (serving_mode() == vm::ExecMode::Fast && variant.run_fast)
+        return variant.run_fast(input_seed);
+    return variant.run(input_seed);
+}
+
 VariantRun
 Tuner::invoke(std::uint64_t input_seed)
 {
@@ -129,7 +150,7 @@ Tuner::invoke(std::uint64_t input_seed)
         index = selected_;
     }
 
-    VariantRun run = variants_[index].run(input_seed);
+    VariantRun run = execute(index, input_seed);
     if (run.trapped && index != 0) {
         // Unsafe execution: fall back to exact for this input and demote
         // the variant permanently (§5, safety).
@@ -139,12 +160,12 @@ Tuner::invoke(std::uint64_t input_seed)
             if (selected_ == index)
                 drop_selected_and_advance();
         }
-        return variants_[0].run(input_seed);
+        return execute(0, input_seed);
     }
 
     const bool audit = index != 0 && invocation % check_interval_ == 0;
     if (audit) {
-        VariantRun exact = variants_[0].run(input_seed);
+        VariantRun exact = execute(0, input_seed);
         const double quality =
             quality_percent(metric_, exact.output, run.output);
         std::lock_guard<std::mutex> lock(mutex_);
@@ -171,7 +192,7 @@ Tuner::run_selected(std::uint64_t input_seed)
         index = selected_;
     }
 
-    VariantRun run = variants_[index].run(input_seed);
+    VariantRun run = execute(index, input_seed);
     if (run.trapped && index != 0) {
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -179,7 +200,7 @@ Tuner::run_selected(std::uint64_t input_seed)
             if (selected_ == index)
                 drop_selected_and_advance();
         }
-        return variants_[0].run(input_seed);
+        return execute(0, input_seed);
     }
     return run;
 }
@@ -187,7 +208,7 @@ Tuner::run_selected(std::uint64_t input_seed)
 VariantRun
 Tuner::run_exact(std::uint64_t input_seed) const
 {
-    return variants_[0].run(input_seed);
+    return execute(0, input_seed);
 }
 
 void

@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -18,14 +19,16 @@
 #include <vector>
 
 #include "runtime/quality.h"
+#include "vm/bytecode.h"
 
 namespace paraprox::runtime {
 
 /// What one execution of a kernel variant produced.
 struct VariantRun {
     std::vector<float> output;   ///< Values the quality metric scores.
-    double modeled_cycles = 0.0; ///< Device-model cost.
+    double modeled_cycles = 0.0; ///< Device-model cost (0 for fast runs).
     double wall_seconds = 0.0;
+    std::uint64_t instructions = 0;  ///< Dynamic VM dispatches executed.
     bool trapped = false;        ///< Unsafe execution; variant unusable.
 };
 
@@ -38,6 +41,11 @@ struct Variant {
     int aggressiveness = 0;
     /// Execute on the input identified by @p input_seed.
     std::function<VariantRun(std::uint64_t input_seed)> run;
+    /// Optional lean serving closure: identical outputs to `run`, but
+    /// executed in vm::ExecMode::Fast with no device pricing (its
+    /// modeled_cycles stays 0).  Used by the serving entry points when the
+    /// tuner's serving mode is Fast; when empty, `run` serves.
+    std::function<VariantRun(std::uint64_t input_seed)> run_fast;
 };
 
 /// Profile data gathered for one variant during calibration.
@@ -112,6 +120,15 @@ class Tuner {
     /// @p input_seed, bypassing selection and all bookkeeping.
     VariantRun run_exact(std::uint64_t input_seed) const;
 
+    /// How invoke()/run_selected()/run_exact() execute variants.
+    /// Calibration always uses the instrumented `run` closures — it needs
+    /// the modeled cycles — but steady-state serving can switch to
+    /// vm::ExecMode::Fast so requests stop paying for profiling (paper §5:
+    /// calibrate once, serve lean).  Thread-safe; takes effect on the next
+    /// execution.  No-op for variants without a run_fast closure.
+    void set_serving_mode(vm::ExecMode mode);
+    vm::ExecMode serving_mode() const;
+
     int selected_index() const { return selected_; }
     const std::string& selected_label() const;
     const TunerStats& stats() const { return stats_; }
@@ -130,6 +147,9 @@ class Tuner {
     /// holds mutex_.
     void drop_selected_and_advance();
 
+    /// Execute variant @p index under the current serving mode.
+    VariantRun execute(int index, std::uint64_t input_seed) const;
+
     std::vector<Variant> variants_;  ///< Immutable after construction.
     Metric metric_;
     double toq_;
@@ -146,6 +166,7 @@ class Tuner {
     std::vector<int> fallback_order_;
     TunerStats stats_;
     bool calibrated_ = false;
+    std::atomic<vm::ExecMode> serving_mode_{vm::ExecMode::Instrumented};
 };
 
 }  // namespace paraprox::runtime

@@ -14,7 +14,23 @@ run_priced(const vm::Program& program, const exec::ArgPack& args,
     run.output = std::move(output_placeholder);
     run.modeled_cycles = modeled.cycles;
     run.wall_seconds = modeled.launch.wall_seconds;
+    run.instructions = modeled.launch.stats.total_instructions;
     run.trapped = modeled.launch.trapped;
+    return run;
+}
+
+VariantRun
+run_fast_unpriced(const vm::Program& program, const exec::ArgPack& args,
+                  exec::LaunchConfig config,
+                  std::vector<float> output_placeholder)
+{
+    config.mode = vm::ExecMode::Fast;
+    exec::LaunchResult launched = exec::launch(program, args, config);
+    VariantRun run;
+    run.output = std::move(output_placeholder);
+    run.wall_seconds = launched.wall_seconds;
+    run.instructions = launched.stats.total_instructions;
+    run.trapped = launched.trapped;
     return run;
 }
 

@@ -22,6 +22,15 @@ VariantRun run_priced(const vm::Program& program, const exec::ArgPack& args,
                       const device::DeviceModel& device,
                       std::vector<float> output_placeholder = {});
 
+/// Launch in vm::ExecMode::Fast with no device model attached: the fused
+/// fast stream runs without listeners or per-opcode accounting, so
+/// modeled_cycles stays 0 and only wall time, total instructions and the
+/// trap flag are reported.  This is the steady-state serving path.
+VariantRun run_fast_unpriced(const vm::Program& program,
+                             const exec::ArgPack& args,
+                             exec::LaunchConfig config,
+                             std::vector<float> output_placeholder = {});
+
 /// Collect @p out's floats into @p run (convenience since outputs are read
 /// after the launch).
 void attach_output(VariantRun& run, const exec::Buffer& out);

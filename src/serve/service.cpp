@@ -48,6 +48,9 @@ ApproxService::register_kernel(
     auto state = std::make_unique<KernelState>(
         name, std::move(variants), metric, toq_percent, config_.monitor,
         training_seeds);
+    // Calibration below still runs the instrumented closures (it needs
+    // modeled cycles); the mode only governs how workers serve requests.
+    state->tuner.set_serving_mode(config_.exec_mode);
     state->tuner.calibrate(training_seeds);
 
     std::lock_guard<std::mutex> lock(kernels_mutex_);

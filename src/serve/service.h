@@ -44,6 +44,12 @@ struct ServiceConfig {
     std::size_t queue_capacity = 256;
     /// Per-kernel monitoring knobs.
     QualityMonitor::Config monitor;
+    /// How workers execute variants.  Serving defaults to the fast VM
+    /// loop: calibration (inside register_kernel) always runs
+    /// instrumented for the device cost models, but steady-state requests
+    /// should not pay for profiling they never read.  Variants without a
+    /// run_fast closure are unaffected.
+    vm::ExecMode exec_mode = vm::ExecMode::Fast;
 };
 
 /// What one served request produced.

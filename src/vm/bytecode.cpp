@@ -76,6 +76,16 @@ to_string(Opcode op)
       case Opcode::Jz: return "jz";
       case Opcode::Barrier: return "barrier";
       case Opcode::Halt: return "halt";
+      case Opcode::CmpJz: return "cmp_jz";
+      case Opcode::LdAddF: return "ld_addf";
+      case Opcode::LdMulF: return "ld_mulf";
+      case Opcode::LdSubF: return "ld_subf";
+      case Opcode::LdAddI: return "ld_addi";
+      case Opcode::AddFSt: return "addf_st";
+      case Opcode::MulFSt: return "mulf_st";
+      case Opcode::AddISt: return "addi_st";
+      case Opcode::MaddF: return "maddf";
+      case Opcode::MaddI: return "maddi";
     }
     return "<bad-op>";
 }
@@ -172,17 +182,37 @@ latency_class(Opcode op)
       case Opcode::Barrier:
       case Opcode::Halt:
         return LatencyClass::Control;
+
+      // Superinstructions only execute in fast mode, whose stats never
+      // reach the cost models; classify by the dominant half anyway so a
+      // stray count prices sensibly.
+      case Opcode::CmpJz:
+        return LatencyClass::IntArith;
+      case Opcode::LdAddF:
+      case Opcode::LdMulF:
+      case Opcode::LdSubF:
+      case Opcode::LdAddI:
+      case Opcode::AddFSt:
+      case Opcode::MulFSt:
+      case Opcode::AddISt:
+        return LatencyClass::Memory;
+      case Opcode::MaddF:
+        return LatencyClass::FloatArith;
+      case Opcode::MaddI:
+        return LatencyClass::IntArith;
     }
     return LatencyClass::Trivial;
 }
 
 std::string
-Program::dump() const
+Program::dump(bool fast) const
 {
     std::ostringstream os;
-    os << "kernel " << kernel_name << " (regs=" << num_regs << ")\n";
-    for (std::size_t i = 0; i < code.size(); ++i) {
-        const Instr& instr = code[i];
+    const std::vector<Instr>& stream = fast ? fast_code : code;
+    os << "kernel " << kernel_name << " (regs=" << num_regs
+       << (fast ? ", fast" : "") << ")\n";
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const Instr& instr = stream[i];
         os << "  " << i << ": " << to_string(instr.op) << " a=" << instr.a
            << " b=" << instr.b << " c=" << instr.c << " d=" << instr.d
            << " imm.i=" << instr.imm.i << "\n";

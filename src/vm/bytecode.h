@@ -41,6 +41,11 @@ make_float(float v)
 }
 
 /// Bytecode operations.  Suffix I/F distinguishes int/float variants.
+///
+/// Opcodes after Halt are *superinstructions*: fused pairs emitted by the
+/// peephole pass (fuse_superinstructions) into Program::fast_code.  They
+/// never appear in Program::code, so instrumented execution and the device
+/// cost models only ever see canonical opcodes.
 enum class Opcode : std::uint8_t {
     Nop,
     LdImm,    ///< a <- imm (payload already typed).
@@ -56,7 +61,7 @@ enum class Opcode : std::uint8_t {
     AndI, OrI, XorI, ShlI, ShrI,
 
     IToF,    ///< a.f <- (float)b.i
-    FToI,    ///< a.i <- (int)b.f (truncating)
+    FToI,    ///< a.i <- (int)b.f (truncating, saturating; NaN -> 0)
 
     Sqrt, Exp, Log, Sin, Cos, Pow, Fabs, Fmin, Fmax, Floor, Lgamma, Erf,
     IMin, IMax,
@@ -81,9 +86,41 @@ enum class Opcode : std::uint8_t {
 
     Barrier,
     Halt,
+
+    // ---- Superinstructions (fast_code only) ----------------------------
+    // Every fusion still writes the first instruction's destination
+    // register, so the pair's architectural effects are preserved exactly
+    // even when a later instruction reads the intermediate value.
+
+    CmpJz,   ///< a <- cmp(b, c); if (!a) pc <- imm.i.  d = compare Opcode.
+    LdAddF,  ///< d <- buffer[slot][b]; a.f <- d.f + c.f (order via flag).
+    LdMulF,  ///< d <- buffer[slot][b]; a.f <- d.f * c.f (order via flag).
+    LdSubF,  ///< d <- buffer[slot][b]; a.f <- d.f - c.f (order via flag).
+    LdAddI,  ///< d <- buffer[slot][b]; a.i <- d.i + c.i (order via flag).
+    AddFSt,  ///< d.f <- b.f + c.f; buffer[imm.i][reg a] <- d.
+    MulFSt,  ///< d.f <- b.f * c.f; buffer[imm.i][reg a] <- d.
+    AddISt,  ///< d.i <- b.i + c.i; buffer[imm.i][reg a] <- d.
+    MaddF,   ///< t.f <- b.f * c.f; a.f <- t.f + d.f (order via flag);
+             ///<   t = imm.i & kFusedRegMask.
+    MaddI,   ///< t.i <- b.i * c.i; a.i <- t.i + d.i; t = imm.i.
 };
 
-constexpr int kNumOpcodes = static_cast<int>(Opcode::Halt) + 1;
+constexpr int kNumOpcodes = static_cast<int>(Opcode::MaddI) + 1;
+constexpr int kNumCanonicalOpcodes = static_cast<int>(Opcode::Halt) + 1;
+
+/// True for the fused opcodes that only appear in Program::fast_code.
+constexpr bool
+is_superinstruction(Opcode op)
+{
+    return static_cast<int>(op) >= kNumCanonicalOpcodes;
+}
+
+/// Superinstruction imm.i packing: the low bits carry the buffer slot
+/// (Ld/St fusions) or the intermediate register (MaddF/MaddI); the flag
+/// bit records that the *second* instruction read the fused value as its
+/// right-hand operand, preserving float operand order bit-exactly.
+constexpr std::int32_t kFusedSwapFlag = 1 << 30;
+constexpr std::int32_t kFusedRegMask = kFusedSwapFlag - 1;
 
 /// Mnemonic for dumps and tests.
 std::string to_string(Opcode op);
@@ -112,17 +149,35 @@ struct ScalarParamInfo {
     int reg;
 };
 
+/// How a program is executed (paper §5/§6: calibrate once, serve lean).
+enum class ExecMode {
+    /// Full dynamic accounting: per-opcode ExecStats, MemoryListener
+    /// callbacks, and a per-dispatch instruction-budget check.  This is
+    /// what the device cost models and Tuner::calibrate consume.
+    Instrumented,
+    /// Steady-state serving: runs the fused fast_code stream, counts only
+    /// total dispatches, checks the runaway budget at control transfers,
+    /// and compiles out the listener branches.  Outputs are bit-identical
+    /// to instrumented execution; only the accounting differs.
+    Fast,
+};
+
 /// A compiled kernel.
 struct Program {
     std::string kernel_name;
     std::vector<Instr> code;
+    /// Peephole-fused copy of `code` executed in ExecMode::Fast; built by
+    /// fuse_superinstructions at compile time.  Empty fast_code makes
+    /// fast execution fall back to `code` (hand-built test programs).
+    std::vector<Instr> fast_code;
     int num_regs = 0;
     std::vector<BufferParamInfo> buffers;
     std::vector<ScalarParamInfo> scalars;
     bool has_barrier = false;
 
-    /// Disassembly for debugging.
-    std::string dump() const;
+    /// Disassembly for debugging (canonical stream; pass true for the
+    /// fused fast stream).
+    std::string dump(bool fast = false) const;
 };
 
 /// Latency classes used by device models to price an opcode.

@@ -544,7 +544,145 @@ class Compiler {
     std::vector<int> jump_sites_;
 };
 
+/// True when @p op is one of the twelve compare opcodes fusable with Jz.
+bool
+is_compare(Opcode op)
+{
+    switch (op) {
+      case Opcode::LtI: case Opcode::LeI: case Opcode::GtI:
+      case Opcode::GeI: case Opcode::EqI: case Opcode::NeI:
+      case Opcode::LtF: case Opcode::LeF: case Opcode::GtF:
+      case Opcode::GeF: case Opcode::EqF: case Opcode::NeF:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/// Fused Ld+arith opcode for @p arith, or Nop when the pair is not fused.
+Opcode
+ld_arith_fusion(Opcode arith)
+{
+    switch (arith) {
+      case Opcode::AddF: return Opcode::LdAddF;
+      case Opcode::MulF: return Opcode::LdMulF;
+      case Opcode::SubF: return Opcode::LdSubF;
+      case Opcode::AddI: return Opcode::LdAddI;
+      default: return Opcode::Nop;
+    }
+}
+
+/// Fused arith+St opcode for @p arith, or Nop.
+Opcode
+arith_st_fusion(Opcode arith)
+{
+    switch (arith) {
+      case Opcode::AddF: return Opcode::AddFSt;
+      case Opcode::MulF: return Opcode::MulFSt;
+      case Opcode::AddI: return Opcode::AddISt;
+      default: return Opcode::Nop;
+    }
+}
+
+/// Try to fuse (first, second); returns the superinstruction when a rule
+/// matches (with its imm target still in *old* pc space for CmpJz).
+std::optional<Instr>
+try_fuse(const Instr& first, const Instr& second)
+{
+    // compare + Jz on the compare result.
+    if (is_compare(first.op) && second.op == Opcode::Jz &&
+        second.a == first.a) {
+        return Instr{Opcode::CmpJz, first.a, first.b, first.c,
+                     static_cast<std::int32_t>(first.op), second.imm};
+    }
+
+    // Ld + arith consuming the loaded value.  The flag records whether the
+    // loaded value was the arith's rhs so float operand order (and with it
+    // NaN propagation) is preserved bit-exactly.
+    if (first.op == Opcode::Ld) {
+        const Opcode fused = ld_arith_fusion(second.op);
+        if (fused != Opcode::Nop &&
+            (second.b == first.a || second.c == first.a)) {
+            const bool loaded_is_lhs = second.b == first.a;
+            const std::int32_t other = loaded_is_lhs ? second.c : second.b;
+            return Instr{fused, second.a, first.b, other, first.a,
+                         make_int(first.imm.i |
+                                  (loaded_is_lhs ? 0 : kFusedSwapFlag))};
+        }
+    }
+
+    // arith + St of the arith result.
+    if (second.op == Opcode::St && second.b == first.a) {
+        const Opcode fused = arith_st_fusion(first.op);
+        if (fused != Opcode::Nop) {
+            return Instr{fused, second.a, first.b, first.c, first.a,
+                         second.imm};
+        }
+    }
+
+    // mul + add consuming the product.
+    if (first.op == Opcode::MulF && second.op == Opcode::AddF &&
+        (second.b == first.a || second.c == first.a)) {
+        const bool product_is_lhs = second.b == first.a;
+        const std::int32_t addend = product_is_lhs ? second.c : second.b;
+        return Instr{Opcode::MaddF, second.a, first.b, first.c, addend,
+                     make_int(first.a |
+                              (product_is_lhs ? 0 : kFusedSwapFlag))};
+    }
+    if (first.op == Opcode::MulI && second.op == Opcode::AddI &&
+        (second.b == first.a || second.c == first.a)) {
+        const std::int32_t addend =
+            second.b == first.a ? second.c : second.b;
+        return Instr{Opcode::MaddI, second.a, first.b, first.c, addend,
+                     make_int(first.a)};
+    }
+
+    return std::nullopt;
+}
+
 }  // namespace
+
+void
+fuse_superinstructions(Program& program)
+{
+    const std::vector<Instr>& code = program.code;
+    const std::size_t n = code.size();
+
+    // A pair straddling a jump target cannot fuse: control flow may enter
+    // at its second instruction.
+    std::vector<bool> is_target(n + 1, false);
+    for (const Instr& instr : code) {
+        if (instr.op == Opcode::Jmp || instr.op == Opcode::Jz)
+            is_target[instr.imm.i] = true;
+    }
+
+    std::vector<Instr> fast;
+    fast.reserve(n);
+    std::vector<std::int32_t> remap(n + 1, 0);
+    for (std::size_t pc = 0; pc < n; ++pc) {
+        remap[pc] = static_cast<std::int32_t>(fast.size());
+        if (pc + 1 < n && !is_target[pc + 1]) {
+            if (auto fused = try_fuse(code[pc], code[pc + 1])) {
+                // Both halves of the pair map to the fused instruction
+                // (nothing jumps to the second half by construction).
+                remap[pc + 1] = remap[pc];
+                fast.push_back(*fused);
+                ++pc;
+                continue;
+            }
+        }
+        fast.push_back(code[pc]);
+    }
+    remap[n] = static_cast<std::int32_t>(fast.size());
+
+    for (Instr& instr : fast) {
+        if (instr.op == Opcode::Jmp || instr.op == Opcode::Jz ||
+            instr.op == Opcode::CmpJz) {
+            instr.imm.i = remap[instr.imm.i];
+        }
+    }
+    program.fast_code = std::move(fast);
+}
 
 Program
 compile_kernel(const ir::Module& module, const std::string& kernel_name)
@@ -553,7 +691,9 @@ compile_kernel(const ir::Module& module, const std::string& kernel_name)
     PARAPROX_CHECK(kernel, "no function named `" + kernel_name + "`");
     PARAPROX_CHECK(kernel->is_kernel,
                    "`" + kernel_name + "` is not a kernel");
-    return Compiler(module).compile(*kernel, false);
+    Program program = Compiler(module).compile(*kernel, false);
+    fuse_superinstructions(program);
+    return program;
 }
 
 Program
@@ -565,7 +705,9 @@ compile_scalar_function(const ir::Module& module,
                    "no function named `" + function_name + "`");
     PARAPROX_CHECK(!function->return_type.is_void(),
                    "scalar function must return a value");
-    return Compiler(module).compile(*function, true);
+    Program program = Compiler(module).compile(*function, true);
+    fuse_superinstructions(program);
+    return program;
 }
 
 }  // namespace paraprox::vm

@@ -25,4 +25,14 @@ Program compile_kernel(const ir::Module& module,
 Program compile_scalar_function(const ir::Module& module,
                                 const std::string& function_name);
 
+/// Build @p program's fast_code stream: a single peephole pass over the
+/// canonical code that fuses adjacent pairs into superinstructions
+/// (compare+Jz, Ld+arith, arith+St, mul+add -> Madd) and remaps jump
+/// targets.  Pairs straddling a jump target are never fused, and every
+/// fusion still writes the first instruction's destination register, so
+/// fast execution is architecturally identical to the canonical stream.
+/// Called automatically by compile_kernel / compile_scalar_function;
+/// exposed for tests and hand-built programs.
+void fuse_superinstructions(Program& program);
+
 }  // namespace paraprox::vm

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <bit>
 #include <cmath>
+#include <limits>
 
 namespace paraprox::vm {
 
@@ -37,6 +38,71 @@ as_word(float value)
     return std::bit_cast<std::int32_t>(value);
 }
 
+/// float -> int with GPU `__float2int_rz` semantics: truncate toward zero,
+/// saturate out-of-range values, and map NaN to 0.  A plain static_cast is
+/// undefined behaviour for NaN and for values outside [INT32_MIN, INT32_MAX].
+std::int32_t
+float_to_int_rz(float value)
+{
+    if (std::isnan(value))
+        return 0;
+    // 2^31 is exactly representable as float; every float >= it is out of
+    // int32 range.  INT32_MIN itself is representable, so only values
+    // strictly below it saturate.
+    if (value >= 2147483648.0f)
+        return std::numeric_limits<std::int32_t>::max();
+    if (value < -2147483648.0f)
+        return std::numeric_limits<std::int32_t>::min();
+    return static_cast<std::int32_t>(value);
+}
+
+/// Left shift through uint32 so a negative value or a shift producing a
+/// sign-bit change is well-defined (wraps mod 2^32, like GPU hardware).
+/// Shift counts are masked to 5 bits, matching NVIDIA/AMD ISA behaviour.
+std::int32_t
+shift_left(std::int32_t value, std::int32_t count)
+{
+    const unsigned sh = static_cast<std::uint32_t>(count) & 31u;
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(value)
+                                     << sh);
+}
+
+/// Arithmetic (sign-filling) right shift implemented on uint32 so the
+/// semantics don't depend on the implementation-defined behaviour of `>>`
+/// on negative operands.
+std::int32_t
+shift_right_arith(std::int32_t value, std::int32_t count)
+{
+    const unsigned sh = static_cast<std::uint32_t>(count) & 31u;
+    std::uint32_t word = static_cast<std::uint32_t>(value) >> sh;
+    if (value < 0 && sh != 0)
+        word |= ~std::uint32_t{0} << (32u - sh);
+    return static_cast<std::int32_t>(word);
+}
+
+/// Evaluate the canonical compare opcode carried in a CmpJz's d field.
+std::int32_t
+eval_compare(Opcode op, Value lhs, Value rhs)
+{
+    switch (op) {
+      case Opcode::LtI: return lhs.i < rhs.i;
+      case Opcode::LeI: return lhs.i <= rhs.i;
+      case Opcode::GtI: return lhs.i > rhs.i;
+      case Opcode::GeI: return lhs.i >= rhs.i;
+      case Opcode::EqI: return lhs.i == rhs.i;
+      case Opcode::NeI: return lhs.i != rhs.i;
+      case Opcode::LtF: return lhs.f < rhs.f;
+      case Opcode::LeF: return lhs.f <= rhs.f;
+      case Opcode::GtF: return lhs.f > rhs.f;
+      case Opcode::GeF: return lhs.f >= rhs.f;
+      case Opcode::EqF: return lhs.f == rhs.f;
+      case Opcode::NeF: return lhs.f != rhs.f;
+      default:
+        PARAPROX_ASSERT(false, "CmpJz carries a non-compare opcode");
+        return 0;
+    }
+}
+
 }  // namespace
 
 GroupRunner::GroupRunner(const Program& program,
@@ -44,13 +110,16 @@ GroupRunner::GroupRunner(const Program& program,
                          const std::vector<Value>& scalar_args,
                          const std::vector<std::int64_t>& shared_sizes,
                          const GroupGeometry& geometry, ExecStats* stats,
-                         MemoryListener* listener)
+                         MemoryListener* listener, ExecMode mode)
     : program_(program), buffers_(std::move(global_buffers)),
       scalar_args_(scalar_args), geometry_(geometry), stats_(stats),
-      listener_(listener)
+      listener_(listener), mode_(mode)
 {
     PARAPROX_CHECK(buffers_.size() == program.buffers.size(),
                    "kernel buffer argument count mismatch");
+    PARAPROX_CHECK(mode_ == ExecMode::Instrumented || listener_ == nullptr,
+                   "fast execution cannot deliver memory-listener "
+                   "callbacks; use ExecMode::Instrumented");
     PARAPROX_CHECK(scalar_args_.size() == program.scalars.size(),
                    "kernel scalar argument count mismatch");
     // Allocate per-group storage for __shared buffers.
@@ -77,6 +146,14 @@ void
 GroupRunner::run()
 {
     const int count = geometry_.local_count();
+    // Pick the instrumented or fast instantiation once; the per-item branch
+    // is negligible next to the per-instruction work it removes.
+    const bool instrumented = mode_ == ExecMode::Instrumented;
+    const auto step = [&](ItemState& item, const std::array<int, 3>& lid,
+                          bool stop_at_barrier) {
+        return instrumented ? run_item<true>(item, lid, stop_at_barrier)
+                            : run_item<false>(item, lid, stop_at_barrier);
+    };
     const auto make_local_id = [&](int linear) {
         std::array<int, 3> local_id;
         local_id[0] = linear % geometry_.local_size[0];
@@ -97,7 +174,7 @@ GroupRunner::run()
             item.halted = false;
             for (std::size_t s = 0; s < program_.scalars.size(); ++s)
                 item.regs[program_.scalars[s].reg] = scalar_args_[s];
-            run_item(item, make_local_id(linear), false);
+            step(item, make_local_id(linear), false);
         }
         final_regs_ = item.regs;
     } else {
@@ -120,7 +197,7 @@ GroupRunner::run()
                     ++halted;
                     continue;
                 }
-                if (run_item(item, local_ids[linear], true))
+                if (step(item, local_ids[linear], true))
                     ++at_barrier;
                 else
                     ++halted;
@@ -145,14 +222,20 @@ GroupRunner::run()
     }
 }
 
+template <bool kInstrumented>
 bool
 GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
                       bool stop_at_barrier)
 {
-    const Instr* code = program_.code.data();
-    const auto code_size = static_cast<std::int64_t>(program_.code.size());
+    // Fast mode runs the fused stream when the compiler built one;
+    // hand-assembled test programs fall back to the canonical code.
+    const std::vector<Instr>& stream =
+        (!kInstrumented && !program_.fast_code.empty()) ? program_.fast_code
+                                                        : program_.code;
+    const Instr* code = stream.data();
+    const auto code_size = static_cast<std::int64_t>(stream.size());
     Value* regs = item.regs.data();
-    auto& counts = local_stats_.opcode_counts;
+    [[maybe_unused]] auto& counts = local_stats_.opcode_counts;
     std::uint64_t executed = 0;
 
     const std::int64_t group_linear = geometry_.group_linear();
@@ -161,13 +244,24 @@ GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
         (static_cast<std::int64_t>(local_id[2]) * geometry_.local_size[1] +
          local_id[1]) * geometry_.local_size[0] + local_id[0];
 
+    // In fast mode the runaway-loop budget is only compared at control
+    // transfers (Jmp/Jz/CmpJz): straight-line code strictly advances pc, so
+    // any unbounded execution must keep taking jumps, and every jump sees
+    // the check.  `executed` itself still counts every dispatch.
+    const auto check_budget = [&executed] {
+        if (executed > kMaxInstructionsPerItem)
+            throw TrapError("instruction budget exceeded (runaway loop?)");
+    };
+
     std::int64_t pc = item.pc;
     for (;;) {
         PARAPROX_ASSERT(pc >= 0 && pc < code_size, "pc out of range");
         const Instr& instr = code[pc];
-        ++counts[static_cast<int>(instr.op)];
-        if (++executed > kMaxInstructionsPerItem)
-            throw TrapError("instruction budget exceeded (runaway loop?)");
+        ++executed;
+        if constexpr (kInstrumented) {
+            ++counts[static_cast<int>(instr.op)];
+            check_budget();
+        }
 
         switch (instr.op) {
           case Opcode::Nop:
@@ -267,18 +361,18 @@ GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
             regs[instr.a].i = regs[instr.b].i ^ regs[instr.c].i;
             break;
           case Opcode::ShlI:
-            regs[instr.a].i = regs[instr.b].i
-                              << (regs[instr.c].i & 31);
+            regs[instr.a].i = shift_left(regs[instr.b].i, regs[instr.c].i);
             break;
           case Opcode::ShrI:
-            regs[instr.a].i = regs[instr.b].i >> (regs[instr.c].i & 31);
+            regs[instr.a].i =
+                shift_right_arith(regs[instr.b].i, regs[instr.c].i);
             break;
 
           case Opcode::IToF:
             regs[instr.a].f = static_cast<float>(regs[instr.b].i);
             break;
           case Opcode::FToI:
-            regs[instr.a].i = static_cast<std::int32_t>(regs[instr.b].f);
+            regs[instr.a].i = float_to_int_rz(regs[instr.b].f);
             break;
 
           case Opcode::Sqrt:
@@ -356,10 +450,12 @@ GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
                 throw TrapError("out-of-bounds load from `" +
                                 program_.buffers[slot].name + "`");
             }
-            if (listener_) {
-                listener_->on_access(static_cast<int>(pc), slot,
-                                     program_.buffers[slot].space, index,
-                                     false, global_linear);
+            if constexpr (kInstrumented) {
+                if (listener_) {
+                    listener_->on_access(static_cast<int>(pc), slot,
+                                         program_.buffers[slot].space, index,
+                                         false, global_linear);
+                }
             }
             regs[instr.a].i = view.data[index];
             break;
@@ -372,10 +468,12 @@ GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
                 throw TrapError("out-of-bounds store to `" +
                                 program_.buffers[slot].name + "`");
             }
-            if (listener_) {
-                listener_->on_access(static_cast<int>(pc), slot,
-                                     program_.buffers[slot].space, index,
-                                     true, global_linear);
+            if constexpr (kInstrumented) {
+                if (listener_) {
+                    listener_->on_access(static_cast<int>(pc), slot,
+                                         program_.buffers[slot].space, index,
+                                         true, global_linear);
+                }
             }
             view.data[index] = regs[instr.b].i;
             break;
@@ -395,10 +493,12 @@ GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
                 throw TrapError("out-of-bounds atomic on `" +
                                 program_.buffers[slot].name + "`");
             }
-            if (listener_) {
-                listener_->on_access(static_cast<int>(pc), slot,
-                                     program_.buffers[slot].space, index,
-                                     true, global_linear);
+            if constexpr (kInstrumented) {
+                if (listener_) {
+                    listener_->on_access(static_cast<int>(pc), slot,
+                                         program_.buffers[slot].space, index,
+                                         true, global_linear);
+                }
             }
             std::int32_t* word = &view.data[index];
             const bool is_float_elem =
@@ -460,9 +560,13 @@ GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
             break;
 
           case Opcode::Jmp:
+            if constexpr (!kInstrumented)
+                check_budget();
             pc = instr.imm.i;
             continue;
           case Opcode::Jz:
+            if constexpr (!kInstrumented)
+                check_budget();
             if (regs[instr.a].i == 0) {
                 pc = instr.imm.i;
                 continue;
@@ -483,6 +587,102 @@ GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
             item.halted = true;
             local_stats_.total_instructions += executed;
             return false;
+
+          // ---- Superinstructions (fast_code only) ----------------------
+          // Each case replays its canonical pair in the original order:
+          // the first instruction's destination register is written before
+          // the second instruction's operands are read, so register
+          // aliasing between the two halves behaves exactly as unfused.
+
+          case Opcode::CmpJz: {
+            if constexpr (!kInstrumented)
+                check_budget();
+            const std::int32_t flag =
+                eval_compare(static_cast<Opcode>(instr.d), regs[instr.b],
+                             regs[instr.c]);
+            regs[instr.a].i = flag;
+            if (flag == 0) {
+                pc = instr.imm.i;
+                continue;
+            }
+            break;
+          }
+
+          case Opcode::LdAddF:
+          case Opcode::LdMulF:
+          case Opcode::LdSubF:
+          case Opcode::LdAddI: {
+            const int slot = instr.imm.i & kFusedRegMask;
+            BufferView& view = buffer(slot);
+            const std::int64_t index = regs[instr.b].i;
+            if (index < 0 || index >= view.size) {
+                throw TrapError("out-of-bounds load from `" +
+                                program_.buffers[slot].name + "`");
+            }
+            Value loaded;
+            loaded.i = view.data[index];
+            regs[instr.d] = loaded;
+            // Read the other operand only after the load's destination is
+            // written: the canonical arith may read its own input there.
+            const Value other = regs[instr.c];
+            const bool swapped = (instr.imm.i & kFusedSwapFlag) != 0;
+            const Value lhs = swapped ? other : loaded;
+            const Value rhs = swapped ? loaded : other;
+            switch (instr.op) {
+              case Opcode::LdAddF: regs[instr.a].f = lhs.f + rhs.f; break;
+              case Opcode::LdMulF: regs[instr.a].f = lhs.f * rhs.f; break;
+              case Opcode::LdSubF: regs[instr.a].f = lhs.f - rhs.f; break;
+              default:             regs[instr.a].i = lhs.i + rhs.i; break;
+            }
+            break;
+          }
+
+          case Opcode::AddFSt:
+          case Opcode::MulFSt:
+          case Opcode::AddISt: {
+            Value value;
+            switch (instr.op) {
+              case Opcode::AddFSt:
+                value.f = regs[instr.b].f + regs[instr.c].f;
+                break;
+              case Opcode::MulFSt:
+                value.f = regs[instr.b].f * regs[instr.c].f;
+                break;
+              default:
+                value.i = regs[instr.b].i + regs[instr.c].i;
+                break;
+            }
+            regs[instr.d] = value;
+            // The store's index register may alias the arith destination;
+            // canonical order reads it after that write.
+            const int slot = instr.imm.i;
+            BufferView& view = buffer(slot);
+            const std::int64_t index = regs[instr.a].i;
+            if (index < 0 || index >= view.size) {
+                throw TrapError("out-of-bounds store to `" +
+                                program_.buffers[slot].name + "`");
+            }
+            view.data[index] = value.i;
+            break;
+          }
+
+          case Opcode::MaddF: {
+            const float product = regs[instr.b].f * regs[instr.c].f;
+            regs[instr.imm.i & kFusedRegMask].f = product;
+            // Addend read after the product write (it may be the same
+            // register); operand order preserved for bit-exact NaN/FP
+            // behaviour.
+            const float addend = regs[instr.d].f;
+            const bool swapped = (instr.imm.i & kFusedSwapFlag) != 0;
+            regs[instr.a].f = swapped ? addend + product : product + addend;
+            break;
+          }
+          case Opcode::MaddI: {
+            const std::int32_t product = regs[instr.b].i * regs[instr.c].i;
+            regs[instr.imm.i].i = product;
+            regs[instr.a].i = regs[instr.d].i + product;
+            break;
+          }
         }
         ++pc;
     }
@@ -494,7 +694,10 @@ run_scalar_program(const Program& program, const std::vector<Value>& args)
     PARAPROX_CHECK(program.buffers.empty(),
                    "scalar program must not take buffers");
     GroupGeometry geometry;  // one work-item
-    GroupRunner runner(program, {}, args, {}, geometry, nullptr, nullptr);
+    // Host-side scalar evaluation (table population, bit tuning) never
+    // consumes stats, so take the fast loop.
+    GroupRunner runner(program, {}, args, {}, geometry, nullptr, nullptr,
+                       ExecMode::Fast);
     runner.run();
     PARAPROX_ASSERT(!runner.final_regs().empty(),
                     "scalar program produced no registers");

@@ -99,16 +99,27 @@ struct GroupGeometry {
 /// Groups without barriers run their work-items to completion one after
 /// another; groups with barriers run all work-items cooperatively in
 /// barrier-delimited rounds (detecting divergent barriers).
+///
+/// Two execution modes (ExecMode): Instrumented runs the canonical code
+/// stream with per-opcode counting, listener callbacks, and a
+/// per-dispatch budget check; Fast runs the fused fast_code stream,
+/// counts only total dispatches, hoists the budget check to control
+/// transfers, and compiles the listener branches out entirely.  Safety
+/// traps (bounds, division by zero, divergent barriers) are identical in
+/// both modes, as are all outputs.
 class GroupRunner {
   public:
     /// @param shared_sizes element counts for each Shared buffer slot;
     ///        ignored entries for non-shared slots.
+    /// @param mode Fast requires @p listener to be null (the fast loop
+    ///        has no listener callbacks to deliver).
     GroupRunner(const Program& program,
                 std::vector<BufferView> global_buffers,
                 const std::vector<Value>& scalar_args,
                 const std::vector<std::int64_t>& shared_sizes,
                 const GroupGeometry& geometry, ExecStats* stats,
-                MemoryListener* listener);
+                MemoryListener* listener,
+                ExecMode mode = ExecMode::Instrumented);
 
     /// Run the whole group.  Throws TrapError on unsafe behaviour.
     void run();
@@ -131,7 +142,10 @@ class GroupRunner {
     };
 
     /// Run one work-item until Halt (or Barrier when @p stop_at_barrier),
-    /// returning true if it stopped at a barrier.
+    /// returning true if it stopped at a barrier.  The template parameter
+    /// selects the instrumented or fast dispatch loop at compile time, so
+    /// the fast instantiation carries no profiling branches at all.
+    template <bool kInstrumented>
     bool run_item(ItemState& item, const std::array<int, 3>& local_id,
                   bool stop_at_barrier);
 
@@ -144,6 +158,7 @@ class GroupRunner {
     GroupGeometry geometry_;
     ExecStats* stats_;
     MemoryListener* listener_;
+    ExecMode mode_;
     ExecStats local_stats_;
     std::vector<Value> final_regs_;
 };

@@ -125,6 +125,42 @@ TEST(LaunchTest, MissingSharedSizeRejected)
                  UserError);
 }
 
+TEST(LaunchTest, TrapAbortsRemainingGroups)
+{
+    // Every group counts itself in before group 0 traps with an
+    // out-of-bounds store.  The launcher checks its abort flag at group
+    // start, so the trap must prevent most of the 4096 queued groups from
+    // ever executing — previously all of them ran to completion first.
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global int* counter, __global int* out) {
+            atomic_inc(counter, 0);
+            if (get_group_id(0) == 0) { out[100] = 1; }
+        }
+    )");
+    auto program = vm::compile_kernel(module, "k");
+    const int total_groups = 4096;
+    Buffer counter = Buffer::zeros_i32(1);
+    Buffer out = Buffer::zeros_i32(4);
+    ArgPack args;
+    args.buffer("counter", counter).buffer("out", out);
+    auto result = exec::launch(program, args,
+                               LaunchConfig::linear(total_groups, 1));
+    EXPECT_TRUE(result.trapped);
+    EXPECT_NE(result.trap_message.find("out-of-bounds"),
+              std::string::npos);
+    // Group 0 traps within its first block of work; the only groups that
+    // still run are those already in flight on other workers.  Half the
+    // NDRange is a generous bound — without the abort check the counter
+    // always reads exactly 4096.
+    EXPECT_LT(counter.get_int(0), total_groups / 2);
+    // Trapped launches must not leak partial accounting: stats come only
+    // from groups that completed before the trap landed, never from the
+    // trapping group itself.
+    EXPECT_LE(
+        result.stats.count(vm::Opcode::AtomInc),
+        static_cast<std::uint64_t>(counter.get_int(0)));
+}
+
 TEST(LaunchTest, SharedMemoryIsPerGroup)
 {
     // Each group increments tile[0]; if shared memory leaked between

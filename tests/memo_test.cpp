@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "memo/bit_tuning.h"
 #include "memo/evaluator.h"
@@ -69,6 +70,50 @@ TEST(QuantTest, AddressRoundTripThroughInputsAt)
         auto args = config.inputs_at(addr);
         EXPECT_FLOAT_EQ(args[1], 7.5f);  // constant passthrough
         EXPECT_EQ(config.address(args), addr);
+    }
+}
+
+TEST(QuantTest, NonFiniteInputsMapToLevelZero)
+{
+    // Runtime inputs are not pre-screened, so quantize must handle NaN
+    // and infinities itself: static_cast<int> of any of them is UB.
+    InputQuant input;
+    input.lo = 0.0f;
+    input.hi = 1.0f;
+    input.bits = 3;
+    EXPECT_EQ(input.quantize(std::numeric_limits<float>::quiet_NaN()), 0);
+    EXPECT_EQ(input.quantize(std::numeric_limits<float>::infinity()), 0);
+    EXPECT_EQ(input.quantize(-std::numeric_limits<float>::infinity()), 0);
+}
+
+TEST(QuantTest, HugeFiniteInputsClampWithoutOverflow)
+{
+    // A finite value far outside the profiled range must clamp to an edge
+    // level; the scaled product would overflow int if cast first.
+    InputQuant input;
+    input.lo = 0.0f;
+    input.hi = 1.0f;
+    input.bits = 3;
+    EXPECT_EQ(input.quantize(1e30f), input.levels() - 1);
+    EXPECT_EQ(input.quantize(-1e30f), 0);
+    EXPECT_EQ(input.quantize(std::numeric_limits<float>::max()),
+              input.levels() - 1);
+}
+
+TEST(QuantTest, ProfilingRejectsNonFiniteSamples)
+{
+    const auto nan = std::numeric_limits<float>::quiet_NaN();
+    const auto inf = std::numeric_limits<float>::infinity();
+    EXPECT_THROW(profile_inputs({"x", "y"}, {{1.0f, nan}, {2.0f, 3.0f}}),
+                 UserError);
+    EXPECT_THROW(profile_inputs({"x"}, {{inf}}), UserError);
+    try {
+        profile_inputs({"x", "bad"}, {{0.0f, nan}});
+        FAIL() << "expected UserError";
+    } catch (const UserError& error) {
+        // The message must name the offending input.
+        EXPECT_NE(std::string(error.what()).find("bad"),
+                  std::string::npos);
     }
 }
 

@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
+#include "apps/app.h"
 #include "exec/launch.h"
 #include "parser/parser.h"
 #include "support/error.h"
@@ -384,6 +388,191 @@ TEST(VmTest, NonKernelRejected)
     auto module = parser::parse_module("float f() { return 1.0f; }");
     EXPECT_THROW(compile_kernel(module, "f"), UserError);
     EXPECT_THROW(compile_kernel(module, "missing"), UserError);
+}
+
+TEST(VmTest, FloatToIntSaturates)
+{
+    // GPU __float2int_rz semantics: truncate toward zero, saturate when
+    // out of range, NaN -> 0.  The plain static_cast these replaced was
+    // undefined behaviour for every non-[INT_MIN, INT_MAX] input.
+    Buffer out = Buffer::zeros_i32(6);
+    ArgPack args;
+    args.buffer("out", out)
+        .scalar("nan_v", std::numeric_limits<float>::quiet_NaN())
+        .scalar("big", 1e10f)
+        .scalar("neg_big", -1e10f)
+        .scalar("pos", 2.9f)
+        .scalar("neg", -2.9f);
+    auto result = run1d(R"(
+        __kernel void k(__global int* out, float nan_v, float big,
+                        float neg_big, float pos, float neg) {
+            out[0] = (int)(nan_v);
+            out[1] = (int)(big);
+            out[2] = (int)(neg_big);
+            out[3] = (int)(pos);
+            out[4] = (int)(neg);
+            out[5] = (int)(nan_v / nan_v);
+        }
+    )", args, 1);
+    EXPECT_FALSE(result.trapped);
+    EXPECT_EQ(out.get_int(0), 0);
+    EXPECT_EQ(out.get_int(1), std::numeric_limits<std::int32_t>::max());
+    EXPECT_EQ(out.get_int(2), std::numeric_limits<std::int32_t>::min());
+    EXPECT_EQ(out.get_int(3), 2);
+    EXPECT_EQ(out.get_int(4), -2);
+    EXPECT_EQ(out.get_int(5), 0);
+}
+
+TEST(VmTest, ShiftSemantics)
+{
+    // `>>` is arithmetic (sign-filling), `<<` wraps mod 2^32, and shift
+    // counts are masked to their low 5 bits — see docs/paracl.md.  All
+    // operands arrive as scalars so nothing constant-folds on the host.
+    Buffer out = Buffer::zeros_i32(6);
+    ArgPack args;
+    args.buffer("out", out)
+        .scalar("m8", -8)
+        .scalar("m1", -1)
+        .scalar("one", 1)
+        .scalar("c33", 33)
+        .scalar("s16", 16);
+    auto result = run1d(R"(
+        __kernel void k(__global int* out, int m8, int m1, int one,
+                        int c33, int s16) {
+            out[0] = m8 >> one;
+            out[1] = m1 << one;
+            out[2] = one << 31;
+            out[3] = one << c33;
+            out[4] = s16 >> c33;
+            out[5] = m1 >> 31;
+        }
+    )", args, 1);
+    EXPECT_FALSE(result.trapped);
+    EXPECT_EQ(out.get_int(0), -4);   // arithmetic, not logical
+    EXPECT_EQ(out.get_int(1), -2);
+    EXPECT_EQ(out.get_int(2), std::numeric_limits<std::int32_t>::min());
+    EXPECT_EQ(out.get_int(3), 2);    // count 33 masked to 1
+    EXPECT_EQ(out.get_int(4), 8);
+    EXPECT_EQ(out.get_int(5), -1);   // sign fill all the way down
+}
+
+TEST(VmTest, DivergentBarrierInLaterRoundTraps)
+{
+    // All work-items meet the first barrier (round one succeeds); in
+    // round two only half reach the second barrier while the rest halt.
+    // The multi-round cooperative loop must flag that as divergence, in
+    // both execution modes.
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* out) {
+            int l = get_local_id(0);
+            barrier();
+            if (l < 2) { barrier(); }
+            out[l] = 1.0f;
+        }
+    )");
+    auto program = compile_kernel(module, "k");
+    for (const auto mode :
+         {vm::ExecMode::Instrumented, vm::ExecMode::Fast}) {
+        Buffer out = Buffer::zeros_f32(4);
+        ArgPack args;
+        args.buffer("out", out);
+        LaunchConfig config = LaunchConfig::linear(4, 4);
+        config.mode = mode;
+        auto result = exec::launch(program, args, config);
+        EXPECT_TRUE(result.trapped);
+        EXPECT_NE(result.trap_message.find("divergent barrier"),
+                  std::string::npos);
+    }
+}
+
+TEST(VmTest, FastModeBitIdenticalToInstrumented)
+{
+    // A kernel dense in fusable pairs: Ld+arith, mul+add, compare+Jz from
+    // the loop, and an arith+St at the end.
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global float* a, __global float* b,
+                        __global float* out, int n) {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            for (int j = 0; j < n; j++) {
+                acc = acc + a[i] * b[i];
+                acc = acc * 0.875f + (float)(j);
+            }
+            out[i] = acc + a[i];
+        }
+    )");
+    auto program = compile_kernel(module, "k");
+    ASSERT_FALSE(program.fast_code.empty());
+    // Fusion must actually shrink the stream, or fast mode is a no-op.
+    EXPECT_LT(program.fast_code.size(), program.code.size());
+
+    const int n = 64;
+    std::vector<float> av(n), bv(n);
+    for (int i = 0; i < n; ++i) {
+        av[i] = 0.25f * static_cast<float>(i) - 3.0f;
+        bv[i] = 1.0f / (1.0f + static_cast<float>(i));
+    }
+
+    const auto run_mode = [&](vm::ExecMode mode) {
+        Buffer a = Buffer::from_floats(av);
+        Buffer b = Buffer::from_floats(bv);
+        Buffer out = Buffer::zeros_f32(n);
+        ArgPack args;
+        args.buffer("a", a).buffer("b", b).buffer("out", out)
+            .scalar("n", 17);
+        LaunchConfig config = LaunchConfig::linear(n, 8);
+        config.mode = mode;
+        auto result = exec::launch(program, args, config);
+        EXPECT_FALSE(result.trapped);
+        return std::pair(out.to_floats(), result.stats.total_instructions);
+    };
+
+    const auto [instrumented, instr_count] =
+        run_mode(vm::ExecMode::Instrumented);
+    const auto [fast, fast_count] = run_mode(vm::ExecMode::Fast);
+
+    ASSERT_EQ(instrumented.size(), fast.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::int32_t>(instrumented[i]),
+                  std::bit_cast<std::int32_t>(fast[i]))
+            << "element " << i;
+    }
+    // Superinstructions retire the same work in fewer dispatches.
+    EXPECT_LT(fast_count, instr_count);
+}
+
+TEST(VmTest, FastModeParityAcrossAllApps)
+{
+    // Property test over every Table 1 application: each variant's fast
+    // serving closure must produce bit-identical output to its
+    // instrumented closure.  (All app kernels are deterministic — the
+    // only atomics are integer, which are order-independent.)
+    const device::DeviceModel gpu = device::DeviceModel::gtx560();
+    auto applications = apps::make_all_applications();
+    for (auto& app : applications) {
+        app->set_scale(0.1);
+        auto variants = app->variants(gpu);
+        ASSERT_FALSE(variants.empty()) << app->info().name;
+        for (const auto& variant : variants) {
+            ASSERT_TRUE(variant.run_fast != nullptr)
+                << app->info().name << ":" << variant.label;
+            const auto instrumented = variant.run(7);
+            const auto fast = variant.run_fast(7);
+            EXPECT_EQ(instrumented.trapped, fast.trapped)
+                << app->info().name << ":" << variant.label;
+            if (instrumented.trapped)
+                continue;
+            ASSERT_EQ(instrumented.output.size(), fast.output.size())
+                << app->info().name << ":" << variant.label;
+            for (std::size_t i = 0; i < fast.output.size(); ++i) {
+                ASSERT_EQ(
+                    std::bit_cast<std::int32_t>(instrumented.output[i]),
+                    std::bit_cast<std::int32_t>(fast.output[i]))
+                    << app->info().name << ":" << variant.label
+                    << " element " << i;
+            }
+        }
+    }
 }
 
 }  // namespace
