@@ -91,14 +91,37 @@ generate_memo_variants(const ir::Module& module, const std::string& kernel,
         fit_training_to_arity(*raw_training, callee->params.size());
 
     memo::ScalarEvaluator evaluator(module, candidate.callee);
-    auto search = memo::find_table_for_toq(evaluator, training,
-                                           options.toq, 3,
-                                           options.max_table_bits);
-    result.notes.push_back(
-        "memoize `" + candidate.callee + "`: table size search -> " +
-        std::to_string(search.table.values.size()) +
-        " entries at tuned quality " +
-        std::to_string(search.table.tuned_quality).substr(0, 5) + "%");
+
+    // The artifact-store tier: a cached table under this key replaces the
+    // whole TOQ-driven size search (the dominant warm-session cost).
+    memo::LookupTable base_table;
+    bool restored = false;
+    if (options.table_lookup) {
+        if (auto stored = options.table_lookup(candidate.callee, 0)) {
+            base_table = std::move(*stored);
+            restored = true;
+            result.notes.push_back(
+                "memoize `" + candidate.callee +
+                "`: table restored from artifact store (" +
+                std::to_string(base_table.values.size()) +
+                " entries at tuned quality " +
+                std::to_string(base_table.tuned_quality).substr(0, 5) +
+                "%)");
+        }
+    }
+    if (!restored) {
+        auto search = memo::find_table_for_toq(evaluator, training,
+                                               options.toq, 3,
+                                               options.max_table_bits);
+        base_table = std::move(search.table);
+        result.notes.push_back(
+            "memoize `" + candidate.callee + "`: table size search -> " +
+            std::to_string(base_table.values.size()) +
+            " entries at tuned quality " +
+            std::to_string(base_table.tuned_quality).substr(0, 5) + "%");
+        if (options.table_publish)
+            options.table_publish(candidate.callee, 0, base_table);
+    }
 
     const PatternKind pattern = candidate.gather
                                     ? PatternKind::ScatterGather
@@ -132,26 +155,40 @@ generate_memo_variants(const ir::Module& module, const std::string& kernel,
         result.generated.push_back(std::move(generated));
     };
 
-    preps.push_back({candidate.callee, search.table, candidate.gather});
+    preps.push_back({candidate.callee, base_table, candidate.gather});
 
-    emit(search.table, TableLocation::Global, LookupMode::Nearest, 1);
+    emit(base_table, TableLocation::Global, LookupMode::Nearest, 1);
     if (options.linear_mode)
-        emit(search.table, TableLocation::Global, LookupMode::Linear, 1);
+        emit(base_table, TableLocation::Global, LookupMode::Linear, 1);
     if (options.table_placements) {
-        emit(search.table, TableLocation::Constant, LookupMode::Nearest,
+        emit(base_table, TableLocation::Constant, LookupMode::Nearest,
              1);
-        emit(search.table, TableLocation::Shared, LookupMode::Nearest, 1);
+        emit(base_table, TableLocation::Shared, LookupMode::Nearest, 1);
     }
 
-    // Two more aggressive (smaller) sizes, re-bit-tuned.
+    // Two more aggressive (smaller) sizes, re-bit-tuned (or restored).
     int aggressiveness = 2;
     for (int shrink = 1; shrink <= 2; ++shrink) {
-        const int bits = search.table.config.address_bits() - shrink;
+        const int bits = base_table.config.address_bits() - shrink;
         if (bits < 3)
             break;
-        auto tuning = memo::bit_tune(evaluator, training, bits);
-        auto table = memo::build_table(evaluator, tuning.config);
-        table.tuned_quality = tuning.quality;
+        memo::LookupTable table;
+        bool shrink_restored = false;
+        if (options.table_lookup) {
+            if (auto stored = options.table_lookup(candidate.callee,
+                                                   shrink);
+                stored && stored->config.address_bits() == bits) {
+                table = std::move(*stored);
+                shrink_restored = true;
+            }
+        }
+        if (!shrink_restored) {
+            auto tuning = memo::bit_tune(evaluator, training, bits);
+            table = memo::build_table(evaluator, tuning.config);
+            table.tuned_quality = tuning.quality;
+            if (options.table_publish)
+                options.table_publish(candidate.callee, shrink, table);
+        }
         emit(table, TableLocation::Global, LookupMode::Nearest,
              aggressiveness++);
     }

@@ -63,6 +63,21 @@ struct CompileOptions {
     bool linear_mode = true;        ///< Emit linear-interpolation variants.
     bool guard_divisions = true;    ///< §5 safety guards on approx kernels.
     int max_table_bits = 18;
+
+    /// Optional memo-table cache (runtime::KernelSession wires these to
+    /// the global store::ArtifactStore).  `table_lookup(callee, shrink)`
+    /// is consulted before the table-size search (shrink 0) and before
+    /// each re-bit-tuned smaller size (shrink 1, 2); a hit skips the
+    /// search / tuning entirely.  When a table is computed fresh it is
+    /// offered to `table_publish` under the same key.  Both hooks must be
+    /// deterministic for a fixed key: the cache assumes the training
+    /// provider is too (see docs/store.md's invalidation rules).
+    std::function<std::optional<memo::LookupTable>(
+        const std::string& callee, int shrink)>
+        table_lookup;
+    std::function<void(const std::string& callee, int shrink,
+                       const memo::LookupTable& table)>
+        table_publish;
 };
 
 /// How one generated kernel's lookup tables must be bound at launch.

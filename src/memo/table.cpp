@@ -1,11 +1,22 @@
 #include "memo/table.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 
 #include "support/error.h"
 
 namespace paraprox::memo {
+
+namespace {
+std::atomic<std::uint64_t> g_table_searches{0};
+}  // namespace
+
+std::uint64_t
+table_search_invocations()
+{
+    return g_table_searches.load(std::memory_order_relaxed);
+}
 
 LookupTable
 build_table(const ScalarEvaluator& evaluator, const TableConfig& config)
@@ -29,6 +40,7 @@ find_table_for_toq(const ScalarEvaluator& evaluator,
 {
     PARAPROX_CHECK(min_bits >= 1 && max_bits <= 24 && min_bits <= max_bits,
                    "bad table-size bounds");
+    g_table_searches.fetch_add(1, std::memory_order_relaxed);
     SizeSearchResult result;
 
     std::set<int> tried;

@@ -36,4 +36,10 @@ SizeSearchResult find_table_for_toq(
     const std::vector<std::vector<float>>& training, double toq_percent,
     int min_bits = 3, int max_bits = 18, int start_bits = 11);
 
+/// Process-wide count of find_table_for_toq invocations.  The size
+/// search is the dominant warm-session setup cost, so bench_store and
+/// the CI warm-start check read this to prove a populated artifact store
+/// skips it entirely.
+std::uint64_t table_search_invocations();
+
 }  // namespace paraprox::memo

@@ -1,5 +1,6 @@
 #include "runtime/session.h"
 
+#include "ir/printer.h"
 #include "runtime/variant_run.h"
 #include "support/error.h"
 #include "vm/program_cache.h"
@@ -11,6 +12,42 @@ KernelSession::KernelSession(const ir::Module& module, std::string kernel,
     : module_(&module), kernel_(std::move(kernel)),
       options_(std::move(options))
 {
+    fingerprint_ = ir::fingerprint(*module_);
+
+    // Give the compiler a memo-table tier when the global artifact store
+    // is configured and the caller did not wire their own: a stored table
+    // replaces the table-size search and the shrink-size re-tuning.  The
+    // table contents are device-independent, but the device id stays in
+    // the key (it already gates which candidates are profitable) so every
+    // component of a kernel's artifact set invalidates together.
+    if (auto store = store::ArtifactStore::global();
+        store && !options_.table_lookup) {
+        auto key_for = [fingerprint = fingerprint_, kernel = kernel_,
+                        device = options_.device.name, toq = options_.toq,
+                        max_bits = options_.max_table_bits](
+                           const std::string& callee, int shrink) {
+            store::StoreKey key;
+            key.module_fingerprint = fingerprint;
+            key.kernel = kernel;
+            key.device = device;
+            key.toq = toq;
+            key.detail = "memo:" + callee + "#" +
+                         std::to_string(shrink) +
+                         ":maxbits=" + std::to_string(max_bits);
+            return key;
+        };
+        options_.table_lookup = [store, key_for](
+                                    const std::string& callee,
+                                    int shrink) {
+            return store->load_table(key_for(callee, shrink));
+        };
+        options_.table_publish = [store, key_for](
+                                     const std::string& callee, int shrink,
+                                     const memo::LookupTable& table) {
+            store->save_table(key_for(callee, shrink), table);
+        };
+    }
+
     result_ = core::compile_kernel(*module_, kernel_, options_);
 
     auto& cache = vm::ProgramCache::global();
@@ -83,6 +120,43 @@ KernelSession::tuner(const core::LaunchPlan& plan, Metric metric,
 {
     const double toq = toq_percent < 0.0 ? options_.toq : toq_percent;
     return Tuner(variants(plan), metric, toq, check_interval);
+}
+
+store::StoreKey
+KernelSession::calibration_key(Metric metric, double toq_percent) const
+{
+    store::StoreKey key;
+    key.module_fingerprint = fingerprint_;
+    key.kernel = kernel_;
+    key.device = options_.device.name;
+    key.toq = toq_percent < 0.0 ? options_.toq : toq_percent;
+    key.metric = to_string(metric);
+    key.detail = "calibration";
+    return key;
+}
+
+KernelSession::WarmTuner
+KernelSession::warm_tuner(const core::LaunchPlan& plan, Metric metric,
+                          const std::vector<std::uint64_t>& training_seeds,
+                          double toq_percent, int check_interval) const
+{
+    WarmTuner out;
+    const double toq = toq_percent < 0.0 ? options_.toq : toq_percent;
+    out.tuner = std::make_unique<Tuner>(variants(plan), metric, toq,
+                                        check_interval);
+
+    const auto store = store::ArtifactStore::global();
+    const store::StoreKey key = calibration_key(metric, toq);
+    if (store) {
+        if (const auto stored = store->load_calibration(key))
+            out.warm = out.tuner->restore_calibration(*stored);
+    }
+    if (!out.warm) {
+        out.tuner->calibrate(training_seeds);
+        if (store)
+            store->save_calibration(key, out.tuner->calibration_state());
+    }
+    return out;
 }
 
 }  // namespace paraprox::runtime

@@ -23,6 +23,7 @@
 #include "core/paraprox.h"
 #include "core/variants.h"
 #include "runtime/tuner.h"
+#include "store/artifact_store.h"
 #include "vm/bytecode.h"
 
 namespace paraprox::runtime {
@@ -88,12 +89,37 @@ class KernelSession {
     Tuner tuner(const core::LaunchPlan& plan, Metric metric,
                 double toq_percent = -1.0, int check_interval = 50) const;
 
+    /// ir::fingerprint of the source module, computed once.
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /// The store key under which this session's calibration is persisted:
+    /// module fingerprint x kernel x device-model id x TOQ x metric
+    /// (x store-format version, implicitly).
+    store::StoreKey calibration_key(Metric metric,
+                                    double toq_percent = -1.0) const;
+
+    /// tuner() with a durable calibration tier.  Behaviour without a
+    /// global ArtifactStore is identical to tuner()+calibrate().  With
+    /// one, a stored calibration matching calibration_key() is restored
+    /// — skipping the profiling sweep; quality is re-validated on the
+    /// first audit — and a cold calibration is persisted for the next
+    /// process.
+    struct WarmTuner {
+        std::unique_ptr<Tuner> tuner;
+        bool warm = false;  ///< True when restored from the store.
+    };
+    WarmTuner warm_tuner(const core::LaunchPlan& plan, Metric metric,
+                         const std::vector<std::uint64_t>& training_seeds,
+                         double toq_percent = -1.0,
+                         int check_interval = 50) const;
+
   private:
     const ir::Module* module_;
     std::string kernel_;
     core::CompileOptions options_;
     core::KernelCompileResult result_;
     std::vector<SessionMember> members_;
+    std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace paraprox::runtime

@@ -104,7 +104,54 @@ Tuner::calibrate(const std::vector<std::uint64_t>& training_seeds,
 
     selected_ = fallback_order_.front();
     calibrated_ = true;
+    audit_next_ = false;
     return profiles_;
+}
+
+CalibrationState
+Tuner::calibration_state() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    PARAPROX_CHECK(calibrated_,
+                   "calibration_state() needs a calibrated tuner");
+    return {profiles_, fallback_order_, selected_};
+}
+
+bool
+Tuner::restore_calibration(const CalibrationState& state)
+{
+    // Validate against the live variant list before touching anything: a
+    // stale or foreign calibration (renamed variants, different variant
+    // count, malformed fallback chain) must read as a miss, not install
+    // a selection pointing at the wrong kernel.
+    if (state.profiles.size() != variants_.size())
+        return false;
+    for (std::size_t v = 0; v < variants_.size(); ++v) {
+        if (state.profiles[v].label != variants_[v].label)
+            return false;
+    }
+    if (state.fallback_order.empty() || state.fallback_order.back() != 0)
+        return false;
+    std::vector<bool> seen(variants_.size(), false);
+    for (const int index : state.fallback_order) {
+        if (index < 0 ||
+            index >= static_cast<int>(variants_.size()) || seen[index])
+            return false;
+        seen[index] = true;
+        if (index != 0 && (!state.profiles[index].meets_toq ||
+                           state.profiles[index].trapped))
+            return false;
+    }
+    if (state.selected != state.fallback_order.front())
+        return false;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    profiles_ = state.profiles;
+    fallback_order_ = state.fallback_order;
+    selected_ = state.selected;
+    calibrated_ = true;
+    audit_next_ = true;
+    return true;
 }
 
 const std::vector<VariantProfile>&
@@ -143,11 +190,18 @@ Tuner::invoke(std::uint64_t input_seed)
 {
     int index;
     std::uint64_t invocation;
+    bool audit_now = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         PARAPROX_CHECK(calibrated_, "call calibrate() before invoke()");
         invocation = ++stats_.invocations;
         index = selected_;
+        // A restored calibration audits on its first approximate
+        // invocation, whatever the check interval says.
+        if (audit_next_) {
+            audit_now = index != 0;
+            audit_next_ = false;
+        }
     }
 
     VariantRun run = execute(index, input_seed);
@@ -163,7 +217,8 @@ Tuner::invoke(std::uint64_t input_seed)
         return execute(0, input_seed);
     }
 
-    const bool audit = index != 0 && invocation % check_interval_ == 0;
+    const bool audit =
+        audit_now || (index != 0 && invocation % check_interval_ == 0);
     if (audit) {
         VariantRun exact = execute(0, input_seed);
         const double quality =
@@ -181,7 +236,8 @@ Tuner::invoke(std::uint64_t input_seed)
 }
 
 VariantRun
-Tuner::run_selected(std::uint64_t input_seed)
+Tuner::run_selected(std::uint64_t input_seed, std::string* served_label,
+                    int* served_index)
 {
     int index;
     {
@@ -200,8 +256,13 @@ Tuner::run_selected(std::uint64_t input_seed)
             if (selected_ == index)
                 drop_selected_and_advance();
         }
-        return execute(0, input_seed);
+        index = 0;
+        run = execute(0, input_seed);
     }
+    if (served_label)
+        *served_label = variants_[index].label;
+    if (served_index)
+        *served_index = index;
     return run;
 }
 
@@ -221,9 +282,21 @@ Tuner::drop_selected_and_advance()
     selected_ = fallback_order_.front();
 }
 
+int
+Tuner::selected_index() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return selected_;
+}
+
 const std::string&
 Tuner::selected_label() const
 {
+    // Lock even though only an int is read: drop_selected_and_advance()
+    // rewrites selected_ from the serving path, and an unsynchronized
+    // read is a data race (labels themselves are immutable, so the
+    // returned reference is safe to hold).
+    std::lock_guard<std::mutex> lock(mutex_);
     return variants_[selected_].label;
 }
 

@@ -67,6 +67,15 @@ struct TunerStats {
     std::uint64_t recalibrations = 0;  ///< Full re-profiling passes.
 };
 
+/// Everything calibrate() decided, as plain data: what the artifact
+/// store persists and restore_calibration() re-installs in a later
+/// process (skipping the profiling sweep entirely).
+struct CalibrationState {
+    std::vector<VariantProfile> profiles;
+    std::vector<int> fallback_order;
+    int selected = 0;
+};
+
 /// Calibrate-then-monitor tuner over a fixed variant list.
 class Tuner {
   public:
@@ -113,8 +122,14 @@ class Tuner {
     /// without invoke()'s periodic quality audit — a serving layer is
     /// expected to own auditing (see serve::QualityMonitor).  A trapped
     /// execution still demotes the variant and re-serves the input with
-    /// the exact kernel.
-    VariantRun run_selected(std::uint64_t input_seed);
+    /// the exact kernel.  When provided, @p served_label / @p served_index
+    /// receive the variant that actually produced the returned run (the
+    /// exact kernel after a trap fallback) — unlike a separate
+    /// selected_*_snapshot() call, they cannot race with a concurrent
+    /// reselection.
+    VariantRun run_selected(std::uint64_t input_seed,
+                            std::string* served_label = nullptr,
+                            int* served_index = nullptr);
 
     /// Thread-safe: execute the exact kernel (variants[0]) on
     /// @p input_seed, bypassing selection and all bookkeeping.
@@ -129,8 +144,28 @@ class Tuner {
     void set_serving_mode(vm::ExecMode mode);
     vm::ExecMode serving_mode() const;
 
-    int selected_index() const { return selected_; }
+    /// Capture the post-calibration tuning state for persistence (see
+    /// store::ArtifactStore).  Requires a calibrated tuner.
+    CalibrationState calibration_state() const;
+
+    /// Warm start: install a previously captured calibration instead of
+    /// running calibrate().  The state is validated against the live
+    /// variant list (profile labels must match variants_ one-to-one, the
+    /// fallback chain must be well-formed and end at the exact kernel);
+    /// any mismatch returns false and leaves the tuner untouched.  A
+    /// restored tuner re-validates quality on its first invoke() audit
+    /// regardless of the check interval.
+    bool restore_calibration(const CalibrationState& state);
+
+    /// Locked: selection moves concurrently with the serving path (see
+    /// drop_selected_and_advance), so even these simple reads must
+    /// synchronize.  The returned label reference stays valid — variant
+    /// labels are immutable — but may be superseded by the time the
+    /// caller reads it; use run_selected's out-parameters to name the
+    /// variant that served a specific request.
+    int selected_index() const;
     const std::string& selected_label() const;
+
     const TunerStats& stats() const { return stats_; }
     const std::vector<VariantProfile>& profiles() const { return profiles_; }
 
@@ -166,6 +201,10 @@ class Tuner {
     std::vector<int> fallback_order_;
     TunerStats stats_;
     bool calibrated_ = false;
+    /// Set by restore_calibration(): the next invoke() of an approximate
+    /// selection audits immediately, re-validating the stored profile
+    /// against live inputs before trusting it for a full check interval.
+    bool audit_next_ = false;
     std::atomic<vm::ExecMode> serving_mode_{vm::ExecMode::Instrumented};
 };
 

@@ -42,7 +42,10 @@ LatencyHistogram::snapshot() const
         std::uint64_t cumulative = 0;
         for (int i = 0; i < kBuckets; ++i) {
             cumulative += counts[i];
-            if (cumulative >= target && counts[i] > 0)
+            // First bucket where the cumulative count reaches the target;
+            // no emptiness guard — the crossing bucket is the answer even
+            // when later buckets are empty.
+            if (cumulative >= target)
                 return std::ldexp(1.0, i + 1) * 1e-9;  // bucket upper bound
         }
         return std::ldexp(1.0, kBuckets) * 1e-9;
@@ -68,6 +71,8 @@ Metrics::snapshot() const
     out.recalibrations = recalibrations.load(std::memory_order_relaxed);
     out.exact_while_recalibrating =
         exact_while_recalibrating.load(std::memory_order_relaxed);
+    out.warm_registrations =
+        warm_registrations.load(std::memory_order_relaxed);
     out.queue_depth = queue_depth.load(std::memory_order_relaxed);
     out.latency = latency.snapshot();
     return out;

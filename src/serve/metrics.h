@@ -49,6 +49,9 @@ struct MetricsSnapshot {
     std::uint64_t shadow_violations = 0;
     std::uint64_t recalibrations = 0;
     std::uint64_t exact_while_recalibrating = 0;
+    /// Kernels registered with a calibration restored from the artifact
+    /// store (no profiling sweep at registration).
+    std::uint64_t warm_registrations = 0;
     /// Variant downgrades across all kernels.  Tuners own this count;
     /// ApproxService::snapshot() aggregates it in — it stays 0 in a bare
     /// Metrics::snapshot().
@@ -70,6 +73,7 @@ class Metrics {
     std::atomic<std::uint64_t> shadow_violations{0};
     std::atomic<std::uint64_t> recalibrations{0};
     std::atomic<std::uint64_t> exact_while_recalibrating{0};
+    std::atomic<std::uint64_t> warm_registrations{0};
     std::atomic<std::int64_t> queue_depth{0};
     LatencyHistogram latency;
 

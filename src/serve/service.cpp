@@ -43,7 +43,8 @@ void
 ApproxService::register_kernel(
     const std::string& name, std::vector<runtime::Variant> variants,
     runtime::Metric metric, double toq_percent,
-    const std::vector<std::uint64_t>& training_seeds)
+    const std::vector<std::uint64_t>& training_seeds,
+    std::optional<store::StoreKey> warm_key)
 {
     auto state = std::make_unique<KernelState>(
         name, std::move(variants), metric, toq_percent, config_.monitor,
@@ -51,7 +52,23 @@ ApproxService::register_kernel(
     // Calibration below still runs the instrumented closures (it needs
     // modeled cycles); the mode only governs how workers serve requests.
     state->tuner.set_serving_mode(config_.exec_mode);
-    state->tuner.calibrate(training_seeds);
+
+    const auto store =
+        warm_key ? store::ArtifactStore::global() : nullptr;
+    bool warm = false;
+    if (store) {
+        if (const auto stored = store->load_calibration(*warm_key))
+            warm = state->tuner.restore_calibration(*stored);
+    }
+    if (warm) {
+        metrics_.warm_registrations.fetch_add(1,
+                                              std::memory_order_relaxed);
+    } else {
+        state->tuner.calibrate(training_seeds);
+        if (store)
+            store->save_calibration(*warm_key,
+                                    state->tuner.calibration_state());
+    }
 
     std::lock_guard<std::mutex> lock(kernels_mutex_);
     const bool inserted =
@@ -154,13 +171,29 @@ ApproxService::serve_one(KernelState& state, std::uint64_t seed)
         return response;
     }
 
-    const bool shadow = state.monitor.admit(seed);
-    response.run = state.tuner.run_selected(seed);
-    response.served_by = state.tuner.selected_label_snapshot();
+    // Ask the monitor for a shadow slot only when the selection is
+    // approximate: admitting on an exact selection would burn a slot of
+    // the monitor's sampling window on a run that can never be audited,
+    // starving it during long exact stretches.  (The selection can still
+    // change between this check and the run — that race only costs or
+    // spares a single slot, never audits exact against itself, because
+    // the audit below re-checks what actually ran.)
+    const bool shadow = state.tuner.selected_index_snapshot() != 0 &&
+                        state.monitor.admit(seed);
 
-    // Shadow only approximate selections: auditing exact against itself
-    // would tell the monitor nothing.
-    if (shadow && state.tuner.selected_index_snapshot() != 0) {
+    // Take the served label from the same snapshot as the run itself: a
+    // concurrent backoff between the run and a later label read could
+    // name a variant this request never executed.
+    std::string served_label;
+    int served_index = 0;
+    response.run =
+        state.tuner.run_selected(seed, &served_label, &served_index);
+    response.served_by = std::move(served_label);
+
+    // Shadow only approximate runs: auditing exact against itself would
+    // tell the monitor nothing (the run may have fallen back to exact on
+    // a trap even when the selection was approximate).
+    if (shadow && served_index != 0) {
         const runtime::VariantRun exact = state.tuner.run_exact(seed);
         response.shadowed = true;
         response.shadow_quality = runtime::quality_percent(

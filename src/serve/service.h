@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "serve/metrics.h"
 #include "serve/monitor.h"
 #include "serve/queue.h"
+#include "store/artifact_store.h"
 
 namespace paraprox::serve {
 
@@ -94,11 +96,16 @@ class ApproxService {
     /// Register a kernel family under @p name and calibrate its tuner on
     /// @p training_seeds (variants[0] must be the exact kernel).
     /// Registering while serving is safe; re-registering a name is an
-    /// error.
+    /// error.  With a @p warm_key and a global ArtifactStore, a stored
+    /// calibration matching the key skips the profiling sweep (the tuner
+    /// re-validates quality on its first audit); a cold calibration is
+    /// persisted under the key for the next process.
+    /// KernelSession::calibration_key() produces the right key.
     void register_kernel(const std::string& name,
                          std::vector<runtime::Variant> variants,
                          runtime::Metric metric, double toq_percent,
-                         const std::vector<std::uint64_t>& training_seeds);
+                         const std::vector<std::uint64_t>& training_seeds,
+                         std::optional<store::StoreKey> warm_key = {});
 
     /// Admit one request.  Never blocks: a full queue, an unknown kernel,
     /// or a stopped service rejects immediately with a reason.

@@ -10,6 +10,7 @@ ProgramCache::get_or_compile(const ir::Module& module,
                              const std::string& kernel_name)
 {
     const Key key{ir::fingerprint(module), kernel_name};
+    std::shared_ptr<DiskTier> tier;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = entries_.find(key);
@@ -17,25 +18,49 @@ ProgramCache::get_or_compile(const ir::Module& module,
             ++hits_;
             return it->second;
         }
+        tier = disk_tier_;
     }
 
-    // Compile outside the lock so a slow miss does not serialize parallel
-    // calibration; a concurrent miss on the same key compiles the same
-    // pure result and the first insertion wins.
+    // Both tiers run outside the lock so a slow miss does not serialize
+    // parallel calibration; a concurrent miss on the same key produces
+    // the same pure result and the first insertion wins.
+    if (tier) {
+        if (auto stored = tier->load(key.first, kernel_name)) {
+            auto program =
+                std::make_shared<const Program>(std::move(*stored));
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++disk_hits_;
+            auto [it, inserted] = entries_.emplace(key,
+                                                   std::move(program));
+            return it->second;
+        }
+    }
+
     auto program = std::make_shared<const Program>(
         compile_kernel(module, kernel_name));
+    if (tier)
+        tier->save(key.first, kernel_name, *program);
 
     std::lock_guard<std::mutex> lock(mutex_);
     ++misses_;
+    if (tier)
+        ++disk_stores_;
     auto [it, inserted] = entries_.emplace(key, std::move(program));
     return it->second;
+}
+
+void
+ProgramCache::set_disk_tier(std::shared_ptr<DiskTier> tier)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    disk_tier_ = std::move(tier);
 }
 
 ProgramCache::Stats
 ProgramCache::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return {hits_, misses_, entries_.size()};
+    return {hits_, misses_, entries_.size(), disk_hits_, disk_stores_};
 }
 
 void
@@ -45,6 +70,8 @@ ProgramCache::clear()
     entries_.clear();
     hits_ = 0;
     misses_ = 0;
+    disk_hits_ = 0;
+    disk_stores_ = 0;
 }
 
 ProgramCache&

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -22,26 +23,51 @@
 
 namespace paraprox::vm {
 
-/// Thread-safe (fingerprint, kernel) -> compiled Program cache.
+/// Thread-safe (fingerprint, kernel) -> compiled Program cache with an
+/// optional second (disk) tier: memory -> disk -> compile.
 class ProgramCache {
   public:
     struct Stats {
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
+        std::uint64_t hits = 0;    ///< Served from memory.
+        std::uint64_t misses = 0;  ///< Compiled from source.
         std::size_t entries = 0;
+        std::uint64_t disk_hits = 0;    ///< Served from the disk tier.
+        std::uint64_t disk_stores = 0;  ///< Compiles offered to the tier.
     };
 
-    /// Fetch the compiled form of @p kernel_name in @p module, compiling
-    /// it on first request.  Concurrent misses on the same key may compile
-    /// redundantly (compilation is pure); the first insertion wins, and
-    /// every caller receives the same shared program afterwards.
+    /// Backing tier consulted on a memory miss, before compiling (see
+    /// store::ArtifactStore, which registers itself here when the global
+    /// store is configured).  Implementations must be thread-safe and
+    /// must treat corrupt or stale records as load() misses.
+    class DiskTier {
+      public:
+        virtual ~DiskTier() = default;
+        virtual std::optional<Program>
+        load(std::uint64_t fingerprint,
+             const std::string& kernel_name) = 0;
+        virtual void save(std::uint64_t fingerprint,
+                          const std::string& kernel_name,
+                          const Program& program) = 0;
+    };
+
+    /// Fetch the compiled form of @p kernel_name in @p module: from
+    /// memory, else from the disk tier, else by compiling (the result is
+    /// offered back to the tier).  Concurrent misses on the same key may
+    /// compile redundantly (compilation is pure); the first insertion
+    /// wins, and every caller receives the same shared program afterwards.
     std::shared_ptr<const Program>
     get_or_compile(const ir::Module& module,
                    const std::string& kernel_name);
 
+    /// Attach (or, with nullptr, detach) the disk tier.  Takes effect on
+    /// the next miss; in-memory entries are unaffected.
+    void set_disk_tier(std::shared_ptr<DiskTier> tier);
+
     Stats stats() const;
 
-    /// Drop every entry and reset the hit/miss counters (tests only).
+    /// Drop every entry and reset the counters (tests and benchmarks —
+    /// e.g. to simulate a fresh process against a warm disk tier).  The
+    /// disk tier stays attached.
     void clear();
 
     /// The process-wide cache.
@@ -52,8 +78,11 @@ class ProgramCache {
 
     mutable std::mutex mutex_;
     std::map<Key, std::shared_ptr<const Program>> entries_;
+    std::shared_ptr<DiskTier> disk_tier_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t disk_hits_ = 0;
+    std::uint64_t disk_stores_ = 0;
 };
 
 }  // namespace paraprox::vm

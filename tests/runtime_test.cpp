@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <thread>
@@ -421,6 +422,47 @@ TEST(TunerTest, AuditsEveryNthInvocation)
         tuner.invoke(i);
     EXPECT_EQ(tuner.stats().quality_checks, 10u);
     EXPECT_EQ(tuner.stats().violations, 0u);
+}
+
+TEST(TunerTest, SelectedLabelLockedAgainstConcurrentBackoff)
+{
+    // TSan regression: selected_label()/selected_index() used to read
+    // selected_ without the tuner lock, racing with the serving path's
+    // drop_selected_and_advance().  Here readers poll the selection while
+    // trap-driven backoffs rewrite it.
+    Variant unstable{"unstable", 1, [](std::uint64_t seed) {
+                         VariantRun run;
+                         run.output = {static_cast<float>(seed % 7),
+                                       10.0f};
+                         run.modeled_cycles = 10.0;
+                         run.trapped = seed >= 100;
+                         return run;
+                     }};
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(std::move(unstable));
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0);
+    tuner.calibrate({1, 2});
+
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        std::size_t checksum = 0;
+        do {
+            checksum += tuner.selected_label().size();
+            checksum += static_cast<std::size_t>(tuner.selected_index());
+        } while (!stop.load(std::memory_order_relaxed));
+        EXPECT_GT(checksum, 0u);
+    });
+    std::thread server([&] {
+        for (std::uint64_t seed = 100; seed < 400; ++seed)
+            tuner.run_selected(seed);
+    });
+    server.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    EXPECT_EQ(tuner.selected_label(), "exact");
+    EXPECT_EQ(tuner.stats().backoffs, 1u);
 }
 
 TEST(TunerTest, InvokeBeforeCalibrateRejected)

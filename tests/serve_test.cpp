@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <filesystem>
 #include <thread>
 
 #include "serve/metrics.h"
@@ -91,6 +93,33 @@ TEST(LatencyHistogramTest, EmptySnapshotIsZero)
     const LatencySnapshot snap = histogram.snapshot();
     EXPECT_EQ(snap.count, 0u);
     EXPECT_EQ(snap.p99, 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantileIsFirstCumulativeCrossingBucket)
+{
+    // Regression: snapshot() carried a `counts[i] > 0` guard on the
+    // cumulative crossing; the quantile is the first bucket where the
+    // cumulative count reaches the target, nothing else.
+    LatencyHistogram histogram;
+    for (int i = 0; i < 10; ++i)
+        histogram.record(1.0e-6);  // 1000 ns -> bucket [2^9, 2^10) ns.
+    for (int i = 0; i < 10; ++i)
+        histogram.record(1.0e-3);  // 1e6 ns -> bucket [2^19, 2^20) ns.
+    const LatencySnapshot snap = histogram.snapshot();
+    EXPECT_EQ(snap.count, 20u);
+    EXPECT_DOUBLE_EQ(snap.p50, std::ldexp(1.0, 10) * 1e-9);
+    EXPECT_DOUBLE_EQ(snap.p95, std::ldexp(1.0, 20) * 1e-9);
+    EXPECT_DOUBLE_EQ(snap.p99, std::ldexp(1.0, 20) * 1e-9);
+}
+
+TEST(LatencyHistogramTest, SingleSampleDefinesEveryPercentile)
+{
+    LatencyHistogram histogram;
+    histogram.record(1.0e-6);
+    const LatencySnapshot snap = histogram.snapshot();
+    EXPECT_EQ(snap.count, 1u);
+    EXPECT_DOUBLE_EQ(snap.p50, std::ldexp(1.0, 10) * 1e-9);
+    EXPECT_DOUBLE_EQ(snap.p99, snap.p50);
 }
 
 // ---- QualityMonitor ---------------------------------------------------------
@@ -447,6 +476,110 @@ TEST(ApproxServiceTest, ConcurrentMixedKernels)
         snapshot.kernels[0].tuner.invocations +
         snapshot.kernels[1].tuner.invocations;
     EXPECT_EQ(per_kernel_sum, snapshot.metrics.served);
+}
+
+TEST(ApproxServiceTest, ExactSelectionDoesNotConsumeMonitorWindow)
+{
+    // Regression: serve_one used to call monitor.admit() before checking
+    // the selection, burning the monitor's sampling slots on requests
+    // that can never be audited (exact shadowed by exact says nothing).
+    ApproxService service(small_service(2, 64));
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(fake_variant("way-off", 1, 50.0f, 100.0));
+    service.register_kernel("k", std::move(variants),
+                            Metric::MeanRelativeError, 90.0, {1, 2, 3});
+    ASSERT_EQ(service.kernel_snapshot("k").selected, "exact");
+
+    std::vector<Ticket> tickets;
+    for (std::uint64_t seed = 0; seed < 30; ++seed)
+        tickets.push_back(service.submit("k", seed));
+    for (auto& ticket : tickets) {
+        ASSERT_TRUE(ticket.accepted);
+        const Response response = ticket.response.get();
+        EXPECT_EQ(response.served_by, "exact");
+        EXPECT_FALSE(response.shadowed);
+    }
+    service.drain();
+
+    const auto monitor = service.kernel_snapshot("k").monitor;
+    EXPECT_EQ(monitor.requests, 0u);
+    EXPECT_EQ(monitor.shadows, 0u);
+    EXPECT_EQ(service.metrics().snapshot().shadow_runs, 0u);
+}
+
+TEST(ApproxServiceTest, ServedByNamesTheVariantThatRan)
+{
+    // A trap mid-request falls back to the exact kernel; served_by must
+    // name what actually produced the output, not the pre-trap selection.
+    Variant unstable{"unstable", 1,
+                     [](std::uint64_t seed) {
+                         VariantRun run;
+                         run.output = {static_cast<float>(seed % 100) +
+                                           1.0f,
+                                       10.0f};
+                         run.modeled_cycles = 100.0;
+                         run.trapped = seed >= 100;
+                         return run;
+                     }};
+    ApproxService service(small_service(1, 8));
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(std::move(unstable));
+    service.register_kernel("k", std::move(variants),
+                            Metric::MeanRelativeError, 90.0, {1, 2});
+    ASSERT_EQ(service.kernel_snapshot("k").selected, "unstable");
+
+    Ticket ticket = service.submit("k", 100);  // Traps; exact re-serves.
+    ASSERT_TRUE(ticket.accepted);
+    const Response response = ticket.response.get();
+    EXPECT_EQ(response.served_by, "exact");
+    EXPECT_FALSE(response.run.trapped);
+    service.drain();
+}
+
+TEST(ApproxServiceTest, WarmRegistrationRestoresCalibration)
+{
+    namespace fs = std::filesystem;
+    const auto dir =
+        fs::temp_directory_path() / "paraprox-serve-warm-registration";
+    fs::remove_all(dir);
+    const auto store = store::ArtifactStore::configure_global(dir);
+
+    store::StoreKey key;
+    key.kernel = "k";
+    key.device = "synthetic";
+    key.toq = 90.0;
+    key.metric = "Mean relative error";
+    key.detail = "calibration";
+
+    auto build = [] {
+        std::vector<Variant> variants;
+        variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+        variants.push_back(fake_variant("good", 1, 0.1f, 100.0));
+        return variants;
+    };
+
+    std::string cold_selection;
+    {
+        ApproxService cold(small_service(1, 8));
+        cold.register_kernel("k", build(), Metric::MeanRelativeError,
+                             90.0, {1, 2, 3}, key);
+        EXPECT_EQ(cold.metrics().snapshot().warm_registrations, 0u);
+        cold_selection = cold.kernel_snapshot("k").selected;
+        cold.stop();
+    }
+    EXPECT_TRUE(store->load_calibration(key).has_value());
+
+    ApproxService warm(small_service(1, 8));
+    warm.register_kernel("k", build(), Metric::MeanRelativeError, 90.0,
+                         {1, 2, 3}, key);
+    EXPECT_EQ(warm.metrics().snapshot().warm_registrations, 1u);
+    EXPECT_EQ(warm.kernel_snapshot("k").selected, cold_selection);
+    warm.stop();
+
+    store::ArtifactStore::disable_global();
+    fs::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,502 @@
+// Tests for the on-disk artifact store: byte-exact round trips for all
+// three artifact kinds, corruption (truncation, bit flips, version bumps,
+// key-echo mismatches) degrading to a plain miss without crashing, and
+// the warm-start path selecting the same variant a cold calibration does
+// while skipping compilation, table search, and the profiling sweep.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "device/memory_model.h"
+#include "memo/table.h"
+#include "parser/parser.h"
+#include "runtime/session.h"
+#include "store/artifact_store.h"
+#include "store/format.h"
+#include "support/rng.h"
+#include "vm/program_cache.h"
+
+namespace paraprox::store {
+namespace {
+
+// Each TEST runs as its own ctest process (gtest_discover_tests), but
+// tests can still run concurrently — give every test its own directory.
+std::filesystem::path
+fresh_dir(const std::string& name)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("paraprox-store-test-" + name);
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+StoreKey
+test_key(const std::string& detail)
+{
+    StoreKey key;
+    key.module_fingerprint = 0x0123456789abcdefull;
+    key.kernel = "apply";
+    key.device = "GTX560";
+    key.toq = 90.0;
+    key.detail = detail;
+    return key;
+}
+
+vm::Program
+sample_program()
+{
+    vm::Program program;
+    program.kernel_name = "apply";
+    program.num_regs = 8;
+    program.has_barrier = true;
+    program.code = {
+        {vm::Opcode::Gid, 0, 0, 0, 0, vm::make_int(0)},
+        {vm::Opcode::Ld, 1, 0, 0, 0, vm::make_int(0)},
+        {vm::Opcode::AddF, 2, 1, 1, 0, vm::make_float(0.0f)},
+        {vm::Opcode::LdImm, 3, 0, 0, 0, vm::make_float(1.5f)},
+        {vm::Opcode::St, 0, 2, 0, 0, vm::make_int(1)},
+        {vm::Opcode::Halt, 0, 0, 0, 0, vm::make_int(0)},
+    };
+    program.fast_code = {
+        {vm::Opcode::Gid, 0, 0, 0, 0, vm::make_int(0)},
+        {vm::Opcode::LdAddF, 2, 0, 1, 1, vm::make_int(0)},
+        {vm::Opcode::Halt, 0, 0, 0, 0, vm::make_int(0)},
+    };
+    program.buffers = {{"in", ir::Scalar::F32, ir::AddrSpace::Global},
+                       {"out", ir::Scalar::F32, ir::AddrSpace::Global},
+                       {"lut", ir::Scalar::F32, ir::AddrSpace::Constant}};
+    program.scalars = {{"n", ir::Scalar::I32, 3},
+                       {"scale", ir::Scalar::F32, 4}};
+    return program;
+}
+
+void
+expect_instr_eq(const vm::Instr& a, const vm::Instr& b)
+{
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.a, b.a);
+    EXPECT_EQ(a.b, b.b);
+    EXPECT_EQ(a.c, b.c);
+    EXPECT_EQ(a.d, b.d);
+    EXPECT_EQ(a.imm.i, b.imm.i);  // Bit compare via the int view.
+}
+
+void
+expect_program_eq(const vm::Program& a, const vm::Program& b)
+{
+    EXPECT_EQ(a.kernel_name, b.kernel_name);
+    EXPECT_EQ(a.num_regs, b.num_regs);
+    EXPECT_EQ(a.has_barrier, b.has_barrier);
+    ASSERT_EQ(a.code.size(), b.code.size());
+    for (std::size_t i = 0; i < a.code.size(); ++i)
+        expect_instr_eq(a.code[i], b.code[i]);
+    ASSERT_EQ(a.fast_code.size(), b.fast_code.size());
+    for (std::size_t i = 0; i < a.fast_code.size(); ++i)
+        expect_instr_eq(a.fast_code[i], b.fast_code[i]);
+    ASSERT_EQ(a.buffers.size(), b.buffers.size());
+    for (std::size_t i = 0; i < a.buffers.size(); ++i) {
+        EXPECT_EQ(a.buffers[i].name, b.buffers[i].name);
+        EXPECT_EQ(a.buffers[i].elem, b.buffers[i].elem);
+        EXPECT_EQ(a.buffers[i].space, b.buffers[i].space);
+    }
+    ASSERT_EQ(a.scalars.size(), b.scalars.size());
+    for (std::size_t i = 0; i < a.scalars.size(); ++i) {
+        EXPECT_EQ(a.scalars[i].name, b.scalars[i].name);
+        EXPECT_EQ(a.scalars[i].scalar, b.scalars[i].scalar);
+        EXPECT_EQ(a.scalars[i].reg, b.scalars[i].reg);
+    }
+}
+
+memo::LookupTable
+sample_table()
+{
+    memo::LookupTable table;
+    memo::InputQuant x;
+    x.name = "x";
+    x.lo = -4.0f;
+    x.hi = 4.0f;
+    x.bits = 3;
+    memo::InputQuant r;
+    r.name = "r";
+    r.is_constant = true;
+    r.constant_value = 0.25f;
+    table.config.inputs = {x, r};
+    table.tuned_quality = 97.5;
+    table.values.resize(static_cast<std::size_t>(table.config.table_size()));
+    for (std::size_t i = 0; i < table.values.size(); ++i)
+        table.values[i] = static_cast<float>(i) * 0.5f - 1.0f;
+    return table;
+}
+
+CalibrationArtifact
+sample_calibration()
+{
+    CalibrationArtifact calibration;
+    calibration.profiles = {
+        {"exact", 1.0, 1.0, 100.0, true, false},
+        {"memo8", 3.5, 2.1, 96.25, true, false},
+        {"memo4", 7.25, 4.0, 81.0, false, false},
+        {"memo2", 0.0, 0.0, 0.0, false, true},
+    };
+    calibration.fallback_order = {1, 0};
+    calibration.selected = 1;
+    return calibration;
+}
+
+// ---- Round trips ------------------------------------------------------------
+
+TEST(StoreTest, ProgramRoundTrip)
+{
+    const ArtifactStore store(fresh_dir("program-roundtrip"));
+    const StoreKey key = program_key(42, "apply");
+    const vm::Program original = sample_program();
+    ASSERT_TRUE(store.save_program(key, original));
+
+    const auto loaded = store.load_program(key);
+    ASSERT_TRUE(loaded.has_value());
+    expect_program_eq(original, *loaded);
+    EXPECT_EQ(store.stats().hits, 1u);
+    EXPECT_EQ(store.stats().misses, 0u);
+}
+
+TEST(StoreTest, TableRoundTrip)
+{
+    const ArtifactStore store(fresh_dir("table-roundtrip"));
+    const StoreKey key = test_key("memo:f#0");
+    const memo::LookupTable original = sample_table();
+    ASSERT_TRUE(store.save_table(key, original));
+
+    const auto loaded = store.load_table(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->values, original.values);
+    EXPECT_DOUBLE_EQ(loaded->tuned_quality, original.tuned_quality);
+    ASSERT_EQ(loaded->config.inputs.size(), original.config.inputs.size());
+    for (std::size_t i = 0; i < original.config.inputs.size(); ++i) {
+        const auto& want = original.config.inputs[i];
+        const auto& got = loaded->config.inputs[i];
+        EXPECT_EQ(got.name, want.name);
+        EXPECT_EQ(got.lo, want.lo);
+        EXPECT_EQ(got.hi, want.hi);
+        EXPECT_EQ(got.bits, want.bits);
+        EXPECT_EQ(got.is_constant, want.is_constant);
+        EXPECT_EQ(got.constant_value, want.constant_value);
+    }
+    EXPECT_EQ(loaded->config.address_bits(),
+              original.config.address_bits());
+}
+
+TEST(StoreTest, CalibrationRoundTrip)
+{
+    const ArtifactStore store(fresh_dir("calibration-roundtrip"));
+    StoreKey key = test_key("calibration");
+    key.metric = "Mean relative error";
+    const CalibrationArtifact original = sample_calibration();
+    ASSERT_TRUE(store.save_calibration(key, original));
+
+    const auto loaded = store.load_calibration(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->fallback_order, original.fallback_order);
+    EXPECT_EQ(loaded->selected, original.selected);
+    ASSERT_EQ(loaded->profiles.size(), original.profiles.size());
+    for (std::size_t i = 0; i < original.profiles.size(); ++i) {
+        const auto& want = original.profiles[i];
+        const auto& got = loaded->profiles[i];
+        EXPECT_EQ(got.label, want.label);
+        EXPECT_DOUBLE_EQ(got.speedup, want.speedup);
+        EXPECT_DOUBLE_EQ(got.wall_speedup, want.wall_speedup);
+        EXPECT_DOUBLE_EQ(got.quality, want.quality);
+        EXPECT_EQ(got.meets_toq, want.meets_toq);
+        EXPECT_EQ(got.trapped, want.trapped);
+    }
+}
+
+// ---- Corruption degrades to a miss ------------------------------------------
+
+TEST(StoreTest, MissingFileIsMiss)
+{
+    const ArtifactStore store(fresh_dir("missing"));
+    EXPECT_FALSE(store.load_table(test_key("memo:f#0")).has_value());
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_EQ(store.stats().corrupt_rejects, 0u);
+}
+
+TEST(StoreTest, TruncatedFileIsMiss)
+{
+    const ArtifactStore store(fresh_dir("truncated"));
+    const StoreKey key = test_key("memo:f#0");
+    ASSERT_TRUE(store.save_table(key, sample_table()));
+    const auto path = store.path_for(key, ArtifactKind::Table);
+    const auto full_size = std::filesystem::file_size(path);
+
+    // Every truncation point — mid-header, mid-payload, one byte short —
+    // must read as a miss, never a crash or a partial decode.
+    for (const std::uintmax_t keep :
+         {std::uintmax_t{0}, std::uintmax_t{5}, std::uintmax_t{31},
+          full_size / 2, full_size - 1}) {
+        std::filesystem::resize_file(path, keep);
+        EXPECT_FALSE(store.load_table(key).has_value())
+            << "truncated to " << keep << " bytes";
+    }
+    EXPECT_GT(store.stats().corrupt_rejects, 0u);
+}
+
+TEST(StoreTest, BitFlippedFileIsMiss)
+{
+    const ArtifactStore store(fresh_dir("bitflip"));
+    const StoreKey key = test_key("memo:f#0");
+    ASSERT_TRUE(store.save_table(key, sample_table()));
+    const auto path = store.path_for(key, ArtifactKind::Table);
+    const auto pristine = read_file_bytes(path);
+    ASSERT_TRUE(pristine.has_value());
+
+    // Flip one bit at a spread of offsets (magic, kind, size, checksum,
+    // payload): each corrupted copy must be rejected.
+    for (const std::size_t offset :
+         {std::size_t{0}, std::size_t{9}, std::size_t{17}, std::size_t{25},
+          pristine->size() / 2, pristine->size() - 1}) {
+        auto corrupted = *pristine;
+        corrupted[offset] ^= 0x40;
+        std::ofstream(path, std::ios::binary | std::ios::trunc)
+            .write(reinterpret_cast<const char*>(corrupted.data()),
+                   static_cast<std::streamsize>(corrupted.size()));
+        EXPECT_FALSE(store.load_table(key).has_value())
+            << "bit flip at offset " << offset;
+    }
+}
+
+TEST(StoreTest, VersionBumpIsMiss)
+{
+    const ArtifactStore store(fresh_dir("version-bump"));
+    const StoreKey key = test_key("memo:f#0");
+    ASSERT_TRUE(store.save_table(key, sample_table()));
+    const auto path = store.path_for(key, ArtifactKind::Table);
+    auto bytes = read_file_bytes(path);
+    ASSERT_TRUE(bytes.has_value());
+
+    // The format version is the second little-endian u32 of the header.
+    (*bytes)[4] = static_cast<std::uint8_t>(kFormatVersion + 1);
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        .write(reinterpret_cast<const char*>(bytes->data()),
+               static_cast<std::streamsize>(bytes->size()));
+    EXPECT_FALSE(store.load_table(key).has_value());
+    EXPECT_EQ(store.stats().corrupt_rejects, 1u);
+}
+
+TEST(StoreTest, KindConfusionIsMiss)
+{
+    // A valid *calibration* record copied over a table's path must not
+    // decode as a table.
+    const ArtifactStore store(fresh_dir("kind-confusion"));
+    StoreKey calib_key = test_key("calibration");
+    calib_key.metric = "L1";
+    ASSERT_TRUE(store.save_calibration(calib_key, sample_calibration()));
+
+    const StoreKey table_key = test_key("memo:f#0");
+    std::filesystem::copy_file(
+        store.path_for(calib_key, ArtifactKind::Calibration),
+        store.path_for(table_key, ArtifactKind::Table));
+    EXPECT_FALSE(store.load_table(table_key).has_value());
+}
+
+TEST(StoreTest, KeyEchoMismatchIsMiss)
+{
+    // A record filed under the wrong name (filename-hash collision or a
+    // hand-renamed file) carries the wrong canonical key in its payload
+    // and must read as a miss under the other key.
+    const ArtifactStore store(fresh_dir("key-echo"));
+    const StoreKey key_a = test_key("memo:f#0");
+    StoreKey key_b = test_key("memo:g#0");
+    ASSERT_TRUE(store.save_table(key_a, sample_table()));
+
+    std::filesystem::copy_file(store.path_for(key_a, ArtifactKind::Table),
+                               store.path_for(key_b, ArtifactKind::Table));
+    EXPECT_FALSE(store.load_table(key_b).has_value());
+    EXPECT_EQ(store.stats().corrupt_rejects, 1u);
+    // The original stays readable.
+    EXPECT_TRUE(store.load_table(key_a).has_value());
+}
+
+TEST(StoreTest, GarbageFilesNeverCrash)
+{
+    const ArtifactStore store(fresh_dir("garbage"));
+    const StoreKey key = test_key("memo:f#0");
+    const auto path = store.path_for(key, ArtifactKind::Table);
+
+    Rng rng(7);
+    for (const std::size_t size :
+         {std::size_t{1}, std::size_t{8}, std::size_t{32}, std::size_t{33},
+          std::size_t{200}, std::size_t{4096}}) {
+        std::vector<char> junk(size);
+        for (char& byte : junk)
+            byte = static_cast<char>(rng.uniform_int(0, 255));
+        std::ofstream(path, std::ios::binary | std::ios::trunc)
+            .write(junk.data(), static_cast<std::streamsize>(junk.size()));
+        EXPECT_FALSE(store.load_table(key).has_value())
+            << size << " bytes of garbage";
+        EXPECT_FALSE(store.load_program(key).has_value());
+    }
+}
+
+TEST(StoreTest, ListAndPruneSeparateValidFromInvalid)
+{
+    const auto dir = fresh_dir("list-prune");
+    const ArtifactStore store(dir);
+    ASSERT_TRUE(store.save_table(test_key("memo:f#0"), sample_table()));
+    std::ofstream(dir / "junk.ppx") << "not a record";
+    std::ofstream(dir / "stray.ppx.tmp123") << "dead writer";
+
+    const auto entries = store.list();
+    ASSERT_EQ(entries.size(), 2u);  // .tmp files are not records.
+    std::size_t valid = 0;
+    for (const auto& entry : entries)
+        valid += entry.valid ? 1 : 0;
+    EXPECT_EQ(valid, 1u);
+
+    // Prune removes the invalid record and the stray temp file only.
+    EXPECT_EQ(store.prune(), 2u);
+    ASSERT_EQ(store.list().size(), 1u);
+    EXPECT_TRUE(store.list()[0].valid);
+    EXPECT_TRUE(store.load_table(test_key("memo:f#0")).has_value());
+
+    EXPECT_EQ(store.prune(/*everything=*/true), 1u);
+    EXPECT_TRUE(store.list().empty());
+}
+
+// ---- Warm start end-to-end --------------------------------------------------
+
+const char* kSource = R"(
+float curve(float x) {
+    float s = 1.0f / (1.0f + expf(-x));
+    return s * sqrtf(1.0f + x * x) + logf(1.0f + expf(x));
+}
+
+__kernel void apply(__global float* in, __global float* out) {
+    int i = get_global_id(0);
+    out[i] = curve(in[i]);
+}
+)";
+
+constexpr int kN = 256;
+
+core::CompileOptions
+session_options()
+{
+    core::CompileOptions options;
+    options.toq = 90.0;
+    options.device = device::DeviceModel::gtx560();
+    options.training = core::uniform_training(-4.0f, 4.0f);
+    return options;
+}
+
+core::LaunchPlan
+session_plan()
+{
+    core::LaunchPlan plan;
+    plan.config = exec::LaunchConfig::linear(kN, 64);
+    plan.output_buffer = "out";
+    plan.bind_inputs =
+        [](std::uint64_t seed, exec::ArgPack& args,
+           std::vector<std::unique_ptr<exec::Buffer>>& storage) {
+            Rng rng(seed);
+            storage.push_back(
+                std::make_unique<exec::Buffer>(exec::Buffer::from_floats(
+                    rng.uniform_vector(kN, -4.0f, 4.0f))));
+            args.buffer("in", *storage.back());
+            storage.push_back(std::make_unique<exec::Buffer>(
+                exec::Buffer::zeros_f32(kN)));
+            args.buffer("out", *storage.back());
+        };
+    return plan;
+}
+
+TEST(StoreWarmStartTest, WarmSessionSkipsSearchAndMatchesColdSelection)
+{
+    const auto store =
+        ArtifactStore::configure_global(fresh_dir("warm-start"));
+    vm::ProgramCache::global().clear();
+    const std::vector<std::uint64_t> seeds = {1, 2, 3};
+
+    // Cold: compiles, runs the table-size search, calibrates — and
+    // persists all three artifact kinds.
+    auto module = parser::parse_module(kSource);
+    const std::uint64_t searches_before = memo::table_search_invocations();
+    runtime::KernelSession cold(module, "apply", session_options());
+    const auto cold_tuner = cold.warm_tuner(
+        session_plan(), runtime::Metric::MeanRelativeError, seeds);
+    EXPECT_FALSE(cold_tuner.warm);
+    EXPECT_GT(memo::table_search_invocations(), searches_before);
+    EXPECT_GT(store->stats().writes, 0u);
+
+    // Simulate a fresh process: drop the in-memory bytecode tier.  The
+    // warm session must not search table sizes or calibrate, and must
+    // serve the identical selection.
+    vm::ProgramCache::global().clear();
+    const auto cache_before = vm::ProgramCache::global().stats();
+    const std::uint64_t searches_cold = memo::table_search_invocations();
+    runtime::KernelSession warm(module, "apply", session_options());
+    const auto warm_tuner = warm.warm_tuner(
+        session_plan(), runtime::Metric::MeanRelativeError, seeds);
+    EXPECT_TRUE(warm_tuner.warm);
+    EXPECT_EQ(memo::table_search_invocations(), searches_cold);
+    EXPECT_EQ(warm_tuner.tuner->selected_label(),
+              cold_tuner.tuner->selected_label());
+
+    // Bytecode came from the disk tier, not recompilation.
+    const auto cache_after = vm::ProgramCache::global().stats();
+    EXPECT_GT(cache_after.disk_hits, cache_before.disk_hits);
+    EXPECT_EQ(cache_after.misses, cache_before.misses);
+
+    // Identical members and outputs either way.
+    ASSERT_EQ(warm.members().size(), cold.members().size());
+    const auto plan = session_plan();
+    for (std::size_t m = 0; m < warm.members().size(); ++m) {
+        EXPECT_EQ(warm.members()[m].label, cold.members()[m].label);
+        const auto a = cold.run_member(cold.members()[m], plan, 99);
+        const auto b = warm.run_member(warm.members()[m], plan, 99);
+        EXPECT_EQ(a.output, b.output);
+    }
+
+    // The restored tuner audits its first approximate invocation.
+    warm_tuner.tuner->invoke(7);
+    EXPECT_EQ(warm_tuner.tuner->stats_snapshot().quality_checks,
+              warm_tuner.tuner->selected_index() != 0 ? 1u : 0u);
+
+    ArtifactStore::disable_global();
+    vm::ProgramCache::global().clear();
+}
+
+TEST(StoreWarmStartTest, StaleCalibrationIsRejectedNotInstalled)
+{
+    const auto store =
+        ArtifactStore::configure_global(fresh_dir("stale-calibration"));
+    vm::ProgramCache::global().clear();
+
+    auto module = parser::parse_module(kSource);
+    runtime::KernelSession session(module, "apply", session_options());
+    const auto key =
+        session.calibration_key(runtime::Metric::MeanRelativeError);
+
+    // A calibration whose labels don't match the live variant list (a
+    // different build wrote it) must be ignored and recalibrated over.
+    CalibrationArtifact stale;
+    stale.profiles = {{"exact", 1.0, 1.0, 100.0, true, false},
+                      {"renamed-variant", 2.0, 2.0, 95.0, true, false}};
+    stale.fallback_order = {1, 0};
+    stale.selected = 1;
+    ASSERT_TRUE(store->save_calibration(key, stale));
+
+    const auto tuner = session.warm_tuner(
+        session_plan(), runtime::Metric::MeanRelativeError, {1, 2});
+    EXPECT_FALSE(tuner.warm);  // Fell back to a live calibration.
+    EXPECT_GE(tuner.tuner->profiles().size(), 2u);
+
+    ArtifactStore::disable_global();
+    vm::ProgramCache::global().clear();
+}
+
+}  // namespace
+}  // namespace paraprox::store
