@@ -12,10 +12,13 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <future>
+#include <string_view>
 
 #include "bench/bench_support.h"
 #include "serve/service.h"
+#include "support/faultinject.h"
 #include "support/stats.h"
 
 namespace paraprox::bench {
@@ -124,12 +127,91 @@ run_figure()
                 stats::geomean(ratios));
 }
 
+/// CI chaos smoke: serve one kernel under whatever PARAPROX_FAULTS is
+/// armed (traps, latency stalls, store corruption) and assert the
+/// containment invariant — every accepted request resolves.  Prints one
+/// greppable `serve_smoke:` line; exits nonzero on an unresolved future.
+int
+run_smoke()
+{
+    const auto device = device::DeviceModel::gtx560();
+    auto app = apps::make_mean_filter();
+    app->set_scale(kScale);
+
+    serve::ServiceConfig config;
+    config.num_workers = default_thread_count();
+    config.queue_capacity = kRequests + 16;
+    serve::ApproxService service(config);
+    // Registration calibrates every variant through the same fault
+    // sites; with faults live it can trap out the whole generated set
+    // and select the exact kernel, leaving the serving phase nothing to
+    // inject into.  Scope the schedule to serving: disarm for the
+    // calibration pass, then arm from the environment at occurrence
+    // zero.
+    fault::FaultInjector::instance().disarm();
+    service.register_kernel("kernel", app->variants(device),
+                            app->info().metric, kToq, {101, 202});
+    fault::FaultInjector::instance().arm_from_env();
+
+    std::vector<std::future<serve::Response>> responses;
+    responses.reserve(kRequests);
+    std::uint64_t rejected = 0;
+    for (int i = 0; i < kRequests; ++i) {
+        auto ticket = service.submit("kernel", 1000 + i);
+        if (ticket.accepted)
+            responses.push_back(std::move(ticket.response));
+        else
+            ++rejected;
+    }
+
+    std::uint64_t unresolved = 0;
+    for (auto& response : responses) {
+        if (response.wait_for(std::chrono::seconds(60)) !=
+            std::future_status::ready)
+            ++unresolved;
+    }
+
+    const auto snapshot = service.snapshot();
+    const auto& m = snapshot.metrics;
+    std::printf("serve_smoke: accepted=%llu served=%llu "
+                "deadline_expired=%llu trap_fallbacks=%llu "
+                "quarantines=%llu rejected=%llu unresolved=%llu\n",
+                static_cast<unsigned long long>(m.accepted),
+                static_cast<unsigned long long>(m.served),
+                static_cast<unsigned long long>(m.deadline_expired),
+                static_cast<unsigned long long>(m.trap_fallbacks),
+                static_cast<unsigned long long>(m.quarantines),
+                static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(unresolved));
+    std::fputs(serve::format_metrics(m).c_str(), stdout);
+    for (const auto& fault : fault::FaultInjector::instance().stats()) {
+        std::printf("fault_stats: site=%s match=%s occurrences=%llu "
+                    "fires=%llu\n",
+                    fault.site.c_str(),
+                    fault.match.empty() ? "*" : fault.match.c_str(),
+                    static_cast<unsigned long long>(fault.occurrences),
+                    static_cast<unsigned long long>(fault.fires));
+    }
+    if (unresolved > 0) {
+        // A worker wedged mid-request: joining it would hang, so fail
+        // the process hard instead of waiting on a lost future.
+        std::fflush(stdout);
+        std::_Exit(1);
+    }
+    service.stop();
+    return 0;
+}
+
 }  // namespace
 }  // namespace paraprox::bench
 
 int
 main(int argc, char** argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--smoke")
+            return paraprox::bench::run_smoke();
+    }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     paraprox::bench::run_figure();

@@ -1,11 +1,32 @@
 #include "runtime/tuner.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "support/error.h"
 #include "support/parallel.h"
 
 namespace paraprox::runtime {
+
+namespace {
+
+/// reopen_at sentinel: the breaker never leaves Open on its own.
+constexpr std::uint64_t kNeverReopen =
+    std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace
+
+std::string
+to_string(BreakerState state)
+{
+    switch (state) {
+      case BreakerState::Closed: return "closed";
+      case BreakerState::Open: return "open";
+      case BreakerState::HalfOpen: return "half-open";
+    }
+    return "<bad-state>";
+}
 
 Tuner::Tuner(std::vector<Variant> variants, Metric metric,
              double toq_percent, int check_interval)
@@ -102,9 +123,23 @@ Tuner::calibrate(const std::vector<std::uint64_t>& training_seeds,
               });
     fallback_order_.push_back(0);
 
+    // Degradation ladder rungs: every non-trapped variant — exact and
+    // below-TOQ ones included — fastest-first.  Under load shedding the
+    // serving path walks this list toward cheaper entries.
+    speed_order_.clear();
+    for (std::size_t v = 0; v < variants_.size(); ++v) {
+        if (!profiles_[v].trapped)
+            speed_order_.push_back(static_cast<int>(v));
+    }
+    std::stable_sort(speed_order_.begin(), speed_order_.end(),
+                     [&](int a, int b) {
+                         return profiles_[a].speedup > profiles_[b].speedup;
+                     });
+
     selected_ = fallback_order_.front();
     calibrated_ = true;
     audit_next_ = false;
+    reset_health_locked();
     return profiles_;
 }
 
@@ -149,8 +184,18 @@ Tuner::restore_calibration(const CalibrationState& state)
     profiles_ = state.profiles;
     fallback_order_ = state.fallback_order;
     selected_ = state.selected;
+    speed_order_.clear();
+    for (std::size_t v = 0; v < variants_.size(); ++v) {
+        if (!profiles_[v].trapped)
+            speed_order_.push_back(static_cast<int>(v));
+    }
+    std::stable_sort(speed_order_.begin(), speed_order_.end(),
+                     [&](int a, int b) {
+                         return profiles_[a].speedup > profiles_[b].speedup;
+                     });
     calibrated_ = true;
     audit_next_ = true;
+    reset_health_locked();
     return true;
 }
 
@@ -206,13 +251,12 @@ Tuner::invoke(std::uint64_t input_seed)
 
     VariantRun run = execute(index, input_seed);
     if (run.trapped && index != 0) {
-        // Unsafe execution: fall back to exact for this input and demote
-        // the variant permanently (§5, safety).
+        // Unsafe execution: fall back to exact for this input and report
+        // the trap to the circuit breaker (which, under the default
+        // policy, demotes the variant permanently — §5, safety).
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.backoffs;
-            if (selected_ == index)
-                drop_selected_and_advance();
+            record_failure_locked(index);
         }
         return execute(0, input_seed);
     }
@@ -227,43 +271,53 @@ Tuner::invoke(std::uint64_t input_seed)
         ++stats_.quality_checks;
         if (quality < toq_) {
             ++stats_.violations;
-            ++stats_.backoffs;
-            if (selected_ == index)
-                drop_selected_and_advance();
+            record_failure_locked(index);
         }
     }
     return run;
+}
+
+ServedRun
+Tuner::serve(std::uint64_t input_seed)
+{
+    int index;
+    bool degraded = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        PARAPROX_CHECK(calibrated_, "call calibrate() before serve()");
+        ++stats_.invocations;
+        index = resolve_serving_index_locked(&degraded);
+    }
+
+    ServedRun served;
+    served.run = execute(index, input_seed);
+    if (served.run.trapped && index != 0) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            record_failure_locked(index);
+        }
+        served.run = execute(0, input_seed);
+        served.index = 0;
+        served.label = variants_[0].label;
+        served.trap_fallback = true;
+        return served;
+    }
+    served.index = index;
+    served.label = variants_[index].label;
+    served.degraded = degraded;
+    return served;
 }
 
 VariantRun
 Tuner::run_selected(std::uint64_t input_seed, std::string* served_label,
                     int* served_index)
 {
-    int index;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        PARAPROX_CHECK(calibrated_,
-                       "call calibrate() before run_selected()");
-        ++stats_.invocations;
-        index = selected_;
-    }
-
-    VariantRun run = execute(index, input_seed);
-    if (run.trapped && index != 0) {
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.backoffs;
-            if (selected_ == index)
-                drop_selected_and_advance();
-        }
-        index = 0;
-        run = execute(0, input_seed);
-    }
+    ServedRun served = serve(input_seed);
     if (served_label)
-        *served_label = variants_[index].label;
+        *served_label = std::move(served.label);
     if (served_index)
-        *served_index = index;
-    return run;
+        *served_index = served.index;
+    return std::move(served.run);
 }
 
 VariantRun
@@ -273,13 +327,227 @@ Tuner::run_exact(std::uint64_t input_seed) const
 }
 
 void
-Tuner::drop_selected_and_advance()
+Tuner::set_quarantine(const QuarantineConfig& config)
 {
-    auto it = std::find(fallback_order_.begin(), fallback_order_.end(),
-                        selected_);
-    if (it != fallback_order_.end() && *it != 0)
-        fallback_order_.erase(it);
-    selected_ = fallback_order_.front();
+    PARAPROX_CHECK(config.failure_threshold >= 1,
+                   "quarantine failure threshold must be >= 1");
+    PARAPROX_CHECK(config.cooldown_growth >= 1.0,
+                   "quarantine cooldown growth must be >= 1");
+    PARAPROX_CHECK(config.probe_quota >= 1,
+                   "quarantine probe quota must be >= 1");
+    std::lock_guard<std::mutex> lock(mutex_);
+    quarantine_ = config;
+}
+
+QuarantineConfig
+Tuner::quarantine_config() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantine_;
+}
+
+bool
+Tuner::record_failure(int index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return record_failure_locked(index);
+}
+
+bool
+Tuner::record_failure_locked(int index)
+{
+    if (!calibrated_ || index <= 0 ||
+        index >= static_cast<int>(variants_.size()))
+        return false;
+    VariantHealth& health = health_[index];
+    if (health.state == BreakerState::Open)
+        return false;  // Already quarantined; nothing new to learn.
+
+    // A failing half-open probe path reports through record_probe(); a
+    // plain failure on a HalfOpen variant (e.g. a shadow audit racing
+    // reinstatement) re-opens it directly.
+    const std::uint64_t now = stats_.invocations;
+    health.failures.push_back(now);
+    while (!health.failures.empty() &&
+           now - health.failures.front() > quarantine_.failure_window)
+        health.failures.pop_front();
+    if (health.state == BreakerState::Closed &&
+        static_cast<int>(health.failures.size()) <
+            quarantine_.failure_threshold)
+        return false;
+
+    open_breaker_locked(index);
+    return true;
+}
+
+void
+Tuner::open_breaker_locked(int index)
+{
+    VariantHealth& health = health_[index];
+    health.state = BreakerState::Open;
+    health.failures.clear();
+    health.probe_successes = 0;
+    ++health.offenses;
+    ++stats_.quarantines;
+    if (quarantine_.cooldown == 0) {
+        // Legacy policy: a quarantined variant never comes back short of
+        // a recalibration.
+        health.reopen_at = kNeverReopen;
+    } else {
+        double cooldown =
+            static_cast<double>(quarantine_.cooldown) *
+            std::pow(quarantine_.cooldown_growth, health.offenses - 1);
+        cooldown = std::min(
+            cooldown, static_cast<double>(quarantine_.max_cooldown));
+        health.reopen_at =
+            stats_.invocations + static_cast<std::uint64_t>(cooldown);
+    }
+    if (selected_ == index) {
+        ++stats_.backoffs;
+        reselect_locked();
+    }
+}
+
+void
+Tuner::reselect_locked()
+{
+    // The chain is never mutated after calibration: selection simply
+    // lands on its first healthy entry.  Index 0 terminates the chain
+    // and is exempt from quarantine, so a winner always exists.
+    for (const int index : fallback_order_) {
+        if (health_[index].state == BreakerState::Closed) {
+            selected_ = index;
+            return;
+        }
+    }
+    selected_ = 0;
+}
+
+void
+Tuner::reset_health_locked()
+{
+    health_.assign(variants_.size(), {});
+}
+
+int
+Tuner::resolve_serving_index_locked(bool* degraded) const
+{
+    *degraded = false;
+    const int base = selected_;
+    if (degradation_level_ <= 0 || speed_order_.empty())
+        return base;
+    const auto at = std::find(speed_order_.begin(), speed_order_.end(),
+                              base);
+    if (at == speed_order_.end())
+        return base;
+    // Walk toward the fastest rung, one per degradation level, skipping
+    // quarantined variants.  The ladder saturates at the fastest healthy
+    // entry rather than wrapping.
+    int resolved = base;
+    int steps = degradation_level_;
+    for (auto it = at; it != speed_order_.begin() && steps > 0;) {
+        --it;
+        if (health_[*it].state != BreakerState::Closed)
+            continue;
+        resolved = *it;
+        --steps;
+    }
+    *degraded = resolved != base;
+    return resolved;
+}
+
+int
+Tuner::probe_candidate()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!calibrated_)
+        return -1;
+    for (const int index : fallback_order_) {
+        if (index == 0)
+            continue;
+        VariantHealth& health = health_[index];
+        if (health.state == BreakerState::HalfOpen)
+            return index;
+        if (health.state == BreakerState::Open &&
+            health.reopen_at != kNeverReopen &&
+            stats_.invocations >= health.reopen_at) {
+            health.state = BreakerState::HalfOpen;
+            health.probe_successes = 0;
+            return index;
+        }
+    }
+    return -1;
+}
+
+VariantRun
+Tuner::run_probe(int index, std::uint64_t input_seed)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        PARAPROX_CHECK(index > 0 &&
+                           index < static_cast<int>(variants_.size()),
+                       "run_probe: bad variant index");
+        ++stats_.probes;
+    }
+    return execute(index, input_seed);
+}
+
+bool
+Tuner::record_probe(int index, bool healthy)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index <= 0 || index >= static_cast<int>(variants_.size()))
+        return false;
+    VariantHealth& health = health_[index];
+    if (health.state != BreakerState::HalfOpen)
+        return false;  // Stale report; breaker moved on.
+    if (!healthy) {
+        // Still sick: back to Open with a grown cooldown.
+        open_breaker_locked(index);
+        return false;
+    }
+    if (++health.probe_successes < quarantine_.probe_quota)
+        return false;
+    health.state = BreakerState::Closed;
+    health.failures.clear();
+    health.probe_successes = 0;
+    ++stats_.reinstatements;
+    reselect_locked();
+    return true;
+}
+
+std::vector<BreakerSnapshot>
+Tuner::breaker_snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<BreakerSnapshot> out;
+    out.reserve(variants_.size());
+    for (std::size_t v = 0; v < variants_.size(); ++v) {
+        BreakerSnapshot snap;
+        snap.label = variants_[v].label;
+        if (v < health_.size()) {
+            snap.state = health_[v].state;
+            snap.failures = static_cast<int>(health_[v].failures.size());
+            snap.offenses = health_[v].offenses;
+            snap.reopen_at = health_[v].reopen_at;
+        }
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+void
+Tuner::set_degradation_level(int level)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    degradation_level_ = std::max(0, level);
+}
+
+int
+Tuner::degradation_level() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return degradation_level_;
 }
 
 int

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -65,6 +66,57 @@ struct TunerStats {
     std::uint64_t violations = 0;  ///< TOQ misses observed at runtime.
     std::uint64_t backoffs = 0;    ///< Variant downgrades performed.
     std::uint64_t recalibrations = 0;  ///< Full re-profiling passes.
+    std::uint64_t quarantines = 0;     ///< Circuit-breaker openings.
+    std::uint64_t reinstatements = 0;  ///< Breakers closed after probing.
+    std::uint64_t probes = 0;          ///< Half-open probe executions.
+};
+
+/// Circuit-breaker policy for unhealthy variants.  The default —
+/// one failure opens the breaker forever — reproduces the original
+/// "demote permanently on first trap" behavior; a serving layer opts
+/// into windowed thresholds and cooldown-based reinstatement.
+struct QuarantineConfig {
+    /// Failures within `failure_window` that open the breaker.
+    int failure_threshold = 1;
+    /// Window, in tuner invocations, over which failures accumulate.
+    std::uint64_t failure_window = 64;
+    /// Invocations an opened breaker stays open before half-open
+    /// probing may begin.  0 = permanently open (legacy behavior).
+    std::uint64_t cooldown = 0;
+    /// Repeat offenders wait cooldown * growth^(offenses-1).
+    double cooldown_growth = 2.0;
+    std::uint64_t max_cooldown = 1u << 20;
+    /// Consecutive healthy probes required to close a half-open breaker.
+    int probe_quota = 1;
+};
+
+/// Quarantine lifecycle of one variant (paper-style backoff hardened
+/// into a circuit breaker: Closed -> Open -> HalfOpen -> Closed).
+enum class BreakerState {
+    Closed,    ///< Healthy; eligible for selection.
+    Open,      ///< Quarantined; excluded until the cooldown elapses.
+    HalfOpen,  ///< Cooldown elapsed; being probed off the serving path.
+};
+
+std::string to_string(BreakerState state);
+
+/// Observer view of one variant's breaker.
+struct BreakerSnapshot {
+    std::string label;
+    BreakerState state = BreakerState::Closed;
+    int failures = 0;  ///< Failures currently inside the window.
+    int offenses = 0;  ///< Times this breaker has opened.
+    std::uint64_t reopen_at = 0;  ///< Invocation when probing may start.
+};
+
+/// What Tuner::serve() produced, with the accounting a serving layer
+/// needs: which variant actually ran, and why.
+struct ServedRun {
+    VariantRun run;
+    int index = 0;      ///< Variant that produced `run`.
+    std::string label;
+    bool trap_fallback = false;  ///< Approx trapped; exact re-served.
+    bool degraded = false;  ///< Load-shed below the calibrated selection.
 };
 
 /// Everything calibrate() decided, as plain data: what the artifact
@@ -131,9 +183,60 @@ class Tuner {
                             std::string* served_label = nullptr,
                             int* served_index = nullptr);
 
+    /// Thread-safe serving path with full accounting: executes the
+    /// current selection adjusted for the degradation level, falls back
+    /// to exact on a trap (reporting the failure to the breaker), and
+    /// names the variant that actually produced the run.  run_selected()
+    /// is a thin wrapper over this.
+    ServedRun serve(std::uint64_t input_seed);
+
     /// Thread-safe: execute the exact kernel (variants[0]) on
     /// @p input_seed, bypassing selection and all bookkeeping.
     VariantRun run_exact(std::uint64_t input_seed) const;
+
+    /// Install a circuit-breaker policy (see QuarantineConfig).  Resets
+    /// no breaker state; call before serving traffic.
+    void set_quarantine(const QuarantineConfig& config);
+    QuarantineConfig quarantine_config() const;
+
+    /// Report a health failure (trap or quality-audit miss) against
+    /// variant @p index.  Counts it inside the failure window and opens
+    /// the breaker — moving the selection off the variant — once the
+    /// window holds `failure_threshold` failures.  The exact kernel
+    /// (index 0) is exempt.  Returns true when this call opened the
+    /// breaker.  Thread-safe; the serving layer calls this on shadow
+    /// audit violations, the trap paths call it internally.
+    bool record_failure(int index);
+
+    /// Quarantine probing, driven off the serving path: returns the
+    /// index of a variant that is due for a half-open probe (moving it
+    /// Open -> HalfOpen when its cooldown has elapsed), or -1 when no
+    /// breaker is probe-ready.  Only variants on the calibrated fallback
+    /// chain are probed; ladder-only variants stay quarantined until the
+    /// next recalibration resets breaker state.
+    int probe_candidate();
+
+    /// Execute variant @p index for a half-open probe (counted in
+    /// stats().probes).  The caller judges health — typically
+    /// !trapped && quality >= TOQ against an exact run of the same
+    /// input — and reports it through record_probe().
+    VariantRun run_probe(int index, std::uint64_t input_seed);
+
+    /// Report a half-open probe outcome.  `probe_quota` healthy probes
+    /// close the breaker and re-run selection (the variant may be
+    /// re-promoted); one unhealthy probe re-opens it with a grown
+    /// cooldown.  Returns true when this call closed the breaker.
+    bool record_probe(int index, bool healthy);
+
+    std::vector<BreakerSnapshot> breaker_snapshot() const;
+
+    /// Load-shedding ladder: at level L the serving path steps the
+    /// selection L entries toward the fastest calibrated variant —
+    /// deliberately trading quality for throughput — skipping
+    /// quarantined variants.  Level 0 (default) serves the calibrated
+    /// selection.  Thread-safe; takes effect on the next serve().
+    void set_degradation_level(int level);
+    int degradation_level() const;
 
     /// How invoke()/run_selected()/run_exact() execute variants.
     /// Calibration always uses the instrumented `run` closures — it needs
@@ -158,7 +261,7 @@ class Tuner {
     bool restore_calibration(const CalibrationState& state);
 
     /// Locked: selection moves concurrently with the serving path (see
-    /// drop_selected_and_advance), so even these simple reads must
+    /// reselect_locked), so even these simple reads must
     /// synchronize.  The returned label reference stays valid — variant
     /// labels are immutable — but may be superseded by the time the
     /// caller reads it; use run_selected's out-parameters to name the
@@ -177,10 +280,34 @@ class Tuner {
     int selected_index_snapshot() const;
 
   private:
-    /// Demote the current selection: remove it from the fallback chain and
-    /// move to the next (less aggressive / slower) candidate.  Caller
+    /// Per-variant circuit-breaker state (indexed like variants_).
+    struct VariantHealth {
+        BreakerState state = BreakerState::Closed;
+        /// Invocation stamps of recent failures, pruned to the window.
+        std::deque<std::uint64_t> failures;
+        int offenses = 0;
+        std::uint64_t reopen_at = 0;
+        int probe_successes = 0;
+    };
+
+    /// record_failure() with mutex_ held.
+    bool record_failure_locked(int index);
+
+    /// Open variant @p index's breaker: schedule reprobing per the
+    /// cooldown policy and move the selection off it if needed.  Caller
     /// holds mutex_.
-    void drop_selected_and_advance();
+    void open_breaker_locked(int index);
+
+    /// Move selected_ to the first healthy entry of the fallback chain.
+    /// Caller holds mutex_.
+    void reselect_locked();
+
+    /// All breakers closed, failure history cleared.  Caller holds
+    /// mutex_.
+    void reset_health_locked();
+
+    /// Apply the degradation ladder to selected_.  Caller holds mutex_.
+    int resolve_serving_index_locked(bool* degraded) const;
 
     /// Execute variant @p index under the current serving mode.
     VariantRun execute(int index, std::uint64_t input_seed) const;
@@ -199,6 +326,12 @@ class Tuner {
     /// Variant indices ordered by profiled speed among TOQ-passing ones
     /// (for backoff).
     std::vector<int> fallback_order_;
+    /// Every non-trapped variant (exact included, below-TOQ included)
+    /// ordered fastest-first: the degradation ladder's rungs.
+    std::vector<int> speed_order_;
+    QuarantineConfig quarantine_;
+    std::vector<VariantHealth> health_;  ///< Indexed like variants_.
+    int degradation_level_ = 0;
     TunerStats stats_;
     bool calibrated_ = false;
     /// Set by restore_calibration(): the next invoke() of an approximate

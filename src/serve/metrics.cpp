@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdio>
 
 namespace paraprox::serve {
 
@@ -64,7 +65,16 @@ Metrics::snapshot() const
     out.rejected_full = rejected_full.load(std::memory_order_relaxed);
     out.rejected_unknown = rejected_unknown.load(std::memory_order_relaxed);
     out.rejected_stopped = rejected_stopped.load(std::memory_order_relaxed);
+    out.rejected_deadline =
+        rejected_deadline.load(std::memory_order_relaxed);
     out.served = served.load(std::memory_order_relaxed);
+    out.deadline_expired = deadline_expired.load(std::memory_order_relaxed);
+    out.trap_fallbacks = trap_fallbacks.load(std::memory_order_relaxed);
+    out.degraded_serves = degraded_serves.load(std::memory_order_relaxed);
+    out.degrade_steps = degrade_steps.load(std::memory_order_relaxed);
+    out.restore_steps = restore_steps.load(std::memory_order_relaxed);
+    out.degradation_level =
+        degradation_level.load(std::memory_order_relaxed);
     out.shadow_runs = shadow_runs.load(std::memory_order_relaxed);
     out.shadow_violations =
         shadow_violations.load(std::memory_order_relaxed);
@@ -75,6 +85,51 @@ Metrics::snapshot() const
         warm_registrations.load(std::memory_order_relaxed);
     out.queue_depth = queue_depth.load(std::memory_order_relaxed);
     out.latency = latency.snapshot();
+    return out;
+}
+
+std::string
+format_metrics(const MetricsSnapshot& snapshot)
+{
+    char line[160];
+    std::string out;
+    const auto row = [&](const char* name, std::uint64_t value) {
+        std::snprintf(line, sizeof line, "  %-26s %llu\n", name,
+                      static_cast<unsigned long long>(value));
+        out += line;
+    };
+    row("accepted", snapshot.accepted);
+    row("served", snapshot.served);
+    row("rejected (full)", snapshot.rejected_full);
+    row("rejected (unknown)", snapshot.rejected_unknown);
+    row("rejected (stopped)", snapshot.rejected_stopped);
+    row("rejected (deadline)", snapshot.rejected_deadline);
+    row("deadline expired", snapshot.deadline_expired);
+    row("trap fallbacks", snapshot.trap_fallbacks);
+    row("degraded serves", snapshot.degraded_serves);
+    row("degrade steps", snapshot.degrade_steps);
+    row("restore steps", snapshot.restore_steps);
+    std::snprintf(line, sizeof line, "  %-26s %lld\n", "degradation level",
+                  static_cast<long long>(snapshot.degradation_level));
+    out += line;
+    row("shadow runs", snapshot.shadow_runs);
+    row("shadow violations", snapshot.shadow_violations);
+    row("recalibrations", snapshot.recalibrations);
+    row("exact while recalibrating", snapshot.exact_while_recalibrating);
+    row("warm registrations", snapshot.warm_registrations);
+    row("backoffs", snapshot.backoffs);
+    row("quarantines", snapshot.quarantines);
+    row("reinstatements", snapshot.reinstatements);
+    row("probes", snapshot.probes);
+    std::snprintf(line, sizeof line, "  %-26s %lld\n", "queue depth",
+                  static_cast<long long>(snapshot.queue_depth));
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "  %-26s p50 %.3gms  p95 %.3gms  p99 %.3gms  (n=%llu)\n",
+                  "latency", snapshot.latency.p50 * 1e3,
+                  snapshot.latency.p95 * 1e3, snapshot.latency.p99 * 1e3,
+                  static_cast<unsigned long long>(snapshot.latency.count));
+    out += line;
     return out;
 }
 

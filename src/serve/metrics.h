@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 
 namespace paraprox::serve {
 
@@ -44,7 +45,23 @@ struct MetricsSnapshot {
     std::uint64_t rejected_full = 0;
     std::uint64_t rejected_unknown = 0;
     std::uint64_t rejected_stopped = 0;
+    /// Admissions refused because the request's deadline had already
+    /// passed or could not be met behind the current backlog.
+    std::uint64_t rejected_deadline = 0;
     std::uint64_t served = 0;
+    /// Accepted requests resolved with ServeStatus::DeadlineExceeded at
+    /// the worker (expired while queued; not counted in `served`).
+    std::uint64_t deadline_expired = 0;
+    /// Requests whose approximate run trapped and were re-served exact.
+    std::uint64_t trap_fallbacks = 0;
+    /// Requests served below the calibrated selection by the
+    /// load-shedding degradation ladder.
+    std::uint64_t degraded_serves = 0;
+    /// Ladder movements: steps toward cheaper variants / back up.
+    std::uint64_t degrade_steps = 0;
+    std::uint64_t restore_steps = 0;
+    /// Current service-wide degradation level (gauge; 0 = full quality).
+    std::int64_t degradation_level = 0;
     std::uint64_t shadow_runs = 0;
     std::uint64_t shadow_violations = 0;
     std::uint64_t recalibrations = 0;
@@ -54,11 +71,17 @@ struct MetricsSnapshot {
     std::uint64_t warm_registrations = 0;
     /// Variant downgrades across all kernels.  Tuners own this count;
     /// ApproxService::snapshot() aggregates it in — it stays 0 in a bare
-    /// Metrics::snapshot().
+    /// Metrics::snapshot().  Same for the three breaker counters below.
     std::uint64_t backoffs = 0;
+    std::uint64_t quarantines = 0;     ///< Breaker openings (aggregated).
+    std::uint64_t reinstatements = 0;  ///< Breakers closed (aggregated).
+    std::uint64_t probes = 0;          ///< Half-open probes (aggregated).
     std::int64_t queue_depth = 0;
     LatencySnapshot latency;
 };
+
+/// Human-readable multi-line report, used by tools and bench smoke runs.
+std::string format_metrics(const MetricsSnapshot& snapshot);
 
 /// The registry the service, monitor, and tuner report through.  Fields
 /// are public atomics: the request path bumps them directly.
@@ -68,7 +91,14 @@ class Metrics {
     std::atomic<std::uint64_t> rejected_full{0};
     std::atomic<std::uint64_t> rejected_unknown{0};
     std::atomic<std::uint64_t> rejected_stopped{0};
+    std::atomic<std::uint64_t> rejected_deadline{0};
     std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> deadline_expired{0};
+    std::atomic<std::uint64_t> trap_fallbacks{0};
+    std::atomic<std::uint64_t> degraded_serves{0};
+    std::atomic<std::uint64_t> degrade_steps{0};
+    std::atomic<std::uint64_t> restore_steps{0};
+    std::atomic<std::int64_t> degradation_level{0};
     std::atomic<std::uint64_t> shadow_runs{0};
     std::atomic<std::uint64_t> shadow_violations{0};
     std::atomic<std::uint64_t> recalibrations{0};

@@ -31,6 +31,15 @@ QualityMonitor::admit(std::uint64_t seed)
 }
 
 bool
+QualityMonitor::admit_probe()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++probe_requests_;
+    return probe_requests_ % static_cast<std::uint64_t>(
+                                 config_.shadow_interval) == 0;
+}
+
+bool
 QualityMonitor::record(double quality_percent)
 {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -54,6 +54,12 @@ class QualityMonitor {
     /// whether this request should also be shadowed by the exact kernel.
     bool admit(std::uint64_t seed);
 
+    /// Pace half-open quarantine probes with the shadow cadence: returns
+    /// true every Config::shadow_interval calls.  Kept separate from
+    /// admit() — probes ride requests the client sees served by exact,
+    /// so they must not consume shadow slots or window samples.
+    bool admit_probe();
+
     /// Record the quality of one shadowed request.  Returns true exactly
     /// once per drift episode: when the violation streak and the window
     /// mean both say the TOQ loss is sustained.  Further shadows return
@@ -80,6 +86,7 @@ class QualityMonitor {
     std::deque<std::uint64_t> seeds_;
     int streak_ = 0;
     bool trigger_pending_ = false;
+    std::uint64_t probe_requests_ = 0;
     std::uint64_t requests_ = 0;
     std::uint64_t shadows_ = 0;
     std::uint64_t violations_ = 0;

@@ -11,10 +11,12 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <optional>
 
 namespace paraprox::serve {
 
@@ -55,7 +57,8 @@ class BoundedQueue {
                 return PushResult::Closed;
             if (items_.size() >= capacity_)
                 return PushResult::Full;
-            items_.push_back(std::move(item));
+            items_.push_back(
+                {std::move(item), std::chrono::steady_clock::now()});
         }
         ready_.notify_one();
         return PushResult::Ok;
@@ -70,9 +73,21 @@ class BoundedQueue {
         ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
         if (items_.empty())
             return false;
-        out = std::move(items_.front());
+        out = std::move(items_.front().item);
         items_.pop_front();
         return true;
+    }
+
+    /// How long the head-of-line item has been waiting, or nullopt when
+    /// the queue is empty.  A new admission waits at least this long
+    /// (FIFO), which is what deadline-aware admission needs to reject
+    /// requests that cannot possibly be served in time.
+    std::optional<std::chrono::steady_clock::duration> oldest_age() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (items_.empty())
+            return std::nullopt;
+        return std::chrono::steady_clock::now() - items_.front().at;
     }
 
     /// Refuse new admissions; already-queued items remain poppable.
@@ -94,10 +109,16 @@ class BoundedQueue {
     std::size_t capacity() const { return capacity_; }
 
   private:
+    /// Queued item plus its admission time, for oldest_age().
+    struct Entry {
+        T item;
+        std::chrono::steady_clock::time_point at;
+    };
+
     const std::size_t capacity_;
     mutable std::mutex mutex_;
     std::condition_variable ready_;
-    std::deque<T> items_;
+    std::deque<Entry> items_;
     bool closed_ = false;
 };
 

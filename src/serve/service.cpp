@@ -4,6 +4,7 @@
 
 #include "runtime/quality.h"
 #include "support/error.h"
+#include "support/faultinject.h"
 #include "support/parallel.h"
 
 namespace paraprox::serve {
@@ -22,6 +23,16 @@ resolve_workers(std::size_t requested)
 }
 
 }  // namespace
+
+const char*
+to_string(ServeStatus status)
+{
+    switch (status) {
+      case ServeStatus::Ok: return "ok";
+      case ServeStatus::DeadlineExceeded: return "deadline exceeded";
+    }
+    return "<bad-serve-status>";
+}
 
 ApproxService::ApproxService(ServiceConfig config)
     : config_(config), queue_(config.queue_capacity)
@@ -52,6 +63,13 @@ ApproxService::register_kernel(
     // Calibration below still runs the instrumented closures (it needs
     // modeled cycles); the mode only governs how workers serve requests.
     state->tuner.set_serving_mode(config_.exec_mode);
+    state->tuner.set_quarantine(config_.quarantine);
+    // A service created while load shedding is already in effect brings
+    // newly registered kernels onto the current ladder level.
+    {
+        std::lock_guard<std::mutex> lock(pressure_mutex_);
+        state->tuner.set_degradation_level(degradation_level_);
+    }
 
     const auto store =
         warm_key ? store::ArtifactStore::global() : nullptr;
@@ -86,7 +104,8 @@ ApproxService::find_kernel(const std::string& name) const
 }
 
 Ticket
-ApproxService::submit(const std::string& kernel, std::uint64_t seed)
+ApproxService::submit(const std::string& kernel, std::uint64_t seed,
+                      const SubmitOptions& options)
 {
     Ticket ticket;
     if (stopped_.load(std::memory_order_acquire)) {
@@ -100,10 +119,32 @@ ApproxService::submit(const std::string& kernel, std::uint64_t seed)
         ticket.reject_reason = "unknown kernel `" + kernel + "`";
         return ticket;
     }
+    if (options.deadline) {
+        // Reject what cannot possibly be served in time: the budget is
+        // gone, or the head-of-line request has already waited longer
+        // than the budget this one has left (FIFO: it waits at least as
+        // long).  Shedding at admission is cheaper for the client than a
+        // deadline_exceeded future seconds later.
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= *options.deadline) {
+            metrics_.rejected_deadline.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            ticket.reject_reason = "deadline expired";
+            return ticket;
+        }
+        if (const auto age = queue_.oldest_age();
+            age && *age > *options.deadline - now) {
+            metrics_.rejected_deadline.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            ticket.reject_reason = "deadline unmeetable behind backlog";
+            return ticket;
+        }
+    }
 
     Job job;
     job.kernel = state;
     job.seed = seed;
+    job.deadline = options.deadline;
     ticket.response = job.promise.get_future();
 
     // Count the admission before the push so a racing drain() cannot
@@ -141,7 +182,29 @@ ApproxService::worker_loop()
     Job job;
     while (queue_.pop(job)) {
         metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+        update_pressure(queue_.size());
+
+        // Chaos-testing site: stall this worker, as a slow variant or a
+        // noisy neighbour would, to pressure deadlines and the ladder.
+        if (const double stall =
+                fault::latency_ms("serve.latency", job.kernel->name);
+            stall > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(stall));
+        }
+
         const auto start = std::chrono::steady_clock::now();
+        if (job.deadline && start >= *job.deadline) {
+            // Expired while queued: resolve the future with a reason
+            // instead of wasting the worker on an answer nobody reads.
+            metrics_.deadline_expired.fetch_add(1,
+                                                std::memory_order_relaxed);
+            Response response;
+            response.status = ServeStatus::DeadlineExceeded;
+            job.promise.set_value(std::move(response));
+            finish_one();
+            continue;
+        }
         try {
             Response response = serve_one(*job.kernel, job.seed);
             metrics_.latency.record(
@@ -154,6 +217,51 @@ ApproxService::worker_loop()
             job.promise.set_exception(std::current_exception());
         }
         finish_one();
+    }
+}
+
+void
+ApproxService::update_pressure(std::size_t depth)
+{
+    if (!config_.degradation.enabled)
+        return;
+    const double fill = static_cast<double>(depth) /
+                        static_cast<double>(config_.queue_capacity);
+    int new_level = -1;
+    {
+        std::lock_guard<std::mutex> lock(pressure_mutex_);
+        if (fill >= config_.degradation.high_watermark) {
+            ++high_streak_;
+            low_streak_ = 0;
+        } else if (fill <= config_.degradation.low_watermark) {
+            ++low_streak_;
+            high_streak_ = 0;
+        } else {
+            high_streak_ = 0;
+            low_streak_ = 0;
+        }
+        if (high_streak_ >= config_.degradation.sustain &&
+            degradation_level_ < config_.degradation.max_level) {
+            ++degradation_level_;
+            high_streak_ = 0;
+            new_level = degradation_level_;
+            metrics_.degrade_steps.fetch_add(1, std::memory_order_relaxed);
+        } else if (low_streak_ >= config_.degradation.sustain &&
+                   degradation_level_ > 0) {
+            --degradation_level_;
+            low_streak_ = 0;
+            new_level = degradation_level_;
+            metrics_.restore_steps.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (new_level >= 0) {
+            metrics_.degradation_level.store(new_level,
+                                             std::memory_order_relaxed);
+        }
+    }
+    if (new_level >= 0) {
+        std::lock_guard<std::mutex> lock(kernels_mutex_);
+        for (const auto& [name, state] : kernels_)
+            state->tuner.set_degradation_level(new_level);
     }
 }
 
@@ -171,37 +279,57 @@ ApproxService::serve_one(KernelState& state, std::uint64_t seed)
         return response;
     }
 
-    // Ask the monitor for a shadow slot only when the selection is
-    // approximate: admitting on an exact selection would burn a slot of
-    // the monitor's sampling window on a run that can never be audited,
-    // starving it during long exact stretches.  (The selection can still
-    // change between this check and the run — that race only costs or
-    // spares a single slot, never audits exact against itself, because
-    // the audit below re-checks what actually ran.)
-    const bool shadow = state.tuner.selected_index_snapshot() != 0 &&
-                        state.monitor.admit(seed);
+    // Half-open probing: when a quarantined variant's cooldown has
+    // elapsed, ride a paced sample of requests to re-test it off the
+    // client path.  The client always gets the exact output — a probe
+    // never exposes a suspect variant to a caller — while the probe run
+    // decides reinstatement.
+    if (const int probe_index = state.tuner.probe_candidate();
+        probe_index > 0 && state.monitor.admit_probe()) {
+        response.run = state.tuner.run_exact(seed);
+        response.served_by = "exact";
+        const runtime::VariantRun probe =
+            state.tuner.run_probe(probe_index, seed);
+        const bool healthy =
+            !probe.trapped &&
+            runtime::quality_percent(state.metric, response.run.output,
+                                     probe.output) >= state.toq;
+        state.tuner.record_probe(probe_index, healthy);
+        return response;
+    }
 
-    // Take the served label from the same snapshot as the run itself: a
-    // concurrent backoff between the run and a later label read could
-    // name a variant this request never executed.
-    std::string served_label;
-    int served_index = 0;
-    response.run =
-        state.tuner.run_selected(seed, &served_label, &served_index);
-    response.served_by = std::move(served_label);
+    runtime::ServedRun served = state.tuner.serve(seed);
+    response.run = std::move(served.run);
+    response.served_by = std::move(served.label);
+    response.degraded = served.degraded;
+    response.trap_fallback = served.trap_fallback;
+    if (served.trap_fallback)
+        metrics_.trap_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    if (served.degraded)
+        metrics_.degraded_serves.fetch_add(1, std::memory_order_relaxed);
 
-    // Shadow only approximate runs: auditing exact against itself would
-    // tell the monitor nothing (the run may have fallen back to exact on
-    // a trap even when the selection was approximate).
-    if (shadow && served_index != 0) {
+    // Shadow only clean approximate runs: auditing exact against itself
+    // tells the monitor nothing, a trap fallback already reported its
+    // failure, and a degraded serve is *expected* to miss the TOQ — a
+    // deliberate load-shedding choice must not read as drift or count
+    // against the variant's breaker.  The short-circuit also keeps
+    // admit() from burning shadow slots on runs that cannot be audited.
+    const bool shadow = served.index != 0 && !served.trap_fallback &&
+                        !served.degraded && state.monitor.admit(seed);
+    if (shadow) {
         const runtime::VariantRun exact = state.tuner.run_exact(seed);
         response.shadowed = true;
         response.shadow_quality = runtime::quality_percent(
             state.metric, exact.output, response.run.output);
         metrics_.shadow_runs.fetch_add(1, std::memory_order_relaxed);
-        if (response.shadow_quality < state.toq)
+        if (response.shadow_quality < state.toq) {
             metrics_.shadow_violations.fetch_add(1,
                                                  std::memory_order_relaxed);
+            // A quality failure counts against the variant's breaker just
+            // like a trap: K sustained misses quarantine it even before
+            // the monitor's slower drift trigger fires.
+            state.tuner.record_failure(served.index);
+        }
         if (state.monitor.record(response.shadow_quality))
             trigger_recalibration(state, {});
     }
@@ -278,8 +406,13 @@ ApproxService::drain()
 void
 ApproxService::stop()
 {
+    // stopped_ turns submit() away before the queue close makes it
+    // definitive; the mutex serializes concurrent stop() calls so a
+    // second caller waits out the first's joins instead of racing
+    // joinable()/join() on the same threads.
     stopped_.store(true, std::memory_order_release);
     queue_.close();
+    std::lock_guard<std::mutex> lock(stop_mutex_);
     for (auto& worker : workers_) {
         if (worker.joinable())
             worker.join();
@@ -294,8 +427,10 @@ ApproxService::snapshot_kernel(const KernelState& state)
     out.kernel = state.name;
     out.selected = state.tuner.selected_label_snapshot();
     out.recalibrating = state.recalibrating.load(std::memory_order_acquire);
+    out.degradation_level = state.tuner.degradation_level();
     out.tuner = state.tuner.stats_snapshot();
     out.monitor = state.monitor.snapshot();
+    out.breakers = state.tuner.breaker_snapshot();
     return out;
 }
 
@@ -308,7 +443,11 @@ ApproxService::snapshot() const
     out.kernels.reserve(kernels_.size());
     for (const auto& [name, state] : kernels_) {
         out.kernels.push_back(snapshot_kernel(*state));
-        out.metrics.backoffs += out.kernels.back().tuner.backoffs;
+        const runtime::TunerStats& tuner = out.kernels.back().tuner;
+        out.metrics.backoffs += tuner.backoffs;
+        out.metrics.quarantines += tuner.quarantines;
+        out.metrics.reinstatements += tuner.reinstatements;
+        out.metrics.probes += tuner.probes;
     }
     return out;
 }

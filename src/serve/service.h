@@ -19,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -38,6 +39,23 @@
 
 namespace paraprox::serve {
 
+/// Load-shedding policy: under sustained queue pressure the service
+/// steps every kernel's serving point toward cheaper calibrated variants
+/// (the paper's quality/speed knob used as a degradation ladder) and
+/// steps back up once pressure clears.
+struct DegradationConfig {
+    bool enabled = true;
+    /// Queue fill fraction at/above which pressure accumulates.
+    double high_watermark = 0.75;
+    /// Queue fill fraction at/below which relief accumulates.
+    double low_watermark = 0.25;
+    /// Consecutive pressure (relief) observations — one per dequeued
+    /// request — required to step down (up).  Hysteresis against bursts.
+    int sustain = 32;
+    /// Deepest ladder level the service will shed to.
+    int max_level = 3;
+};
+
 struct ServiceConfig {
     /// Worker threads; 0 resolves like ThreadPool::global() (the
     /// PARAPROX_THREADS override, then hardware_concurrency).
@@ -52,14 +70,54 @@ struct ServiceConfig {
     /// should not pay for profiling they never read.  Variants without a
     /// run_fast closure are unaffected.
     vm::ExecMode exec_mode = vm::ExecMode::Fast;
+    /// Circuit-breaker policy installed on every kernel's tuner.  Unlike
+    /// the tuner's own permanent-demotion default, a service expects
+    /// transient faults: three failures inside a 64-invocation window
+    /// quarantine a variant for 256 invocations (doubling per repeat
+    /// offense), after which half-open probes can reinstate it.
+    runtime::QuarantineConfig quarantine{
+        /*failure_threshold=*/3, /*failure_window=*/64, /*cooldown=*/256,
+        /*cooldown_growth=*/2.0, /*max_cooldown=*/1u << 20,
+        /*probe_quota=*/1};
+    /// Load-adaptive degradation ladder knobs.
+    DegradationConfig degradation;
 };
+
+/// How an accepted request resolved.
+enum class ServeStatus {
+    Ok,
+    DeadlineExceeded,  ///< Expired while queued; run is empty.
+};
+
+const char* to_string(ServeStatus status);
 
 /// What one served request produced.
 struct Response {
-    runtime::VariantRun run;
+    ServeStatus status = ServeStatus::Ok;
+    runtime::VariantRun run;     ///< Empty when status != Ok.
     std::string served_by;       ///< Label of the variant that ran.
     bool shadowed = false;
     double shadow_quality = -1.0;  ///< Valid when shadowed.
+    /// Served below the calibrated selection by the degradation ladder.
+    bool degraded = false;
+    /// The approximate run trapped; the exact kernel re-served it.
+    bool trap_fallback = false;
+};
+
+/// Per-request admission options.
+struct SubmitOptions {
+    /// Absolute deadline: the request is rejected at admission when it
+    /// cannot be met, and resolved with ServeStatus::DeadlineExceeded if
+    /// it expires while queued.  No deadline = serve whenever.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+
+    /// Convenience: a deadline @p budget from now.
+    static SubmitOptions within(std::chrono::steady_clock::duration budget)
+    {
+        SubmitOptions options;
+        options.deadline = std::chrono::steady_clock::now() + budget;
+        return options;
+    }
 };
 
 /// Outcome of submit(): either a future or a rejection reason.
@@ -74,12 +132,15 @@ struct KernelSnapshot {
     std::string kernel;
     std::string selected;
     bool recalibrating = false;
+    int degradation_level = 0;
     runtime::TunerStats tuner;
     QualityMonitor::Snapshot monitor;
+    std::vector<runtime::BreakerSnapshot> breakers;
 };
 
-/// Whole-service observability; metrics.backoffs is aggregated from the
-/// per-kernel tuner stats here.
+/// Whole-service observability; metrics.backoffs and the breaker
+/// counters (quarantines, reinstatements, probes) are aggregated from
+/// the per-kernel tuner stats here.
 struct ServiceSnapshot {
     MetricsSnapshot metrics;
     std::vector<KernelSnapshot> kernels;
@@ -108,8 +169,11 @@ class ApproxService {
                          std::optional<store::StoreKey> warm_key = {});
 
     /// Admit one request.  Never blocks: a full queue, an unknown kernel,
-    /// or a stopped service rejects immediately with a reason.
-    Ticket submit(const std::string& kernel, std::uint64_t seed);
+    /// a stopped service, or an unmeetable deadline (already expired, or
+    /// the head-of-line request has been waiting longer than the
+    /// remaining budget) rejects immediately with a reason.
+    Ticket submit(const std::string& kernel, std::uint64_t seed,
+                  const SubmitOptions& options = {});
 
     /// Operator hook: asynchronously recalibrate @p kernel over @p seeds
     /// (the registration seeds when empty).  Shadowing cannot observe
@@ -124,7 +188,10 @@ class ApproxService {
     void drain();
 
     /// Reject new requests, serve everything already queued, join the
-    /// workers, and wait out pending recalibrations.  Idempotent.
+    /// workers, and wait out pending recalibrations.  Idempotent and
+    /// safe to race with itself and with submit(): late submits reject
+    /// with "queue closed" / "service stopped", and a second stop()
+    /// waits for the first to finish the shutdown.
     void stop();
 
     std::size_t num_workers() const { return workers_.size(); }
@@ -156,6 +223,7 @@ class ApproxService {
     struct Job {
         KernelState* kernel = nullptr;
         std::uint64_t seed = 0;
+        std::optional<std::chrono::steady_clock::time_point> deadline;
         std::promise<Response> promise;
     };
 
@@ -167,6 +235,9 @@ class ApproxService {
                                std::vector<std::uint64_t> seeds);
     KernelState* find_kernel(const std::string& name) const;
     void finish_one();
+    /// One pressure observation per dequeued request; steps the
+    /// degradation ladder when the streak crosses the sustain threshold.
+    void update_pressure(std::size_t depth);
     static KernelSnapshot snapshot_kernel(const KernelState& state);
 
     const ServiceConfig config_;
@@ -178,6 +249,15 @@ class ApproxService {
 
     std::vector<std::thread> workers_;
     std::atomic<bool> stopped_{false};
+    /// Serializes stop(): a second caller waits out the first's joins
+    /// instead of racing them.
+    std::mutex stop_mutex_;
+
+    /// Degradation-ladder controller state.
+    std::mutex pressure_mutex_;
+    int high_streak_ = 0;
+    int low_streak_ = 0;
+    int degradation_level_ = 0;
 
     /// In-flight accounting for drain()/stop().
     mutable std::mutex flight_mutex_;

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "support/faultinject.h"
 #include "vm/program_cache.h"
 
 namespace paraprox::store {
@@ -326,11 +327,15 @@ ArtifactStore::path_for(const StoreKey& key, ArtifactKind kind) const
 std::optional<std::vector<std::uint8_t>>
 ArtifactStore::load_payload(const StoreKey& key, ArtifactKind kind) const
 {
-    const auto file = read_file_bytes(path_for(key, kind));
+    auto file = read_file_bytes(path_for(key, kind));
     if (!file) {
         misses_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
+    // Chaos-testing site: flip one byte mid-record so the load exercises
+    // the real checksum-rejection path rather than a synthetic error.
+    if (!file->empty() && fault::fire("store.corrupt", key.canonical()))
+        (*file)[file->size() / 2] ^= 0x40;
     auto payload = decode_record(*file, kind);
     if (!payload)
         corrupt_rejects_.fetch_add(1, std::memory_order_relaxed);

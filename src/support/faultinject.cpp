@@ -1,0 +1,260 @@
+#include "support/faultinject.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace paraprox::fault {
+
+namespace {
+
+std::uint64_t
+fnv1a(std::string_view text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+double
+parse_number(const std::string& value, const std::string& spec)
+{
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    PARAPROX_CHECK(end != value.c_str() && *end == '\0' && parsed >= 0.0,
+                   "bad numeric value `" + value + "` in fault spec `" +
+                       spec + "`");
+    return parsed;
+}
+
+}  // namespace
+
+/// A FaultSpec plus its runtime counters and its own deterministic
+/// random stream (seeded from the global seed and the spec identity, so
+/// adding a spec never perturbs another spec's decisions).
+struct FaultInjector::ArmedSpec {
+    FaultSpec spec;
+    std::uint64_t occurrences = 0;
+    std::uint64_t fired = 0;
+    Rng rng{0};
+};
+
+struct FaultInjector::State {
+    mutable std::mutex mutex;
+    std::vector<ArmedSpec> specs;
+};
+
+FaultInjector::FaultInjector() : state_(new State)
+{
+    arm_from_env();
+}
+
+FaultInjector&
+FaultInjector::instance()
+{
+    static FaultInjector* injector = new FaultInjector;
+    return *injector;
+}
+
+void
+FaultInjector::arm(std::vector<FaultSpec> specs, std::uint64_t seed)
+{
+    std::vector<ArmedSpec> armed;
+    armed.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        PARAPROX_CHECK(!specs[i].site.empty(),
+                       "fault spec needs a site name");
+        PARAPROX_CHECK(specs[i].probability >= 0.0 &&
+                           specs[i].probability <= 1.0,
+                       "fault probability must be within [0, 1]");
+        ArmedSpec entry;
+        entry.spec = std::move(specs[i]);
+        entry.rng = Rng(seed ^ fnv1a(entry.spec.site) ^
+                        (fnv1a(entry.spec.match) + i));
+        armed.push_back(std::move(entry));
+    }
+    const bool any = !armed.empty();
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        state_->specs = std::move(armed);
+    }
+    armed_.store(any, std::memory_order_release);
+}
+
+void
+FaultInjector::disarm()
+{
+    armed_.store(false, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->specs.clear();
+}
+
+void
+FaultInjector::arm_from_env()
+{
+    const char* text = std::getenv("PARAPROX_FAULTS");
+    if (text == nullptr || *text == '\0') {
+        disarm();
+        return;
+    }
+    std::uint64_t seed = 0;
+    if (const char* seed_text = std::getenv("PARAPROX_FAULT_SEED"))
+        seed = std::strtoull(seed_text, nullptr, 10);
+    try {
+        arm(parse(text), seed);
+    } catch (const Error& error) {
+        std::fprintf(stderr,
+                     "paraprox: ignoring PARAPROX_FAULTS: %s\n",
+                     error.what());
+        disarm();
+    }
+}
+
+std::vector<FaultSpec>
+FaultInjector::parse(const std::string& text)
+{
+    std::vector<FaultSpec> specs;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        std::size_t end = text.find(';', begin);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string entry = text.substr(begin, end - begin);
+        begin = end + 1;
+        if (entry.empty())
+            continue;
+
+        FaultSpec spec;
+        const std::size_t colon = entry.find(':');
+        spec.site = entry.substr(0, colon);
+        PARAPROX_CHECK(!spec.site.empty(),
+                       "fault spec `" + entry + "` is missing a site");
+        if (colon == std::string::npos) {
+            // Bare site: fire on every occurrence.
+            spec.every = 1;
+            specs.push_back(std::move(spec));
+            continue;
+        }
+
+        std::size_t key_begin = colon + 1;
+        bool any_mode = false;
+        while (key_begin <= entry.size()) {
+            std::size_t key_end = entry.find(',', key_begin);
+            if (key_end == std::string::npos)
+                key_end = entry.size();
+            const std::string pair =
+                entry.substr(key_begin, key_end - key_begin);
+            key_begin = key_end + 1;
+            if (pair.empty())
+                continue;
+            const std::size_t eq = pair.find('=');
+            PARAPROX_CHECK(eq != std::string::npos && eq > 0,
+                           "fault control `" + pair + "` in `" + entry +
+                               "` is not key=value");
+            const std::string key = pair.substr(0, eq);
+            const std::string value = pair.substr(eq + 1);
+            if (key == "match") {
+                spec.match = value;
+            } else if (key == "prob") {
+                spec.probability = parse_number(value, entry);
+                PARAPROX_CHECK(spec.probability <= 1.0,
+                               "fault prob must be within [0, 1] in `" +
+                                   entry + "`");
+                any_mode = true;
+            } else if (key == "every") {
+                spec.every = static_cast<std::uint64_t>(
+                    parse_number(value, entry));
+                PARAPROX_CHECK(spec.every > 0,
+                               "fault every=N needs N >= 1 in `" + entry +
+                                   "`");
+                any_mode = true;
+            } else if (key == "after") {
+                spec.after = static_cast<std::uint64_t>(
+                    parse_number(value, entry));
+            } else if (key == "limit") {
+                spec.limit = static_cast<std::uint64_t>(
+                    parse_number(value, entry));
+            } else if (key == "ms") {
+                spec.latency_ms = parse_number(value, entry);
+            } else {
+                PARAPROX_CHECK(false, "unknown fault control `" + key +
+                                          "` in `" + entry + "`");
+            }
+        }
+        if (!any_mode)
+            spec.every = 1;  // Controls but no mode: every occurrence.
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+Outcome
+FaultInjector::decide(std::string_view site, std::string_view context)
+{
+    Outcome outcome;
+    if (!armed())
+        return outcome;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    for (ArmedSpec& armed_spec : state_->specs) {
+        FaultSpec& spec = armed_spec.spec;
+        if (spec.site != site)
+            continue;
+        if (!spec.match.empty() &&
+            context.find(spec.match) == std::string_view::npos)
+            continue;
+        const std::uint64_t ordinal = ++armed_spec.occurrences;
+        if (ordinal <= spec.after)
+            continue;
+        if (spec.limit != 0 && armed_spec.fired >= spec.limit)
+            continue;
+        bool fire_now = false;
+        if (spec.every != 0)
+            fire_now = (ordinal - spec.after) % spec.every == 0;
+        if (!fire_now && spec.probability > 0.0)
+            fire_now = armed_spec.rng.next_double() < spec.probability;
+        if (!fire_now)
+            continue;
+        ++armed_spec.fired;
+        outcome.fire = true;
+        if (spec.latency_ms > outcome.latency_ms)
+            outcome.latency_ms = spec.latency_ms;
+    }
+    return outcome;
+}
+
+std::vector<FaultStats>
+FaultInjector::stats() const
+{
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    std::vector<FaultStats> out;
+    out.reserve(state_->specs.size());
+    for (const ArmedSpec& armed_spec : state_->specs) {
+        FaultStats stats;
+        stats.site = armed_spec.spec.site;
+        stats.match = armed_spec.spec.match;
+        stats.occurrences = armed_spec.occurrences;
+        stats.fires = armed_spec.fired;
+        out.push_back(std::move(stats));
+    }
+    return out;
+}
+
+std::uint64_t
+FaultInjector::fires(std::string_view site) const
+{
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    std::uint64_t total = 0;
+    for (const ArmedSpec& armed_spec : state_->specs) {
+        if (armed_spec.spec.site == site)
+            total += armed_spec.fired;
+    }
+    return total;
+}
+
+}  // namespace paraprox::fault

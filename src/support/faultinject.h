@@ -1,0 +1,132 @@
+/// @file
+/// Deterministic, seeded fault injection for chaos testing.
+///
+/// Production code marks *fault sites* — named points where a failure can
+/// be manufactured: `vm.trap` (GroupRunner raises a TrapError before
+/// executing a group), `vm.nan` (a kernel's global output is poisoned
+/// with NaN), `serve.latency` (a worker stalls before serving), and
+/// `store.corrupt` (an artifact record's bytes are flipped before
+/// decoding, driving the real corruption-rejection path).  Sites cost one
+/// relaxed atomic load when nothing is armed, so they stay compiled into
+/// release builds.
+///
+/// Faults are armed with FaultSpecs, either programmatically (tests) or
+/// from the PARAPROX_FAULTS environment variable (tools, benches, CI):
+///
+///     PARAPROX_FAULTS="vm.trap:match=__,every=5,limit=4;serve.latency:prob=0.1,ms=2"
+///     PARAPROX_FAULT_SEED=42
+///
+/// Each spec names a site plus optional key=value controls:
+///   match=S   fire only when the context string contains S
+///             (kernel names of generated variants contain "__", so
+///             match=__ spares the exact kernels)
+///   every=N   fire on every Nth matching occurrence (1-based)
+///   after=N   skip the first N matching occurrences
+///   prob=P    fire with probability P per occurrence (seeded; a fixed
+///             seed and occurrence order reproduce the same decisions)
+///   limit=N   stop after N fires
+///   ms=X      payload for latency sites: how long to stall
+///
+/// `every`/`after` decisions depend only on the occurrence ordinal, so a
+/// single-threaded driver replays a fault schedule exactly;
+/// tests/chaos_test.cpp builds on that determinism.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paraprox::fault {
+
+/// One armed fault rule.  `probability` and `every` are alternative
+/// firing modes; when both are set, either firing condition suffices.
+struct FaultSpec {
+    std::string site;           ///< e.g. "vm.trap"; required.
+    std::string match;          ///< Context substring filter; "" = any.
+    double probability = 0.0;   ///< Per-occurrence chance in [0, 1].
+    std::uint64_t every = 0;    ///< Fire on every Nth occurrence; 0 = off.
+    std::uint64_t after = 0;    ///< Skip the first N matching occurrences.
+    std::uint64_t limit = 0;    ///< Max fires; 0 = unlimited.
+    double latency_ms = 0.0;    ///< Stall payload for latency sites.
+};
+
+/// Per-spec accounting, for assertions and reports.
+struct FaultStats {
+    std::string site;
+    std::string match;
+    std::uint64_t occurrences = 0;  ///< Matching visits to the site.
+    std::uint64_t fires = 0;        ///< Times the fault was injected.
+};
+
+/// What a site visit decided.
+struct Outcome {
+    bool fire = false;
+    double latency_ms = 0.0;  ///< From the spec that fired (else 0).
+};
+
+/// Process-wide injector.  Disarmed by default; PARAPROX_FAULTS arms it
+/// on first use.  All state transitions are mutex-guarded — sites are on
+/// failure-testing paths, never on a measured hot loop.
+class FaultInjector {
+  public:
+    static FaultInjector& instance();
+
+    /// Arm @p specs, replacing any previous set and resetting counters.
+    /// @p seed drives the probability mode reproducibly.
+    void arm(std::vector<FaultSpec> specs, std::uint64_t seed = 0);
+
+    /// Arm from PARAPROX_FAULTS / PARAPROX_FAULT_SEED, resetting all
+    /// counters (no-op disarm when the variable is unset).  A malformed
+    /// spec disarms and warns on stderr rather than poisoning the host
+    /// process: chaos config must never be able to take the service down
+    /// by itself.
+    void arm_from_env();
+
+    void disarm();
+    bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+    /// Count one visit to @p site and decide whether an armed spec fires.
+    Outcome decide(std::string_view site, std::string_view context = {});
+
+    std::vector<FaultStats> stats() const;
+
+    /// Total fires across specs for @p site (all matches).
+    std::uint64_t fires(std::string_view site) const;
+
+    /// Parse the PARAPROX_FAULTS grammar.  Throws UserError on a
+    /// malformed spec (arm_from_env catches and warns instead).
+    static std::vector<FaultSpec> parse(const std::string& text);
+
+  private:
+    FaultInjector();
+
+    struct ArmedSpec;
+    struct State;
+    State* state_;  ///< Leaked intentionally: sites may fire at exit.
+    std::atomic<bool> armed_{false};
+};
+
+/// Visit @p site: true when an armed fault fires.  Free when disarmed.
+inline bool
+fire(std::string_view site, std::string_view context = {})
+{
+    FaultInjector& injector = FaultInjector::instance();
+    if (!injector.armed())
+        return false;
+    return injector.decide(site, context).fire;
+}
+
+/// Visit a latency site: milliseconds to stall (0 when nothing fired).
+inline double
+latency_ms(std::string_view site, std::string_view context = {})
+{
+    FaultInjector& injector = FaultInjector::instance();
+    if (!injector.armed())
+        return 0.0;
+    return injector.decide(site, context).latency_ms;
+}
+
+}  // namespace paraprox::fault

@@ -1,9 +1,12 @@
 #include "vm/vm.h"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cmath>
 #include <limits>
+
+#include "support/faultinject.h"
 
 namespace paraprox::vm {
 
@@ -145,6 +148,14 @@ GroupRunner::buffer(int slot)
 void
 GroupRunner::run()
 {
+    // Chaos-testing site: manufacture a trap before any work-item runs, so
+    // the trap surfaces through the same launch/abort machinery as a real
+    // divergent barrier or budget overrun.
+    if (fault::fire("vm.trap", program_.kernel_name)) {
+        throw TrapError("injected fault: vm.trap in kernel `" +
+                        program_.kernel_name + "`");
+    }
+
     const int count = geometry_.local_count();
     // Pick the instrumented or fast instantiation once; the per-item branch
     // is negligible next to the per-instruction work it removes.
@@ -212,6 +223,23 @@ GroupRunner::run()
             if (halted != 0) {
                 throw TrapError("divergent barrier in kernel `" +
                                 program_.kernel_name + "`");
+            }
+        }
+    }
+
+    // Chaos-testing site: silently poison the kernel's output so the
+    // corruption is only catchable by a quality audit, not by a trap.
+    // quality_percent skips non-finite pairs and scores an all-NaN output
+    // as 0, so the whole first global buffer is poisoned, not one element.
+    if (fault::fire("vm.nan", program_.kernel_name)) {
+        const std::int32_t nan_word =
+            as_word(std::numeric_limits<float>::quiet_NaN());
+        for (std::size_t slot = 0; slot < program_.buffers.size(); ++slot) {
+            if (program_.buffers[slot].space == ir::AddrSpace::Global &&
+                buffers_[slot].size > 0) {
+                std::fill_n(buffers_[slot].data, buffers_[slot].size,
+                            nan_word);
+                break;
             }
         }
     }

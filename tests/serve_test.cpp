@@ -582,5 +582,86 @@ TEST(ApproxServiceTest, WarmRegistrationRestoresCalibration)
     fs::remove_all(dir);
 }
 
+TEST(ApproxServiceTest, DoubleStopAndSubmitAfterStopAreSafe)
+{
+    ApproxService service(small_service(2, 32));
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(fake_variant("good", 1, 0.1f, 100.0));
+    service.register_kernel("k", std::move(variants),
+                            Metric::MeanRelativeError, 90.0, {1, 2});
+
+    Ticket before = service.submit("k", 5);
+    ASSERT_TRUE(before.accepted);
+
+    service.stop();
+    service.stop();  // Second stop: no-op, no double join, no hang.
+
+    // The pre-stop request was served, not dropped.
+    EXPECT_EQ(before.response.get().served_by, "good");
+
+    const Ticket after = service.submit("k", 6);
+    EXPECT_FALSE(after.accepted);
+    EXPECT_FALSE(after.reject_reason.empty());
+    EXPECT_GE(service.metrics().snapshot().rejected_stopped, 1u);
+
+    service.stop();  // Still idempotent after a rejected submit.
+}
+
+TEST(ApproxServiceTest, StopIsIdempotentAndSafeToRaceWithSubmit)
+{
+    // Concurrent stop() calls racing a submit() storm: every ticket must
+    // either reject with a reason or resolve via its future — never hang,
+    // never drop a promise.
+    ApproxService service(small_service(2, 16));
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(fake_variant("good", 1, 0.1f, 100.0));
+    service.register_kernel("k", std::move(variants),
+                            Metric::MeanRelativeError, 90.0, {1, 2});
+
+    constexpr int kSubmitters = 4;
+    constexpr int kPerThread = 100;
+    std::atomic<std::uint64_t> resolved{0};
+    std::atomic<std::uint64_t> rejected{0};
+
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int t = 0; t < kSubmitters; ++t) {
+        submitters.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                Ticket ticket = service.submit(
+                    "k", static_cast<std::uint64_t>(t * kPerThread + i));
+                if (ticket.accepted) {
+                    ticket.response.get();  // Must resolve, even mid-stop.
+                    resolved.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    EXPECT_FALSE(ticket.reject_reason.empty());
+                    rejected.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    std::thread stopper_a([&] { service.stop(); });
+    std::thread stopper_b([&] { service.stop(); });
+
+    for (auto& thread : submitters)
+        thread.join();
+    stopper_a.join();
+    stopper_b.join();
+    service.stop();  // Third, sequential stop: still a no-op.
+
+    const auto metrics = service.metrics().snapshot();
+    EXPECT_EQ(resolved.load() + rejected.load(),
+              static_cast<std::uint64_t>(kSubmitters * kPerThread));
+    EXPECT_EQ(metrics.accepted, resolved.load());
+    EXPECT_EQ(metrics.served, resolved.load());
+    EXPECT_EQ(metrics.queue_depth, 0);
+
+    const Ticket late = service.submit("k", 1);
+    EXPECT_FALSE(late.accepted);
+    EXPECT_FALSE(late.reject_reason.empty());
+}
+
 }  // namespace
 }  // namespace paraprox::serve

@@ -15,6 +15,7 @@
 #include "memo/table.h"
 #include "parser/parser.h"
 #include "runtime/session.h"
+#include "serve/service.h"
 #include "store/artifact_store.h"
 #include "store/format.h"
 #include "support/rng.h"
@@ -496,6 +497,113 @@ TEST(StoreWarmStartTest, StaleCalibrationIsRejectedNotInstalled)
 
     ArtifactStore::disable_global();
     vm::ProgramCache::global().clear();
+}
+
+TEST(StoreWarmStartTest, HostileCalibrationNeverServesFromALiveService)
+{
+    // The serving-path version of the two rejection tests above: a stale
+    // record (labels from another build) and a corrupted record (bytes
+    // flipped on disk) restored into a *live* ApproxService must both
+    // fall back to cold calibration — and every request served from that
+    // service must come from the cold selection, never from whatever the
+    // hostile record pointed at.
+    const auto store =
+        ArtifactStore::configure_global(fresh_dir("hostile-live-serve"));
+
+    StoreKey key;
+    key.kernel = "k";
+    key.device = "synthetic";
+    key.toq = 90.0;
+    key.metric = "Mean relative error";
+    key.detail = "calibration";
+
+    const auto build = [] {
+        const auto variant = [](const std::string& label, int aggr,
+                                float bias, double cycles) {
+            return runtime::Variant{
+                label, aggr, [bias, cycles](std::uint64_t seed) {
+                    runtime::VariantRun run;
+                    run.output = {static_cast<float>(seed % 100) + 1.0f +
+                                      bias,
+                                  10.0f + bias};
+                    run.modeled_cycles = cycles;
+                    return run;
+                }};
+        };
+        std::vector<runtime::Variant> variants;
+        variants.push_back(variant("exact", 0, 0.0f, 1000.0));
+        variants.push_back(variant("good", 1, 0.1f, 100.0));
+        return variants;
+    };
+    const auto serve_and_check = [](serve::ApproxService& service) {
+        for (std::uint64_t seed = 0; seed < 8; ++seed) {
+            serve::Ticket ticket = service.submit("k", seed);
+            ASSERT_TRUE(ticket.accepted);
+            const serve::Response response = ticket.response.get();
+            EXPECT_EQ(response.served_by, "good");
+            EXPECT_EQ(response.run.output.size(), 2u);
+        }
+    };
+
+    // Stale: a record naming a variant this build does not have.
+    CalibrationArtifact stale;
+    stale.profiles = {{"exact", 1.0, 1.0, 100.0, true, false},
+                      {"renamed-variant", 9.0, 9.0, 99.0, true, false}};
+    stale.fallback_order = {1, 0};
+    stale.selected = 1;
+    ASSERT_TRUE(store->save_calibration(key, stale));
+    {
+        serve::ApproxService service{[] {
+            serve::ServiceConfig config;
+            config.num_workers = 1;
+            config.queue_capacity = 16;
+            return config;
+        }()};
+        service.register_kernel("k", build(),
+                                runtime::Metric::MeanRelativeError, 90.0,
+                                {1, 2, 3}, key);
+        EXPECT_EQ(service.metrics().snapshot().warm_registrations, 0u);
+        EXPECT_EQ(service.kernel_snapshot("k").selected, "good");
+        serve_and_check(service);
+        service.stop();
+    }
+    // Registration overwrote the stale record with the cold result; the
+    // key now round-trips to the live labels.
+    {
+        const auto reloaded = store->load_calibration(key);
+        ASSERT_TRUE(reloaded.has_value());
+        EXPECT_EQ(reloaded->profiles[1].label, "good");
+    }
+
+    // Corrupted: flip one payload byte of the (now valid) record.  The
+    // checksum rejects it, the warm start reads as a miss, and the
+    // service calibrates cold again.
+    const auto path = store->path_for(key, ArtifactKind::Calibration);
+    auto bytes = read_file_bytes(path);
+    ASSERT_TRUE(bytes.has_value());
+    (*bytes)[bytes->size() / 2] ^= 0x40;
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        .write(reinterpret_cast<const char*>(bytes->data()),
+               static_cast<std::streamsize>(bytes->size()));
+    const std::uint64_t rejects_before = store->stats().corrupt_rejects;
+    {
+        serve::ApproxService service{[] {
+            serve::ServiceConfig config;
+            config.num_workers = 1;
+            config.queue_capacity = 16;
+            return config;
+        }()};
+        service.register_kernel("k", build(),
+                                runtime::Metric::MeanRelativeError, 90.0,
+                                {1, 2, 3}, key);
+        EXPECT_GT(store->stats().corrupt_rejects, rejects_before);
+        EXPECT_EQ(service.metrics().snapshot().warm_registrations, 0u);
+        EXPECT_EQ(service.kernel_snapshot("k").selected, "good");
+        serve_and_check(service);
+        service.stop();
+    }
+
+    ArtifactStore::disable_global();
 }
 
 }  // namespace

@@ -20,35 +20,6 @@
 #include "apps/app.h"
 #include "serve/service.h"
 
-namespace {
-
-void
-print_metrics(const paraprox::serve::MetricsSnapshot& m)
-{
-    std::printf("  accepted %llu  served %llu  rejected "
-                "(full %llu / unknown %llu / stopped %llu)\n",
-                static_cast<unsigned long long>(m.accepted),
-                static_cast<unsigned long long>(m.served),
-                static_cast<unsigned long long>(m.rejected_full),
-                static_cast<unsigned long long>(m.rejected_unknown),
-                static_cast<unsigned long long>(m.rejected_stopped));
-    std::printf("  shadows %llu  violations %llu  recalibrations %llu  "
-                "exact-while-recalibrating %llu  backoffs %llu\n",
-                static_cast<unsigned long long>(m.shadow_runs),
-                static_cast<unsigned long long>(m.shadow_violations),
-                static_cast<unsigned long long>(m.recalibrations),
-                static_cast<unsigned long long>(m.exact_while_recalibrating),
-                static_cast<unsigned long long>(m.backoffs));
-    std::printf("  queue depth %lld  latency p50 %.2f ms  p95 %.2f ms  "
-                "p99 %.2f ms (%llu samples)\n",
-                static_cast<long long>(m.queue_depth),
-                m.latency.p50 * 1e3, m.latency.p95 * 1e3,
-                m.latency.p99 * 1e3,
-                static_cast<unsigned long long>(m.latency.count));
-}
-
-}  // namespace
-
 int
 main(int argc, char** argv)
 {
@@ -110,17 +81,24 @@ main(int argc, char** argv)
     std::printf("\nservice metrics after %zu served requests:\n",
                 responses.size());
     const auto snapshot = service.snapshot();
-    print_metrics(snapshot.metrics);
+    std::fputs(serve::format_metrics(snapshot.metrics).c_str(), stdout);
 
     std::printf("\nper-kernel state:\n");
     for (const auto& kernel : snapshot.kernels) {
-        std::printf("  %-28s selected=%s  shadows=%llu  window mean=%.1f%%"
-                    "  triggers=%llu\n",
+        std::printf("  %-28s selected=%s  ladder-level=%d  shadows=%llu  "
+                    "window mean=%.1f%%  triggers=%llu\n",
                     kernel.kernel.c_str(), kernel.selected.c_str(),
+                    kernel.degradation_level,
                     static_cast<unsigned long long>(kernel.monitor.shadows),
                     kernel.monitor.window_mean,
                     static_cast<unsigned long long>(
                         kernel.monitor.triggers));
+        for (const auto& breaker : kernel.breakers) {
+            std::printf("    breaker %-24s %-9s failures=%d offenses=%d\n",
+                        breaker.label.c_str(),
+                        runtime::to_string(breaker.state).c_str(),
+                        breaker.failures, breaker.offenses);
+        }
     }
 
     service.stop();
