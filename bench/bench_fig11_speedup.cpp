@@ -48,7 +48,7 @@ run_figure()
 {
     print_header("Table 1: application characteristics");
     print_row({"Application", "Domain", "Patterns", "Metric"}, 26);
-    auto apps = apps::make_all_applications();
+    auto apps = make_scaled_apps(kScale);
     for (const auto& app : apps) {
         const auto info = app->info();
         print_row({info.name, info.domain, info.patterns,
@@ -68,7 +68,6 @@ run_figure()
     std::vector<double> gpu_wall, cpu_wall;
 
     for (std::size_t a = 0; a < apps.size(); ++a) {
-        apps[a]->set_scale(kScale);
         auto on_gpu = measure_app(*apps[a], gpu, kToq, {101, 202});
         auto on_cpu = measure_app(*apps[a], cpu, kToq, {101, 202});
         gpu_speedups.push_back(on_gpu.speedup);

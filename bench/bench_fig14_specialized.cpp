@@ -52,10 +52,9 @@ run_figure()
     print_row({"Application", "reduction-only", "pattern-based"}, 24);
 
     const auto gpu = device::DeviceModel::gtx560();
-    auto apps = apps::make_all_applications();
+    auto apps = make_scaled_apps(0.5);
     std::vector<double> naive, specialized;
     for (const auto& app : apps) {
-        app->set_scale(0.5);
         auto measurement = measure_app(*app, gpu, kToq, {71});
 
         const bool has_reduction =

@@ -93,11 +93,9 @@ run_figure()
     // Stencil/reduction apps, whose variants speed up interpreter wall
     // time itself (memo-table apps only save modeled device cycles, which
     // a throughput benchmark cannot observe).
-    std::vector<std::unique_ptr<apps::Application>> apps;
-    apps.push_back(apps::make_mean_filter());
-    apps.push_back(apps::make_gaussian_filter());
-    apps.push_back(apps::make_naive_bayes());
-    apps.push_back(apps::make_kernel_density());
+    auto apps = make_scaled_apps(kScale, {"Mean Filter", "Gaussian Filter",
+                                          "Naive Bayes",
+                                          "Kernel Density Estimation"});
 
     print_header("Serving throughput at TOQ=90% (" +
                  std::to_string(workers) + " workers, " +
@@ -106,9 +104,15 @@ run_figure()
                "selected", "shadows"},
               16);
 
+    BenchReport report("serve_throughput");
+    report.config()
+        .set("toq", kToq)
+        .set("scale", kScale)
+        .set("workers", static_cast<std::uint64_t>(workers))
+        .set("requests", kRequests);
+
     std::vector<double> ratios;
     for (auto& app : apps) {
-        app->set_scale(kScale);
         const auto exact = run_mode(*app, device, false, workers);
         const auto approx = run_mode(*app, device, true, workers);
         const double ratio =
@@ -121,10 +125,21 @@ run_figure()
                    fmt(ratio) + "x", approx.selected,
                    std::to_string(approx.shadows)},
                   16);
+        report.add_row()
+            .set("app", app->info().name)
+            .set("exact_rps", exact.requests_per_second)
+            .set("approx_rps", approx.requests_per_second)
+            .set("ratio", ratio)
+            .set("selected", approx.selected)
+            .set("shadows", approx.shadows)
+            .set("violations", approx.violations);
     }
+    const double geomean = stats::geomean(ratios);
+    report.set_geomean(geomean);
+    report.write();
     std::printf("\nGeomean throughput ratio (monitored approx / exact): "
                 "%.2fx\n",
-                stats::geomean(ratios));
+                geomean);
 }
 
 /// CI chaos smoke: serve one kernel under whatever PARAPROX_FAULTS is

@@ -188,6 +188,161 @@ run_case_study(const CaseStudyFunction& function, int bits,
     return result;
 }
 
+std::vector<std::unique_ptr<apps::Application>>
+make_scaled_apps(double scale, const std::vector<std::string>& wanted)
+{
+    auto all = apps::make_all_applications();
+    for (auto& app : all)
+        app->set_scale(scale);
+    if (wanted.empty())
+        return all;
+
+    std::vector<std::unique_ptr<apps::Application>> picked;
+    for (const auto& name : wanted) {
+        for (auto& app : all) {
+            if (app && app->info().name == name) {
+                picked.push_back(std::move(app));
+                break;
+            }
+        }
+    }
+    return picked;
+}
+
+namespace {
+
+std::string
+json_escape(const std::string& text)
+{
+    std::string out = "\"";
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+json_number(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+    return buffer;
+}
+
+}  // namespace
+
+JsonObject&
+JsonObject::raw(const std::string& key, std::string encoded)
+{
+    fields_.emplace_back(key, std::move(encoded));
+    return *this;
+}
+
+JsonObject&
+JsonObject::set(const std::string& key, const std::string& value)
+{
+    return raw(key, json_escape(value));
+}
+
+JsonObject&
+JsonObject::set(const std::string& key, const char* value)
+{
+    return raw(key, json_escape(value));
+}
+
+JsonObject&
+JsonObject::set(const std::string& key, double value)
+{
+    return raw(key, json_number(value));
+}
+
+JsonObject&
+JsonObject::set(const std::string& key, std::uint64_t value)
+{
+    return raw(key, std::to_string(value));
+}
+
+JsonObject&
+JsonObject::set(const std::string& key, int value)
+{
+    return raw(key, std::to_string(value));
+}
+
+JsonObject&
+JsonObject::set(const std::string& key, bool value)
+{
+    return raw(key, value ? "true" : "false");
+}
+
+std::string
+JsonObject::dump() const
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += json_escape(fields_[i].first) + ": " + fields_[i].second;
+    }
+    out += '}';
+    return out;
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+JsonObject&
+BenchReport::add_row()
+{
+    rows_.emplace_back();
+    return rows_.back();
+}
+
+void
+BenchReport::set_geomean(double value)
+{
+    geomean_ = value;
+    has_geomean_ = true;
+}
+
+std::string
+BenchReport::write() const
+{
+    std::string body = "{\n  \"name\": " + json_escape(name_) +
+                       ",\n  \"config\": " + config_.dump();
+    if (has_geomean_)
+        body += ",\n  \"geomean\": " + json_number(geomean_);
+    body += ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        body += i > 0 ? ",\n    " : "\n    ";
+        body += rows_[i].dump();
+    }
+    body += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+    const std::string path = "BENCH_" + name_ + ".json";
+    FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        std::printf("note: could not write %s\n", path.c_str());
+        return "";
+    }
+    std::fwrite(body.data(), 1, body.size(), file);
+    std::fclose(file);
+    std::printf("wrote %s\n", path.c_str());
+    return path;
+}
+
 std::size_t
 default_thread_count()
 {

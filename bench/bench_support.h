@@ -67,6 +67,54 @@ CaseStudyResult run_case_study(const CaseStudyFunction& function, int bits,
                                const device::DeviceModel& device,
                                int n = 1 << 15);
 
+/// All Fig. 11 applications at @p scale; when @p wanted is non-empty,
+/// only the named applications, in @p wanted's order.  Every bench
+/// builds its app list through this helper so scale handling stays in
+/// one place.
+std::vector<std::unique_ptr<apps::Application>>
+make_scaled_apps(double scale, const std::vector<std::string>& wanted = {});
+
+/// Insertion-ordered JSON object with pre-encoded fields; the building
+/// block of BenchReport (rows and the config section are JsonObjects).
+class JsonObject {
+  public:
+    JsonObject& set(const std::string& key, const std::string& value);
+    JsonObject& set(const std::string& key, const char* value);
+    JsonObject& set(const std::string& key, double value);
+    JsonObject& set(const std::string& key, std::uint64_t value);
+    JsonObject& set(const std::string& key, int value);
+    JsonObject& set(const std::string& key, bool value);
+    std::string dump() const;  ///< `{"k": v, ...}` on one line.
+
+  private:
+    JsonObject& raw(const std::string& key, std::string encoded);
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Machine-readable companion to a bench's stdout tables: collects a
+/// config section, per-app rows, and an optional geomean, then writes
+/// `BENCH_<name>.json` into the working directory so CI and scripts can
+/// consume results without scraping tables.
+class BenchReport {
+  public:
+    explicit BenchReport(std::string name);
+
+    JsonObject& config() { return config_; }
+    JsonObject& add_row();
+    void set_geomean(double value);
+
+    /// Serialize to `BENCH_<name>.json`; returns the path written, or
+    /// an empty string (with a note on stdout) if the write failed.
+    std::string write() const;
+
+  private:
+    std::string name_;
+    JsonObject config_;
+    std::vector<JsonObject> rows_;
+    double geomean_ = 0.0;
+    bool has_geomean_ = false;
+};
+
 /// Worker-thread count for concurrency benchmarks: the global pool's
 /// size, which honours the PARAPROX_THREADS environment override.
 std::size_t default_thread_count();

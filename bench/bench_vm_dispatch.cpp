@@ -90,11 +90,16 @@ run(bool smoke)
                "speedup", "bit-id"},
               16);
 
-    auto apps = apps::make_all_applications();
+    BenchReport report("vm_dispatch");
+    report.config()
+        .set("scale", scale)
+        .set("repetitions", repetitions)
+        .set("smoke", smoke);
+
+    auto apps = make_scaled_apps(scale);
     std::vector<double> ratios;
     bool all_identical = true;
     for (const auto& app : apps) {
-        app->set_scale(scale);
         const auto r = measure(*app, device, repetitions);
         const double mi =
             static_cast<double>(r.canonical_instructions) / 1e6;
@@ -102,11 +107,20 @@ run(bool smoke)
                    fmt(mi / r.fast_seconds, 1), fmt(r.ratio()),
                    r.identical ? "yes" : "NO"},
                   16);
+        report.add_row()
+            .set("app", r.name)
+            .set("canonical_instructions", r.canonical_instructions)
+            .set("instrumented_seconds", r.instrumented_seconds)
+            .set("fast_seconds", r.fast_seconds)
+            .set("speedup", r.ratio())
+            .set("bit_identical", r.identical);
         ratios.push_back(r.ratio());
         all_identical = all_identical && r.identical;
     }
 
     const double geomean = stats::geomean(ratios);
+    report.set_geomean(geomean);
+    report.write();
     std::printf("\ngeomean interpreter speedup (fast / instrumented): "
                 "%.2fx (floor 1.30x)\n",
                 geomean);

@@ -1,44 +1,56 @@
 /// @file
-/// Image-processing scenario: a Gaussian-blur stage tuned by the TOQ
-/// runtime.  Shows the stencil schemes (center/row/column, Fig. 6), the
-/// reaching-distance knob, and the tuner picking the fastest variant that
-/// holds 90% quality — then continuing to audit quality in steady state.
+/// Image-processing pipeline: gaussian blur -> sobel -> threshold tuned
+/// *jointly* against an end-to-end TOQ on the final edge map.  Shows the
+/// joint search (per-stage cost probes, dominated-combination pruning,
+/// predicted-speed cap), the calibrated mixed aggressive/exact
+/// selection, and steady-state serving with periodic audits.
 ///
 ///   $ ./examples/image_pipeline
 
 #include <cstdio>
 
-#include "apps/app.h"
-#include "device/device_model.h"
-#include "runtime/tuner.h"
+#include "apps/pipelines.h"
+#include "runtime/pipeline.h"
 
 using namespace paraprox;
 
 int
 main()
 {
-    auto app = apps::make_gaussian_filter();
-    app->set_scale(0.5);
+    apps::ImagePipelineOptions options;
+    options.scale = 0.5;
+    auto built = apps::make_image_pipeline(options);
+    runtime::PipelineSession session(std::move(built.pipeline));
 
-    const auto device = device::DeviceModel::gtx560();
-    std::printf("Tuning `%s` for %s at TOQ=90%%...\n\n",
-                app->info().name.c_str(), device.name.c_str());
+    std::printf("Pipeline `%s` (%dx%d):", session.name().c_str(),
+                built.width, built.height);
+    for (std::size_t s = 0; s < session.num_stages(); ++s) {
+        std::printf(" %s[%zu variants]",
+                    session.pipeline().stages[s].name.c_str(),
+                    session.stage_session(s).members().size());
+    }
+    std::printf("\n\n");
 
-    runtime::Tuner tuner(app->variants(device), app->info().metric, 90.0,
-                         /*check_interval=*/10);
+    runtime::Tuner tuner(session.joint_variants(), runtime::Metric::L1Norm,
+                         90.0, /*check_interval=*/10);
+    const auto& info = session.search_info();
+    std::printf("joint search: %zu combinations -> %zu dominated, "
+                "%zu capped, %zu measured (%zu stage probes)\n\n",
+                info.total_combinations, info.dominated, info.capped,
+                info.kept, info.probe_runs);
+
     const auto& profiles = tuner.calibrate({1, 2, 3});
-
-    std::printf("%-28s %-10s %-10s %s\n", "variant", "quality%", "speedup",
-                "meets TOQ");
+    std::printf("%-52s %-10s %-10s %s\n", "joint config", "quality%",
+                "speedup", "meets TOQ");
     for (const auto& profile : profiles) {
-        std::printf("%-28s %-10.2f %-10.2f %s\n", profile.label.c_str(),
+        std::printf("%-52s %-10.2f %-10.2f %s\n", profile.label.c_str(),
                     profile.quality, profile.speedup,
                     profile.meets_toq ? "yes" : "no");
     }
     std::printf("\nselected: %s\n", tuner.selected_label().c_str());
 
-    // Steady state: process a stream of frames; every 10th frame is
-    // audited against the exact kernel (SAGE-style periodic checks).
+    // Steady state: a stream of frames through the whole chain; every
+    // 10th frame audits end-to-end quality against the all-exact chain.
     for (std::uint64_t frame = 0; frame < 40; ++frame)
         tuner.invoke(1000 + frame);
     const auto& stats = tuner.stats();

@@ -1,0 +1,311 @@
+#include "apps/pipelines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "apps/common.h"
+#include "parser/parser.h"
+#include "support/rng.h"
+
+namespace paraprox::apps {
+
+namespace {
+
+using exec::ArgPack;
+using exec::Buffer;
+using exec::LaunchConfig;
+
+/// Pipeline stages approximate tiles and loops, not function calls.
+std::optional<std::vector<std::vector<float>>>
+no_training(const std::string&)
+{
+    return std::nullopt;
+}
+
+core::CompileOptions
+stage_options(double toq)
+{
+    core::CompileOptions options;
+    options.toq = toq;
+    options.training = no_training;
+    return options;
+}
+
+/// Interior must stay divisible by the 16x4 work-group shape.
+int
+snapped_dim(int base, double scale)
+{
+    const int interior = static_cast<int>((base - 2) * scale);
+    return std::max(16, interior - interior % 16) + 2;
+}
+
+/// The image pipeline's scene: a smooth base varying mostly along x,
+/// strong *vertical* step edges, and per-pixel noise.  The gradient
+/// histogram is bimodal — noise floor well below the threshold level,
+/// step edges well above — so the binarization masks small upstream
+/// errors.  And because the structure is vertical, row-tile schemes
+/// (which hold values constant along y inside a tile) are nearly
+/// harmless end-to-end even though the noisy gradient field makes their
+/// *per-stage* quality terrible.  That gap between per-stage and
+/// end-to-end quality is what the joint search exploits and what no
+/// uniform per-stage TOQ sweep can see.
+std::vector<float>
+edge_scene(int width, int height, std::uint64_t seed, float noise)
+{
+    Rng rng(seed);
+    std::vector<float> image(static_cast<std::size_t>(width) * height);
+    const float fx = rng.uniform(0.01f, 0.035f);
+    const float fy = rng.uniform(0.004f, 0.012f);
+    const float px = rng.uniform(0.0f, 6.28f);
+    const float py = rng.uniform(0.0f, 6.28f);
+    const int edge_a = rng.uniform_int(width / 5, width / 2);
+    const int edge_b = rng.uniform_int(width / 2 + 2, 4 * width / 5);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            float value = 110.0f + 35.0f * std::sin(fx * x + px) *
+                                       std::cos(fy * y + py);
+            if (x > edge_a)
+                value += 60.0f;
+            if (x > edge_b)
+                value -= 50.0f;
+            value += rng.normal(0.0f, noise);
+            image[static_cast<std::size_t>(y) * width + x] =
+                std::fmin(255.0f, std::fmax(0.0f, value));
+        }
+    }
+    return image;
+}
+
+constexpr const char* kBlurSource = R"(
+__kernel void blur(__global float* in, __global float* out, int w) {
+    int x = get_global_id(0) + 1;
+    int y = get_global_id(1) + 1;
+    float acc = 0.0625f * in[(y - 1) * w + x - 1]
+              + 0.125f  * in[(y - 1) * w + x]
+              + 0.0625f * in[(y - 1) * w + x + 1]
+              + 0.125f  * in[y * w + x - 1]
+              + 0.25f   * in[y * w + x]
+              + 0.125f  * in[y * w + x + 1]
+              + 0.0625f * in[(y + 1) * w + x - 1]
+              + 0.125f  * in[(y + 1) * w + x]
+              + 0.0625f * in[(y + 1) * w + x + 1];
+    out[y * w + x] = acc;
+}
+)";
+
+constexpr const char* kSobelSource = R"(
+__kernel void sobel(__global float* img, __global float* out, int w) {
+    int x = get_global_id(0) + 1;
+    int y = get_global_id(1) + 1;
+    float gx = img[(y - 1) * w + x + 1]
+             + 2.0f * img[y * w + x + 1]
+             + img[(y + 1) * w + x + 1]
+             - img[(y - 1) * w + x - 1]
+             - 2.0f * img[y * w + x - 1]
+             - img[(y + 1) * w + x - 1];
+    float gy = img[(y + 1) * w + x - 1]
+             + 2.0f * img[(y + 1) * w + x]
+             + img[(y + 1) * w + x + 1]
+             - img[(y - 1) * w + x - 1]
+             - 2.0f * img[(y - 1) * w + x]
+             - img[(y - 1) * w + x + 1];
+    out[y * w + x] = fabsf(gx) + fabsf(gy);
+}
+)";
+
+constexpr const char* kThresholdSource = R"(
+__kernel void threshold(__global float* grad, __global float* out, int w,
+                        float level) {
+    int x = get_global_id(0) + 1;
+    int y = get_global_id(1) + 1;
+    out[y * w + x] = grad[y * w + x] > level ? 255.0f : 0.0f;
+}
+)";
+
+constexpr const char* kJacobiSource = R"(
+__kernel void step(__global float* in, __global float* out, int w) {
+    int x = get_global_id(0) + 1;
+    int y = get_global_id(1) + 1;
+    out[y * w + x] = 0.25f * (in[(y - 1) * w + x]
+                            + in[(y + 1) * w + x]
+                            + in[y * w + x - 1]
+                            + in[y * w + x + 1]);
+}
+)";
+
+constexpr const char* kResidualSource = R"(
+__kernel void residual(__global float* cur, __global float* prev,
+                       __global float* res, int w) {
+    int y = get_global_id(0);
+    float acc = 0.0f;
+    for (int x = 0; x < w; x = x + 1) {
+        acc = acc + fabsf(cur[y * w + x] - prev[y * w + x]);
+    }
+    res[y] = acc;
+}
+)";
+
+std::unique_ptr<Buffer>
+zero_buffer(int w, int h)
+{
+    return std::make_unique<Buffer>(
+        Buffer::zeros_f32(static_cast<std::size_t>(w) * h));
+}
+
+/// The solver's training/iteration field: the shared state when the
+/// driver installed one, a seeded synthetic field otherwise.
+std::vector<float>
+solver_field(const std::shared_ptr<std::vector<float>>& state, int w,
+             int h, std::uint64_t seed)
+{
+    if (state && !state->empty())
+        return *state;
+    return make_correlated_image(w, h, seed);
+}
+
+}  // namespace
+
+ImagePipeline
+make_image_pipeline(const ImagePipelineOptions& options)
+{
+    ImagePipeline out;
+    out.width = snapped_dim(130, options.scale);
+    out.height = snapped_dim(130, options.scale);
+    const int w = out.width;
+    const int h = out.height;
+    const float noise = options.noise;
+
+    const auto interior = LaunchConfig::grid2d(w - 2, h - 2, 16, 4);
+
+    runtime::PipelineStage blur;
+    blur.name = "blur";
+    blur.module = std::make_shared<const ir::Module>(
+        parser::parse_module(kBlurSource));
+    blur.kernel = "blur";
+    blur.options = stage_options(options.toq);
+    blur.config = interior;
+    blur.output_buffer = "out";
+    blur.bind_inputs = [w, h, noise](std::uint64_t seed, ArgPack& args,
+                                     std::vector<std::unique_ptr<Buffer>>&
+                                         holder) {
+        const std::vector<float> scene = edge_scene(w, h, seed, noise);
+        holder.push_back(
+            std::make_unique<Buffer>(Buffer::from_floats(scene)));
+        args.buffer("in", *holder.back());
+        // The blur writes the interior only; seeding the output with the
+        // scene carries the boundary through, so the sobel stage does not
+        // see an artificial zero-border gradient frame.
+        holder.push_back(
+            std::make_unique<Buffer>(Buffer::from_floats(scene)));
+        args.buffer("out", *holder.back());
+        args.scalar("w", w);
+    };
+
+    runtime::PipelineStage sobel;
+    sobel.name = "sobel";
+    sobel.module = std::make_shared<const ir::Module>(
+        parser::parse_module(kSobelSource));
+    sobel.kernel = "sobel";
+    sobel.options = stage_options(options.toq);
+    sobel.config = interior;
+    sobel.input_param = "img";
+    sobel.output_buffer = "out";
+    sobel.bind_inputs = [w, h](std::uint64_t, ArgPack& args,
+                               std::vector<std::unique_ptr<Buffer>>&
+                                   holder) {
+        holder.push_back(zero_buffer(w, h));
+        args.buffer("out", *holder.back());
+        args.scalar("w", w);
+    };
+
+    runtime::PipelineStage threshold;
+    threshold.name = "threshold";
+    threshold.module = std::make_shared<const ir::Module>(
+        parser::parse_module(kThresholdSource));
+    threshold.kernel = "threshold";
+    threshold.options = stage_options(options.toq);
+    threshold.config = interior;
+    threshold.input_param = "grad";
+    threshold.output_buffer = "out";
+    const float level = options.threshold;
+    threshold.bind_inputs = [w, h, level](
+                                std::uint64_t, ArgPack& args,
+                                std::vector<std::unique_ptr<Buffer>>&
+                                    holder) {
+        holder.push_back(zero_buffer(w, h));
+        args.buffer("out", *holder.back());
+        args.scalar("w", w);
+        args.scalar("level", level);
+    };
+
+    out.pipeline.name = "image_edges";
+    out.pipeline.stages = {std::move(blur), std::move(sobel),
+                           std::move(threshold)};
+    return out;
+}
+
+SolverPipeline
+make_solver_pipeline(double scale, double toq)
+{
+    SolverPipeline out;
+    out.width = snapped_dim(130, scale);
+    out.height = snapped_dim(130, scale);
+    out.state = std::make_shared<std::vector<float>>();
+    const int w = out.width;
+    const int h = out.height;
+    const auto state = out.state;
+
+    runtime::PipelineStage step;
+    step.name = "step";
+    step.module = std::make_shared<const ir::Module>(
+        parser::parse_module(kJacobiSource));
+    step.kernel = "step";
+    step.options = stage_options(toq);
+    step.config = LaunchConfig::grid2d(w - 2, h - 2, 16, 4);
+    step.output_buffer = "out";
+    step.bind_inputs = [w, h, state](std::uint64_t seed, ArgPack& args,
+                                     std::vector<std::unique_ptr<Buffer>>&
+                                         holder) {
+        const std::vector<float> field = solver_field(state, w, h, seed);
+        holder.push_back(
+            std::make_unique<Buffer>(Buffer::from_floats(field)));
+        args.buffer("in", *holder.back());
+        // The stencil writes the interior only; seeding the output with
+        // the input carries the boundary condition through unchanged.
+        holder.push_back(
+            std::make_unique<Buffer>(Buffer::from_floats(field)));
+        args.buffer("out", *holder.back());
+        args.scalar("w", w);
+    };
+
+    runtime::PipelineStage residual;
+    residual.name = "residual";
+    residual.module = std::make_shared<const ir::Module>(
+        parser::parse_module(kResidualSource));
+    residual.kernel = "residual";
+    residual.options = stage_options(toq);
+    residual.config = LaunchConfig::linear(h, 2);
+    residual.input_param = "cur";
+    residual.output_buffer = "res";
+    residual.bind_inputs = [w, h, state](
+                               std::uint64_t seed, ArgPack& args,
+                               std::vector<std::unique_ptr<Buffer>>&
+                                   holder) {
+        // The pre-step field again, so the reduction scores the step's
+        // change: sum(res) = L1 residual of the iteration.
+        holder.push_back(std::make_unique<Buffer>(
+            Buffer::from_floats(solver_field(state, w, h, seed))));
+        args.buffer("prev", *holder.back());
+        holder.push_back(std::make_unique<Buffer>(
+            Buffer::zeros_f32(static_cast<std::size_t>(h))));
+        args.buffer("res", *holder.back());
+        args.scalar("w", w);
+    };
+
+    out.pipeline.name = "stencil_reduce_solver";
+    out.pipeline.stages = {std::move(step), std::move(residual)};
+    return out;
+}
+
+}  // namespace paraprox::apps

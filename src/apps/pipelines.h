@@ -1,0 +1,62 @@
+/// @file
+/// The pipeline example workloads: multi-stage chains built on
+/// runtime::Pipeline, shared by the examples, bench_pipeline, and the
+/// pipeline tests so all three tune the exact same chains.
+///
+///   - Image pipeline: gaussian blur -> sobel edge magnitude -> binary
+///     threshold.  Per-stage error compounds through the gradient but is
+///     partly masked by the binarization, so the joint search routinely
+///     finds a mixed aggressive/exact configuration that uniform
+///     per-stage tuning cannot justify.
+///   - Stencil-reduce solver: one Jacobi relaxation sweep followed by a
+///     per-row L1 residual reduction (the Loop-of-stencil-reduce
+///     pattern); an iterative driver re-invokes the chain and checks the
+///     reduced residual for convergence.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/pipeline.h"
+
+namespace paraprox::apps {
+
+/// Knobs of the image pipeline.
+struct ImagePipelineOptions {
+    double scale = 1.0;       ///< Workload scale (1 = 130x130).
+    double toq = 90.0;        ///< Per-stage CompileOptions::toq.
+    float threshold = 110.0f; ///< Edge-magnitude cut for the final stage.
+    float noise = 8.0f;       ///< Input image noise level.
+};
+
+struct ImagePipeline {
+    runtime::Pipeline pipeline;
+    int width = 0;   ///< Grid width incl. the 1-pixel border.
+    int height = 0;
+};
+
+/// gaussian blur -> sobel -> threshold over a seeded synthetic image.
+/// The final output is the binary edge map (0 / 255 per pixel).
+ImagePipeline make_image_pipeline(const ImagePipelineOptions& options = {});
+
+struct SolverPipeline {
+    runtime::Pipeline pipeline;
+    int width = 0;
+    int height = 0;
+    /// When non-empty, both stages read this field (row-major width x
+    /// height) instead of the seed-generated training field: iterative
+    /// drivers store the current state here, re-invoke the chain, and
+    /// copy stage 0's output back.  Calibration runs with it empty so
+    /// training seeds keep generating diverse fields.
+    std::shared_ptr<std::vector<float>> state;
+};
+
+/// Jacobi step -> per-row residual reduction.  Stage 0 writes the
+/// relaxed field (boundary carried through); stage 1 reduces
+/// |relaxed - previous| per row, so the pipeline output's sum is the
+/// iteration's L1 residual.
+SolverPipeline make_solver_pipeline(double scale = 1.0, double toq = 90.0);
+
+}  // namespace paraprox::apps

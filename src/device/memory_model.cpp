@@ -29,20 +29,18 @@ CacheDomain::CacheDomain(const DeviceModel& device)
 bool
 CacheDomain::access_l1(std::int64_t addr)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     return l1_.access(addr);
 }
 
 bool
 CacheDomain::access_constant(std::int64_t addr)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     return constant_.access(addr);
 }
 
 GroupMemoryListener::GroupMemoryListener(const DeviceModel& device,
-                                         CacheDomain* domain)
-    : device_(device), domain_(domain)
+                                         std::int64_t group_linear)
+    : device_(device), group_linear_(group_linear)
 {
 }
 
@@ -83,23 +81,23 @@ GroupMemoryListener::issue(PendingWarp& pending)
     const MemoryParams& mem = device_.memory;
     if (pending.space == ir::AddrSpace::Constant) {
         // Broadcast hardware: one probe per distinct address in the warp —
-        // divergent table lookups serialize.
+        // divergent table lookups serialize.  Hit/miss cycles are priced
+        // at replay.
         for (std::int64_t addr : pending.addrs) {
-            const bool hit = domain_->access_constant(addr);
-            cost_.memory_cycles += hit ? mem.constant_hit_cycles
-                                       : mem.constant_miss_cycles;
+            probes_.push_back({addr, /*constant=*/true});
             ++cost_.transactions;
         }
         return;
     }
 
     // Global memory: distinct lines become transactions through the L1.
+    // Which of them hit depends on cache state, so they are recorded for
+    // the deterministic replay; the transaction and coalescing accounting
+    // below depends only on this group's own accesses.
     const auto accessed_lines =
         static_cast<std::uint64_t>(pending.lines.size());
-    for (std::int64_t line : pending.lines) {
-        const bool hit = domain_->access_l1(line * mem.line_bytes);
-        cost_.memory_cycles += hit ? mem.l1_hit_cycles : mem.l1_miss_cycles;
-    }
+    for (std::int64_t line : pending.lines)
+        probes_.push_back({line * mem.line_bytes, /*constant=*/false});
     cost_.transactions += accessed_lines;
 
     // Coalescing: a warp of N 4-byte accesses needs at least
@@ -138,9 +136,7 @@ MemoryCostObserver::MemoryCostObserver(const DeviceModel& device)
 std::unique_ptr<vm::MemoryListener>
 MemoryCostObserver::make_group_listener(std::int64_t group_linear)
 {
-    CacheDomain* domain =
-        domains_[group_linear % domains_.size()].get();
-    return std::make_unique<GroupMemoryListener>(device_, domain);
+    return std::make_unique<GroupMemoryListener>(device_, group_linear);
 }
 
 void
@@ -149,6 +145,40 @@ MemoryCostObserver::on_group_complete(vm::MemoryListener& listener)
     auto& group = static_cast<GroupMemoryListener&>(listener);
     group.flush();
     total_.merge(group.cost());
+    streams_.emplace_back(group.group_linear(), group.take_probes());
+}
+
+const CostBreakdown&
+MemoryCostObserver::memory_cost()
+{
+    if (replayed_)
+        return total_;
+    replayed_ = true;
+
+    // Replay every group's probe stream into its SM's caches in
+    // group-linear order: the canonical schedule.  Completion order (and
+    // with it the host thread count) cannot change the priced cost.
+    std::sort(streams_.begin(), streams_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const MemoryParams& mem = device_.memory;
+    for (const auto& [group_linear, probes] : streams_) {
+        CacheDomain& domain =
+            *domains_[static_cast<std::size_t>(group_linear) %
+                      domains_.size()];
+        for (const CacheProbe& probe : probes) {
+            if (probe.constant) {
+                const bool hit = domain.access_constant(probe.addr);
+                total_.memory_cycles += hit ? mem.constant_hit_cycles
+                                            : mem.constant_miss_cycles;
+            } else {
+                const bool hit = domain.access_l1(probe.addr);
+                total_.memory_cycles +=
+                    hit ? mem.l1_hit_cycles : mem.l1_miss_cycles;
+            }
+        }
+    }
+    streams_.clear();
+    return total_;
 }
 
 ModeledResult

@@ -3,13 +3,23 @@
 /// into transactions; persistent per-SM cache domains (shared by all the
 /// groups scheduled onto that SM, exactly like a real L1) price each
 /// transaction.
+///
+/// Groups execute concurrently on the host thread pool, but cache
+/// hit/miss pricing must not depend on the host's thread schedule —
+/// calibration decisions and the joint pipeline search are specified to
+/// be deterministic for a fixed program and input.  Listeners therefore
+/// *record* their cache probes during execution and the observer replays
+/// every group's stream into its SM's cache domain in canonical
+/// group-linear order once the launch completes, i.e. pricing models a
+/// fixed round-robin SM schedule rather than whatever interleaving the
+/// host happened to produce.
 
 #pragma once
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "device/cache.h"
@@ -20,20 +30,27 @@ namespace paraprox::device {
 
 /// One modeled SM's caches (L1 + constant), shared by every work-group
 /// assigned to that SM and persisting across groups within one launch.
+/// Probed only from the single-threaded post-launch replay.
 class CacheDomain {
   public:
     explicit CacheDomain(const DeviceModel& device);
 
-    /// Probe the L1 for @p addr; returns true on hit.  Thread-safe.
+    /// Probe the L1 for @p addr; returns true on hit.
     bool access_l1(std::int64_t addr);
 
-    /// Probe the constant cache.  Thread-safe.
+    /// Probe the constant cache.
     bool access_constant(std::int64_t addr);
 
   private:
-    std::mutex mutex_;
     CacheSim l1_;
     CacheSim constant_;
+};
+
+/// One recorded cache probe: a transaction whose cost depends on cache
+/// state and is therefore priced at replay time, not at record time.
+struct CacheProbe {
+    std::int64_t addr = 0;
+    bool constant = false;  ///< Constant cache vs. L1.
 };
 
 /// Prices the memory accesses of one work-group.
@@ -41,14 +58,17 @@ class CacheDomain {
 /// Work-items of a group execute sequentially, so accesses belonging to the
 /// same warp arrive contiguously; the listener batches the addresses each
 /// static instruction touches within one warp and, when the warp changes,
-/// "issues" them: distinct cache lines become transactions (probing the
-/// SM's cache domain), and transactions beyond the coalesced minimum are
-/// charged the uncoalesced penalty.  Constant-space accesses serialize per
-/// distinct address within the warp (broadcast hardware); shared-space
-/// accesses are flat-cost scratchpad traffic.
+/// "issues" them: distinct cache lines become transactions, and
+/// transactions beyond the coalesced minimum are charged the uncoalesced
+/// penalty.  Constant-space accesses serialize per distinct address within
+/// the warp (broadcast hardware); shared-space accesses are flat-cost
+/// scratchpad traffic.  Cache-state-dependent cost (hit vs. miss cycles)
+/// is deferred: issued transactions are recorded as CacheProbes for the
+/// observer's deterministic replay.
 class GroupMemoryListener : public vm::MemoryListener {
   public:
-    GroupMemoryListener(const DeviceModel& device, CacheDomain* domain);
+    GroupMemoryListener(const DeviceModel& device,
+                        std::int64_t group_linear);
 
     void on_access(int instr_index, int buffer_slot, ir::AddrSpace space,
                    std::int64_t element, bool is_store,
@@ -57,7 +77,13 @@ class GroupMemoryListener : public vm::MemoryListener {
     /// Issue all pending warp batches; called before reading cost().
     void flush();
 
+    /// Schedule-independent cost: shared traffic, transaction counts and
+    /// coalescing penalties.  Cache hit/miss cycles are added by the
+    /// observer's replay.
     const CostBreakdown& cost() const { return cost_; }
+
+    std::int64_t group_linear() const { return group_linear_; }
+    std::vector<CacheProbe> take_probes() { return std::move(probes_); }
 
   private:
     struct PendingWarp {
@@ -71,14 +97,18 @@ class GroupMemoryListener : public vm::MemoryListener {
     void issue(PendingWarp& pending);
 
     const DeviceModel& device_;
-    CacheDomain* domain_;
+    const std::int64_t group_linear_;
     std::map<int, PendingWarp> pending_;  ///< Keyed by static instruction.
+    std::vector<CacheProbe> probes_;      ///< In issue order.
     CostBreakdown cost_;
 };
 
 /// Aggregates group listeners into one launch-level cost; plug into
 /// exec::launch as the observer.  Groups are distributed round-robin over
-/// memory_lanes cache domains (the modeled SMs / cores).
+/// memory_lanes cache domains (the modeled SMs / cores); their recorded
+/// probe streams are replayed in group-linear order by memory_cost(), so
+/// the priced hit/miss sequence is identical no matter how the host
+/// scheduled the groups.
 class MemoryCostObserver : public exec::LaunchObserver {
   public:
     explicit MemoryCostObserver(const DeviceModel& device);
@@ -86,14 +116,22 @@ class MemoryCostObserver : public exec::LaunchObserver {
     std::unique_ptr<vm::MemoryListener>
     make_group_listener(std::int64_t group_linear) override;
 
+    /// Serialized by the launch's merge lock (exec::launch contract).
     void on_group_complete(vm::MemoryListener& listener) override;
 
-    const CostBreakdown& memory_cost() const { return total_; }
+    /// Total memory cost of the launch.  The first call replays every
+    /// completed group's cache probes in group-linear order; call only
+    /// after the launch has finished.
+    const CostBreakdown& memory_cost();
 
   private:
     const DeviceModel& device_;
     std::vector<std::unique_ptr<CacheDomain>> domains_;
+    /// (group_linear, probe stream) per completed group, in completion
+    /// order until replay sorts them.
+    std::vector<std::pair<std::int64_t, std::vector<CacheProbe>>> streams_;
     CostBreakdown total_;
+    bool replayed_ = false;
 };
 
 /// A launch priced by a device model.

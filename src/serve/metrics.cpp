@@ -83,6 +83,7 @@ Metrics::snapshot() const
         exact_while_recalibrating.load(std::memory_order_relaxed);
     out.warm_registrations =
         warm_registrations.load(std::memory_order_relaxed);
+    out.warm_pipelines = warm_pipelines.load(std::memory_order_relaxed);
     out.queue_depth = queue_depth.load(std::memory_order_relaxed);
     out.latency = latency.snapshot();
     return out;
@@ -117,6 +118,7 @@ format_metrics(const MetricsSnapshot& snapshot)
     row("recalibrations", snapshot.recalibrations);
     row("exact while recalibrating", snapshot.exact_while_recalibrating);
     row("warm registrations", snapshot.warm_registrations);
+    row("warm pipelines", snapshot.warm_pipelines);
     row("backoffs", snapshot.backoffs);
     row("quarantines", snapshot.quarantines);
     row("reinstatements", snapshot.reinstatements);

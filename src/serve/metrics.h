@@ -69,6 +69,9 @@ struct MetricsSnapshot {
     /// Kernels registered with a calibration restored from the artifact
     /// store (no profiling sweep at registration).
     std::uint64_t warm_registrations = 0;
+    /// Pipelines registered with a joint calibration restored from the
+    /// artifact store: zero joint-search probe runs, zero sweeps.
+    std::uint64_t warm_pipelines = 0;
     /// Variant downgrades across all kernels.  Tuners own this count;
     /// ApproxService::snapshot() aggregates it in — it stays 0 in a bare
     /// Metrics::snapshot().  Same for the three breaker counters below.
@@ -104,6 +107,7 @@ class Metrics {
     std::atomic<std::uint64_t> recalibrations{0};
     std::atomic<std::uint64_t> exact_while_recalibrating{0};
     std::atomic<std::uint64_t> warm_registrations{0};
+    std::atomic<std::uint64_t> warm_pipelines{0};
     std::atomic<std::int64_t> queue_depth{0};
     LatencyHistogram latency;
 

@@ -51,6 +51,27 @@ ApproxService::~ApproxService()
 }
 
 void
+ApproxService::install_kernel(std::unique_ptr<KernelState> state)
+{
+    // Calibration (already done by the callers) runs the instrumented
+    // closures regardless; the mode only governs how workers serve.
+    state->tuner.set_serving_mode(config_.exec_mode);
+    state->tuner.set_quarantine(config_.quarantine);
+    // A service created while load shedding is already in effect brings
+    // newly registered kernels onto the current ladder level.
+    {
+        std::lock_guard<std::mutex> lock(pressure_mutex_);
+        state->tuner.set_degradation_level(degradation_level_);
+    }
+    const std::string name = state->name;
+    std::lock_guard<std::mutex> lock(kernels_mutex_);
+    const bool inserted =
+        kernels_.emplace(name, std::move(state)).second;
+    PARAPROX_CHECK(inserted,
+                   "kernel `" + name + "` is already registered");
+}
+
+void
 ApproxService::register_kernel(
     const std::string& name, std::vector<runtime::Variant> variants,
     runtime::Metric metric, double toq_percent,
@@ -60,16 +81,6 @@ ApproxService::register_kernel(
     auto state = std::make_unique<KernelState>(
         name, std::move(variants), metric, toq_percent, config_.monitor,
         training_seeds);
-    // Calibration below still runs the instrumented closures (it needs
-    // modeled cycles); the mode only governs how workers serve requests.
-    state->tuner.set_serving_mode(config_.exec_mode);
-    state->tuner.set_quarantine(config_.quarantine);
-    // A service created while load shedding is already in effect brings
-    // newly registered kernels onto the current ladder level.
-    {
-        std::lock_guard<std::mutex> lock(pressure_mutex_);
-        state->tuner.set_degradation_level(degradation_level_);
-    }
 
     const auto store =
         warm_key ? store::ArtifactStore::global() : nullptr;
@@ -87,12 +98,58 @@ ApproxService::register_kernel(
             store->save_calibration(*warm_key,
                                     state->tuner.calibration_state());
     }
+    install_kernel(std::move(state));
+}
 
-    std::lock_guard<std::mutex> lock(kernels_mutex_);
-    const bool inserted =
-        kernels_.emplace(name, std::move(state)).second;
-    PARAPROX_CHECK(inserted,
-                   "kernel `" + name + "` is already registered");
+void
+ApproxService::register_pipeline(
+    const std::string& name, runtime::PipelineSession& session,
+    runtime::Metric metric, double toq_percent,
+    const std::vector<std::uint64_t>& training_seeds,
+    const runtime::JointSearchOptions& search)
+{
+    const auto store = store::ArtifactStore::global();
+    const store::StoreKey key =
+        session.calibration_key(metric, toq_percent);
+
+    // Warm path: rebuild the stored plan's joint variants directly —
+    // variant construction itself must skip the search (zero probe
+    // runs), not just the calibration sweep.
+    std::unique_ptr<KernelState> state;
+    if (store) {
+        if (const auto stored = store->load_pipeline_calibration(key);
+            stored && stored->stage_names == session.stage_names()) {
+            if (auto configs = session.configs_for(stored->configs)) {
+                auto candidate = std::make_unique<KernelState>(
+                    name, session.variants_from(*configs), metric,
+                    toq_percent, config_.monitor, training_seeds);
+                if (candidate->tuner.restore_calibration(
+                        stored->calibration)) {
+                    state = std::move(candidate);
+                    metrics_.warm_pipelines.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+            }
+        }
+    }
+    if (!state) {
+        state = std::make_unique<KernelState>(
+            name, session.joint_variants(search), metric, toq_percent,
+            config_.monitor, training_seeds);
+        state->tuner.calibrate(training_seeds);
+        if (store) {
+            store::PipelineCalibrationArtifact artifact;
+            artifact.stage_names = session.stage_names();
+            for (const runtime::JointConfig& config : session.configs())
+                artifact.configs.push_back(config.labels);
+            artifact.calibration = state->tuner.calibration_state();
+            artifact.toq = toq_percent;
+            artifact.metric = to_string(metric);
+            store->save_pipeline_calibration(key, artifact);
+        }
+    }
+    state->pipeline_stats = session.stats();
+    install_kernel(std::move(state));
 }
 
 ApproxService::KernelState*
@@ -431,6 +488,12 @@ ApproxService::snapshot_kernel(const KernelState& state)
     out.tuner = state.tuner.stats_snapshot();
     out.monitor = state.monitor.snapshot();
     out.breakers = state.tuner.breaker_snapshot();
+    if (state.pipeline_stats) {
+        const auto& stats = *state.pipeline_stats;
+        out.stages.reserve(stats.num_stages());
+        for (std::size_t s = 0; s < stats.num_stages(); ++s)
+            out.stages.push_back({stats.stage_names()[s], stats.traps(s)});
+    }
     return out;
 }
 

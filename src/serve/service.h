@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/pipeline.h"
 #include "runtime/tuner.h"
 #include "serve/metrics.h"
 #include "serve/monitor.h"
@@ -127,6 +128,14 @@ struct Ticket {
     std::future<Response> response;  ///< Valid when accepted.
 };
 
+/// Per-stage attribution for registered pipelines: which stage of the
+/// chain trapped.  Breakers quarantine whole joint configs (they are the
+/// serving unit); this names the culprit stage inside them.
+struct PipelineStageSnapshot {
+    std::string stage;
+    std::uint64_t traps = 0;
+};
+
 /// Per-kernel observability: selection, tuner stats, monitor state.
 struct KernelSnapshot {
     std::string kernel;
@@ -136,6 +145,8 @@ struct KernelSnapshot {
     runtime::TunerStats tuner;
     QualityMonitor::Snapshot monitor;
     std::vector<runtime::BreakerSnapshot> breakers;
+    /// Empty unless registered via register_pipeline().
+    std::vector<PipelineStageSnapshot> stages;
 };
 
 /// Whole-service observability; metrics.backoffs and the breaker
@@ -167,6 +178,24 @@ class ApproxService {
                          runtime::Metric metric, double toq_percent,
                          const std::vector<std::uint64_t>& training_seeds,
                          std::optional<store::StoreKey> warm_key = {});
+
+    /// Register a whole pipeline under @p name: joint variants from
+    /// @p session, calibrated end-to-end against @p toq_percent on the
+    /// final stage's output.  Submits against the name ride the exact
+    /// same admission/deadline/quarantine/degradation machinery as
+    /// single kernels — one deadline covers the whole chain (a request
+    /// is one joint execution), breakers quarantine joint configs, and
+    /// kernel_snapshot() additionally attributes traps to stages.  With
+    /// a global ArtifactStore, a stored joint calibration under
+    /// session.calibration_key() restores the searched plan without any
+    /// probe runs (metrics().warm_pipelines) and a cold search +
+    /// calibration is persisted.  The session may be destroyed after
+    /// registration; the closures and stage stats outlive it.
+    void register_pipeline(const std::string& name,
+                           runtime::PipelineSession& session,
+                           runtime::Metric metric, double toq_percent,
+                           const std::vector<std::uint64_t>& training_seeds,
+                           const runtime::JointSearchOptions& search = {});
 
     /// Admit one request.  Never blocks: a full queue, an unknown kernel,
     /// a stopped service, or an unmeetable deadline (already expired, or
@@ -218,6 +247,8 @@ class ApproxService {
         QualityMonitor monitor;
         const std::vector<std::uint64_t> training_seeds;
         std::atomic<bool> recalibrating{false};
+        /// Per-stage trap attribution; null for single kernels.
+        std::shared_ptr<const runtime::PipelineStats> pipeline_stats;
     };
 
     struct Job {
@@ -229,6 +260,8 @@ class ApproxService {
 
     void worker_loop();
     Response serve_one(KernelState& state, std::uint64_t seed);
+    /// Shared registration tail: service-level tuner policy + insertion.
+    void install_kernel(std::unique_ptr<KernelState> state);
     /// Empty @p seeds: use the monitor's recent (drifted) seeds, then the
     /// registration seeds.
     void trigger_recalibration(KernelState& state,

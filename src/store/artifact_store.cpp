@@ -20,6 +20,7 @@ kind_prefix(ArtifactKind kind)
         case ArtifactKind::Program: return "prog";
         case ArtifactKind::Table: return "table";
         case ArtifactKind::Calibration: return "calib";
+        case ArtifactKind::PipelineCalibration: return "pcal";
     }
     return "unknown";
 }
@@ -219,12 +220,10 @@ decode_table(const StoreKey& key, const std::vector<std::uint8_t>& payload)
     return table;
 }
 
-std::vector<std::uint8_t>
-encode_calibration(const StoreKey& key,
-                   const CalibrationArtifact& calibration)
+void
+encode_calibration_state(ByteWriter& w,
+                         const runtime::CalibrationState& calibration)
 {
-    ByteWriter w;
-    w.str(key.canonical());
     w.u64(calibration.profiles.size());
     for (const auto& profile : calibration.profiles) {
         w.str(profile.label);
@@ -238,17 +237,14 @@ encode_calibration(const StoreKey& key,
     for (const int index : calibration.fallback_order)
         w.i32(index);
     w.i32(calibration.selected);
-    return w.bytes();
 }
 
-std::optional<CalibrationArtifact>
-decode_calibration(const StoreKey& key,
-                   const std::vector<std::uint8_t>& payload)
+/// Structural sanity only; Tuner::restore_calibration re-validates
+/// against the live variant list before installing anything.
+bool
+decode_calibration_state(ByteReader& r,
+                         runtime::CalibrationState& calibration)
 {
-    ByteReader r(payload.data(), payload.size());
-    if (r.str() != key.canonical())
-        return std::nullopt;
-    CalibrationArtifact calibration;
     const std::size_t profile_count = r.count(1);
     calibration.profiles.resize(profile_count);
     for (auto& profile : calibration.profiles) {
@@ -264,21 +260,120 @@ decode_calibration(const StoreKey& key,
     for (int& index : calibration.fallback_order)
         index = r.i32();
     calibration.selected = r.i32();
-    if (!r.at_end())
-        return std::nullopt;
-    // Structural sanity; Tuner::restore_calibration re-validates against
-    // the live variant list before installing anything.
+    if (!r.ok())
+        return false;
     const int size = static_cast<int>(calibration.profiles.size());
     if (calibration.selected < 0 || calibration.selected >= size)
-        return std::nullopt;
+        return false;
     for (const int index : calibration.fallback_order) {
         if (index < 0 || index >= size)
-            return std::nullopt;
+            return false;
     }
+    return true;
+}
+
+std::vector<std::uint8_t>
+encode_calibration(const StoreKey& key,
+                   const CalibrationArtifact& calibration)
+{
+    ByteWriter w;
+    w.str(key.canonical());
+    encode_calibration_state(w, calibration);
+    return w.bytes();
+}
+
+std::optional<CalibrationArtifact>
+decode_calibration(const StoreKey& key,
+                   const std::vector<std::uint8_t>& payload)
+{
+    ByteReader r(payload.data(), payload.size());
+    if (r.str() != key.canonical())
+        return std::nullopt;
+    CalibrationArtifact calibration;
+    if (!decode_calibration_state(r, calibration) || !r.at_end())
+        return std::nullopt;
     return calibration;
 }
 
+std::vector<std::uint8_t>
+encode_pipeline_calibration(const StoreKey& key,
+                            const PipelineCalibrationArtifact& artifact)
+{
+    ByteWriter w;
+    w.str(key.canonical());
+    w.u64(artifact.stage_names.size());
+    for (const auto& name : artifact.stage_names)
+        w.str(name);
+    w.u64(artifact.configs.size());
+    for (const auto& config : artifact.configs) {
+        w.u64(config.size());
+        for (const auto& label : config)
+            w.str(label);
+    }
+    encode_calibration_state(w, artifact.calibration);
+    w.f64(artifact.toq);
+    w.str(artifact.metric);
+    return w.bytes();
+}
+
+/// Body shared by the store's keyed load and the inspection tool's
+/// unkeyed decode: @p r is positioned just past the canonical key.
+std::optional<PipelineCalibrationArtifact>
+decode_pipeline_calibration_body(ByteReader& r)
+{
+    PipelineCalibrationArtifact artifact;
+    const std::size_t name_count = r.count(1);
+    artifact.stage_names.resize(name_count);
+    for (auto& name : artifact.stage_names)
+        name = r.str();
+    const std::size_t config_count = r.count(1);
+    artifact.configs.resize(config_count);
+    for (auto& config : artifact.configs) {
+        const std::size_t label_count = r.count(1);
+        config.resize(label_count);
+        for (auto& label : config)
+            label = r.str();
+        if (config.size() != artifact.stage_names.size())
+            return std::nullopt;
+    }
+    if (!decode_calibration_state(r, artifact.calibration))
+        return std::nullopt;
+    artifact.toq = r.f64();
+    artifact.metric = r.str();
+    if (!r.at_end())
+        return std::nullopt;
+    // Every joint config must back one calibration profile and the
+    // mandatory all-exact config must exist.
+    if (artifact.configs.empty() ||
+        artifact.configs.size() != artifact.calibration.profiles.size())
+        return std::nullopt;
+    return artifact;
+}
+
+std::optional<PipelineCalibrationArtifact>
+decode_pipeline_calibration(const StoreKey& key,
+                            const std::vector<std::uint8_t>& payload)
+{
+    ByteReader r(payload.data(), payload.size());
+    if (r.str() != key.canonical())
+        return std::nullopt;
+    return decode_pipeline_calibration_body(r);
+}
+
 }  // namespace
+
+std::optional<PipelineCalibrationArtifact>
+inspect_pipeline_calibration(const std::vector<std::uint8_t>& payload,
+                             std::string* key_out)
+{
+    ByteReader r(payload.data(), payload.size());
+    const std::string key = r.str();
+    if (!r.ok())
+        return std::nullopt;
+    if (key_out)
+        *key_out = key;
+    return decode_pipeline_calibration_body(r);
+}
 
 // ---- StoreKey --------------------------------------------------------------
 
@@ -411,6 +506,27 @@ ArtifactStore::save_calibration(const StoreKey& key,
 {
     return save_payload(key, ArtifactKind::Calibration,
                         encode_calibration(key, calibration));
+}
+
+std::optional<PipelineCalibrationArtifact>
+ArtifactStore::load_pipeline_calibration(const StoreKey& key) const
+{
+    const auto payload =
+        load_payload(key, ArtifactKind::PipelineCalibration);
+    if (!payload)
+        return std::nullopt;
+    auto artifact = decode_pipeline_calibration(key, *payload);
+    (artifact ? hits_ : corrupt_rejects_)
+        .fetch_add(1, std::memory_order_relaxed);
+    return artifact;
+}
+
+bool
+ArtifactStore::save_pipeline_calibration(
+    const StoreKey& key, const PipelineCalibrationArtifact& artifact) const
+{
+    return save_payload(key, ArtifactKind::PipelineCalibration,
+                        encode_pipeline_calibration(key, artifact));
 }
 
 std::vector<ArtifactStore::Entry>

@@ -70,6 +70,21 @@ struct StoreStats {
 /// Tuner::restore_calibration() re-validates and installs.
 using CalibrationArtifact = runtime::CalibrationState;
 
+/// A persisted joint pipeline calibration: the searched plan (per-stage
+/// member labels of every surviving joint config, index-aligned with the
+/// calibration's profiles) plus the tuner state over it.  Restoring one
+/// rebuilds the joint variant list without any cost probes and installs
+/// the calibration — a warm start skips the joint search entirely.
+struct PipelineCalibrationArtifact {
+    std::vector<std::string> stage_names;
+    /// configs[i][s] = member label of stage s in joint config i;
+    /// configs[0] is the all-exact config.
+    std::vector<std::vector<std::string>> configs;
+    runtime::CalibrationState calibration;
+    double toq = 0.0;
+    std::string metric;
+};
+
 class ArtifactStore {
   public:
     /// Opens (creating if needed) the store at @p dir.  A directory that
@@ -90,6 +105,12 @@ class ArtifactStore {
     load_calibration(const StoreKey& key) const;
     bool save_calibration(const StoreKey& key,
                           const CalibrationArtifact& calibration) const;
+
+    std::optional<PipelineCalibrationArtifact>
+    load_pipeline_calibration(const StoreKey& key) const;
+    bool save_pipeline_calibration(
+        const StoreKey& key,
+        const PipelineCalibrationArtifact& artifact) const;
 
     /// One store file, as seen by list()/verify/prune.
     struct Entry {
@@ -144,5 +165,12 @@ class ArtifactStore {
 /// the module with @p fingerprint.
 StoreKey program_key(std::uint64_t fingerprint,
                      const std::string& kernel_name);
+
+/// Decode a pipeline-calibration payload without knowing its key (the
+/// embedded canonical key is reported through @p key_out instead of
+/// verified) — for inspection tools rendering arbitrary records.
+std::optional<PipelineCalibrationArtifact>
+inspect_pipeline_calibration(const std::vector<std::uint8_t>& payload,
+                             std::string* key_out);
 
 }  // namespace paraprox::store

@@ -35,6 +35,10 @@ enum class ArtifactKind : std::uint32_t {
     Program = 1,      ///< vm::Program bytecode (canonical + fast streams).
     Table = 2,        ///< memo::LookupTable + TableConfig bit assignment.
     Calibration = 3,  ///< VariantProfile set + fallback order + selection.
+    /// Joint pipeline calibration: stage names, the per-stage member
+    /// labels of every surviving joint config, and the tuner state over
+    /// them.  Restoring one skips the joint search entirely.
+    PipelineCalibration = 4,
 };
 
 /// FNV-1a over @p size bytes, seeded so it can be chained.

@@ -191,8 +191,12 @@ process_block(Block& block, MergeContext& context)
         }
 
         // Merged loads directly inside this statement (not inside nested
-        // blocks — those were just handled).
+        // blocks — those were just handled).  Kept in expression-visit
+        // order: which load materializes a representative's temp decides
+        // the temp's index expression, so iterating a pointer-keyed map
+        // here would make the generated kernel depend on heap layout.
         std::map<const Load*, Offset> merged;
+        std::vector<std::pair<const Load*, Offset>> merge_order;
         const bool is_compound = stmt->kind() == StmtKind::If ||
                                  stmt->kind() == StmtKind::For ||
                                  stmt->kind() == StmtKind::Block;
@@ -204,14 +208,16 @@ process_block(Block& block, MergeContext& context)
                 auto it = context.offsets.find(load);
                 if (it == context.offsets.end())
                     return;
-                merged[load] = representative(it->second, *context.group,
-                                              context.scheme, context.rd);
+                const Offset rep = representative(
+                    it->second, *context.group, context.scheme, context.rd);
+                if (merged.emplace(load, rep).second)
+                    merge_order.emplace_back(load, rep);
             });
         }
 
         if (!merged.empty()) {
             // Create temps for representatives not yet live.
-            for (const auto& [load, rep] : merged) {
+            for (const auto& [load, rep] : merge_order) {
                 if (live.count(rep))
                     continue;
                 const Offset own = context.offsets.at(load);

@@ -46,8 +46,57 @@ kind_name(ArtifactKind kind)
         return "table";
     case ArtifactKind::Calibration:
         return "calibration";
+    case ArtifactKind::PipelineCalibration:
+        return "pipeline";
     }
     return "unknown";
+}
+
+/// Pipeline-calibration payloads carry the whole joint plan; print the
+/// chain structure, every surviving joint config, and the end-to-end
+/// selection so operators can audit what a warm start will restore.
+void
+print_pipeline_calibration(const std::vector<std::uint8_t>& payload)
+{
+    std::string key;
+    const auto artifact =
+        paraprox::store::inspect_pipeline_calibration(payload, &key);
+    if (!artifact)
+        return;
+    std::printf("key:      %s\n", key.c_str());
+    std::printf("metric:   %s\n", artifact->metric.c_str());
+    std::printf("toq:      %.2f%% (end-to-end, final stage output)\n",
+                artifact->toq);
+    std::printf("stages:  ");
+    for (const auto& stage : artifact->stage_names)
+        std::printf(" %s", stage.c_str());
+    std::printf("\n");
+    const auto& calibration = artifact->calibration;
+    for (std::size_t i = 0; i < artifact->configs.size(); ++i) {
+        const bool selected =
+            static_cast<std::size_t>(calibration.selected) == i;
+        std::string joint;
+        for (std::size_t s = 0; s < artifact->configs[i].size(); ++s) {
+            if (s > 0)
+                joint += " | ";
+            joint += artifact->stage_names.size() == artifact->configs[i].size()
+                         ? artifact->stage_names[s] + "=" +
+                               artifact->configs[i][s]
+                         : artifact->configs[i][s];
+        }
+        const paraprox::runtime::VariantProfile* profile =
+            i < calibration.profiles.size() ? &calibration.profiles[i]
+                                            : nullptr;
+        if (profile) {
+            std::printf("config:   %c %-60s q=%.2f%% speedup=%.2fx%s\n",
+                        selected ? '*' : ' ', joint.c_str(),
+                        profile->quality, profile->speedup,
+                        profile->meets_toq ? "" : " (below TOQ)");
+        } else {
+            std::printf("config:   %c %s\n", selected ? '*' : ' ',
+                        joint.c_str());
+        }
+    }
 }
 
 int
@@ -86,14 +135,18 @@ cmd_inspect(const std::filesystem::path& file)
                 static_cast<std::uintmax_t>(info.payload_size));
     std::printf("verdict:  %s\n", info.valid ? "ok" : "INVALID");
     if (info.valid) {
-        // Every payload leads with its canonical key string.
         if (const auto payload =
                 paraprox::store::decode_record(*bytes, info.kind)) {
-            paraprox::store::ByteReader reader(payload->data(),
-                                              payload->size());
-            const std::string key = reader.str();
-            if (reader.ok())
-                std::printf("key:      %s\n", key.c_str());
+            if (info.kind == ArtifactKind::PipelineCalibration) {
+                print_pipeline_calibration(*payload);
+            } else {
+                // Every payload leads with its canonical key string.
+                paraprox::store::ByteReader reader(payload->data(),
+                                                  payload->size());
+                const std::string key = reader.str();
+                if (reader.ok())
+                    std::printf("key:      %s\n", key.c_str());
+            }
         }
     }
     return info.valid ? 0 : 1;
