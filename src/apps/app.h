@@ -8,11 +8,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "device/device_model.h"
 #include "ir/function.h"
+#include "runtime/session.h"
 #include "runtime/tuner.h"
 
 namespace paraprox::apps {
@@ -41,6 +43,23 @@ class Application {
     /// Construction may be expensive (lookup-table search, bit tuning).
     virtual std::vector<runtime::Variant>
     variants(const device::DeviceModel& device) const = 0;
+
+    /// The exact kernel's compiled session plus the launch plan the
+    /// variants run under — the handle variant axes built *outside* the
+    /// application need (runtime::build_data_tier enumerates precision
+    /// plans over it).  Applications whose serving unit is not a single
+    /// kernel launch (the multi-kernel convolution pipeline, the scan
+    /// cascade) return nullopt: the data tier does not apply to them.
+    /// The session references the app's module; keep the app alive.
+    struct Setup {
+        std::shared_ptr<runtime::KernelSession> session;
+        core::LaunchPlan plan;
+    };
+    virtual std::optional<Setup>
+    setup(const device::DeviceModel&) const
+    {
+        return std::nullopt;
+    }
 
     /// Workload scale multiplier (1 = benchmark default).  Tests use
     /// smaller scales.  Affects inputs generated after the call.

@@ -51,8 +51,8 @@ class MapApp final : public Application {
     const ir::Module& module() const override { return module_; }
     void set_scale(double scale) override { scale_ = scale; }
 
-    std::vector<runtime::Variant>
-    variants(const device::DeviceModel& device) const override
+    std::optional<Setup>
+    setup(const device::DeviceModel& device) const override
     {
         core::CompileOptions options;
         options.toq = 90.0;
@@ -62,17 +62,27 @@ class MapApp final : public Application {
             -> std::optional<std::vector<std::vector<float>>> {
             return training(callee);
         };
-        runtime::KernelSession session(module_, spec_.kernel, options);
 
+        Setup out;
+        out.session = std::make_shared<runtime::KernelSession>(
+            module_, spec_.kernel, options);
         const int n = element_count();
-        core::LaunchPlan plan;
-        plan.config = LaunchConfig::linear(n, spec_.local_size);
-        plan.output_buffer = spec_.output_name;
-        plan.bind_inputs = [bind = spec_.bind_inputs, n](
-                               std::uint64_t seed, ArgPack& args,
-                               std::vector<std::unique_ptr<Buffer>>&
-                                   holder) { bind(seed, n, args, holder); };
-        return session.variants(plan);
+        out.plan.config = LaunchConfig::linear(n, spec_.local_size);
+        out.plan.output_buffer = spec_.output_name;
+        out.plan.bind_inputs = [bind = spec_.bind_inputs, n](
+                                   std::uint64_t seed, ArgPack& args,
+                                   std::vector<std::unique_ptr<Buffer>>&
+                                       holder) {
+            bind(seed, n, args, holder);
+        };
+        return out;
+    }
+
+    std::vector<runtime::Variant>
+    variants(const device::DeviceModel& device) const override
+    {
+        const auto s = setup(device);
+        return s->session->variants(s->plan);
     }
 
   private:

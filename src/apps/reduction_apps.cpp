@@ -47,8 +47,8 @@ class ReductionApp final : public Application {
     const ir::Module& module() const override { return module_; }
     void set_scale(double scale) override { scale_ = scale; }
 
-    std::vector<runtime::Variant>
-    variants(const device::DeviceModel& device) const override
+    std::optional<Setup>
+    setup(const device::DeviceModel& device) const override
     {
         core::CompileOptions options;
         options.toq = 90.0;
@@ -59,23 +59,33 @@ class ReductionApp final : public Application {
         };
         options.skip_rates = spec_.skips;
         options.reduction_adjust = spec_.adjust;
-        runtime::KernelSession session(module_, spec_.kernel, options);
 
+        Setup out;
+        out.session = std::make_shared<runtime::KernelSession>(
+            module_, spec_.kernel, options);
         const double scale = scale_;
-        core::LaunchPlan plan;
         {
             // The launch geometry depends only on the scale, so one dry
             // bind discovers it.
             ArgPack args;
             std::vector<std::unique_ptr<Buffer>> holder;
-            plan.config = spec_.bind_inputs(0, scale, args, holder);
+            out.plan.config = spec_.bind_inputs(0, scale, args, holder);
         }
-        plan.output_buffer = "out";
-        plan.bind_inputs = [bind = spec_.bind_inputs, scale](
-                               std::uint64_t seed, ArgPack& args,
-                               std::vector<std::unique_ptr<Buffer>>&
-                                   holder) { bind(seed, scale, args, holder); };
-        return session.variants(plan);
+        out.plan.output_buffer = "out";
+        out.plan.bind_inputs = [bind = spec_.bind_inputs, scale](
+                                   std::uint64_t seed, ArgPack& args,
+                                   std::vector<std::unique_ptr<Buffer>>&
+                                       holder) {
+            bind(seed, scale, args, holder);
+        };
+        return out;
+    }
+
+    std::vector<runtime::Variant>
+    variants(const device::DeviceModel& device) const override
+    {
+        const auto s = setup(device);
+        return s->session->variants(s->plan);
     }
 
   private:

@@ -55,8 +55,8 @@ class StencilApp final : public Application {
     const ir::Module& module() const override { return module_; }
     void set_scale(double scale) override { scale_ = scale; }
 
-    std::vector<runtime::Variant>
-    variants(const device::DeviceModel& device) const override
+    std::optional<Setup>
+    setup(const device::DeviceModel& device) const override
     {
         // rd=1 sweep: the driver emits row/column (agg 1) and center
         // (agg 2) schemes for the detected tile.
@@ -65,18 +65,28 @@ class StencilApp final : public Application {
         options.device = device;
         options.training = no_training;
         options.reaching_distances = {1};
-        runtime::KernelSession session(module_, spec_.kernel, options);
 
+        Setup out;
+        out.session = std::make_shared<runtime::KernelSession>(
+            module_, spec_.kernel, options);
         const int w = dim(spec_.width);
         const int h = dim(spec_.height);
-        core::LaunchPlan plan;
-        plan.config = LaunchConfig::grid2d(w - 2, h - 2, 16, 4);
-        plan.output_buffer = "out";
-        plan.bind_inputs = [bind = spec_.bind_inputs, w, h](
-                               std::uint64_t seed, ArgPack& args,
-                               std::vector<std::unique_ptr<Buffer>>&
-                                   holder) { bind(seed, w, h, args, holder); };
-        return session.variants(plan);
+        out.plan.config = LaunchConfig::grid2d(w - 2, h - 2, 16, 4);
+        out.plan.output_buffer = "out";
+        out.plan.bind_inputs = [bind = spec_.bind_inputs, w, h](
+                                   std::uint64_t seed, ArgPack& args,
+                                   std::vector<std::unique_ptr<Buffer>>&
+                                       holder) {
+            bind(seed, w, h, args, holder);
+        };
+        return out;
+    }
+
+    std::vector<runtime::Variant>
+    variants(const device::DeviceModel& device) const override
+    {
+        const auto s = setup(device);
+        return s->session->variants(s->plan);
     }
 
   private:

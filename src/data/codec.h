@@ -1,0 +1,305 @@
+/// @file
+/// Storage codecs for the approximate data tier: lossy fixed-width
+/// encodings of fp32 elements that trade mantissa (or dynamic range) for
+/// memory footprint.  A packed buffer stores `storage_bytes(codec)` bytes
+/// per logical element instead of 4; the VM decodes on Ld and encodes on
+/// St, so kernels see ordinary floats while the memory system moves fewer
+/// bytes (Akiyama's approximate-memory data partitioning, arXiv
+/// 2004.01637; QDOT's bounded-error mixed precision, arXiv 2105.00115).
+///
+/// This header is intentionally dependency-free (and header-only) so the
+/// VM hot loop can inline the codec paths without the vm library linking
+/// against paraprox_data; everything stateful (PackedBuffer, safety
+/// analysis, plan enumeration) lives in the data library proper.
+///
+/// Codec specifications (all conversions are defined for every input bit
+/// pattern — no UB — and round-trip deterministically):
+///
+///   Fp24  sign + 8-bit exponent + 15-bit mantissa: fp32 with the low 8
+///         mantissa bits dropped, round-to-nearest-even, stored as 3
+///         bytes.  Finite values that would round up to infinity
+///         saturate to the largest finite fp24; NaN stays NaN.
+///   Bf16  bfloat16 (top half of fp32), round-to-nearest-even.  Finite
+///         overflow saturates to +-3.3895e38 (0x7f7f); NaN stays NaN.
+///   Fp16  IEEE binary16, round-to-nearest-even, denormals supported.
+///         Finite values beyond +-65504 saturate to +-65504 (not Inf,
+///         so packing cannot manufacture non-finite outputs from finite
+///         data); true +-Inf is preserved; NaN stays NaN.
+///   Int8  affine quantization: stored q in [-128, 127] approximates
+///         real ~= scale * q + zero.  Encoding clamps to the
+///         representable range; NaN encodes as q = 0 (decoding to
+///         `zero`), +Inf as 127, -Inf as -128.  `scale` must be finite
+///         and > 0 (PackedBuffer enforces).
+///
+/// Concurrency: elements of all codecs occupy disjoint byte ranges, and
+/// every encode/decode touches only its own element's bytes (memcpy on
+/// the unsigned-char view of the word array), so concurrent work-items
+/// writing *different* elements never race even when those elements share
+/// a 32-bit storage word.
+
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace paraprox::data {
+
+/// Storage precision of one buffer.  Values are part of the on-disk
+/// precision-calibration format; do not renumber.
+enum class Codec : std::uint8_t {
+    Exact = 0,  ///< fp32 words, bit-for-bit (the default tier).
+    Fp24 = 1,   ///< 3-byte dropped-mantissa fp32.
+    Bf16 = 2,   ///< 2-byte bfloat16.
+    Fp16 = 3,   ///< 2-byte IEEE binary16.
+    Int8 = 4,   ///< 1-byte affine-quantized.
+};
+
+constexpr int kNumCodecs = 5;
+
+/// Bytes one logical element occupies in packed storage.
+constexpr int
+storage_bytes(Codec codec)
+{
+    switch (codec) {
+      case Codec::Exact: return 4;
+      case Codec::Fp24: return 3;
+      case Codec::Bf16: return 2;
+      case Codec::Fp16: return 2;
+      case Codec::Int8: return 1;
+    }
+    return 4;
+}
+
+/// 32-bit words needed to store @p count packed elements (the backing
+/// allocation stays a word array so views keep a std::int32_t* base).
+constexpr std::int64_t
+packed_words(Codec codec, std::int64_t count)
+{
+    const std::int64_t bytes = count * storage_bytes(codec);
+    return (bytes + 3) / 4;
+}
+
+constexpr const char*
+to_string(Codec codec)
+{
+    switch (codec) {
+      case Codec::Exact: return "fp32";
+      case Codec::Fp24: return "fp24";
+      case Codec::Bf16: return "bf16";
+      case Codec::Fp16: return "fp16";
+      case Codec::Int8: return "int8";
+    }
+    return "?";
+}
+
+/// How aggressively a codec degrades storage, for variant ordering: one
+/// rank per dropped byte, with int8's range clamp ranked past fp16.
+constexpr int
+codec_rank(Codec codec)
+{
+    switch (codec) {
+      case Codec::Exact: return 0;
+      case Codec::Fp24: return 1;
+      case Codec::Bf16: return 2;
+      case Codec::Fp16: return 3;
+      case Codec::Int8: return 4;
+    }
+    return 0;
+}
+
+namespace detail {
+
+/// Round-to-nearest-even truncation of the low @p drop bits of @p bits,
+/// saturating finite values whose round-up would overflow into the
+/// infinity encoding.  Works for any fp32-layout truncation (bf16 drops
+/// 16, fp24 drops 8).
+inline std::uint32_t
+truncate_fp32_rne(std::uint32_t bits, int drop)
+{
+    const std::uint32_t exp_mask = 0x7f800000u;
+    if ((bits & exp_mask) == exp_mask) {
+        // Inf or NaN: keep the class.  Force a kept-region mantissa bit
+        // for NaN so dropping the payload's low bits cannot turn it into
+        // an infinity.
+        if ((bits & 0x007fffffu) != 0)
+            bits |= 0x00400000u;  // quiet-NaN bit survives any truncation
+        return bits >> drop << drop;
+    }
+    const std::uint32_t keep_mask = ~std::uint32_t{0} << drop;
+    const std::uint32_t half = 1u << (drop - 1);
+    const std::uint32_t trail = bits & ~keep_mask;
+    std::uint32_t kept = bits & keep_mask;
+    // Ties to even: round up when above half, or exactly half with the
+    // lowest kept bit set.
+    if (trail > half || (trail == half && (bits & (1u << drop))))
+        kept += 1u << drop;
+    if ((kept & exp_mask) == exp_mask) {
+        // A finite value rounded up into the infinity encoding: saturate
+        // to the largest finite truncated value instead (exponent 0xFE,
+        // every kept mantissa bit set).
+        kept = (bits & 0x80000000u) | (0x7f7fffffu & keep_mask);
+    }
+    return kept;
+}
+
+/// fp32 -> IEEE binary16 bits, round-to-nearest-even, finite saturation.
+inline std::uint16_t
+fp32_to_fp16(float value)
+{
+    const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+    const std::uint32_t sign = (bits >> 16) & 0x8000u;
+    const std::uint32_t abs = bits & 0x7fffffffu;
+
+    if (abs >= 0x7f800000u) {
+        // Inf / NaN.
+        if (abs > 0x7f800000u)
+            return static_cast<std::uint16_t>(sign | 0x7e00u);  // qNaN
+        return static_cast<std::uint16_t>(sign | 0x7c00u);      // +-Inf
+    }
+    // Largest finite fp16 is 65504 = 0x477fe000 in fp32; anything that
+    // would round beyond it saturates to the max finite half.
+    if (abs >= 0x477ff000u)
+        return static_cast<std::uint16_t>(sign | 0x7bffu);
+    if (abs < 0x33000001u) {
+        // Below half the smallest subnormal (2^-25): rounds to +-0.
+        return static_cast<std::uint16_t>(sign);
+    }
+    if (abs < 0x38800000u) {
+        // Subnormal half: value * 2^24 is an exact integer + fraction in
+        // [1, 2^11); round it to nearest even.
+        const float scaled =
+            std::bit_cast<float>(abs) * 16777216.0f;  // 2^24
+        const std::uint32_t q = static_cast<std::uint32_t>(scaled);
+        const float rem = scaled - static_cast<float>(q);
+        std::uint32_t mant = q;
+        if (rem > 0.5f || (rem == 0.5f && (q & 1u)))
+            ++mant;
+        return static_cast<std::uint16_t>(sign | mant);
+    }
+    // Normal range: rebias exponent (127 -> 15) and round 23 -> 10
+    // mantissa bits to nearest even.
+    const std::uint32_t exp = abs >> 23;
+    const std::uint32_t mant = abs & 0x007fffffu;
+    std::uint32_t half = ((exp - 112u) << 10) | (mant >> 13);
+    const std::uint32_t trail = mant & 0x1fffu;
+    if (trail > 0x1000u || (trail == 0x1000u && (half & 1u)))
+        ++half;  // may carry into the exponent; 0x477ff000 guard bounds it
+    return static_cast<std::uint16_t>(sign | half);
+}
+
+/// IEEE binary16 bits -> fp32.
+inline float
+fp16_to_fp32(std::uint16_t half)
+{
+    const std::uint32_t sign = (static_cast<std::uint32_t>(half) & 0x8000u)
+                               << 16;
+    const std::uint32_t exp = (half >> 10) & 0x1fu;
+    const std::uint32_t mant = half & 0x3ffu;
+    if (exp == 0) {
+        if (mant == 0)
+            return std::bit_cast<float>(sign);  // +-0
+        // Subnormal: +-mant * 2^-24 (every such value is exact in fp32).
+        const float magnitude =
+            static_cast<float>(mant) * 5.9604644775390625e-8f;
+        return sign != 0 ? -magnitude : magnitude;
+    }
+    if (exp == 0x1fu) {
+        return std::bit_cast<float>(sign | 0x7f800000u |
+                                    (mant != 0 ? (mant << 13) | 0x00400000u
+                                               : 0u));
+    }
+    return std::bit_cast<float>(sign | ((exp + 112u) << 23) | (mant << 13));
+}
+
+}  // namespace detail
+
+/// Affine parameters for Codec::Int8: real ~= scale * q + zero.
+struct QuantParams {
+    float scale = 1.0f;
+    float zero = 0.0f;
+};
+
+/// Encode @p value under @p codec.  Returns the stored bit pattern in the
+/// low `8 * storage_bytes(codec)` bits (Exact returns the fp32 bits).
+inline std::uint32_t
+encode_value(Codec codec, float value, const QuantParams& quant)
+{
+    switch (codec) {
+      case Codec::Exact:
+        return std::bit_cast<std::uint32_t>(value);
+      case Codec::Fp24:
+        return detail::truncate_fp32_rne(std::bit_cast<std::uint32_t>(value),
+                                         8) >> 8;
+      case Codec::Bf16:
+        return detail::truncate_fp32_rne(std::bit_cast<std::uint32_t>(value),
+                                         16) >> 16;
+      case Codec::Fp16:
+        return detail::fp32_to_fp16(value);
+      case Codec::Int8: {
+        if (std::isnan(value))
+            return 0;
+        // Clamp in the float domain before any float->int conversion so
+        // out-of-range and +-Inf inputs saturate instead of invoking UB.
+        float q = (value - quant.zero) / quant.scale;
+        q = std::nearbyintf(q);
+        if (!(q >= -128.0f))  // catches -Inf and NaN-free underflow
+            q = -128.0f;
+        if (q > 127.0f)
+            q = 127.0f;
+        return static_cast<std::uint32_t>(
+                   static_cast<std::int32_t>(q)) & 0xffu;
+      }
+    }
+    return std::bit_cast<std::uint32_t>(value);
+}
+
+/// Decode the stored bit pattern @p stored (low bits) back to fp32.
+inline float
+decode_value(Codec codec, std::uint32_t stored, const QuantParams& quant)
+{
+    switch (codec) {
+      case Codec::Exact:
+        return std::bit_cast<float>(stored);
+      case Codec::Fp24:
+        return std::bit_cast<float>(stored << 8);
+      case Codec::Bf16:
+        return std::bit_cast<float>(stored << 16);
+      case Codec::Fp16:
+        return detail::fp16_to_fp32(static_cast<std::uint16_t>(stored));
+      case Codec::Int8: {
+        const auto q = static_cast<std::int32_t>(
+            static_cast<std::int8_t>(stored & 0xffu));
+        return quant.scale * static_cast<float>(q) + quant.zero;
+      }
+    }
+    return std::bit_cast<float>(stored);
+}
+
+/// Read element @p index of a packed array based at @p words.
+inline float
+load_element(Codec codec, const std::int32_t* words, std::int64_t index,
+             const QuantParams& quant)
+{
+    const int width = storage_bytes(codec);
+    const auto* bytes = reinterpret_cast<const unsigned char*>(words) +
+                        index * width;
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, bytes, static_cast<std::size_t>(width));
+    return decode_value(codec, stored, quant);
+}
+
+/// Write element @p index of a packed array based at @p words.  Touches
+/// only the element's own bytes (see the concurrency note above).
+inline void
+store_element(Codec codec, std::int32_t* words, std::int64_t index,
+              float value, const QuantParams& quant)
+{
+    const int width = storage_bytes(codec);
+    auto* bytes = reinterpret_cast<unsigned char*>(words) + index * width;
+    const std::uint32_t stored = encode_value(codec, value, quant);
+    std::memcpy(bytes, &stored, static_cast<std::size_t>(width));
+}
+
+}  // namespace paraprox::data

@@ -1,0 +1,127 @@
+#include "data/packed_buffer.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "support/error.h"
+#include "support/faultinject.h"
+
+namespace paraprox::data {
+
+namespace {
+
+/// Deterministic storage corruption for the data.bitflip fault site: flip
+/// the two highest stored bits (sign + a high exponent bit for the float
+/// codecs, +-64/+-192 quanta for int8) of every other element — strong
+/// enough to drag any codec's quality below a 90% TOQ.  Decoding any bit
+/// pattern is well-defined for every codec, so the corruption can only
+/// degrade output quality — it cannot trap or crash; the serving tier's
+/// shadow monitor is what must catch it.
+void
+flip_bits(Codec codec, std::int32_t* words, std::int64_t count)
+{
+    const int width = storage_bytes(codec);
+    auto* bytes = reinterpret_cast<unsigned char*>(words);
+    for (std::int64_t i = 0; i < count; i += 2) {
+        unsigned char* top = bytes + i * width + (width - 1);
+        *top = static_cast<unsigned char>(*top ^ 0xc0u);
+    }
+}
+
+}  // namespace
+
+PackedBuffer::PackedBuffer(Codec codec, std::int64_t count, QuantParams quant)
+    : codec_(codec), quant_(quant), count_(count),
+      words_(static_cast<std::size_t>(packed_words(codec, count)), 0)
+{
+    PARAPROX_CHECK(count >= 0, "negative packed buffer size");
+    if (codec == Codec::Int8) {
+        PARAPROX_CHECK(std::isfinite(quant.scale) && quant.scale > 0.0f,
+                       "int8 packing requires a finite positive scale");
+        PARAPROX_CHECK(std::isfinite(quant.zero),
+                       "int8 packing requires a finite zero point");
+    }
+}
+
+PackedBuffer
+PackedBuffer::pack(Codec codec, const std::vector<float>& values,
+                   QuantParams quant, std::string_view fault_context)
+{
+    PackedBuffer buffer(codec, static_cast<std::int64_t>(values.size()),
+                        quant);
+    buffer.repack(values, fault_context);
+    return buffer;
+}
+
+void
+PackedBuffer::repack(const std::vector<float>& values,
+                     std::string_view fault_context)
+{
+    PARAPROX_CHECK(static_cast<std::int64_t>(values.size()) == count_,
+                   "repack size mismatch");
+    for (std::int64_t i = 0; i < count_; ++i)
+        store_element(codec_, words_.data(), i, values[i], quant_);
+    if (fault::fire("data.bitflip", fault_context))
+        flip_bits(codec_, words_.data(), count_);
+}
+
+std::vector<float>
+PackedBuffer::unpack() const
+{
+    std::vector<float> values(static_cast<std::size_t>(count_));
+    for (std::int64_t i = 0; i < count_; ++i)
+        values[i] = load_element(codec_, words_.data(), i, quant_);
+    return values;
+}
+
+float
+PackedBuffer::get(std::int64_t index) const
+{
+    PARAPROX_CHECK(index >= 0 && index < count_,
+                   "packed buffer index out of range");
+    return load_element(codec_, words_.data(), index, quant_);
+}
+
+void
+PackedBuffer::set(std::int64_t index, float value)
+{
+    PARAPROX_CHECK(index >= 0 && index < count_,
+                   "packed buffer index out of range");
+    store_element(codec_, words_.data(), index, value, quant_);
+}
+
+QuantParams
+PackedBuffer::fit_quant(const std::vector<float>& values)
+{
+    float lo = 0.0f;
+    float hi = 0.0f;
+    bool seen = false;
+    for (float v : values) {
+        if (!std::isfinite(v))
+            continue;
+        if (!seen) {
+            lo = hi = v;
+            seen = true;
+        } else {
+            lo = std::fmin(lo, v);
+            hi = std::fmax(hi, v);
+        }
+    }
+    QuantParams quant;
+    if (!seen) {
+        return quant;  // all non-finite (or empty): identity params
+    }
+    quant.zero = lo + (hi - lo) * 0.5f;
+    // 254 interior steps keep +-127 inside the finite range even after
+    // rounding; a degenerate (single-point) range keeps scale 1.
+    const float span = hi - lo;
+    if (std::isfinite(span) && span > 0.0f)
+        quant.scale = span / 254.0f;
+    if (!(std::isfinite(quant.scale) && quant.scale > 0.0f))
+        quant.scale = 1.0f;
+    if (!std::isfinite(quant.zero))
+        quant.zero = 0.0f;
+    return quant;
+}
+
+}  // namespace paraprox::data

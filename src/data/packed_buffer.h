@@ -1,0 +1,81 @@
+/// @file
+/// PackedBuffer: a buffer whose elements are stored under a lossy codec
+/// (data/codec.h) but which presents the same vm::BufferView load/store
+/// contract as exec::Buffer — the VM decodes on Ld and encodes on St, so
+/// kernels run unmodified while the modeled memory system moves
+/// storage_bytes(codec)/4 of the exact traffic.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "data/codec.h"
+#include "vm/vm.h"
+
+namespace paraprox::data {
+
+/// Lossily-packed device buffer for F32 elements.
+///
+/// The `data.bitflip` fault site lives on the (re)pack path: chaos tests
+/// arm it to flip storage bits after packing, proving that corrupt packed
+/// data degrades output quality (caught by the serving tier's shadow
+/// monitor) instead of crashing or trapping.
+class PackedBuffer {
+  public:
+    /// Zero-filled packed buffer of @p count logical elements.  For
+    /// Codec::Int8, @p quant.scale must be finite and > 0.
+    PackedBuffer(Codec codec, std::int64_t count, QuantParams quant = {});
+
+    /// Pack @p values (one per logical element).  @p fault_context names
+    /// the buffer for the data.bitflip site's match= filter.
+    static PackedBuffer pack(Codec codec, const std::vector<float>& values,
+                             QuantParams quant = {},
+                             std::string_view fault_context = {});
+
+    /// Re-encode @p values into the existing storage (size must match).
+    void repack(const std::vector<float>& values,
+                std::string_view fault_context = {});
+
+    std::vector<float> unpack() const;
+
+    float get(std::int64_t index) const;
+    void set(std::int64_t index, float value);
+
+    Codec codec() const { return codec_; }
+    std::int64_t size() const { return count_; }
+    const QuantParams& quant() const { return quant_; }
+
+    /// Storage footprint in bytes (what the memory system would move).
+    std::int64_t
+    storage_bytes_total() const
+    {
+        return count_ * storage_bytes(codec_);
+    }
+
+    vm::BufferView
+    view()
+    {
+        vm::BufferView v;
+        v.data = words_.data();
+        v.size = count_;
+        v.codec = codec_;
+        v.quant = quant_;
+        return v;
+    }
+
+    /// Affine int8 parameters covering the finite values of @p values:
+    /// zero at the range midpoint, scale spanning the range over the 254
+    /// interior steps.  Degenerate ranges (empty, all non-finite, or a
+    /// single point) get scale 1 so the params are always valid.
+    static QuantParams fit_quant(const std::vector<float>& values);
+
+  private:
+    Codec codec_;
+    QuantParams quant_;
+    std::int64_t count_;
+    std::vector<std::int32_t> words_;
+};
+
+}  // namespace paraprox::data

@@ -1,0 +1,243 @@
+#include "data/safety.h"
+
+#include <cstdint>
+
+#include "support/error.h"
+
+namespace paraprox::data {
+
+namespace {
+
+using vm::Instr;
+using vm::Opcode;
+
+/// Taint sets are slot bitmasks; kernels have well under 64 buffer params.
+using Taint = std::uint64_t;
+
+bool
+is_atomic(Opcode op)
+{
+    switch (op) {
+      case Opcode::AtomAdd:
+      case Opcode::AtomMin:
+      case Opcode::AtomMax:
+      case Opcode::AtomInc:
+      case Opcode::AtomAnd:
+      case Opcode::AtomOr:
+      case Opcode::AtomXor:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/// Source registers of @p instr whose *values* flow into the destination
+/// (and, for Sel, the condition — control-selected data is data).  Returns
+/// the count written into @p regs.  Ld/St/atomics are handled separately
+/// by the fixpoint because they also touch memory.
+int
+value_sources(const Instr& instr, int regs[3])
+{
+    switch (instr.op) {
+      case Opcode::Nop:
+      case Opcode::LdImm:
+      case Opcode::Gid:
+      case Opcode::Lid:
+      case Opcode::GrpId:
+      case Opcode::LSize:
+      case Opcode::NGrp:
+      case Opcode::GSize:
+      case Opcode::Jmp:
+      case Opcode::Jz:
+      case Opcode::Barrier:
+      case Opcode::Halt:
+        return 0;
+      case Opcode::Mov:
+      case Opcode::NegI:
+      case Opcode::NegF:
+      case Opcode::NotI:
+      case Opcode::IToF:
+      case Opcode::FToI:
+      case Opcode::Sqrt:
+      case Opcode::Exp:
+      case Opcode::Log:
+      case Opcode::Sin:
+      case Opcode::Cos:
+      case Opcode::Fabs:
+      case Opcode::Floor:
+      case Opcode::Lgamma:
+      case Opcode::Erf:
+        regs[0] = instr.b;
+        return 1;
+      case Opcode::Sel:
+        regs[0] = instr.b;
+        regs[1] = instr.c;
+        regs[2] = instr.d;
+        return 3;
+      default:
+        // Every remaining canonical opcode is a binary a <- f(b, c).
+        regs[0] = instr.b;
+        regs[1] = instr.c;
+        return 2;
+    }
+}
+
+/// True when @p instr writes register a (memory ops excluded; handled by
+/// the caller).
+bool
+writes_dest(const Instr& instr)
+{
+    switch (instr.op) {
+      case Opcode::Nop:
+      case Opcode::St:
+      case Opcode::Jmp:
+      case Opcode::Jz:
+      case Opcode::Barrier:
+      case Opcode::Halt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+}  // namespace
+
+const char*
+to_string(PinReason reason)
+{
+    switch (reason) {
+      case PinReason::None: return "packable";
+      case PinReason::NonFloatElem: return "non-float";
+      case PinReason::SharedSpace: return "shared";
+      case PinReason::ConstantSpace: return "constant";
+      case PinReason::AtomicTarget: return "atomic-target";
+      case PinReason::ReadWrite: return "read-write";
+      case PinReason::IndexSource: return "index-source";
+      case PinReason::TableStorage: return "table";
+    }
+    return "?";
+}
+
+std::vector<int>
+StorageSafety::packable_slots() const
+{
+    std::vector<int> slots;
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+        if (pins[i] == PinReason::None)
+            slots.push_back(static_cast<int>(i));
+    }
+    return slots;
+}
+
+StorageSafety
+analyze_storage_safety(const vm::Program& program,
+                       const std::vector<std::string>& table_buffer_names)
+{
+    const std::size_t num_slots = program.buffers.size();
+    StorageSafety safety;
+    safety.pins.assign(num_slots, PinReason::None);
+    PARAPROX_CHECK(num_slots <= 64,
+                   "storage safety analysis supports at most 64 buffers");
+
+    // Structural pins first (cheapest evidence wins the reported reason).
+    for (std::size_t slot = 0; slot < num_slots; ++slot) {
+        const auto& info = program.buffers[slot];
+        if (info.elem != ir::Scalar::F32)
+            safety.pins[slot] = PinReason::NonFloatElem;
+        else if (info.space == ir::AddrSpace::Shared)
+            safety.pins[slot] = PinReason::SharedSpace;
+        else if (info.space == ir::AddrSpace::Constant)
+            safety.pins[slot] = PinReason::ConstantSpace;
+    }
+    for (const std::string& table : table_buffer_names) {
+        for (std::size_t slot = 0; slot < num_slots; ++slot) {
+            if (program.buffers[slot].name == table &&
+                safety.pins[slot] == PinReason::None) {
+                safety.pins[slot] = PinReason::TableStorage;
+            }
+        }
+    }
+
+    // Access-pattern pins from the canonical stream.
+    std::vector<bool> loaded(num_slots, false);
+    std::vector<bool> stored(num_slots, false);
+    for (const Instr& instr : program.code) {
+        if (instr.op == Opcode::Ld) {
+            loaded[static_cast<std::size_t>(instr.imm.i)] = true;
+        } else if (instr.op == Opcode::St) {
+            stored[static_cast<std::size_t>(instr.imm.i)] = true;
+        } else if (is_atomic(instr.op)) {
+            const auto slot = static_cast<std::size_t>(instr.imm.i);
+            if (safety.pins[slot] == PinReason::None)
+                safety.pins[slot] = PinReason::AtomicTarget;
+        }
+    }
+    for (std::size_t slot = 0; slot < num_slots; ++slot) {
+        if (loaded[slot] && stored[slot] &&
+            safety.pins[slot] == PinReason::None) {
+            safety.pins[slot] = PinReason::ReadWrite;
+        }
+    }
+
+    // Index-source taint fixpoint: which slots' loaded values can reach an
+    // index operand, tracking flow through registers and through buffer
+    // round-trips.  Flow-insensitive (one taint set per register across
+    // the whole program) — conservative over any control flow, including
+    // loops, without needing a CFG.
+    std::vector<Taint> reg_taint(
+        static_cast<std::size_t>(program.num_regs), 0);
+    std::vector<Taint> mem_taint(num_slots, 0);
+    Taint index_sources = 0;
+
+    for (bool changed = true; changed;) {
+        changed = false;
+        const auto merge_into = [&changed](Taint& dst, Taint add) {
+            if ((dst | add) != dst) {
+                dst |= add;
+                changed = true;
+            }
+        };
+        for (const Instr& instr : program.code) {
+            if (instr.op == Opcode::Ld) {
+                const auto slot = static_cast<std::size_t>(instr.imm.i);
+                merge_into(index_sources,
+                           reg_taint[static_cast<std::size_t>(instr.b)]);
+                merge_into(reg_taint[static_cast<std::size_t>(instr.a)],
+                           (Taint{1} << slot) | mem_taint[slot]);
+            } else if (instr.op == Opcode::St) {
+                const auto slot = static_cast<std::size_t>(instr.imm.i);
+                merge_into(index_sources,
+                           reg_taint[static_cast<std::size_t>(instr.a)]);
+                merge_into(mem_taint[slot],
+                           reg_taint[static_cast<std::size_t>(instr.b)]);
+            } else if (is_atomic(instr.op)) {
+                const auto slot = static_cast<std::size_t>(instr.imm.i);
+                merge_into(index_sources,
+                           reg_taint[static_cast<std::size_t>(instr.b)]);
+                merge_into(mem_taint[slot],
+                           reg_taint[static_cast<std::size_t>(instr.c)]);
+                merge_into(reg_taint[static_cast<std::size_t>(instr.a)],
+                           (Taint{1} << slot) | mem_taint[slot]);
+            } else if (writes_dest(instr)) {
+                int sources[3];
+                const int n = value_sources(instr, sources);
+                Taint combined = 0;
+                for (int i = 0; i < n; ++i)
+                    combined |= reg_taint[static_cast<std::size_t>(
+                        sources[i])];
+                merge_into(reg_taint[static_cast<std::size_t>(instr.a)],
+                           combined);
+            }
+        }
+    }
+
+    for (std::size_t slot = 0; slot < num_slots; ++slot) {
+        if ((index_sources & (Taint{1} << slot)) != 0 &&
+            safety.pins[slot] == PinReason::None) {
+            safety.pins[slot] = PinReason::IndexSource;
+        }
+    }
+    return safety;
+}
+
+}  // namespace paraprox::data

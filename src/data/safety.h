@@ -1,0 +1,78 @@
+/// @file
+/// Storage safety analysis: decides, per kernel buffer parameter, whether
+/// lossy packed storage is admissible, pinning everything else exact.
+///
+/// The rules follow Akiyama's data-partitioning criteria for approximate
+/// memory (arXiv 2004.01637): data whose *bits control addresses or
+/// control flow* — indices, scan offsets — and data that is *accumulated
+/// in place* amplify storage error unboundedly and must stay exact, while
+/// pure value streams degrade gracefully.  Concretely a buffer slot is
+/// pinned when any of:
+///
+///   NonFloatElem  the element type is not F32 — integer payloads are
+///                 typically indices, counts, or histogram bins.
+///   SharedSpace   __shared scratchpads are allocated per-group by the VM
+///                 and are not part of the data tier.
+///   ConstantSpace constant buffers back memoization tables; table storage
+///                 is already quantized by the table transform and double
+///                 approximation would compound unaudited error.
+///   AtomicTarget  an atomic RMW targets the slot — atomics CAS on whole
+///                 exact words (the VM traps otherwise).
+///   ReadWrite     the kernel both loads and stores the slot: in-place
+///                 updates and accumulators re-encode every round, so
+///                 codec error compounds per iteration instead of being a
+///                 one-shot perturbation.
+///   IndexSource   a value loaded from the slot flows (through any
+///                 arithmetic, selects, or memory round-trips) into the
+///                 index operand of a load, store, or atomic — flipping a
+///                 stored bit would redirect an address.
+///   TableStorage  the slot is named as a bound memo-table buffer.
+///
+/// IndexSource is computed by a flow-insensitive taint fixpoint over the
+/// canonical code stream (superinstructions never appear there), tracking
+/// taint through registers *and* through buffer round-trips (St then Ld).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vm/bytecode.h"
+
+namespace paraprox::data {
+
+enum class PinReason : std::uint8_t {
+    None = 0,  ///< Packable: lossy storage admissible.
+    NonFloatElem,
+    SharedSpace,
+    ConstantSpace,
+    AtomicTarget,
+    ReadWrite,
+    IndexSource,
+    TableStorage,
+};
+
+const char* to_string(PinReason reason);
+
+/// Per-slot verdicts for one program.
+struct StorageSafety {
+    std::vector<PinReason> pins;  ///< Indexed by buffer slot.
+
+    bool
+    packable(int slot) const
+    {
+        return slot >= 0 && static_cast<std::size_t>(slot) < pins.size() &&
+               pins[static_cast<std::size_t>(slot)] == PinReason::None;
+    }
+
+    std::vector<int> packable_slots() const;
+};
+
+/// Analyze @p program.  @p table_buffer_names lists buffers bound as memo
+/// tables (pinned TableStorage even if otherwise packable).
+StorageSafety
+analyze_storage_safety(const vm::Program& program,
+                       const std::vector<std::string>& table_buffer_names =
+                           {});
+
+}  // namespace paraprox::data

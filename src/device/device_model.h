@@ -115,6 +115,10 @@ struct CostBreakdown {
     double memory_cycles = 0.0;    ///< Cache/coalescing-priced traffic.
     std::uint64_t transactions = 0;        ///< Memory transactions issued.
     std::uint64_t extra_transactions = 0;  ///< Above the coalesced minimum.
+    /// Payload bytes moved through the priced memory hierarchy (global +
+    /// constant; scratchpad traffic is excluded).  Storage codecs shrink
+    /// this directly, so it is the data tier's bandwidth metric.
+    std::uint64_t payload_bytes = 0;
 
     void
     merge(const CostBreakdown& other)
@@ -124,6 +128,7 @@ struct CostBreakdown {
         memory_cycles += other.memory_cycles;
         transactions += other.transactions;
         extra_transactions += other.extra_transactions;
+        payload_bytes += other.payload_bytes;
     }
 };
 

@@ -6,14 +6,17 @@ namespace paraprox::device {
 
 namespace {
 
-/// Distinct simulated byte address per (buffer slot, element).
+/// Distinct simulated byte address per (buffer slot, element).  Packed
+/// buffers place elements `elem_bytes` apart, so a warp's worth of
+/// consecutive packed elements spans proportionally fewer cache lines —
+/// that density is precisely the data tier's priced benefit.
 std::int64_t
-element_address(int buffer_slot, std::int64_t element)
+element_address(int buffer_slot, std::int64_t element, int elem_bytes)
 {
     // Give each buffer its own 1 GiB window so different buffers never
     // alias in the cache simulators.
     return (static_cast<std::int64_t>(buffer_slot) + 1) * (1ll << 30) +
-           element * 4;
+           element * elem_bytes;
 }
 
 }  // namespace
@@ -47,7 +50,8 @@ GroupMemoryListener::GroupMemoryListener(const DeviceModel& device,
 void
 GroupMemoryListener::on_access(int instr_index, int buffer_slot,
                                ir::AddrSpace space, std::int64_t element,
-                               bool is_store, std::int64_t global_linear_id)
+                               bool is_store, std::int64_t global_linear_id,
+                               int elem_bytes)
 {
     (void)is_store;
     if (space == ir::AddrSpace::Shared) {
@@ -57,7 +61,8 @@ GroupMemoryListener::on_access(int instr_index, int buffer_slot,
         return;
     }
 
-    const std::int64_t addr = element_address(buffer_slot, element);
+    const std::int64_t addr =
+        element_address(buffer_slot, element, elem_bytes);
     const std::int64_t warp = global_linear_id / device_.memory.warp_size;
 
     PendingWarp& pending = pending_[instr_index];
@@ -69,16 +74,26 @@ GroupMemoryListener::on_access(int instr_index, int buffer_slot,
         pending.lines.clear();
         pending.addrs.clear();
         pending.accesses = 0;
+        pending.bytes = 0;
     }
     pending.lines.insert(addr / device_.memory.line_bytes);
+    // Multi-byte elements can straddle a line boundary; charge the tail
+    // line too so a packed element is never priced cheaper than the lines
+    // it actually touches.
+    if (elem_bytes > 1) {
+        pending.lines.insert((addr + elem_bytes - 1) /
+                             device_.memory.line_bytes);
+    }
     pending.addrs.insert(addr);
     ++pending.accesses;
+    pending.bytes += elem_bytes;
 }
 
 void
 GroupMemoryListener::issue(PendingWarp& pending)
 {
     const MemoryParams& mem = device_.memory;
+    cost_.payload_bytes += static_cast<std::uint64_t>(pending.bytes);
     if (pending.space == ir::AddrSpace::Constant) {
         // Broadcast hardware: one probe per distinct address in the warp —
         // divergent table lookups serialize.  Hit/miss cycles are priced
@@ -100,11 +115,18 @@ GroupMemoryListener::issue(PendingWarp& pending)
         probes_.push_back({line * mem.line_bytes, /*constant=*/false});
     cost_.transactions += accessed_lines;
 
-    // Coalescing: a warp of N 4-byte accesses needs at least
-    // ceil(4N / line) transactions when dense.
+    // Coalescing: a warp moving B payload bytes from base-line offset
+    // `off` needs at least ceil((off + B) / line) transactions when
+    // dense — sub-word codecs (fp24's 3-byte elements) cannot sit on the
+    // line grid, and a dense-but-misaligned warp is extra traffic, not
+    // divergence.  Packed codecs shrink B, so their dense ideal (and
+    // with it the priced penalty) drops proportionally.
+    const std::uint64_t offset = static_cast<std::uint64_t>(
+        *pending.addrs.begin() % mem.line_bytes);
     const std::uint64_t ideal =
-        (static_cast<std::uint64_t>(pending.accesses) * 4 + mem.line_bytes -
-         1) / mem.line_bytes;
+        (offset + static_cast<std::uint64_t>(pending.bytes) +
+         mem.line_bytes - 1) /
+        mem.line_bytes;
     if (accessed_lines > ideal) {
         const std::uint64_t extra = accessed_lines - ideal;
         cost_.extra_transactions += extra;

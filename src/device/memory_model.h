@@ -72,7 +72,7 @@ class GroupMemoryListener : public vm::MemoryListener {
 
     void on_access(int instr_index, int buffer_slot, ir::AddrSpace space,
                    std::int64_t element, bool is_store,
-                   std::int64_t global_linear_id) override;
+                   std::int64_t global_linear_id, int elem_bytes) override;
 
     /// Issue all pending warp batches; called before reading cost().
     void flush();
@@ -92,6 +92,7 @@ class GroupMemoryListener : public vm::MemoryListener {
         std::set<std::int64_t> lines;
         std::set<std::int64_t> addrs;
         int accesses = 0;
+        std::int64_t bytes = 0;  ///< Payload bytes (codec-aware).
     };
 
     void issue(PendingWarp& pending);

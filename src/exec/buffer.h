@@ -46,7 +46,8 @@ class Buffer {
     vm::BufferView
     view()
     {
-        return {words_.data(), static_cast<std::int64_t>(words_.size())};
+        return {words_.data(), static_cast<std::int64_t>(words_.size()),
+                data::Codec::Exact, {}};
     }
 
   private:

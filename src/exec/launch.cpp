@@ -16,6 +16,13 @@ ArgPack::buffer(const std::string& name, Buffer& buf)
 }
 
 ArgPack&
+ArgPack::packed(const std::string& name, data::PackedBuffer& buf)
+{
+    packed_[name] = &buf;
+    return *this;
+}
+
+ArgPack&
 ArgPack::scalar(const std::string& name, int value)
 {
     scalars_[name] = vm::make_int(value);
@@ -41,6 +48,13 @@ ArgPack::find_buffer(const std::string& name) const
 {
     auto it = buffers_.find(name);
     return it == buffers_.end() ? nullptr : it->second;
+}
+
+data::PackedBuffer*
+ArgPack::find_packed(const std::string& name) const
+{
+    auto it = packed_.find(name);
+    return it == packed_.end() ? nullptr : it->second;
 }
 
 const vm::Value*
@@ -74,6 +88,17 @@ launch(const vm::Program& program, const ArgPack& args,
             shared_sizes[slot] = args.find_shared(info.name);
             PARAPROX_CHECK(shared_sizes[slot] > 0,
                            "missing __shared size for `" + info.name + "`");
+        } else if (data::PackedBuffer* packed = args.find_packed(info.name)) {
+            // A packed binding shadows an exact binding of the same name:
+            // the data tier binds a plan's packed buffers over whatever
+            // the application's bind_inputs installed.  Packed storage
+            // only makes sense for float payloads; integer parameters
+            // carry indices/counts and the safety analysis pins them
+            // exact anyway.
+            PARAPROX_CHECK(info.elem == ir::Scalar::F32,
+                           "packed binding for non-F32 parameter `" +
+                               info.name + "`");
+            buffer_views[slot] = packed->view();
         } else {
             Buffer* buffer = args.find_buffer(info.name);
             PARAPROX_CHECK(buffer, "missing buffer argument `" + info.name +

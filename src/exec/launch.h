@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "data/packed_buffer.h"
 #include "exec/buffer.h"
 #include "vm/bytecode.h"
 #include "vm/vm.h"
@@ -41,20 +42,27 @@ struct LaunchConfig {
 };
 
 /// Named kernel arguments.  Buffers are bound by reference and must outlive
-/// the launch; __shared parameters are bound to an element count.
+/// the launch; __shared parameters are bound to an element count.  A
+/// packed() binding substitutes a lossily-stored data::PackedBuffer for an
+/// F32 parameter (the VM transcodes on Ld/St) and shadows any exact
+/// binding of the same name — the data tier packs over the application's
+/// own bindings.
 class ArgPack {
   public:
     ArgPack& buffer(const std::string& name, Buffer& buf);
+    ArgPack& packed(const std::string& name, data::PackedBuffer& buf);
     ArgPack& scalar(const std::string& name, int value);
     ArgPack& scalar(const std::string& name, float value);
     ArgPack& shared(const std::string& name, std::int64_t elements);
 
     Buffer* find_buffer(const std::string& name) const;
+    data::PackedBuffer* find_packed(const std::string& name) const;
     const vm::Value* find_scalar(const std::string& name) const;
     std::int64_t find_shared(const std::string& name) const;  ///< 0 if absent
 
   private:
     std::map<std::string, Buffer*> buffers_;
+    std::map<std::string, data::PackedBuffer*> packed_;
     std::map<std::string, vm::Value> scalars_;
     std::map<std::string, std::int64_t> shared_sizes_;
 };

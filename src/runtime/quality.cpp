@@ -33,11 +33,18 @@ quality_percent(Metric metric, const std::vector<float>& exact,
     switch (metric) {
       case Metric::L1Norm:
         for (std::size_t i = 0; i < exact.size(); ++i) {
-            if (!std::isfinite(exact[i]) || !std::isfinite(approx[i]))
-                continue;
-            err += std::fabs(static_cast<double>(exact[i]) - approx[i]);
+            if (!std::isfinite(exact[i]))
+                continue;  // No finite reference to score against.
             ref += std::fabs(static_cast<double>(exact[i]));
             ++counted;
+            if (!std::isfinite(approx[i])) {
+                // A finite expectation answered with NaN/Inf is maximal
+                // error, not a skippable element — otherwise a variant
+                // that manufactures non-finite outputs scores as clean.
+                err += std::fabs(static_cast<double>(exact[i]));
+                continue;
+            }
+            err += std::fabs(static_cast<double>(exact[i]) - approx[i]);
         }
         if (counted == 0)
             return 0.0;
@@ -47,12 +54,16 @@ quality_percent(Metric metric, const std::vector<float>& exact,
 
       case Metric::L2Norm:
         for (std::size_t i = 0; i < exact.size(); ++i) {
-            if (!std::isfinite(exact[i]) || !std::isfinite(approx[i]))
+            if (!std::isfinite(exact[i]))
                 continue;
-            const double d = static_cast<double>(exact[i]) - approx[i];
-            err += d * d;
             ref += static_cast<double>(exact[i]) * exact[i];
             ++counted;
+            if (!std::isfinite(approx[i])) {
+                err += static_cast<double>(exact[i]) * exact[i];
+                continue;
+            }
+            const double d = static_cast<double>(exact[i]) - approx[i];
+            err += d * d;
         }
         if (counted == 0)
             return 0.0;
@@ -62,13 +73,17 @@ quality_percent(Metric metric, const std::vector<float>& exact,
 
       case Metric::MeanRelativeError: {
         for (std::size_t i = 0; i < exact.size(); ++i) {
-            if (!std::isfinite(exact[i]) || !std::isfinite(approx[i]))
+            if (!std::isfinite(exact[i]))
                 continue;
+            ++counted;
+            if (!std::isfinite(approx[i])) {
+                err += 1.0;  // 100% relative error, as element_errors does.
+                continue;
+            }
             const double denom = std::max(
                 1e-6, std::fabs(static_cast<double>(exact[i])));
             err += std::fabs(static_cast<double>(exact[i]) - approx[i]) /
                    denom;
-            ++counted;
         }
         if (counted == 0)
             return 0.0;

@@ -28,6 +28,10 @@ namespace paraprox::runtime {
 struct VariantRun {
     std::vector<float> output;   ///< Values the quality metric scores.
     double modeled_cycles = 0.0; ///< Device-model cost (0 for fast runs).
+    /// Payload bytes the device model priced through the memory
+    /// hierarchy (0 for fast runs); packed storage shrinks this even
+    /// when cache effects hide the cycle win on small inputs.
+    std::uint64_t modeled_bytes = 0;
     double wall_seconds = 0.0;
     std::uint64_t instructions = 0;  ///< Dynamic VM dispatches executed.
     bool trapped = false;        ///< Unsafe execution; variant unusable.

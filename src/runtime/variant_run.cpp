@@ -13,6 +13,7 @@ run_priced(const vm::Program& program, const exec::ArgPack& args,
     VariantRun run;
     run.output = std::move(output_placeholder);
     run.modeled_cycles = modeled.cycles;
+    run.modeled_bytes = modeled.cost.payload_bytes;
     run.wall_seconds = modeled.launch.wall_seconds;
     run.instructions = modeled.launch.stats.total_instructions;
     run.trapped = modeled.launch.trapped;

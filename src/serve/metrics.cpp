@@ -84,6 +84,7 @@ Metrics::snapshot() const
     out.warm_registrations =
         warm_registrations.load(std::memory_order_relaxed);
     out.warm_pipelines = warm_pipelines.load(std::memory_order_relaxed);
+    out.warm_data_tiers = warm_data_tiers.load(std::memory_order_relaxed);
     out.queue_depth = queue_depth.load(std::memory_order_relaxed);
     out.latency = latency.snapshot();
     return out;
@@ -119,6 +120,7 @@ format_metrics(const MetricsSnapshot& snapshot)
     row("exact while recalibrating", snapshot.exact_while_recalibrating);
     row("warm registrations", snapshot.warm_registrations);
     row("warm pipelines", snapshot.warm_pipelines);
+    row("warm data tiers", snapshot.warm_data_tiers);
     row("backoffs", snapshot.backoffs);
     row("quarantines", snapshot.quarantines);
     row("reinstatements", snapshot.reinstatements);

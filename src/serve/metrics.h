@@ -72,6 +72,9 @@ struct MetricsSnapshot {
     /// Pipelines registered with a joint calibration restored from the
     /// artifact store: zero joint-search probe runs, zero sweeps.
     std::uint64_t warm_pipelines = 0;
+    /// Data-tier kernels registered with a precision calibration restored
+    /// from the artifact store: zero profiling runs, zero plan search.
+    std::uint64_t warm_data_tiers = 0;
     /// Variant downgrades across all kernels.  Tuners own this count;
     /// ApproxService::snapshot() aggregates it in — it stays 0 in a bare
     /// Metrics::snapshot().  Same for the three breaker counters below.
@@ -108,6 +111,7 @@ class Metrics {
     std::atomic<std::uint64_t> exact_while_recalibrating{0};
     std::atomic<std::uint64_t> warm_registrations{0};
     std::atomic<std::uint64_t> warm_pipelines{0};
+    std::atomic<std::uint64_t> warm_data_tiers{0};
     std::atomic<std::int64_t> queue_depth{0};
     LatencyHistogram latency;
 

@@ -152,6 +152,57 @@ ApproxService::register_pipeline(
     install_kernel(std::move(state));
 }
 
+void
+ApproxService::register_data_kernel(
+    const std::string& name, const runtime::KernelSession& session,
+    const core::LaunchPlan& plan, runtime::Metric metric,
+    double toq_percent, const std::vector<std::uint64_t>& training_seeds,
+    const runtime::DataTierOptions& options)
+{
+    const auto store = store::ArtifactStore::global();
+    const store::StoreKey key =
+        runtime::data_calibration_key(session, metric, toq_percent);
+
+    // Warm path: rebuild variants from the stored plans — the rebuild
+    // re-runs the safety analysis, so a stale or tampered record that
+    // packs a pinned buffer falls through to a cold build instead.
+    std::unique_ptr<KernelState> state;
+    if (store) {
+        if (const auto stored = store->load_precision_calibration(key)) {
+            runtime::DataTier tier =
+                runtime::rebuild_data_tier(session, plan, stored->plans);
+            if (!tier.variants.empty()) {
+                auto candidate = std::make_unique<KernelState>(
+                    name, std::move(tier.variants), metric, toq_percent,
+                    config_.monitor, training_seeds);
+                if (candidate->tuner.restore_calibration(
+                        stored->calibration)) {
+                    state = std::move(candidate);
+                    metrics_.warm_data_tiers.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+            }
+        }
+    }
+    if (!state) {
+        runtime::DataTier tier =
+            runtime::build_data_tier(session, plan, options);
+        state = std::make_unique<KernelState>(
+            name, std::move(tier.variants), metric, toq_percent,
+            config_.monitor, training_seeds);
+        state->tuner.calibrate(training_seeds);
+        if (store) {
+            store::PrecisionCalibrationArtifact artifact;
+            artifact.plans = std::move(tier.plans);
+            artifact.calibration = state->tuner.calibration_state();
+            artifact.toq = toq_percent;
+            artifact.metric = to_string(metric);
+            store->save_precision_calibration(key, artifact);
+        }
+    }
+    install_kernel(std::move(state));
+}
+
 ApproxService::KernelState*
 ApproxService::find_kernel(const std::string& name) const
 {

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/data_tier.h"
 #include "runtime/pipeline.h"
 #include "runtime/tuner.h"
 #include "serve/metrics.h"
@@ -196,6 +197,24 @@ class ApproxService {
                            runtime::Metric metric, double toq_percent,
                            const std::vector<std::uint64_t>& training_seeds,
                            const runtime::JointSearchOptions& search = {});
+
+    /// Register @p session's exact kernel as a precision-variant family
+    /// under @p name: runtime::build_data_tier enumerates per-buffer
+    /// storage-codec plans (pruned by the static safety analysis and one
+    /// traffic-profiling run), each plan serves as an ordinary variant,
+    /// so quarantine breakers and the degradation ladder apply to
+    /// precision exactly as to algorithmic approximation.  With a global
+    /// ArtifactStore, a stored PrecisionCalibration under
+    /// runtime::data_calibration_key() restores plans + calibration with
+    /// zero profiling or search runs (metrics().warm_data_tiers); a cold
+    /// build is persisted.  The session may be destroyed afterwards.
+    void register_data_kernel(const std::string& name,
+                              const runtime::KernelSession& session,
+                              const core::LaunchPlan& plan,
+                              runtime::Metric metric, double toq_percent,
+                              const std::vector<std::uint64_t>&
+                                  training_seeds,
+                              const runtime::DataTierOptions& options = {});
 
     /// Admit one request.  Never blocks: a full queue, an unknown kernel,
     /// a stopped service, or an unmeetable deadline (already expired, or

@@ -1,6 +1,7 @@
 #include "store/artifact_store.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,7 @@ kind_prefix(ArtifactKind kind)
         case ArtifactKind::Table: return "table";
         case ArtifactKind::Calibration: return "calib";
         case ArtifactKind::PipelineCalibration: return "pcal";
+        case ArtifactKind::PrecisionCalibration: return "dcal";
     }
     return "unknown";
 }
@@ -360,6 +362,82 @@ decode_pipeline_calibration(const StoreKey& key,
     return decode_pipeline_calibration_body(r);
 }
 
+std::vector<std::uint8_t>
+encode_precision_calibration(const StoreKey& key,
+                             const PrecisionCalibrationArtifact& artifact)
+{
+    ByteWriter w;
+    w.str(key.canonical());
+    w.u64(artifact.plans.size());
+    for (const auto& plan : artifact.plans) {
+        w.str(plan.label);
+        w.u64(plan.assignments.size());
+        for (const auto& assignment : plan.assignments) {
+            w.str(assignment.buffer);
+            w.u8(static_cast<std::uint8_t>(assignment.codec));
+            w.f32(assignment.quant.scale);
+            w.f32(assignment.quant.zero);
+        }
+    }
+    encode_calibration_state(w, artifact.calibration);
+    w.f64(artifact.toq);
+    w.str(artifact.metric);
+    return w.bytes();
+}
+
+/// Body shared by the keyed load and the inspection tool: @p r is
+/// positioned just past the canonical key.
+std::optional<PrecisionCalibrationArtifact>
+decode_precision_calibration_body(ByteReader& r)
+{
+    PrecisionCalibrationArtifact artifact;
+    const std::size_t plan_count = r.count(1);
+    artifact.plans.resize(plan_count);
+    for (auto& plan : artifact.plans) {
+        plan.label = r.str();
+        const std::size_t assignment_count = r.count(1);
+        plan.assignments.resize(assignment_count);
+        for (auto& assignment : plan.assignments) {
+            assignment.buffer = r.str();
+            const std::uint8_t codec = r.u8();
+            if (codec >= data::kNumCodecs)
+                return std::nullopt;
+            assignment.codec = static_cast<data::Codec>(codec);
+            assignment.quant.scale = r.f32();
+            assignment.quant.zero = r.f32();
+            // A corrupt scale must not survive into live packing: int8
+            // decoding multiplies by it on every load.
+            if (assignment.codec == data::Codec::Int8 &&
+                !(std::isfinite(assignment.quant.scale) &&
+                  assignment.quant.scale > 0.0f &&
+                  std::isfinite(assignment.quant.zero)))
+                return std::nullopt;
+        }
+    }
+    if (!decode_calibration_state(r, artifact.calibration))
+        return std::nullopt;
+    artifact.toq = r.f64();
+    artifact.metric = r.str();
+    if (!r.at_end())
+        return std::nullopt;
+    // Plan/profile index alignment, and the all-exact fallback must lead.
+    if (artifact.plans.empty() ||
+        artifact.plans.size() != artifact.calibration.profiles.size() ||
+        !artifact.plans.front().all_exact())
+        return std::nullopt;
+    return artifact;
+}
+
+std::optional<PrecisionCalibrationArtifact>
+decode_precision_calibration(const StoreKey& key,
+                             const std::vector<std::uint8_t>& payload)
+{
+    ByteReader r(payload.data(), payload.size());
+    if (r.str() != key.canonical())
+        return std::nullopt;
+    return decode_precision_calibration_body(r);
+}
+
 }  // namespace
 
 std::optional<PipelineCalibrationArtifact>
@@ -373,6 +451,19 @@ inspect_pipeline_calibration(const std::vector<std::uint8_t>& payload,
     if (key_out)
         *key_out = key;
     return decode_pipeline_calibration_body(r);
+}
+
+std::optional<PrecisionCalibrationArtifact>
+inspect_precision_calibration(const std::vector<std::uint8_t>& payload,
+                              std::string* key_out)
+{
+    ByteReader r(payload.data(), payload.size());
+    const std::string key = r.str();
+    if (!r.ok())
+        return std::nullopt;
+    if (key_out)
+        *key_out = key;
+    return decode_precision_calibration_body(r);
 }
 
 // ---- StoreKey --------------------------------------------------------------
@@ -527,6 +618,27 @@ ArtifactStore::save_pipeline_calibration(
 {
     return save_payload(key, ArtifactKind::PipelineCalibration,
                         encode_pipeline_calibration(key, artifact));
+}
+
+std::optional<PrecisionCalibrationArtifact>
+ArtifactStore::load_precision_calibration(const StoreKey& key) const
+{
+    const auto payload =
+        load_payload(key, ArtifactKind::PrecisionCalibration);
+    if (!payload)
+        return std::nullopt;
+    auto artifact = decode_precision_calibration(key, *payload);
+    (artifact ? hits_ : corrupt_rejects_)
+        .fetch_add(1, std::memory_order_relaxed);
+    return artifact;
+}
+
+bool
+ArtifactStore::save_precision_calibration(
+    const StoreKey& key, const PrecisionCalibrationArtifact& artifact) const
+{
+    return save_payload(key, ArtifactKind::PrecisionCalibration,
+                        encode_precision_calibration(key, artifact));
 }
 
 std::vector<ArtifactStore::Entry>

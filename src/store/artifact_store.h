@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "data/precision_plan.h"
 #include "memo/table.h"
 #include "runtime/tuner.h"
 #include "store/format.h"
@@ -85,6 +86,19 @@ struct PipelineCalibrationArtifact {
     std::string metric;
 };
 
+/// A persisted data-tier precision calibration: every enumerated
+/// per-buffer codec plan (plans[0] is the mandatory all-exact fallback,
+/// with no assignments) with its fitted int8 quantization parameters,
+/// plus the tuner state over them, index-aligned plan <-> profile.
+/// Restoring one rebuilds the precision variant list without traffic
+/// profiling, quantization fitting, or any calibration runs.
+struct PrecisionCalibrationArtifact {
+    std::vector<data::PrecisionPlan> plans;
+    runtime::CalibrationState calibration;
+    double toq = 0.0;
+    std::string metric;
+};
+
 class ArtifactStore {
   public:
     /// Opens (creating if needed) the store at @p dir.  A directory that
@@ -111,6 +125,12 @@ class ArtifactStore {
     bool save_pipeline_calibration(
         const StoreKey& key,
         const PipelineCalibrationArtifact& artifact) const;
+
+    std::optional<PrecisionCalibrationArtifact>
+    load_precision_calibration(const StoreKey& key) const;
+    bool save_precision_calibration(
+        const StoreKey& key,
+        const PrecisionCalibrationArtifact& artifact) const;
 
     /// One store file, as seen by list()/verify/prune.
     struct Entry {
@@ -172,5 +192,11 @@ StoreKey program_key(std::uint64_t fingerprint,
 std::optional<PipelineCalibrationArtifact>
 inspect_pipeline_calibration(const std::vector<std::uint8_t>& payload,
                              std::string* key_out);
+
+/// Unkeyed decode of a precision-calibration payload, for inspection
+/// tools rendering arbitrary records.
+std::optional<PrecisionCalibrationArtifact>
+inspect_precision_calibration(const std::vector<std::uint8_t>& payload,
+                              std::string* key_out);
 
 }  // namespace paraprox::store

@@ -39,6 +39,11 @@ enum class ArtifactKind : std::uint32_t {
     /// labels of every surviving joint config, and the tuner state over
     /// them.  Restoring one skips the joint search entirely.
     PipelineCalibration = 4,
+    /// Data-tier precision calibration: every enumerated per-buffer
+    /// storage-codec plan (with its int8 quantization parameters) plus
+    /// the tuner state over them.  Restoring one skips the traffic
+    /// profiling, quantization fitting, and precision search entirely.
+    PrecisionCalibration = 5,
 };
 
 /// FNV-1a over @p size bytes, seeded so it can be chained.

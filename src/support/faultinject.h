@@ -4,9 +4,11 @@
 /// Production code marks *fault sites* — named points where a failure can
 /// be manufactured: `vm.trap` (GroupRunner raises a TrapError before
 /// executing a group), `vm.nan` (a kernel's global output is poisoned
-/// with NaN), `serve.latency` (a worker stalls before serving), and
+/// with NaN), `serve.latency` (a worker stalls before serving),
 /// `store.corrupt` (an artifact record's bytes are flipped before
-/// decoding, driving the real corruption-rejection path).  Sites cost one
+/// decoding, driving the real corruption-rejection path), and
+/// `data.bitflip` (bits are flipped in a packed approximate buffer after
+/// encoding — degrades quality, never traps).  Sites cost one
 /// relaxed atomic load when nothing is armed, so they stay compiled into
 /// release builds.
 ///

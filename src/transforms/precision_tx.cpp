@@ -1,0 +1,95 @@
+#include "transforms/precision_tx.h"
+
+#include <algorithm>
+
+namespace paraprox::transforms {
+
+namespace {
+
+/// Bytes saved per logical element by storing @p codec instead of fp32.
+int
+bytes_saved(data::Codec codec)
+{
+    return 4 - data::storage_bytes(codec);
+}
+
+}  // namespace
+
+std::vector<data::PrecisionPlan>
+enumerate_precision_plans(const vm::Program& program,
+                          const data::StorageSafety& safety,
+                          const std::vector<std::uint64_t>&
+                              slot_access_counts,
+                          const PrecisionTxOptions& options)
+{
+    const std::vector<int> packable = safety.packable_slots();
+    std::vector<data::PrecisionPlan> plans;
+    if (packable.empty())
+        return plans;
+
+    std::uint64_t total_accesses = 0;
+    for (const std::uint64_t count : slot_access_counts)
+        total_accesses += count;
+
+    // Uniform plans: all packable buffers at one codec.
+    for (const data::Codec codec : options.codecs) {
+        data::PrecisionPlan plan;
+        plan.label = data::plan_label("all", codec);
+        for (const int slot : packable) {
+            data::PrecisionAssignment assignment;
+            assignment.buffer =
+                program.buffers[static_cast<std::size_t>(slot)].name;
+            assignment.codec = codec;
+            plan.assignments.push_back(std::move(assignment));
+        }
+        plans.push_back(std::move(plan));
+    }
+
+    // Single-buffer retreats, traffic-pruned: when a uniform plan misses
+    // the TOQ, packing only the hottest tolerant buffer often passes.
+    if (options.single_buffer_plans && packable.size() > 1) {
+        for (const int slot : packable) {
+            if (total_accesses > 0 &&
+                static_cast<std::size_t>(slot) < slot_access_counts.size()) {
+                const double share =
+                    static_cast<double>(
+                        slot_access_counts[static_cast<std::size_t>(slot)]) /
+                    static_cast<double>(total_accesses);
+                if (share < options.min_traffic_share)
+                    continue;
+            }
+            const std::string& name =
+                program.buffers[static_cast<std::size_t>(slot)].name;
+            for (const data::Codec codec : options.codecs) {
+                data::PrecisionPlan plan;
+                plan.label = data::plan_label(name, codec);
+                data::PrecisionAssignment assignment;
+                assignment.buffer = name;
+                assignment.codec = codec;
+                plan.assignments.push_back(std::move(assignment));
+                plans.push_back(std::move(plan));
+            }
+        }
+    }
+
+    // Biggest storage savings first; uniform plans win ties so truncation
+    // drops narrow retreats before broad wins.  stable_sort keeps the
+    // codec order (conservative first) within equal savings.
+    const auto plan_savings = [](const data::PrecisionPlan& plan) {
+        int saved = 0;
+        for (const auto& assignment : plan.assignments)
+            saved += bytes_saved(assignment.codec);
+        return saved;
+    };
+    std::stable_sort(plans.begin(), plans.end(),
+                     [&](const data::PrecisionPlan& a,
+                         const data::PrecisionPlan& b) {
+                         return plan_savings(a) > plan_savings(b);
+                     });
+    if (options.max_plans > 0 &&
+        plans.size() > static_cast<std::size_t>(options.max_plans))
+        plans.resize(static_cast<std::size_t>(options.max_plans));
+    return plans;
+}
+
+}  // namespace paraprox::transforms

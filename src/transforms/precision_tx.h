@@ -1,0 +1,62 @@
+/// @file
+/// Precision-plan enumeration: the transform that turns the storage
+/// safety analysis into a tuner-ready set of per-buffer codec
+/// assignments.  Unlike the IR-rewriting transforms in this directory it
+/// emits no new kernels — a precision plan reinterprets how existing
+/// buffers are *stored* (data/codec.h), so the "transform output" is plan
+/// metadata that runtime/data_tier binds at launch.
+///
+/// Enumeration strategy (bounded, aggressiveness-ordered):
+///   1. every buffer the safety analysis pins stays exact in every plan;
+///   2. uniform plans pack all packable buffers at one codec, one plan
+///      per codec — the biggest bytes win and the cheapest to search;
+///   3. single-buffer plans pack one packable buffer at a time, so the
+///      tuner can retreat to partial packing when a uniform plan misses
+///      the TOQ (skipped for buffers with a negligible access share when
+///      a traffic profile is supplied);
+///   4. the list is capped at max_plans, keeping the cheapest-storage
+///      plans (calibration cost is linear in the plan count).
+///
+/// The all-exact plan is deliberately NOT emitted here: the caller's
+/// variant list already leads with the exact kernel, which is the
+/// mandatory fallback.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/precision_plan.h"
+#include "data/safety.h"
+#include "vm/bytecode.h"
+
+namespace paraprox::transforms {
+
+struct PrecisionTxOptions {
+    /// Codecs to consider, most conservative first.  Defaults to all four
+    /// lossy codecs.
+    std::vector<data::Codec> codecs = {data::Codec::Fp24, data::Codec::Bf16,
+                                       data::Codec::Fp16, data::Codec::Int8};
+    /// Emit per-buffer plans in addition to uniform ones.
+    bool single_buffer_plans = true;
+    /// With a traffic profile, skip single-buffer plans for buffers whose
+    /// access share is below this fraction — packing a buffer the kernel
+    /// barely touches cannot pay for its calibration runs.
+    double min_traffic_share = 0.02;
+    /// Hard cap on emitted plans.
+    int max_plans = 24;
+};
+
+/// Enumerate precision plans for @p program given its safety verdicts.
+/// @p slot_access_counts (optional, indexed like program.buffers) is the
+/// per-slot dynamic access count from one instrumented exact run; empty
+/// disables traffic pruning.  Plans are ordered by descending storage
+/// savings (uniform plans first), so truncation keeps the biggest wins.
+std::vector<data::PrecisionPlan>
+enumerate_precision_plans(const vm::Program& program,
+                          const data::StorageSafety& safety,
+                          const std::vector<std::uint64_t>&
+                              slot_access_counts = {},
+                          const PrecisionTxOptions& options = {});
+
+}  // namespace paraprox::transforms

@@ -83,6 +83,31 @@ shift_right_arith(std::int32_t value, std::int32_t count)
     return static_cast<std::int32_t>(word);
 }
 
+/// Load one element through the view's storage codec.  The Exact branch is
+/// the original word load; packed views decode to fp32 (packed buffers are
+/// restricted to F32 elements at launch time, so the register image is
+/// always a float's bit pattern).
+inline std::int32_t
+codec_load(const BufferView& view, std::int64_t index)
+{
+    if (view.codec == data::Codec::Exact) [[likely]]
+        return view.data[index];
+    return as_word(
+        data::load_element(view.codec, view.data, index, view.quant));
+}
+
+/// Store one element through the view's storage codec.
+inline void
+codec_store(BufferView& view, std::int64_t index, std::int32_t word)
+{
+    if (view.codec == data::Codec::Exact) [[likely]] {
+        view.data[index] = word;
+        return;
+    }
+    data::store_element(view.codec, view.data, index, as_float(word),
+                        view.quant);
+}
+
 /// Evaluate the canonical compare opcode carried in a CmpJz's d field.
 std::int32_t
 eval_compare(Opcode op, Value lhs, Value rhs)
@@ -237,8 +262,10 @@ GroupRunner::run()
         for (std::size_t slot = 0; slot < program_.buffers.size(); ++slot) {
             if (program_.buffers[slot].space == ir::AddrSpace::Global &&
                 buffers_[slot].size > 0) {
-                std::fill_n(buffers_[slot].data, buffers_[slot].size,
-                            nan_word);
+                // Fill the physical words, not the logical element count:
+                // a packed view backs fewer words than elements.
+                std::fill_n(buffers_[slot].data,
+                            buffers_[slot].storage_words(), nan_word);
                 break;
             }
         }
@@ -482,10 +509,11 @@ GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
                 if (listener_) {
                     listener_->on_access(static_cast<int>(pc), slot,
                                          program_.buffers[slot].space, index,
-                                         false, global_linear);
+                                         false, global_linear,
+                                         data::storage_bytes(view.codec));
                 }
             }
-            regs[instr.a].i = view.data[index];
+            regs[instr.a].i = codec_load(view, index);
             break;
           }
           case Opcode::St: {
@@ -500,10 +528,11 @@ GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
                 if (listener_) {
                     listener_->on_access(static_cast<int>(pc), slot,
                                          program_.buffers[slot].space, index,
-                                         true, global_linear);
+                                         true, global_linear,
+                                         data::storage_bytes(view.codec));
                 }
             }
-            view.data[index] = regs[instr.b].i;
+            codec_store(view, index, regs[instr.b].i);
             break;
           }
 
@@ -521,11 +550,18 @@ GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
                 throw TrapError("out-of-bounds atomic on `" +
                                 program_.buffers[slot].name + "`");
             }
+            // Atomics need a whole, exactly-stored word to CAS on; the
+            // storage safety analysis pins atomic targets exact, so this
+            // trap is defense-in-depth against hand-built plans.
+            if (view.codec != data::Codec::Exact) {
+                throw TrapError("atomic on packed buffer `" +
+                                program_.buffers[slot].name + "`");
+            }
             if constexpr (kInstrumented) {
                 if (listener_) {
                     listener_->on_access(static_cast<int>(pc), slot,
                                          program_.buffers[slot].space, index,
-                                         true, global_linear);
+                                         true, global_linear, 4);
                 }
             }
             std::int32_t* word = &view.data[index];
@@ -648,7 +684,7 @@ GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
                                 program_.buffers[slot].name + "`");
             }
             Value loaded;
-            loaded.i = view.data[index];
+            loaded.i = codec_load(view, index);
             regs[instr.d] = loaded;
             // Read the other operand only after the load's destination is
             // written: the canonical arith may read its own input there.
@@ -690,7 +726,7 @@ GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
                 throw TrapError("out-of-bounds store to `" +
                                 program_.buffers[slot].name + "`");
             }
-            view.data[index] = value.i;
+            codec_store(view, index, value.i);
             break;
           }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "data/codec.h"
 #include "support/error.h"
 #include "vm/bytecode.h"
 
@@ -59,19 +60,39 @@ class MemoryListener {
     /// @param instr_index static instruction id within the program.
     /// @param buffer_slot which kernel buffer parameter was touched.
     /// @param space address space of that buffer.
-    /// @param element index of the 4-byte element accessed.
+    /// @param element index of the element accessed.
     /// @param is_store true for St and all atomics.
     /// @param global_linear_id flattened global work-item id (warp grouping
     ///        uses consecutive ids).
+    /// @param elem_bytes storage footprint of the element (4 for exact
+    ///        buffers, fewer for packed codecs) — the memory cost models
+    ///        charge bytes moved, so packed buffers coalesce into
+    ///        proportionally fewer cache lines.
     virtual void on_access(int instr_index, int buffer_slot,
                            ir::AddrSpace space, std::int64_t element,
-                           bool is_store, std::int64_t global_linear_id) = 0;
+                           bool is_store, std::int64_t global_linear_id,
+                           int elem_bytes) = 0;
 };
 
-/// A runtime view of a buffer argument: raw 4-byte words.
+/// A runtime view of a buffer argument.  `size` is always the *logical*
+/// element count (bounds checks are codec-independent); for a packed view
+/// (`codec != Exact`) the backing array holds
+/// data::packed_words(codec, size) words and every Ld/St goes through the
+/// codec's decode/encode (see data/codec.h).  Atomics require an exact
+/// view — the VM traps otherwise, and the storage safety analysis pins
+/// such buffers exact so the trap is unreachable from tuned plans.
 struct BufferView {
     std::int32_t* data = nullptr;
     std::int64_t size = 0;
+    data::Codec codec = data::Codec::Exact;
+    data::QuantParams quant;
+
+    /// Words actually backing this view.
+    std::int64_t
+    storage_words() const
+    {
+        return data::packed_words(codec, size);
+    }
 };
 
 /// Position of one work-group within the launch grid.

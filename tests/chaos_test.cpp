@@ -15,6 +15,9 @@
 #include <thread>
 #include <vector>
 
+#include "parser/parser.h"
+#include "runtime/data_tier.h"
+#include "runtime/quality.h"
 #include "serve/service.h"
 #include "store/artifact_store.h"
 #include "support/error.h"
@@ -550,6 +553,148 @@ TEST_F(ChaosServeTest, MixedFaultsResolveEveryFutureWithExactAccounting)
     EXPECT_EQ(metrics.deadline_expired, 0u);
     EXPECT_EQ(metrics.trap_fallbacks, 6u);  // One fallback per fire.
     EXPECT_EQ(metrics.queue_depth, 0);
+}
+
+// ---- data.bitflip -----------------------------------------------------------
+
+constexpr const char* kDataChaosKernel = R"(
+__kernel void dscale(__global float* in, __global float* out) {
+    int i = get_global_id(0);
+    out[i] = in[i] * 2.0f + 1.0f;
+}
+)";
+
+/// Session + plan over a trivially packable map kernel: both buffers are
+/// float payloads with data-independent addressing, so the safety
+/// analysis leaves them packable and the data tier emits real plans.
+struct DataChaosFixture {
+    DataChaosFixture()
+        : module(parser::parse_module(kDataChaosKernel)),
+          session(module, "dscale", core::CompileOptions{})
+    {
+        plan.config = exec::LaunchConfig::linear(256, 64);
+        plan.output_buffer = "out";
+        plan.bind_inputs = [](std::uint64_t seed, exec::ArgPack& args,
+                              std::vector<std::unique_ptr<exec::Buffer>>&
+                                  holder) {
+            std::vector<float> in(256);
+            for (std::size_t i = 0; i < in.size(); ++i)
+                in[i] = 1.0f +
+                        static_cast<float>((seed + i * 37) % 97) / 97.0f;
+            holder.push_back(std::make_unique<exec::Buffer>(
+                exec::Buffer::from_floats(in)));
+            args.buffer("in", *holder.back());
+            holder.push_back(std::make_unique<exec::Buffer>(
+                exec::Buffer::zeros_f32(256)));
+            args.buffer("out", *holder.back());
+        };
+    }
+
+    ir::Module module;
+    runtime::KernelSession session;
+    core::LaunchPlan plan;
+};
+
+using ChaosDataTest = ChaosTest;
+
+TEST_F(ChaosDataTest, BitflipDegradesPackedQualityWithoutTrapping)
+{
+    DataChaosFixture fx;
+    const runtime::DataTier tier =
+        runtime::build_data_tier(fx.session, fx.plan);
+    ASSERT_GE(tier.plans.size(), 2u);
+    ASSERT_TRUE(tier.plans[0].all_exact());
+
+    // Clean reference runs: exact output and the packed plan's output
+    // with nothing armed.
+    const VariantRun exact = tier.variants[0].run(7);
+    const VariantRun clean = tier.variants[1].run(7);
+    ASSERT_FALSE(exact.trapped);
+    ASSERT_FALSE(clean.trapped);
+    const double clean_quality = runtime::quality_percent(
+        Metric::MeanRelativeError, exact.output, clean.output);
+    EXPECT_GT(clean_quality, 90.0);
+
+    // Flip bits in every packed buffer the plan carries.  Decoding any
+    // bit pattern is defined for every codec, so the damage must surface
+    // as degraded output values, never as a trap or a crash.
+    fault::FaultSpec spec;
+    spec.site = "data.bitflip";
+    spec.every = 1;
+    fault::FaultInjector::instance().arm({spec}, /*seed=*/1);
+
+    const VariantRun flipped = tier.variants[1].run(7);
+    EXPECT_FALSE(flipped.trapped);
+    ASSERT_EQ(flipped.output.size(), exact.output.size());
+    EXPECT_GT(fault::FaultInjector::instance().fires("data.bitflip"), 0u);
+    const double flipped_quality = runtime::quality_percent(
+        Metric::MeanRelativeError, exact.output, flipped.output);
+    EXPECT_LT(flipped_quality, clean_quality);
+    EXPECT_LT(flipped_quality, 90.0);
+
+    // The exact variant binds no packed buffers: the site never fires.
+    const std::uint64_t fires_before =
+        fault::FaultInjector::instance().fires("data.bitflip");
+    const VariantRun exact_again = tier.variants[0].run(7);
+    EXPECT_FALSE(exact_again.trapped);
+    EXPECT_EQ(fault::FaultInjector::instance().fires("data.bitflip"),
+              fires_before);
+}
+
+TEST_F(ChaosDataTest, ServiceContainsBitflippedDataTier)
+{
+    DataChaosFixture fx;
+    const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+
+    ServiceConfig config;
+    config.num_workers = 2;
+    config.monitor.shadow_interval = 1;  // Shadow every request.
+    ApproxService service(config);
+    service.register_data_kernel("dscale", fx.session, fx.plan,
+                                 Metric::MeanRelativeError, 90.0, seeds);
+    // Calibration ran clean; a packed plan wins on modeled traffic.
+    ASSERT_NE(service.kernel_snapshot("dscale").selected, "exact");
+
+    fault::FaultSpec spec;
+    spec.site = "data.bitflip";
+    spec.every = 1;
+    fault::FaultInjector::instance().arm({spec}, /*seed=*/1);
+
+    // Every accepted request must resolve Ok: the flipped storage only
+    // degrades values.  The per-request shadow sees the quality floor
+    // break and triggers recalibration, which — still under fault —
+    // moves the selection off every plan that packs the corrupted input
+    // stream (an output-only plan is immune: the kernel's stores
+    // overwrite the flipped repack before anything reads it).
+    std::vector<Ticket> tickets;
+    for (std::uint64_t seed = 0; seed < 48; ++seed)
+        tickets.push_back(service.submit("dscale", seed));
+    std::size_t resolved = 0;
+    for (auto& ticket : tickets) {
+        ASSERT_TRUE(ticket.accepted);
+        const Response response = ticket.response.get();
+        EXPECT_EQ(response.status, ServeStatus::Ok);
+        EXPECT_FALSE(response.run.output.empty());
+        ++resolved;
+    }
+    service.drain();
+    EXPECT_EQ(resolved, 48u);
+
+    const MetricsSnapshot metrics = service.metrics().snapshot();
+    EXPECT_EQ(metrics.served, metrics.accepted);
+    EXPECT_GT(metrics.shadow_runs, 0u);
+    EXPECT_GE(metrics.shadow_violations, 1u);
+    EXPECT_GE(metrics.recalibrations, 1u);
+    EXPECT_EQ(metrics.trap_fallbacks, 0u);
+    service.stop();
+    // Post-recalibration the winner must not read packed input: either
+    // exact, or a plan packing only the overwritten output buffer.
+    const std::string selected =
+        service.kernel_snapshot("dscale").selected;
+    EXPECT_TRUE(selected == "exact" ||
+                (selected.find("all:") == std::string::npos &&
+                 selected.find("in:") == std::string::npos))
+        << selected;
 }
 
 }  // namespace

@@ -148,6 +148,33 @@ sample_calibration()
     return calibration;
 }
 
+PrecisionCalibrationArtifact
+sample_precision_calibration()
+{
+    // Plans must be index-aligned with the calibration profiles and lead
+    // with the all-exact plan (the decoder rejects anything else).
+    PrecisionCalibrationArtifact artifact;
+    artifact.calibration = sample_calibration();
+    artifact.toq = 90.0;
+    artifact.metric = "Mean relative error";
+
+    data::PrecisionPlan exact;
+    exact.label = "exact";
+    data::PrecisionPlan uniform;
+    uniform.label = "data[all:bf16]";
+    uniform.assignments.push_back({"in", data::Codec::Bf16, {}});
+    uniform.assignments.push_back({"out", data::Codec::Bf16, {}});
+    data::PrecisionPlan quantized;
+    quantized.label = "data[in:int8]";
+    quantized.assignments.push_back(
+        {"in", data::Codec::Int8, {0.25f, -3.0f}});
+    data::PrecisionPlan narrow;
+    narrow.label = "data[out:fp24]";
+    narrow.assignments.push_back({"out", data::Codec::Fp24, {}});
+    artifact.plans = {exact, uniform, quantized, narrow};
+    return artifact;
+}
+
 // ---- Round trips ------------------------------------------------------------
 
 TEST(StoreTest, ProgramRoundTrip)
@@ -213,6 +240,41 @@ TEST(StoreTest, CalibrationRoundTrip)
         EXPECT_EQ(got.meets_toq, want.meets_toq);
         EXPECT_EQ(got.trapped, want.trapped);
     }
+}
+
+TEST(StoreTest, PrecisionCalibrationRoundTrip)
+{
+    const ArtifactStore store(fresh_dir("precision-roundtrip"));
+    StoreKey key = test_key("data-tier");
+    key.metric = "Mean relative error";
+    const PrecisionCalibrationArtifact original =
+        sample_precision_calibration();
+    ASSERT_TRUE(store.save_precision_calibration(key, original));
+
+    const auto loaded = store.load_precision_calibration(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_DOUBLE_EQ(loaded->toq, original.toq);
+    EXPECT_EQ(loaded->metric, original.metric);
+    EXPECT_EQ(loaded->calibration.selected,
+              original.calibration.selected);
+    EXPECT_EQ(loaded->calibration.fallback_order,
+              original.calibration.fallback_order);
+    ASSERT_EQ(loaded->plans.size(), original.plans.size());
+    for (std::size_t i = 0; i < original.plans.size(); ++i) {
+        const auto& want = original.plans[i];
+        const auto& got = loaded->plans[i];
+        EXPECT_EQ(got.label, want.label);
+        ASSERT_EQ(got.assignments.size(), want.assignments.size());
+        for (std::size_t a = 0; a < want.assignments.size(); ++a) {
+            EXPECT_EQ(got.assignments[a].buffer, want.assignments[a].buffer);
+            EXPECT_EQ(got.assignments[a].codec, want.assignments[a].codec);
+            EXPECT_FLOAT_EQ(got.assignments[a].quant.scale,
+                            want.assignments[a].quant.scale);
+            EXPECT_FLOAT_EQ(got.assignments[a].quant.zero,
+                            want.assignments[a].quant.zero);
+        }
+    }
+    EXPECT_TRUE(loaded->plans.front().all_exact());
 }
 
 // ---- Corruption degrades to a miss ------------------------------------------
@@ -340,6 +402,72 @@ TEST(StoreTest, GarbageFilesNeverCrash)
             << size << " bytes of garbage";
         EXPECT_FALSE(store.load_program(key).has_value());
     }
+}
+
+TEST(StoreTest, CorruptPrecisionCalibrationIsMissNeverCrash)
+{
+    // The full corruption matrix against the precision-calibration kind:
+    // truncation at every stratum, bit flips across the record, pure
+    // garbage, and a semantically-hostile record (plans[0] not exact).
+    const ArtifactStore store(fresh_dir("precision-corrupt"));
+    StoreKey key = test_key("data-tier");
+    key.metric = "L2";
+    ASSERT_TRUE(store.save_precision_calibration(
+        key, sample_precision_calibration()));
+    const auto path =
+        store.path_for(key, ArtifactKind::PrecisionCalibration);
+    const auto pristine = read_file_bytes(path);
+    ASSERT_TRUE(pristine.has_value());
+    const auto rewrite = [&](const std::vector<std::uint8_t>& bytes) {
+        std::ofstream(path, std::ios::binary | std::ios::trunc)
+            .write(reinterpret_cast<const char*>(bytes.data()),
+                   static_cast<std::streamsize>(bytes.size()));
+    };
+
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{7}, std::size_t{31},
+          pristine->size() / 2, pristine->size() - 1}) {
+        auto truncated = *pristine;
+        truncated.resize(keep);
+        rewrite(truncated);
+        EXPECT_FALSE(store.load_precision_calibration(key).has_value())
+            << "truncated to " << keep;
+    }
+    for (const std::size_t offset :
+         {std::size_t{0}, std::size_t{9}, std::size_t{17}, std::size_t{40},
+          pristine->size() / 2, pristine->size() - 1}) {
+        auto corrupted = *pristine;
+        corrupted[offset] ^= 0x20;
+        rewrite(corrupted);
+        EXPECT_FALSE(store.load_precision_calibration(key).has_value())
+            << "bit flip at " << offset;
+    }
+    Rng rng(23);
+    for (const std::size_t size :
+         {std::size_t{1}, std::size_t{33}, std::size_t{512}}) {
+        std::vector<std::uint8_t> junk(size);
+        for (auto& byte : junk)
+            byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        rewrite(junk);
+        EXPECT_FALSE(store.load_precision_calibration(key).has_value())
+            << size << " bytes of garbage";
+    }
+    EXPECT_GT(store.stats().corrupt_rejects, 0u);
+
+    // A structurally valid record whose leading plan packs a buffer (no
+    // all-exact fallback recorded) is rejected by the decoder, not
+    // installed.
+    PrecisionCalibrationArtifact hostile = sample_precision_calibration();
+    std::swap(hostile.plans[0], hostile.plans[1]);
+    ASSERT_TRUE(store.save_precision_calibration(key, hostile));
+    EXPECT_FALSE(store.load_precision_calibration(key).has_value());
+
+    // And a restored record with a non-finite int8 scale must be a miss:
+    // corrupt quant params can never reach live packing.
+    PrecisionCalibrationArtifact bad_scale = sample_precision_calibration();
+    bad_scale.plans[2].assignments[0].quant.scale = 0.0f;
+    ASSERT_TRUE(store.save_precision_calibration(key, bad_scale));
+    EXPECT_FALSE(store.load_precision_calibration(key).has_value());
 }
 
 TEST(StoreTest, ListAndPruneSeparateValidFromInvalid)

@@ -48,6 +48,8 @@ kind_name(ArtifactKind kind)
         return "calibration";
     case ArtifactKind::PipelineCalibration:
         return "pipeline";
+    case ArtifactKind::PrecisionCalibration:
+        return "precision";
     }
     return "unknown";
 }
@@ -99,6 +101,56 @@ print_pipeline_calibration(const std::vector<std::uint8_t>& payload)
     }
 }
 
+/// Precision-calibration payloads carry every searched per-buffer codec
+/// plan; print each plan's assignments and calibrated profile so
+/// operators can audit what storage precision a warm start will serve.
+void
+print_precision_calibration(const std::vector<std::uint8_t>& payload)
+{
+    std::string key;
+    const auto artifact =
+        paraprox::store::inspect_precision_calibration(payload, &key);
+    if (!artifact)
+        return;
+    std::printf("key:      %s\n", key.c_str());
+    std::printf("metric:   %s\n", artifact->metric.c_str());
+    std::printf("toq:      %.2f%%\n", artifact->toq);
+    const auto& calibration = artifact->calibration;
+    for (std::size_t i = 0; i < artifact->plans.size(); ++i) {
+        const auto& plan = artifact->plans[i];
+        const bool selected =
+            static_cast<std::size_t>(calibration.selected) == i;
+        std::string assignments;
+        for (const auto& assignment : plan.assignments) {
+            if (!assignments.empty())
+                assignments += " ";
+            assignments += assignment.buffer + "=" +
+                           paraprox::data::to_string(assignment.codec);
+            if (assignment.codec == paraprox::data::Codec::Int8) {
+                char quant[64];
+                std::snprintf(quant, sizeof quant, "(s=%g,z=%g)",
+                              static_cast<double>(assignment.quant.scale),
+                              static_cast<double>(assignment.quant.zero));
+                assignments += quant;
+            }
+        }
+        if (assignments.empty())
+            assignments = "all-exact";
+        const paraprox::runtime::VariantProfile* profile =
+            i < calibration.profiles.size() ? &calibration.profiles[i]
+                                            : nullptr;
+        if (profile) {
+            std::printf("plan:     %c %-44s q=%.2f%% speedup=%.2fx%s\n",
+                        selected ? '*' : ' ', assignments.c_str(),
+                        profile->quality, profile->speedup,
+                        profile->meets_toq ? "" : " (below TOQ)");
+        } else {
+            std::printf("plan:     %c %s\n", selected ? '*' : ' ',
+                        assignments.c_str());
+        }
+    }
+}
+
 int
 cmd_list(const ArtifactStore& store, bool verify_mode)
 {
@@ -139,6 +191,8 @@ cmd_inspect(const std::filesystem::path& file)
                 paraprox::store::decode_record(*bytes, info.kind)) {
             if (info.kind == ArtifactKind::PipelineCalibration) {
                 print_pipeline_calibration(*payload);
+            } else if (info.kind == ArtifactKind::PrecisionCalibration) {
+                print_precision_calibration(*payload);
             } else {
                 // Every payload leads with its canonical key string.
                 paraprox::store::ByteReader reader(payload->data(),
