@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <future>
 #include <string_view>
+#include <thread>
 
 #include "bench/bench_support.h"
 #include "serve/service.h"
@@ -27,6 +28,20 @@ namespace {
 constexpr double kToq = 90.0;
 constexpr double kScale = 0.25;
 constexpr int kRequests = 96;
+constexpr int kOpenLoopRequests = 1024;
+constexpr std::size_t kOpenLoopBatch = 16;
+/// Open-loop runs use a small map workload (Gamma Correction at 1024
+/// pixels): the regime where coalescing matters is many small
+/// same-kernel requests, where per-launch fixed cost rivals the work
+/// itself.
+constexpr double kOpenLoopScale = 0.016;
+/// Fixed device-model cost per kernel launch, ~5us at the GTX 560's
+/// 1.62 GHz shader clock (Fermi-era launch-latency microbenchmarks).
+/// The host interpreter has no such cost — it runs launches in-process —
+/// so the figure prices it through the device model, the same currency
+/// every other speedup figure in this repo reports.
+constexpr double kLaunchOverheadCycles = 8000.0;
+constexpr double kModelClockHz = 1.62e9;
 
 struct ModeResult {
     double requests_per_second = 0.0;
@@ -142,6 +157,266 @@ run_figure()
                 geomean);
 }
 
+// ---- Open-loop batching mode ------------------------------------------------
+
+struct OpenLoopResult {
+    double offered_rps = 0.0;   ///< 0 = flood (no pacing).
+    double achieved_rps = 0.0;
+    std::uint64_t rejected = 0;
+    std::uint64_t unresolved = 0;
+    serve::MetricsSnapshot metrics;
+};
+
+/// Drive one registered kernel open-loop: submit @p requests on a fixed
+/// arrival schedule (independent of completions — the load does not slow
+/// down when the service does), then wait for every future.  Achieved
+/// throughput is requests over the first-submit-to-last-resolve span.
+OpenLoopResult
+run_open_loop(apps::Application& app, const device::DeviceModel& device,
+              std::size_t max_batch, int requests, double offered_rps,
+              std::size_t workers, bool exact_only = false)
+{
+    serve::ServiceConfig config;
+    config.num_workers = workers;
+    config.queue_capacity = static_cast<std::size_t>(requests) + 16;
+    config.batching.max_batch = max_batch;
+    config.batching.gather_window = std::chrono::microseconds(500);
+    // A flood pins queue fill at 100%, so the ladder would degrade both
+    // modes to max_level and the figure would compare degraded variants,
+    // not coalescing.  Keep selection fixed: equal TOQ, equal variant,
+    // the only difference between modes is the gather window.
+    config.degradation.enabled = false;
+    auto variants = app.variants(device);
+    // The figure registers the exact kernel alone: wall-clock variant
+    // profiling is noisy enough on a shared single-core host to flap the
+    // calibration's pick between runs, and a figure about coalescing
+    // must not compare two different variants.  The closed-loop figure
+    // above covers approximate-variant selection.
+    if (exact_only)
+        variants.resize(1);
+    serve::ApproxService service(config);
+    service.register_kernel("kernel", std::move(variants),
+                            app.info().metric, kToq, {101, 202});
+
+    // Warm-up request so worker startup is off the clock.
+    service.submit("kernel", 11);
+    service.drain();
+
+    using clock = std::chrono::steady_clock;
+    const auto interarrival =
+        offered_rps > 0.0
+            ? std::chrono::duration_cast<clock::duration>(
+                  std::chrono::duration<double>(1.0 / offered_rps))
+            : clock::duration::zero();
+
+    OpenLoopResult result;
+    result.offered_rps = offered_rps;
+    std::vector<std::future<serve::Response>> responses;
+    responses.reserve(requests);
+    const auto start = clock::now();
+    auto next = start;
+    for (int i = 0; i < requests; ++i) {
+        if (interarrival.count() > 0) {
+            std::this_thread::sleep_until(next);
+            next += interarrival;
+        }
+        auto ticket = service.submit("kernel", 1000 + i);
+        if (ticket.accepted)
+            responses.push_back(std::move(ticket.response));
+        else
+            ++result.rejected;
+    }
+    for (auto& response : responses) {
+        if (response.wait_for(std::chrono::seconds(60)) !=
+            std::future_status::ready)
+            ++result.unresolved;
+    }
+    const double seconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+    service.drain();
+    result.metrics = service.metrics().snapshot();
+    result.achieved_rps =
+        seconds > 0.0 ? static_cast<double>(responses.size()) / seconds
+                      : 0.0;
+    return result;
+}
+
+/// Best of @p trials identical runs.  Single-core containers share a
+/// host, so any one run can lose a large slice of its wall clock to
+/// neighbours; peak achieved throughput is the capacity estimate that
+/// scheduling noise can only lower, never inflate — and it treats both
+/// modes symmetrically.
+OpenLoopResult
+best_open_loop(apps::Application& app, const device::DeviceModel& device,
+               std::size_t max_batch, int requests, double offered_rps,
+               std::size_t workers, int trials)
+{
+    OpenLoopResult best;
+    for (int t = 0; t < trials; ++t) {
+        auto result = run_open_loop(app, device, max_batch, requests,
+                                    offered_rps, workers,
+                                    /*exact_only=*/true);
+        if (result.achieved_rps > best.achieved_rps)
+            best = std::move(result);
+    }
+    return best;
+}
+
+/// Batched vs unbatched serving under an open-loop arrival ladder:
+/// equal TOQ, equal workers, the only difference is the per-kernel
+/// gather window.  Each mode reports two throughputs.  Wall rps is the
+/// host interpreter's achieved rate — it carries no launch overhead, so
+/// batching roughly breaks even there.  Modeled rps prices the same
+/// realized run (served requests, launches actually issued) under the
+/// launch-overhead-aware device model: per-request work plus one fixed
+/// launch cost per launch, so a batch of N pays the overhead once where
+/// the unbatched baseline pays it N times.  The saturation rows show
+/// what coalescing buys once arrivals outpace service capacity.
+void
+run_open_loop_figure()
+{
+    constexpr int kTrials = 3;
+    device::DeviceModel device = device::DeviceModel::gtx560();
+    device.launch_overhead_cycles = kLaunchOverheadCycles;
+    const std::size_t workers = default_thread_count();
+    auto apps = make_scaled_apps(kOpenLoopScale, {"Gamma Correction"});
+    auto& app = *apps.front();
+
+    // Price one request of the served (exact) kernel: run_modeled charges
+    // the launch overhead once, so pure per-request work is the rest.
+    const double priced_request =
+        app.variants(device)[0].run(101).modeled_cycles;
+    const double work_cycles = priced_request - kLaunchOverheadCycles;
+    const auto modeled_rps = [&](const OpenLoopResult& r) {
+        const double served = static_cast<double>(r.metrics.served);
+        const double launches =
+            static_cast<double>(r.metrics.batch.batches);
+        if (served <= 0.0)
+            return 0.0;
+        const double cycles =
+            served * work_cycles + launches * kLaunchOverheadCycles;
+        return served / (cycles / kModelClockHz);
+    };
+
+    // Probe the unbatched saturation throughput with an unpaced flood;
+    // the arrival ladder is expressed in multiples of it.
+    const double base =
+        best_open_loop(app, device, 1, kOpenLoopRequests, 0.0, workers,
+                       kTrials)
+            .achieved_rps;
+
+    print_header("Open-loop serving: batched vs unbatched at TOQ=90% (" +
+                 std::to_string(workers) + " workers, " +
+                 std::to_string(kOpenLoopRequests) + " requests/run)");
+    print_row({"offered", "mode", "wall rps", "modeled rps", "p95 sojourn",
+               "mean batch", "coalesced"},
+              12);
+
+    BenchReport report("serve_batching");
+    report.config()
+        .set("toq", kToq)
+        .set("scale", kOpenLoopScale)
+        .set("workers", static_cast<std::uint64_t>(workers))
+        .set("requests", kOpenLoopRequests)
+        .set("max_batch", static_cast<std::uint64_t>(kOpenLoopBatch))
+        .set("launch_overhead_cycles", kLaunchOverheadCycles)
+        .set("work_cycles_per_request", work_cycles)
+        .set("model_clock_hz", kModelClockHz)
+        .set("base_unbatched_rps", base);
+
+    double saturation_ratio = 0.0;
+    double saturation_wall_ratio = 0.0;
+    for (const double mult : {1.0, 2.0, 4.0}) {
+        const double rate = base * mult;
+        const auto unbatched = best_open_loop(app, device, 1,
+                                              kOpenLoopRequests, rate,
+                                              workers, kTrials);
+        const auto batched = best_open_loop(app, device, kOpenLoopBatch,
+                                            kOpenLoopRequests, rate,
+                                            workers, kTrials);
+        for (const auto* mode : {&unbatched, &batched}) {
+            const bool is_batched = mode == &batched;
+            print_row({fmt(rate, 0), is_batched ? "batched" : "unbatched",
+                       fmt(mode->achieved_rps, 0),
+                       fmt(modeled_rps(*mode), 0),
+                       fmt(mode->metrics.latency.p95 * 1e3, 2) + "ms",
+                       fmt(mode->metrics.batch.mean_size, 2),
+                       std::to_string(mode->metrics.batch.coalesced)},
+                      12);
+            report.add_row()
+                .set("offered_rps", rate)
+                .set("offered_multiple", mult)
+                .set("mode", is_batched ? "batched" : "unbatched")
+                .set("achieved_rps", mode->achieved_rps)
+                .set("modeled_rps", modeled_rps(*mode))
+                .set("p50_sojourn_s", mode->metrics.latency.p50)
+                .set("p95_sojourn_s", mode->metrics.latency.p95)
+                .set("p95_amortized_s", mode->metrics.batch_latency.p95)
+                .set("batches", mode->metrics.batch.batches)
+                .set("batches_coalesced", mode->metrics.batch.coalesced)
+                .set("mean_batch_size", mode->metrics.batch.mean_size)
+                .set("max_batch_size", mode->metrics.batch.max_size)
+                .set("rejected", mode->rejected)
+                .set("unresolved", mode->unresolved);
+        }
+        // The ladder ends past saturation; the last pair is the headline.
+        if (modeled_rps(unbatched) > 0.0)
+            saturation_ratio =
+                modeled_rps(batched) / modeled_rps(unbatched);
+        if (unbatched.achieved_rps > 0.0)
+            saturation_wall_ratio =
+                batched.achieved_rps / unbatched.achieved_rps;
+    }
+    report.set_geomean(saturation_ratio);
+    report.config().set("saturation_wall_ratio", saturation_wall_ratio);
+    report.write();
+    std::printf("\nSaturation throughput ratio, device-modeled "
+                "(batched / unbatched): %.2fx\n",
+                saturation_ratio);
+    std::printf("Saturation throughput ratio, host wall clock "
+                "(batched / unbatched): %.2fx\n",
+                saturation_wall_ratio);
+}
+
+/// CI batching smoke: flood a two-worker service so same-kernel requests
+/// pile up behind the workers, and assert both containment (every future
+/// resolves) and coalescing (at least one batch of >= 2 formed).  Prints
+/// one greppable `serve_batching_smoke:` line.
+int
+run_batching_smoke()
+{
+    const auto device = device::DeviceModel::gtx560();
+    auto app = apps::make_gamma_correction();
+    app->set_scale(kOpenLoopScale);
+
+    const auto result =
+        run_open_loop(*app, device, kOpenLoopBatch, 64, 0.0, 2);
+    const auto& m = result.metrics;
+    std::printf("serve_batching_smoke: accepted=%llu served=%llu "
+                "batches_formed=%llu coalesced_requests=%llu "
+                "mean_batch=%.2f max_batch=%llu rejected=%llu "
+                "unresolved=%llu\n",
+                static_cast<unsigned long long>(m.accepted),
+                static_cast<unsigned long long>(m.served),
+                static_cast<unsigned long long>(m.batch.coalesced),
+                static_cast<unsigned long long>(m.batch.coalesced_requests),
+                m.batch.mean_size,
+                static_cast<unsigned long long>(m.batch.max_size),
+                static_cast<unsigned long long>(result.rejected),
+                static_cast<unsigned long long>(result.unresolved));
+    std::fputs(serve::format_metrics(m).c_str(), stdout);
+    if (result.unresolved > 0) {
+        std::fflush(stdout);
+        std::_Exit(1);
+    }
+    if (m.batch.coalesced == 0) {
+        std::printf("serve_batching_smoke: FAILED - no coalesced batch "
+                    "formed under flood\n");
+        return 1;
+    }
+    return 0;
+}
+
 /// CI chaos smoke: serve one kernel under whatever PARAPROX_FAULTS is
 /// armed (traps, latency stalls, store corruption) and assert the
 /// containment invariant — every accepted request resolves.  Prints one
@@ -223,9 +498,22 @@ run_smoke()
 int
 main(int argc, char** argv)
 {
+    bool smoke = false;
+    bool open_loop = false;
     for (int i = 1; i < argc; ++i) {
-        if (std::string_view(argv[i]) == "--smoke")
-            return paraprox::bench::run_smoke();
+        const std::string_view arg(argv[i]);
+        if (arg == "--smoke")
+            smoke = true;
+        else if (arg == "--open-loop")
+            open_loop = true;
+    }
+    if (smoke && open_loop)
+        return paraprox::bench::run_batching_smoke();
+    if (smoke)
+        return paraprox::bench::run_smoke();
+    if (open_loop) {
+        paraprox::bench::run_open_loop_figure();
+        return 0;
     }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

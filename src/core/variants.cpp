@@ -56,6 +56,44 @@ run_one(const vm::Program& program,
     return run;
 }
 
+std::vector<runtime::VariantRun>
+run_many(const vm::Program& program,
+         const std::vector<TableBinding>& tables,
+         const VariantContext& context,
+         const std::vector<std::uint64_t>& seeds)
+{
+    // The per-request fixed costs a batch amortizes: the lookup tables
+    // are copied into Buffers once (bind_tables per request is the
+    // dominant bind cost for memoized kernels), and one concatenated
+    // launch replaces seeds.size() pool dispatches.  Only the per-seed
+    // inputs are bound per member, on a copy of the shared base pack.
+    exec::ArgPack base;
+    std::vector<std::unique_ptr<exec::Buffer>> storage;
+    bind_tables(tables, base, storage);
+
+    std::vector<exec::ArgPack> packs;
+    packs.reserve(seeds.size());
+    std::vector<const exec::ArgPack*> members;
+    members.reserve(seeds.size());
+    for (const std::uint64_t seed : seeds) {
+        packs.push_back(base);
+        context.plan.bind_inputs(seed, packs.back(), storage);
+        members.push_back(&packs.back());
+    }
+
+    std::vector<runtime::VariantRun> runs =
+        runtime::run_batch_unpriced(program, members, context.plan.config);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const exec::Buffer* output =
+            packs[i].find_buffer(context.plan.output_buffer);
+        PARAPROX_CHECK(output, "LaunchPlan output buffer `" +
+                                   context.plan.output_buffer +
+                                   "` was not bound");
+        runtime::attach_output(runs[i], *output);
+    }
+    return runs;
+}
+
 }  // namespace
 
 std::vector<runtime::Variant>
@@ -90,6 +128,11 @@ make_variants(const ir::Module& module, const std::string& kernel,
             return run_one(*program, *tables, *context, seed,
                            vm::ExecMode::Fast);
         };
+        variant.run_batch =
+            [program, tables, context](
+                const std::vector<std::uint64_t>& seeds) {
+                return run_many(*program, *tables, *context, seeds);
+            };
         return variant;
     };
 

@@ -99,6 +99,14 @@ struct DeviceModel {
     LatencyTable throughput;   ///< Dynamic cost per warp-instruction.
     MemoryParams memory;
 
+    /// Fixed cost charged once per kernel launch (driver submission +
+    /// dispatch), in the same cycle domain as the instruction tables.
+    /// Defaults to 0 so existing relative-speedup pricing is unchanged;
+    /// serving benchmarks set it to study launch-bound regimes, where
+    /// coalescing many small same-kernel requests into one launch pays
+    /// this once per batch instead of once per request.
+    double launch_overhead_cycles = 0.0;
+
     /// GTX 560-like GPU: wide, SFU transcendentals, costly atomics and
     /// divisions, small per-SM L1, warp coalescing.
     static DeviceModel gtx560();

@@ -212,7 +212,8 @@ run_modeled(const vm::Program& program, const exec::ArgPack& args,
     result.launch = exec::launch(program, args, config, &observer);
     result.cost = compute_cost(device, result.launch.stats);
     result.cost.merge(observer.memory_cost());
-    result.cycles = modeled_cycles(device, result.cost);
+    result.cycles = modeled_cycles(device, result.cost) +
+                    device.launch_overhead_cycles;
     return result;
 }
 

@@ -71,22 +71,27 @@ ArgPack::find_shared(const std::string& name) const
     return it == shared_sizes_.end() ? 0 : it->second;
 }
 
-LaunchResult
-launch(const vm::Program& program, const ArgPack& args,
-       const LaunchConfig& config, LaunchObserver* observer)
-{
-    PARAPROX_CHECK(config.mode == vm::ExecMode::Instrumented ||
-                       observer == nullptr,
-                   "fast launches cannot attach a LaunchObserver");
+namespace {
 
-    // Resolve buffer and scalar arguments against the program signature.
-    std::vector<vm::BufferView> buffer_views(program.buffers.size());
-    std::vector<std::int64_t> shared_sizes(program.buffers.size(), 0);
+/// Buffer views, shared sizes, and scalars for one ArgPack, resolved
+/// against the program signature once per launch (or per batch member).
+struct ResolvedArgs {
+    std::vector<vm::BufferView> buffer_views;
+    std::vector<std::int64_t> shared_sizes;
+    std::vector<vm::Value> scalar_args;
+};
+
+ResolvedArgs
+resolve_args(const vm::Program& program, const ArgPack& args)
+{
+    ResolvedArgs resolved;
+    resolved.buffer_views.resize(program.buffers.size());
+    resolved.shared_sizes.assign(program.buffers.size(), 0);
     for (std::size_t slot = 0; slot < program.buffers.size(); ++slot) {
         const auto& info = program.buffers[slot];
         if (info.space == ir::AddrSpace::Shared) {
-            shared_sizes[slot] = args.find_shared(info.name);
-            PARAPROX_CHECK(shared_sizes[slot] > 0,
+            resolved.shared_sizes[slot] = args.find_shared(info.name);
+            PARAPROX_CHECK(resolved.shared_sizes[slot] > 0,
                            "missing __shared size for `" + info.name + "`");
         } else if (data::PackedBuffer* packed = args.find_packed(info.name)) {
             // A packed binding shadows an exact binding of the same name:
@@ -98,25 +103,30 @@ launch(const vm::Program& program, const ArgPack& args,
             PARAPROX_CHECK(info.elem == ir::Scalar::F32,
                            "packed binding for non-F32 parameter `" +
                                info.name + "`");
-            buffer_views[slot] = packed->view();
+            resolved.buffer_views[slot] = packed->view();
         } else {
             Buffer* buffer = args.find_buffer(info.name);
             PARAPROX_CHECK(buffer, "missing buffer argument `" + info.name +
                                        "`");
             PARAPROX_CHECK(buffer->elem_type() == info.elem,
                            "element type mismatch for `" + info.name + "`");
-            buffer_views[slot] = buffer->view();
+            resolved.buffer_views[slot] = buffer->view();
         }
     }
 
-    std::vector<vm::Value> scalar_args(program.scalars.size());
+    resolved.scalar_args.resize(program.scalars.size());
     for (std::size_t i = 0; i < program.scalars.size(); ++i) {
         const vm::Value* value = args.find_scalar(program.scalars[i].name);
         PARAPROX_CHECK(value, "missing scalar argument `" +
                                   program.scalars[i].name + "`");
-        scalar_args[i] = *value;
+        resolved.scalar_args[i] = *value;
     }
+    return resolved;
+}
 
+std::array<int, 3>
+resolve_num_groups(const LaunchConfig& config)
+{
     std::array<int, 3> num_groups;
     for (int dim = 0; dim < 3; ++dim) {
         PARAPROX_CHECK(config.local_size[dim] > 0 &&
@@ -126,6 +136,43 @@ launch(const vm::Program& program, const ArgPack& args,
                        "global size must be divisible by local size");
         num_groups[dim] = config.global_size[dim] / config.local_size[dim];
     }
+    return num_groups;
+}
+
+vm::GroupGeometry
+geometry_for(const LaunchConfig& config, const std::array<int, 3>& num_groups,
+             std::int64_t group_linear)
+{
+    vm::GroupGeometry geometry;
+    geometry.local_size = config.local_size;
+    geometry.num_groups = num_groups;
+    geometry.group_id[0] = static_cast<int>(group_linear % num_groups[0]);
+    geometry.group_id[1] =
+        static_cast<int>((group_linear / num_groups[0]) % num_groups[1]);
+    geometry.group_id[2] =
+        static_cast<int>(group_linear / (static_cast<std::int64_t>(
+                                            num_groups[0]) *
+                                        num_groups[1]));
+    return geometry;
+}
+
+}  // namespace
+
+LaunchResult
+launch(const vm::Program& program, const ArgPack& args,
+       const LaunchConfig& config, LaunchObserver* observer)
+{
+    PARAPROX_CHECK(config.mode == vm::ExecMode::Instrumented ||
+                       observer == nullptr,
+                   "fast launches cannot attach a LaunchObserver");
+
+    // Resolve buffer and scalar arguments against the program signature.
+    const ResolvedArgs resolved = resolve_args(program, args);
+    const std::vector<vm::BufferView>& buffer_views = resolved.buffer_views;
+    const std::vector<std::int64_t>& shared_sizes = resolved.shared_sizes;
+    const std::vector<vm::Value>& scalar_args = resolved.scalar_args;
+
+    const std::array<int, 3> num_groups = resolve_num_groups(config);
     const std::int64_t total_groups =
         static_cast<std::int64_t>(num_groups[0]) * num_groups[1] *
         num_groups[2];
@@ -146,16 +193,8 @@ launch(const vm::Program& program, const ArgPack& args,
         if (abort.load(std::memory_order_relaxed))
             return;
 
-        vm::GroupGeometry geometry;
-        geometry.local_size = config.local_size;
-        geometry.num_groups = num_groups;
-        geometry.group_id[0] = static_cast<int>(group_linear % num_groups[0]);
-        geometry.group_id[1] =
-            static_cast<int>((group_linear / num_groups[0]) % num_groups[1]);
-        geometry.group_id[2] =
-            static_cast<int>(group_linear / (static_cast<std::int64_t>(
-                                                num_groups[0]) *
-                                            num_groups[1]));
+        const vm::GroupGeometry geometry = geometry_for(
+            config, num_groups, static_cast<std::int64_t>(group_linear));
 
         std::unique_ptr<vm::MemoryListener> listener;
         if (observer)
@@ -191,6 +230,89 @@ launch(const vm::Program& program, const ArgPack& args,
     result.trapped = abort.load(std::memory_order_relaxed);
     result.trap_message = trap_message;
     return result;
+}
+
+std::vector<LaunchResult>
+launch_batch(const vm::Program& program,
+             const std::vector<const ArgPack*>& batch,
+             const LaunchConfig& config)
+{
+    const std::size_t members = batch.size();
+    if (members == 0)
+        return {};
+
+    // Per-member argument resolution; the program, geometry, and pool
+    // dispatch are shared across the whole batch.
+    std::vector<ResolvedArgs> resolved;
+    resolved.reserve(members);
+    for (const ArgPack* args : batch) {
+        PARAPROX_CHECK(args != nullptr, "null ArgPack in launch batch");
+        resolved.push_back(resolve_args(program, *args));
+    }
+
+    const std::array<int, 3> num_groups = resolve_num_groups(config);
+    const std::int64_t member_groups =
+        static_cast<std::int64_t>(num_groups[0]) * num_groups[1] *
+        num_groups[2];
+
+    // One abort flag and stat sink per member: a trap is a member-local
+    // event, not a batch-wide one — the other members' requests must
+    // still be answered.
+    struct MemberState {
+        std::atomic<bool> abort{false};
+        vm::ExecStats stats;
+        std::string trap_message;
+    };
+    std::vector<MemberState> states(members);
+    std::mutex merge_mutex;
+
+    const auto start = std::chrono::steady_clock::now();
+
+    parallel_for(members * static_cast<std::size_t>(member_groups),
+                 [&](std::size_t task) {
+        const std::size_t member = task / member_groups;
+        const std::int64_t group_linear =
+            static_cast<std::int64_t>(task % member_groups);
+        MemberState& state = states[member];
+        if (state.abort.load(std::memory_order_relaxed))
+            return;
+
+        const vm::GroupGeometry geometry =
+            geometry_for(config, num_groups, group_linear);
+
+        vm::ExecStats group_stats;
+        vm::GroupRunner runner(program, resolved[member].buffer_views,
+                               resolved[member].scalar_args,
+                               resolved[member].shared_sizes, geometry,
+                               &group_stats, nullptr, config.mode);
+        try {
+            runner.run();
+        } catch (const vm::TrapError& trap) {
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            if (!state.abort.exchange(true, std::memory_order_relaxed))
+                state.trap_message = trap.what();
+            return;
+        }
+
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        if (state.abort.load(std::memory_order_relaxed))
+            return;
+        state.stats.merge(group_stats);
+    });
+
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    std::vector<LaunchResult> results(members);
+    for (std::size_t i = 0; i < members; ++i) {
+        results[i].stats = states[i].stats;
+        results[i].trapped = states[i].abort.load(std::memory_order_relaxed);
+        results[i].trap_message = std::move(states[i].trap_message);
+        results[i].wall_seconds = wall / static_cast<double>(members);
+    }
+    return results;
 }
 
 }  // namespace paraprox::exec

@@ -100,4 +100,22 @@ LaunchResult launch(const vm::Program& program, const ArgPack& args,
                     const LaunchConfig& config,
                     LaunchObserver* observer = nullptr);
 
+/// Execute @p program once per ArgPack in @p batch, as one launch over
+/// the concatenated index space (batch.size() x the per-member group
+/// count): every group of every member is one task on the host pool, so
+/// a batch of small NDRanges fills the machine the way one large NDRange
+/// does, and the per-launch fixed cost is paid once.
+///
+/// Members are independent: a vm::TrapError in member i's groups aborts
+/// only that member (its result reports trapped; its remaining groups are
+/// skipped) while every other member runs to completion.  Stats never
+/// include partial counts from trapped or skipped groups.  No observer:
+/// batched launches serve, they do not price — each member's
+/// wall_seconds reports the whole batch's wall clock divided by the
+/// batch size (the amortized cost, which is the number a serving layer
+/// wants).
+std::vector<LaunchResult> launch_batch(
+    const vm::Program& program, const std::vector<const ArgPack*>& batch,
+    const LaunchConfig& config);
+
 }  // namespace paraprox::exec

@@ -103,6 +103,39 @@ KernelSession::run_member(const SessionMember& member,
     return run;
 }
 
+std::vector<VariantRun>
+KernelSession::run_member_batch(const SessionMember& member,
+                                const core::LaunchPlan& plan,
+                                const std::vector<std::uint64_t>& seeds) const
+{
+    PARAPROX_CHECK(plan.bind_inputs != nullptr,
+                   "LaunchPlan needs a bind_inputs callback");
+    exec::ArgPack base;
+    std::vector<std::unique_ptr<exec::Buffer>> storage;
+    core::bind_tables(member.tables, base, storage);
+
+    std::vector<exec::ArgPack> packs;
+    packs.reserve(seeds.size());
+    std::vector<const exec::ArgPack*> batch;
+    batch.reserve(seeds.size());
+    for (const std::uint64_t seed : seeds) {
+        packs.push_back(base);
+        plan.bind_inputs(seed, packs.back(), storage);
+        batch.push_back(&packs.back());
+    }
+
+    std::vector<VariantRun> runs =
+        run_batch_unpriced(*member.program, batch, plan.config);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const exec::Buffer* output =
+            packs[i].find_buffer(plan.output_buffer);
+        PARAPROX_CHECK(output, "LaunchPlan output buffer `" +
+                                   plan.output_buffer + "` was not bound");
+        attach_output(runs[i], *output);
+    }
+    return runs;
+}
+
 std::vector<Variant>
 KernelSession::variants(const core::LaunchPlan& plan) const
 {

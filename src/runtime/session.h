@@ -79,6 +79,16 @@ class KernelSession {
                           vm::ExecMode mode =
                               vm::ExecMode::Instrumented) const;
 
+    /// Batched serving entry point: execute one member on every seed as
+    /// a single launch over the concatenated index space (always
+    /// vm::ExecMode::Fast, unpriced).  The member's lookup tables are
+    /// bound once for the whole batch; outputs are identical to
+    /// seeds.size() run_member calls.  A trapped member run poisons only
+    /// its own VariantRun.
+    std::vector<VariantRun> run_member_batch(
+        const SessionMember& member, const core::LaunchPlan& plan,
+        const std::vector<std::uint64_t>& seeds) const;
+
     /// Tuner-ready variant list over @p plan; variants[0] is exact.  The
     /// returned closures share ownership of the cached programs and copied
     /// table bindings, so they stay valid after the session is destroyed.

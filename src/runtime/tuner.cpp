@@ -308,6 +308,67 @@ Tuner::serve(std::uint64_t input_seed)
     return served;
 }
 
+BatchServed
+Tuner::serve_batch(const std::vector<std::uint64_t>& input_seeds)
+{
+    BatchServed batch;
+    if (input_seeds.empty())
+        return batch;
+    bool degraded = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        PARAPROX_CHECK(calibrated_, "call calibrate() before serve_batch()");
+        stats_.invocations += input_seeds.size();
+        batch.index = resolve_serving_index_locked(&degraded);
+    }
+    batch.label = variants_[batch.index].label;
+    batch.degraded = degraded;
+
+    // One concatenated launch when the variant can coalesce; per-seed
+    // execution (same selection, no reselect between members) otherwise.
+    std::vector<VariantRun> runs;
+    if (serving_mode() == vm::ExecMode::Fast &&
+        variants_[batch.index].run_batch) {
+        runs = variants_[batch.index].run_batch(input_seeds);
+        PARAPROX_CHECK(runs.size() == input_seeds.size(),
+                       "run_batch returned a short batch");
+    } else {
+        runs.reserve(input_seeds.size());
+        for (const std::uint64_t seed : input_seeds)
+            runs.push_back(execute(batch.index, seed));
+    }
+
+    batch.runs.resize(input_seeds.size());
+    bool any_trapped = false;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        batch.runs[i].run = std::move(runs[i]);
+        batch.runs[i].index = batch.index;
+        batch.runs[i].label = batch.label;
+        batch.runs[i].degraded = degraded;
+        any_trapped |= batch.runs[i].run.trapped && batch.index != 0;
+    }
+    if (any_trapped) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (const ServedRun& served : batch.runs) {
+                if (served.run.trapped)
+                    record_failure_locked(batch.index);
+            }
+        }
+        for (std::size_t i = 0; i < batch.runs.size(); ++i) {
+            ServedRun& served = batch.runs[i];
+            if (!served.run.trapped)
+                continue;
+            served.run = execute(0, input_seeds[i]);
+            served.index = 0;
+            served.label = variants_[0].label;
+            served.trap_fallback = true;
+            served.degraded = false;
+        }
+    }
+    return batch;
+}
+
 VariantRun
 Tuner::run_selected(std::uint64_t input_seed, std::string* served_label,
                     int* served_index)

@@ -51,6 +51,15 @@ struct Variant {
     /// modeled_cycles stays 0).  Used by the serving entry points when the
     /// tuner's serving mode is Fast; when empty, `run` serves.
     std::function<VariantRun(std::uint64_t input_seed)> run_fast;
+    /// Optional coalesced serving closure: execute every input in one
+    /// launch over the concatenated index space (vm::ExecMode::Fast,
+    /// unpriced), returning one run per seed in order — lookup tables are
+    /// bound once for the whole batch and a trapped member poisons only
+    /// its own run.  Used by Tuner::serve_batch when the serving mode is
+    /// Fast; when empty, batches fall back to per-seed execution.
+    std::function<std::vector<VariantRun>(
+        const std::vector<std::uint64_t>& input_seeds)>
+        run_batch;
 };
 
 /// Profile data gathered for one variant during calibration.
@@ -123,6 +132,16 @@ struct ServedRun {
     bool degraded = false;  ///< Load-shed below the calibrated selection.
 };
 
+/// What Tuner::serve_batch() produced: the selection resolved once for
+/// the whole batch, plus per-member accounting (a member that trapped is
+/// re-served exact and reports itself through its own ServedRun).
+struct BatchServed {
+    int index = 0;       ///< Selection the batch was launched with.
+    std::string label;
+    bool degraded = false;
+    std::vector<ServedRun> runs;  ///< One per input seed, in order.
+};
+
 /// Everything calibrate() decided, as plain data: what the artifact
 /// store persists and restore_calibration() re-installs in a later
 /// process (skipping the profiling sweep entirely).
@@ -193,6 +212,17 @@ class Tuner {
     /// names the variant that actually produced the run.  run_selected()
     /// is a thin wrapper over this.
     ServedRun serve(std::uint64_t input_seed);
+
+    /// Coalesced serving path: resolve the selection (and the ladder)
+    /// once, then execute every seed against it — through the variant's
+    /// run_batch closure as one concatenated launch when the serving
+    /// mode is Fast and the closure exists, per-seed otherwise.  Counts
+    /// seeds.size() invocations.  Per-member semantics match serve():
+    /// each trapped member reports its failure to the breaker and is
+    /// re-served exact, without disturbing its batch-mates.  The
+    /// selection is held fixed across the batch; a breaker opened by a
+    /// mid-batch trap moves the *next* batch's selection.
+    BatchServed serve_batch(const std::vector<std::uint64_t>& input_seeds);
 
     /// Thread-safe: execute the exact kernel (variants[0]) on
     /// @p input_seed, bypassing selection and all bookkeeping.

@@ -35,6 +35,23 @@ run_fast_unpriced(const vm::Program& program, const exec::ArgPack& args,
     return run;
 }
 
+std::vector<VariantRun>
+run_batch_unpriced(const vm::Program& program,
+                   const std::vector<const exec::ArgPack*>& batch,
+                   exec::LaunchConfig config)
+{
+    config.mode = vm::ExecMode::Fast;
+    const std::vector<exec::LaunchResult> launched =
+        exec::launch_batch(program, batch, config);
+    std::vector<VariantRun> runs(launched.size());
+    for (std::size_t i = 0; i < launched.size(); ++i) {
+        runs[i].wall_seconds = launched[i].wall_seconds;
+        runs[i].instructions = launched[i].stats.total_instructions;
+        runs[i].trapped = launched[i].trapped;
+    }
+    return runs;
+}
+
 void
 attach_output(VariantRun& run, const exec::Buffer& out)
 {

@@ -31,6 +31,16 @@ VariantRun run_fast_unpriced(const vm::Program& program,
                              exec::LaunchConfig config,
                              std::vector<float> output_placeholder = {});
 
+/// Batched serving path: one exec::launch_batch over the concatenated
+/// index space, vm::ExecMode::Fast, no pricing.  Returns one run per
+/// ArgPack in order; a trapped member only poisons its own run.  Each
+/// run's wall_seconds is the batch wall clock divided by the batch size
+/// (the amortized per-request cost).
+std::vector<VariantRun> run_batch_unpriced(
+    const vm::Program& program,
+    const std::vector<const exec::ArgPack*>& batch,
+    exec::LaunchConfig config);
+
 /// Collect @p out's floats into @p run (convenience since outputs are read
 /// after the launch).
 void attach_output(VariantRun& run, const exec::Buffer& out);

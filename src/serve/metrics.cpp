@@ -57,6 +57,44 @@ LatencyHistogram::snapshot() const
     return out;
 }
 
+void
+BatchHistogram::record(std::size_t size)
+{
+    if (size == 0)
+        return;
+    const std::size_t bucket = size > kMaxSize ? kMaxSize - 1 : size - 1;
+    by_size_[bucket].fetch_add(1, std::memory_order_relaxed);
+    total_requests_.fetch_add(size, std::memory_order_relaxed);
+    std::uint64_t seen = max_size_.load(std::memory_order_relaxed);
+    while (seen < size &&
+           !max_size_.compare_exchange_weak(seen, size,
+                                            std::memory_order_relaxed)) {
+    }
+}
+
+BatchSnapshot
+BatchHistogram::snapshot() const
+{
+    BatchSnapshot out;
+    for (std::size_t i = 0; i < kMaxSize; ++i) {
+        const std::uint64_t count =
+            by_size_[i].load(std::memory_order_relaxed);
+        out.batches += count;
+        if (i >= 1) {
+            out.coalesced += count;
+            out.coalesced_requests += count * (i + 1);
+        }
+    }
+    out.max_size = max_size_.load(std::memory_order_relaxed);
+    const std::uint64_t requests =
+        total_requests_.load(std::memory_order_relaxed);
+    out.mean_size = out.batches > 0
+                        ? static_cast<double>(requests) /
+                              static_cast<double>(out.batches)
+                        : 0.0;
+    return out;
+}
+
 MetricsSnapshot
 Metrics::snapshot() const
 {
@@ -65,6 +103,8 @@ Metrics::snapshot() const
     out.rejected_full = rejected_full.load(std::memory_order_relaxed);
     out.rejected_unknown = rejected_unknown.load(std::memory_order_relaxed);
     out.rejected_stopped = rejected_stopped.load(std::memory_order_relaxed);
+    out.rejected_closed_race =
+        rejected_closed_race.load(std::memory_order_relaxed);
     out.rejected_deadline =
         rejected_deadline.load(std::memory_order_relaxed);
     out.served = served.load(std::memory_order_relaxed);
@@ -87,6 +127,8 @@ Metrics::snapshot() const
     out.warm_data_tiers = warm_data_tiers.load(std::memory_order_relaxed);
     out.queue_depth = queue_depth.load(std::memory_order_relaxed);
     out.latency = latency.snapshot();
+    out.batch = batch.snapshot();
+    out.batch_latency = batch_latency.snapshot();
     return out;
 }
 
@@ -105,6 +147,7 @@ format_metrics(const MetricsSnapshot& snapshot)
     row("rejected (full)", snapshot.rejected_full);
     row("rejected (unknown)", snapshot.rejected_unknown);
     row("rejected (stopped)", snapshot.rejected_stopped);
+    row("rejected (stop race)", snapshot.rejected_closed_race);
     row("rejected (deadline)", snapshot.rejected_deadline);
     row("deadline expired", snapshot.deadline_expired);
     row("trap fallbacks", snapshot.trap_fallbacks);
@@ -133,6 +176,22 @@ format_metrics(const MetricsSnapshot& snapshot)
                   "latency", snapshot.latency.p50 * 1e3,
                   snapshot.latency.p95 * 1e3, snapshot.latency.p99 * 1e3,
                   static_cast<unsigned long long>(snapshot.latency.count));
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "  %-26s total %llu  coalesced %llu  mean %.2f  max %llu\n",
+                  "batches",
+                  static_cast<unsigned long long>(snapshot.batch.batches),
+                  static_cast<unsigned long long>(snapshot.batch.coalesced),
+                  snapshot.batch.mean_size,
+                  static_cast<unsigned long long>(snapshot.batch.max_size));
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "  %-26s p50 %.3gms  p95 %.3gms  p99 %.3gms  (n=%llu)\n",
+                  "batch amortized latency", snapshot.batch_latency.p50 * 1e3,
+                  snapshot.batch_latency.p95 * 1e3,
+                  snapshot.batch_latency.p99 * 1e3,
+                  static_cast<unsigned long long>(
+                      snapshot.batch_latency.count));
     out += line;
     return out;
 }

@@ -39,12 +39,42 @@ class LatencyHistogram {
     std::atomic<std::uint64_t> buckets_[kBuckets] = {};
 };
 
+/// Point-in-time view of the batch-size distribution.
+struct BatchSnapshot {
+    std::uint64_t batches = 0;    ///< Every pop, singletons included.
+    std::uint64_t coalesced = 0;  ///< Batches of size >= 2.
+    /// Requests that rode a coalesced (size >= 2) batch.
+    std::uint64_t coalesced_requests = 0;
+    std::uint64_t max_size = 0;
+    double mean_size = 0.0;       ///< Across all batches.
+};
+
+/// Exact-count batch-size distribution; record() is wait-free.  Sizes
+/// beyond kMaxSize saturate into the top bucket (max_size still reports
+/// the true maximum seen).
+class BatchHistogram {
+  public:
+    void record(std::size_t size);
+    BatchSnapshot snapshot() const;
+
+  private:
+    static constexpr std::size_t kMaxSize = 64;
+    /// by_size_[i] counts batches of exactly i+1 members.
+    std::atomic<std::uint64_t> by_size_[kMaxSize] = {};
+    std::atomic<std::uint64_t> total_requests_{0};
+    std::atomic<std::uint64_t> max_size_{0};
+};
+
 /// Plain-struct copy of every counter, for printing and assertions.
 struct MetricsSnapshot {
     std::uint64_t accepted = 0;
     std::uint64_t rejected_full = 0;
     std::uint64_t rejected_unknown = 0;
     std::uint64_t rejected_stopped = 0;
+    /// Submits that lost the race with stop(): the stopped pre-check
+    /// passed but the queue was already closed.  Surfaced to the client
+    /// with the same "service stopped" reason as the pre-check path.
+    std::uint64_t rejected_closed_race = 0;
     /// Admissions refused because the request's deadline had already
     /// passed or could not be met behind the current backlog.
     std::uint64_t rejected_deadline = 0;
@@ -83,7 +113,14 @@ struct MetricsSnapshot {
     std::uint64_t reinstatements = 0;  ///< Breakers closed (aggregated).
     std::uint64_t probes = 0;          ///< Half-open probes (aggregated).
     std::int64_t queue_depth = 0;
+    /// Sojourn time (admission to resolution) per request.
     LatencySnapshot latency;
+    /// Batch-size distribution of worker pops (gather-window coalescing).
+    BatchSnapshot batch;
+    /// Amortized per-request latency inside coalesced batches: the batch
+    /// serve wall clock divided by its member count, recorded once per
+    /// member.  Compare against `latency` to see what coalescing buys.
+    LatencySnapshot batch_latency;
 };
 
 /// Human-readable multi-line report, used by tools and bench smoke runs.
@@ -97,6 +134,7 @@ class Metrics {
     std::atomic<std::uint64_t> rejected_full{0};
     std::atomic<std::uint64_t> rejected_unknown{0};
     std::atomic<std::uint64_t> rejected_stopped{0};
+    std::atomic<std::uint64_t> rejected_closed_race{0};
     std::atomic<std::uint64_t> rejected_deadline{0};
     std::atomic<std::uint64_t> served{0};
     std::atomic<std::uint64_t> deadline_expired{0};
@@ -114,6 +152,8 @@ class Metrics {
     std::atomic<std::uint64_t> warm_data_tiers{0};
     std::atomic<std::int64_t> queue_depth{0};
     LatencyHistogram latency;
+    BatchHistogram batch;
+    LatencyHistogram batch_latency;
 
     MetricsSnapshot snapshot() const;
 };

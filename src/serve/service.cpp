@@ -35,14 +35,19 @@ to_string(ServeStatus status)
 }
 
 ApproxService::ApproxService(ServiceConfig config)
-    : config_(config), queue_(config.queue_capacity)
+    : config_(config),
+      queue_(config.queue_capacity, [](const Job& job) {
+          return job.deadline;
+      })
 {
     PARAPROX_CHECK(config_.queue_capacity > 0,
                    "queue capacity must be positive");
+    PARAPROX_CHECK(config_.batching.max_batch > 0,
+                   "batch size must be positive");
     const std::size_t count = resolve_workers(config_.num_workers);
     workers_.reserve(count);
     for (std::size_t i = 0; i < count; ++i)
-        workers_.emplace_back([this] { worker_loop(); });
+        workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ApproxService::~ApproxService()
@@ -65,10 +70,12 @@ ApproxService::install_kernel(std::unique_ptr<KernelState> state)
     }
     const std::string name = state->name;
     std::lock_guard<std::mutex> lock(kernels_mutex_);
-    const bool inserted =
-        kernels_.emplace(name, std::move(state)).second;
-    PARAPROX_CHECK(inserted,
+    PARAPROX_CHECK(kernels_.find(name) == kernels_.end(),
                    "kernel `" + name + "` is already registered");
+    // Each kernel owns a queue shard: admission, deadline math, and
+    // worker batching are all per kernel from here on.
+    state->shard = queue_.add_shard();
+    kernels_.emplace(name, std::move(state));
 }
 
 void
@@ -229,9 +236,11 @@ ApproxService::submit(const std::string& kernel, std::uint64_t seed,
     }
     if (options.deadline) {
         // Reject what cannot possibly be served in time: the budget is
-        // gone, or the head-of-line request has already waited longer
-        // than the budget this one has left (FIFO: it waits at least as
-        // long).  Shedding at admission is cheaper for the client than a
+        // gone, or the head-of-line request *in this kernel's shard* has
+        // already waited longer than the budget this one has left (FIFO
+        // within a shard: it waits at least as long).  Another kernel's
+        // backlog is irrelevant — that is the point of sharding.
+        // Shedding at admission is cheaper for the client than a
         // deadline_exceeded future seconds later.
         const auto now = std::chrono::steady_clock::now();
         if (now >= *options.deadline) {
@@ -240,7 +249,7 @@ ApproxService::submit(const std::string& kernel, std::uint64_t seed,
             ticket.reject_reason = "deadline expired";
             return ticket;
         }
-        if (const auto age = queue_.oldest_age();
+        if (const auto age = queue_.oldest_age(state->shard);
             age && *age > *options.deadline - now) {
             metrics_.rejected_deadline.fetch_add(1,
                                                  std::memory_order_relaxed);
@@ -253,85 +262,107 @@ ApproxService::submit(const std::string& kernel, std::uint64_t seed,
     job.kernel = state;
     job.seed = seed;
     job.deadline = options.deadline;
+    job.submitted_at = std::chrono::steady_clock::now();
     ticket.response = job.promise.get_future();
 
     // Count the admission before the push so a racing drain() cannot
-    // observe completed > accepted; undo on rejection.
+    // observe completed > accepted, and raise the depth gauge before the
+    // push so a worker's post-pop decrement cannot race it below zero;
+    // undo both on rejection.
     {
         std::lock_guard<std::mutex> lock(flight_mutex_);
         ++flight_accepted_;
     }
-    const PushResult pushed = queue_.try_push(std::move(job));
+    metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+    const PushResult pushed = queue_.try_push(state->shard, std::move(job));
     if (pushed != PushResult::Ok) {
+        metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
         {
             std::lock_guard<std::mutex> lock(flight_mutex_);
             --flight_accepted_;
         }
         flight_cv_.notify_all();
-        if (pushed == PushResult::Full)
+        if (pushed == PushResult::Full) {
             metrics_.rejected_full.fetch_add(1, std::memory_order_relaxed);
-        else
-            metrics_.rejected_stopped.fetch_add(1,
-                                                std::memory_order_relaxed);
-        ticket.reject_reason = to_string(pushed);
+            ticket.reject_reason = to_string(pushed);
+        } else {
+            // Lost the race with stop(): the stopped_ pre-check passed
+            // but the queue closed underneath us.  The client sees the
+            // same reason as the pre-check path — "queue closed" leaked
+            // an internal detail and made the two paths look like
+            // different failures — while the dedicated counter keeps the
+            // race observable.
+            metrics_.rejected_closed_race.fetch_add(
+                1, std::memory_order_relaxed);
+            ticket.reject_reason = "service stopped";
+        }
         ticket.response = {};
         return ticket;
     }
 
     metrics_.accepted.fetch_add(1, std::memory_order_relaxed);
-    metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
     ticket.accepted = true;
     return ticket;
 }
 
 void
-ApproxService::worker_loop()
+ApproxService::worker_loop(std::size_t worker_index)
 {
-    Job job;
-    while (queue_.pop(job)) {
-        metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
-        update_pressure(queue_.size());
+    // Start each worker's shard scan at its own index so the pool fans
+    // out across kernels instead of convoying on shard 0.
+    std::size_t cursor = worker_index;
+    ShardedQueue<Job>::PopOptions options;
+    options.max_batch = config_.batching.max_batch;
+    options.gather_window = config_.batching.gather_window;
+    options.deadline_headroom = config_.batching.deadline_headroom;
+    options.idle_timeout = config_.degradation.idle_tick;
+
+    for (;;) {
+        ShardedQueue<Job>::BatchPop batch =
+            queue_.pop_batch(cursor, options);
+        if (batch.outcome == ShardedQueue<Job>::PopOutcome::Closed)
+            return;
+        if (batch.outcome == ShardedQueue<Job>::PopOutcome::Idle) {
+            // No traffic for a whole tick is the strongest relief signal
+            // there is.  Feeding it into the ladder here is what lets a
+            // service that degraded under a burst restore while idle —
+            // pressure used to be evaluated only on dequeues, so a quiet
+            // service stayed degraded until the next request arrived.
+            update_pressure(0, 1);
+            continue;
+        }
+
+        metrics_.queue_depth.fetch_sub(
+            static_cast<std::int64_t>(batch.items.size()),
+            std::memory_order_relaxed);
+        // The shard's fill at the moment of the pop, weighted by how many
+        // requests the pop drained: a batch of N is N requests' worth of
+        // evidence, exactly as N singleton pops would have been.
+        update_pressure(batch.items.size() + batch.remaining,
+                        static_cast<int>(batch.items.size()));
+        metrics_.batch.record(batch.items.size());
 
         // Chaos-testing site: stall this worker, as a slow variant or a
         // noisy neighbour would, to pressure deadlines and the ladder.
-        if (const double stall =
-                fault::latency_ms("serve.latency", job.kernel->name);
-            stall > 0.0) {
-            std::this_thread::sleep_for(
-                std::chrono::duration<double, std::milli>(stall));
+        // Consulted once per member — fault pacing and occurrence limits
+        // must see every request whether or not it rode a batch.
+        for (const Job& job : batch.items) {
+            if (const double stall =
+                    fault::latency_ms("serve.latency", job.kernel->name);
+                stall > 0.0) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(stall));
+            }
         }
 
-        const auto start = std::chrono::steady_clock::now();
-        if (job.deadline && start >= *job.deadline) {
-            // Expired while queued: resolve the future with a reason
-            // instead of wasting the worker on an answer nobody reads.
-            metrics_.deadline_expired.fetch_add(1,
-                                                std::memory_order_relaxed);
-            Response response;
-            response.status = ServeStatus::DeadlineExceeded;
-            job.promise.set_value(std::move(response));
-            finish_one();
-            continue;
-        }
-        try {
-            Response response = serve_one(*job.kernel, job.seed);
-            metrics_.latency.record(
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start)
-                    .count());
-            metrics_.served.fetch_add(1, std::memory_order_relaxed);
-            job.promise.set_value(std::move(response));
-        } catch (...) {
-            job.promise.set_exception(std::current_exception());
-        }
-        finish_one();
+        serve_batch(*batch.items.front().kernel, batch.items);
     }
 }
 
 void
-ApproxService::update_pressure(std::size_t depth)
+ApproxService::update_pressure(std::size_t depth, int weight)
 {
-    if (!config_.degradation.enabled)
+    if (!config_.degradation.enabled || weight <= 0)
         return;
     const double fill = static_cast<double>(depth) /
                         static_cast<double>(config_.queue_capacity);
@@ -339,10 +370,10 @@ ApproxService::update_pressure(std::size_t depth)
     {
         std::lock_guard<std::mutex> lock(pressure_mutex_);
         if (fill >= config_.degradation.high_watermark) {
-            ++high_streak_;
+            high_streak_ += weight;
             low_streak_ = 0;
         } else if (fill <= config_.degradation.low_watermark) {
-            ++low_streak_;
+            low_streak_ += weight;
             high_streak_ = 0;
         } else {
             high_streak_ = 0;
@@ -445,6 +476,122 @@ ApproxService::serve_one(KernelState& state, std::uint64_t seed)
 }
 
 void
+ApproxService::serve_batch(KernelState& state, std::vector<Job>& jobs)
+{
+    // Scatter members that expired while queued: resolve their futures
+    // with a reason instead of wasting launch capacity on answers nobody
+    // reads.  The rest of the batch is unaffected.
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Job*> live;
+    live.reserve(jobs.size());
+    for (Job& job : jobs) {
+        if (job.deadline && now >= *job.deadline) {
+            metrics_.deadline_expired.fetch_add(1,
+                                                std::memory_order_relaxed);
+            Response response;
+            response.status = ServeStatus::DeadlineExceeded;
+            job.promise.set_value(std::move(response));
+            finish_one();
+            continue;
+        }
+        live.push_back(&job);
+    }
+    if (live.empty())
+        return;
+
+    // Singleton, recalibration, and probe traffic takes the per-request
+    // path: exact-while-recalibrating and half-open probing are
+    // inherently per request (a probe rides one client request off the
+    // hot path), and a batch of one has nothing to amortize.
+    if (live.size() == 1 ||
+        state.recalibrating.load(std::memory_order_acquire) ||
+        state.tuner.probe_candidate() > 0) {
+        for (Job* job : live) {
+            try {
+                resolve_job(*job, serve_one(state, job->seed));
+            } catch (...) {
+                job->promise.set_exception(std::current_exception());
+                finish_one();
+            }
+        }
+        return;
+    }
+
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(live.size());
+    for (const Job* job : live)
+        seeds.push_back(job->seed);
+
+    const auto start = std::chrono::steady_clock::now();
+    runtime::BatchServed batch;
+    try {
+        batch = state.tuner.serve_batch(seeds);
+    } catch (...) {
+        const std::exception_ptr error = std::current_exception();
+        for (Job* job : live) {
+            job->promise.set_exception(error);
+            finish_one();
+        }
+        return;
+    }
+    const double amortized =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count() /
+        static_cast<double>(live.size());
+
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        runtime::ServedRun& served = batch.runs[i];
+        metrics_.batch_latency.record(amortized);
+
+        Response response;
+        response.run = std::move(served.run);
+        response.served_by = std::move(served.label);
+        response.degraded = served.degraded;
+        response.trap_fallback = served.trap_fallback;
+        if (served.trap_fallback)
+            metrics_.trap_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        if (served.degraded)
+            metrics_.degraded_serves.fetch_add(1,
+                                               std::memory_order_relaxed);
+
+        // Per-member shadow sampling, same policy as serve_one: audit
+        // only clean approximate runs, one admit() decision per request.
+        const bool shadow = served.index != 0 && !served.trap_fallback &&
+                            !served.degraded &&
+                            state.monitor.admit(live[i]->seed);
+        if (shadow) {
+            const runtime::VariantRun exact =
+                state.tuner.run_exact(live[i]->seed);
+            response.shadowed = true;
+            response.shadow_quality = runtime::quality_percent(
+                state.metric, exact.output, response.run.output);
+            metrics_.shadow_runs.fetch_add(1, std::memory_order_relaxed);
+            if (response.shadow_quality < state.toq) {
+                metrics_.shadow_violations.fetch_add(
+                    1, std::memory_order_relaxed);
+                state.tuner.record_failure(served.index);
+            }
+            if (state.monitor.record(response.shadow_quality))
+                trigger_recalibration(state, {});
+        }
+        resolve_job(*live[i], std::move(response));
+    }
+}
+
+void
+ApproxService::resolve_job(Job& job, Response response)
+{
+    metrics_.latency.record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      job.submitted_at)
+            .count());
+    metrics_.served.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(std::move(response));
+    finish_one();
+}
+
+void
 ApproxService::recalibrate_kernel(const std::string& kernel,
                                   std::vector<std::uint64_t> seeds)
 {
@@ -529,10 +676,11 @@ ApproxService::stop()
 }
 
 KernelSnapshot
-ApproxService::snapshot_kernel(const KernelState& state)
+ApproxService::snapshot_kernel(const KernelState& state) const
 {
     KernelSnapshot out;
     out.kernel = state.name;
+    out.queue_depth = queue_.shard_size(state.shard);
     out.selected = state.tuner.selected_label_snapshot();
     out.recalibrating = state.recalibrating.load(std::memory_order_acquire);
     out.degradation_level = state.tuner.degradation_level();

@@ -3,18 +3,20 @@
 ///
 /// A KernelSession (or any variant list) ends at a calibrated
 /// runtime::Tuner — a single-caller object.  ApproxService is what turns
-/// that into a service: requests enter through a bounded MPMC queue with
-/// reject-on-full backpressure, a fixed pool of worker threads executes
-/// them against each kernel's currently selected variant, and a
-/// per-kernel QualityMonitor shadows a sample of requests with the exact
-/// kernel.  On sustained TOQ violation the monitor triggers an
-/// asynchronous recalibration (on the global ThreadPool) over the seeds
-/// that actually drifted; while it runs, the kernel's requests are served
-/// by the always-safe exact member, so nothing queued is ever dropped.
+/// that into a service: requests enter through per-kernel sharded queues
+/// with reject-on-full backpressure, worker threads pop whole same-kernel
+/// batches (holding an undersized batch open for a deadline-bounded
+/// gather window) and execute them as one concatenated launch against the
+/// kernel's currently selected variant, and a per-kernel QualityMonitor
+/// shadows a sample of requests with the exact kernel.  On sustained TOQ
+/// violation the monitor triggers an asynchronous recalibration (on the
+/// global ThreadPool) over the seeds that actually drifted; while it
+/// runs, the kernel's requests are served by the always-safe exact
+/// member, so nothing queued is ever dropped.
 ///
-///     submit -> BoundedQueue -> workers -> Tuner::run_selected
-///                                 |-> QualityMonitor (shadow sample)
-///                                        |-> Tuner::recalibrate (async)
+///     submit -> ShardedQueue[kernel] -> workers -> Tuner::serve_batch
+///                                         |-> QualityMonitor (per member)
+///                                                |-> recalibrate (async)
 
 #pragma once
 
@@ -51,19 +53,48 @@ struct DegradationConfig {
     double high_watermark = 0.75;
     /// Queue fill fraction at/below which relief accumulates.
     double low_watermark = 0.25;
-    /// Consecutive pressure (relief) observations — one per dequeued
-    /// request — required to step down (up).  Hysteresis against bursts.
+    /// Pressure (relief) observations required to step down (up) —
+    /// one per dequeued request, so a popped batch of N counts N times.
+    /// Hysteresis against bursts.
     int sustain = 32;
     /// Deepest ladder level the service will shed to.
     int max_level = 3;
+    /// How often an *idle* worker contributes a relief observation.
+    /// Pressure used to be evaluated only when a request was dequeued,
+    /// so a service that degraded under a burst and then went quiet
+    /// stayed degraded indefinitely and served its first post-idle
+    /// requests at reduced quality; the idle tick lets the ladder
+    /// restore while no traffic flows.
+    std::chrono::steady_clock::duration idle_tick =
+        std::chrono::milliseconds(10);
+};
+
+/// Same-kernel request coalescing knobs.
+struct BatchConfig {
+    /// Most requests one worker pop may serve as a single concatenated
+    /// launch.  1 disables batching entirely.
+    std::size_t max_batch = 16;
+    /// How long an undersized batch holds its kernel's shard open for
+    /// late same-kernel arrivals.  Zero = take what is queued and go.
+    /// The window never extends past the tightest member deadline minus
+    /// `deadline_headroom`.
+    std::chrono::steady_clock::duration gather_window =
+        std::chrono::microseconds(200);
+    /// Safety margin reserved for the launch itself when member
+    /// deadlines bound the gather window.
+    std::chrono::steady_clock::duration deadline_headroom{};
 };
 
 struct ServiceConfig {
     /// Worker threads; 0 resolves like ThreadPool::global() (the
     /// PARAPROX_THREADS override, then hardware_concurrency).
     std::size_t num_workers = 0;
-    /// Bounded queue capacity; pushes beyond it are rejected.
+    /// Bounded queue capacity *per kernel shard*; pushes beyond it are
+    /// rejected.  Each registered kernel owns a shard, so kernels no
+    /// longer compete for one global admission budget.
     std::size_t queue_capacity = 256;
+    /// Same-kernel coalescing (gather window, max batch).
+    BatchConfig batching;
     /// Per-kernel monitoring knobs.
     QualityMonitor::Config monitor;
     /// How workers execute variants.  Serving defaults to the fast VM
@@ -148,6 +179,8 @@ struct KernelSnapshot {
     std::vector<runtime::BreakerSnapshot> breakers;
     /// Empty unless registered via register_pipeline().
     std::vector<PipelineStageSnapshot> stages;
+    /// Requests waiting in this kernel's shard right now.
+    std::size_t queue_depth = 0;
 };
 
 /// Whole-service observability; metrics.backoffs and the breaker
@@ -268,17 +301,28 @@ class ApproxService {
         std::atomic<bool> recalibrating{false};
         /// Per-stage trap attribution; null for single kernels.
         std::shared_ptr<const runtime::PipelineStats> pipeline_stats;
+        /// This kernel's shard in the sharded queue.
+        std::size_t shard = 0;
     };
 
     struct Job {
         KernelState* kernel = nullptr;
         std::uint64_t seed = 0;
         std::optional<std::chrono::steady_clock::time_point> deadline;
+        /// Admission time, for sojourn latency (submit -> resolution).
+        std::chrono::steady_clock::time_point submitted_at;
         std::promise<Response> promise;
     };
 
-    void worker_loop();
+    void worker_loop(std::size_t worker_index);
     Response serve_one(KernelState& state, std::uint64_t seed);
+    /// Serve one popped batch (all jobs share a kernel): scatter expired
+    /// members to DeadlineExceeded, run the rest as one coalesced launch,
+    /// and resolve every member's future.
+    void serve_batch(KernelState& state, std::vector<Job>& jobs);
+    /// Resolve one job's future with @p response, recording sojourn
+    /// latency and the served counter.
+    void resolve_job(Job& job, Response response);
     /// Shared registration tail: service-level tuner policy + insertion.
     void install_kernel(std::unique_ptr<KernelState> state);
     /// Empty @p seeds: use the monitor's recent (drifted) seeds, then the
@@ -287,14 +331,16 @@ class ApproxService {
                                std::vector<std::uint64_t> seeds);
     KernelState* find_kernel(const std::string& name) const;
     void finish_one();
-    /// One pressure observation per dequeued request; steps the
-    /// degradation ladder when the streak crosses the sustain threshold.
-    void update_pressure(std::size_t depth);
-    static KernelSnapshot snapshot_kernel(const KernelState& state);
+    /// Fold @p weight pressure observations of a shard at @p depth into
+    /// the degradation ladder (a popped batch of N counts N times; an
+    /// idle tick counts once at depth 0); steps the ladder when the
+    /// streak crosses the sustain threshold.
+    void update_pressure(std::size_t depth, int weight);
+    KernelSnapshot snapshot_kernel(const KernelState& state) const;
 
     const ServiceConfig config_;
     Metrics metrics_;
-    BoundedQueue<Job> queue_;
+    ShardedQueue<Job> queue_;
 
     mutable std::mutex kernels_mutex_;
     std::map<std::string, std::unique_ptr<KernelState>> kernels_;

@@ -326,6 +326,10 @@ TEST_F(ChaosServeTest, RepeatOffenseGrowsTheCooldown)
 TEST_F(ChaosServeTest, DeadlinesRejectAtAdmissionAndExpireInQueue)
 {
     ServiceConfig config = chaos_service(1, 8);
+    // This test's whole point is requests expiring *in the queue* behind
+    // a busy worker; a gather window would coalesce the doomed request
+    // into the same launch as the blocker and serve it early.
+    config.batching.max_batch = 1;
     ApproxService service(config);
     std::vector<Variant> variants;
     variants.push_back(chaos_variant("exact", 0, 0.0f, 1000.0,

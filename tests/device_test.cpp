@@ -120,6 +120,22 @@ TEST(MemoryModelTest, UncoalescedAccessesCostMore)
     EXPECT_GT(strided.cost.memory_cycles, coalesced.cost.memory_cycles);
 }
 
+TEST(MemoryModelTest, LaunchOverheadChargedOncePerLaunch)
+{
+    // Default pricing carries no launch overhead; a device with the knob
+    // set charges exactly that constant on top, independent of the
+    // breakdown — the per-launch fixed cost batch serving amortizes.
+    DeviceModel gpu = DeviceModel::gtx560();
+    exec::Buffer out1 = exec::Buffer::zeros_f32(4096);
+    exec::Buffer out2 = exec::Buffer::zeros_f32(4096);
+    const auto plain = run_kernel(kStridedSource, 1024, gpu, out1, 1);
+    gpu.launch_overhead_cycles = 8000.0;
+    const auto priced = run_kernel(kStridedSource, 1024, gpu, out2, 1);
+    EXPECT_DOUBLE_EQ(priced.cycles, plain.cycles + 8000.0);
+    EXPECT_DOUBLE_EQ(priced.cost.compute_cycles,
+                     plain.cost.compute_cycles);
+}
+
 TEST(MemoryModelTest, CpuIgnoresCoalescing)
 {
     const DeviceModel cpu = DeviceModel::core_i7();

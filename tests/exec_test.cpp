@@ -183,5 +183,76 @@ TEST(LaunchTest, SharedMemoryIsPerGroup)
         EXPECT_EQ(out.get_int(i), i / 8);
 }
 
+TEST(LaunchTest, BatchMatchesIndividualLaunches)
+{
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global int* out, int base) {
+            int i = get_global_id(0);
+            out[i] = base + i * 3;
+        }
+    )");
+    auto program = vm::compile_kernel(module, "k");
+
+    // Three members with distinct scalars and output buffers, run as one
+    // concatenated launch: each member's results must match a solo
+    // launch, and each member pays only a share of the batch wall clock.
+    std::vector<Buffer> outs;
+    std::vector<ArgPack> packs;
+    outs.reserve(3);
+    packs.reserve(3);
+    std::vector<const ArgPack*> members;
+    for (int m = 0; m < 3; ++m) {
+        outs.push_back(Buffer::zeros_i32(256));
+        ArgPack args;
+        args.buffer("out", outs.back()).scalar("base", 1000 * m);
+        packs.push_back(std::move(args));
+        members.push_back(&packs.back());
+    }
+    const auto results =
+        exec::launch_batch(program, members, LaunchConfig::linear(256, 32));
+    ASSERT_EQ(results.size(), 3u);
+    for (int m = 0; m < 3; ++m) {
+        EXPECT_FALSE(results[m].trapped);
+        EXPECT_GT(results[m].wall_seconds, 0.0);
+        for (int i = 0; i < 256; ++i)
+            ASSERT_EQ(outs[m].get_int(i), 1000 * m + i * 3);
+    }
+}
+
+TEST(LaunchTest, BatchMemberTrapIsIsolated)
+{
+    // Member 1's out buffer is too small, so its stores trap; members 0
+    // and 2 must complete untouched — a trap poisons only its own member.
+    auto module = parser::parse_module(R"(
+        __kernel void k(__global int* out) {
+            int i = get_global_id(0);
+            out[i] = i + 7;
+        }
+    )");
+    auto program = vm::compile_kernel(module, "k");
+
+    Buffer ok_a = Buffer::zeros_i32(64);
+    Buffer tiny = Buffer::zeros_i32(8);
+    Buffer ok_b = Buffer::zeros_i32(64);
+    ArgPack pack_a, pack_tiny, pack_b;
+    pack_a.buffer("out", ok_a);
+    pack_tiny.buffer("out", tiny);
+    pack_b.buffer("out", ok_b);
+    const std::vector<const ArgPack*> members = {&pack_a, &pack_tiny,
+                                                 &pack_b};
+    const auto results =
+        exec::launch_batch(program, members, LaunchConfig::linear(64, 8));
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_FALSE(results[0].trapped);
+    EXPECT_TRUE(results[1].trapped);
+    EXPECT_NE(results[1].trap_message.find("out-of-bounds"),
+              std::string::npos);
+    EXPECT_FALSE(results[2].trapped);
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_EQ(ok_a.get_int(i), i + 7);
+        ASSERT_EQ(ok_b.get_int(i), i + 7);
+    }
+}
+
 }  // namespace
 }  // namespace paraprox

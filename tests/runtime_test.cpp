@@ -465,6 +465,100 @@ TEST(TunerTest, SelectedLabelLockedAgainstConcurrentBackoff)
     EXPECT_EQ(tuner.stats().backoffs, 1u);
 }
 
+TEST(TunerTest, ServeBatchMatchesServePerMember)
+{
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(fake_variant("good", 1, 0.1f, 500.0));
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0);
+    tuner.calibrate({1, 2, 3});
+    const std::uint64_t before = tuner.stats().invocations;
+
+    const BatchServed batch = tuner.serve_batch({4, 5, 6});
+    EXPECT_EQ(batch.label, "good");
+    ASSERT_EQ(batch.runs.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        const ServedRun& served = batch.runs[i];
+        EXPECT_EQ(served.label, "good");
+        EXPECT_FALSE(served.trap_fallback);
+        // Per-member outputs in seed order, as serve() would produce.
+        ASSERT_EQ(served.run.output.size(), 2u);
+        EXPECT_FLOAT_EQ(served.run.output[0],
+                        static_cast<float>(4 + i) + 0.1f);
+    }
+    // A batch of N counts N invocations toward audit/breaker pacing.
+    EXPECT_EQ(tuner.stats().invocations, before + 3);
+}
+
+TEST(TunerTest, ServeBatchUsesCoalescedClosureInFastMode)
+{
+    auto batch_calls = std::make_shared<std::atomic<int>>(0);
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    Variant good = fake_variant("good", 1, 0.1f, 500.0);
+    good.run_batch = [batch_calls,
+                      run = good.run](const std::vector<std::uint64_t>&
+                                          seeds) {
+        batch_calls->fetch_add(1);
+        std::vector<VariantRun> runs;
+        for (const std::uint64_t seed : seeds)
+            runs.push_back(run(seed));
+        return runs;
+    };
+    variants.push_back(std::move(good));
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0);
+    tuner.calibrate({1, 2, 3});
+
+    // Instrumented serving ignores the closure (it is Fast-only)...
+    tuner.serve_batch({7, 8});
+    EXPECT_EQ(batch_calls->load(), 0);
+    // ...Fast serving coalesces the whole batch into one closure call.
+    tuner.set_serving_mode(vm::ExecMode::Fast);
+    const BatchServed batch = tuner.serve_batch({7, 8, 9, 10});
+    EXPECT_EQ(batch_calls->load(), 1);
+    ASSERT_EQ(batch.runs.size(), 4u);
+    EXPECT_FLOAT_EQ(batch.runs[3].run.output[0], 10.0f + 0.1f);
+}
+
+TEST(TunerTest, ServeBatchReservesTrappedMembersExactOnly)
+{
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back({"fragile", 1, [](std::uint64_t seed) {
+                            VariantRun run;
+                            run.output = {static_cast<float>(seed % 100) +
+                                              0.1f,
+                                          10.1f};
+                            run.modeled_cycles = 500.0;
+                            run.trapped = seed >= 100;
+                            return run;
+                        }});
+    Tuner tuner(std::move(variants), Metric::MeanRelativeError, 90.0);
+    tuner.calibrate({1, 2, 3});
+    ASSERT_EQ(tuner.selected_label(), "fragile");
+
+    // The middle member traps; only it falls back to the exact kernel,
+    // and its batch-mates keep the approximate selection's outputs.
+    const BatchServed batch = tuner.serve_batch({4, 150, 5});
+    ASSERT_EQ(batch.runs.size(), 3u);
+    EXPECT_FALSE(batch.runs[0].trap_fallback);
+    EXPECT_EQ(batch.runs[0].label, "fragile");
+    EXPECT_TRUE(batch.runs[1].trap_fallback);
+    EXPECT_EQ(batch.runs[1].label, "exact");
+    EXPECT_FALSE(batch.runs[1].run.trapped);
+    EXPECT_FLOAT_EQ(batch.runs[1].run.output[0], 50.0f);  // 150 % 100
+    EXPECT_FALSE(batch.runs[2].trap_fallback);
+    EXPECT_EQ(batch.runs[2].label, "fragile");
+}
+
+TEST(TunerTest, ServeBatchBeforeCalibrateRejected)
+{
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1.0));
+    Tuner tuner(std::move(variants), Metric::L1Norm, 90.0);
+    EXPECT_THROW(tuner.serve_batch({1, 2}), UserError);
+}
+
 TEST(TunerTest, InvokeBeforeCalibrateRejected)
 {
     std::vector<Variant> variants;

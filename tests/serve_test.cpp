@@ -68,6 +68,154 @@ TEST(BoundedQueueTest, PushResultNames)
     EXPECT_STREQ(to_string(PushResult::Closed), "queue closed");
 }
 
+// ---- ShardedQueue -----------------------------------------------------------
+
+using IntShards = ShardedQueue<int>;
+
+/// Take-what-is-there pop: no gather window, batch bounded by @p max.
+IntShards::BatchPop
+pop_now(IntShards& queue, std::size_t& cursor, std::size_t max,
+        std::chrono::steady_clock::duration idle =
+            std::chrono::milliseconds(1))
+{
+    IntShards::PopOptions options;
+    options.max_batch = max;
+    options.idle_timeout = idle;
+    return queue.pop_batch(cursor, options);
+}
+
+TEST(ShardedQueueTest, FifoWithinShardBatchStaysSingleShard)
+{
+    IntShards queue(8);
+    const std::size_t a = queue.add_shard();
+    const std::size_t b = queue.add_shard();
+    ASSERT_EQ(queue.try_push(a, 1), PushResult::Ok);
+    ASSERT_EQ(queue.try_push(b, 10), PushResult::Ok);
+    ASSERT_EQ(queue.try_push(a, 2), PushResult::Ok);
+    ASSERT_EQ(queue.try_push(a, 3), PushResult::Ok);
+    EXPECT_EQ(queue.size(), 4u);
+    EXPECT_EQ(queue.shard_size(a), 3u);
+
+    std::size_t cursor = 0;
+    auto batch = pop_now(queue, cursor, 16);
+    ASSERT_EQ(batch.outcome, IntShards::PopOutcome::Batch);
+    // One pop never mixes shards: shard a drains FIFO, b stays queued.
+    EXPECT_EQ(batch.shard, a);
+    ASSERT_EQ(batch.items.size(), 3u);
+    EXPECT_EQ(batch.items[0], 1);
+    EXPECT_EQ(batch.items[1], 2);
+    EXPECT_EQ(batch.items[2], 3);
+    EXPECT_EQ(batch.remaining, 0u);
+
+    batch = pop_now(queue, cursor, 16);
+    ASSERT_EQ(batch.outcome, IntShards::PopOutcome::Batch);
+    EXPECT_EQ(batch.shard, b);
+    ASSERT_EQ(batch.items.size(), 1u);
+    EXPECT_EQ(batch.items[0], 10);
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(ShardedQueueTest, CapacityIsPerShard)
+{
+    IntShards queue(2);
+    const std::size_t a = queue.add_shard();
+    const std::size_t b = queue.add_shard();
+    EXPECT_EQ(queue.try_push(a, 1), PushResult::Ok);
+    EXPECT_EQ(queue.try_push(a, 2), PushResult::Ok);
+    EXPECT_EQ(queue.try_push(a, 3), PushResult::Full);
+    // A full neighbour does not consume this shard's budget.
+    EXPECT_EQ(queue.try_push(b, 9), PushResult::Ok);
+    // The rejected push left no phantom pending entry behind.
+    EXPECT_EQ(queue.size(), 3u);
+}
+
+TEST(ShardedQueueTest, MaxBatchBoundsThePopAndReportsRemaining)
+{
+    IntShards queue(8);
+    const std::size_t a = queue.add_shard();
+    for (int i = 0; i < 5; ++i)
+        ASSERT_EQ(queue.try_push(a, i), PushResult::Ok);
+    std::size_t cursor = 0;
+    const auto batch = pop_now(queue, cursor, 3);
+    ASSERT_EQ(batch.outcome, IntShards::PopOutcome::Batch);
+    EXPECT_EQ(batch.items.size(), 3u);
+    EXPECT_EQ(batch.remaining, 2u);
+    EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(ShardedQueueTest, IdleThenCloseOutcomes)
+{
+    IntShards queue(4);
+    const std::size_t a = queue.add_shard();
+    std::size_t cursor = 0;
+    EXPECT_EQ(pop_now(queue, cursor, 1).outcome,
+              IntShards::PopOutcome::Idle);
+
+    ASSERT_EQ(queue.try_push(a, 1), PushResult::Ok);
+    queue.close();
+    EXPECT_EQ(queue.try_push(a, 2), PushResult::Closed);
+    // Queued before close: still drained, then consumers are released.
+    auto batch = pop_now(queue, cursor, 4);
+    ASSERT_EQ(batch.outcome, IntShards::PopOutcome::Batch);
+    EXPECT_EQ(batch.items.size(), 1u);
+    EXPECT_EQ(pop_now(queue, cursor, 4).outcome,
+              IntShards::PopOutcome::Closed);
+}
+
+TEST(ShardedQueueTest, GatherWindowCoalescesLateArrivals)
+{
+    IntShards queue(16);
+    const std::size_t a = queue.add_shard();
+    ASSERT_EQ(queue.try_push(a, 0), PushResult::Ok);
+
+    IntShards::PopOptions options;
+    options.max_batch = 4;
+    options.gather_window = std::chrono::milliseconds(250);
+    options.idle_timeout = std::chrono::seconds(5);
+
+    // The consumer claims the one queued item, then holds the shard open;
+    // the producer trickles in the rest of the batch during the window.
+    std::thread producer([&] {
+        for (int i = 1; i < 4; ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            ASSERT_EQ(queue.try_push(a, i), PushResult::Ok);
+        }
+    });
+    std::size_t cursor = 0;
+    const auto batch = queue.pop_batch(cursor, options);
+    producer.join();
+    ASSERT_EQ(batch.outcome, IntShards::PopOutcome::Batch);
+    // max_batch closes the window early, so all four coalesce well before
+    // the 250 ms window expires.
+    ASSERT_EQ(batch.items.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(batch.items[i], i);
+}
+
+TEST(ShardedQueueTest, TightestDeadlineBoundsTheGatherWindow)
+{
+    // A member due in 10 ms must not be held behind a 10 s gather window:
+    // the pop returns as soon as the member's cutoff arrives.
+    const auto due =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+    IntShards queue(4, [due](const int&) {
+        return std::optional<std::chrono::steady_clock::time_point>(due);
+    });
+    const std::size_t a = queue.add_shard();
+    ASSERT_EQ(queue.try_push(a, 1), PushResult::Ok);
+
+    IntShards::PopOptions options;
+    options.max_batch = 4;
+    options.gather_window = std::chrono::seconds(10);
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t cursor = 0;
+    const auto batch = queue.pop_batch(cursor, options);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    ASSERT_EQ(batch.outcome, IntShards::PopOutcome::Batch);
+    EXPECT_EQ(batch.items.size(), 1u);
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
 // ---- LatencyHistogram -------------------------------------------------------
 
 TEST(LatencyHistogramTest, PercentilesAreOrderedAndBracketSamples)
@@ -661,6 +809,265 @@ TEST(ApproxServiceTest, StopIsIdempotentAndSafeToRaceWithSubmit)
     const Ticket late = service.submit("k", 1);
     EXPECT_FALSE(late.accepted);
     EXPECT_FALSE(late.reject_reason.empty());
+}
+
+// ---- Batching and the serve-path fixes --------------------------------------
+
+TEST(ApproxServiceTest, BurstBehindABusyWorkerCoalescesIntoOneBatch)
+{
+    ServiceConfig config = small_service(1, 64);
+    config.batching.max_batch = 16;
+    ApproxService service(config);
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(fake_variant("good", 1, 0.1f, 100.0));
+    service.register_kernel("k", std::move(variants),
+                            Metric::MeanRelativeError, 90.0, {1, 2, 3});
+
+    // Park the only worker on a slow request, queue a burst behind it,
+    // and let the freed worker take the whole backlog as one pop.
+    std::vector<Variant> blockers;
+    blockers.push_back(fake_variant("exact", 0, 0.0f, 1000.0, 40));
+    service.register_kernel("blocker", std::move(blockers),
+                            Metric::MeanRelativeError, 90.0, {1});
+    Ticket plug = service.submit("blocker", 1);
+    ASSERT_TRUE(plug.accepted);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    std::vector<Ticket> tickets;
+    for (std::uint64_t seed = 0; seed < 12; ++seed)
+        tickets.push_back(service.submit("k", seed));
+    plug.response.get();
+    for (std::uint64_t seed = 0; seed < 12; ++seed) {
+        ASSERT_TRUE(tickets[seed].accepted);
+        const Response response = tickets[seed].response.get();
+        EXPECT_EQ(response.status, ServeStatus::Ok);
+        // Batched members keep per-request outputs: seed-dependent, in
+        // submission order, served by the calibrated selection.
+        EXPECT_EQ(response.served_by, "good");
+        ASSERT_EQ(response.run.output.size(), 2u);
+        EXPECT_FLOAT_EQ(response.run.output[0],
+                        static_cast<float>(seed % 100) + 1.0f + 0.1f);
+    }
+    service.drain();
+
+    const auto metrics = service.metrics().snapshot();
+    EXPECT_EQ(metrics.served, 13u);
+    EXPECT_GE(metrics.batch.coalesced, 1u);
+    EXPECT_GE(metrics.batch.max_size, 2u);
+    EXPECT_GE(metrics.batch.coalesced_requests, metrics.batch.max_size);
+    EXPECT_GT(metrics.batch_latency.count, 0u);
+    // Shadow sampling stays per member inside batches.
+    EXPECT_GT(metrics.shadow_runs, 0u);
+}
+
+TEST(ApproxServiceTest, LadderRestoresAfterTrafficGoesIdle)
+{
+    // Regression: pressure was evaluated only when a request was
+    // dequeued, so a service that degraded under a burst and then went
+    // quiet stayed degraded forever.  The idle tick must walk the ladder
+    // back to level 0 with zero traffic flowing.
+    ServiceConfig config = small_service(1, 8);
+    config.degradation.sustain = 2;
+    config.degradation.idle_tick = std::chrono::milliseconds(2);
+    ApproxService service(config);
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0, 5));
+    variants.push_back(fake_variant("good", 1, 0.1f, 100.0, 5));
+    service.register_kernel("k", std::move(variants),
+                            Metric::MeanRelativeError, 90.0, {1, 2});
+
+    // Plug the worker, then fill the shard so the next pop observes a
+    // fill above the high watermark with the whole burst's weight.
+    std::vector<Ticket> tickets;
+    tickets.push_back(service.submit("k", 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    for (std::uint64_t seed = 2; seed <= 7; ++seed)
+        tickets.push_back(service.submit("k", seed));
+    for (auto& ticket : tickets) {
+        ASSERT_TRUE(ticket.accepted);
+        ticket.response.get();
+    }
+    service.drain();
+    ASSERT_GE(service.metrics().snapshot().degrade_steps, 1u);
+
+    // No further submits: only idle ticks can restore from here.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (service.metrics().snapshot().degradation_level != 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    const auto metrics = service.metrics().snapshot();
+    EXPECT_EQ(metrics.degradation_level, 0);
+    EXPECT_GE(metrics.restore_steps, 1u);
+}
+
+TEST(ApproxServiceTest, QueueDepthGaugeNeverGoesNegative)
+{
+    // Regression: the gauge was incremented after try_push, so a worker
+    // could pop-and-decrement before the producer's increment landed and
+    // a sampler would read -1.  The increment now precedes the push (with
+    // an undo on rejection); a concurrent sampler must never see below
+    // zero.  Run under TSan in CI.
+    ServiceConfig config = small_service(2, 4);
+    ApproxService service(config);
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    service.register_kernel("k", std::move(variants),
+                            Metric::MeanRelativeError, 90.0, {1});
+
+    std::atomic<bool> done{false};
+    std::atomic<std::int64_t> lowest{0};
+    std::thread sampler([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            const std::int64_t depth = service.metrics().queue_depth.load(
+                std::memory_order_relaxed);
+            std::int64_t seen = lowest.load(std::memory_order_relaxed);
+            while (depth < seen &&
+                   !lowest.compare_exchange_weak(
+                       seen, depth, std::memory_order_relaxed)) {
+            }
+        }
+    });
+
+    std::vector<Ticket> tickets;
+    for (std::uint64_t seed = 0; seed < 600; ++seed) {
+        Ticket ticket = service.submit("k", seed);
+        if (ticket.accepted)
+            tickets.push_back(std::move(ticket));
+    }
+    for (auto& ticket : tickets)
+        ticket.response.get();
+    service.drain();
+    done.store(true, std::memory_order_release);
+    sampler.join();
+
+    EXPECT_GE(lowest.load(), 0);
+    EXPECT_EQ(service.metrics().snapshot().queue_depth, 0);
+}
+
+TEST(ApproxServiceTest, StopRaceRejectsWithTheSameReasonAsStopped)
+{
+    // Regression: a submit that passed the stopped_ pre-check but lost
+    // the race with stop() surfaced the internal "queue closed" while the
+    // pre-check path said "service stopped".  Both paths must report one
+    // reason; the race keeps its own counter.
+    for (int round = 0; round < 8; ++round) {
+        ApproxService service(small_service(2, 4096));
+        std::vector<Variant> variants;
+        variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+        service.register_kernel("k", std::move(variants),
+                                Metric::MeanRelativeError, 90.0, {1});
+
+        std::atomic<std::uint64_t> rejected{0};
+        std::vector<std::thread> submitters;
+        for (int t = 0; t < 4; ++t) {
+            submitters.emplace_back([&, t] {
+                for (int i = 0; i < 50; ++i) {
+                    Ticket ticket = service.submit(
+                        "k", static_cast<std::uint64_t>(t * 50 + i));
+                    if (ticket.accepted) {
+                        ticket.response.get();
+                    } else {
+                        EXPECT_EQ(ticket.reject_reason, "service stopped");
+                        rejected.fetch_add(1, std::memory_order_relaxed);
+                    }
+                }
+            });
+        }
+        service.stop();
+        for (auto& thread : submitters)
+            thread.join();
+
+        const auto metrics = service.metrics().snapshot();
+        EXPECT_EQ(metrics.rejected_stopped + metrics.rejected_closed_race,
+                  rejected.load());
+        EXPECT_EQ(metrics.rejected_full, 0u);
+    }
+}
+
+TEST(ApproxServiceTest, DeadlineAdmissionConsultsTheTargetKernelsShard)
+{
+    // Regression: admission compared the deadline against the *global*
+    // head-of-line age, so one slow kernel's backlog rejected every
+    // deadline request for every other kernel.
+    ServiceConfig config = small_service(1, 8);
+    config.batching.max_batch = 1;  // Keep the slow backlog a backlog.
+    ApproxService service(config);
+    std::vector<Variant> slow;
+    slow.push_back(fake_variant("exact", 0, 0.0f, 1000.0, 60));
+    service.register_kernel("slow", std::move(slow),
+                            Metric::MeanRelativeError, 90.0, {1});
+    std::vector<Variant> fast;
+    fast.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    service.register_kernel("fast", std::move(fast),
+                            Metric::MeanRelativeError, 90.0, {1});
+
+    // Occupy the worker and park a request in the slow shard; let its
+    // head-of-line age grow past the budget below.
+    Ticket plug = service.submit("slow", 1);
+    ASSERT_TRUE(plug.accepted);
+    Ticket parked = service.submit("slow", 2);
+    ASSERT_TRUE(parked.accepted);
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+
+    // Same budget, two kernels: the slow shard's backlog is older than
+    // the budget (reject), the fast shard is empty (accept).
+    const auto budget = std::chrono::milliseconds(20);
+    const Ticket doomed =
+        service.submit("slow", 3, SubmitOptions::within(budget));
+    EXPECT_FALSE(doomed.accepted);
+    EXPECT_NE(doomed.reject_reason.find("backlog"), std::string::npos);
+    Ticket isolated =
+        service.submit("fast", 4, SubmitOptions::within(budget));
+    EXPECT_TRUE(isolated.accepted);
+
+    plug.response.get();
+    parked.response.get();
+    if (isolated.accepted)
+        isolated.response.get();
+    service.stop();
+    EXPECT_EQ(service.metrics().snapshot().rejected_deadline, 1u);
+}
+
+TEST(ApproxServiceTest, MixedDeadlineBatchScattersOnlyExpiredMembers)
+{
+    // Two members of one coalesced batch: one expired while queued, one
+    // fresh.  The expired member resolves DeadlineExceeded; its
+    // batch-mate is served normally.
+    ServiceConfig config = small_service(1, 16);
+    config.batching.max_batch = 16;
+    config.batching.gather_window = {};  // Take what is queued and go.
+    ApproxService service(config);
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0, 50));
+    service.register_kernel("k", std::move(variants),
+                            Metric::MeanRelativeError, 90.0, {1});
+
+    Ticket plug = service.submit("k", 1);
+    ASSERT_TRUE(plug.accepted);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    // Queued behind a 50 ms blocker: the 10 ms deadline expires before
+    // the worker frees, the fresh member survives the wait.
+    Ticket expired = service.submit(
+        "k", 2, SubmitOptions::within(std::chrono::milliseconds(10)));
+    ASSERT_TRUE(expired.accepted);
+    Ticket fresh = service.submit(
+        "k", 3, SubmitOptions::within(std::chrono::seconds(30)));
+    ASSERT_TRUE(fresh.accepted);
+
+    EXPECT_EQ(plug.response.get().status, ServeStatus::Ok);
+    EXPECT_EQ(expired.response.get().status,
+              ServeStatus::DeadlineExceeded);
+    EXPECT_EQ(fresh.response.get().status, ServeStatus::Ok);
+    service.drain();
+
+    const auto metrics = service.metrics().snapshot();
+    EXPECT_EQ(metrics.deadline_expired, 1u);
+    EXPECT_EQ(metrics.served, 2u);
+    EXPECT_EQ(metrics.queue_depth, 0);
 }
 
 }  // namespace

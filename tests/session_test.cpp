@@ -120,6 +120,37 @@ TEST(SessionTest, TableAutoBindingMatchesHandWiredLaunch)
     EXPECT_EQ(via_session.output, out->to_floats());
 }
 
+TEST(SessionTest, MemberBatchMatchesPerSeedRuns)
+{
+    auto module = parser::parse_module(kSource);
+    KernelSession session(module, "apply", test_options());
+    const auto plan = test_plan();
+
+    // Batch a memoized member (tables bound once for the whole batch)
+    // and compare member-for-member against solo fast runs.
+    const SessionMember* memoized = nullptr;
+    for (const auto& member : session.members()) {
+        if (!member.tables.empty()) {
+            memoized = &member;
+            break;
+        }
+    }
+    ASSERT_NE(memoized, nullptr);
+
+    const std::vector<std::uint64_t> seeds = {11, 22, 33, 44};
+    const std::vector<VariantRun> batched =
+        session.run_member_batch(*memoized, plan, seeds);
+    ASSERT_EQ(batched.size(), seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        const VariantRun solo = session.run_member(
+            *memoized, plan, seeds[i], vm::ExecMode::Fast);
+        EXPECT_FALSE(batched[i].trapped);
+        ASSERT_EQ(batched[i].output.size(),
+                  static_cast<std::size_t>(kN));
+        EXPECT_EQ(batched[i].output, solo.output);
+    }
+}
+
 TEST(SessionTest, ParallelCalibrationSelectsSameVariantAsSerial)
 {
     auto module = parser::parse_module(kSource);
