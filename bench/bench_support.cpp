@@ -1,9 +1,11 @@
 #include "bench/bench_support.h"
 
 #include <cstdarg>
+#include <cstring>
 
 #include "exec/launch.h"
 #include "memo/table.h"
+#include "store/format.h"
 #include "parser/parser.h"
 #include "runtime/quality.h"
 #include "support/parallel.h"
@@ -332,15 +334,191 @@ BenchReport::write() const
     body += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
 
     const std::string path = "BENCH_" + name_ + ".json";
-    FILE* file = std::fopen(path.c_str(), "w");
-    if (file == nullptr) {
+    if (!json_wellformed(body)) {
+        std::printf("note: %s body is not well-formed JSON; not written\n",
+                    path.c_str());
+        return "";
+    }
+    // Atomic temp+rename (the artifact store's discipline): a bench
+    // crashing mid-write must never leave a truncated BENCH_*.json for
+    // CI to archive as if valid.
+    const std::vector<std::uint8_t> bytes(body.begin(), body.end());
+    if (!store::write_file_atomic(path, bytes)) {
         std::printf("note: could not write %s\n", path.c_str());
         return "";
     }
-    std::fwrite(body.data(), 1, body.size(), file);
-    std::fclose(file);
+    // Paranoia pass: the published file itself must parse.
+    const auto published = store::read_file_bytes(path);
+    if (!published ||
+        !json_wellformed(
+            std::string(published->begin(), published->end()))) {
+        std::printf("note: %s failed post-write validation\n",
+                    path.c_str());
+        return "";
+    }
     std::printf("wrote %s\n", path.c_str());
     return path;
+}
+
+namespace {
+
+/// Minimal recursive-descent JSON checker.  Depth-capped so hostile
+/// nesting cannot blow the stack.
+struct JsonChecker {
+    const char* cursor;
+    const char* end;
+    int depth = 0;
+
+    static constexpr int kMaxDepth = 64;
+
+    void skip_space()
+    {
+        while (cursor != end &&
+               (*cursor == ' ' || *cursor == '\t' || *cursor == '\n' ||
+                *cursor == '\r'))
+            ++cursor;
+    }
+
+    bool literal(const char* word)
+    {
+        const std::size_t length = std::strlen(word);
+        if (static_cast<std::size_t>(end - cursor) < length ||
+            std::strncmp(cursor, word, length) != 0)
+            return false;
+        cursor += length;
+        return true;
+    }
+
+    bool string()
+    {
+        if (cursor == end || *cursor != '"')
+            return false;
+        ++cursor;
+        while (cursor != end && *cursor != '"') {
+            if (*cursor == '\\') {
+                ++cursor;
+                if (cursor == end)
+                    return false;
+            }
+            ++cursor;
+        }
+        if (cursor == end)
+            return false;
+        ++cursor;
+        return true;
+    }
+
+    bool number()
+    {
+        const char* start = cursor;
+        if (cursor != end && (*cursor == '-' || *cursor == '+'))
+            ++cursor;
+        bool digits = false;
+        while (cursor != end &&
+               ((*cursor >= '0' && *cursor <= '9') || *cursor == '.' ||
+                *cursor == 'e' || *cursor == 'E' || *cursor == '-' ||
+                *cursor == '+')) {
+            if (*cursor >= '0' && *cursor <= '9')
+                digits = true;
+            ++cursor;
+        }
+        return digits && cursor != start;
+    }
+
+    bool value()
+    {
+        if (++depth > kMaxDepth)
+            return false;
+        skip_space();
+        bool ok = false;
+        if (cursor == end) {
+            ok = false;
+        } else if (*cursor == '{') {
+            ok = object();
+        } else if (*cursor == '[') {
+            ok = array();
+        } else if (*cursor == '"') {
+            ok = string();
+        } else if (literal("true") || literal("false") ||
+                   literal("null")) {
+            ok = true;
+        } else {
+            ok = number();
+        }
+        --depth;
+        return ok;
+    }
+
+    bool object()
+    {
+        ++cursor;  // '{'
+        skip_space();
+        if (cursor != end && *cursor == '}') {
+            ++cursor;
+            return true;
+        }
+        for (;;) {
+            skip_space();
+            if (!string())
+                return false;
+            skip_space();
+            if (cursor == end || *cursor != ':')
+                return false;
+            ++cursor;
+            if (!value())
+                return false;
+            skip_space();
+            if (cursor == end)
+                return false;
+            if (*cursor == ',') {
+                ++cursor;
+                continue;
+            }
+            if (*cursor == '}') {
+                ++cursor;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        ++cursor;  // '['
+        skip_space();
+        if (cursor != end && *cursor == ']') {
+            ++cursor;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            skip_space();
+            if (cursor == end)
+                return false;
+            if (*cursor == ',') {
+                ++cursor;
+                continue;
+            }
+            if (*cursor == ']') {
+                ++cursor;
+                return true;
+            }
+            return false;
+        }
+    }
+};
+
+}  // namespace
+
+bool
+json_wellformed(const std::string& text)
+{
+    JsonChecker checker{text.data(), text.data() + text.size()};
+    if (!checker.value())
+        return false;
+    checker.skip_space();
+    return checker.cursor == checker.end;
 }
 
 std::size_t

@@ -115,6 +115,12 @@ class BenchReport {
     bool has_geomean_ = false;
 };
 
+/// Structural JSON well-formedness check (objects, arrays, strings,
+/// numbers, booleans, null — no semantic schema).  BenchReport::write
+/// gates on it before and after the atomic write, so a malformed or
+/// truncated BENCH_*.json can never be published for CI to archive.
+bool json_wellformed(const std::string& text);
+
 /// Worker-thread count for concurrency benchmarks: the global pool's
 /// size, which honours the PARAPROX_THREADS environment override.
 std::size_t default_thread_count();

@@ -1,0 +1,97 @@
+/// @file
+/// ReplicaServer: one ApproxService behind an AF_UNIX endpoint.
+///
+/// The server owns the accept loop and one handler thread per
+/// connection; the service and (optional) calibration plane are owned by
+/// the caller, so tests can run several replicas in one process against
+/// real sockets and a shared store — the same code multi-process
+/// deployments (tools/paraprox_frontd, bench_serve_scaleout) run after a
+/// fork/exec.
+///
+/// Shutdown comes in two flavors:
+///   stop()   graceful — stop accepting, unblock handlers, join them
+///            (in-flight requests get their replies first);
+///   abort()  the chaos "kill -9" — every socket is hard-closed and no
+///            further byte leaves the replica, exactly what peers of a
+///            killed process observe.  The owning test then stops the
+///            service normally; clients' lost requests are the front
+///            door's requeue problem, which is the point.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/calibration_plane.h"
+#include "net/wire.h"
+#include "serve/service.h"
+#include "support/socket.h"
+
+namespace paraprox::net {
+
+struct ReplicaOptions {
+    std::string id = "replica";
+    std::string socket_path;
+};
+
+class ReplicaServer {
+  public:
+    /// @p plane may be null (single-process serving, no fleet).  The
+    /// caller keeps ownership of both and must keep them alive until
+    /// stop() returns; stop the server first, then the service, then
+    /// the plane (in-flight recalibrations may still publish).
+    ReplicaServer(serve::ApproxService& service, CalibrationPlane* plane,
+                  ReplicaOptions options);
+    ~ReplicaServer();  ///< stop()s if the caller has not.
+
+    ReplicaServer(const ReplicaServer&) = delete;
+    ReplicaServer& operator=(const ReplicaServer&) = delete;
+
+    /// Bind the endpoint and start accepting.  False if the path cannot
+    /// be bound.
+    bool start();
+    void stop();
+
+    /// Chaos kill: hard-close the listener and every connection without
+    /// a byte of warning.  Idempotent; follow with stop() to join the
+    /// (now unblocked) handler threads.
+    void abort();
+
+    /// Set once a ShutdownRequest arrives; the hosting process polls
+    /// this to exit its serve loop.
+    bool shutdown_requested() const
+    {
+        return shutdown_requested_.load(std::memory_order_acquire);
+    }
+
+    const std::string& id() const { return options_.id; }
+    const std::string& socket_path() const { return options_.socket_path; }
+
+  private:
+    void accept_loop();
+    void handle_connection(const std::shared_ptr<Socket>& connection);
+    ReplicaStats gather_stats() const;
+
+    serve::ApproxService& service_;
+    CalibrationPlane* const plane_;
+    const ReplicaOptions options_;
+
+    Listener listener_;
+    std::thread acceptor_;
+
+    std::mutex connections_mutex_;
+    std::vector<std::shared_ptr<Socket>> connections_;
+    std::vector<std::thread> handlers_;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> aborted_{false};
+    std::atomic<bool> shutdown_requested_{false};
+};
+
+}  // namespace paraprox::net

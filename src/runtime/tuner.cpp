@@ -179,6 +179,12 @@ Tuner::restore_calibration(const CalibrationState& state)
     }
     if (state.selected != state.fallback_order.front())
         return false;
+    // The exact kernel can never have trapped during a real calibration;
+    // a record claiming so (stale write from an edited module, hostile
+    // bytes that survive the checksum) would silently drop index 0 from
+    // the degradation ladder.  Reject it like any other shape mismatch.
+    if (state.profiles[0].trapped || !state.profiles[0].meets_toq)
+        return false;
 
     std::lock_guard<std::mutex> lock(mutex_);
     profiles_ = state.profiles;
@@ -412,6 +418,34 @@ Tuner::record_failure(int index)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return record_failure_locked(index);
+}
+
+std::vector<std::string>
+Tuner::quarantined_labels() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    for (std::size_t v = 0; v < health_.size(); ++v) {
+        if (health_[v].state != BreakerState::Closed)
+            out.push_back(variants_[v].label);
+    }
+    return out;
+}
+
+bool
+Tuner::adopt_quarantine(const std::string& label)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!calibrated_)
+        return false;
+    for (std::size_t v = 1; v < variants_.size(); ++v) {
+        if (variants_[v].label != label)
+            continue;
+        if (health_[v].state != BreakerState::Open)
+            open_breaker_locked(static_cast<int>(v));
+        return true;
+    }
+    return false;
 }
 
 bool

@@ -294,6 +294,18 @@ class Tuner {
     /// regardless of the check interval.
     bool restore_calibration(const CalibrationState& state);
 
+    /// Labels of variants whose breaker is currently not Closed — the
+    /// quarantine verdicts a scale-out replica publishes alongside its
+    /// calibration.  Thread-safe.
+    std::vector<std::string> quarantined_labels() const;
+
+    /// Adopt a peer's quarantine verdict: open the breaker of the
+    /// variant named @p label (selection moves off it if needed).  The
+    /// exact kernel is exempt, as everywhere.  Returns false for an
+    /// unknown label — adoption across a module edit must degrade to a
+    /// no-op, not a crash.  Thread-safe.
+    bool adopt_quarantine(const std::string& label);
+
     /// Locked: selection moves concurrently with the serving path (see
     /// reselect_locked), so even these simple reads must
     /// synchronize.  The returned label reference stays valid — variant

@@ -121,6 +121,12 @@ Metrics::snapshot() const
     out.recalibrations = recalibrations.load(std::memory_order_relaxed);
     out.exact_while_recalibrating =
         exact_while_recalibrating.load(std::memory_order_relaxed);
+    out.suppressed_recalibrations =
+        suppressed_recalibrations.load(std::memory_order_relaxed);
+    out.adopted_calibrations =
+        adopted_calibrations.load(std::memory_order_relaxed);
+    out.adoption_rejects =
+        adoption_rejects.load(std::memory_order_relaxed);
     out.warm_registrations =
         warm_registrations.load(std::memory_order_relaxed);
     out.warm_pipelines = warm_pipelines.load(std::memory_order_relaxed);
@@ -161,6 +167,9 @@ format_metrics(const MetricsSnapshot& snapshot)
     row("shadow violations", snapshot.shadow_violations);
     row("recalibrations", snapshot.recalibrations);
     row("exact while recalibrating", snapshot.exact_while_recalibrating);
+    row("suppressed recalibrations", snapshot.suppressed_recalibrations);
+    row("adopted calibrations", snapshot.adopted_calibrations);
+    row("adoption rejects", snapshot.adoption_rejects);
     row("warm registrations", snapshot.warm_registrations);
     row("warm pipelines", snapshot.warm_pipelines);
     row("warm data tiers", snapshot.warm_data_tiers);

@@ -96,6 +96,17 @@ struct MetricsSnapshot {
     std::uint64_t shadow_violations = 0;
     std::uint64_t recalibrations = 0;
     std::uint64_t exact_while_recalibrating = 0;
+    /// Drift events this replica ceded to the fleet's calibration plane
+    /// (a peer held the drift lease or had already published); the
+    /// kernel served exact until adoption instead of recalibrating.
+    std::uint64_t suppressed_recalibrations = 0;
+    /// Calibrations installed from a peer's publish via
+    /// adopt_calibration() (scale-out: recalibrate once, adopt
+    /// everywhere).
+    std::uint64_t adopted_calibrations = 0;
+    /// adopt_calibration() calls whose payload failed restore
+    /// validation (arity/label drift across module versions).
+    std::uint64_t adoption_rejects = 0;
     /// Kernels registered with a calibration restored from the artifact
     /// store (no profiling sweep at registration).
     std::uint64_t warm_registrations = 0;
@@ -147,6 +158,9 @@ class Metrics {
     std::atomic<std::uint64_t> shadow_violations{0};
     std::atomic<std::uint64_t> recalibrations{0};
     std::atomic<std::uint64_t> exact_while_recalibrating{0};
+    std::atomic<std::uint64_t> suppressed_recalibrations{0};
+    std::atomic<std::uint64_t> adopted_calibrations{0};
+    std::atomic<std::uint64_t> adoption_rejects{0};
     std::atomic<std::uint64_t> warm_registrations{0};
     std::atomic<std::uint64_t> warm_pipelines{0};
     std::atomic<std::uint64_t> warm_data_tiers{0};

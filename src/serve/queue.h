@@ -397,7 +397,15 @@ class ShardedQueue {
                             deadline_of_(shard.items.front().item)) {
                         const auto cutoff =
                             *deadline - options.deadline_headroom;
-                        if (cutoff < window_end)
+                        // A member whose cutoff has already passed
+                        // closes the window outright: the batch must
+                        // launch now.  Merely lowering window_end would
+                        // hand wait_until a stamp in the past — a
+                        // degenerate wait the loop then has to notice
+                        // against a fresh clock read.
+                        if (cutoff <= clock::now())
+                            window_open = false;
+                        else if (cutoff < window_end)
                             window_end = cutoff;
                     }
                 }

@@ -408,9 +408,12 @@ Response
 ApproxService::serve_one(KernelState& state, std::uint64_t seed)
 {
     Response response;
-    if (state.recalibrating.load(std::memory_order_acquire)) {
-        // The tuner is re-profiling: keep serving with the always-safe
-        // exact kernel rather than blocking (or dropping) the request.
+    if (state.recalibrating.load(std::memory_order_acquire) ||
+        state.awaiting_adoption.load(std::memory_order_acquire)) {
+        // The tuner is re-profiling (or a scale-out peer is, and this
+        // replica is waiting to adopt its publish): keep serving with
+        // the always-safe exact kernel rather than blocking (or
+        // dropping) the request.
         response.run = state.tuner.run_exact(seed);
         response.served_by = "exact";
         metrics_.exact_while_recalibrating.fetch_add(
@@ -505,6 +508,7 @@ ApproxService::serve_batch(KernelState& state, std::vector<Job>& jobs)
     // hot path), and a batch of one has nothing to amortize.
     if (live.size() == 1 ||
         state.recalibrating.load(std::memory_order_acquire) ||
+        state.awaiting_adoption.load(std::memory_order_acquire) ||
         state.tuner.probe_candidate() > 0) {
         for (Job* job : live) {
             try {
@@ -603,11 +607,89 @@ ApproxService::recalibrate_kernel(const std::string& kernel,
 }
 
 void
+ApproxService::set_recalibration_gate(RecalibrationGate gate)
+{
+    std::lock_guard<std::mutex> lock(hooks_mutex_);
+    recalibration_gate_ = std::move(gate);
+}
+
+void
+ApproxService::set_calibration_publisher(CalibrationPublisher publisher)
+{
+    std::lock_guard<std::mutex> lock(hooks_mutex_);
+    calibration_publisher_ = std::move(publisher);
+}
+
+bool
+ApproxService::adopt_calibration(const std::string& kernel,
+                                 const runtime::CalibrationState& calibration,
+                                 const std::vector<std::string>& quarantined)
+{
+    KernelState* state = find_kernel(kernel);
+    if (state == nullptr ||
+        !state->tuner.restore_calibration(calibration)) {
+        metrics_.adoption_rejects.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    // Verdict labels that no longer exist locally (module drift) are
+    // skipped by adopt_quarantine; the calibration itself was already
+    // validated against the live variant list.
+    for (const auto& label : quarantined)
+        state->tuner.adopt_quarantine(label);
+    state->monitor.on_recalibrated();
+    state->awaiting_adoption.store(false, std::memory_order_release);
+    metrics_.adopted_calibrations.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ApproxService::awaiting_adoption(const std::string& kernel) const
+{
+    const KernelState* state = find_kernel(kernel);
+    return state != nullptr &&
+           state->awaiting_adoption.load(std::memory_order_acquire);
+}
+
+void
 ApproxService::trigger_recalibration(KernelState& state,
                                      std::vector<std::uint64_t> seeds)
 {
     if (state.recalibrating.exchange(true, std::memory_order_acq_rel))
         return;  // One re-profiling pass at a time per kernel.
+
+    // Fleet arbitration: with a gate installed (scale-out), only the
+    // drift-lease winner burns CPU on the re-profiling sweep; everyone
+    // else either waits for its publish (serving exact meanwhile) or —
+    // when the publish already landed — adopted it inside the gate and
+    // just clears the drift evidence.
+    RecalibrationGate gate;
+    {
+        std::lock_guard<std::mutex> lock(hooks_mutex_);
+        gate = recalibration_gate_;
+    }
+    if (gate) {
+        RecalibrationDecision decision = RecalibrationDecision::Proceed;
+        try {
+            decision = gate(state.name);
+        } catch (...) {
+            // A broken plane must not stop local recovery.
+        }
+        if (decision != RecalibrationDecision::Proceed) {
+            if (decision == RecalibrationDecision::AwaitAdoption)
+                state.awaiting_adoption.store(true,
+                                              std::memory_order_release);
+            metrics_.suppressed_recalibrations.fetch_add(
+                1, std::memory_order_relaxed);
+            state.monitor.on_recalibrated();
+            state.recalibrating.store(false, std::memory_order_release);
+            return;
+        }
+    }
+
+    // A takeover re-drive reaches here with the awaiting flag still set
+    // from the lost lease race; this replica now owns the event, so the
+    // flag lifts when its own recalibration completes, not on adoption.
+    state.awaiting_adoption.store(false, std::memory_order_release);
     metrics_.recalibrations.fetch_add(1, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(flight_mutex_);
@@ -621,11 +703,32 @@ ApproxService::trigger_recalibration(KernelState& state,
             seeds = state.monitor.recent_seeds();
         if (seeds.empty())
             seeds = state.training_seeds;
+        bool recalibrated = true;
         try {
             state.tuner.recalibrate(seeds);
         } catch (...) {
             // An exact-kernel trap during re-profiling leaves the
             // previous selection standing; serving continues either way.
+            recalibrated = false;
+        }
+        if (recalibrated) {
+            // Share a won recalibration with the fleet before lifting
+            // the exact detour, so peers can adopt the same state the
+            // moment this replica resumes approximate serving.
+            CalibrationPublisher publisher;
+            {
+                std::lock_guard<std::mutex> lock(hooks_mutex_);
+                publisher = calibration_publisher_;
+            }
+            if (publisher) {
+                try {
+                    publisher(state.name, state.tuner.calibration_state(),
+                              state.tuner.quarantined_labels());
+                } catch (...) {
+                    // Publishing is best-effort; peers fall back to
+                    // their own lease-stealing recalibration.
+                }
+            }
         }
         state.monitor.on_recalibrated();
         state.recalibrating.store(false, std::memory_order_release);
@@ -683,6 +786,8 @@ ApproxService::snapshot_kernel(const KernelState& state) const
     out.queue_depth = queue_.shard_size(state.shard);
     out.selected = state.tuner.selected_label_snapshot();
     out.recalibrating = state.recalibrating.load(std::memory_order_acquire);
+    out.awaiting_adoption =
+        state.awaiting_adoption.load(std::memory_order_acquire);
     out.degradation_level = state.tuner.degradation_level();
     out.tuner = state.tuner.stats_snapshot();
     out.monitor = state.monitor.snapshot();

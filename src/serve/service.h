@@ -24,6 +24,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -116,6 +117,33 @@ struct ServiceConfig {
     DegradationConfig degradation;
 };
 
+/// How the scale-out calibration plane arbitrates a drift event.  The
+/// service consults an installed RecalibrationGate before burning CPU on
+/// a recalibration; without a gate every drift proceeds locally.
+enum class RecalibrationDecision {
+    /// Recalibrate locally (the single-process default).
+    Proceed,
+    /// A peer owns this drift event (it holds the lease): serve exact
+    /// and wait for adopt_calibration() instead of recalibrating.
+    AwaitAdoption,
+    /// The fleet already resolved this event (the gate adopted the
+    /// published calibration inline): clear the drift evidence and keep
+    /// serving — no exact detour, no local recalibration.
+    AlreadyResolved,
+};
+
+/// Fleet arbitration hook, called once per drift event with the kernel
+/// name.  Runs on the triggering worker thread; keep it fast.
+using RecalibrationGate =
+    std::function<RecalibrationDecision(const std::string& kernel)>;
+
+/// Publish hook, called off the request path (on the recalibration task)
+/// after a locally won recalibration completes, with the fresh
+/// calibration and the quarantine verdicts in force.
+using CalibrationPublisher = std::function<void(
+    const std::string& kernel, const runtime::CalibrationState& calibration,
+    const std::vector<std::string>& quarantined)>;
+
 /// How an accepted request resolved.
 enum class ServeStatus {
     Ok,
@@ -173,6 +201,9 @@ struct KernelSnapshot {
     std::string kernel;
     std::string selected;
     bool recalibrating = false;
+    /// Waiting for a peer's published calibration (scale-out): requests
+    /// are served exact until adopt_calibration() lands.
+    bool awaiting_adoption = false;
     int degradation_level = 0;
     runtime::TunerStats tuner;
     QualityMonitor::Snapshot monitor;
@@ -264,6 +295,31 @@ class ApproxService {
     void recalibrate_kernel(const std::string& kernel,
                             std::vector<std::uint64_t> seeds = {});
 
+    // ---- Scale-out calibration plane ---------------------------------
+    //
+    // A net::CalibrationPlane installs a gate (drift arbitration) and a
+    // publisher (share the won recalibration) and feeds peer publishes
+    // back through adopt_calibration().  Install the hooks before
+    // serving traffic; they are copied under a lock per drift event, so
+    // replacing them mid-flight is safe but the old hook may still see
+    // one in-progress event.
+
+    void set_recalibration_gate(RecalibrationGate gate);
+    void set_calibration_publisher(CalibrationPublisher publisher);
+
+    /// Install a peer-published calibration (and its quarantine
+    /// verdicts) into @p kernel's tuner, clearing any awaiting-adoption
+    /// state and the monitor's drift evidence.  False (and
+    /// metrics().adoption_rejects) when the kernel is unknown or the
+    /// payload fails restore validation against the live variant list —
+    /// an adoption across a module edit degrades to a counted no-op.
+    bool adopt_calibration(const std::string& kernel,
+                           const runtime::CalibrationState& calibration,
+                           const std::vector<std::string>& quarantined);
+
+    /// True while @p kernel serves exact awaiting a peer's publish.
+    bool awaiting_adoption(const std::string& kernel) const;
+
     /// Block until every accepted request has been served and no
     /// recalibration is in flight.
     void drain();
@@ -299,6 +355,9 @@ class ApproxService {
         QualityMonitor monitor;
         const std::vector<std::uint64_t> training_seeds;
         std::atomic<bool> recalibrating{false};
+        /// Scale-out: a peer owns the current drift event; serve exact
+        /// until its publish is adopted.
+        std::atomic<bool> awaiting_adoption{false};
         /// Per-stage trap attribution; null for single kernels.
         std::shared_ptr<const runtime::PipelineStats> pipeline_stats;
         /// This kernel's shard in the sharded queue.
@@ -341,6 +400,11 @@ class ApproxService {
     const ServiceConfig config_;
     Metrics metrics_;
     ShardedQueue<Job> queue_;
+
+    /// Scale-out hooks (see set_recalibration_gate).
+    mutable std::mutex hooks_mutex_;
+    RecalibrationGate recalibration_gate_;
+    CalibrationPublisher calibration_publisher_;
 
     mutable std::mutex kernels_mutex_;
     std::map<std::string, std::unique_ptr<KernelState>> kernels_;

@@ -1,11 +1,15 @@
 #include "store/artifact_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "support/faultinject.h"
 #include "vm/program_cache.h"
@@ -23,6 +27,8 @@ kind_prefix(ArtifactKind kind)
         case ArtifactKind::Calibration: return "calib";
         case ArtifactKind::PipelineCalibration: return "pcal";
         case ArtifactKind::PrecisionCalibration: return "dcal";
+        case ArtifactKind::FleetCalibration: return "fleet";
+        case ArtifactKind::Lease: return "lease";
     }
     return "unknown";
 }
@@ -298,6 +304,95 @@ decode_calibration(const StoreKey& key,
 }
 
 std::vector<std::uint8_t>
+encode_fleet_calibration(const StoreKey& key,
+                         const FleetCalibrationArtifact& artifact)
+{
+    ByteWriter w;
+    w.str(key.canonical());
+    w.u64(artifact.version);
+    w.f64(artifact.toq);
+    w.str(artifact.metric);
+    w.u64(artifact.quarantined.size());
+    for (const auto& label : artifact.quarantined)
+        w.str(label);
+    encode_calibration_state(w, artifact.calibration);
+    return w.bytes();
+}
+
+std::optional<FleetCalibrationArtifact>
+decode_fleet_calibration(const std::vector<std::uint8_t>& payload,
+                         const std::string* expected_key,
+                         std::string* key_out)
+{
+    ByteReader r(payload.data(), payload.size());
+    const std::string embedded = r.str();
+    if (key_out != nullptr)
+        *key_out = embedded;
+    if (expected_key != nullptr && embedded != *expected_key)
+        return std::nullopt;
+    FleetCalibrationArtifact artifact;
+    artifact.version = r.u64();
+    artifact.toq = r.f64();
+    artifact.metric = r.str();
+    const std::size_t quarantined = r.count(1);
+    artifact.quarantined.resize(quarantined);
+    for (auto& label : artifact.quarantined)
+        label = r.str();
+    if (!decode_calibration_state(r, artifact.calibration) || !r.at_end())
+        return std::nullopt;
+    if (artifact.version == 0)
+        return std::nullopt;  // 0 is the "nothing published" sentinel.
+    return artifact;
+}
+
+std::vector<std::uint8_t>
+encode_lease(const StoreKey& key, const LeaseInfo& lease)
+{
+    ByteWriter w;
+    w.str(key.canonical());
+    w.str(lease.owner);
+    w.u64(lease.expires_ms);
+    w.u64(lease.token);
+    return w.bytes();
+}
+
+std::optional<LeaseInfo>
+decode_lease(const StoreKey& key, const std::vector<std::uint8_t>& payload)
+{
+    ByteReader r(payload.data(), payload.size());
+    if (r.str() != key.canonical())
+        return std::nullopt;
+    LeaseInfo lease;
+    lease.owner = r.str();
+    lease.expires_ms = r.u64();
+    lease.token = r.u64();
+    if (!r.at_end())
+        return std::nullopt;
+    return lease;
+}
+
+std::uint64_t
+wall_now_ms()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+/// A process-unique lease token: pid in the high bits (distinct across
+/// the replica fleet) plus a per-process counter (distinct across
+/// acquisitions within one process).
+std::uint64_t
+next_lease_token()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    const std::uint64_t serial =
+        counter.fetch_add(1, std::memory_order_relaxed) + 1;
+    return (static_cast<std::uint64_t>(::getpid()) << 32) ^ serial;
+}
+
+std::vector<std::uint8_t>
 encode_pipeline_calibration(const StoreKey& key,
                             const PipelineCalibrationArtifact& artifact)
 {
@@ -464,6 +559,13 @@ inspect_precision_calibration(const std::vector<std::uint8_t>& payload,
     if (key_out)
         *key_out = key;
     return decode_precision_calibration_body(r);
+}
+
+std::optional<FleetCalibrationArtifact>
+inspect_fleet_calibration(const std::vector<std::uint8_t>& payload,
+                          std::string* key_out)
+{
+    return decode_fleet_calibration(payload, nullptr, key_out);
 }
 
 // ---- StoreKey --------------------------------------------------------------
@@ -641,6 +743,123 @@ ArtifactStore::save_precision_calibration(
                         encode_precision_calibration(key, artifact));
 }
 
+std::optional<FleetCalibrationArtifact>
+ArtifactStore::load_fleet_calibration(const StoreKey& key) const
+{
+    const auto payload = load_payload(key, ArtifactKind::FleetCalibration);
+    if (!payload)
+        return std::nullopt;
+    const std::string canonical = key.canonical();
+    auto artifact = decode_fleet_calibration(*payload, &canonical, nullptr);
+    (artifact ? hits_ : corrupt_rejects_)
+        .fetch_add(1, std::memory_order_relaxed);
+    return artifact;
+}
+
+bool
+ArtifactStore::save_fleet_calibration(
+    const StoreKey& key, const FleetCalibrationArtifact& artifact) const
+{
+    if (artifact.version == 0)
+        return false;  // Reserved: "nothing published yet".
+    return save_payload(key, ArtifactKind::FleetCalibration,
+                        encode_fleet_calibration(key, artifact));
+}
+
+std::uint64_t
+ArtifactStore::fleet_calibration_version(const StoreKey& key) const
+{
+    // The watch poll: deliberately uncounted (it runs every few tens of
+    // milliseconds per tracked kernel) and decoding only far enough to
+    // pull the version stamp.
+    const auto file =
+        read_file_bytes(path_for(key, ArtifactKind::FleetCalibration));
+    if (!file)
+        return 0;
+    const auto payload = decode_record(*file, ArtifactKind::FleetCalibration);
+    if (!payload)
+        return 0;
+    ByteReader r(payload->data(), payload->size());
+    if (r.str() != key.canonical())
+        return 0;
+    const std::uint64_t version = r.u64();
+    return r.ok() ? version : 0;
+}
+
+std::optional<std::uint64_t>
+ArtifactStore::try_acquire_lease(const StoreKey& key,
+                                 const std::string& owner,
+                                 std::uint64_t ttl_ms) const
+{
+    const std::filesystem::path path = path_for(key, ArtifactKind::Lease);
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        LeaseInfo lease;
+        lease.owner = owner;
+        lease.expires_ms = wall_now_ms() + ttl_ms;
+        lease.token = next_lease_token();
+        const auto bytes =
+            encode_record(ArtifactKind::Lease, encode_lease(key, lease));
+        // Write the full record to a private temp file, then link() it
+        // into place: the lease appears with its content atomically, so
+        // a peer can never observe a half-written (hence "undecodable,
+        // steal it") lease from a perfectly healthy writer.  link()
+        // fails with EEXIST when a lease already exists — the same
+        // exclusivity O_EXCL would give, without the content race.
+        const std::filesystem::path temp =
+            path.string() + ".claim-" + hex16(lease.token);
+        const int fd = ::open(temp.c_str(),
+                              O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC,
+                              0644);
+        if (fd < 0)
+            return std::nullopt;
+        const ssize_t written = ::write(fd, bytes.data(), bytes.size());
+        ::close(fd);
+        if (written != static_cast<ssize_t>(bytes.size())) {
+            ::unlink(temp.c_str());
+            return std::nullopt;
+        }
+        const int linked = ::link(temp.c_str(), path.c_str());
+        ::unlink(temp.c_str());
+        if (linked == 0)
+            return lease.token;
+        if (errno != EEXIST)
+            return std::nullopt;
+        const auto current = read_lease(key);
+        if (current && wall_now_ms() <= current->expires_ms)
+            return std::nullopt;  // Held by a live peer.
+        // Expired (or undecodable) lease: steal it.  rename() is the
+        // arbiter — exactly one concurrent stealer's rename succeeds;
+        // the losers loop back to the O_EXCL create and find the
+        // winner's fresh lease.
+        const std::filesystem::path stale =
+            path.string() + ".stale-" + hex16(next_lease_token());
+        if (::rename(path.c_str(), stale.c_str()) == 0)
+            ::unlink(stale.c_str());
+    }
+    return std::nullopt;
+}
+
+void
+ArtifactStore::release_lease(const StoreKey& key, const std::string& owner,
+                             std::uint64_t token) const
+{
+    const auto current = read_lease(key);
+    if (current && current->owner == owner && current->token == token)
+        ::unlink(path_for(key, ArtifactKind::Lease).c_str());
+}
+
+std::optional<LeaseInfo>
+ArtifactStore::read_lease(const StoreKey& key) const
+{
+    const auto file = read_file_bytes(path_for(key, ArtifactKind::Lease));
+    if (!file)
+        return std::nullopt;
+    const auto payload = decode_record(*file, ArtifactKind::Lease);
+    if (!payload)
+        return std::nullopt;
+    return decode_lease(key, *payload);
+}
+
 std::vector<ArtifactStore::Entry>
 ArtifactStore::list() const
 {
@@ -687,7 +906,9 @@ ArtifactStore::prune(bool everything) const
         if (!dirent.is_regular_file())
             continue;
         const std::string name = dirent.path().filename().string();
-        if (name.find(".ppx.tmp") != std::string::npos) {
+        if (name.find(".ppx.tmp") != std::string::npos ||
+            name.find(".ppx.claim-") != std::string::npos ||
+            name.find(".ppx.stale-") != std::string::npos) {
             if (std::filesystem::remove(dirent.path(), ec))
                 ++removed;
         }

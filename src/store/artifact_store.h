@@ -99,6 +99,28 @@ struct PrecisionCalibrationArtifact {
     std::string metric;
 };
 
+/// A fleet-shared calibration, published once per drift event by the
+/// replica that won the drift lease and adopted by every peer.  The
+/// version is monotonic per key — only the lease holder writes, so a
+/// read-increment-write under the lease is race-free — and peers poll it
+/// (fleet_calibration_version) to detect a publish without paying a full
+/// decode.  Quarantine verdicts ride along so a variant one replica
+/// proved unsafe is benched fleet-wide.
+struct FleetCalibrationArtifact {
+    std::uint64_t version = 0;
+    runtime::CalibrationState calibration;
+    std::vector<std::string> quarantined;  ///< Benched variant labels.
+    double toq = 0.0;
+    std::string metric;
+};
+
+/// A decoded drift lease.
+struct LeaseInfo {
+    std::string owner;            ///< Replica id that holds the lease.
+    std::uint64_t expires_ms = 0; ///< system_clock epoch milliseconds.
+    std::uint64_t token = 0;      ///< Unique per acquisition (release check).
+};
+
 class ArtifactStore {
   public:
     /// Opens (creating if needed) the store at @p dir.  A directory that
@@ -131,6 +153,40 @@ class ArtifactStore {
     bool save_precision_calibration(
         const StoreKey& key,
         const PrecisionCalibrationArtifact& artifact) const;
+
+    // ---- Scale-out calibration plane ---------------------------------
+
+    std::optional<FleetCalibrationArtifact>
+    load_fleet_calibration(const StoreKey& key) const;
+    bool save_fleet_calibration(const StoreKey& key,
+                                const FleetCalibrationArtifact& artifact)
+        const;
+
+    /// The published version under @p key, or 0 when no (valid) record
+    /// exists.  This is the replicas' watch poll: it runs every few tens
+    /// of milliseconds per tracked kernel, so unlike the load_* family
+    /// it deliberately does not count hits/misses.
+    std::uint64_t fleet_calibration_version(const StoreKey& key) const;
+
+    /// Try to acquire the drift lease for @p key on behalf of @p owner,
+    /// valid for @p ttl_ms.  Returns the lease token on success, nullopt
+    /// when a live peer holds it.  Creation is O_CREAT|O_EXCL so
+    /// concurrent acquirers race safely; an expired or undecodable lease
+    /// is stolen through an exclusive rename (only one stealer's rename
+    /// succeeds), so a replica that died mid-recalibration blocks peers
+    /// only until its lease expires.
+    std::optional<std::uint64_t>
+    try_acquire_lease(const StoreKey& key, const std::string& owner,
+                      std::uint64_t ttl_ms) const;
+
+    /// Release the lease if it is still ours: the on-disk owner and
+    /// token must both match (the token guards the ABA case where our
+    /// expired lease was stolen and re-acquired by the same owner id).
+    void release_lease(const StoreKey& key, const std::string& owner,
+                       std::uint64_t token) const;
+
+    /// Decode the current lease under @p key, if any (diagnostics).
+    std::optional<LeaseInfo> read_lease(const StoreKey& key) const;
 
     /// One store file, as seen by list()/verify/prune.
     struct Entry {
@@ -198,5 +254,10 @@ inspect_pipeline_calibration(const std::vector<std::uint8_t>& payload,
 std::optional<PrecisionCalibrationArtifact>
 inspect_precision_calibration(const std::vector<std::uint8_t>& payload,
                               std::string* key_out);
+
+/// Unkeyed decode of a fleet-calibration payload, for inspection tools.
+std::optional<FleetCalibrationArtifact>
+inspect_fleet_calibration(const std::vector<std::uint8_t>& payload,
+                          std::string* key_out);
 
 }  // namespace paraprox::store

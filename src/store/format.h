@@ -44,6 +44,16 @@ enum class ArtifactKind : std::uint32_t {
     /// the tuner state over them.  Restoring one skips the traffic
     /// profiling, quantization fitting, and precision search entirely.
     PrecisionCalibration = 5,
+    /// Fleet-shared calibration published by the scale-out plane: a
+    /// monotonically versioned CalibrationState plus the quarantine
+    /// verdicts in force when it was published.  Replicas adopt a newer
+    /// version instead of recalibrating redundantly.
+    FleetCalibration = 6,
+    /// Drift-recalibration lease: which replica owns the right to
+    /// recalibrate a key, until an expiry stamp.  Acquired with
+    /// O_CREAT|O_EXCL (never temp+rename, which would silently replace
+    /// a live owner); an expired lease is stolen via exclusive rename.
+    Lease = 7,
 };
 
 /// FNV-1a over @p size bytes, seeded so it can be chained.

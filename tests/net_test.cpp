@@ -1,0 +1,839 @@
+// Tests for the scale-out serving stack: wire codecs and framing over
+// real AF_UNIX sockets, the artifact store's drift-lease and versioned
+// fleet-calibration records, FrontDoor routing and failover, the
+// CalibrationPlane's one-sweep-per-drift economics (lease win / inline
+// adopt / watch adopt / takeover / redundant publish), and the chaos
+// scenario: a replica killed mid-drift under armed net.drop + vm.trap
+// faults must not cost a single admitted request its reply.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/calibration_plane.h"
+#include "net/frontdoor.h"
+#include "net/replica.h"
+#include "net/wire.h"
+#include "serve/service.h"
+#include "store/artifact_store.h"
+#include "support/faultinject.h"
+#include "support/socket.h"
+
+namespace paraprox::net {
+namespace {
+
+using runtime::Metric;
+using runtime::Variant;
+using runtime::VariantRun;
+
+/// Fresh scratch directory per test; removed on destruction.
+struct TempDir {
+    std::filesystem::path path;
+
+    explicit TempDir(const std::string& tag)
+    {
+        static std::atomic<int> counter{0};
+        path = std::filesystem::temp_directory_path() /
+               ("paraprox-net-" + tag + "-" + std::to_string(::getpid()) +
+                "-" + std::to_string(counter.fetch_add(1)));
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+class NetTest : public ::testing::Test {
+  protected:
+    void SetUp() override { fault::FaultInjector::instance().disarm(); }
+    void TearDown() override { fault::FaultInjector::instance().disarm(); }
+};
+
+using WireTest = NetTest;
+using LeaseTest = NetTest;
+using FrontDoorTest = NetTest;
+using PlaneTest = NetTest;
+using ChaosScaleoutTest = NetTest;
+
+/// Synthetic variant: seed-derived output at a fixed modeled cost.
+/// Non-exact variants visit the vm.trap fault site so chaos specs can
+/// turn runs into traps; @p sleep_ms stretches the re-profiling sweep.
+Variant
+fake_variant(const std::string& label, int aggressiveness, float bias,
+             double cycles, int sleep_ms = 0)
+{
+    return {label, aggressiveness,
+            [label, bias, cycles, sleep_ms](std::uint64_t seed) {
+                if (sleep_ms > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(sleep_ms));
+                VariantRun run;
+                if (label != "exact" && fault::fire("vm.trap", label)) {
+                    run.trapped = true;
+                    return run;
+                }
+                run.output = {static_cast<float>(seed % 100) + 1.0f + bias,
+                              10.0f + bias};
+                run.modeled_cycles = cycles;
+                run.wall_seconds = cycles * 1e-9;
+                return run;
+            }};
+}
+
+std::vector<Variant>
+fleet_variants(int approx_sleep_ms = 0)
+{
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(
+        fake_variant("good", 1, 0.1f, 100.0, approx_sleep_ms));
+    return variants;
+}
+
+void
+register_fleet_kernel(serve::ApproxService& service,
+                      int approx_sleep_ms = 0)
+{
+    service.register_kernel("k", fleet_variants(approx_sleep_ms),
+                            Metric::MeanRelativeError, 90.0, {1, 2, 3});
+}
+
+store::StoreKey
+fleet_key()
+{
+    store::StoreKey key;
+    key.kernel = "k";
+    key.device = "testdev";
+    key.toq = 90.0;
+    key.metric = runtime::to_string(Metric::MeanRelativeError);
+    key.detail = "fleet";
+    return key;
+}
+
+/// A real calibration over fleet_variants(), for fleet-record tests.
+runtime::CalibrationState
+calibrated_state()
+{
+    runtime::Tuner tuner(fleet_variants(), Metric::MeanRelativeError,
+                         90.0);
+    tuner.calibrate({1, 2, 3});
+    return tuner.calibration_state();
+}
+
+bool
+wait_until(const std::function<bool()>& predicate,
+           std::chrono::milliseconds timeout =
+               std::chrono::milliseconds(5000))
+{
+    const auto give_up = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < give_up) {
+        if (predicate())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return predicate();
+}
+
+// ---- Wire codecs and framing -----------------------------------------------
+
+TEST_F(WireTest, SubmitRequestRoundtrip)
+{
+    SubmitRequest request;
+    request.kernel = "k";
+    request.toq = 92.5;
+    request.deadline_us = 12345;
+    request.input = SubmitRequest::seed_input(0xdeadbeefcafeull);
+
+    const auto decoded = SubmitRequest::decode(request.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->kernel, "k");
+    EXPECT_DOUBLE_EQ(decoded->toq, 92.5);
+    EXPECT_EQ(decoded->deadline_us, 12345u);
+    EXPECT_EQ(decoded->seed(), 0xdeadbeefcafeull);
+}
+
+TEST_F(WireTest, SubmitReplyRoundtrip)
+{
+    SubmitReply reply;
+    reply.status = WireStatus::Ok;
+    reply.served_by = "good";
+    reply.replica = "alpha";
+    reply.output = {1.0f, 2.5f, -3.0f};
+
+    const auto decoded = SubmitReply::decode(reply.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->status, WireStatus::Ok);
+    EXPECT_EQ(decoded->served_by, "good");
+    EXPECT_EQ(decoded->replica, "alpha");
+    EXPECT_EQ(decoded->output, (std::vector<float>{1.0f, 2.5f, -3.0f}));
+}
+
+TEST_F(WireTest, ReplicaStatsRoundtrip)
+{
+    ReplicaStats stats;
+    stats.replica = "beta";
+    stats.served = 7;
+    stats.recalibrations = 1;
+    stats.adopted_calibrations = 2;
+    stats.lease_wins = 3;
+    stats.takeovers = 4;
+
+    const auto decoded = ReplicaStats::decode(stats.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->replica, "beta");
+    EXPECT_EQ(decoded->served, 7u);
+    EXPECT_EQ(decoded->recalibrations, 1u);
+    EXPECT_EQ(decoded->adopted_calibrations, 2u);
+    EXPECT_EQ(decoded->lease_wins, 3u);
+    EXPECT_EQ(decoded->takeovers, 4u);
+}
+
+TEST_F(WireTest, DecodersRejectGarbage)
+{
+    // Truncation at every prefix must reject, never crash or misparse.
+    const auto good = [] {
+        SubmitRequest request;
+        request.kernel = "k";
+        request.input = SubmitRequest::seed_input(1);
+        return request.encode();
+    }();
+    for (std::size_t cut = 0; cut < good.size(); ++cut) {
+        const std::vector<std::uint8_t> prefix(good.begin(),
+                                               good.begin() + cut);
+        EXPECT_FALSE(SubmitRequest::decode(prefix).has_value());
+    }
+    EXPECT_FALSE(SubmitReply::decode({0xff, 0xff, 0xff}).has_value());
+    EXPECT_FALSE(ReplicaStats::decode({}).has_value());
+    EXPECT_FALSE(DriftRequest::decode({}).has_value());
+}
+
+TEST_F(WireTest, FrameRoundtripOverUnixSocket)
+{
+    TempDir dir("frame");
+    const std::string path = (dir.path / "s.sock").string();
+    Listener listener;
+    ASSERT_TRUE(listener.listen_unix(path));
+
+    std::thread server([&] {
+        Socket connection = listener.accept();
+        ASSERT_TRUE(connection.valid());
+        const auto frame = recv_frame(connection);
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ(frame->type, MsgType::DriftRequest);
+        send_frame(connection, MsgType::DriftReply, frame->payload);
+    });
+
+    Socket client = connect_unix(path);
+    ASSERT_TRUE(client.valid());
+    DriftRequest drift;
+    drift.kernel = "k";
+    ASSERT_TRUE(
+        send_frame(client, MsgType::DriftRequest, drift.encode()));
+    const auto reply = recv_frame(client);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, MsgType::DriftReply);
+    const auto echoed = DriftRequest::decode(reply->payload);
+    ASSERT_TRUE(echoed.has_value());
+    EXPECT_EQ(echoed->kernel, "k");
+    server.join();
+    listener.close();
+}
+
+TEST_F(WireTest, RecvRejectsBadMagic)
+{
+    TempDir dir("badframe");
+    const std::string path = (dir.path / "s.sock").string();
+    Listener listener;
+    ASSERT_TRUE(listener.listen_unix(path));
+
+    std::thread server([&] {
+        Socket connection = listener.accept();
+        ASSERT_TRUE(connection.valid());
+        EXPECT_FALSE(recv_frame(connection).has_value());
+    });
+
+    Socket client = connect_unix(path);
+    ASSERT_TRUE(client.valid());
+    // 16 bytes of "XXXX...": wrong magic, absurd everything else.
+    const std::vector<std::uint8_t> junk(16, 0x58);
+    ASSERT_TRUE(client.send_all(junk.data(), junk.size()));
+    client.shutdown_both();
+    server.join();
+    listener.close();
+}
+
+TEST_F(WireTest, ArmedNetDropShutsTheConnectionDown)
+{
+    TempDir dir("drop");
+    const std::string path = (dir.path / "s.sock").string();
+    Listener listener;
+    ASSERT_TRUE(listener.listen_unix(path));
+
+    std::thread server([&] {
+        Socket connection = listener.accept();
+        ASSERT_TRUE(connection.valid());
+        // The armed drop on the peer's send means this side observes a
+        // dead connection, exactly like a killed process.
+        EXPECT_FALSE(recv_frame(connection).has_value());
+    });
+
+    fault::FaultSpec spec;
+    spec.site = "net.drop";
+    spec.match = "lossy";
+    spec.every = 1;
+    fault::FaultInjector::instance().arm({spec});
+
+    Socket client = connect_unix(path);
+    ASSERT_TRUE(client.valid());
+    EXPECT_FALSE(send_frame(client, MsgType::StatsRequest, {}, "lossy"));
+    EXPECT_GE(fault::FaultInjector::instance().fires("net.drop"), 1u);
+    server.join();
+    listener.close();
+}
+
+// ---- Drift leases and fleet calibration records ----------------------------
+
+TEST_F(LeaseTest, LeaseIsExclusiveUntilReleased)
+{
+    TempDir dir("lease");
+    store::ArtifactStore store(dir.path);
+    const auto key = fleet_key();
+
+    const auto token = store.try_acquire_lease(key, "alpha", 60000);
+    ASSERT_TRUE(token.has_value());
+    // A live lease turns every other claimant away.
+    EXPECT_FALSE(store.try_acquire_lease(key, "beta", 60000).has_value());
+    EXPECT_FALSE(
+        store.try_acquire_lease(key, "alpha", 60000).has_value());
+
+    // Wrong owner or wrong token must not release someone else's lease.
+    store.release_lease(key, "beta", *token);
+    store.release_lease(key, "alpha", *token + 1);
+    EXPECT_FALSE(store.try_acquire_lease(key, "beta", 60000).has_value());
+
+    store.release_lease(key, "alpha", *token);
+    EXPECT_TRUE(store.try_acquire_lease(key, "beta", 60000).has_value());
+}
+
+TEST_F(LeaseTest, ExpiredLeaseIsStolen)
+{
+    TempDir dir("steal");
+    store::ArtifactStore store(dir.path);
+    const auto key = fleet_key();
+
+    ASSERT_TRUE(store.try_acquire_lease(key, "dead", 1).has_value());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const auto stolen = store.try_acquire_lease(key, "alive", 60000);
+    ASSERT_TRUE(stolen.has_value());
+    const auto lease = store.read_lease(key);
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_EQ(lease->owner, "alive");
+}
+
+TEST_F(LeaseTest, FleetCalibrationVersioning)
+{
+    TempDir dir("fleet");
+    store::ArtifactStore store(dir.path);
+    const auto key = fleet_key();
+
+    EXPECT_EQ(store.fleet_calibration_version(key), 0u);
+
+    store::FleetCalibrationArtifact artifact;
+    artifact.calibration = calibrated_state();
+    artifact.quarantined = {"good"};
+    artifact.toq = 90.0;
+    artifact.metric = runtime::to_string(Metric::MeanRelativeError);
+    // Version 0 is the "nothing published" sentinel — unwritable.
+    artifact.version = 0;
+    EXPECT_FALSE(store.save_fleet_calibration(key, artifact));
+
+    artifact.version = 1;
+    ASSERT_TRUE(store.save_fleet_calibration(key, artifact));
+    EXPECT_EQ(store.fleet_calibration_version(key), 1u);
+
+    const auto loaded = store.load_fleet_calibration(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->version, 1u);
+    EXPECT_EQ(loaded->quarantined, std::vector<std::string>{"good"});
+    EXPECT_EQ(loaded->calibration.profiles.size(),
+              artifact.calibration.profiles.size());
+
+    // A record under one key must not answer for another kernel's.
+    auto other = key;
+    other.kernel = "other";
+    EXPECT_EQ(store.fleet_calibration_version(other), 0u);
+}
+
+// ---- FrontDoor -------------------------------------------------------------
+
+struct InProcessReplica {
+    serve::ApproxService service;
+    ReplicaServer server;
+
+    InProcessReplica(const std::string& id, const std::string& socket_path)
+        : service(small_config()), server(service, nullptr,
+                                          {id, socket_path})
+    {
+        register_fleet_kernel(service);
+    }
+
+    static serve::ServiceConfig small_config()
+    {
+        serve::ServiceConfig config;
+        config.num_workers = 2;
+        config.queue_capacity = 64;
+        return config;
+    }
+};
+
+TEST_F(FrontDoorTest, LeastOutstandingRoutingBalancesTheFleet)
+{
+    TempDir dir("route");
+    InProcessReplica alpha("alpha", (dir.path / "a.sock").string());
+    InProcessReplica beta("beta", (dir.path / "b.sock").string());
+    ASSERT_TRUE(alpha.server.start());
+    ASSERT_TRUE(beta.server.start());
+
+    FrontDoor door({{"alpha", alpha.server.socket_path()},
+                    {"beta", beta.server.socket_path()}});
+    ASSERT_TRUE(door.start());
+
+    int ok = 0;
+    for (int i = 0; i < 16; ++i) {
+        SubmitRequest request;
+        request.kernel = "k";
+        request.input = SubmitRequest::seed_input(100 + i);
+        const SubmitReply reply = door.route(std::move(request));
+        if (reply.status == WireStatus::Ok)
+            ++ok;
+    }
+    EXPECT_EQ(ok, 16);
+
+    const auto stats = door.stats();
+    EXPECT_EQ(stats.requests, 16u);
+    EXPECT_EQ(stats.rejected_no_replica, 0u);
+    ASSERT_EQ(stats.routed.size(), 2u);
+    // Sequential requests, equal outstanding counts: the round-robin
+    // tie-break must spread them instead of pinning one replica.
+    EXPECT_GT(stats.routed[0], 0u);
+    EXPECT_GT(stats.routed[1], 0u);
+
+    door.stop();
+    alpha.server.stop();
+    beta.server.stop();
+    alpha.service.stop();
+    beta.service.stop();
+}
+
+TEST_F(FrontDoorTest, DeadReplicaFailsOverWithoutLosingRequests)
+{
+    TempDir dir("failover");
+    InProcessReplica alpha("alpha", (dir.path / "a.sock").string());
+    InProcessReplica beta("beta", (dir.path / "b.sock").string());
+    ASSERT_TRUE(alpha.server.start());
+    ASSERT_TRUE(beta.server.start());
+
+    FrontDoor door({{"alpha", alpha.server.socket_path()},
+                    {"beta", beta.server.socket_path()}});
+    ASSERT_TRUE(door.start());
+
+    // Prime pooled connections to both replicas.
+    for (int i = 0; i < 4; ++i) {
+        SubmitRequest request;
+        request.kernel = "k";
+        request.input = SubmitRequest::seed_input(10 + i);
+        EXPECT_EQ(door.route(std::move(request)).status, WireStatus::Ok);
+    }
+
+    // Chaos kill: alpha's sockets die without a byte of warning.
+    alpha.server.abort();
+
+    int ok = 0;
+    for (int i = 0; i < 8; ++i) {
+        SubmitRequest request;
+        request.kernel = "k";
+        request.input = SubmitRequest::seed_input(50 + i);
+        const SubmitReply reply = door.route(std::move(request));
+        if (reply.status == WireStatus::Ok) {
+            ++ok;
+            EXPECT_EQ(reply.replica, "beta");
+        }
+    }
+    EXPECT_EQ(ok, 8);
+    EXPECT_FALSE(door.replica_alive(0));
+    EXPECT_TRUE(door.replica_alive(1));
+    const auto stats = door.stats();
+    EXPECT_GE(stats.replica_failures, 1u);
+    EXPECT_EQ(stats.rejected_no_replica, 0u);
+
+    door.stop();
+    alpha.server.stop();
+    beta.server.stop();
+    alpha.service.stop();
+    beta.service.stop();
+}
+
+TEST_F(FrontDoorTest, NoLiveReplicaIsACountedRejection)
+{
+    TempDir dir("nolive");
+    InProcessReplica alpha("alpha", (dir.path / "a.sock").string());
+    ASSERT_TRUE(alpha.server.start());
+    FrontDoor door({{"alpha", alpha.server.socket_path()}});
+    ASSERT_TRUE(door.start());
+
+    alpha.server.abort();
+    SubmitRequest first;
+    first.kernel = "k";
+    first.input = SubmitRequest::seed_input(1);
+    // The first request discovers the corpse; it and every later
+    // request must resolve as a counted rejection, never hang or
+    // vanish.
+    EXPECT_NE(door.route(std::move(first)).status, WireStatus::Ok);
+    SubmitRequest second;
+    second.kernel = "k";
+    second.input = SubmitRequest::seed_input(2);
+    const SubmitReply reply = door.route(std::move(second));
+    EXPECT_EQ(reply.status, WireStatus::Rejected);
+    EXPECT_NE(reply.reject_reason.find("no live replica"),
+              std::string::npos);
+    EXPECT_GE(door.stats().rejected_no_replica, 1u);
+
+    door.stop();
+    alpha.server.stop();
+    alpha.service.stop();
+}
+
+// ---- CalibrationPlane ------------------------------------------------------
+
+struct PlaneHarness {
+    std::shared_ptr<store::ArtifactStore> store;
+    serve::ApproxService service;
+    CalibrationPlane plane;
+
+    PlaneHarness(const std::filesystem::path& dir, const std::string& id,
+                 PlaneConfig config = {}, int approx_sleep_ms = 0)
+        : store(std::make_shared<store::ArtifactStore>(dir)),
+          service(InProcessReplica::small_config()),
+          plane(service, store, with_id(std::move(config), id))
+    {
+        register_fleet_kernel(service, approx_sleep_ms);
+        plane.track("k", fleet_key());
+        plane.start();
+    }
+
+    static PlaneConfig with_id(PlaneConfig config, const std::string& id)
+    {
+        config.replica_id = id;
+        return config;
+    }
+
+    void stop()
+    {
+        service.stop();
+        plane.stop();
+    }
+};
+
+TEST_F(PlaneTest, OneDriftEventCostsOneFleetSweep)
+{
+    TempDir dir("plane");
+    PlaneConfig config;
+    config.watch_interval = std::chrono::milliseconds(10);
+    PlaneHarness alpha(dir.path, "alpha", config);
+    PlaneHarness beta(dir.path, "beta", config);
+
+    // The same drift lands on both replicas (the fleet-wide broadcast
+    // case); the lease must collapse it to a single re-profiling sweep.
+    alpha.service.recalibrate_kernel("k");
+    beta.service.recalibrate_kernel("k");
+
+    ASSERT_TRUE(wait_until([&] {
+        const auto am = alpha.service.metrics().snapshot();
+        const auto bm = beta.service.metrics().snapshot();
+        return alpha.plane.stats().published +
+                       beta.plane.stats().published >=
+                   1 &&
+               am.adopted_calibrations + bm.adopted_calibrations >= 1;
+    }));
+
+    const auto am = alpha.service.metrics().snapshot();
+    const auto bm = beta.service.metrics().snapshot();
+    EXPECT_EQ(am.recalibrations + bm.recalibrations, 1u);
+    EXPECT_EQ(am.adopted_calibrations + bm.adopted_calibrations, 1u);
+    EXPECT_EQ(am.suppressed_recalibrations + bm.suppressed_recalibrations,
+              1u);
+    const auto a = alpha.plane.stats();
+    const auto b = beta.plane.stats();
+    EXPECT_EQ(a.published + b.published, 1u);
+    EXPECT_EQ(a.redundant + b.redundant, 0u);
+    EXPECT_FALSE(alpha.service.awaiting_adoption("k"));
+    EXPECT_FALSE(beta.service.awaiting_adoption("k"));
+
+    alpha.stop();
+    beta.stop();
+}
+
+TEST_F(PlaneTest, LatePublishLandsThroughTheWatchThread)
+{
+    TempDir dir("watch");
+    PlaneConfig config;
+    config.watch_interval = std::chrono::milliseconds(10);
+    PlaneHarness alpha(dir.path, "alpha", config);
+    PlaneHarness beta(dir.path, "beta", config);
+
+    // Only alpha sees the drift; beta must still converge onto the
+    // published calibration via its version watch.
+    alpha.service.recalibrate_kernel("k");
+
+    ASSERT_TRUE(wait_until([&] {
+        return beta.service.metrics().snapshot().adopted_calibrations >=
+               1;
+    }));
+    EXPECT_EQ(alpha.plane.stats().published, 1u);
+    EXPECT_EQ(beta.service.metrics().snapshot().recalibrations, 0u);
+
+    alpha.stop();
+    beta.stop();
+}
+
+TEST_F(PlaneTest, TakeoverAfterLeaseWinnerDies)
+{
+    TempDir dir("takeover");
+    PlaneConfig config;
+    config.watch_interval = std::chrono::milliseconds(10);
+    config.adoption_timeout = std::chrono::milliseconds(60);
+    PlaneHarness beta(dir.path, "beta", config);
+
+    // A ghost replica won the drift lease and died mid-recalibration:
+    // its lease expires with nothing published.
+    ASSERT_TRUE(beta.store->try_acquire_lease(fleet_key(), "ghost", 40)
+                    .has_value());
+
+    beta.service.recalibrate_kernel("k");
+    // Beta loses the race first...
+    ASSERT_TRUE(wait_until(
+        [&] { return beta.plane.stats().lease_losses >= 1; }));
+    EXPECT_EQ(
+        beta.service.metrics().snapshot().suppressed_recalibrations, 1u);
+
+    // ...then times out awaiting adoption, steals the expired lease,
+    // and finishes the drift event itself.
+    ASSERT_TRUE(wait_until([&] {
+        const auto stats = beta.plane.stats();
+        return stats.takeovers >= 1 && stats.published >= 1;
+    }));
+    EXPECT_EQ(beta.service.metrics().snapshot().recalibrations, 1u);
+    EXPECT_GE(beta.plane.stats().lease_wins, 1u);
+    EXPECT_FALSE(beta.service.awaiting_adoption("k"));
+    EXPECT_EQ(beta.store->fleet_calibration_version(fleet_key()), 1u);
+
+    beta.stop();
+}
+
+TEST_F(PlaneTest, LostLeasePublishIsRedundantNotClobbering)
+{
+    TempDir dir("zombie");
+    PlaneConfig slow;
+    slow.watch_interval = std::chrono::milliseconds(10);
+    slow.lease_ttl = std::chrono::milliseconds(30);
+    // Alpha's re-profiling sweep (sleeping variant) far outlives its
+    // lease: the fleet is entitled to treat it as dead.
+    PlaneHarness alpha(dir.path, "alpha", slow, /*approx_sleep_ms=*/40);
+    PlaneConfig fast;
+    fast.watch_interval = std::chrono::milliseconds(10);
+    PlaneHarness beta(dir.path, "beta", fast);
+
+    alpha.service.recalibrate_kernel("k");
+    EXPECT_EQ(alpha.plane.stats().lease_wins, 1u);
+
+    // Wait out alpha's lease; beta's gate then steals it and runs its
+    // own sweep.  Whichever sweep completes second finds the fleet
+    // version moved: its publish must count itself redundant and adopt
+    // the winner's record instead of clobbering it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(35));
+    beta.service.recalibrate_kernel("k");
+    EXPECT_EQ(beta.plane.stats().lease_wins, 1u);
+
+    ASSERT_TRUE(wait_until([&] {
+        return alpha.plane.stats().redundant +
+                   beta.plane.stats().redundant >=
+               1;
+    }));
+    const auto a = alpha.plane.stats();
+    const auto b = beta.plane.stats();
+    EXPECT_EQ(a.published + b.published, 1u);
+    EXPECT_EQ(a.redundant + b.redundant, 1u);
+    const auto am = alpha.service.metrics().snapshot();
+    const auto bm = beta.service.metrics().snapshot();
+    EXPECT_GE(am.adopted_calibrations + bm.adopted_calibrations, 1u);
+    EXPECT_EQ(beta.store->fleet_calibration_version(fleet_key()), 1u);
+
+    alpha.stop();
+    beta.stop();
+}
+
+TEST_F(PlaneTest, AdoptionRejectsCountWhenRecordsDoNotFit)
+{
+    // A published record whose variant inventory does not match the
+    // local kernel (module drift across replica builds) must be
+    // rejected at adoption, not installed.
+    serve::ApproxService service(InProcessReplica::small_config());
+    register_fleet_kernel(service);
+    auto state = calibrated_state();
+    state.profiles[1].label = "renamed";
+    EXPECT_FALSE(service.adopt_calibration("k", state, {}));
+    EXPECT_EQ(service.metrics().snapshot().adoption_rejects, 1u);
+
+    // A fitting record installs cleanly.
+    EXPECT_TRUE(service.adopt_calibration("k", calibrated_state(), {}));
+    EXPECT_EQ(service.metrics().snapshot().adopted_calibrations, 1u);
+    service.stop();
+}
+
+TEST_F(PlaneTest, AdoptedQuarantineOpensLocalBreaker)
+{
+    serve::ApproxService service(InProcessReplica::small_config());
+    register_fleet_kernel(service);
+
+    ASSERT_TRUE(
+        service.adopt_calibration("k", calibrated_state(), {"good"}));
+    const auto snapshot = service.kernel_snapshot("k");
+    bool found = false;
+    for (const auto& breaker : snapshot.breakers) {
+        if (breaker.label == "good") {
+            found = true;
+            EXPECT_NE(breaker.state, runtime::BreakerState::Closed);
+        }
+    }
+    EXPECT_TRUE(found);
+    // With its only approximation quarantined fleet-wide, the kernel
+    // serves exact.
+    auto ticket = service.submit("k", 42);
+    ASSERT_TRUE(ticket.accepted);
+    EXPECT_EQ(ticket.response.get().served_by, "exact");
+    service.stop();
+}
+
+// ---- Chaos: kill a replica mid-drift ---------------------------------------
+
+TEST_F(ChaosScaleoutTest, KilledReplicaMidDriftLosesNoRequests)
+{
+    TempDir dir("chaos");
+
+    PlaneConfig config;
+    config.watch_interval = std::chrono::milliseconds(10);
+    config.adoption_timeout = std::chrono::milliseconds(80);
+    config.lease_ttl = std::chrono::milliseconds(60);
+    // Alpha's re-profiling sweep sleeps, so the abort below lands
+    // mid-drift, with the lease held.
+    PlaneHarness alpha(dir.path, "alpha", config, /*approx_sleep_ms=*/30);
+    PlaneHarness beta(dir.path, "beta", config);
+
+    ReplicaServer alpha_server(alpha.service, &alpha.plane,
+                               {"alpha", (dir.path / "a.sock").string()});
+    ReplicaServer beta_server(beta.service, &beta.plane,
+                              {"beta", (dir.path / "b.sock").string()});
+    ASSERT_TRUE(alpha_server.start());
+    ASSERT_TRUE(beta_server.start());
+
+    FrontDoor door({{"alpha", alpha_server.socket_path()},
+                    {"beta", beta_server.socket_path()}});
+    ASSERT_TRUE(door.start());
+
+    // Armed chaos (after registration, so calibration stays clean): one
+    // of alpha's replies is dropped on the wire, and the approximate
+    // variant traps occasionally.
+    std::vector<fault::FaultSpec> specs;
+    fault::FaultSpec drop;
+    drop.site = "net.drop";
+    drop.match = "replica:alpha";
+    drop.every = 3;
+    drop.limit = 1;
+    specs.push_back(drop);
+    fault::FaultSpec trap;
+    trap.site = "vm.trap";
+    trap.match = "good";
+    trap.every = 5;
+    trap.limit = 2;
+    specs.push_back(trap);
+    fault::FaultInjector::instance().arm(specs);
+
+    // Concurrent client load throughout the kill.
+    constexpr int kClients = 3;
+    constexpr int kPerClient = 12;
+    std::atomic<int> terminal{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < kPerClient; ++i) {
+                SubmitRequest request;
+                request.kernel = "k";
+                request.input = SubmitRequest::seed_input(
+                    static_cast<std::uint64_t>(c) * 1000 + i);
+                const SubmitReply reply = door.route(std::move(request));
+                if (reply.status == WireStatus::Ok ||
+                    reply.status == WireStatus::DeadlineExceeded ||
+                    reply.status == WireStatus::Rejected)
+                    terminal.fetch_add(1);
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+        });
+    }
+
+    // Drift lands fleet-wide; alpha wins the lease (beta's gate runs
+    // after alpha's sweep started) and is killed mid-sweep.
+    alpha.service.recalibrate_kernel("k");
+    EXPECT_EQ(alpha.plane.stats().lease_wins, 1u);
+    beta.service.recalibrate_kernel("k");
+    alpha_server.abort();
+
+    for (auto& client : clients)
+        client.join();
+
+    // Zero silent losses: every admitted request resolved terminally.
+    EXPECT_EQ(terminal.load(), kClients * kPerClient);
+    const auto door_stats = door.stats();
+    EXPECT_EQ(door_stats.requests,
+              static_cast<std::uint64_t>(kClients * kPerClient));
+    EXPECT_EQ(door_stats.rejected_no_replica, 0u);
+    EXPECT_FALSE(door.replica_alive(0));
+
+    // The drift event still resolves fleet-wide: either alpha's zombie
+    // publish lands (only its sockets were killed, not its service) or
+    // beta takes the event over after its adoption timeout.
+    ASSERT_TRUE(wait_until([&] {
+        return alpha.plane.stats().published +
+                   beta.plane.stats().published >=
+               1;
+    }));
+    ASSERT_TRUE(wait_until([&] {
+        const auto am = alpha.service.metrics().snapshot();
+        const auto bm = beta.service.metrics().snapshot();
+        return am.adopted_calibrations + am.recalibrations >= 1 &&
+               bm.adopted_calibrations + bm.recalibrations +
+                       bm.suppressed_recalibrations >=
+                   1;
+    }));
+
+    door.stop();
+    alpha_server.stop();
+    beta_server.stop();
+    alpha.stop();
+    beta.stop();
+}
+
+}  // namespace
+}  // namespace paraprox::net

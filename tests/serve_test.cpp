@@ -216,6 +216,36 @@ TEST(ShardedQueueTest, TightestDeadlineBoundsTheGatherWindow)
     EXPECT_LT(elapsed, std::chrono::seconds(5));
 }
 
+TEST(ShardedQueueTest, AlreadyPassedCutoffClosesTheWindowImmediately)
+{
+    // A member whose `deadline - headroom` is already in the past must
+    // close the gather window on sight: the launch margin is gone, so
+    // holding the shard open for late arrivals could only expire it.
+    // (Regression: the window loop used to treat a passed cutoff as a
+    // wait target and slept on it.)
+    const auto due =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+    IntShards queue(4, [due](const int&) {
+        return std::optional<std::chrono::steady_clock::time_point>(due);
+    });
+    const std::size_t a = queue.add_shard();
+    ASSERT_EQ(queue.try_push(a, 1), PushResult::Ok);
+
+    IntShards::PopOptions options;
+    options.max_batch = 4;
+    options.gather_window = std::chrono::seconds(10);
+    options.deadline_headroom = std::chrono::milliseconds(100);
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t cursor = 0;
+    const auto batch = queue.pop_batch(cursor, options);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    ASSERT_EQ(batch.outcome, IntShards::PopOutcome::Batch);
+    EXPECT_EQ(batch.items.size(), 1u);
+    // Returned on sight: well before the member's own 50 ms deadline,
+    // let alone the 10 s window.
+    EXPECT_LT(elapsed, std::chrono::milliseconds(40));
+}
+
 // ---- LatencyHistogram -------------------------------------------------------
 
 TEST(LatencyHistogramTest, PercentilesAreOrderedAndBracketSamples)
@@ -426,6 +456,59 @@ TEST(ApproxServiceTest, UnknownKernelRejectedWithReason)
     EXPECT_NE(ticket.reject_reason.find("unknown kernel"),
               std::string::npos);
     EXPECT_EQ(service.metrics().snapshot().rejected_unknown, 1u);
+}
+
+TEST(ApproxServiceTest, SubmitDuringRegisterResolvesEveryTicket)
+{
+    // Submits racing register_kernel must each resolve one way: a
+    // stable "unknown kernel" rejection while the kernel has not landed
+    // (registration calibrates first, so the window is real), or an
+    // accepted request that is actually served — never a hang or a
+    // reasonless reject.
+    ApproxService service(small_service(2, 64));
+    std::atomic<bool> registered{false};
+    std::atomic<int> unknown_rejects{0};
+    std::atomic<int> served{0};
+
+    std::thread submitter([&] {
+        for (std::uint64_t seed = 0; seed < 100000; ++seed) {
+            Ticket ticket = service.submit("race", seed);
+            if (ticket.accepted) {
+                const Response response = ticket.response.get();
+                if (response.status == ServeStatus::Ok)
+                    served.fetch_add(1);
+            } else {
+                const bool unknown =
+                    ticket.reject_reason.find("unknown kernel") !=
+                    std::string::npos;
+                const bool full = ticket.reject_reason.find("full") !=
+                                  std::string::npos;
+                EXPECT_TRUE(unknown || full) << ticket.reject_reason;
+                if (unknown)
+                    unknown_rejects.fetch_add(1);
+            }
+            if (registered.load(std::memory_order_acquire) &&
+                served.load() > 0)
+                break;
+        }
+    });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::vector<Variant> variants;
+    variants.push_back(fake_variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(fake_variant("good", 1, 0.1f, 100.0));
+    service.register_kernel("race", std::move(variants),
+                            Metric::MeanRelativeError, 90.0, {1, 2, 3});
+    registered.store(true, std::memory_order_release);
+    submitter.join();
+
+    // Both phases were exercised: pre-registration rejects and
+    // post-registration serves.
+    EXPECT_GT(unknown_rejects.load(), 0);
+    EXPECT_GT(served.load(), 0);
+    EXPECT_GE(service.metrics().snapshot().rejected_unknown,
+              static_cast<std::uint64_t>(unknown_rejects.load()));
+    service.stop();
 }
 
 TEST(ApproxServiceTest, BackpressureRejectsWhenQueueFull)

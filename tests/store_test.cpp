@@ -627,6 +627,92 @@ TEST(StoreWarmStartTest, StaleCalibrationIsRejectedNotInstalled)
     vm::ProgramCache::global().clear();
 }
 
+TEST(StoreWarmStartTest, RestoreRejectsArityAndHostileCalibrations)
+{
+    // Tuner::restore_calibration is the last line of defense between a
+    // stored record and the serving path; every structurally plausible
+    // but wrong shape must be rejected without touching the tuner.
+    const auto variant = [](const std::string& label, int aggr, float bias,
+                            double cycles) {
+        return runtime::Variant{label, aggr,
+                                [bias, cycles](std::uint64_t seed) {
+                                    runtime::VariantRun run;
+                                    run.output = {
+                                        static_cast<float>(seed % 100) +
+                                            1.0f + bias,
+                                        10.0f + bias};
+                                    run.modeled_cycles = cycles;
+                                    return run;
+                                }};
+    };
+    std::vector<runtime::Variant> variants;
+    variants.push_back(variant("exact", 0, 0.0f, 1000.0));
+    variants.push_back(variant("good", 1, 0.1f, 100.0));
+    runtime::Tuner tuner(std::move(variants),
+                         runtime::Metric::MeanRelativeError, 90.0);
+    tuner.calibrate({1, 2, 3});
+    const auto good = tuner.calibration_state();
+    const std::string cold_selected = tuner.selected_label();
+
+    // Arity drift: a build added or removed a variant since the record
+    // was written.
+    auto drifted = good;
+    drifted.profiles.pop_back();
+    EXPECT_FALSE(tuner.restore_calibration(drifted));
+    drifted = good;
+    drifted.profiles.push_back(drifted.profiles.back());
+    EXPECT_FALSE(tuner.restore_calibration(drifted));
+
+    // Label drift: same arity, different inventory.
+    drifted = good;
+    drifted.profiles[1].label = "renamed";
+    EXPECT_FALSE(tuner.restore_calibration(drifted));
+
+    // Hostile fallback chains: empty, not ending at the exact kernel,
+    // duplicated entries, out-of-range index.
+    drifted = good;
+    drifted.fallback_order.clear();
+    EXPECT_FALSE(tuner.restore_calibration(drifted));
+    drifted = good;
+    drifted.fallback_order = {1};
+    EXPECT_FALSE(tuner.restore_calibration(drifted));
+    drifted = good;
+    drifted.fallback_order = {0, 0};
+    EXPECT_FALSE(tuner.restore_calibration(drifted));
+    drifted = good;
+    drifted.fallback_order = {7, 0};
+    EXPECT_FALSE(tuner.restore_calibration(drifted));
+
+    // A chain member that trapped or missed the TOQ cannot serve.
+    ASSERT_NE(good.fallback_order.front(), 0);
+    drifted = good;
+    drifted.profiles[drifted.fallback_order.front()].trapped = true;
+    EXPECT_FALSE(tuner.restore_calibration(drifted));
+    drifted = good;
+    drifted.profiles[drifted.fallback_order.front()].meets_toq = false;
+    EXPECT_FALSE(tuner.restore_calibration(drifted));
+
+    // A record claiming the exact kernel trapped or missed its own TOQ
+    // is hostile by definition (it would drop index 0 from the ladder).
+    drifted = good;
+    drifted.profiles[0].trapped = true;
+    EXPECT_FALSE(tuner.restore_calibration(drifted));
+    drifted = good;
+    drifted.profiles[0].meets_toq = false;
+    EXPECT_FALSE(tuner.restore_calibration(drifted));
+
+    // The selection must be the chain head.
+    drifted = good;
+    drifted.selected = 0;
+    EXPECT_FALSE(tuner.restore_calibration(drifted));
+
+    // None of the rejects touched the live selection, and the genuine
+    // record still installs.
+    EXPECT_EQ(tuner.selected_label(), cold_selected);
+    EXPECT_TRUE(tuner.restore_calibration(good));
+    EXPECT_EQ(tuner.selected_label(), cold_selected);
+}
+
 TEST(StoreWarmStartTest, HostileCalibrationNeverServesFromALiveService)
 {
     // The serving-path version of the two rejection tests above: a stale

@@ -1,0 +1,332 @@
+/// @file
+/// paraprox_frontd: multi-process scale-out serving demo.
+///
+/// The parent spawns N replica worker processes (fork/exec of this same
+/// binary with --replica-worker), each running an ApproxService behind an
+/// AF_UNIX ReplicaServer with a CalibrationPlane pointed at one shared
+/// artifact store.  The parent then runs a FrontDoor over the fleet,
+/// pushes a request stream through it, injects one drift event, waits for
+/// the fleet to arbitrate it (one lease winner recalibrates; the peers
+/// adopt the published calibration), scrapes per-replica stats over the
+/// wire, and shuts every worker down gracefully.
+///
+/// Usage: paraprox_frontd [--replicas N] [--requests N]
+///                        [--store DIR] [--listen SOCKET]
+///
+/// With --listen the front door also binds a client endpoint, so external
+/// processes can speak the wire protocol (see docs/scaleout.md) directly.
+///
+/// Internal: paraprox_frontd --replica-worker ID SOCKET STORE_DIR
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/app.h"
+#include "net/calibration_plane.h"
+#include "net/frontdoor.h"
+#include "net/replica.h"
+#include "net/wire.h"
+#include "serve/service.h"
+#include "store/artifact_store.h"
+
+namespace {
+
+using namespace paraprox;
+
+constexpr double kToq = 90.0;
+const std::vector<std::uint64_t> kTrainingSeeds = {101, 202};
+
+/// The kernels every replica serves.  All replicas must register the
+/// same families identically or the shared calibration plane would be
+/// publishing calibrations its peers cannot adopt.
+std::vector<std::unique_ptr<apps::Application>>
+fleet_apps()
+{
+    std::vector<std::unique_ptr<apps::Application>> apps;
+    apps.push_back(apps::make_mean_filter());
+    apps.push_back(apps::make_naive_bayes());
+    for (auto& app : apps)
+        app->set_scale(0.1);
+    return apps;
+}
+
+/// The fleet-wide key a kernel's published calibration lives under.
+/// Deterministic across replicas: every worker derives the same key.
+store::StoreKey
+fleet_key(const std::string& kernel, runtime::Metric metric)
+{
+    store::StoreKey key;
+    key.kernel = kernel;
+    key.device = device::DeviceModel::gtx560().name;
+    key.toq = kToq;
+    key.metric = runtime::to_string(metric);
+    key.detail = "fleet";
+    return key;
+}
+
+/// Replica worker process: serve until a ShutdownRequest arrives.
+int
+run_replica_worker(const std::string& id, const std::string& socket_path,
+                   const std::string& store_dir)
+{
+    auto store = store::ArtifactStore::configure_global(store_dir);
+
+    serve::ServiceConfig config;
+    config.num_workers = 2;
+    serve::ApproxService service(config);
+
+    net::PlaneConfig plane_config;
+    plane_config.replica_id = id;
+    net::CalibrationPlane plane(service, store, plane_config);
+
+    const auto device = device::DeviceModel::gtx560();
+    for (auto& app : fleet_apps()) {
+        const auto info = app->info();
+        service.register_kernel(info.name, app->variants(device),
+                                info.metric, kToq, kTrainingSeeds);
+        plane.track(info.name, fleet_key(info.name, info.metric));
+    }
+    plane.start();
+
+    net::ReplicaOptions options;
+    options.id = id;
+    options.socket_path = socket_path;
+    net::ReplicaServer server(service, &plane, options);
+    if (!server.start()) {
+        std::fprintf(stderr, "%s: cannot bind %s\n", id.c_str(),
+                     socket_path.c_str());
+        return 1;
+    }
+    while (!server.shutdown_requested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    server.stop();
+    service.stop();
+    plane.stop();
+    return 0;
+}
+
+/// Fork/exec this binary in --replica-worker mode; returns the pid.
+pid_t
+spawn_worker(const std::string& id, const std::string& socket_path,
+             const std::string& store_dir)
+{
+    const pid_t pid = fork();
+    if (pid != 0)
+        return pid;
+    execl("/proc/self/exe", "paraprox_frontd", "--replica-worker",
+          id.c_str(), socket_path.c_str(), store_dir.c_str(),
+          static_cast<char*>(nullptr));
+    std::perror("execl");
+    _exit(127);
+}
+
+/// Block until the worker's endpoint accepts a connection.
+bool
+wait_for_endpoint(const std::string& socket_path,
+                  std::chrono::milliseconds timeout)
+{
+    const auto give_up = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < give_up) {
+        Socket probe = connect_unix(socket_path);
+        if (probe.valid())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+}
+
+std::optional<net::ReplicaStats>
+scrape_stats(net::FrontDoor& door, std::size_t index)
+{
+    const auto reply = door.call(index, net::MsgType::StatsRequest, {});
+    if (!reply || reply->type != net::MsgType::StatsReply)
+        return std::nullopt;
+    return net::ReplicaStats::decode(reply->payload);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc == 5 && std::strcmp(argv[1], "--replica-worker") == 0)
+        return run_replica_worker(argv[2], argv[3], argv[4]);
+
+    int replicas = 2;
+    int requests = 64;
+    std::string store_dir;
+    std::string listen_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--replicas" && i + 1 < argc) {
+            replicas = std::atoi(argv[++i]);
+        } else if (arg == "--requests" && i + 1 < argc) {
+            requests = std::atoi(argv[++i]);
+        } else if (arg == "--store" && i + 1 < argc) {
+            store_dir = argv[++i];
+        } else if (arg == "--listen" && i + 1 < argc) {
+            listen_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--replicas N] [--requests N] "
+                         "[--store DIR] [--listen SOCKET]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    if (replicas < 1 || requests < 1) {
+        std::fprintf(stderr, "need at least 1 replica and 1 request\n");
+        return 1;
+    }
+
+    const std::string run_dir =
+        "/tmp/paraprox-frontd-" + std::to_string(getpid());
+    std::filesystem::create_directories(run_dir);
+    if (store_dir.empty()) {
+        store_dir = run_dir + "/store";
+        std::filesystem::create_directories(store_dir);
+    }
+
+    // Spawn the fleet.
+    std::vector<pid_t> pids;
+    std::vector<net::ReplicaEndpoint> endpoints;
+    for (int i = 0; i < replicas; ++i) {
+        net::ReplicaEndpoint endpoint;
+        endpoint.id = "replica-" + std::to_string(i);
+        endpoint.socket_path = run_dir + "/" + endpoint.id + ".sock";
+        pids.push_back(
+            spawn_worker(endpoint.id, endpoint.socket_path, store_dir));
+        endpoints.push_back(std::move(endpoint));
+    }
+    std::printf("paraprox_frontd: %d replicas, store %s\n", replicas,
+                store_dir.c_str());
+    for (const auto& endpoint : endpoints) {
+        if (!wait_for_endpoint(endpoint.socket_path,
+                               std::chrono::seconds(30))) {
+            std::fprintf(stderr, "%s never came up\n",
+                         endpoint.id.c_str());
+            return 1;
+        }
+        std::printf("  %s up at %s\n", endpoint.id.c_str(),
+                    endpoint.socket_path.c_str());
+    }
+
+    net::FrontDoorOptions door_options;
+    door_options.socket_path = listen_path;
+    net::FrontDoor door(endpoints, door_options);
+    if (!door.start()) {
+        std::fprintf(stderr, "cannot bind front door %s\n",
+                     listen_path.c_str());
+        return 1;
+    }
+
+    // Request stream, round-robin over the fleet's kernels.
+    const auto apps = fleet_apps();
+    int ok = 0, expired = 0, rejected = 0;
+    for (int i = 0; i < requests; ++i) {
+        net::SubmitRequest request;
+        request.kernel = apps[i % apps.size()]->info().name;
+        request.toq = kToq;
+        request.input = net::SubmitRequest::seed_input(7000 + i);
+        const net::SubmitReply reply = door.route(std::move(request));
+        if (reply.status == net::WireStatus::Ok)
+            ++ok;
+        else if (reply.status == net::WireStatus::DeadlineExceeded)
+            ++expired;
+        else
+            ++rejected;
+    }
+    std::printf("routed %d requests: %d ok, %d expired, %d rejected\n",
+                requests, ok, expired, rejected);
+
+    // One drift event, announced to every replica at once: the plane
+    // arbitrates via the shared store, so exactly one replica should
+    // recalibrate and the rest adopt its published calibration.
+    const std::string drifted = apps.front()->info().name;
+    net::DriftRequest drift;
+    drift.kernel = drifted;
+    for (std::size_t i = 0; i < endpoints.size(); ++i)
+        door.call(i, net::MsgType::DriftRequest, drift.encode());
+    std::printf("injected drift on `%s` fleet-wide\n", drifted.c_str());
+
+    // Wait for the event to resolve: every replica either published its
+    // own recalibration, adopted the winner's, or (pathologically) lost
+    // the publish race — all terminal, so the stats below are final.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+        std::uint64_t resolved = 0;
+        for (std::size_t i = 0; i < endpoints.size(); ++i) {
+            if (const auto stats = scrape_stats(door, i);
+                stats && stats->published_calibrations +
+                                 stats->adopted_calibrations +
+                                 stats->redundant_recalibrations >
+                             0)
+                ++resolved;
+        }
+        if (resolved == endpoints.size())
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    std::printf("\nper-replica stats:\n");
+    std::printf("  %-12s %7s %7s %7s %7s %7s %7s %7s %7s %7s %7s\n",
+                "replica", "served", "recals", "suppr", "adopt", "reject",
+                "wins", "losses", "publ", "redund", "takeov");
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+        const auto stats = scrape_stats(door, i);
+        if (!stats) {
+            std::printf("  %-12s (unreachable)\n",
+                        endpoints[i].id.c_str());
+            continue;
+        }
+        const auto cell = [](std::uint64_t value) {
+            return static_cast<unsigned long long>(value);
+        };
+        std::printf("  %-12s %7llu %7llu %7llu %7llu %7llu %7llu %7llu "
+                    "%7llu %7llu %7llu\n",
+                    stats->replica.c_str(), cell(stats->served),
+                    cell(stats->recalibrations),
+                    cell(stats->suppressed_recalibrations),
+                    cell(stats->adopted_calibrations),
+                    cell(stats->adoption_rejects), cell(stats->lease_wins),
+                    cell(stats->lease_losses),
+                    cell(stats->published_calibrations),
+                    cell(stats->redundant_recalibrations),
+                    cell(stats->takeovers));
+    }
+    const auto door_stats = door.stats();
+    std::printf("front door: %llu requests, %llu requeues, %llu replica "
+                "failures\n",
+                static_cast<unsigned long long>(door_stats.requests),
+                static_cast<unsigned long long>(door_stats.requeues),
+                static_cast<unsigned long long>(
+                    door_stats.replica_failures));
+
+    // Graceful fleet shutdown.
+    for (std::size_t i = 0; i < endpoints.size(); ++i)
+        door.call(i, net::MsgType::ShutdownRequest, {});
+    door.stop();
+    int exit_code = 0;
+    for (const pid_t pid : pids) {
+        int status = 0;
+        waitpid(pid, &status, 0);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            exit_code = 1;
+    }
+    // A caller-supplied --store lives outside run_dir and survives.
+    std::error_code ec;
+    std::filesystem::remove_all(run_dir, ec);
+    std::printf("fleet down, exit %d\n", exit_code);
+    return exit_code;
+}
