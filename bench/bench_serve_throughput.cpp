@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <future>
+#include <optional>
 #include <string_view>
 #include <thread>
 
@@ -417,6 +418,206 @@ run_batching_smoke()
     return 0;
 }
 
+// ---- Cancellation mode ------------------------------------------------------
+
+struct CancelPhase {
+    std::vector<std::vector<float>> normal_outputs;
+    serve::MetricsSnapshot metrics;
+    std::uint64_t doomed_ok = 0;
+    std::uint64_t doomed_expired = 0;
+    std::uint64_t unresolved = 0;
+};
+
+/// One cancellation phase: alternate undeadlined requests with "doomed"
+/// ones whose deadline is a fraction of the kernel's serve wall, against
+/// an exact-only registration (bit-exact determinism across phases).
+/// num_workers=1 keeps the submit order the execution order.
+CancelPhase
+run_cancellation_phase(apps::Application& app,
+                       const device::DeviceModel& device, bool watchdog_on,
+                       std::chrono::microseconds doomed_deadline,
+                       int rounds)
+{
+    serve::ServiceConfig config;
+    config.num_workers = 1;
+    config.queue_capacity = 32;
+    config.watchdog.enabled = watchdog_on;
+    config.watchdog.tick = std::chrono::milliseconds(1);
+    serve::ApproxService service(config);
+    auto variants = app.variants(device);
+    variants.resize(1);
+    service.register_kernel("kernel", std::move(variants),
+                            app.info().metric, kToq, {101, 202});
+    service.submit("kernel", 11);  // Warm-up: worker startup off the books.
+    service.drain();
+
+    CancelPhase phase;
+    const auto resolve = [&phase](std::future<serve::Response>& response)
+        -> std::optional<serve::Response> {
+        if (response.wait_for(std::chrono::seconds(60)) !=
+            std::future_status::ready) {
+            ++phase.unresolved;
+            return std::nullopt;
+        }
+        return response.get();
+    };
+    for (int i = 0; i < rounds; ++i) {
+        auto normal = service.submit("kernel", 1000 + i);
+        if (normal.accepted) {
+            if (auto response = resolve(normal.response))
+                phase.normal_outputs.push_back(
+                    std::move(response->run.output));
+        }
+        auto doomed = service.submit(
+            "kernel", 5000 + i,
+            serve::SubmitOptions::within(doomed_deadline));
+        if (doomed.accepted) {
+            if (const auto response = resolve(doomed.response)) {
+                if (response->status == serve::ServeStatus::Ok)
+                    ++phase.doomed_ok;
+                else
+                    ++phase.doomed_expired;
+            }
+        }
+    }
+    service.drain();
+    phase.metrics = service.snapshot().metrics;
+    service.stop();
+    return phase;
+}
+
+/// Cancellation figure/smoke: the same request schedule served twice —
+/// watchdog off (a doomed launch runs to completion, then resolves
+/// DeadlineExceeded: pure wasted work) vs watchdog on (the sweep fires
+/// the member's token mid-launch and the VM stops within one group
+/// round).  Asserts the three invariants the figure exists to show:
+/// cancellation actually fires, it reclaims launch work (fewer groups
+/// completed), and it never perturbs the bits of undeadlined requests.
+int
+run_cancellation()
+{
+    constexpr int kRounds = 12;
+    const auto device = device::DeviceModel::gtx560();
+    auto app = apps::make_mean_filter();
+    // Full-size frames: long enough launches that a mid-launch cancel
+    // has groups left to save.
+    app->set_scale(1.0);
+
+    // Size the doomed deadline off the measured serve wall so the
+    // deadline expires mid-launch: past admission, well short of
+    // completion.
+    double wall_seconds = 0.0;
+    {
+        serve::ServiceConfig config;
+        config.num_workers = 1;
+        config.watchdog.enabled = false;
+        serve::ApproxService service(config);
+        auto variants = app->variants(device);
+        variants.resize(1);
+        service.register_kernel("kernel", std::move(variants),
+                                app->info().metric, kToq, {101, 202});
+        service.submit("kernel", 11);
+        service.drain();
+        const auto start = std::chrono::steady_clock::now();
+        auto ticket = service.submit("kernel", 12);
+        if (ticket.accepted)
+            ticket.response.get();
+        wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+        service.stop();
+    }
+    const auto doomed_deadline = std::chrono::microseconds(std::max<long>(
+        500, static_cast<long>(wall_seconds * 1e6 / 4.0)));
+
+    const auto baseline = run_cancellation_phase(
+        *app, device, /*watchdog_on=*/false, doomed_deadline, kRounds);
+    const auto cancelling = run_cancellation_phase(
+        *app, device, /*watchdog_on=*/true, doomed_deadline, kRounds);
+
+    const bool identical =
+        baseline.normal_outputs == cancelling.normal_outputs &&
+        baseline.normal_outputs.size() ==
+            static_cast<std::size_t>(kRounds);
+    const std::uint64_t groups_baseline =
+        baseline.metrics.launch_groups_completed;
+    const std::uint64_t groups_cancelling =
+        cancelling.metrics.launch_groups_completed;
+
+    std::printf("serve_cancellation_smoke: wall_us=%.0f deadline_us=%lld "
+                "cancelled_launches=%llu deadline_cancels=%llu "
+                "baseline_cancelled=%llu groups_baseline=%llu "
+                "groups_cancelling=%llu identical=%d unresolved=%llu\n",
+                wall_seconds * 1e6,
+                static_cast<long long>(doomed_deadline.count()),
+                static_cast<unsigned long long>(
+                    cancelling.metrics.cancelled_launches),
+                static_cast<unsigned long long>(
+                    cancelling.metrics.deadline_expired),
+                static_cast<unsigned long long>(
+                    baseline.metrics.cancelled_launches),
+                static_cast<unsigned long long>(groups_baseline),
+                static_cast<unsigned long long>(groups_cancelling),
+                identical ? 1 : 0,
+                static_cast<unsigned long long>(baseline.unresolved +
+                                                cancelling.unresolved));
+
+    BenchReport report("serve_cancellation");
+    report.config()
+        .set("scale", 1.0)
+        .set("rounds", kRounds)
+        .set("serve_wall_us", wall_seconds * 1e6)
+        .set("doomed_deadline_us",
+             static_cast<std::uint64_t>(doomed_deadline.count()));
+    for (const auto* phase : {&baseline, &cancelling}) {
+        const bool on = phase == &cancelling;
+        report.add_row()
+            .set("mode", on ? "watchdog" : "baseline")
+            .set("cancelled_launches", phase->metrics.cancelled_launches)
+            .set("deadline_expired", phase->metrics.deadline_expired)
+            .set("launch_groups_completed",
+                 phase->metrics.launch_groups_completed)
+            .set("doomed_ok", phase->doomed_ok)
+            .set("doomed_expired", phase->doomed_expired)
+            .set("unresolved", phase->unresolved);
+    }
+    const double reclaimed =
+        groups_baseline > 0
+            ? 1.0 - static_cast<double>(groups_cancelling) /
+                        static_cast<double>(groups_baseline)
+            : 0.0;
+    report.set_geomean(reclaimed);
+    report.write();
+    std::printf("Launch work reclaimed by cancellation: %.1f%%\n",
+                reclaimed * 100.0);
+
+    if (baseline.unresolved + cancelling.unresolved > 0) {
+        std::fflush(stdout);
+        std::_Exit(1);
+    }
+    if (baseline.metrics.cancelled_launches != 0) {
+        std::printf("serve_cancellation_smoke: FAILED - baseline "
+                    "cancelled a launch with the watchdog off\n");
+        return 1;
+    }
+    if (cancelling.metrics.cancelled_launches == 0) {
+        std::printf("serve_cancellation_smoke: FAILED - no launch "
+                    "cancelled with the watchdog on\n");
+        return 1;
+    }
+    if (groups_cancelling >= groups_baseline) {
+        std::printf("serve_cancellation_smoke: FAILED - cancellation "
+                    "reclaimed no launch work\n");
+        return 1;
+    }
+    if (!identical) {
+        std::printf("serve_cancellation_smoke: FAILED - undeadlined "
+                    "outputs differ between phases\n");
+        return 1;
+    }
+    return 0;
+}
+
 /// CI chaos smoke: serve one kernel under whatever PARAPROX_FAULTS is
 /// armed (traps, latency stalls, store corruption) and assert the
 /// containment invariant — every accepted request resolves.  Prints one
@@ -500,13 +701,18 @@ main(int argc, char** argv)
 {
     bool smoke = false;
     bool open_loop = false;
+    bool cancellation = false;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg(argv[i]);
         if (arg == "--smoke")
             smoke = true;
         else if (arg == "--open-loop")
             open_loop = true;
+        else if (arg == "--cancellation")
+            cancellation = true;
     }
+    if (cancellation)
+        return paraprox::bench::run_cancellation();
     if (smoke && open_loop)
         return paraprox::bench::run_batching_smoke();
     if (smoke)

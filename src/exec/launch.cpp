@@ -73,6 +73,50 @@ ArgPack::find_shared(const std::string& name) const
 
 namespace {
 
+/// Innermost ambient cancel tokens for this thread; see CancelScope.
+thread_local const vm::CancelToken* tls_cancel_token = nullptr;
+thread_local const std::vector<const vm::CancelToken*>* tls_batch_tokens =
+    nullptr;
+
+}  // namespace
+
+CancelScope::CancelScope(const vm::CancelToken* token)
+    : previous_(tls_cancel_token)
+{
+    tls_cancel_token = token;
+}
+
+CancelScope::~CancelScope()
+{
+    tls_cancel_token = previous_;
+}
+
+BatchCancelScope::BatchCancelScope(
+    const std::vector<const vm::CancelToken*>* tokens)
+    : previous_(tls_batch_tokens)
+{
+    tls_batch_tokens = tokens;
+}
+
+BatchCancelScope::~BatchCancelScope()
+{
+    tls_batch_tokens = previous_;
+}
+
+const vm::CancelToken*
+current_cancel_token()
+{
+    return tls_cancel_token;
+}
+
+const std::vector<const vm::CancelToken*>*
+current_batch_cancel_tokens()
+{
+    return tls_batch_tokens;
+}
+
+namespace {
+
 /// Buffer views, shared sizes, and scalars for one ArgPack, resolved
 /// against the program signature once per launch (or per batch member).
 struct ResolvedArgs {
@@ -177,13 +221,24 @@ launch(const vm::Program& program, const ArgPack& args,
         static_cast<std::int64_t>(num_groups[0]) * num_groups[1] *
         num_groups[2];
 
+    // Explicit token beats the thread's ambient CancelScope.  Resolved
+    // here, on the launching thread, so the closure-shaped serving paths
+    // (which cannot thread a token through their signatures) still arm
+    // every launch they make.
+    const vm::CancelToken* cancel =
+        config.cancel ? config.cancel : current_cancel_token();
+
     LaunchResult result;
+    result.groups_total = total_groups;
     std::mutex merge_mutex;
-    // Raised by the first trapping group and checked before each group
-    // starts, so a trap early in a large NDRange doesn't burn cycles
-    // executing the thousands of groups still queued behind it (the whole
-    // launch is discarded anyway once trapped).
+    // Raised by the first trapping (or cancelled) group and checked before
+    // each group starts, so a trap early in a large NDRange doesn't burn
+    // cycles executing the thousands of groups still queued behind it (the
+    // whole launch is discarded anyway once trapped).
     std::atomic<bool> abort{false};
+    std::atomic<bool> trapped{false};
+    std::atomic<bool> cancelled{false};
+    std::atomic<std::int64_t> groups_completed{0};
     std::string trap_message;
 
     const auto start = std::chrono::steady_clock::now();
@@ -192,6 +247,18 @@ launch(const vm::Program& program, const ArgPack& args,
                  [&](std::size_t group_linear) {
         if (abort.load(std::memory_order_relaxed))
             return;
+        // The abort flip happens under merge_mutex (like the trap path)
+        // so a group finishing concurrently can never merge stats after
+        // the launch is already cancelled.
+        const auto mark_cancelled = [&] {
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            cancelled.store(true, std::memory_order_relaxed);
+            abort.store(true, std::memory_order_relaxed);
+        };
+        if (cancel && cancel->cancelled()) {
+            mark_cancelled();
+            return;
+        }
 
         const vm::GroupGeometry geometry = geometry_for(
             config, num_groups, static_cast<std::int64_t>(group_linear));
@@ -203,15 +270,20 @@ launch(const vm::Program& program, const ArgPack& args,
         vm::ExecStats group_stats;
         vm::GroupRunner runner(program, buffer_views, scalar_args,
                                shared_sizes, geometry, &group_stats,
-                               listener.get(), config.mode);
+                               listener.get(), config.mode, cancel);
         try {
             runner.run();
+        } catch (const vm::CancelledError&) {
+            mark_cancelled();
+            return;
         } catch (const vm::TrapError& trap) {
             std::lock_guard<std::mutex> lock(merge_mutex);
+            trapped.store(true, std::memory_order_relaxed);
             if (!abort.exchange(true, std::memory_order_relaxed))
                 trap_message = trap.what();
             return;
         }
+        groups_completed.fetch_add(1, std::memory_order_relaxed);
 
         // A group finishing after the trap landed contributes nothing: the
         // launch result is discarded, so merging its stats (or feeding the
@@ -227,8 +299,13 @@ launch(const vm::Program& program, const ArgPack& args,
     const auto end = std::chrono::steady_clock::now();
     result.wall_seconds =
         std::chrono::duration<double>(end - start).count();
-    result.trapped = abort.load(std::memory_order_relaxed);
+    result.trapped = trapped.load(std::memory_order_relaxed);
     result.trap_message = trap_message;
+    result.cancelled = cancelled.load(std::memory_order_relaxed);
+    if (result.cancelled && cancel)
+        result.cancel_reason = cancel->reason();
+    result.groups_completed =
+        groups_completed.load(std::memory_order_relaxed);
     return result;
 }
 
@@ -255,11 +332,27 @@ launch_batch(const vm::Program& program,
         static_cast<std::int64_t>(num_groups[0]) * num_groups[1] *
         num_groups[2];
 
-    // One abort flag and stat sink per member: a trap is a member-local
-    // event, not a batch-wide one — the other members' requests must
-    // still be answered.
+    // Per-member cancel tokens from the thread's ambient BatchCancelScope
+    // (member-order aligned).  A size mismatch disarms the scope rather
+    // than guessing which token belongs to whom.
+    const std::vector<const vm::CancelToken*>* scope_tokens =
+        current_batch_cancel_tokens();
+    if (scope_tokens && scope_tokens->size() != members)
+        scope_tokens = nullptr;
+    const auto member_token = [&](std::size_t member)
+        -> const vm::CancelToken* {
+        return scope_tokens ? (*scope_tokens)[member] : nullptr;
+    };
+
+    // One abort flag and stat sink per member: a trap (or a scatter-
+    // cancel — only expired members stop) is a member-local event, not a
+    // batch-wide one — the other members' requests must still be
+    // answered.
     struct MemberState {
         std::atomic<bool> abort{false};
+        std::atomic<bool> trapped{false};
+        std::atomic<bool> cancelled{false};
+        std::atomic<std::int64_t> groups_completed{0};
         vm::ExecStats stats;
         std::string trap_message;
     };
@@ -276,6 +369,16 @@ launch_batch(const vm::Program& program,
         MemberState& state = states[member];
         if (state.abort.load(std::memory_order_relaxed))
             return;
+        const vm::CancelToken* cancel = member_token(member);
+        const auto mark_cancelled = [&] {
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            state.cancelled.store(true, std::memory_order_relaxed);
+            state.abort.store(true, std::memory_order_relaxed);
+        };
+        if (cancel && cancel->cancelled()) {
+            mark_cancelled();
+            return;
+        }
 
         const vm::GroupGeometry geometry =
             geometry_for(config, num_groups, group_linear);
@@ -284,15 +387,20 @@ launch_batch(const vm::Program& program,
         vm::GroupRunner runner(program, resolved[member].buffer_views,
                                resolved[member].scalar_args,
                                resolved[member].shared_sizes, geometry,
-                               &group_stats, nullptr, config.mode);
+                               &group_stats, nullptr, config.mode, cancel);
         try {
             runner.run();
+        } catch (const vm::CancelledError&) {
+            mark_cancelled();
+            return;
         } catch (const vm::TrapError& trap) {
             std::lock_guard<std::mutex> lock(merge_mutex);
+            state.trapped.store(true, std::memory_order_relaxed);
             if (!state.abort.exchange(true, std::memory_order_relaxed))
                 state.trap_message = trap.what();
             return;
         }
+        state.groups_completed.fetch_add(1, std::memory_order_relaxed);
 
         std::lock_guard<std::mutex> lock(merge_mutex);
         if (state.abort.load(std::memory_order_relaxed))
@@ -308,9 +416,19 @@ launch_batch(const vm::Program& program,
     std::vector<LaunchResult> results(members);
     for (std::size_t i = 0; i < members; ++i) {
         results[i].stats = states[i].stats;
-        results[i].trapped = states[i].abort.load(std::memory_order_relaxed);
+        results[i].trapped =
+            states[i].trapped.load(std::memory_order_relaxed);
         results[i].trap_message = std::move(states[i].trap_message);
         results[i].wall_seconds = wall / static_cast<double>(members);
+        results[i].cancelled =
+            states[i].cancelled.load(std::memory_order_relaxed);
+        if (results[i].cancelled) {
+            if (const vm::CancelToken* cancel = member_token(i))
+                results[i].cancel_reason = cancel->reason();
+        }
+        results[i].groups_completed =
+            states[i].groups_completed.load(std::memory_order_relaxed);
+        results[i].groups_total = member_groups;
     }
     return results;
 }

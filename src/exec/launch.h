@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "data/packed_buffer.h"
 #include "exec/buffer.h"
@@ -27,6 +28,12 @@ struct LaunchConfig {
     /// with a LaunchObserver (no listener callbacks) and reports only
     /// ExecStats::total_instructions.
     vm::ExecMode mode = vm::ExecMode::Instrumented;
+    /// Optional cooperative cancellation token.  When null, launch()
+    /// falls back to the thread's ambient CancelScope token (if any);
+    /// explicit always wins.  A fired token stops the launch within one
+    /// group round: queued groups are skipped, running groups bail at
+    /// their next control transfer, and no stats are merged.
+    const vm::CancelToken* cancel = nullptr;
 
     static LaunchConfig
     linear(int global, int local)
@@ -87,7 +94,58 @@ struct LaunchResult {
     double wall_seconds = 0.0;
     bool trapped = false;
     std::string trap_message;
+    /// The launch's cancel token fired: remaining groups were skipped, no
+    /// stats were merged, and output buffers may be partially written.
+    bool cancelled = false;
+    /// Why (valid when cancelled; CancelReason::None otherwise).
+    vm::CancelReason cancel_reason = vm::CancelReason::None;
+    /// Work-groups that ran to completion / total groups in the NDRange.
+    /// completed < total on a trapped or cancelled launch measures how
+    /// much CPU the abort actually saved — the serving layer's "wasted
+    /// work" accounting reads it.
+    std::int64_t groups_completed = 0;
+    std::int64_t groups_total = 0;
 };
+
+/// RAII ambient cancel token: every exec::launch this thread performs
+/// while the scope is alive observes @p token (unless the LaunchConfig
+/// carries its own).  This is how the serving layer arms per-request
+/// cancellation without threading a token through every Variant closure;
+/// nested scopes shadow, and the token is resolved at launch() entry on
+/// the launching thread (pool workers inherit it by capture).
+class CancelScope {
+  public:
+    explicit CancelScope(const vm::CancelToken* token);
+    ~CancelScope();
+
+    CancelScope(const CancelScope&) = delete;
+    CancelScope& operator=(const CancelScope&) = delete;
+
+  private:
+    const vm::CancelToken* previous_;
+};
+
+/// Batch flavor: one token per batch member, index-aligned with the
+/// `batch` vector a launch_batch inside the scope receives.  A size
+/// mismatch disarms the scope for that launch (never misattributes a
+/// token).  Entries may be null (uncancellable member).
+class BatchCancelScope {
+  public:
+    explicit BatchCancelScope(
+        const std::vector<const vm::CancelToken*>* tokens);
+    ~BatchCancelScope();
+
+    BatchCancelScope(const BatchCancelScope&) = delete;
+    BatchCancelScope& operator=(const BatchCancelScope&) = delete;
+
+  private:
+    const std::vector<const vm::CancelToken*>* previous_;
+};
+
+/// The innermost ambient tokens on this thread (null when no scope is
+/// active).  launch()/launch_batch() consult these; exposed for tests.
+const vm::CancelToken* current_cancel_token();
+const std::vector<const vm::CancelToken*>* current_batch_cancel_tokens();
 
 /// Execute @p program over @p config with @p args.
 ///

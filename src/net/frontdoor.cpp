@@ -214,6 +214,22 @@ FrontDoor::call(std::size_t replica_index, MsgType type,
     return frame;
 }
 
+void
+FrontDoor::revive(std::size_t index)
+{
+    if (index >= replicas_.size())
+        return;
+    Replica& replica = *replicas_[index];
+    // The slot was restarted: pooled connections belong to the dead
+    // incarnation, and borrowing one would re-fail the slot on its first
+    // routed request.  Drop them so the next route dials fresh.
+    {
+        std::lock_guard<std::mutex> lock(replica.pool_mutex);
+        replica.pool.clear();
+    }
+    replica.alive.store(true, std::memory_order_release);
+}
+
 bool
 FrontDoor::replica_alive(std::size_t index) const
 {

@@ -79,6 +79,11 @@ class FrontDoor {
 
     std::size_t num_replicas() const { return replicas_.size(); }
     bool replica_alive(std::size_t index) const;
+
+    /// Mark a previously-failed replica routable again — the supervisor
+    /// restarted its process and its health probe answers.  A premature
+    /// revive costs one requeue on the next route, nothing worse.
+    void revive(std::size_t index);
     FrontDoorStats stats() const;
 
   private:

@@ -1,6 +1,9 @@
 #include "net/replica.h"
 
 #include <chrono>
+#include <cstdlib>
+
+#include "support/faultinject.h"
 
 namespace paraprox::net {
 
@@ -92,13 +95,31 @@ ReplicaServer::accept_loop()
 void
 ReplicaServer::handle_connection(const std::shared_ptr<Socket>& connection)
 {
+    handle_frames(*connection);
+    // Whatever ended the session — clean EOF, garbage framing, or a
+    // version-gated health frame — close the socket *now*.  The
+    // connections_ registry keeps the Socket object alive until stop(),
+    // so without this shutdown a "dropped" peer would block on recv
+    // forever instead of seeing the drop.
+    connection->shutdown_both();
+}
+
+void
+ReplicaServer::handle_frames(Socket& connection)
+{
     const std::string context = "replica:" + options_.id;
     while (!stopping_.load(std::memory_order_acquire)) {
-        const auto frame = recv_frame(*connection);
+        const auto frame = recv_frame(connection);
         if (!frame)
             break;
         switch (frame->type) {
             case MsgType::SubmitRequest: {
+                // Chaos site: die mid-request, reply unsent — what a
+                // segfault or OOM kill produces.  _Exit skips atexit
+                // teardown on purpose; only arm this in forked replica
+                // processes (tools/paraprox_frontd), never in-process.
+                if (fault::fire("replica.crash", options_.id))
+                    std::_Exit(42);
                 const auto request = SubmitRequest::decode(frame->payload);
                 if (!request)
                     return;  // Garbage framing: drop the connection.
@@ -132,13 +153,13 @@ ReplicaServer::handle_connection(const std::shared_ptr<Socket>& connection)
                 }
                 if (aborted_.load(std::memory_order_acquire))
                     return;  // Killed: the reply is never sent.
-                if (!send_frame(*connection, MsgType::SubmitReply,
+                if (!send_frame(connection, MsgType::SubmitReply,
                                 reply.encode(), context))
                     return;
                 break;
             }
             case MsgType::StatsRequest: {
-                if (!send_frame(*connection, MsgType::StatsReply,
+                if (!send_frame(connection, MsgType::StatsReply,
                                 gather_stats().encode(), context))
                     return;
                 break;
@@ -154,14 +175,33 @@ ReplicaServer::handle_connection(const std::shared_ptr<Socket>& connection)
                         reply.accepted = false;  // Unknown kernel.
                     }
                 }
-                if (!send_frame(*connection, MsgType::DriftReply,
+                if (!send_frame(connection, MsgType::DriftReply,
                                 reply.encode(), context))
+                    return;
+                break;
+            }
+            case MsgType::Ping: {
+                const auto ping = Ping::decode(frame->payload);
+                // Garbage or a foreign health-protocol version: drop the
+                // connection instead of guessing — the prober reads a
+                // dead link, which is the honest answer.
+                if (!ping || ping->version != kHealthVersion)
+                    return;
+                Pong pong;
+                pong.nonce = ping->nonce;
+                pong.replica = options_.id;
+                pong.uptime_ms = static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - started_at_)
+                        .count());
+                if (!send_frame(connection, MsgType::Pong, pong.encode(),
+                                context))
                     return;
                 break;
             }
             case MsgType::ShutdownRequest: {
                 shutdown_requested_.store(true, std::memory_order_release);
-                send_frame(*connection, MsgType::ShutdownReply, {},
+                send_frame(connection, MsgType::ShutdownReply, {},
                            context);
                 return;
             }

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -75,11 +76,17 @@ class ReplicaServer {
   private:
     void accept_loop();
     void handle_connection(const std::shared_ptr<Socket>& connection);
+    /// Frame loop for one connection; returning means "drop it".
+    void handle_frames(Socket& connection);
     ReplicaStats gather_stats() const;
 
     serve::ApproxService& service_;
     CalibrationPlane* const plane_;
     const ReplicaOptions options_;
+    /// For Pong uptime: how long this server object has been alive —
+    /// a freshly restarted replica reports a small number.
+    const std::chrono::steady_clock::time_point started_at_ =
+        std::chrono::steady_clock::now();
 
     Listener listener_;
     std::thread acceptor_;

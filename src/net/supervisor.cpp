@@ -1,0 +1,390 @@
+#include "net/supervisor.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire.h"
+#include "support/socket.h"
+
+namespace paraprox::net {
+
+namespace {
+
+/// SIGCHLD self-pipe: the handler may only touch async-signal-safe
+/// state, so it writes one byte the supervision loop polls on.
+int g_sigchld_pipe[2] = {-1, -1};
+
+void
+on_sigchld(int)
+{
+    const int saved_errno = errno;
+    if (g_sigchld_pipe[1] >= 0) {
+        const char byte = 'c';
+        [[maybe_unused]] const ssize_t n =
+            write(g_sigchld_pipe[1], &byte, 1);
+    }
+    errno = saved_errno;
+}
+
+bool
+make_nonblocking_pipe(int fds[2])
+{
+    if (pipe(fds) != 0)
+        return false;
+    for (int i = 0; i < 2; ++i) {
+        // Nonblocking so a full pipe never blocks a signal handler and
+        // a drained pipe never blocks the loop.
+        const int flags = fcntl(fds[i], F_GETFL, 0);
+        fcntl(fds[i], F_SETFL, flags | O_NONBLOCK);
+    }
+    return true;
+}
+
+void
+drain_pipe(int fd)
+{
+    char buffer[64];
+    while (fd >= 0 && read(fd, buffer, sizeof buffer) > 0) {
+    }
+}
+
+void
+set_socket_timeout(int fd, std::chrono::milliseconds timeout)
+{
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+}  // namespace
+
+Supervisor::Supervisor(std::vector<SupervisedReplica> slots, SpawnFn spawn,
+                       SupervisorConfig config)
+    : config_(config), spawn_(std::move(spawn))
+{
+    slots_.reserve(slots.size());
+    for (auto& spec : slots) {
+        Slot slot;
+        slot.spec = std::move(spec);
+        slot.backoff = config_.initial_backoff;
+        slots_.push_back(std::move(slot));
+    }
+}
+
+Supervisor::~Supervisor()
+{
+    stop();
+}
+
+void
+Supervisor::install_sigchld()
+{
+    if (g_sigchld_pipe[0] >= 0)
+        return;
+    if (!make_nonblocking_pipe(g_sigchld_pipe))
+        return;
+    struct sigaction action{};
+    action.sa_handler = on_sigchld;
+    sigemptyset(&action.sa_mask);
+    // SA_RESTART keeps unrelated blocking syscalls (the front door's
+    // accept, socket IO) from surfacing EINTR on every child exit;
+    // SA_NOCLDSTOP keeps job-control stops from masquerading as deaths.
+    action.sa_flags = SA_RESTART | SA_NOCLDSTOP;
+    sigaction(SIGCHLD, &action, nullptr);
+}
+
+void
+Supervisor::start()
+{
+    if (running_.exchange(true, std::memory_order_acq_rel))
+        return;
+    make_nonblocking_pipe(stop_pipe_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (Slot& slot : slots_)
+            spawn_slot(slot, /*is_restart=*/false);
+    }
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+Supervisor::quiesce()
+{
+    quiesced_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Slot& slot : slots_)
+        slot.restart_at.reset();
+}
+
+void
+Supervisor::stop()
+{
+    if (!running_.exchange(false, std::memory_order_acq_rel))
+        return;
+    if (stop_pipe_[1] >= 0) {
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t n =
+            write(stop_pipe_[1], &byte, 1);
+    }
+    if (thread_.joinable())
+        thread_.join();
+    for (int& fd : stop_pipe_) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+}
+
+bool
+Supervisor::kill_slot(std::size_t index, int signal)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index >= slots_.size())
+        return false;
+    Slot& slot = slots_[index];
+    if (!slot.up || slot.pid <= 0)
+        return false;
+    return ::kill(slot.pid, signal) == 0;
+}
+
+SupervisorStats
+Supervisor::stats() const
+{
+    SupervisorStats out;
+    out.spawns = spawns_.load(std::memory_order_relaxed);
+    out.restarts = restarts_.load(std::memory_order_relaxed);
+    out.reaps = reaps_.load(std::memory_order_relaxed);
+    out.probes = probes_.load(std::memory_order_relaxed);
+    out.failed_probes = failed_probes_.load(std::memory_order_relaxed);
+    out.kills = kills_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Slot& slot : slots_) {
+        if (slot.quarantined)
+            ++out.quarantined;
+    }
+    return out;
+}
+
+std::vector<SlotSnapshot>
+Supervisor::snapshot() const
+{
+    std::vector<SlotSnapshot> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(slots_.size());
+    for (const Slot& slot : slots_) {
+        SlotSnapshot snap;
+        snap.id = slot.spec.id;
+        snap.pid = slot.pid;
+        snap.up = slot.up;
+        snap.healthy = slot.healthy;
+        snap.quarantined = slot.quarantined;
+        snap.restarts = slot.restarts;
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+bool
+Supervisor::all_healthy() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::all_of(slots_.begin(), slots_.end(), [](const Slot& slot) {
+        return slot.quarantined || (slot.up && slot.healthy);
+    });
+}
+
+void
+Supervisor::loop()
+{
+    while (running_.load(std::memory_order_acquire)) {
+        pollfd fds[2];
+        nfds_t count = 0;
+        if (stop_pipe_[0] >= 0)
+            fds[count++] = {stop_pipe_[0], POLLIN, 0};
+        if (g_sigchld_pipe[0] >= 0)
+            fds[count++] = {g_sigchld_pipe[0], POLLIN, 0};
+        poll(fds, count, static_cast<int>(config_.tick.count()));
+        drain_pipe(g_sigchld_pipe[0]);
+        drain_pipe(stop_pipe_[0]);
+        if (!running_.load(std::memory_order_acquire))
+            break;
+
+        reap();
+        const auto now = std::chrono::steady_clock::now();
+        if (!quiesced_.load(std::memory_order_acquire)) {
+            restart_due(now);
+            probe_due(now);
+        }
+    }
+    // Final sweep so a child that exited during shutdown is not left a
+    // zombie for the owner's waitpid to trip over.
+    reap();
+}
+
+void
+Supervisor::reap()
+{
+    for (;;) {
+        int status = 0;
+        const pid_t pid = waitpid(-1, &status, WNOHANG);
+        if (pid <= 0)
+            return;
+        reaps_.fetch_add(1, std::memory_order_relaxed);
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it =
+            std::find_if(slots_.begin(), slots_.end(),
+                         [pid](const Slot& slot) {
+                             return slot.up && slot.pid == pid;
+                         });
+        if (it == slots_.end())
+            continue;  // Not ours to restart (already replaced slot).
+        Slot& slot = *it;
+        slot.up = false;
+        slot.healthy = false;
+        slot.pid = -1;
+        if (quiesced_.load(std::memory_order_acquire))
+            continue;  // Draining: collect, never resurrect.
+
+        const auto now = std::chrono::steady_clock::now();
+        const bool fast_crash =
+            now - slot.spawned_at < config_.fast_crash_window;
+        slot.fast_crashes = fast_crash ? slot.fast_crashes + 1 : 1;
+        if (slot.fast_crashes >= config_.quarantine_after) {
+            // Crash loop: every exec dies on arrival; stop feeding it.
+            slot.quarantined = true;
+            slot.restart_at.reset();
+            continue;
+        }
+        slot.restart_at = now + slot.backoff;
+        slot.backoff = std::min<std::chrono::steady_clock::duration>(
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    std::chrono::duration<double>(slot.backoff).count() *
+                    config_.backoff_growth)),
+            config_.max_backoff);
+    }
+}
+
+void
+Supervisor::restart_due(std::chrono::steady_clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Slot& slot : slots_) {
+        if (slot.quarantined || slot.up || !slot.restart_at ||
+            *slot.restart_at > now)
+            continue;
+        slot.restart_at.reset();
+        spawn_slot(slot, /*is_restart=*/true);
+    }
+}
+
+void
+Supervisor::spawn_slot(Slot& slot, bool is_restart)
+{
+    const pid_t pid = spawn_ ? spawn_(slot.spec) : -1;
+    if (pid <= 0) {
+        // Spawn failure behaves like an instant crash: backoff retry.
+        slot.restart_at =
+            std::chrono::steady_clock::now() + slot.backoff;
+        return;
+    }
+    slot.pid = pid;
+    slot.up = true;
+    slot.healthy = false;
+    slot.failed_probes = 0;
+    slot.spawned_at = std::chrono::steady_clock::now();
+    slot.last_probe = slot.spawned_at;
+    spawns_.fetch_add(1, std::memory_order_relaxed);
+    if (is_restart) {
+        ++slot.restarts;
+        restarts_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+Supervisor::probe_due(std::chrono::steady_clock::time_point now)
+{
+    // Collect due slots under the lock, probe off it (a probe blocks up
+    // to probe_timeout; holding the registry that long would stall
+    // kill_slot and reap).
+    struct Due {
+        std::size_t index;
+        Slot copy;
+    };
+    std::vector<Due> due;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            Slot& slot = slots_[i];
+            if (slot.quarantined || !slot.up)
+                continue;
+            if (now - slot.last_probe < config_.probe_interval)
+                continue;
+            slot.last_probe = now;
+            due.push_back({i, slot});
+        }
+    }
+
+    for (const Due& item : due) {
+        probes_.fetch_add(1, std::memory_order_relaxed);
+        const bool ok = probe(item.copy);
+        std::lock_guard<std::mutex> lock(mutex_);
+        Slot& slot = slots_[item.index];
+        // The slot may have died and been respawned while we probed;
+        // only apply the verdict to the same incarnation.
+        if (!slot.up || slot.pid != item.copy.pid)
+            continue;
+        if (ok) {
+            slot.healthy = true;
+            slot.failed_probes = 0;
+            slot.fast_crashes = 0;
+            slot.backoff = config_.initial_backoff;
+            continue;
+        }
+        failed_probes_.fetch_add(1, std::memory_order_relaxed);
+        if (now - slot.spawned_at < config_.startup_grace)
+            continue;  // Warming up (calibration): not evidence yet.
+        slot.healthy = false;
+        if (++slot.failed_probes >= config_.unresponsive_threshold) {
+            // Alive but wedged: kill it and let the reap path run the
+            // ordinary backoff restart.
+            ::kill(slot.pid, SIGKILL);
+            kills_.fetch_add(1, std::memory_order_relaxed);
+            slot.failed_probes = 0;
+        }
+    }
+}
+
+bool
+Supervisor::probe(const Slot& slot)
+{
+    Socket connection = connect_unix(slot.spec.socket_path);
+    if (!connection.valid())
+        return false;
+    set_socket_timeout(connection.fd(), config_.probe_timeout);
+    Ping ping;
+    ping.nonce = nonce_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!send_frame(connection, MsgType::Ping, ping.encode(),
+                    "supervisor:" + slot.spec.id))
+        return false;
+    const auto frame = recv_frame(connection);
+    if (!frame || frame->type != MsgType::Pong)
+        return false;
+    const auto pong = Pong::decode(frame->payload);
+    return pong && pong->version == kHealthVersion &&
+           pong->nonce == ping.nonce;
+}
+
+}  // namespace paraprox::net

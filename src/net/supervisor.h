@@ -1,0 +1,184 @@
+/// @file
+/// Supervisor: keeps a fleet of forked replica processes at strength.
+///
+/// Each slot names one replica (id + endpoint); a caller-supplied SpawnFn
+/// forks/execs the actual process, so the supervisor owns *policy* only:
+///
+///   Reaping — children are collected with waitpid(WNOHANG), kicked by a
+///     SIGCHLD self-pipe (install_sigchld()), so no exit is missed and no
+///     zombie accumulates.
+///
+///   Restart with backoff — a dead slot is respawned after an exponential
+///     backoff (initial_backoff x growth per consecutive crash, capped),
+///     warm through the shared artifact store: the respawned worker
+///     restores published calibrations instead of re-profiling.
+///
+///   Crash-loop quarantine — a slot whose child keeps dying inside
+///     fast_crash_window (quarantine_after consecutive fast crashes) is
+///     quarantined: no further restarts, the fleet runs degraded rather
+///     than burning CPU on a doomed exec loop.
+///
+///   Liveness probing — healthy pids can still be wedged; the supervisor
+///     pings each slot's endpoint (wire Ping/Pong, versioned) on a timer
+///     with a receive timeout, and after unresponsive_threshold
+///     consecutive failed probes the child is SIGKILLed — reaping then
+///     schedules the ordinary backoff restart.
+///
+/// quiesce() flips the supervisor into drain mode: it keeps reaping but
+/// stops restarting and probing, which is what a graceful fleet shutdown
+/// (SIGTERM in tools/paraprox_frontd) needs — children are asked to stop
+/// over the wire and must not be resurrected mid-drain.
+
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace paraprox::net {
+
+/// One supervised replica slot: identity and health endpoint.
+struct SupervisedReplica {
+    std::string id;
+    std::string socket_path;
+};
+
+/// Fork/exec one replica for @p slot; returns the child pid (< 0 on
+/// failure, which schedules a backoff retry like a crash).
+using SpawnFn = std::function<pid_t(const SupervisedReplica& slot)>;
+
+struct SupervisorConfig {
+    /// How often each live slot is pinged.
+    std::chrono::milliseconds probe_interval{200};
+    /// Receive/send timeout on the probe connection: a wedged replica
+    /// that accepts but never answers fails the probe instead of hanging
+    /// the supervisor.
+    std::chrono::milliseconds probe_timeout{500};
+    /// Consecutive failed probes before the child is declared wedged and
+    /// SIGKILLed (restart follows via the reap path).
+    int unresponsive_threshold = 3;
+    /// Probe failures within this window after a spawn are warm-up, not
+    /// evidence: calibration takes time.
+    std::chrono::milliseconds startup_grace{10000};
+    /// Restart backoff: initial, growth per consecutive crash, cap.  A
+    /// healthy probe resets the backoff.
+    std::chrono::milliseconds initial_backoff{100};
+    double backoff_growth = 2.0;
+    std::chrono::milliseconds max_backoff{5000};
+    /// An exit within this window of its spawn is a "fast crash";
+    /// quarantine_after consecutive fast crashes quarantine the slot.
+    std::chrono::milliseconds fast_crash_window{1000};
+    int quarantine_after = 3;
+    /// Supervision loop tick (poll timeout when no SIGCHLD arrives).
+    std::chrono::milliseconds tick{20};
+};
+
+struct SupervisorStats {
+    std::uint64_t spawns = 0;    ///< Initial spawns + restarts.
+    std::uint64_t restarts = 0;  ///< Respawns after a death (not initial).
+    std::uint64_t reaps = 0;     ///< Children collected via waitpid.
+    std::uint64_t probes = 0;
+    std::uint64_t failed_probes = 0;
+    std::uint64_t kills = 0;     ///< SIGKILLs of unresponsive children.
+    std::uint64_t quarantined = 0;  ///< Slots currently quarantined.
+};
+
+struct SlotSnapshot {
+    std::string id;
+    pid_t pid = -1;
+    bool up = false;         ///< Child process believed running.
+    bool healthy = false;    ///< Last probe answered.
+    bool quarantined = false;
+    std::uint64_t restarts = 0;
+};
+
+class Supervisor {
+  public:
+    Supervisor(std::vector<SupervisedReplica> slots, SpawnFn spawn,
+               SupervisorConfig config = {});
+    ~Supervisor();  ///< stop()s; never kills children it did not kill.
+
+    Supervisor(const Supervisor&) = delete;
+    Supervisor& operator=(const Supervisor&) = delete;
+
+    /// Install the process-wide SIGCHLD handler (self-pipe kick).
+    /// Optional — without it the loop still reaps every `tick` — but
+    /// with it a death is collected immediately.  Idempotent.
+    static void install_sigchld();
+
+    /// Spawn every slot and start the supervision loop.
+    void start();
+
+    /// Drain mode: keep reaping, stop restarting and probing, cancel
+    /// pending restarts.  Irreversible for this instance.
+    void quiesce();
+
+    /// Join the loop.  Children are left running — graceful shutdown is
+    /// the owner's job (wire ShutdownRequest + waitpid); quiesce() first.
+    void stop();
+
+    /// Chaos hook: signal slot @p index's child (SIGKILL by default),
+    /// as an external kill -9 would.  False if the slot has no child.
+    bool kill_slot(std::size_t index, int signal = 9);
+
+    std::size_t num_slots() const { return slots_.size(); }
+    SupervisorStats stats() const;
+    std::vector<SlotSnapshot> snapshot() const;
+    /// True when every non-quarantined slot is up and answered its last
+    /// probe.
+    bool all_healthy() const;
+
+  private:
+    struct Slot {
+        SupervisedReplica spec;
+        pid_t pid = -1;
+        bool up = false;
+        bool healthy = false;
+        bool quarantined = false;
+        int fast_crashes = 0;
+        int failed_probes = 0;
+        std::uint64_t restarts = 0;
+        std::chrono::steady_clock::time_point spawned_at{};
+        std::chrono::steady_clock::time_point last_probe{};
+        std::chrono::steady_clock::duration backoff{};
+        /// Set while the slot waits out its restart backoff.
+        std::optional<std::chrono::steady_clock::time_point> restart_at;
+    };
+
+    void loop();
+    void reap();
+    void restart_due(std::chrono::steady_clock::time_point now);
+    void probe_due(std::chrono::steady_clock::time_point now);
+    void spawn_slot(Slot& slot, bool is_restart);
+    /// One Ping/Pong round trip against @p slot's endpoint.
+    bool probe(const Slot& slot);
+
+    const SupervisorConfig config_;
+    const SpawnFn spawn_;
+
+    mutable std::mutex mutex_;
+    std::vector<Slot> slots_;
+
+    std::thread thread_;
+    int stop_pipe_[2] = {-1, -1};
+    std::atomic<bool> running_{false};
+    std::atomic<bool> quiesced_{false};
+
+    std::atomic<std::uint64_t> spawns_{0};
+    std::atomic<std::uint64_t> restarts_{0};
+    std::atomic<std::uint64_t> reaps_{0};
+    std::atomic<std::uint64_t> probes_{0};
+    std::atomic<std::uint64_t> failed_probes_{0};
+    std::atomic<std::uint64_t> kills_{0};
+    std::atomic<std::uint64_t> nonce_{0};
+};
+
+}  // namespace paraprox::net

@@ -19,7 +19,7 @@ bool
 known_type(std::uint32_t type)
 {
     return type >= static_cast<std::uint32_t>(MsgType::SubmitRequest) &&
-           type <= static_cast<std::uint32_t>(MsgType::ShutdownReply);
+           type <= static_cast<std::uint32_t>(MsgType::Pong);
 }
 
 }  // namespace
@@ -195,6 +195,54 @@ DriftReply::decode(const std::vector<std::uint8_t>& payload)
     ByteReader r(payload.data(), payload.size());
     DriftReply out;
     out.accepted = r.u8() != 0;
+    if (!r.at_end())
+        return std::nullopt;
+    return out;
+}
+
+// ---- Ping / Pong -----------------------------------------------------------
+
+std::vector<std::uint8_t>
+Ping::encode() const
+{
+    ByteWriter w;
+    w.u32(version);
+    w.u64(nonce);
+    return w.bytes();
+}
+
+std::optional<Ping>
+Ping::decode(const std::vector<std::uint8_t>& payload)
+{
+    ByteReader r(payload.data(), payload.size());
+    Ping out;
+    out.version = r.u32();
+    out.nonce = r.u64();
+    if (!r.at_end())
+        return std::nullopt;
+    return out;
+}
+
+std::vector<std::uint8_t>
+Pong::encode() const
+{
+    ByteWriter w;
+    w.u32(version);
+    w.u64(nonce);
+    w.str(replica);
+    w.u64(uptime_ms);
+    return w.bytes();
+}
+
+std::optional<Pong>
+Pong::decode(const std::vector<std::uint8_t>& payload)
+{
+    ByteReader r(payload.data(), payload.size());
+    Pong out;
+    out.version = r.u32();
+    out.nonce = r.u64();
+    out.replica = r.str();
+    out.uptime_ms = r.u64();
     if (!r.at_end())
         return std::nullopt;
     return out;

@@ -13,6 +13,9 @@
 ///   DriftRequest  / DriftReply     operator-driven drift event (the
 ///                                  gated recalibration path)
 ///   ShutdownRequest / ShutdownReply  graceful replica stop
+///   Ping          / Pong           supervisor liveness probe (versioned:
+///                                  a replica answers only probes whose
+///                                  health-protocol version it speaks)
 ///
 /// Fault sites: `net.drop` (an armed drop makes send_frame shut the
 /// socket down instead of writing — the peer observes a dead connection,
@@ -48,7 +51,14 @@ enum class MsgType : std::uint32_t {
     DriftReply = 6,
     ShutdownRequest = 7,
     ShutdownReply = 8,
+    Ping = 9,
+    Pong = 10,
 };
+
+/// Health-protocol version spoken by this build.  A replica rejects a
+/// Ping carrying any other version (no reply; the supervisor treats that
+/// link as unhealthy rather than guessing at a foreign protocol).
+constexpr std::uint32_t kHealthVersion = 1;
 
 /// How a fleet-routed request resolved, as seen by the client.
 enum class WireStatus : std::uint32_t {
@@ -121,6 +131,28 @@ struct DriftReply {
 
     std::vector<std::uint8_t> encode() const;
     static std::optional<DriftReply>
+    decode(const std::vector<std::uint8_t>& payload);
+};
+
+/// Supervisor liveness probe.  `nonce` is echoed in the Pong so a prober
+/// can match replies to probes across a reused connection.
+struct Ping {
+    std::uint32_t version = kHealthVersion;
+    std::uint64_t nonce = 0;
+
+    std::vector<std::uint8_t> encode() const;
+    static std::optional<Ping>
+    decode(const std::vector<std::uint8_t>& payload);
+};
+
+struct Pong {
+    std::uint32_t version = kHealthVersion;
+    std::uint64_t nonce = 0;       ///< Echo of the probe's nonce.
+    std::string replica;           ///< Who answered.
+    std::uint64_t uptime_ms = 0;   ///< Since the replica server started.
+
+    std::vector<std::uint8_t> encode() const;
+    static std::optional<Pong>
     decode(const std::vector<std::uint8_t>& payload);
 };
 

@@ -256,6 +256,13 @@ Tuner::invoke(std::uint64_t input_seed)
     }
 
     VariantRun run = execute(index, input_seed);
+    if (run.cancelled) {
+        // Cancellation is the harness dropping the request, not the
+        // variant misbehaving: no exact fallback, no breaker charge, no
+        // quality audit on the partial output.  The caller owns the
+        // token and decides what a cancelled run means.
+        return run;
+    }
     if (run.trapped && index != 0) {
         // Unsafe execution: fall back to exact for this input and report
         // the trap to the circuit breaker (which, under the default
@@ -297,6 +304,15 @@ Tuner::serve(std::uint64_t input_seed)
 
     ServedRun served;
     served.run = execute(index, input_seed);
+    if (served.run.cancelled) {
+        // A cancelled run comes back as-is: no exact fallback (the
+        // request is being dropped or re-driven by the token's owner)
+        // and no breaker charge (the serving layer charges watchdog
+        // cancellations explicitly via record_failure).
+        served.index = index;
+        served.label = variants_[index].label;
+        return served;
+    }
     if (served.run.trapped && index != 0) {
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -351,19 +367,22 @@ Tuner::serve_batch(const std::vector<std::uint64_t>& input_seeds)
         batch.runs[i].index = batch.index;
         batch.runs[i].label = batch.label;
         batch.runs[i].degraded = degraded;
-        any_trapped |= batch.runs[i].run.trapped && batch.index != 0;
+        // Cancelled members are returned as-is (scatter-cancel: the
+        // token's owner resolves them); only genuine traps fall back.
+        any_trapped |= batch.runs[i].run.trapped &&
+                       !batch.runs[i].run.cancelled && batch.index != 0;
     }
     if (any_trapped) {
         {
             std::lock_guard<std::mutex> lock(mutex_);
             for (const ServedRun& served : batch.runs) {
-                if (served.run.trapped)
+                if (served.run.trapped && !served.run.cancelled)
                     record_failure_locked(batch.index);
             }
         }
         for (std::size_t i = 0; i < batch.runs.size(); ++i) {
             ServedRun& served = batch.runs[i];
-            if (!served.run.trapped)
+            if (!served.run.trapped || served.run.cancelled)
                 continue;
             served.run = execute(0, input_seeds[i]);
             served.index = 0;

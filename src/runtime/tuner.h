@@ -35,6 +35,17 @@ struct VariantRun {
     double wall_seconds = 0.0;
     std::uint64_t instructions = 0;  ///< Dynamic VM dispatches executed.
     bool trapped = false;        ///< Unsafe execution; variant unusable.
+    /// The launch's cancel token fired (deadline or watchdog): the output
+    /// is unusable but the variant did nothing wrong — the tuner returns
+    /// such runs as-is, with no exact fallback and no breaker charge (the
+    /// token's owner decides both).
+    bool cancelled = false;
+    /// Work-groups completed / total for the launch behind this run
+    /// (0/0 when the execution path doesn't track groups).  On a
+    /// cancelled run, completed < total measures the work the
+    /// cancellation actually saved.
+    std::int64_t groups_completed = 0;
+    std::int64_t groups_total = 0;
 };
 
 /// One launchable configuration (the exact kernel is also expressed as a

@@ -17,6 +17,9 @@ run_priced(const vm::Program& program, const exec::ArgPack& args,
     run.wall_seconds = modeled.launch.wall_seconds;
     run.instructions = modeled.launch.stats.total_instructions;
     run.trapped = modeled.launch.trapped;
+    run.cancelled = modeled.launch.cancelled;
+    run.groups_completed = modeled.launch.groups_completed;
+    run.groups_total = modeled.launch.groups_total;
     return run;
 }
 
@@ -32,6 +35,9 @@ run_fast_unpriced(const vm::Program& program, const exec::ArgPack& args,
     run.wall_seconds = launched.wall_seconds;
     run.instructions = launched.stats.total_instructions;
     run.trapped = launched.trapped;
+    run.cancelled = launched.cancelled;
+    run.groups_completed = launched.groups_completed;
+    run.groups_total = launched.groups_total;
     return run;
 }
 
@@ -48,6 +54,9 @@ run_batch_unpriced(const vm::Program& program,
         runs[i].wall_seconds = launched[i].wall_seconds;
         runs[i].instructions = launched[i].stats.total_instructions;
         runs[i].trapped = launched[i].trapped;
+        runs[i].cancelled = launched[i].cancelled;
+        runs[i].groups_completed = launched[i].groups_completed;
+        runs[i].groups_total = launched[i].groups_total;
     }
     return runs;
 }

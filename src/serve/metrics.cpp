@@ -131,6 +131,14 @@ Metrics::snapshot() const
         warm_registrations.load(std::memory_order_relaxed);
     out.warm_pipelines = warm_pipelines.load(std::memory_order_relaxed);
     out.warm_data_tiers = warm_data_tiers.load(std::memory_order_relaxed);
+    out.cancelled_launches =
+        cancelled_launches.load(std::memory_order_relaxed);
+    out.watchdog_cancels =
+        watchdog_cancels.load(std::memory_order_relaxed);
+    out.watchdog_fallbacks =
+        watchdog_fallbacks.load(std::memory_order_relaxed);
+    out.launch_groups_completed =
+        launch_groups_completed.load(std::memory_order_relaxed);
     out.queue_depth = queue_depth.load(std::memory_order_relaxed);
     out.latency = latency.snapshot();
     out.batch = batch.snapshot();
@@ -173,6 +181,10 @@ format_metrics(const MetricsSnapshot& snapshot)
     row("warm registrations", snapshot.warm_registrations);
     row("warm pipelines", snapshot.warm_pipelines);
     row("warm data tiers", snapshot.warm_data_tiers);
+    row("cancelled launches", snapshot.cancelled_launches);
+    row("watchdog cancels", snapshot.watchdog_cancels);
+    row("watchdog fallbacks", snapshot.watchdog_fallbacks);
+    row("launch groups completed", snapshot.launch_groups_completed);
     row("backoffs", snapshot.backoffs);
     row("quarantines", snapshot.quarantines);
     row("reinstatements", snapshot.reinstatements);

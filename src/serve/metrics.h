@@ -116,6 +116,19 @@ struct MetricsSnapshot {
     /// Data-tier kernels registered with a precision calibration restored
     /// from the artifact store: zero profiling runs, zero plan search.
     std::uint64_t warm_data_tiers = 0;
+    /// Launches stopped mid-flight by a fired deadline token: the
+    /// request resolved DeadlineExceeded without finishing its kernel.
+    std::uint64_t cancelled_launches = 0;
+    /// Launches the hung-launch watchdog cancelled (wall ceiling
+    /// exceeded); each charges the variant's breaker like a trap.
+    std::uint64_t watchdog_cancels = 0;
+    /// Requests re-served by the exact kernel after a watchdog cancel.
+    std::uint64_t watchdog_fallbacks = 0;
+    /// Work-groups completed across every serve launch (cancelled ones
+    /// included: groups that finished before the token fired still
+    /// burned CPU).  The cancellation bench reads the delta between a
+    /// cancelling and a non-cancelling run as "wasted work saved".
+    std::uint64_t launch_groups_completed = 0;
     /// Variant downgrades across all kernels.  Tuners own this count;
     /// ApproxService::snapshot() aggregates it in — it stays 0 in a bare
     /// Metrics::snapshot().  Same for the three breaker counters below.
@@ -164,6 +177,10 @@ class Metrics {
     std::atomic<std::uint64_t> warm_registrations{0};
     std::atomic<std::uint64_t> warm_pipelines{0};
     std::atomic<std::uint64_t> warm_data_tiers{0};
+    std::atomic<std::uint64_t> cancelled_launches{0};
+    std::atomic<std::uint64_t> watchdog_cancels{0};
+    std::atomic<std::uint64_t> watchdog_fallbacks{0};
+    std::atomic<std::uint64_t> launch_groups_completed{0};
     std::atomic<std::int64_t> queue_depth{0};
     LatencyHistogram latency;
     BatchHistogram batch;

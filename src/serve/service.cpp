@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "exec/launch.h"
 #include "runtime/quality.h"
 #include "support/error.h"
 #include "support/faultinject.h"
@@ -38,13 +39,17 @@ ApproxService::ApproxService(ServiceConfig config)
     : config_(config),
       queue_(config.queue_capacity, [](const Job& job) {
           return job.deadline;
-      })
+      }),
+      watchdog_(config.watchdog)
 {
     PARAPROX_CHECK(config_.queue_capacity > 0,
                    "queue capacity must be positive");
     PARAPROX_CHECK(config_.batching.max_batch > 0,
                    "batch size must be positive");
     const std::size_t count = resolve_workers(config_.num_workers);
+    // The watchdog must be sweeping before the first worker can register
+    // a flight.
+    watchdog_.start(count);
     workers_.reserve(count);
     for (std::size_t i = 0; i < count; ++i)
         workers_.emplace_back([this, i] { worker_loop(i); });
@@ -355,7 +360,8 @@ ApproxService::worker_loop(std::size_t worker_index)
             }
         }
 
-        serve_batch(*batch.items.front().kernel, batch.items);
+        serve_batch(worker_index, *batch.items.front().kernel,
+                    batch.items);
     }
 }
 
@@ -405,7 +411,8 @@ ApproxService::update_pressure(std::size_t depth, int weight)
 }
 
 Response
-ApproxService::serve_one(KernelState& state, std::uint64_t seed)
+ApproxService::serve_one(KernelState& state, std::uint64_t seed,
+                         const vm::CancelToken* cancel)
 {
     Response response;
     if (state.recalibrating.load(std::memory_order_acquire) ||
@@ -440,7 +447,28 @@ ApproxService::serve_one(KernelState& state, std::uint64_t seed)
         return response;
     }
 
-    runtime::ServedRun served = state.tuner.serve(seed);
+    const auto start = std::chrono::steady_clock::now();
+    runtime::ServedRun served;
+    {
+        // The token is armed around the primary serve only: the detours
+        // above and the fallbacks below run exact, and exact is the
+        // trusted tier — it always finishes on the VM's own instruction
+        // budget.
+        exec::CancelScope scope(cancel);
+        served = state.tuner.serve(seed);
+    }
+    metrics_.launch_groups_completed.fetch_add(
+        static_cast<std::uint64_t>(served.run.groups_completed),
+        std::memory_order_relaxed);
+    if (served.run.cancelled && cancel != nullptr) {
+        bool hang_charged = false;
+        return finish_cancelled(state, seed, served, *cancel, hang_charged);
+    }
+    observe_launch_wall(
+        state, std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count());
+
     response.run = std::move(served.run);
     response.served_by = std::move(served.label);
     response.degraded = served.degraded;
@@ -479,7 +507,8 @@ ApproxService::serve_one(KernelState& state, std::uint64_t seed)
 }
 
 void
-ApproxService::serve_batch(KernelState& state, std::vector<Job>& jobs)
+ApproxService::serve_batch(std::size_t worker, KernelState& state,
+                           std::vector<Job>& jobs)
 {
     // Scatter members that expired while queued: resolve their futures
     // with a reason instead of wasting launch capacity on answers nobody
@@ -506,14 +535,33 @@ ApproxService::serve_batch(KernelState& state, std::vector<Job>& jobs)
     // path: exact-while-recalibrating and half-open probing are
     // inherently per request (a probe rides one client request off the
     // hot path), and a batch of one has nothing to amortize.
+    const bool watched = config_.watchdog.enabled;
     if (live.size() == 1 ||
         state.recalibrating.load(std::memory_order_acquire) ||
         state.awaiting_adoption.load(std::memory_order_acquire) ||
         state.tuner.probe_candidate() > 0) {
         for (Job* job : live) {
+            // One flight per request on this path: requests run
+            // sequentially, so a shared registration would let earlier
+            // members' wall time count against later ones' hang ceiling.
+            std::shared_ptr<vm::CancelToken> token;
+            if (watched) {
+                token = std::make_shared<vm::CancelToken>();
+                WatchdogFlight flight;
+                flight.started = std::chrono::steady_clock::now();
+                flight.ceiling = hang_ceiling(state);
+                flight.members.push_back({token, job->deadline});
+                watchdog_.begin_flight(worker, std::move(flight));
+            }
             try {
-                resolve_job(*job, serve_one(state, job->seed));
+                Response response =
+                    serve_one(state, job->seed, token.get());
+                if (watched)
+                    watchdog_.end_flight(worker);
+                resolve_job(*job, std::move(response));
             } catch (...) {
+                if (watched)
+                    watchdog_.end_flight(worker);
                 job->promise.set_exception(std::current_exception());
                 finish_one();
             }
@@ -526,11 +574,34 @@ ApproxService::serve_batch(KernelState& state, std::vector<Job>& jobs)
     for (const Job* job : live)
         seeds.push_back(job->seed);
 
+    // One watchdog flight for the whole coalesced launch, one token per
+    // member in seeds order — the order launch_batch sees, which is what
+    // lets the sweep scatter-cancel exactly the expired members.
+    std::vector<std::shared_ptr<vm::CancelToken>> tokens;
+    std::vector<const vm::CancelToken*> member_tokens;
+    if (watched) {
+        WatchdogFlight flight;
+        flight.started = std::chrono::steady_clock::now();
+        flight.ceiling = hang_ceiling(state);
+        tokens.reserve(live.size());
+        member_tokens.reserve(live.size());
+        for (const Job* job : live) {
+            auto token = std::make_shared<vm::CancelToken>();
+            flight.members.push_back({token, job->deadline});
+            member_tokens.push_back(token.get());
+            tokens.push_back(std::move(token));
+        }
+        watchdog_.begin_flight(worker, std::move(flight));
+    }
+
     const auto start = std::chrono::steady_clock::now();
     runtime::BatchServed batch;
     try {
+        exec::BatchCancelScope scope(watched ? &member_tokens : nullptr);
         batch = state.tuner.serve_batch(seeds);
     } catch (...) {
+        if (watched)
+            watchdog_.end_flight(worker);
         const std::exception_ptr error = std::current_exception();
         for (Job* job : live) {
             job->promise.set_exception(error);
@@ -538,15 +609,30 @@ ApproxService::serve_batch(KernelState& state, std::vector<Job>& jobs)
         }
         return;
     }
-    const double amortized =
+    if (watched)
+        watchdog_.end_flight(worker);
+    const double batch_wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
-            .count() /
-        static_cast<double>(live.size());
+            .count();
+    const double amortized =
+        batch_wall / static_cast<double>(live.size());
 
+    bool any_cancelled = false;
+    bool hang_charged = false;
     for (std::size_t i = 0; i < live.size(); ++i) {
         runtime::ServedRun& served = batch.runs[i];
         metrics_.batch_latency.record(amortized);
+        metrics_.launch_groups_completed.fetch_add(
+            static_cast<std::uint64_t>(served.run.groups_completed),
+            std::memory_order_relaxed);
+        if (served.run.cancelled && watched) {
+            any_cancelled = true;
+            resolve_job(*live[i],
+                        finish_cancelled(state, live[i]->seed, served,
+                                         *tokens[i], hang_charged));
+            continue;
+        }
 
         Response response;
         response.run = std::move(served.run);
@@ -581,11 +667,87 @@ ApproxService::serve_batch(KernelState& state, std::vector<Job>& jobs)
         }
         resolve_job(*live[i], std::move(response));
     }
+    // A cancelled launch's wall clock says nothing about a healthy one —
+    // the deadline/ceiling capped it — so only clean launches feed the
+    // hang-ceiling EWMA.
+    if (!any_cancelled)
+        observe_launch_wall(state, batch_wall);
+}
+
+Response
+ApproxService::finish_cancelled(KernelState& state, std::uint64_t seed,
+                                const runtime::ServedRun& served,
+                                const vm::CancelToken& cancel,
+                                bool& hang_charged)
+{
+    Response response;
+    if (cancel.reason() == vm::CancelReason::Watchdog) {
+        // Hung launch: charge the variant's quarantine breaker like a
+        // trap — once per launch, not once per batch member — and
+        // re-serve exact outside any cancel scope, so the client still
+        // gets an answer.  A variant that keeps spinning accumulates
+        // breaker failures and gets quarantined, not re-served.
+        metrics_.watchdog_cancels.fetch_add(1, std::memory_order_relaxed);
+        if (!hang_charged && served.index > 0) {
+            state.tuner.record_failure(served.index);
+            hang_charged = true;
+        }
+        response.run = state.tuner.run_exact(seed);
+        response.served_by = "exact";
+        response.watchdog_fallback = true;
+        metrics_.watchdog_fallbacks.fetch_add(1,
+                                              std::memory_order_relaxed);
+        return response;
+    }
+    // Deadline fired mid-launch: the launch stopped within one group
+    // round and merged nothing; resolve DeadlineExceeded — the same
+    // client view as expiring while queued, one group round later.
+    metrics_.cancelled_launches.fetch_add(1, std::memory_order_relaxed);
+    metrics_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+    response.status = ServeStatus::DeadlineExceeded;
+    return response;
+}
+
+std::chrono::steady_clock::duration
+ApproxService::hang_ceiling(const KernelState& state) const
+{
+    const double expected =
+        state.expected_launch_seconds.load(std::memory_order_relaxed);
+    const auto floor = config_.watchdog.hang_floor;
+    if (expected <= 0.0)
+        return floor;
+    const auto scaled =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(
+                expected * config_.watchdog.hang_multiplier));
+    return scaled > floor ? scaled : floor;
+}
+
+void
+ApproxService::observe_launch_wall(KernelState& state, double seconds)
+{
+    if (!(seconds > 0.0))
+        return;
+    // Racy read-modify-write on purpose: the EWMA is a heuristic input
+    // to the hang ceiling, not an exact statistic.
+    const double prev =
+        state.expected_launch_seconds.load(std::memory_order_relaxed);
+    const double next =
+        prev <= 0.0 ? seconds : 0.8 * prev + 0.2 * seconds;
+    state.expected_launch_seconds.store(next, std::memory_order_relaxed);
 }
 
 void
 ApproxService::resolve_job(Job& job, Response response)
 {
+    if (response.status != ServeStatus::Ok) {
+        // Deadline cancellation: the future resolves (exactly once, like
+        // every job), but nothing was served — keep `served` honest,
+        // mirroring the queued-expiry scatter path.
+        job.promise.set_value(std::move(response));
+        finish_one();
+        return;
+    }
     metrics_.latency.record(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       job.submitted_at)
@@ -775,6 +937,9 @@ ApproxService::stop()
         if (worker.joinable())
             worker.join();
     }
+    // After the joins no flight can be registered; idempotent like the
+    // rest of stop().
+    watchdog_.stop();
     drain();
 }
 

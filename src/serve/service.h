@@ -40,6 +40,7 @@
 #include "serve/metrics.h"
 #include "serve/monitor.h"
 #include "serve/queue.h"
+#include "serve/watchdog.h"
 #include "store/artifact_store.h"
 
 namespace paraprox::serve {
@@ -115,6 +116,9 @@ struct ServiceConfig {
         /*probe_quota=*/1};
     /// Load-adaptive degradation ladder knobs.
     DegradationConfig degradation;
+    /// Launch-termination authority: per-member deadline cancellation and
+    /// hung-launch detection (see serve::Watchdog).
+    WatchdogConfig watchdog;
 };
 
 /// How the scale-out calibration plane arbitrates a drift event.  The
@@ -163,6 +167,10 @@ struct Response {
     bool degraded = false;
     /// The approximate run trapped; the exact kernel re-served it.
     bool trap_fallback = false;
+    /// The watchdog cancelled the approximate launch (hang ceiling
+    /// exceeded); the exact kernel re-served it and the hang was charged
+    /// to the variant's breaker.
+    bool watchdog_fallback = false;
 };
 
 /// Per-request admission options.
@@ -362,6 +370,10 @@ class ApproxService {
         std::shared_ptr<const runtime::PipelineStats> pipeline_stats;
         /// This kernel's shard in the sharded queue.
         std::size_t shard = 0;
+        /// EWMA of recent clean launch wall clocks (seconds); 0 until the
+        /// first observation.  The watchdog's hang ceiling is
+        /// hang_multiplier x this, floored at hang_floor.
+        std::atomic<double> expected_launch_seconds{0.0};
     };
 
     struct Job {
@@ -374,14 +386,35 @@ class ApproxService {
     };
 
     void worker_loop(std::size_t worker_index);
-    Response serve_one(KernelState& state, std::uint64_t seed);
+    /// Serve one request; @p cancel (may be null) is armed around the
+    /// primary tuner call only — exact detours (recalibration, probes,
+    /// trap and watchdog fallbacks) always run to completion.
+    Response serve_one(KernelState& state, std::uint64_t seed,
+                       const vm::CancelToken* cancel);
     /// Serve one popped batch (all jobs share a kernel): scatter expired
-    /// members to DeadlineExceeded, run the rest as one coalesced launch,
-    /// and resolve every member's future.
-    void serve_batch(KernelState& state, std::vector<Job>& jobs);
-    /// Resolve one job's future with @p response, recording sojourn
-    /// latency and the served counter.
+    /// members to DeadlineExceeded, run the rest as one coalesced launch
+    /// registered with the watchdog under @p worker's slot, and resolve
+    /// every member's future.
+    void serve_batch(std::size_t worker, KernelState& state,
+                     std::vector<Job>& jobs);
+    /// Resolve one job's future with @p response.  Ok responses record
+    /// sojourn latency and the served counter; non-Ok responses (deadline
+    /// cancellations) resolve the future and the flight only, keeping
+    /// `served` a count of successfully served requests.
     void resolve_job(Job& job, Response response);
+    /// Post-launch handling for a run the token stopped mid-flight:
+    /// Deadline -> DeadlineExceeded response; Watchdog -> charge the
+    /// variant's breaker (once per launch, see @p hang_charged) and
+    /// re-serve exact.  Returns the response to resolve with.
+    Response finish_cancelled(KernelState& state, std::uint64_t seed,
+                              const runtime::ServedRun& served,
+                              const vm::CancelToken& cancel,
+                              bool& hang_charged);
+    /// The hang ceiling for one launch of @p state right now.
+    std::chrono::steady_clock::duration hang_ceiling(
+        const KernelState& state) const;
+    /// Fold a clean launch wall clock into the kernel's EWMA.
+    static void observe_launch_wall(KernelState& state, double seconds);
     /// Shared registration tail: service-level tuner policy + insertion.
     void install_kernel(std::unique_ptr<KernelState> state);
     /// Empty @p seeds: use the monitor's recent (drifted) seeds, then the
@@ -400,6 +433,9 @@ class ApproxService {
     const ServiceConfig config_;
     Metrics metrics_;
     ShardedQueue<Job> queue_;
+    /// Deadline/hang sweeper over the workers' in-flight launches.
+    /// Declared before workers_ so it outlives them on destruction.
+    Watchdog watchdog_;
 
     /// Scale-out hooks (see set_recalibration_gate).
     mutable std::mutex hooks_mutex_;

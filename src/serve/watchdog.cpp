@@ -1,0 +1,135 @@
+#include "serve/watchdog.h"
+
+namespace paraprox::serve {
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(config) {}
+
+Watchdog::~Watchdog()
+{
+    stop();
+}
+
+void
+Watchdog::start(std::size_t num_workers)
+{
+    if (!config_.enabled)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slots_.resize(num_workers);
+    }
+    {
+        std::lock_guard<std::mutex> lock(stop_mutex_);
+        if (started_)
+            return;
+        started_ = true;
+        stopping_ = false;
+    }
+    sweeper_ = std::thread([this] { loop(); });
+}
+
+void
+Watchdog::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(stop_mutex_);
+        if (!started_)
+            return;
+        stopping_ = true;
+    }
+    stop_cv_.notify_all();
+    if (sweeper_.joinable())
+        sweeper_.join();
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    started_ = false;
+}
+
+void
+Watchdog::begin_flight(std::size_t worker, WatchdogFlight flight)
+{
+    if (!config_.enabled)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (worker >= slots_.size())
+        slots_.resize(worker + 1);
+    Slot& slot = slots_[worker];
+    slot.active = true;
+    slot.hang_fired = false;
+    slot.flight = std::move(flight);
+}
+
+void
+Watchdog::end_flight(std::size_t worker)
+{
+    if (!config_.enabled)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (worker >= slots_.size())
+        return;
+    slots_[worker].active = false;
+    slots_[worker].flight = {};
+}
+
+void
+Watchdog::sweep_now()
+{
+    sweep(std::chrono::steady_clock::now());
+}
+
+void
+Watchdog::sweep(std::chrono::steady_clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Slot& slot : slots_) {
+        if (!slot.active)
+            continue;
+
+        // Expired members first: a deadline cancel is per-member
+        // (scatter-cancel), and first-reason-wins in the token keeps a
+        // later hang sweep from relabeling it.
+        for (WatchdogFlight::Member& member : slot.flight.members) {
+            if (!member.token || !member.deadline)
+                continue;
+            if (*member.deadline <= now &&
+                member.token->cancel(vm::CancelReason::Deadline)) {
+                deadline_cancels_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+
+        // Whole-launch hang: past the ceiling, every member goes —
+        // the worker thread is parked inside this one launch, so no
+        // member can be served out of it anyway.
+        if (!slot.hang_fired && slot.flight.ceiling.count() > 0 &&
+            now - slot.flight.started > slot.flight.ceiling) {
+            slot.hang_fired = true;
+            bool fired = false;
+            for (WatchdogFlight::Member& member : slot.flight.members) {
+                if (member.token &&
+                    member.token->cancel(vm::CancelReason::Watchdog))
+                    fired = true;
+            }
+            // One hang event per launch, however many members ride it
+            // (members already cancelled for their own deadline keep
+            // that verdict and do not re-count).
+            if (fired)
+                hang_cancels_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+Watchdog::loop()
+{
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    while (!stopping_) {
+        stop_cv_.wait_for(lock, config_.tick,
+                          [this] { return stopping_; });
+        if (stopping_)
+            break;
+        lock.unlock();
+        sweep(std::chrono::steady_clock::now());
+        lock.lock();
+    }
+}
+
+}  // namespace paraprox::serve

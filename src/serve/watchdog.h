@@ -1,0 +1,134 @@
+/// @file
+/// Watchdog: the serving layer's launch-termination authority.
+///
+/// Every worker registers its in-flight launch (one cancel token per
+/// batch member, plus each member's deadline and the launch's hang
+/// ceiling) before calling into the tuner, and clears it when the launch
+/// returns — the registration doubles as the worker's heartbeat.  One
+/// watchdog thread sweeps the registry on a short tick and fires tokens
+/// for two distinct events:
+///
+///   Deadline — a member's deadline passed mid-launch.  Its token is
+///     cancelled with CancelReason::Deadline; the member stops within one
+///     group round and resolves DeadlineExceeded (scatter-cancel: the
+///     other batch members keep running).
+///
+///   Hang — the whole launch exceeded its wall ceiling (a multiple of
+///     the kernel's expected launch time; see ServiceConfig::watchdog).
+///     Every member token fires with CancelReason::Watchdog, and the
+///     service charges the hang to the variant's quarantine breaker like
+///     a trap — a pathological variant that spins gets quarantined, not
+///     re-served.
+///
+/// The watchdog never touches worker state directly: it only flips
+/// relaxed atomics that the VM polls at control transfers, so a hung
+/// interpreter loop is the *only* thing it needs to assume still runs.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "vm/vm.h"
+
+namespace paraprox::serve {
+
+struct WatchdogConfig {
+    bool enabled = true;
+    /// Registry sweep cadence; cancellation latency is at most one tick
+    /// plus one VM group round.
+    std::chrono::steady_clock::duration tick =
+        std::chrono::milliseconds(1);
+    /// A launch is declared hung once its wall clock exceeds
+    /// `hang_multiplier` x the kernel's expected launch time (an EWMA of
+    /// recent serve wall clocks the service maintains), but never sooner
+    /// than `hang_floor` — a cold kernel with no history yet must not be
+    /// shot for warming up.
+    double hang_multiplier = 32.0;
+    std::chrono::steady_clock::duration hang_floor =
+        std::chrono::milliseconds(250);
+};
+
+/// One registered launch: the tokens of every batch member plus the
+/// wall-clock facts the sweeps compare against.
+struct WatchdogFlight {
+    struct Member {
+        std::shared_ptr<vm::CancelToken> token;
+        std::optional<std::chrono::steady_clock::time_point> deadline;
+    };
+    std::vector<Member> members;
+    std::chrono::steady_clock::time_point started;
+    /// Hang ceiling for the whole launch; zero = hang detection off for
+    /// this flight (deadline cancellation still applies).
+    std::chrono::steady_clock::duration ceiling{};
+};
+
+class Watchdog {
+  public:
+    explicit Watchdog(WatchdogConfig config = {});
+    ~Watchdog();  ///< stop()s if the owner has not.
+
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+
+    /// Size the per-worker registry and start the sweep thread.  No-op
+    /// when the config disables the watchdog.
+    void start(std::size_t num_workers);
+    void stop();
+
+    /// Register worker @p worker's in-flight launch.  Overwrites any
+    /// stale registration (there can be none in correct use: every
+    /// begin pairs with an end on the same thread).
+    void begin_flight(std::size_t worker, WatchdogFlight flight);
+    /// The launch returned (completed, trapped, or cancelled); stop
+    /// watching it.
+    void end_flight(std::size_t worker);
+
+    /// One sweep immediately, synchronously (tests; the thread does this
+    /// on a timer).  Safe whether or not the thread is running.
+    void sweep_now();
+
+    std::uint64_t deadline_cancels() const
+    {
+        return deadline_cancels_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t hang_cancels() const
+    {
+        return hang_cancels_.load(std::memory_order_relaxed);
+    }
+
+    const WatchdogConfig& config() const { return config_; }
+
+  private:
+    struct Slot {
+        bool active = false;
+        bool hang_fired = false;
+        WatchdogFlight flight;
+    };
+
+    void sweep(std::chrono::steady_clock::time_point now);
+    void loop();
+
+    const WatchdogConfig config_;
+
+    std::mutex mutex_;
+    std::vector<Slot> slots_;
+
+    std::thread sweeper_;
+    std::mutex stop_mutex_;
+    std::condition_variable stop_cv_;
+    bool stopping_ = false;
+    bool started_ = false;
+
+    std::atomic<std::uint64_t> deadline_cancels_{0};
+    std::atomic<std::uint64_t> hang_cancels_{0};
+};
+
+}  // namespace paraprox::serve

@@ -6,9 +6,13 @@
 /// executing a group), `vm.nan` (a kernel's global output is poisoned
 /// with NaN), `serve.latency` (a worker stalls before serving),
 /// `store.corrupt` (an artifact record's bytes are flipped before
-/// decoding, driving the real corruption-rejection path), and
-/// `data.bitflip` (bits are flipped in a packed approximate buffer after
-/// encoding — degrades quality, never traps).  Sites cost one
+/// decoding, driving the real corruption-rejection path), `data.bitflip`
+/// (bits are flipped in a packed approximate buffer after encoding —
+/// degrades quality, never traps), `vm.hang` (a work-group spins at a
+/// control transfer until a cancel token fires, driving the hung-launch
+/// watchdog), and `replica.crash` (a replica process _Exits mid-request
+/// — arm only in forked children; it drives the supervisor's restart
+/// path).  Sites cost one
 /// relaxed atomic load when nothing is armed, so they stay compiled into
 /// release builds.
 ///

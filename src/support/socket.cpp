@@ -189,9 +189,13 @@ Listener::close()
 {
     if (fd_ < 0 || closed_.exchange(true, std::memory_order_acq_rel))
         return;
-    // Wake the accept loop; the fds themselves stay open until the
-    // destructor so a blocked accept() never touches a recycled
-    // descriptor.
+    // Refuse further connects (they fail ECONNREFUSED from here on)
+    // before the path is unlinked, so no client can slip into the
+    // backlog after the drain below.  The fds themselves stay open
+    // until the destructor so a blocked accept() never touches a
+    // recycled descriptor.
+    ::shutdown(fd_, SHUT_RDWR);
+    // Wake the accept loop.
     if (wake_pipe_[1] >= 0) {
         const char byte = 0;
         [[maybe_unused]] const ssize_t n =
@@ -199,6 +203,20 @@ Listener::close()
     }
     if (!path_.empty())
         ::unlink(path_.c_str());
+    // Release every embryonic connection still parked in the backlog.
+    // Their peers already connected successfully and are blocked in
+    // recv; with the listening fd held open (see above) they would
+    // otherwise never observe EOF.  Closing the drained fd resets the
+    // peer.  Queued embryos still come out of accept() after the
+    // shutdown, and the racing acceptor thread dequeuing one first is
+    // fine — it lands on the normal stopping path.
+    for (;;) {
+        const int fd = ::accept4(fd_, nullptr, nullptr,
+                                 SOCK_CLOEXEC | SOCK_NONBLOCK);
+        if (fd < 0)
+            break;
+        ::close(fd);
+    }
 }
 
 }  // namespace paraprox

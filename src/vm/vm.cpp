@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "support/faultinject.h"
 
@@ -138,10 +140,11 @@ GroupRunner::GroupRunner(const Program& program,
                          const std::vector<Value>& scalar_args,
                          const std::vector<std::int64_t>& shared_sizes,
                          const GroupGeometry& geometry, ExecStats* stats,
-                         MemoryListener* listener, ExecMode mode)
+                         MemoryListener* listener, ExecMode mode,
+                         const CancelToken* cancel)
     : program_(program), buffers_(std::move(global_buffers)),
       scalar_args_(scalar_args), geometry_(geometry), stats_(stats),
-      listener_(listener), mode_(mode)
+      listener_(listener), mode_(mode), cancel_(cancel)
 {
     PARAPROX_CHECK(buffers_.size() == program.buffers.size(),
                    "kernel buffer argument count mismatch");
@@ -171,6 +174,15 @@ GroupRunner::buffer(int slot)
 }
 
 void
+GroupRunner::check_cancel() const
+{
+    if (cancel_ && cancel_->cancelled()) {
+        throw CancelledError("launch cancelled in kernel `" +
+                             program_.kernel_name + "`");
+    }
+}
+
+void
 GroupRunner::run()
 {
     // Chaos-testing site: manufacture a trap before any work-item runs, so
@@ -179,6 +191,27 @@ GroupRunner::run()
     if (fault::fire("vm.trap", program_.kernel_name)) {
         throw TrapError("injected fault: vm.trap in kernel `" +
                         program_.kernel_name + "`");
+    }
+
+    // Chaos-testing site: spin like a pathological kernel stuck in a loop
+    // the instruction budget has not caught yet.  Only cooperative
+    // cancellation ends it promptly — exactly what the hung-launch
+    // watchdog exists to deliver.  A hard wall ceiling below keeps an
+    // unwatched hang from stalling a test run forever; giving up that way
+    // is a trap (the kernel really is pathological).
+    if (fault::fire("vm.hang", program_.kernel_name)) {
+        const auto hang_started = std::chrono::steady_clock::now();
+        constexpr auto kHangGiveUp = std::chrono::seconds(20);
+        for (;;) {
+            check_cancel();
+            if (std::chrono::steady_clock::now() - hang_started >
+                kHangGiveUp) {
+                throw TrapError("injected fault: vm.hang in kernel `" +
+                                program_.kernel_name +
+                                "` ran unwatched past its ceiling");
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
     }
 
     const int count = geometry_.local_count();
@@ -206,6 +239,7 @@ GroupRunner::run()
         ItemState item;
         item.regs.resize(program_.num_regs);
         for (int linear = 0; linear < count; ++linear) {
+            check_cancel();
             item.pc = 0;
             item.halted = false;
             for (std::size_t s = 0; s < program_.scalars.size(); ++s)
@@ -225,6 +259,7 @@ GroupRunner::run()
             local_ids[linear] = make_local_id(linear);
         }
         for (;;) {
+            check_cancel();
             int at_barrier = 0;
             int halted = 0;
             for (int linear = 0; linear < count; ++linear) {
@@ -626,11 +661,13 @@ GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
           case Opcode::Jmp:
             if constexpr (!kInstrumented)
                 check_budget();
+            check_cancel();
             pc = instr.imm.i;
             continue;
           case Opcode::Jz:
             if constexpr (!kInstrumented)
                 check_budget();
+            check_cancel();
             if (regs[instr.a].i == 0) {
                 pc = instr.imm.i;
                 continue;
@@ -661,6 +698,7 @@ GroupRunner::run_item(ItemState& item, const std::array<int, 3>& local_id,
           case Opcode::CmpJz: {
             if constexpr (!kInstrumented)
                 check_budget();
+            check_cancel();
             const std::int32_t flag =
                 eval_compare(static_cast<Opcode>(instr.d), regs[instr.b],
                              regs[instr.c]);

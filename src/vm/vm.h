@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -29,6 +30,63 @@ namespace paraprox::vm {
 class TrapError : public Error {
   public:
     explicit TrapError(const std::string& what) : Error(what) {}
+};
+
+/// Why a launch was cancelled.  First cancel wins; later cancels with a
+/// different reason are ignored so the owner always observes the cause
+/// that actually stopped the launch.
+enum class CancelReason : int {
+    None = 0,
+    Deadline = 1,  ///< The request's deadline expired mid-launch.
+    Watchdog = 2,  ///< The launch exceeded its hang ceiling.
+};
+
+/// Cooperative cancellation flag threaded from the serving layer down to
+/// the interpreter: one relaxed atomic, the same shape as the launch
+/// layer's trap-abort flag.  The GroupRunner polls it at control
+/// transfers (where the fast loop already hoists its budget check) and
+/// between work-items/rounds, so a cancelled launch stops within one
+/// group round instead of running to completion.  Distinct from a trap:
+/// cancellation is the *harness* terminating healthy-but-unwanted work,
+/// so it must not feed quarantine breakers by itself.
+class CancelToken {
+  public:
+    /// Request cancellation.  Returns true if this call was the one that
+    /// cancelled (first reason wins).
+    bool
+    cancel(CancelReason reason)
+    {
+        int expected = 0;
+        return state_.compare_exchange_strong(
+            expected, static_cast<int>(reason), std::memory_order_relaxed,
+            std::memory_order_relaxed);
+    }
+
+    bool
+    cancelled() const
+    {
+        return state_.load(std::memory_order_relaxed) != 0;
+    }
+
+    CancelReason
+    reason() const
+    {
+        return static_cast<CancelReason>(
+            state_.load(std::memory_order_relaxed));
+    }
+
+  private:
+    std::atomic<int> state_{static_cast<int>(CancelReason::None)};
+};
+
+/// Raised by the GroupRunner when its cancel token fires.  Deliberately
+/// NOT a TrapError: traps mean the kernel misbehaved (and charge its
+/// quarantine breaker); cancellation means the harness no longer wants
+/// the result.  The launch layer converts this into a cancelled
+/// LaunchResult instead of a trap.
+class CancelledError : public Error {
+  public:
+    explicit CancelledError(const std::string& what) : Error(what) {}
 };
 
 /// Dynamic execution statistics for a launch (or a slice of one).
@@ -134,13 +192,17 @@ class GroupRunner {
     ///        ignored entries for non-shared slots.
     /// @param mode Fast requires @p listener to be null (the fast loop
     ///        has no listener callbacks to deliver).
+    /// @param cancel optional cooperative cancellation token, polled at
+    ///        control transfers and between work-items; null = the
+    ///        launch cannot be cancelled.
     GroupRunner(const Program& program,
                 std::vector<BufferView> global_buffers,
                 const std::vector<Value>& scalar_args,
                 const std::vector<std::int64_t>& shared_sizes,
                 const GroupGeometry& geometry, ExecStats* stats,
                 MemoryListener* listener,
-                ExecMode mode = ExecMode::Instrumented);
+                ExecMode mode = ExecMode::Instrumented,
+                const CancelToken* cancel = nullptr);
 
     /// Run the whole group.  Throws TrapError on unsafe behaviour.
     void run();
@@ -170,6 +232,9 @@ class GroupRunner {
     bool run_item(ItemState& item, const std::array<int, 3>& local_id,
                   bool stop_at_barrier);
 
+    /// Throw CancelledError if the launch's token fired.
+    void check_cancel() const;
+
     BufferView& buffer(int slot);
 
     const Program& program_;
@@ -180,6 +245,7 @@ class GroupRunner {
     ExecStats* stats_;
     MemoryListener* listener_;
     ExecMode mode_;
+    const CancelToken* cancel_;
     ExecStats local_stats_;
     std::vector<Value> final_regs_;
 };

@@ -15,13 +15,17 @@
 #include <thread>
 #include <vector>
 
+#include "exec/buffer.h"
+#include "exec/launch.h"
 #include "parser/parser.h"
 #include "runtime/data_tier.h"
 #include "runtime/quality.h"
+#include "runtime/variant_run.h"
 #include "serve/service.h"
 #include "store/artifact_store.h"
 #include "support/error.h"
 #include "support/faultinject.h"
+#include "vm/compiler.h"
 
 namespace paraprox::serve {
 namespace {
@@ -699,6 +703,172 @@ TEST_F(ChaosDataTest, ServiceContainsBitflippedDataTier)
                 (selected.find("all:") == std::string::npos &&
                  selected.find("in:") == std::string::npos))
         << selected;
+}
+
+// ---- Cancellation and the hung-launch watchdog ------------------------------
+
+using ChaosCancelTest = ChaosTest;
+
+/// Two identically-computing kernels under different names, so a fault
+/// spec (vm.hang matches on kernel name) can wedge the approximate
+/// variant while the exact fallback stays healthy.
+constexpr const char* kCancelKernels = R"(
+    __kernel void exact_k(__global float* out, int rounds) {
+        int i = get_global_id(0);
+        float acc = 0.0f;
+        for (int j = 0; j < rounds; j++) { acc += sqrtf((float)(j + i)); }
+        out[i] = acc;
+    }
+    __kernel void approx_k(__global float* out, int rounds) {
+        int i = get_global_id(0);
+        float acc = 0.0f;
+        for (int j = 0; j < rounds; j++) { acc += sqrtf((float)(j + i)); }
+        out[i] = acc;
+    }
+)";
+
+/// A VM-backed variant (fake closures never reach the GroupRunner, so
+/// only a real launch can observe cancel tokens).  Seeds >= 1000 run a
+/// heavy NDRange — long enough for a mid-launch deadline to expire —
+/// while calibration seeds stay light.
+Variant
+vm_variant(std::shared_ptr<vm::Program> program, const std::string& label,
+           int aggressiveness, double cycles, int heavy_rounds)
+{
+    return {label, aggressiveness,
+            [program, cycles, heavy_rounds](std::uint64_t seed) {
+                constexpr int kItems = 2048;
+                exec::Buffer out = exec::Buffer::zeros_f32(kItems);
+                exec::ArgPack args;
+                const int rounds =
+                    seed >= 1000 ? heavy_rounds : 40;
+                args.buffer("out", out).scalar("rounds", rounds);
+                runtime::VariantRun run = runtime::run_fast_unpriced(
+                    *program, args, exec::LaunchConfig::linear(kItems, 32));
+                if (!run.trapped && !run.cancelled)
+                    runtime::attach_output(run, out);
+                run.modeled_cycles = cycles;
+                return run;
+            }};
+}
+
+std::vector<Variant>
+vm_variants(int heavy_rounds = 20000)
+{
+    auto module = parser::parse_module(kCancelKernels);
+    auto exact = std::make_shared<vm::Program>(
+        vm::compile_kernel(module, "exact_k"));
+    auto approx = std::make_shared<vm::Program>(
+        vm::compile_kernel(module, "approx_k"));
+    std::vector<Variant> variants;
+    variants.push_back(vm_variant(exact, "exact", 0, 1000.0, heavy_rounds));
+    variants.push_back(
+        vm_variant(approx, "approx_k", 1, 100.0, heavy_rounds));
+    return variants;
+}
+
+TEST_F(ChaosCancelTest, DeadlineExpiringMidLaunchCancelsTheLaunch)
+{
+    ServiceConfig config = chaos_service(1, 16);
+    config.watchdog.tick = std::chrono::milliseconds(1);
+    ApproxService service(config);
+    service.register_kernel("k", vm_variants(),
+                            Metric::MeanRelativeError, 90.0, {1, 2, 3});
+    ASSERT_EQ(service.kernel_snapshot("k").selected, "approx_k");
+
+    // Heavy seed, 30ms budget: the queue is empty so admission passes,
+    // and the deadline dies inside the launch.  The watchdog's sweep
+    // must scatter-cancel it, the VM must bail within one group round,
+    // and the client must get exactly one DeadlineExceeded — orders of
+    // magnitude before the full launch would have finished.
+    Ticket doomed = service.submit(
+        "k", 1001, SubmitOptions::within(std::chrono::milliseconds(30)));
+    ASSERT_TRUE(doomed.accepted);
+    const Response response = doomed.response.get();
+    EXPECT_EQ(response.status, ServeStatus::DeadlineExceeded);
+    EXPECT_TRUE(response.run.output.empty());
+
+    // The service stays healthy for the next (light) request.
+    Ticket next = service.submit("k", 5);
+    ASSERT_TRUE(next.accepted);
+    EXPECT_EQ(next.response.get().status, ServeStatus::Ok);
+    service.drain();
+
+    const MetricsSnapshot metrics = service.metrics().snapshot();
+    EXPECT_GE(metrics.cancelled_launches, 1u);
+    EXPECT_GE(metrics.deadline_expired, 1u);
+    EXPECT_EQ(metrics.watchdog_cancels, 0u);
+    // The cancelled request resolved but was never "served".
+    EXPECT_EQ(metrics.accepted, 2u);
+    EXPECT_EQ(metrics.served, 1u);
+    // A cancelled launch is harness policy, not kernel misbehaviour: it
+    // must not have charged the variant's breaker.
+    const auto snapshot = service.kernel_snapshot("k");
+    for (const auto& breaker : snapshot.breakers)
+        EXPECT_EQ(breaker.state, runtime::BreakerState::Closed);
+    service.stop();
+}
+
+TEST_F(ChaosCancelTest, HungLaunchIsShotQuarantinedAndServedExact)
+{
+    ServiceConfig config = chaos_service(1, 16);
+    config.watchdog.tick = std::chrono::milliseconds(1);
+    config.watchdog.hang_floor = std::chrono::milliseconds(60);
+    // One hang is conviction enough, and the cooldown is effectively
+    // forever on this test's invocation clock: no half-open probe can
+    // reinstate the variant mid-assertion.
+    config.quarantine = {/*failure_threshold=*/1, /*failure_window=*/64,
+                         /*cooldown=*/1u << 20, /*cooldown_growth=*/2.0,
+                         /*max_cooldown=*/1u << 20, /*probe_quota=*/1};
+    ApproxService service(config);
+    service.register_kernel("k", vm_variants(),
+                            Metric::MeanRelativeError, 90.0, {1, 2, 3});
+    ASSERT_EQ(service.kernel_snapshot("k").selected, "approx_k");
+
+    // The next approx_k launch wedges (a group spins on the vm.hang
+    // site until its cancel token fires).  The watchdog must declare a
+    // hang at the 60ms floor, cancel the launch, charge the variant's
+    // breaker like a trap, and re-serve the request exact.
+    fault::FaultSpec hang;
+    hang.site = "vm.hang";
+    hang.match = "approx_k";
+    hang.every = 1;
+    hang.limit = 1;
+    fault::FaultInjector::instance().arm({hang});
+
+    Ticket ticket = service.submit("k", 7);
+    ASSERT_TRUE(ticket.accepted);
+    const Response response = ticket.response.get();
+    EXPECT_EQ(response.status, ServeStatus::Ok);
+    EXPECT_EQ(response.served_by, "exact");
+    EXPECT_TRUE(response.watchdog_fallback);
+    EXPECT_FALSE(response.run.output.empty());
+
+    // snapshot() (not a bare metrics().snapshot()) so the breaker
+    // counters are aggregated in from the tuners.
+    const MetricsSnapshot mid = service.snapshot().metrics;
+    EXPECT_EQ(mid.watchdog_cancels, 1u);
+    EXPECT_EQ(mid.watchdog_fallbacks, 1u);
+    EXPECT_GE(mid.quarantines, 1u);
+
+    // The hang opened the breaker: the spinning variant is out of the
+    // selection and the kernel serves exact.
+    const auto snapshot = service.kernel_snapshot("k");
+    EXPECT_EQ(snapshot.selected, "exact");
+    bool found = false;
+    for (const auto& breaker : snapshot.breakers) {
+        if (breaker.label == "approx_k") {
+            found = true;
+            EXPECT_NE(breaker.state, runtime::BreakerState::Closed);
+        }
+    }
+    EXPECT_TRUE(found);
+
+    Ticket after = service.submit("k", 8);
+    ASSERT_TRUE(after.accepted);
+    EXPECT_EQ(after.response.get().served_by, "exact");
+    service.drain();
+    service.stop();
 }
 
 }  // namespace

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "exec/buffer.h"
 #include "exec/launch.h"
 #include "parser/parser.h"
 #include "support/error.h"
+#include "support/faultinject.h"
 #include "vm/compiler.h"
 
 namespace paraprox {
@@ -251,6 +255,218 @@ TEST(LaunchTest, BatchMemberTrapIsIsolated)
     for (int i = 0; i < 64; ++i) {
         ASSERT_EQ(ok_a.get_int(i), i + 7);
         ASSERT_EQ(ok_b.get_int(i), i + 7);
+    }
+}
+
+// ---- Cooperative cancellation ----------------------------------------------
+
+/// Cancellation tests arm fault sites; keep the process-wide injector
+/// clean around each one.
+class CancelTest : public ::testing::Test {
+  protected:
+    void SetUp() override { fault::FaultInjector::instance().disarm(); }
+    void TearDown() override { fault::FaultInjector::instance().disarm(); }
+};
+
+vm::Program
+counting_program()
+{
+    auto module = parser::parse_module(R"(
+        __kernel void cancel_k(__global int* out) {
+            int i = get_global_id(0);
+            int acc = 0;
+            for (int j = 0; j < 50; j++) { acc += j; }
+            out[i] = acc + i;
+        }
+    )");
+    return vm::compile_kernel(module, "cancel_k");
+}
+
+TEST_F(CancelTest, PreCancelledTokenSkipsTheWholeLaunch)
+{
+    auto program = counting_program();
+    Buffer out = Buffer::zeros_i32(256);
+    ArgPack args;
+    args.buffer("out", out);
+    vm::CancelToken token;
+    ASSERT_TRUE(token.cancel(vm::CancelReason::Deadline));
+    LaunchConfig config = LaunchConfig::linear(256, 32);
+    config.cancel = &token;
+
+    const auto result = exec::launch(program, args, config);
+    EXPECT_TRUE(result.cancelled);
+    EXPECT_EQ(result.cancel_reason, vm::CancelReason::Deadline);
+    EXPECT_FALSE(result.trapped);
+    // No group ran and no stats were merged: a cancelled launch must
+    // never leak partial accounting into calibration or pricing.
+    EXPECT_EQ(result.groups_completed, 0);
+    EXPECT_EQ(result.groups_total, 8);
+    EXPECT_EQ(result.stats.total_instructions, 0u);
+    for (int i = 0; i < 256; ++i)
+        ASSERT_EQ(out.get_int(i), 0);
+}
+
+TEST_F(CancelTest, FirstCancelReasonWins)
+{
+    vm::CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_TRUE(token.cancel(vm::CancelReason::Watchdog));
+    // A later deadline cancel is a no-op: the original verdict stands.
+    EXPECT_FALSE(token.cancel(vm::CancelReason::Deadline));
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), vm::CancelReason::Watchdog);
+}
+
+TEST_F(CancelTest, MidLaunchCancelStopsWithinOneGroupRound)
+{
+    // One group wedges on the armed vm.hang site (it spins polling its
+    // cancel token); the ambient CancelScope token fires from another
+    // thread and must bring the launch home cancelled — the hung
+    // interpreter is exactly what cooperative cancellation exists for.
+    auto program = counting_program();
+    Buffer out = Buffer::zeros_i32(4096);
+    ArgPack args;
+    args.buffer("out", out);
+
+    fault::FaultSpec hang;
+    hang.site = "vm.hang";
+    hang.match = "cancel_k";
+    hang.every = 1;
+    hang.limit = 1;
+    fault::FaultInjector::instance().arm({hang});
+
+    vm::CancelToken token;
+    std::thread canceller([&token] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        token.cancel(vm::CancelReason::Watchdog);
+    });
+    exec::CancelScope scope(&token);
+    const auto result =
+        exec::launch(program, args, LaunchConfig::linear(4096, 32));
+    canceller.join();
+
+    EXPECT_TRUE(result.cancelled);
+    EXPECT_EQ(result.cancel_reason, vm::CancelReason::Watchdog);
+    EXPECT_EQ(result.groups_total, 128);
+    // The wedged group never completes, so a cancelled launch always
+    // comes home short; completed-before-cancel groups may have merged
+    // stats, which is fine — the serving layer discards a cancelled
+    // run's accounting wholesale.
+    EXPECT_LT(result.groups_completed, result.groups_total);
+}
+
+TEST_F(CancelTest, ExplicitConfigTokenWinsOverAmbientScope)
+{
+    // An armed ambient token must not leak into a launch that carries
+    // its own: exact-fallback and shadow launches pass a fresh token (or
+    // run outside any scope) precisely so a cancelled request cannot
+    // cancel its own recovery path.
+    auto program = counting_program();
+    Buffer out = Buffer::zeros_i32(256);
+    ArgPack args;
+    args.buffer("out", out);
+
+    vm::CancelToken doomed;
+    doomed.cancel(vm::CancelReason::Deadline);
+    vm::CancelToken fresh;
+    exec::CancelScope scope(&doomed);
+    ASSERT_EQ(exec::current_cancel_token(), &doomed);
+
+    LaunchConfig config = LaunchConfig::linear(256, 32);
+    config.cancel = &fresh;
+    const auto result = exec::launch(program, args, config);
+    EXPECT_FALSE(result.cancelled);
+    EXPECT_EQ(result.groups_completed, result.groups_total);
+    for (int i = 0; i < 256; ++i)
+        ASSERT_EQ(out.get_int(i), 1225 + i);
+}
+
+TEST_F(CancelTest, ScopesRestoreOnExit)
+{
+    vm::CancelToken outer_token;
+    EXPECT_EQ(exec::current_cancel_token(), nullptr);
+    {
+        exec::CancelScope outer(&outer_token);
+        EXPECT_EQ(exec::current_cancel_token(), &outer_token);
+        vm::CancelToken inner_token;
+        {
+            exec::CancelScope inner(&inner_token);
+            EXPECT_EQ(exec::current_cancel_token(), &inner_token);
+        }
+        EXPECT_EQ(exec::current_cancel_token(), &outer_token);
+    }
+    EXPECT_EQ(exec::current_cancel_token(), nullptr);
+    EXPECT_EQ(exec::current_batch_cancel_tokens(), nullptr);
+}
+
+TEST_F(CancelTest, BatchScopeScattersOnlyTheMarkedMember)
+{
+    auto program = counting_program();
+    std::vector<Buffer> outs;
+    outs.reserve(3);  // ArgPacks hold Buffer pointers: no reallocation.
+    std::vector<ArgPack> packs;
+    std::vector<const ArgPack*> members;
+    for (int m = 0; m < 3; ++m) {
+        outs.push_back(Buffer::zeros_i32(256));
+        ArgPack args;
+        args.buffer("out", outs.back());
+        packs.push_back(std::move(args));
+    }
+    for (auto& pack : packs)
+        members.push_back(&pack);
+
+    vm::CancelToken doomed;
+    doomed.cancel(vm::CancelReason::Deadline);
+    const std::vector<const vm::CancelToken*> tokens = {nullptr, &doomed,
+                                                        nullptr};
+    exec::BatchCancelScope scope(&tokens);
+    const auto results = exec::launch_batch(
+        program, members, LaunchConfig::linear(256, 32));
+
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_FALSE(results[0].cancelled);
+    EXPECT_TRUE(results[1].cancelled);
+    EXPECT_EQ(results[1].cancel_reason, vm::CancelReason::Deadline);
+    EXPECT_EQ(results[1].groups_completed, 0);
+    EXPECT_FALSE(results[2].cancelled);
+    // The survivors' outputs are complete; the cancelled member's buffer
+    // was never written.
+    for (int i = 0; i < 256; ++i) {
+        ASSERT_EQ(outs[0].get_int(i), 1225 + i);
+        ASSERT_EQ(outs[1].get_int(i), 0);
+        ASSERT_EQ(outs[2].get_int(i), 1225 + i);
+    }
+}
+
+TEST_F(CancelTest, BatchScopeSizeMismatchDisarms)
+{
+    // Two tokens for a three-member batch: misattributing a token would
+    // cancel the wrong client's request, so the scope must disarm
+    // entirely instead.
+    auto program = counting_program();
+    std::vector<Buffer> outs;
+    outs.reserve(3);  // ArgPacks hold Buffer pointers: no reallocation.
+    std::vector<ArgPack> packs;
+    std::vector<const ArgPack*> members;
+    for (int m = 0; m < 3; ++m) {
+        outs.push_back(Buffer::zeros_i32(64));
+        ArgPack args;
+        args.buffer("out", outs.back());
+        packs.push_back(std::move(args));
+    }
+    for (auto& pack : packs)
+        members.push_back(&pack);
+
+    vm::CancelToken doomed;
+    doomed.cancel(vm::CancelReason::Deadline);
+    const std::vector<const vm::CancelToken*> tokens = {&doomed, &doomed};
+    exec::BatchCancelScope scope(&tokens);
+    const auto results =
+        exec::launch_batch(program, members, LaunchConfig::linear(64, 8));
+    ASSERT_EQ(results.size(), 3u);
+    for (const auto& result : results) {
+        EXPECT_FALSE(result.cancelled);
+        EXPECT_EQ(result.groups_completed, result.groups_total);
     }
 }
 

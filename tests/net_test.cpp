@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -20,14 +22,20 @@
 #include <thread>
 #include <vector>
 
+#include "exec/buffer.h"
+#include "exec/launch.h"
 #include "net/calibration_plane.h"
 #include "net/frontdoor.h"
 #include "net/replica.h"
+#include "net/supervisor.h"
 #include "net/wire.h"
+#include "parser/parser.h"
+#include "runtime/variant_run.h"
 #include "serve/service.h"
 #include "store/artifact_store.h"
 #include "support/faultinject.h"
 #include "support/socket.h"
+#include "vm/compiler.h"
 
 namespace paraprox::net {
 namespace {
@@ -66,6 +74,8 @@ using LeaseTest = NetTest;
 using FrontDoorTest = NetTest;
 using PlaneTest = NetTest;
 using ChaosScaleoutTest = NetTest;
+using HealthTest = NetTest;
+using SupervisorTest = NetTest;
 
 /// Synthetic variant: seed-derived output at a fixed modeled cost.
 /// Non-exact variants visit the vm.trap fault site so chaos specs can
@@ -551,7 +561,12 @@ TEST_F(PlaneTest, OneDriftEventCostsOneFleetSweep)
     TempDir dir("plane");
     PlaneConfig config;
     config.watch_interval = std::chrono::milliseconds(10);
-    PlaneHarness alpha(dir.path, "alpha", config);
+    // Alpha's sweep sleeps so its lease is still held when beta's gate
+    // runs below — without it, a slow box can let alpha publish AND
+    // beta's watch thread adopt between the two recalibrate calls, and
+    // beta's raise becomes a legitimately new drift event (second
+    // sweep), which is not the broadcast interleaving this test pins.
+    PlaneHarness alpha(dir.path, "alpha", config, /*approx_sleep_ms=*/30);
     PlaneHarness beta(dir.path, "beta", config);
 
     // The same drift lands on both replicas (the fleet-wide broadcast
@@ -833,6 +848,460 @@ TEST_F(ChaosScaleoutTest, KilledReplicaMidDriftLosesNoRequests)
     beta_server.stop();
     alpha.stop();
     beta.stop();
+}
+
+// ---- Health protocol (Ping/Pong) -------------------------------------------
+
+TEST_F(HealthTest, PingPongRoundtrip)
+{
+    Ping ping;
+    ping.nonce = 0xfeedfacecafeull;
+    const auto decoded_ping = Ping::decode(ping.encode());
+    ASSERT_TRUE(decoded_ping.has_value());
+    EXPECT_EQ(decoded_ping->version, kHealthVersion);
+    EXPECT_EQ(decoded_ping->nonce, 0xfeedfacecafeull);
+
+    Pong pong;
+    pong.nonce = 42;
+    pong.replica = "alpha";
+    pong.uptime_ms = 12345;
+    const auto decoded_pong = Pong::decode(pong.encode());
+    ASSERT_TRUE(decoded_pong.has_value());
+    EXPECT_EQ(decoded_pong->version, kHealthVersion);
+    EXPECT_EQ(decoded_pong->nonce, 42u);
+    EXPECT_EQ(decoded_pong->replica, "alpha");
+    EXPECT_EQ(decoded_pong->uptime_ms, 12345u);
+}
+
+TEST_F(HealthTest, HealthDecodersRejectGarbageAndTruncation)
+{
+    // Truncation at every prefix must reject, never crash or misparse —
+    // the same matrix the request/reply codecs pass.
+    const auto good_ping = [] {
+        Ping ping;
+        ping.nonce = 7;
+        return ping.encode();
+    }();
+    for (std::size_t cut = 0; cut < good_ping.size(); ++cut) {
+        const std::vector<std::uint8_t> prefix(good_ping.begin(),
+                                               good_ping.begin() + cut);
+        EXPECT_FALSE(Ping::decode(prefix).has_value());
+    }
+    const auto good_pong = [] {
+        Pong pong;
+        pong.nonce = 7;
+        pong.replica = "r";
+        return pong.encode();
+    }();
+    for (std::size_t cut = 0; cut < good_pong.size(); ++cut) {
+        const std::vector<std::uint8_t> prefix(good_pong.begin(),
+                                               good_pong.begin() + cut);
+        EXPECT_FALSE(Pong::decode(prefix).has_value());
+    }
+    EXPECT_FALSE(Ping::decode({0xff, 0xff}).has_value());
+    EXPECT_FALSE(Pong::decode({}).has_value());
+}
+
+TEST_F(HealthTest, ReplicaAnswersPingWithMatchingNonce)
+{
+    TempDir dir("ping");
+    InProcessReplica alpha("alpha", (dir.path / "a.sock").string());
+    ASSERT_TRUE(alpha.server.start());
+
+    Socket client = connect_unix(alpha.server.socket_path());
+    ASSERT_TRUE(client.valid());
+    Ping ping;
+    ping.nonce = 99;
+    ASSERT_TRUE(send_frame(client, MsgType::Ping, ping.encode()));
+    const auto frame = recv_frame(client);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::Pong);
+    const auto pong = Pong::decode(frame->payload);
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_EQ(pong->version, kHealthVersion);
+    EXPECT_EQ(pong->nonce, 99u);
+    EXPECT_EQ(pong->replica, "alpha");
+
+    alpha.server.stop();
+    alpha.service.stop();
+}
+
+TEST_F(HealthTest, ReplicaDropsUnknownVersionHealthFrames)
+{
+    // A future-versioned Ping must not elicit a guessed answer: the
+    // replica drops the connection, which the prober reads as "not
+    // healthy" — fail closed, never fail wrong.
+    TempDir dir("badping");
+    InProcessReplica alpha("alpha", (dir.path / "a.sock").string());
+    ASSERT_TRUE(alpha.server.start());
+
+    Socket client = connect_unix(alpha.server.socket_path());
+    ASSERT_TRUE(client.valid());
+    Ping ping;
+    ping.version = kHealthVersion + 1;
+    ping.nonce = 5;
+    ASSERT_TRUE(send_frame(client, MsgType::Ping, ping.encode()));
+    EXPECT_FALSE(recv_frame(client).has_value());
+
+    // The server itself is unharmed: a well-formed Ping on a fresh
+    // connection still answers.
+    Socket second = connect_unix(alpha.server.socket_path());
+    ASSERT_TRUE(second.valid());
+    Ping good;
+    good.nonce = 6;
+    ASSERT_TRUE(send_frame(second, MsgType::Ping, good.encode()));
+    const auto frame = recv_frame(second);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::Pong);
+
+    alpha.server.stop();
+    alpha.service.stop();
+}
+
+// ---- Supervisor -------------------------------------------------------------
+
+/// Forked children for supervisor tests only touch async-signal-safe
+/// calls (pause/_exit): the parent is a threaded gtest process, so the
+/// child must never take a lock it might have inherited mid-held.
+pid_t
+fork_sleeper()
+{
+    const pid_t pid = fork();
+    if (pid == 0) {
+        for (;;)
+            pause();
+    }
+    return pid;
+}
+
+pid_t
+fork_instant_crash()
+{
+    const pid_t pid = fork();
+    if (pid == 0)
+        _exit(7);
+    return pid;
+}
+
+SupervisorConfig
+fast_supervisor()
+{
+    SupervisorConfig config;
+    config.tick = std::chrono::milliseconds(5);
+    config.initial_backoff = std::chrono::milliseconds(10);
+    config.max_backoff = std::chrono::milliseconds(50);
+    // No probing unless a test opts in: the slots have no real sockets.
+    config.probe_interval = std::chrono::hours(1);
+    config.startup_grace = std::chrono::hours(1);
+    return config;
+}
+
+TEST_F(SupervisorTest, RestartsAKilledChildWithBackoff)
+{
+    Supervisor::install_sigchld();
+    std::atomic<int> spawned{0};
+    Supervisor supervisor(
+        {{"w0", "/nonexistent.sock"}},
+        [&spawned](const SupervisedReplica&) {
+            spawned.fetch_add(1);
+            return fork_sleeper();
+        },
+        fast_supervisor());
+    supervisor.start();
+    ASSERT_TRUE(wait_until([&] { return supervisor.stats().spawns >= 1; }));
+
+    ASSERT_TRUE(supervisor.kill_slot(0, SIGKILL));
+    // Reap -> backoff -> respawn, all without the owner lifting a finger.
+    ASSERT_TRUE(wait_until([&] {
+        const auto stats = supervisor.stats();
+        return stats.reaps >= 1 && stats.restarts >= 1;
+    }));
+    ASSERT_TRUE(wait_until([&] {
+        const auto slots = supervisor.snapshot();
+        return slots.size() == 1 && slots[0].up;
+    }));
+    EXPECT_EQ(supervisor.stats().quarantined, 0u);
+    EXPECT_GE(spawned.load(), 2);
+
+    // Cleanup: drain mode keeps the supervisor from resurrecting the
+    // child we are about to kill for good.
+    supervisor.quiesce();
+    const auto slots = supervisor.snapshot();
+    ASSERT_TRUE(slots[0].up);
+    ASSERT_TRUE(supervisor.kill_slot(0, SIGKILL));
+    ASSERT_TRUE(
+        wait_until([&] { return !supervisor.snapshot()[0].up; }));
+    supervisor.stop();
+}
+
+TEST_F(SupervisorTest, CrashLoopLandsInQuarantine)
+{
+    Supervisor::install_sigchld();
+    SupervisorConfig config = fast_supervisor();
+    config.fast_crash_window = std::chrono::seconds(5);
+    config.quarantine_after = 3;
+    Supervisor supervisor(
+        {{"w0", "/nonexistent.sock"}},
+        [](const SupervisedReplica&) { return fork_instant_crash(); },
+        config);
+    supervisor.start();
+
+    // Every exec dies on arrival: after quarantine_after consecutive
+    // fast crashes the supervisor must stop feeding it.
+    ASSERT_TRUE(
+        wait_until([&] { return supervisor.stats().quarantined >= 1; }));
+    const auto slots = supervisor.snapshot();
+    ASSERT_EQ(slots.size(), 1u);
+    EXPECT_TRUE(slots[0].quarantined);
+    EXPECT_FALSE(slots[0].up);
+    // Quarantined slots don't gate fleet health: the fleet runs degraded
+    // rather than reporting itself broken forever.
+    EXPECT_TRUE(supervisor.all_healthy());
+
+    // The crash loop is over: no further spawns arrive.
+    const std::uint64_t spawns = supervisor.stats().spawns;
+    EXPECT_EQ(spawns, static_cast<std::uint64_t>(config.quarantine_after));
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    EXPECT_EQ(supervisor.stats().spawns, spawns);
+    supervisor.stop();
+}
+
+TEST_F(SupervisorTest, UnresponsiveChildIsKilledAndRestarted)
+{
+    Supervisor::install_sigchld();
+    SupervisorConfig config = fast_supervisor();
+    // Probing armed and aggressive: the slot's socket path does not
+    // exist, so every probe fails; past the grace window the supervisor
+    // must escalate to SIGKILL and run the ordinary restart path.
+    config.probe_interval = std::chrono::milliseconds(10);
+    config.probe_timeout = std::chrono::milliseconds(50);
+    config.startup_grace = std::chrono::milliseconds(20);
+    config.unresponsive_threshold = 2;
+    Supervisor supervisor(
+        {{"w0", "/nonexistent.sock"}},
+        [](const SupervisedReplica&) { return fork_sleeper(); },
+        config);
+    supervisor.start();
+
+    ASSERT_TRUE(wait_until([&] {
+        const auto stats = supervisor.stats();
+        return stats.kills >= 1 && stats.restarts >= 1;
+    }));
+    EXPECT_GE(supervisor.stats().failed_probes, 2u);
+
+    supervisor.quiesce();
+    if (supervisor.snapshot()[0].up) {
+        supervisor.kill_slot(0, SIGKILL);
+        wait_until([&] { return !supervisor.snapshot()[0].up; });
+    }
+    supervisor.stop();
+}
+
+// ---- Chaos: kill-and-hang storm --------------------------------------------
+
+/// Two identically-computing kernels so vm.hang (which matches on kernel
+/// name) wedges only the approximate variant; the exact fallback stays
+/// healthy.  Mirrors chaos_test's cancellation fixture.
+constexpr const char* kStormKernels = R"(
+    __kernel void exact_k(__global float* out, int rounds) {
+        int i = get_global_id(0);
+        float acc = 0.0f;
+        for (int j = 0; j < rounds; j++) { acc += sqrtf((float)(j + i)); }
+        out[i] = acc;
+    }
+    __kernel void approx_k(__global float* out, int rounds) {
+        int i = get_global_id(0);
+        float acc = 0.0f;
+        for (int j = 0; j < rounds; j++) { acc += sqrtf((float)(j + i)); }
+        out[i] = acc;
+    }
+)";
+
+runtime::Variant
+storm_variant(std::shared_ptr<vm::Program> program,
+              const std::string& label, int aggressiveness, double cycles)
+{
+    return {label, aggressiveness,
+            [program, cycles](std::uint64_t seed) {
+                constexpr int kItems = 256;
+                exec::Buffer out = exec::Buffer::zeros_f32(kItems);
+                exec::ArgPack args;
+                args.buffer("out", out)
+                    .scalar("rounds", static_cast<int>(seed % 7 + 20));
+                runtime::VariantRun run = runtime::run_fast_unpriced(
+                    *program, args, exec::LaunchConfig::linear(kItems, 32));
+                if (!run.trapped && !run.cancelled)
+                    runtime::attach_output(run, out);
+                run.modeled_cycles = cycles;
+                return run;
+            }};
+}
+
+/// An in-process replica whose service runs VM-backed variants under an
+/// armed watchdog: vm.hang can wedge its launches, and the watchdog (not
+/// the test) is what shoots them.
+struct StormReplica {
+    serve::ApproxService service;
+    ReplicaServer server;
+
+    StormReplica(const std::string& id, const std::string& socket_path)
+        : service(storm_config()), server(service, nullptr,
+                                          {id, socket_path})
+    {
+        auto module = parser::parse_module(kStormKernels);
+        auto exact = std::make_shared<vm::Program>(
+            vm::compile_kernel(module, "exact_k"));
+        auto approx = std::make_shared<vm::Program>(
+            vm::compile_kernel(module, "approx_k"));
+        std::vector<Variant> variants;
+        variants.push_back(storm_variant(exact, "exact", 0, 1000.0));
+        variants.push_back(storm_variant(approx, "approx_k", 1, 100.0));
+        service.register_kernel("k", std::move(variants),
+                                Metric::MeanRelativeError, 90.0,
+                                {1, 2, 3});
+    }
+
+    static serve::ServiceConfig storm_config()
+    {
+        serve::ServiceConfig config;
+        config.num_workers = 2;
+        config.queue_capacity = 64;
+        config.watchdog.tick = std::chrono::milliseconds(1);
+        config.watchdog.hang_floor = std::chrono::milliseconds(50);
+        // One hang convicts, and the cooldown outlives the test: the
+        // wedged variant stays quarantined for the assertions.
+        config.quarantine = {/*failure_threshold=*/1,
+                             /*failure_window=*/64,
+                             /*cooldown=*/1u << 20,
+                             /*cooldown_growth=*/2.0,
+                             /*max_cooldown=*/1u << 20,
+                             /*probe_quota=*/1};
+        return config;
+    }
+};
+
+TEST_F(ChaosScaleoutTest, KillAndHangStormResolvesEverythingAndRestores)
+{
+    TempDir dir("storm");
+    StormReplica alpha("alpha", (dir.path / "a.sock").string());
+    StormReplica beta("beta", (dir.path / "b.sock").string());
+    ASSERT_TRUE(alpha.server.start());
+    ASSERT_TRUE(beta.server.start());
+    ASSERT_EQ(alpha.service.kernel_snapshot("k").selected, "approx_k");
+
+    FrontDoor door({{"alpha", alpha.server.socket_path()},
+                    {"beta", beta.server.socket_path()}});
+    ASSERT_TRUE(door.start());
+
+    // The storm: one launch somewhere wedges on vm.hang (the watchdog
+    // must shoot it), one of alpha's replies dies on the wire, and then
+    // alpha's sockets are killed outright mid-load.
+    std::vector<fault::FaultSpec> specs;
+    fault::FaultSpec hang;
+    hang.site = "vm.hang";
+    hang.match = "approx_k";
+    hang.every = 1;
+    hang.limit = 1;
+    specs.push_back(hang);
+    fault::FaultSpec drop;
+    drop.site = "net.drop";
+    drop.match = "replica:alpha";
+    drop.every = 5;
+    drop.limit = 1;
+    specs.push_back(drop);
+    fault::FaultInjector::instance().arm(specs);
+
+    constexpr int kClients = 3;
+    constexpr int kPerClient = 12;
+    std::atomic<int> terminal{0};
+    std::atomic<int> ok{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < kPerClient; ++i) {
+                SubmitRequest request;
+                request.kernel = "k";
+                request.input = SubmitRequest::seed_input(
+                    static_cast<std::uint64_t>(c) * 100 + i);
+                const SubmitReply reply = door.route(std::move(request));
+                if (reply.status == WireStatus::Ok)
+                    ok.fetch_add(1);
+                if (reply.status == WireStatus::Ok ||
+                    reply.status == WireStatus::DeadlineExceeded ||
+                    reply.status == WireStatus::Rejected)
+                    terminal.fetch_add(1);
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+        });
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    alpha.server.abort();  // kill -9, as the wire sees it.
+    for (auto& client : clients)
+        client.join();
+
+    // Zero unresolved: every admitted request came back exactly once.
+    EXPECT_EQ(terminal.load(), kClients * kPerClient);
+    EXPECT_EQ(ok.load(), kClients * kPerClient);
+    const auto mid_stats = door.stats();
+    EXPECT_EQ(mid_stats.requests,
+              static_cast<std::uint64_t>(kClients * kPerClient));
+    EXPECT_EQ(mid_stats.rejected_no_replica, 0u);
+    EXPECT_FALSE(door.replica_alive(0));
+
+    // The wedged launch was shot by a watchdog, its variant quarantined,
+    // and the request it carried re-served exact.  (The hang may have
+    // landed on a request whose reply was then lost to the wire — the
+    // metrics land slightly after the client's retried copy resolves.)
+    EXPECT_TRUE(wait_until(
+        [&] {
+            // Full snapshots: the quarantine counter is aggregated from
+            // the tuners, which a bare metrics().snapshot() does not do.
+            const auto am = alpha.service.snapshot().metrics;
+            const auto bm = beta.service.snapshot().metrics;
+            return am.watchdog_cancels + bm.watchdog_cancels >= 1 &&
+                   am.watchdog_fallbacks + bm.watchdog_fallbacks >= 1 &&
+                   am.quarantines + bm.quarantines >= 1;
+        },
+        // Generous: the hang fires after the 50ms watchdog floor plus
+        // the exact re-serve, which sanitizer builds stretch ~20x.
+        std::chrono::milliseconds(30000)));
+    EXPECT_GE(fault::FaultInjector::instance().fires("vm.hang"), 1u);
+
+    // The storm has passed: stand down the faults so an unconsumed
+    // net.drop (alpha may have died before its 5th send) cannot shoot
+    // the revived replica's first reply.
+    fault::FaultInjector::instance().disarm();
+
+    // Restore the fleet the way the supervisor does: a fresh server
+    // process over the same (healthy) service, then revive the slot.
+    alpha.server.stop();
+    ReplicaServer revived(alpha.service, nullptr,
+                          {"alpha", (dir.path / "a.sock").string()});
+    ASSERT_TRUE(revived.start());
+    door.revive(0);
+    EXPECT_TRUE(door.replica_alive(0));
+
+    const std::uint64_t routed_before = door.stats().routed[0];
+    int ok_after = 0;
+    for (int i = 0; i < 8; ++i) {
+        SubmitRequest request;
+        request.kernel = "k";
+        request.input = SubmitRequest::seed_input(500 + i);
+        if (door.route(std::move(request)).status == WireStatus::Ok)
+            ++ok_after;
+    }
+    EXPECT_EQ(ok_after, 8);
+    // Full strength: the revived replica is taking traffic again.
+    EXPECT_TRUE(door.replica_alive(0));
+    EXPECT_GT(door.stats().routed[0], routed_before);
+
+    door.stop();
+    revived.stop();
+    beta.server.stop();
+    alpha.service.stop();
+    beta.service.stop();
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "serve/monitor.h"
 #include "serve/queue.h"
 #include "serve/service.h"
+#include "serve/watchdog.h"
 #include "support/error.h"
 
 namespace paraprox::serve {
@@ -1151,6 +1152,141 @@ TEST(ApproxServiceTest, MixedDeadlineBatchScattersOnlyExpiredMembers)
     EXPECT_EQ(metrics.deadline_expired, 1u);
     EXPECT_EQ(metrics.served, 2u);
     EXPECT_EQ(metrics.queue_depth, 0);
+}
+
+// ---- Watchdog ---------------------------------------------------------------
+
+/// A watchdog whose timer thread never interferes with the test's own
+/// sweep_now() calls: a one-hour tick means every observed cancel came
+/// from the sweep the test invoked.
+WatchdogConfig
+manual_watchdog()
+{
+    WatchdogConfig config;
+    config.tick = std::chrono::hours(1);
+    return config;
+}
+
+TEST(WatchdogTest, DeadlineSweepScatterCancelsOnlyExpiredMembers)
+{
+    Watchdog dog(manual_watchdog());
+    dog.start(1);
+
+    const auto now = std::chrono::steady_clock::now();
+    WatchdogFlight flight;
+    flight.started = now;
+    flight.ceiling = {};  // Hang detection off for this flight.
+    auto expired = std::make_shared<vm::CancelToken>();
+    auto pending = std::make_shared<vm::CancelToken>();
+    auto unbounded = std::make_shared<vm::CancelToken>();
+    flight.members.push_back(
+        {expired, now - std::chrono::milliseconds(1)});
+    flight.members.push_back({pending, now + std::chrono::hours(1)});
+    flight.members.push_back({unbounded, std::nullopt});
+    dog.begin_flight(0, std::move(flight));
+
+    dog.sweep_now();
+    EXPECT_TRUE(expired->cancelled());
+    EXPECT_EQ(expired->reason(), vm::CancelReason::Deadline);
+    EXPECT_FALSE(pending->cancelled());
+    EXPECT_FALSE(unbounded->cancelled());
+    EXPECT_EQ(dog.deadline_cancels(), 1u);
+
+    // Sweeping again must not double-count the already-fired member.
+    dog.sweep_now();
+    EXPECT_EQ(dog.deadline_cancels(), 1u);
+
+    dog.end_flight(0);
+    dog.stop();
+}
+
+TEST(WatchdogTest, HangCeilingFiresEveryMemberExactlyOnce)
+{
+    Watchdog dog(manual_watchdog());
+    dog.start(2);
+
+    WatchdogFlight flight;
+    flight.started =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    flight.ceiling = std::chrono::milliseconds(10);
+    auto first = std::make_shared<vm::CancelToken>();
+    auto second = std::make_shared<vm::CancelToken>();
+    flight.members.push_back({first, std::nullopt});
+    flight.members.push_back({second, std::nullopt});
+    dog.begin_flight(1, std::move(flight));
+
+    dog.sweep_now();
+    EXPECT_TRUE(first->cancelled());
+    EXPECT_TRUE(second->cancelled());
+    EXPECT_EQ(first->reason(), vm::CancelReason::Watchdog);
+    EXPECT_EQ(second->reason(), vm::CancelReason::Watchdog);
+    // One hang event per launch, however many members it carries.
+    EXPECT_EQ(dog.hang_cancels(), 1u);
+    dog.sweep_now();
+    EXPECT_EQ(dog.hang_cancels(), 1u);
+
+    dog.end_flight(1);
+    dog.stop();
+}
+
+TEST(WatchdogTest, ZeroCeilingDisablesHangDetection)
+{
+    Watchdog dog(manual_watchdog());
+    dog.start(1);
+
+    WatchdogFlight flight;
+    flight.started =
+        std::chrono::steady_clock::now() - std::chrono::hours(1);
+    flight.ceiling = {};
+    auto token = std::make_shared<vm::CancelToken>();
+    flight.members.push_back({token, std::nullopt});
+    dog.begin_flight(0, std::move(flight));
+
+    dog.sweep_now();
+    EXPECT_FALSE(token->cancelled());
+    EXPECT_EQ(dog.hang_cancels(), 0u);
+    dog.end_flight(0);
+    dog.stop();
+}
+
+TEST(WatchdogTest, EndedFlightIsNoLongerSwept)
+{
+    Watchdog dog(manual_watchdog());
+    dog.start(1);
+
+    WatchdogFlight flight;
+    flight.started =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    flight.ceiling = std::chrono::milliseconds(1);
+    auto token = std::make_shared<vm::CancelToken>();
+    flight.members.push_back({token, std::nullopt});
+    dog.begin_flight(0, std::move(flight));
+    dog.end_flight(0);
+
+    dog.sweep_now();
+    EXPECT_FALSE(token->cancelled());
+    EXPECT_EQ(dog.hang_cancels(), 0u);
+    dog.stop();
+}
+
+TEST(WatchdogTest, DisabledWatchdogIsInert)
+{
+    WatchdogConfig config = manual_watchdog();
+    config.enabled = false;
+    Watchdog dog(config);
+    dog.start(1);
+
+    WatchdogFlight flight;
+    flight.started =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    flight.ceiling = std::chrono::milliseconds(1);
+    auto token = std::make_shared<vm::CancelToken>();
+    flight.members.push_back({token, std::nullopt});
+    dog.begin_flight(0, std::move(flight));
+    dog.sweep_now();
+    EXPECT_FALSE(token->cancelled());
+    dog.end_flight(0);
+    dog.stop();
 }
 
 }  // namespace

@@ -1,23 +1,32 @@
 /// @file
-/// paraprox_frontd: multi-process scale-out serving demo.
+/// paraprox_frontd: multi-process scale-out serving demo, supervised.
 ///
 /// The parent spawns N replica worker processes (fork/exec of this same
 /// binary with --replica-worker), each running an ApproxService behind an
 /// AF_UNIX ReplicaServer with a CalibrationPlane pointed at one shared
-/// artifact store.  The parent then runs a FrontDoor over the fleet,
-/// pushes a request stream through it, injects one drift event, waits for
-/// the fleet to arbitrate it (one lease winner recalibrates; the peers
-/// adopt the published calibration), scrapes per-replica stats over the
-/// wire, and shuts every worker down gracefully.
+/// artifact store.  A net::Supervisor owns the fleet's lifecycle: SIGCHLD
+/// reaping (no zombies), Ping/Pong liveness probing, restart with
+/// exponential backoff, and crash-loop quarantine.  Workers register
+/// their kernels with a warm key against the shared store, so a restarted
+/// replica restores the fleet's calibrations instead of re-profiling.
+///
+/// The parent then runs a FrontDoor over the fleet, pushes a request
+/// stream through it (reviving restarted replicas as the supervisor
+/// reports them healthy), injects one drift event, waits for the fleet to
+/// arbitrate it, scrapes per-replica stats over the wire, and drains.
+/// SIGTERM/SIGINT trigger the same graceful drain: stop admitting, ask
+/// every worker to shut down over the wire, collect the children.
+///
+/// Chaos: arm PARAPROX_FAULTS (inherited by the workers) — e.g.
+/// `replica.crash:match=replica-0,every=3,limit=1` kills one worker
+/// mid-request; the run then demonstrates requeue + restart + revive.
 ///
 /// Usage: paraprox_frontd [--replicas N] [--requests N]
 ///                        [--store DIR] [--listen SOCKET]
 ///
-/// With --listen the front door also binds a client endpoint, so external
-/// processes can speak the wire protocol (see docs/scaleout.md) directly.
-///
 /// Internal: paraprox_frontd --replica-worker ID SOCKET STORE_DIR
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -34,6 +43,7 @@
 #include "net/calibration_plane.h"
 #include "net/frontdoor.h"
 #include "net/replica.h"
+#include "net/supervisor.h"
 #include "net/wire.h"
 #include "serve/service.h"
 #include "store/artifact_store.h"
@@ -44,6 +54,25 @@ using namespace paraprox;
 
 constexpr double kToq = 90.0;
 const std::vector<std::uint64_t> kTrainingSeeds = {101, 202};
+
+volatile sig_atomic_t g_drain_requested = 0;
+
+void
+on_drain_signal(int)
+{
+    g_drain_requested = 1;
+}
+
+void
+install_drain_signals()
+{
+    struct sigaction action{};
+    action.sa_handler = on_drain_signal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    sigaction(SIGTERM, &action, nullptr);
+    sigaction(SIGINT, &action, nullptr);
+}
 
 /// The kernels every replica serves.  All replicas must register the
 /// same families identically or the shared calibration plane would be
@@ -59,8 +88,10 @@ fleet_apps()
     return apps;
 }
 
-/// The fleet-wide key a kernel's published calibration lives under.
-/// Deterministic across replicas: every worker derives the same key.
+/// The fleet-wide key a kernel's calibration lives under — used both for
+/// warm registration (a restarted worker restores instead of
+/// re-profiling) and for the plane's drift publishes.  Deterministic
+/// across replicas: every worker derives the same key.
 store::StoreKey
 fleet_key(const std::string& kernel, runtime::Metric metric)
 {
@@ -73,11 +104,18 @@ fleet_key(const std::string& kernel, runtime::Metric metric)
     return key;
 }
 
-/// Replica worker process: serve until a ShutdownRequest arrives.
+/// Replica worker process: serve until a ShutdownRequest (or SIGTERM)
+/// arrives, then drain cleanly.
 int
 run_replica_worker(const std::string& id, const std::string& socket_path,
                    const std::string& store_dir)
 {
+    // The parent coordinates shutdown over the wire; a terminal ^C
+    // reaches the whole process group, so SIGINT must not drop workers
+    // mid-drain.  SIGTERM still works as a direct per-worker drain.
+    signal(SIGINT, SIG_IGN);
+    install_drain_signals();
+
     auto store = store::ArtifactStore::configure_global(store_dir);
 
     serve::ServiceConfig config;
@@ -91,8 +129,12 @@ run_replica_worker(const std::string& id, const std::string& socket_path,
     const auto device = device::DeviceModel::gtx560();
     for (auto& app : fleet_apps()) {
         const auto info = app->info();
+        // Warm key: the first worker to calibrate persists; every later
+        // (re)start restores — a supervised restart rejoins the fleet
+        // without a profiling sweep.
         service.register_kernel(info.name, app->variants(device),
-                                info.metric, kToq, kTrainingSeeds);
+                                info.metric, kToq, kTrainingSeeds,
+                                fleet_key(info.name, info.metric));
         plane.track(info.name, fleet_key(info.name, info.metric));
     }
     plane.start();
@@ -106,9 +148,11 @@ run_replica_worker(const std::string& id, const std::string& socket_path,
                      socket_path.c_str());
         return 1;
     }
-    while (!server.shutdown_requested())
+    while (!server.shutdown_requested() && !g_drain_requested)
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
 
+    // Graceful local drain: stop taking connections, serve what is
+    // queued, release any held drift lease.
     server.stop();
     service.stop();
     plane.stop();
@@ -145,6 +189,20 @@ wait_for_endpoint(const std::string& socket_path,
     return false;
 }
 
+/// Put supervisor-confirmed-healthy replicas back into the front door's
+/// rotation (a failure marks them dead; only the supervisor knows when
+/// the restarted process is answering again).
+void
+revive_restarted(net::FrontDoor& door, const net::Supervisor& supervisor)
+{
+    const auto slots = supervisor.snapshot();
+    for (std::size_t i = 0; i < slots.size() && i < door.num_replicas();
+         ++i) {
+        if (slots[i].healthy && !door.replica_alive(i))
+            door.revive(i);
+    }
+}
+
 std::optional<net::ReplicaStats>
 scrape_stats(net::FrontDoor& door, std::size_t index)
 {
@@ -152,6 +210,46 @@ scrape_stats(net::FrontDoor& door, std::size_t index)
     if (!reply || reply->type != net::MsgType::StatsReply)
         return std::nullopt;
     return net::ReplicaStats::decode(reply->payload);
+}
+
+/// Graceful fleet drain: stop restarting, ask every worker to stop over
+/// the wire, wait for the supervisor to collect them (SIGKILL stragglers
+/// after @p timeout).  Returns true when every child exited.
+bool
+drain_fleet(net::FrontDoor& door, net::Supervisor& supervisor,
+            std::chrono::milliseconds timeout)
+{
+    supervisor.quiesce();
+    for (std::size_t i = 0; i < door.num_replicas(); ++i)
+        door.call(i, net::MsgType::ShutdownRequest, {});
+
+    const auto give_up = std::chrono::steady_clock::now() + timeout;
+    const auto all_down = [&supervisor] {
+        for (const auto& slot : supervisor.snapshot()) {
+            if (slot.up)
+                return false;
+        }
+        return true;
+    };
+    while (!all_down() && std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    bool clean = all_down();
+    if (!clean) {
+        // A worker that ignores the wire (wedged, quarantine-bound) is
+        // killed rather than leaked; the supervisor's loop reaps it.
+        const auto slots = supervisor.snapshot();
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (slots[i].up)
+                supervisor.kill_slot(i, SIGKILL);
+        }
+        const auto hard_stop =
+            std::chrono::steady_clock::now() + std::chrono::seconds(2);
+        while (!all_down() && std::chrono::steady_clock::now() < hard_stop)
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    supervisor.stop();
+    return clean && all_down();
 }
 
 }  // namespace
@@ -189,6 +287,9 @@ main(int argc, char** argv)
         return 1;
     }
 
+    install_drain_signals();
+    net::Supervisor::install_sigchld();
+
     const std::string run_dir =
         "/tmp/paraprox-frontd-" + std::to_string(getpid());
     std::filesystem::create_directories(run_dir);
@@ -197,19 +298,24 @@ main(int argc, char** argv)
         std::filesystem::create_directories(store_dir);
     }
 
-    // Spawn the fleet.
-    std::vector<pid_t> pids;
+    // The supervised fleet: the supervisor spawns, probes, restarts.
+    std::vector<net::SupervisedReplica> slots;
     std::vector<net::ReplicaEndpoint> endpoints;
     for (int i = 0; i < replicas; ++i) {
-        net::ReplicaEndpoint endpoint;
-        endpoint.id = "replica-" + std::to_string(i);
-        endpoint.socket_path = run_dir + "/" + endpoint.id + ".sock";
-        pids.push_back(
-            spawn_worker(endpoint.id, endpoint.socket_path, store_dir));
-        endpoints.push_back(std::move(endpoint));
+        net::SupervisedReplica slot;
+        slot.id = "replica-" + std::to_string(i);
+        slot.socket_path = run_dir + "/" + slot.id + ".sock";
+        endpoints.push_back({slot.id, slot.socket_path});
+        slots.push_back(std::move(slot));
     }
-    std::printf("paraprox_frontd: %d replicas, store %s\n", replicas,
-                store_dir.c_str());
+    net::Supervisor supervisor(
+        slots,
+        [store_dir](const net::SupervisedReplica& slot) {
+            return spawn_worker(slot.id, slot.socket_path, store_dir);
+        });
+    supervisor.start();
+    std::printf("paraprox_frontd: %d replicas (supervised), store %s\n",
+                replicas, store_dir.c_str());
     for (const auto& endpoint : endpoints) {
         if (!wait_for_endpoint(endpoint.socket_path,
                                std::chrono::seconds(30))) {
@@ -230,15 +336,19 @@ main(int argc, char** argv)
         return 1;
     }
 
-    // Request stream, round-robin over the fleet's kernels.
+    // Request stream, round-robin over the fleet's kernels.  Every
+    // route() returns a terminal reply, so unresolved is computed, not
+    // hoped for.
     const auto apps = fleet_apps();
-    int ok = 0, expired = 0, rejected = 0;
-    for (int i = 0; i < requests; ++i) {
+    int ok = 0, expired = 0, rejected = 0, routed = 0;
+    for (int i = 0; i < requests && !g_drain_requested; ++i) {
+        revive_restarted(door, supervisor);
         net::SubmitRequest request;
         request.kernel = apps[i % apps.size()]->info().name;
         request.toq = kToq;
         request.input = net::SubmitRequest::seed_input(7000 + i);
         const net::SubmitReply reply = door.route(std::move(request));
+        ++routed;
         if (reply.status == net::WireStatus::Ok)
             ++ok;
         else if (reply.status == net::WireStatus::DeadlineExceeded)
@@ -246,37 +356,42 @@ main(int argc, char** argv)
         else
             ++rejected;
     }
-    std::printf("routed %d requests: %d ok, %d expired, %d rejected\n",
-                requests, ok, expired, rejected);
+    const int unresolved = routed - ok - expired - rejected;
+    std::printf("routed %d requests: %d ok, %d expired, %d rejected, "
+                "unresolved=%d\n",
+                routed, ok, expired, rejected, unresolved);
 
-    // One drift event, announced to every replica at once: the plane
-    // arbitrates via the shared store, so exactly one replica should
-    // recalibrate and the rest adopt its published calibration.
-    const std::string drifted = apps.front()->info().name;
-    net::DriftRequest drift;
-    drift.kernel = drifted;
-    for (std::size_t i = 0; i < endpoints.size(); ++i)
-        door.call(i, net::MsgType::DriftRequest, drift.encode());
-    std::printf("injected drift on `%s` fleet-wide\n", drifted.c_str());
+    if (!g_drain_requested) {
+        // One drift event, announced to every replica at once: the plane
+        // arbitrates via the shared store, so exactly one replica should
+        // recalibrate and the rest adopt its published calibration.
+        const std::string drifted = apps.front()->info().name;
+        net::DriftRequest drift;
+        drift.kernel = drifted;
+        for (std::size_t i = 0; i < endpoints.size(); ++i)
+            door.call(i, net::MsgType::DriftRequest, drift.encode());
+        std::printf("injected drift on `%s` fleet-wide\n", drifted.c_str());
 
-    // Wait for the event to resolve: every replica either published its
-    // own recalibration, adopted the winner's, or (pathologically) lost
-    // the publish race — all terminal, so the stats below are final.
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::seconds(30);
-    while (std::chrono::steady_clock::now() < deadline) {
-        std::uint64_t resolved = 0;
-        for (std::size_t i = 0; i < endpoints.size(); ++i) {
-            if (const auto stats = scrape_stats(door, i);
-                stats && stats->published_calibrations +
-                                 stats->adopted_calibrations +
-                                 stats->redundant_recalibrations >
-                             0)
-                ++resolved;
+        // Wait for the event to resolve: every reachable replica either
+        // published its own recalibration, adopted the winner's, or lost
+        // the publish race — all terminal, so the stats below are final.
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while (std::chrono::steady_clock::now() < deadline &&
+               !g_drain_requested) {
+            std::uint64_t resolved = 0;
+            for (std::size_t i = 0; i < endpoints.size(); ++i) {
+                if (const auto stats = scrape_stats(door, i);
+                    stats && stats->published_calibrations +
+                                     stats->adopted_calibrations +
+                                     stats->redundant_recalibrations >
+                                 0)
+                    ++resolved;
+            }
+            if (resolved == endpoints.size())
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
         }
-        if (resolved == endpoints.size())
-            break;
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
 
     std::printf("\nper-replica stats:\n");
@@ -312,18 +427,19 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(door_stats.requeues),
                 static_cast<unsigned long long>(
                     door_stats.replica_failures));
+    const auto sup_stats = supervisor.stats();
+    std::printf("supervisor: spawns=%llu restarts=%llu reaps=%llu "
+                "kills=%llu quarantined=%llu\n",
+                static_cast<unsigned long long>(sup_stats.spawns),
+                static_cast<unsigned long long>(sup_stats.restarts),
+                static_cast<unsigned long long>(sup_stats.reaps),
+                static_cast<unsigned long long>(sup_stats.kills),
+                static_cast<unsigned long long>(sup_stats.quarantined));
 
-    // Graceful fleet shutdown.
-    for (std::size_t i = 0; i < endpoints.size(); ++i)
-        door.call(i, net::MsgType::ShutdownRequest, {});
+    const bool clean = drain_fleet(door, supervisor,
+                                   std::chrono::seconds(10));
     door.stop();
-    int exit_code = 0;
-    for (const pid_t pid : pids) {
-        int status = 0;
-        waitpid(pid, &status, 0);
-        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
-            exit_code = 1;
-    }
+    const int exit_code = (clean && unresolved == 0) ? 0 : 1;
     // A caller-supplied --store lives outside run_dir and survives.
     std::error_code ec;
     std::filesystem::remove_all(run_dir, ec);
